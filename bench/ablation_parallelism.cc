@@ -1,0 +1,72 @@
+// Ablation: parallel per-dst solving (§8.1: "running 10 MaxSMT problems in
+// parallel, we can compute repairs for 98% of the networks in less than a
+// minute").
+//
+// Parallelism pays off when many destinations need repair at once, so this
+// bench uses a fat-tree scenario in which every policied destination is
+// violated (one MaxSMT problem each) and times the repair engine's wall
+// clock with growing worker pools.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workload/fattree.h"
+
+int main() {
+  cpr::BenchConfig config;
+  const int kPorts = cpr::EnvInt("CPR_BENCH_FT_PORTS", 6);
+  const int kPolicies = 64;
+  // Debian's libz3 serializes concurrent contexts behind a global lock, so
+  // the parallelism measurement defaults to the internal backend (which
+  // scales); set CPR_BENCH_BACKEND=z3 to observe the Z3 behaviour.
+  const char* backend_env = std::getenv("CPR_BENCH_BACKEND");
+  cpr::BackendChoice backend = (backend_env != nullptr && std::string(backend_env) == "z3")
+                                   ? cpr::BackendChoice::kZ3
+                                   : cpr::BackendChoice::kInternal;
+  cpr::FatTreeScenario scenario =
+      cpr::MakeFatTreeScenario(kPorts, cpr::PolicyClass::kAlwaysBlocked, kPolicies, 3);
+  cpr::Cpr broken = cpr::MustBuildCpr(scenario.broken_configs, scenario.annotations);
+
+  std::printf(
+      "=== Ablation: per-dst solving with 1..%d workers (%d-port fat-tree, %zu PC1 "
+      "policies, one problem per violated destination) ===\n",
+      config.threads, kPorts, scenario.policies.size());
+  std::printf("backend: %s\n", backend == cpr::BackendChoice::kZ3 ? "z3" : "internal");
+  std::printf("%-10s %-12s %-14s %-14s %-10s\n", "threads", "problems", "solve-sum(s)",
+              "wall(s)", "speedup");
+
+  double baseline = 0;
+  for (int threads : {1, 2, 4, 8, config.threads}) {
+    if (threads <= 0 || (threads == config.threads && config.threads <= 8)) {
+      continue;
+    }
+    cpr::CprOptions options;
+    options.validate_with_simulator = false;
+    options.repair.granularity = cpr::Granularity::kPerDst;
+    options.repair.backend = backend;
+    options.repair.num_threads = threads;
+    options.repair.timeout_seconds = config.timeout * 6;
+    cpr::Result<cpr::CprReport> report = broken.Repair(scenario.policies, options);
+    if (!report.ok() || report.value().status != cpr::RepairStatus::kSuccess) {
+      std::printf("%-10d repair failed\n", threads);
+      continue;
+    }
+    const cpr::RepairStats& stats = report.value().stats;
+    if (baseline == 0) {
+      baseline = stats.wall_seconds;
+    }
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", baseline / stats.wall_seconds);
+    std::printf("%-10d %-12d %-14.3f %-14.3f %-10s\n", threads, stats.problems_formulated,
+                stats.solve_seconds, stats.wall_seconds, speedup);
+  }
+  std::printf(
+      "\nnote: the paper's 10-way speedup materializes when individual problems take\n"
+      "minutes-to-hours; at this repository's sub-second problem sizes, encoding and\n"
+      "allocator contention dominate and parallelism is roughly neutral. Raise\n"
+      "CPR_BENCH_FT_PORTS (and expect long runs) to push into the regime where the\n"
+      "solver dominates.\n");
+  return 0;
+}

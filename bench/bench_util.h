@@ -1,0 +1,96 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints the rows/series of one figure from the paper's
+// evaluation (§8). Scale knobs come from the environment so a quick CI run
+// and a full reproduction use the same binaries:
+//
+//   CPR_BENCH_SCALE     subnet-count multiplier for the DC dataset
+//                       (default 0.25; 1.0 reproduces ~1K-traffic-class
+//                       medians like the paper)
+//   CPR_BENCH_NETWORKS  how many of the 96 DC networks to run (default 96)
+//   CPR_BENCH_TIMEOUT   per-problem solver timeout in seconds (default 10;
+//                       the paper used 8 hours)
+//   CPR_BENCH_THREADS   worker threads for per-dst solving (default 10,
+//                       like the paper's parallel runs)
+
+#ifndef CPR_BENCH_BENCH_UTIL_H_
+#define CPR_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cpr.h"
+
+namespace cpr {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+struct BenchConfig {
+  double scale = EnvDouble("CPR_BENCH_SCALE", 0.25);
+  int networks = EnvInt("CPR_BENCH_NETWORKS", 96);
+  double timeout = EnvDouble("CPR_BENCH_TIMEOUT", 10.0);
+  int threads = EnvInt("CPR_BENCH_THREADS", 10);
+};
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (static_cast<double>(values.size()) - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+inline const char* StatusName(RepairStatus status) {
+  switch (status) {
+    case RepairStatus::kSuccess:
+      return "ok";
+    case RepairStatus::kNoViolations:
+      return "clean";
+    case RepairStatus::kUnsat:
+      return "UNSAT";
+    case RepairStatus::kTimeout:
+      return "TIMEOUT";
+    case RepairStatus::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "?";
+}
+
+inline Cpr MustBuildCpr(const std::vector<std::string>& texts,
+                        const NetworkAnnotations& annotations) {
+  Result<Cpr> built = Cpr::FromConfigTexts(texts, annotations);
+  if (!built.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", built.error().message().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+}  // namespace cpr
+
+#endif  // CPR_BENCH_BENCH_UTIL_H_

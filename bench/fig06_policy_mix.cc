@@ -1,0 +1,67 @@
+// Figure 6: policy mix in the (synthesized) data center networks.
+//
+// The paper plots, per network, how many PC1 (always blocked) and PC3
+// (always reachable) policies it carries, networks sorted by total policy
+// count. "The majority of the networks have a policy for every traffic
+// class; no traffic class has multiple policies."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/datacenter.h"
+
+int main() {
+  cpr::BenchConfig config;
+  std::printf("=== Figure 6: policy mix across %d data center networks (scale %.2f) ===\n",
+              config.networks, config.scale);
+
+  struct Row {
+    int index;
+    int routers;
+    int tcs;
+    int pc1;
+    int pc3;
+  };
+  std::vector<Row> rows;
+  for (int i = 0; i < config.networks; ++i) {
+    cpr::DatacenterNetwork network =
+        cpr::GenerateDatacenterNetwork(i, 2017, config.scale);
+    Row row{network.index, network.router_count, network.traffic_class_count, 0, 0};
+    for (const cpr::Policy& policy : network.policies) {
+      if (policy.pc == cpr::PolicyClass::kAlwaysBlocked) {
+        ++row.pc1;
+      } else {
+        ++row.pc3;
+      }
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.pc1 + a.pc3 < b.pc1 + b.pc3; });
+
+  std::printf("%-8s %-8s %-8s %-8s %-8s %-8s\n", "network", "routers", "tcs", "PC1",
+              "PC3", "total");
+  int64_t total_pc1 = 0;
+  int64_t total_pc3 = 0;
+  std::vector<double> routers;
+  std::vector<double> tcs;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%-8zu %-8d %-8d %-8d %-8d %-8d\n", i, row.routers, row.tcs, row.pc1,
+                row.pc3, row.pc1 + row.pc3);
+    total_pc1 += row.pc1;
+    total_pc3 += row.pc3;
+    routers.push_back(row.routers);
+    tcs.push_back(row.tcs);
+  }
+  std::printf("\nsummary: median routers %.0f (paper: 8), median traffic classes %.0f,\n",
+              cpr::Percentile(routers, 0.5), cpr::Percentile(tcs, 0.5));
+  std::printf("         policies: %lld PC1 (%.0f%%), %lld PC3 (%.0f%%)\n",
+              static_cast<long long>(total_pc1),
+              100.0 * static_cast<double>(total_pc1) /
+                  static_cast<double>(total_pc1 + total_pc3),
+              static_cast<long long>(total_pc3),
+              100.0 * static_cast<double>(total_pc3) /
+                  static_cast<double>(total_pc1 + total_pc3));
+  return 0;
+}

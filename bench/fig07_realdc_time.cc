@@ -1,0 +1,101 @@
+// Figure 7: time to compute repairs for the data center networks,
+// maxsmt-all-tcs versus maxsmt-per-dst.
+//
+// Paper findings this bench reproduces in shape: per-dst is one to two
+// orders of magnitude faster; most per-dst repairs finish in under a minute;
+// a large share of all-tcs runs hit the time limit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "verify/checker.h"
+#include "workload/datacenter.h"
+
+int main() {
+  cpr::BenchConfig config;
+  std::printf(
+      "=== Figure 7: repair time, all-tcs vs per-dst (%d networks, scale %.2f, "
+      "timeout %.0fs, %d threads) ===\n",
+      config.networks, config.scale, config.timeout, config.threads);
+  std::printf("%-8s %-8s %-8s %-10s %-12s %-14s %-12s\n", "network", "routers",
+              "policies", "violated", "perdst(s)", "alltcs(s)", "speedup");
+
+  std::vector<double> perdst_times;
+  std::vector<double> alltcs_times;
+  int alltcs_timeouts = 0;
+  int perdst_under_minute = 0;
+  int completed = 0;
+
+  for (int i = 0; i < config.networks; ++i) {
+    cpr::DatacenterNetwork network =
+        cpr::GenerateDatacenterNetwork(i, 2017, config.scale);
+    cpr::Cpr broken = cpr::MustBuildCpr(network.broken_configs, network.annotations);
+    int violated =
+        static_cast<int>(cpr::FindViolations(broken.harc(), network.policies).size());
+
+    cpr::CprOptions options;
+    options.validate_with_simulator = false;
+    options.repair.timeout_seconds = config.timeout;
+    options.repair.num_threads = config.threads;
+
+    options.repair.granularity = cpr::Granularity::kPerDst;
+    cpr::WallTimer perdst_timer;
+    cpr::Result<cpr::CprReport> perdst = broken.Repair(network.policies, options);
+    double perdst_time = perdst_timer.Seconds();
+
+    options.repair.granularity = cpr::Granularity::kAllTcs;
+    options.repair.num_threads = 1;  // One problem; no parallelism to exploit.
+    cpr::WallTimer alltcs_timer;
+    cpr::Result<cpr::CprReport> alltcs = broken.Repair(network.policies, options);
+    double alltcs_time = alltcs_timer.Seconds();
+
+    bool alltcs_timed_out =
+        alltcs.ok() && alltcs.value().status == cpr::RepairStatus::kTimeout;
+    if (alltcs_timed_out) {
+      ++alltcs_timeouts;
+    }
+    perdst_times.push_back(perdst_time);
+    if (!alltcs_timed_out) {
+      alltcs_times.push_back(alltcs_time);
+    }
+    if (perdst_time < 60.0) {
+      ++perdst_under_minute;
+    }
+    ++completed;
+
+    char alltcs_text[32];
+    if (alltcs_timed_out) {
+      std::snprintf(alltcs_text, sizeof(alltcs_text), ">%.0f (timeout)", config.timeout);
+    } else {
+      std::snprintf(alltcs_text, sizeof(alltcs_text), "%.3f", alltcs_time);
+    }
+    char speedup_text[32];
+    if (alltcs_timed_out) {
+      std::snprintf(speedup_text, sizeof(speedup_text), ">=%.1fx",
+                    config.timeout / std::max(1e-9, perdst_time));
+    } else {
+      std::snprintf(speedup_text, sizeof(speedup_text), "%.1fx",
+                    alltcs_time / std::max(1e-9, perdst_time));
+    }
+    std::printf("%-8d %-8d %-8zu %-10d %-12.3f %-14s %-12s\n", i, network.router_count,
+                network.policies.size(), violated, perdst_time, alltcs_text,
+                speedup_text);
+  }
+
+  std::printf("\nsummary over %d networks:\n", completed);
+  std::printf("  per-dst:  median %.3fs, p90 %.3fs, max %.3fs, under-a-minute %.0f%% "
+              "(paper: 98%% with 10-way parallelism)\n",
+              cpr::Percentile(perdst_times, 0.5), cpr::Percentile(perdst_times, 0.9),
+              cpr::Percentile(perdst_times, 1.0),
+              100.0 * perdst_under_minute / std::max(1, completed));
+  std::printf("  all-tcs:  median %.3fs (completed runs), timeouts %d/%d "
+              "(paper: 30%% hit the 8h limit)\n",
+              cpr::Percentile(alltcs_times, 0.5), alltcs_timeouts, completed);
+  if (!alltcs_times.empty()) {
+    std::printf("  shape check: all-tcs median / per-dst median = %.1fx "
+                "(paper: 1-2 orders of magnitude)\n",
+                cpr::Percentile(alltcs_times, 0.5) /
+                    std::max(1e-9, cpr::Percentile(perdst_times, 0.5)));
+  }
+  return 0;
+}

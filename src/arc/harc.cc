@@ -1,0 +1,418 @@
+#include "arc/harc.h"
+
+#include <cassert>
+
+namespace cpr {
+
+namespace {
+
+// The distribute-list (route filter) configured on a routing process, if
+// any.
+const DistributeList* ProcessDistributeList(const Network& network, ProcessId process) {
+  const RoutingProcess& proc = network.processes()[static_cast<size_t>(process)];
+  const Config& config = network.config_for(proc.device);
+  switch (proc.kind) {
+    case RouteSource::kOspf: {
+      const OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+      return ospf != nullptr && ospf->distribute_list.has_value() ? &*ospf->distribute_list
+                                                                  : nullptr;
+    }
+    case RouteSource::kBgp:
+      return config.bgp.has_value() && config.bgp->distribute_list.has_value()
+                 ? &*config.bgp->distribute_list
+                 : nullptr;
+    case RouteSource::kRip:
+      return config.rip.has_value() && config.rip->distribute_list.has_value()
+                 ? &*config.rip->distribute_list
+                 : nullptr;
+    case RouteSource::kConnected:
+    case RouteSource::kStatic:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+// Link interface names oriented so `.first` is on `egress_device`.
+std::pair<std::string, std::string> OrientLink(const TopoLink& link, DeviceId egress_device) {
+  if (link.device_a == egress_device) {
+    return {link.interface_a, link.interface_b};
+  }
+  assert(link.device_b == egress_device);
+  return {link.interface_b, link.interface_a};
+}
+
+bool OspfInterfacePassive(const Network& network, ProcessId process,
+                          const std::string& interface) {
+  const RoutingProcess& proc = network.processes()[static_cast<size_t>(process)];
+  const Config& config = network.config_for(proc.device);
+  const OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+  return ospf != nullptr && ospf->passive_interfaces.count(interface) > 0;
+}
+
+bool BgpSessionConfigured(const Network& network, ProcessId from, DeviceId to_device,
+                          const std::string& to_interface, int to_asn) {
+  const RoutingProcess& proc = network.processes()[static_cast<size_t>(from)];
+  const Config& config = network.config_for(proc.device);
+  if (!config.bgp.has_value()) {
+    return false;
+  }
+  const InterfaceConfig* peer_intf = network.config_for(to_device).FindInterface(to_interface);
+  if (peer_intf == nullptr || !peer_intf->address.has_value()) {
+    return false;
+  }
+  for (const BgpNeighbor& neighbor : config.bgp->neighbors) {
+    if (neighbor.ip == peer_intf->address->ip && neighbor.remote_as == to_asn) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Whether an ACL named `acl_name` (applied on some interface) blocks `tc`.
+bool AclBlocks(const Config& config, const std::optional<std::string>& acl_name,
+               const TrafficClass& tc) {
+  if (!acl_name.has_value()) {
+    return false;
+  }
+  const AccessList* acl = config.FindAccessList(*acl_name);
+  if (acl == nullptr) {
+    return false;  // Referencing an undefined ACL permits all traffic (IOS).
+  }
+  return !acl->Permits(tc);
+}
+
+}  // namespace
+
+bool ProcessBlocksDestination(const Network& network, ProcessId process,
+                              const Ipv4Prefix& destination) {
+  const DistributeList* dist_list = ProcessDistributeList(network, process);
+  if (dist_list == nullptr) {
+    return false;
+  }
+  const RoutingProcess& proc = network.processes()[static_cast<size_t>(process)];
+  const PrefixList* prefix_list =
+      network.config_for(proc.device).FindPrefixList(dist_list->prefix_list);
+  if (prefix_list == nullptr) {
+    return false;  // Undefined prefix list: no filtering.
+  }
+  return !prefix_list->Permits(destination);
+}
+
+bool AdjacencyConfigured(const Network& network, const CandidateEdge& edge) {
+  assert(edge.kind == EtgEdgeKind::kInterDevice);
+  if (!edge.adjacency_realizable) {
+    return false;
+  }
+  const RoutingProcess& from_proc =
+      network.processes()[static_cast<size_t>(edge.from_process)];
+  const RoutingProcess& to_proc = network.processes()[static_cast<size_t>(edge.to_process)];
+  const TopoLink& link = network.links()[static_cast<size_t>(edge.link)];
+  auto [egress_intf, ingress_intf] = OrientLink(link, edge.device);
+  switch (from_proc.kind) {
+    case RouteSource::kOspf:
+      return network.ProcessUsesInterface(edge.from_process, egress_intf) &&
+             network.ProcessUsesInterface(edge.to_process, ingress_intf) &&
+             !OspfInterfacePassive(network, edge.from_process, egress_intf) &&
+             !OspfInterfacePassive(network, edge.to_process, ingress_intf);
+    case RouteSource::kRip:
+      return network.ProcessUsesInterface(edge.from_process, egress_intf) &&
+             network.ProcessUsesInterface(edge.to_process, ingress_intf);
+    case RouteSource::kBgp: {
+      DeviceId to_device = to_proc.device;
+      DeviceId from_device = from_proc.device;
+      return BgpSessionConfigured(network, edge.from_process, to_device, ingress_intf,
+                                  to_proc.protocol_id) &&
+             BgpSessionConfigured(network, edge.to_process, from_device, egress_intf,
+                                  from_proc.protocol_id);
+    }
+    case RouteSource::kConnected:
+    case RouteSource::kStatic:
+      return false;
+  }
+  return false;
+}
+
+bool RedistributionConfigured(const Network& network, const CandidateEdge& edge) {
+  assert(edge.kind == EtgEdgeKind::kRedistribution);
+  // `from_process` (whose I vertex the edge leaves) is the process that
+  // advertises the routes, i.e. the one configured with `redistribute`.
+  const RoutingProcess& redistributing =
+      network.processes()[static_cast<size_t>(edge.from_process)];
+  const RoutingProcess& source = network.processes()[static_cast<size_t>(edge.to_process)];
+  const Config& config = network.config_for(redistributing.device);
+  const std::vector<Redistribution>* redists = nullptr;
+  switch (redistributing.kind) {
+    case RouteSource::kOspf: {
+      const OspfConfig* ospf = config.FindOspf(redistributing.protocol_id);
+      if (ospf == nullptr) {
+        return false;
+      }
+      redists = &ospf->redistributes;
+      break;
+    }
+    case RouteSource::kBgp:
+      if (!config.bgp.has_value()) {
+        return false;
+      }
+      redists = &config.bgp->redistributes;
+      break;
+    case RouteSource::kRip:
+      if (!config.rip.has_value()) {
+        return false;
+      }
+      redists = &config.rip->redistributes;
+      break;
+    case RouteSource::kConnected:
+    case RouteSource::kStatic:
+      return false;
+  }
+  for (const Redistribution& redist : *redists) {
+    if (redist.from == source.kind &&
+        (redist.from == RouteSource::kRip || redist.process_id == source.protocol_id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LinkAclBlocks(const Network& network, LinkId link_id, DeviceId egress_device,
+                   const TrafficClass& tc) {
+  const TopoLink& link = network.links()[static_cast<size_t>(link_id)];
+  auto [egress_intf, ingress_intf] = OrientLink(link, egress_device);
+  DeviceId ingress_device = link.device_a == egress_device ? link.device_b : link.device_a;
+  const Config& egress_config = network.config_for(egress_device);
+  const Config& ingress_config = network.config_for(ingress_device);
+  const InterfaceConfig* out_intf = egress_config.FindInterface(egress_intf);
+  const InterfaceConfig* in_intf = ingress_config.FindInterface(ingress_intf);
+  return (out_intf != nullptr && AclBlocks(egress_config, out_intf->acl_out, tc)) ||
+         (in_intf != nullptr && AclBlocks(ingress_config, in_intf->acl_in, tc));
+}
+
+bool EndpointAclBlocks(const Network& network, SubnetId subnet_id, bool src_side,
+                       const TrafficClass& tc) {
+  const Subnet& subnet = network.subnets()[static_cast<size_t>(subnet_id)];
+  const Config& config = network.config_for(subnet.device);
+  const InterfaceConfig* intf = config.FindInterface(subnet.interface);
+  if (intf == nullptr) {
+    return false;
+  }
+  return AclBlocks(config, src_side ? intf->acl_in : intf->acl_out, tc);
+}
+
+bool StaticRouteConfigured(const Network& network, DeviceId device, LinkId link,
+                           const Ipv4Prefix& dst) {
+  const Config& config = network.config_for(device);
+  for (const StaticRouteConfig& route : config.static_routes) {
+    if (!route.prefix.Contains(dst)) {
+      continue;
+    }
+    auto next_hop = network.ResolveNextHop(device, route.next_hop);
+    if (next_hop.has_value() && next_hop->link == link) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Harc Harc::Build(const Network& network) {
+  Harc harc;
+  harc.universe_ = std::make_shared<const EtgUniverse>(EtgUniverse::Build(network));
+  const EtgUniverse& universe = *harc.universe_;
+  const int subnet_count = static_cast<int>(network.subnets().size());
+
+  // ---- aETG: adjacencies and redistribution (applies to everything). ----
+  harc.aetg_ = Etg(&universe);
+  for (int e = 0; e < universe.EdgeCount(); ++e) {
+    const CandidateEdge& edge = universe.edge(e);
+    switch (edge.kind) {
+      case EtgEdgeKind::kIntraSelf:
+      case EtgEdgeKind::kEndpointSrc:
+      case EtgEdgeKind::kEndpointDst:
+        harc.aetg_.SetPresent(e, true);
+        break;
+      case EtgEdgeKind::kRedistribution:
+        harc.aetg_.SetPresent(e, RedistributionConfigured(network, edge));
+        break;
+      case EtgEdgeKind::kInterDevice:
+        harc.aetg_.SetPresent(e, AdjacencyConfigured(network, edge));
+        break;
+    }
+  }
+
+  // ---- dETGs: plus route filters and static routes (per destination). ----
+  harc.detgs_.reserve(static_cast<size_t>(subnet_count));
+  for (SubnetId d = 0; d < subnet_count; ++d) {
+    const Subnet& dst = network.subnets()[static_cast<size_t>(d)];
+    Etg detg = harc.aetg_;
+
+    // Processes whose route filter blocks this destination lose all route
+    // exchange (Algorithm 1 lines 4-5, 7, 12).
+    std::vector<bool> blocked(network.processes().size(), false);
+    for (size_t p = 0; p < network.processes().size(); ++p) {
+      blocked[p] = ProcessBlocksDestination(network, static_cast<ProcessId>(p), dst.prefix);
+    }
+    for (int e = 0; e < universe.EdgeCount(); ++e) {
+      const CandidateEdge& edge = universe.edge(e);
+      if (edge.kind == EtgEdgeKind::kInterDevice ||
+          edge.kind == EtgEdgeKind::kRedistribution) {
+        if (blocked[static_cast<size_t>(edge.from_process)] ||
+            blocked[static_cast<size_t>(edge.to_process)]) {
+          detg.SetPresent(e, false);
+        }
+      }
+      // Destination-scoped endpoint trimming: a dETG routes *to* d from any
+      // source, so only d's delivery edges and other subnets' source edges
+      // remain.
+      if (edge.kind == EtgEdgeKind::kEndpointDst && edge.subnet != d) {
+        detg.SetPresent(e, false);
+      }
+      if (edge.kind == EtgEdgeKind::kEndpointSrc && edge.subnet == d) {
+        detg.SetPresent(e, false);
+      }
+    }
+
+    // Static routes covering this destination add inter-device edges from
+    // every process on the configuring device toward the next hop
+    // (Figure 4). Their weight is the route's administrative distance so a
+    // backup static route (AD > 110) loses to protocol-computed paths in
+    // shortest-path queries, as in the paper's Figure 2d repair.
+    for (size_t dev = 0; dev < network.devices().size(); ++dev) {
+      const Config& config = network.configs()[dev];
+      for (const StaticRouteConfig& route : config.static_routes) {
+        if (!route.prefix.Contains(dst.prefix)) {
+          continue;
+        }
+        auto next_hop = network.ResolveNextHop(static_cast<DeviceId>(dev), route.next_hop);
+        if (!next_hop.has_value()) {
+          continue;  // Unresolvable next hop: route is inert.
+        }
+        for (int e = 0; e < universe.EdgeCount(); ++e) {
+          const CandidateEdge& edge = universe.edge(e);
+          if (edge.kind == EtgEdgeKind::kInterDevice && edge.link == next_hop->link &&
+              edge.device == static_cast<DeviceId>(dev)) {
+            if (!detg.IsPresent(e)) {
+              detg.SetPresent(e, true);
+              detg.SetWeight(e, route.distance);
+            }
+          }
+        }
+      }
+    }
+
+    harc.detgs_.push_back(std::move(detg));
+  }
+
+  // ---- tcETGs: plus ACLs (per traffic class). ----
+  harc.tcetgs_.assign(static_cast<size_t>(subnet_count) * static_cast<size_t>(subnet_count),
+                      Etg());
+  for (SubnetId s = 0; s < subnet_count; ++s) {
+    for (SubnetId d = 0; d < subnet_count; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix,
+                            network.subnets()[static_cast<size_t>(d)].prefix);
+      Etg tcetg = harc.detgs_[static_cast<size_t>(d)];
+      for (int e = 0; e < universe.EdgeCount(); ++e) {
+        if (!tcetg.IsPresent(e)) {
+          continue;
+        }
+        const CandidateEdge& edge = universe.edge(e);
+        switch (edge.kind) {
+          case EtgEdgeKind::kInterDevice: {
+            const TopoLink& link = network.links()[static_cast<size_t>(edge.link)];
+            auto [egress_intf, ingress_intf] = OrientLink(link, edge.device);
+            DeviceId ingress_device =
+                link.device_a == edge.device ? link.device_b : link.device_a;
+            const Config& egress_config = network.config_for(edge.device);
+            const Config& ingress_config = network.config_for(ingress_device);
+            const InterfaceConfig* out_intf = egress_config.FindInterface(egress_intf);
+            const InterfaceConfig* in_intf = ingress_config.FindInterface(ingress_intf);
+            if ((out_intf != nullptr && AclBlocks(egress_config, out_intf->acl_out, tc)) ||
+                (in_intf != nullptr && AclBlocks(ingress_config, in_intf->acl_in, tc))) {
+              tcetg.SetPresent(e, false);
+            }
+            break;
+          }
+          case EtgEdgeKind::kEndpointSrc: {
+            if (edge.subnet != s) {
+              tcetg.SetPresent(e, false);
+              break;
+            }
+            const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+            const Config& config = network.config_for(subnet.device);
+            const InterfaceConfig* intf = config.FindInterface(subnet.interface);
+            if (intf != nullptr && AclBlocks(config, intf->acl_in, tc)) {
+              tcetg.SetPresent(e, false);
+            }
+            break;
+          }
+          case EtgEdgeKind::kEndpointDst: {
+            const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+            const Config& config = network.config_for(subnet.device);
+            const InterfaceConfig* intf = config.FindInterface(subnet.interface);
+            if (intf != nullptr && AclBlocks(config, intf->acl_out, tc)) {
+              tcetg.SetPresent(e, false);
+            }
+            break;
+          }
+          case EtgEdgeKind::kIntraSelf:
+          case EtgEdgeKind::kRedistribution:
+            break;
+        }
+      }
+      harc.tcetgs_[harc.TcIndex(s, d)] = std::move(tcetg);
+    }
+  }
+
+  return harc;
+}
+
+Status Harc::CheckHierarchy() const {
+  const EtgUniverse& universe = *universe_;
+  const int subnet_count = SubnetCount();
+  for (SubnetId d = 0; d < subnet_count; ++d) {
+    const Etg& detg = detgs_[static_cast<size_t>(d)];
+    for (int e = 0; e < universe.EdgeCount(); ++e) {
+      if (detg.IsPresent(e) && !aetg_.IsPresent(e) &&
+          universe.edge(e).kind != EtgEdgeKind::kInterDevice) {
+        return Error("dETG " + std::to_string(d) + " edge " + std::to_string(e) +
+                     " is absent from the aETG and not static-route-realizable");
+      }
+    }
+    for (SubnetId s = 0; s < subnet_count; ++s) {
+      if (s == d) {
+        continue;
+      }
+      const Etg& tcetg = tcetgs_[TcIndex(s, d)];
+      for (int e = 0; e < universe.EdgeCount(); ++e) {
+        if (tcetg.IsPresent(e) && !detg.IsPresent(e)) {
+          return Error("tcETG (" + std::to_string(s) + "," + std::to_string(d) + ") edge " +
+                       std::to_string(e) + " violates the tcETG<=dETG hierarchy");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Harc::ApplyWeightOverride(CandidateEdgeId edge, double weight) {
+  aetg_.SetWeight(edge, weight);
+  for (Etg& detg : detgs_) {
+    detg.SetWeight(edge, weight);
+  }
+  const int subnet_count = SubnetCount();
+  for (SubnetId s = 0; s < subnet_count; ++s) {
+    for (SubnetId d = 0; d < subnet_count; ++d) {
+      if (s != d) {
+        tcetgs_[TcIndex(s, d)].SetWeight(edge, weight);
+      }
+    }
+  }
+}
+
+bool Harc::IsStaticRouteEdge(SubnetId dst, CandidateEdgeId edge) const {
+  return detgs_[static_cast<size_t>(dst)].IsPresent(edge) && !aetg_.IsPresent(edge);
+}
+
+}  // namespace cpr

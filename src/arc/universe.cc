@@ -1,0 +1,155 @@
+#include "arc/universe.h"
+
+#include <cassert>
+
+namespace cpr {
+
+namespace {
+
+int64_t EdgeKey(VertexId from, VertexId to) {
+  return (static_cast<int64_t>(from) << 32) | static_cast<uint32_t>(to);
+}
+
+}  // namespace
+
+EtgUniverse EtgUniverse::Build(const Network& network) {
+  EtgUniverse universe;
+  universe.network_ = &network;
+  universe.vertex_count_ = 2 * static_cast<int>(network.processes().size()) +
+                           static_cast<int>(network.subnets().size());
+
+  auto add_edge = [&universe](CandidateEdge edge) {
+    CandidateEdgeId id = static_cast<CandidateEdgeId>(universe.edges_.size());
+    universe.edge_index_[EdgeKey(edge.from, edge.to)] = id;
+    universe.edges_.push_back(edge);
+  };
+
+  const auto& processes = network.processes();
+  const auto& devices = network.devices();
+
+  // Intra-device self edges and candidate redistribution edges.
+  for (size_t d = 0; d < devices.size(); ++d) {
+    const Device& device = devices[d];
+    for (ProcessId p : device.processes) {
+      CandidateEdge self;
+      self.from = universe.ProcessIn(p);
+      self.to = universe.ProcessOut(p);
+      self.kind = EtgEdgeKind::kIntraSelf;
+      self.from_process = p;
+      self.to_process = p;
+      self.device = static_cast<DeviceId>(d);
+      add_edge(self);
+    }
+    for (ProcessId p_in : device.processes) {
+      for (ProcessId p_out : device.processes) {
+        if (p_in == p_out) {
+          continue;
+        }
+        // procI of the redistributing process -> procO of the process whose
+        // routes it redistributes (see Algorithm 1 line 8).
+        CandidateEdge redist;
+        redist.from = universe.ProcessIn(p_in);
+        redist.to = universe.ProcessOut(p_out);
+        redist.kind = EtgEdgeKind::kRedistribution;
+        redist.from_process = p_in;
+        redist.to_process = p_out;
+        redist.device = static_cast<DeviceId>(d);
+        add_edge(redist);
+      }
+    }
+  }
+
+  // Inter-device candidates: each link direction x (egress process, ingress
+  // process).
+  const auto& links = network.links();
+  for (size_t l = 0; l < links.size(); ++l) {
+    const TopoLink& link = links[l];
+    struct Direction {
+      DeviceId from_device;
+      std::string from_interface;
+      DeviceId to_device;
+    };
+    const Direction directions[2] = {
+        {link.device_a, link.interface_a, link.device_b},
+        {link.device_b, link.interface_b, link.device_a},
+    };
+    for (const Direction& dir : directions) {
+      const Config& from_config = network.config_for(dir.from_device);
+      const InterfaceConfig* egress = from_config.FindInterface(dir.from_interface);
+      assert(egress != nullptr);
+      for (ProcessId p_from : devices[static_cast<size_t>(dir.from_device)].processes) {
+        for (ProcessId p_to : devices[static_cast<size_t>(dir.to_device)].processes) {
+          CandidateEdge inter;
+          inter.from = universe.ProcessOut(p_from);
+          inter.to = universe.ProcessIn(p_to);
+          inter.kind = EtgEdgeKind::kInterDevice;
+          inter.from_process = p_from;
+          inter.to_process = p_to;
+          inter.link = static_cast<LinkId>(l);
+          inter.device = dir.from_device;
+          inter.default_weight = egress->ospf_cost;
+          inter.waypoint = link.waypoint;
+          inter.adjacency_realizable =
+              processes[static_cast<size_t>(p_from)].kind ==
+              processes[static_cast<size_t>(p_to)].kind;
+          add_edge(inter);
+        }
+      }
+    }
+  }
+
+  // Endpoint edges: subnet -> procO and procI -> subnet on the attached
+  // device.
+  const auto& subnets = network.subnets();
+  for (size_t s = 0; s < subnets.size(); ++s) {
+    const Subnet& subnet = subnets[s];
+    for (ProcessId p : devices[static_cast<size_t>(subnet.device)].processes) {
+      CandidateEdge src;
+      src.from = universe.SubnetVertex(static_cast<SubnetId>(s));
+      src.to = universe.ProcessOut(p);
+      src.kind = EtgEdgeKind::kEndpointSrc;
+      src.to_process = p;
+      src.subnet = static_cast<SubnetId>(s);
+      src.device = subnet.device;
+      add_edge(src);
+
+      CandidateEdge dst;
+      dst.from = universe.ProcessIn(p);
+      dst.to = universe.SubnetVertex(static_cast<SubnetId>(s));
+      dst.kind = EtgEdgeKind::kEndpointDst;
+      dst.from_process = p;
+      dst.subnet = static_cast<SubnetId>(s);
+      dst.device = subnet.device;
+      add_edge(dst);
+    }
+  }
+
+  return universe;
+}
+
+std::optional<CandidateEdgeId> EtgUniverse::FindEdge(VertexId from, VertexId to) const {
+  auto it = edge_index_.find(EdgeKey(from, to));
+  if (it == edge_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string EtgUniverse::VertexName(VertexId vertex) const {
+  const int process_vertices = 2 * static_cast<int>(network_->processes().size());
+  if (vertex < process_vertices) {
+    ProcessId p = vertex / 2;
+    const RoutingProcess& proc = network_->processes()[static_cast<size_t>(p)];
+    const Device& device = network_->devices()[static_cast<size_t>(proc.device)];
+    std::string name = device.name + "." + RouteSourceName(proc.kind);
+    if (proc.protocol_id != 0) {
+      name += std::to_string(proc.protocol_id);
+    }
+    name += (vertex % 2 == 0) ? ".in" : ".out";
+    return name;
+  }
+  SubnetId s = vertex - process_vertices;
+  return "net:" + network_->subnets()[static_cast<size_t>(s)].prefix.ToString();
+}
+
+}  // namespace cpr

@@ -1,0 +1,127 @@
+#include "config/ast.h"
+
+namespace cpr {
+
+bool AclEntry::Matches(const TrafficClass& tc) const {
+  if (src.has_value() && !src->Contains(tc.src())) {
+    return false;
+  }
+  if (dst.has_value() && !dst->Contains(tc.dst())) {
+    return false;
+  }
+  return true;
+}
+
+bool AccessList::Permits(const TrafficClass& tc) const {
+  for (const AclEntry& entry : entries) {
+    if (entry.Matches(tc)) {
+      return entry.permit;
+    }
+  }
+  return false;  // Implicit deny.
+}
+
+bool PrefixListEntry::Matches(const Ipv4Prefix& candidate) const {
+  if (le32) {
+    return prefix.Contains(candidate);
+  }
+  return prefix == candidate;
+}
+
+bool PrefixList::Permits(const Ipv4Prefix& candidate) const {
+  for (const PrefixListEntry& entry : entries) {
+    if (entry.Matches(candidate)) {
+      return entry.permit;
+    }
+  }
+  return false;  // Implicit deny.
+}
+
+std::string RouteSourceName(RouteSource source) {
+  switch (source) {
+    case RouteSource::kConnected:
+      return "connected";
+    case RouteSource::kStatic:
+      return "static";
+    case RouteSource::kOspf:
+      return "ospf";
+    case RouteSource::kBgp:
+      return "bgp";
+    case RouteSource::kRip:
+      return "rip";
+  }
+  return "unknown";
+}
+
+const InterfaceConfig* Config::FindInterface(const std::string& name) const {
+  for (const InterfaceConfig& intf : interfaces) {
+    if (intf.name == name) {
+      return &intf;
+    }
+  }
+  return nullptr;
+}
+
+InterfaceConfig* Config::FindInterface(const std::string& name) {
+  for (InterfaceConfig& intf : interfaces) {
+    if (intf.name == name) {
+      return &intf;
+    }
+  }
+  return nullptr;
+}
+
+const InterfaceConfig* Config::FindInterfaceByAddress(Ipv4Address ip) const {
+  for (const InterfaceConfig& intf : interfaces) {
+    if (intf.address.has_value() && intf.address->ip == ip) {
+      return &intf;
+    }
+  }
+  return nullptr;
+}
+
+const OspfConfig* Config::FindOspf(int process_id) const {
+  for (const OspfConfig& ospf : ospf_processes) {
+    if (ospf.process_id == process_id) {
+      return &ospf;
+    }
+  }
+  return nullptr;
+}
+
+OspfConfig* Config::FindOspf(int process_id) {
+  for (OspfConfig& ospf : ospf_processes) {
+    if (ospf.process_id == process_id) {
+      return &ospf;
+    }
+  }
+  return nullptr;
+}
+
+const AccessList* Config::FindAccessList(const std::string& name) const {
+  auto it = access_lists.find(name);
+  return it == access_lists.end() ? nullptr : &it->second;
+}
+
+const PrefixList* Config::FindPrefixList(const std::string& name) const {
+  auto it = prefix_lists.find(name);
+  return it == prefix_lists.end() ? nullptr : &it->second;
+}
+
+std::vector<const InterfaceConfig*> Config::OspfInterfaces(const OspfConfig& process) const {
+  std::vector<const InterfaceConfig*> out;
+  for (const InterfaceConfig& intf : interfaces) {
+    if (intf.shutdown || !intf.address.has_value()) {
+      continue;
+    }
+    for (const Ipv4Prefix& network : process.networks) {
+      if (network.Contains(intf.address->ip)) {
+        out.push_back(&intf);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr

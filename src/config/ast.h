@@ -1,0 +1,231 @@
+// Router configuration model.
+//
+// CPR's configuration language is a Cisco-IOS-like subset covering exactly
+// the constructs ARC/HARC model (paper §9): interfaces with addresses and
+// ACL applications, OSPF/BGP/RIP routing processes, routing adjacencies
+// (via `network` statements and passive interfaces), route filters
+// (prefix lists applied as distribute-lists), static routes with
+// administrative distance, and route redistribution.
+//
+// The model is the single source of truth: the parser produces it, the
+// printer emits canonical text from it (used to count "lines of
+// configuration changed"), the topology layer derives devices/links/subnets
+// from it, and the translator mutates it to apply repairs.
+
+#ifndef CPR_SRC_CONFIG_AST_H_
+#define CPR_SRC_CONFIG_AST_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/traffic_class.h"
+
+namespace cpr {
+
+// ---------------------------------------------------------------------------
+// Packet filters (ACLs)
+// ---------------------------------------------------------------------------
+
+// One `permit ip ...` / `deny ip ...` line in a named extended access list.
+// A nullopt prefix means `any`.
+struct AclEntry {
+  bool permit = true;
+  std::optional<Ipv4Prefix> src;
+  std::optional<Ipv4Prefix> dst;
+
+  // Whether this entry matches the traffic class (both endpoints contained).
+  bool Matches(const TrafficClass& tc) const;
+
+  bool operator==(const AclEntry&) const = default;
+};
+
+// `ip access-list extended NAME` with first-match-wins semantics and an
+// implicit trailing deny, matching IOS behaviour.
+struct AccessList {
+  std::string name;
+  std::vector<AclEntry> entries;
+
+  bool Permits(const TrafficClass& tc) const;
+
+  bool operator==(const AccessList&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Route filters (prefix lists)
+// ---------------------------------------------------------------------------
+
+// One `ip prefix-list NAME permit|deny A.B.C.D/len [le 32]` line. With
+// `le 32` the entry matches the prefix and anything more specific; without
+// it, only the exact prefix.
+struct PrefixListEntry {
+  bool permit = true;
+  Ipv4Prefix prefix;
+  bool le32 = false;
+
+  bool Matches(const Ipv4Prefix& candidate) const;
+
+  bool operator==(const PrefixListEntry&) const = default;
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+
+  // First-match-wins with implicit trailing deny.
+  bool Permits(const Ipv4Prefix& candidate) const;
+
+  bool operator==(const PrefixList&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Interfaces
+// ---------------------------------------------------------------------------
+
+struct InterfaceAddress {
+  Ipv4Address ip;
+  int prefix_length = 24;
+
+  // The connected subnet (host bits masked off).
+  Ipv4Prefix Prefix() const { return Ipv4Prefix(ip, prefix_length); }
+
+  bool operator==(const InterfaceAddress&) const = default;
+};
+
+struct InterfaceConfig {
+  std::string name;  // e.g. "Ethernet0/1"
+  std::string description;
+  std::optional<InterfaceAddress> address;
+  // Names of ACLs applied to traffic entering / exiting this interface.
+  std::optional<std::string> acl_in;
+  std::optional<std::string> acl_out;
+  // OSPF cost of the attached link as seen from this interface.
+  int ospf_cost = 1;
+  bool shutdown = false;
+
+  bool operator==(const InterfaceConfig&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Routing processes
+// ---------------------------------------------------------------------------
+
+enum class RouteSource {
+  kConnected,
+  kStatic,
+  kOspf,
+  kBgp,
+  kRip,
+};
+
+std::string RouteSourceName(RouteSource source);
+
+// `redistribute connected|static|ospf PID|bgp ASN|rip`
+struct Redistribution {
+  RouteSource from = RouteSource::kConnected;
+  // Process id / ASN for protocol sources; 0 for connected/static/rip.
+  int process_id = 0;
+
+  bool operator==(const Redistribution&) const = default;
+};
+
+// Route-filter application on a routing process: routes whose destination is
+// denied by the prefix list are not used/advertised by the process.
+struct DistributeList {
+  std::string prefix_list;
+
+  bool operator==(const DistributeList&) const = default;
+};
+
+struct OspfConfig {
+  int process_id = 1;
+  // Interfaces participate when their address falls in one of these ranges.
+  std::vector<Ipv4Prefix> networks;
+  // Interfaces over which no adjacency is formed (subnet still advertised).
+  std::set<std::string> passive_interfaces;
+  std::vector<Redistribution> redistributes;
+  std::optional<DistributeList> distribute_list;
+
+  bool operator==(const OspfConfig&) const = default;
+};
+
+struct BgpNeighbor {
+  Ipv4Address ip;
+  int remote_as = 0;
+
+  bool operator==(const BgpNeighbor&) const = default;
+};
+
+struct BgpConfig {
+  int asn = 1;
+  std::vector<BgpNeighbor> neighbors;
+  // Locally originated destinations.
+  std::vector<Ipv4Prefix> networks;
+  std::vector<Redistribution> redistributes;
+  std::optional<DistributeList> distribute_list;
+
+  bool operator==(const BgpConfig&) const = default;
+};
+
+struct RipConfig {
+  std::vector<Ipv4Prefix> networks;
+  std::vector<Redistribution> redistributes;
+  std::optional<DistributeList> distribute_list;
+
+  bool operator==(const RipConfig&) const = default;
+};
+
+// `ip route PREFIX NEXTHOP [distance]`. The administrative distance orders
+// the route against protocol-computed routes (static default 1; OSPF 110).
+struct StaticRouteConfig {
+  Ipv4Prefix prefix;
+  Ipv4Address next_hop;
+  int distance = 1;
+
+  bool operator==(const StaticRouteConfig&) const = default;
+};
+
+// Administrative distances used by the simulator's route selection.
+inline constexpr int kAdConnected = 0;
+inline constexpr int kAdStaticDefault = 1;
+inline constexpr int kAdBgp = 20;
+inline constexpr int kAdOspf = 110;
+inline constexpr int kAdRip = 120;
+
+// ---------------------------------------------------------------------------
+// Whole-router configuration
+// ---------------------------------------------------------------------------
+
+class Config {
+ public:
+  std::string hostname;
+  std::vector<InterfaceConfig> interfaces;
+  std::vector<OspfConfig> ospf_processes;
+  std::optional<BgpConfig> bgp;
+  std::optional<RipConfig> rip;
+  std::vector<StaticRouteConfig> static_routes;
+  std::map<std::string, AccessList> access_lists;
+  std::map<std::string, PrefixList> prefix_lists;
+
+  // Lookup helpers (nullptr when absent).
+  const InterfaceConfig* FindInterface(const std::string& name) const;
+  InterfaceConfig* FindInterface(const std::string& name);
+  const InterfaceConfig* FindInterfaceByAddress(Ipv4Address ip) const;
+  const OspfConfig* FindOspf(int process_id) const;
+  OspfConfig* FindOspf(int process_id);
+  const AccessList* FindAccessList(const std::string& name) const;
+  const PrefixList* FindPrefixList(const std::string& name) const;
+
+  // Interfaces participating in an OSPF process: up, addressed, and matching
+  // one of the process's `network` ranges.
+  std::vector<const InterfaceConfig*> OspfInterfaces(const OspfConfig& process) const;
+
+  bool operator==(const Config&) const = default;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CONFIG_AST_H_

@@ -1,0 +1,396 @@
+#include "config/parser.h"
+
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "netbase/string_util.h"
+
+namespace cpr {
+
+namespace {
+
+// What stanza the parser is currently inside.
+enum class Context {
+  kTopLevel,
+  kInterface,
+  kOspf,
+  kBgp,
+  kRip,
+  kAccessList,
+};
+
+class ConfigParser {
+ public:
+  explicit ConfigParser(std::string_view text) : text_(text) {}
+
+  Result<Config> Parse() {
+    int line_number = 0;
+    for (std::string_view raw_line : SplitLines(text_)) {
+      ++line_number;
+      std::string_view line = TrimWhitespace(raw_line);
+      if (line.empty() || line[0] == '!') {
+        continue;
+      }
+      Status status = ParseLine(line);
+      if (!status.ok()) {
+        return Error("line " + std::to_string(line_number) + ": " + status.error().message());
+      }
+    }
+    return std::move(config_);
+  }
+
+ private:
+  Status ParseLine(std::string_view line) {
+    std::vector<std::string_view> tokens = SplitTokens(line);
+    const std::string_view head = tokens[0];
+
+    // Stanza headers and unambiguous top-level commands reset the context.
+    if (head == "hostname") {
+      return ParseHostname(tokens);
+    }
+    if (head == "interface") {
+      return BeginInterface(tokens);
+    }
+    if (head == "router") {
+      return BeginRouter(tokens);
+    }
+    if (head == "ip" && tokens.size() >= 2 &&
+        (tokens[1] == "route" || tokens[1] == "prefix-list" || tokens[1] == "access-list")) {
+      context_ = Context::kTopLevel;
+      if (tokens[1] == "route") {
+        return ParseStaticRoute(tokens);
+      }
+      if (tokens[1] == "prefix-list") {
+        return ParsePrefixListLine(tokens);
+      }
+      return BeginAccessList(tokens);
+    }
+
+    switch (context_) {
+      case Context::kInterface:
+        return ParseInterfaceLine(tokens);
+      case Context::kOspf:
+        return ParseOspfLine(tokens);
+      case Context::kBgp:
+        return ParseBgpLine(tokens);
+      case Context::kRip:
+        return ParseRipLine(tokens);
+      case Context::kAccessList:
+        return ParseAclLine(tokens);
+      case Context::kTopLevel:
+        break;
+    }
+    return Error("unrecognized top-level command: " + std::string(line));
+  }
+
+  Status ParseHostname(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() != 2) {
+      return Error("hostname expects one argument");
+    }
+    config_.hostname = std::string(tokens[1]);
+    context_ = Context::kTopLevel;
+    return Status::Ok();
+  }
+
+  Status BeginInterface(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() != 2) {
+      return Error("interface expects a name");
+    }
+    InterfaceConfig intf;
+    intf.name = std::string(tokens[1]);
+    config_.interfaces.push_back(std::move(intf));
+    context_ = Context::kInterface;
+    return Status::Ok();
+  }
+
+  Status BeginRouter(const std::vector<std::string_view>& tokens) {
+    if (tokens.size() < 2) {
+      return Error("router expects a protocol");
+    }
+    if (tokens[1] == "ospf") {
+      int pid = 1;
+      if (tokens.size() >= 3 && !ParseInt(tokens[2], &pid)) {
+        return Error("malformed OSPF process id");
+      }
+      OspfConfig ospf;
+      ospf.process_id = pid;
+      config_.ospf_processes.push_back(std::move(ospf));
+      context_ = Context::kOspf;
+      return Status::Ok();
+    }
+    if (tokens[1] == "bgp") {
+      int asn = 1;
+      if (tokens.size() >= 3 && !ParseInt(tokens[2], &asn)) {
+        return Error("malformed BGP ASN");
+      }
+      config_.bgp.emplace();
+      config_.bgp->asn = asn;
+      context_ = Context::kBgp;
+      return Status::Ok();
+    }
+    if (tokens[1] == "rip") {
+      config_.rip.emplace();
+      context_ = Context::kRip;
+      return Status::Ok();
+    }
+    return Error("unknown routing protocol: " + std::string(tokens[1]));
+  }
+
+  Status BeginAccessList(const std::vector<std::string_view>& tokens) {
+    // ip access-list extended NAME
+    if (tokens.size() != 4 || tokens[2] != "extended") {
+      return Error("expected: ip access-list extended NAME");
+    }
+    current_acl_ = std::string(tokens[3]);
+    config_.access_lists[current_acl_].name = current_acl_;
+    context_ = Context::kAccessList;
+    return Status::Ok();
+  }
+
+  Status ParseInterfaceLine(const std::vector<std::string_view>& tokens) {
+    InterfaceConfig& intf = config_.interfaces.back();
+    if (tokens[0] == "description") {
+      std::vector<std::string> words;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        words.emplace_back(tokens[i]);
+      }
+      intf.description = JoinStrings(words, " ");
+      return Status::Ok();
+    }
+    if (tokens[0] == "shutdown") {
+      intf.shutdown = true;
+      return Status::Ok();
+    }
+    if (tokens[0] == "ip" && tokens.size() >= 3 && tokens[1] == "address") {
+      Result<Ipv4Prefix> parsed = Ipv4Prefix::Parse(tokens[2]);
+      if (!parsed.ok()) {
+        return parsed.error();
+      }
+      // Keep the host address (Prefix::Parse masks it off), so re-parse the
+      // address part separately.
+      size_t slash = tokens[2].find('/');
+      Result<Ipv4Address> ip = Ipv4Address::Parse(tokens[2].substr(0, slash));
+      if (!ip.ok()) {
+        return ip.error();
+      }
+      intf.address = InterfaceAddress{*ip, parsed->length()};
+      return Status::Ok();
+    }
+    if (tokens[0] == "ip" && tokens.size() == 4 && tokens[1] == "access-group") {
+      if (tokens[3] == "in") {
+        intf.acl_in = std::string(tokens[2]);
+      } else if (tokens[3] == "out") {
+        intf.acl_out = std::string(tokens[2]);
+      } else {
+        return Error("access-group direction must be in|out");
+      }
+      return Status::Ok();
+    }
+    if (tokens[0] == "ip" && tokens.size() == 4 && tokens[1] == "ospf" && tokens[2] == "cost") {
+      if (!ParseInt(tokens[3], &intf.ospf_cost) || intf.ospf_cost <= 0) {
+        return Error("malformed ospf cost");
+      }
+      return Status::Ok();
+    }
+    return Error("unrecognized interface command");
+  }
+
+  Status ParseNetworkStatement(const std::vector<std::string_view>& tokens,
+                               std::vector<Ipv4Prefix>* networks) {
+    // network A.B.C.D/len [area N]
+    if (tokens.size() < 2) {
+      return Error("network expects a prefix");
+    }
+    Result<Ipv4Prefix> prefix = Ipv4Prefix::Parse(tokens[1]);
+    if (!prefix.ok()) {
+      return prefix.error();
+    }
+    networks->push_back(*prefix);
+    return Status::Ok();
+  }
+
+  Status ParseRedistribute(const std::vector<std::string_view>& tokens,
+                           std::vector<Redistribution>* redistributes) {
+    if (tokens.size() < 2) {
+      return Error("redistribute expects a source");
+    }
+    Redistribution redist;
+    if (tokens[1] == "connected") {
+      redist.from = RouteSource::kConnected;
+    } else if (tokens[1] == "static") {
+      redist.from = RouteSource::kStatic;
+    } else if (tokens[1] == "rip") {
+      redist.from = RouteSource::kRip;
+    } else if (tokens[1] == "ospf" || tokens[1] == "bgp") {
+      redist.from = tokens[1] == "ospf" ? RouteSource::kOspf : RouteSource::kBgp;
+      if (tokens.size() < 3 || !ParseInt(tokens[2], &redist.process_id)) {
+        return Error("redistribute " + std::string(tokens[1]) + " expects a process id");
+      }
+    } else {
+      return Error("unknown redistribute source: " + std::string(tokens[1]));
+    }
+    redistributes->push_back(redist);
+    return Status::Ok();
+  }
+
+  Status ParseDistributeList(const std::vector<std::string_view>& tokens,
+                             std::optional<DistributeList>* dist_list) {
+    // distribute-list prefix NAME
+    if (tokens.size() != 3 || tokens[1] != "prefix") {
+      return Error("expected: distribute-list prefix NAME");
+    }
+    *dist_list = DistributeList{std::string(tokens[2])};
+    return Status::Ok();
+  }
+
+  Status ParseOspfLine(const std::vector<std::string_view>& tokens) {
+    OspfConfig& ospf = config_.ospf_processes.back();
+    if (tokens[0] == "network") {
+      return ParseNetworkStatement(tokens, &ospf.networks);
+    }
+    if (tokens[0] == "passive-interface" && tokens.size() == 2) {
+      ospf.passive_interfaces.insert(std::string(tokens[1]));
+      return Status::Ok();
+    }
+    if (tokens[0] == "redistribute") {
+      return ParseRedistribute(tokens, &ospf.redistributes);
+    }
+    if (tokens[0] == "distribute-list") {
+      return ParseDistributeList(tokens, &ospf.distribute_list);
+    }
+    return Error("unrecognized OSPF command");
+  }
+
+  Status ParseBgpLine(const std::vector<std::string_view>& tokens) {
+    BgpConfig& bgp = *config_.bgp;
+    if (tokens[0] == "neighbor" && tokens.size() == 4 && tokens[2] == "remote-as") {
+      Result<Ipv4Address> ip = Ipv4Address::Parse(tokens[1]);
+      if (!ip.ok()) {
+        return ip.error();
+      }
+      BgpNeighbor neighbor;
+      neighbor.ip = *ip;
+      if (!ParseInt(tokens[3], &neighbor.remote_as)) {
+        return Error("malformed remote-as");
+      }
+      bgp.neighbors.push_back(neighbor);
+      return Status::Ok();
+    }
+    if (tokens[0] == "network") {
+      return ParseNetworkStatement(tokens, &bgp.networks);
+    }
+    if (tokens[0] == "redistribute") {
+      return ParseRedistribute(tokens, &bgp.redistributes);
+    }
+    if (tokens[0] == "distribute-list") {
+      return ParseDistributeList(tokens, &bgp.distribute_list);
+    }
+    return Error("unrecognized BGP command");
+  }
+
+  Status ParseRipLine(const std::vector<std::string_view>& tokens) {
+    RipConfig& rip = *config_.rip;
+    if (tokens[0] == "network") {
+      return ParseNetworkStatement(tokens, &rip.networks);
+    }
+    if (tokens[0] == "redistribute") {
+      return ParseRedistribute(tokens, &rip.redistributes);
+    }
+    if (tokens[0] == "distribute-list") {
+      return ParseDistributeList(tokens, &rip.distribute_list);
+    }
+    return Error("unrecognized RIP command");
+  }
+
+  Status ParseAclLine(const std::vector<std::string_view>& tokens) {
+    // permit|deny ip SRC DST where SRC/DST is `any` or a prefix.
+    if (tokens.size() != 4 || tokens[1] != "ip" ||
+        (tokens[0] != "permit" && tokens[0] != "deny")) {
+      return Error("expected: permit|deny ip SRC DST");
+    }
+    AclEntry entry;
+    entry.permit = tokens[0] == "permit";
+    if (tokens[2] != "any") {
+      Result<Ipv4Prefix> src = Ipv4Prefix::Parse(tokens[2]);
+      if (!src.ok()) {
+        return src.error();
+      }
+      entry.src = *src;
+    }
+    if (tokens[3] != "any") {
+      Result<Ipv4Prefix> dst = Ipv4Prefix::Parse(tokens[3]);
+      if (!dst.ok()) {
+        return dst.error();
+      }
+      entry.dst = *dst;
+    }
+    config_.access_lists[current_acl_].entries.push_back(entry);
+    return Status::Ok();
+  }
+
+  Status ParsePrefixListLine(const std::vector<std::string_view>& tokens) {
+    // ip prefix-list NAME permit|deny PFX [le 32]
+    if (tokens.size() < 5 || (tokens[3] != "permit" && tokens[3] != "deny")) {
+      return Error("expected: ip prefix-list NAME permit|deny PREFIX [le 32]");
+    }
+    PrefixListEntry entry;
+    entry.permit = tokens[3] == "permit";
+    Result<Ipv4Prefix> prefix = Ipv4Prefix::Parse(tokens[4]);
+    if (!prefix.ok()) {
+      return prefix.error();
+    }
+    entry.prefix = *prefix;
+    if (tokens.size() == 7 && tokens[5] == "le" && tokens[6] == "32") {
+      entry.le32 = true;
+    } else if (tokens.size() != 5) {
+      return Error("trailing tokens in prefix-list entry");
+    }
+    std::string name(tokens[2]);
+    config_.prefix_lists[name].name = name;
+    config_.prefix_lists[name].entries.push_back(entry);
+    return Status::Ok();
+  }
+
+  Status ParseStaticRoute(const std::vector<std::string_view>& tokens) {
+    // ip route PREFIX NEXTHOP [distance]
+    if (tokens.size() < 4) {
+      return Error("expected: ip route PREFIX NEXTHOP [distance]");
+    }
+    StaticRouteConfig route;
+    Result<Ipv4Prefix> prefix = Ipv4Prefix::Parse(tokens[2]);
+    if (!prefix.ok()) {
+      return prefix.error();
+    }
+    route.prefix = *prefix;
+    Result<Ipv4Address> next_hop = Ipv4Address::Parse(tokens[3]);
+    if (!next_hop.ok()) {
+      return next_hop.error();
+    }
+    route.next_hop = *next_hop;
+    if (tokens.size() >= 5) {
+      if (!ParseInt(tokens[4], &route.distance) || route.distance < 1 ||
+          route.distance > 255) {
+        return Error("malformed administrative distance");
+      }
+    }
+    config_.static_routes.push_back(route);
+    return Status::Ok();
+  }
+
+  static bool ParseInt(std::string_view text, int* out) {
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+    return ec == std::errc() && ptr == text.data() + text.size();
+  }
+
+  std::string_view text_;
+  Config config_;
+  Context context_ = Context::kTopLevel;
+  std::string current_acl_;
+};
+
+}  // namespace
+
+Result<Config> ParseConfig(std::string_view text) { return ConfigParser(text).Parse(); }
+
+}  // namespace cpr

@@ -1,0 +1,26 @@
+// Parser for the CPR configuration language (Cisco-IOS-like).
+//
+// The language is line-oriented: a stanza header (`interface ...`,
+// `router ospf ...`, `ip access-list extended ...`) opens a context and
+// subsequent lines configure that context until the next stanza header or
+// top-level command. `!` and blank lines are separators. See
+// config/printer.h for the canonical form the printer emits; the parser
+// accepts that form plus leading indentation.
+
+#ifndef CPR_SRC_CONFIG_PARSER_H_
+#define CPR_SRC_CONFIG_PARSER_H_
+
+#include <string_view>
+
+#include "config/ast.h"
+#include "netbase/result.h"
+
+namespace cpr {
+
+// Parses one router's configuration. Errors carry the offending line number
+// and text.
+Result<Config> ParseConfig(std::string_view text);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CONFIG_PARSER_H_

@@ -1,0 +1,129 @@
+#include "config/printer.h"
+
+#include <sstream>
+
+namespace cpr {
+
+namespace {
+
+std::string PrefixOrAny(const std::optional<Ipv4Prefix>& prefix) {
+  return prefix.has_value() ? prefix->ToString() : "any";
+}
+
+void PrintRedistributes(std::ostringstream* out, const std::vector<Redistribution>& redists) {
+  for (const Redistribution& redist : redists) {
+    *out << " redistribute " << RouteSourceName(redist.from);
+    if (redist.from == RouteSource::kOspf || redist.from == RouteSource::kBgp) {
+      *out << " " << redist.process_id;
+    }
+    *out << "\n";
+  }
+}
+
+void PrintDistributeList(std::ostringstream* out,
+                         const std::optional<DistributeList>& dist_list) {
+  if (dist_list.has_value()) {
+    *out << " distribute-list prefix " << dist_list->prefix_list << "\n";
+  }
+}
+
+}  // namespace
+
+std::string PrintConfig(const Config& config) {
+  std::ostringstream out;
+  out << "hostname " << config.hostname << "\n";
+
+  for (const InterfaceConfig& intf : config.interfaces) {
+    out << "!\n";
+    out << "interface " << intf.name << "\n";
+    if (!intf.description.empty()) {
+      out << " description " << intf.description << "\n";
+    }
+    if (intf.shutdown) {
+      out << " shutdown\n";
+    }
+    if (intf.address.has_value()) {
+      out << " ip address " << intf.address->ip.ToString() << "/" << intf.address->prefix_length
+          << "\n";
+    }
+    if (intf.ospf_cost != 1) {
+      out << " ip ospf cost " << intf.ospf_cost << "\n";
+    }
+    if (intf.acl_in.has_value()) {
+      out << " ip access-group " << *intf.acl_in << " in\n";
+    }
+    if (intf.acl_out.has_value()) {
+      out << " ip access-group " << *intf.acl_out << " out\n";
+    }
+  }
+
+  for (const auto& [name, acl] : config.access_lists) {
+    out << "!\n";
+    out << "ip access-list extended " << name << "\n";
+    for (const AclEntry& entry : acl.entries) {
+      out << " " << (entry.permit ? "permit" : "deny") << " ip " << PrefixOrAny(entry.src)
+          << " " << PrefixOrAny(entry.dst) << "\n";
+    }
+  }
+
+  for (const auto& [name, prefix_list] : config.prefix_lists) {
+    out << "!\n";
+    for (const PrefixListEntry& entry : prefix_list.entries) {
+      out << "ip prefix-list " << name << " " << (entry.permit ? "permit" : "deny") << " "
+          << entry.prefix.ToString();
+      if (entry.le32) {
+        out << " le 32";
+      }
+      out << "\n";
+    }
+  }
+
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    out << "!\n";
+    out << "router ospf " << ospf.process_id << "\n";
+    PrintRedistributes(&out, ospf.redistributes);
+    for (const std::string& passive : ospf.passive_interfaces) {
+      out << " passive-interface " << passive << "\n";
+    }
+    for (const Ipv4Prefix& network : ospf.networks) {
+      out << " network " << network.ToString() << " area 0\n";
+    }
+    PrintDistributeList(&out, ospf.distribute_list);
+  }
+
+  if (config.bgp.has_value()) {
+    out << "!\n";
+    out << "router bgp " << config.bgp->asn << "\n";
+    for (const BgpNeighbor& neighbor : config.bgp->neighbors) {
+      out << " neighbor " << neighbor.ip.ToString() << " remote-as " << neighbor.remote_as
+          << "\n";
+    }
+    for (const Ipv4Prefix& network : config.bgp->networks) {
+      out << " network " << network.ToString() << "\n";
+    }
+    PrintRedistributes(&out, config.bgp->redistributes);
+    PrintDistributeList(&out, config.bgp->distribute_list);
+  }
+
+  if (config.rip.has_value()) {
+    out << "!\n";
+    out << "router rip\n";
+    for (const Ipv4Prefix& network : config.rip->networks) {
+      out << " network " << network.ToString() << "\n";
+    }
+    PrintRedistributes(&out, config.rip->redistributes);
+    PrintDistributeList(&out, config.rip->distribute_list);
+  }
+
+  for (const StaticRouteConfig& route : config.static_routes) {
+    out << "ip route " << route.prefix.ToString() << " " << route.next_hop.ToString();
+    if (route.distance != 1) {
+      out << " " << route.distance;
+    }
+    out << "\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace cpr

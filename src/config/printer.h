@@ -1,0 +1,25 @@
+// Canonical printer for Config.
+//
+// The printer defines *the* textual form of a configuration: "lines of
+// configuration changed" (the paper's minimality metric, Figures 9 and 11b)
+// is measured by diffing printed text before and after a repair, so the
+// output is deterministic — stanzas and entries appear in model order, maps
+// in key order, with IOS-style single-space indentation for stanza bodies.
+
+#ifndef CPR_SRC_CONFIG_PRINTER_H_
+#define CPR_SRC_CONFIG_PRINTER_H_
+
+#include <string>
+
+#include "config/ast.h"
+
+namespace cpr {
+
+std::string PrintConfig(const Config& config);
+
+// Round-trip property used by tests: ParseConfig(PrintConfig(c)) == c for
+// every well-formed c.
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CONFIG_PRINTER_H_

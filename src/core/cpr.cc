@@ -1,0 +1,99 @@
+#include "core/cpr.h"
+
+#include "config/parser.h"
+#include "simulate/simulator.h"
+#include "verify/checker.h"
+
+namespace cpr {
+
+Result<Cpr> Cpr::FromConfigTexts(const std::vector<std::string>& texts,
+                                 NetworkAnnotations annotations) {
+  std::vector<Config> configs;
+  configs.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    Result<Config> parsed = ParseConfig(texts[i]);
+    if (!parsed.ok()) {
+      return Error("config " + std::to_string(i) + ": " + parsed.error().message());
+    }
+    configs.push_back(std::move(parsed).value());
+  }
+  return FromConfigs(std::move(configs), std::move(annotations));
+}
+
+Result<Cpr> Cpr::FromConfigs(std::vector<Config> configs, NetworkAnnotations annotations) {
+  Result<Network> network = Network::Build(std::move(configs), std::move(annotations));
+  if (!network.ok()) {
+    return network.error();
+  }
+  return Cpr(std::make_unique<Network>(std::move(network).value()));
+}
+
+std::vector<Policy> Cpr::InferPolicies(const InferenceOptions& options) const {
+  return cpr::InferPolicies(harc_, options);
+}
+
+Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
+                              const CprOptions& options) const {
+  CprReport report;
+
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, policies, options.repair);
+  if (!outcome.ok()) {
+    return outcome.error();
+  }
+  report.status = outcome->status;
+  report.predicted_cost = outcome->predicted_cost;
+  report.stats = outcome->stats;
+  report.edits = outcome->edits;
+  if (!outcome->ok()) {
+    return report;  // kUnsat / kTimeout / kUnsupported: nothing to translate.
+  }
+
+  Result<TranslationResult> translation = TranslateEdits(*network_, outcome->edits);
+  if (!translation.ok()) {
+    return translation.error();
+  }
+  report.patched_configs = translation->patched_configs;
+  report.patched_annotations = translation->annotations;
+  report.change_log = translation->change_log;
+  report.diff_text = translation->DiffText(*network_);
+  report.lines_changed = translation->LinesChanged();
+
+  // Close the loop: rebuild the network and HARC from the patched
+  // configurations and re-check every policy.
+  Result<Network> rebuilt =
+      Network::Build(report.patched_configs, report.patched_annotations);
+  if (!rebuilt.ok()) {
+    return Error("patched configurations no longer form a valid network: " +
+                 rebuilt.error().message());
+  }
+  Harc rebuilt_harc = Harc::Build(*rebuilt);
+  report.residual_graph_violations = FindViolations(rebuilt_harc, policies);
+  if (options.validate_with_simulator) {
+    report.residual_simulation_violations =
+        FindSimulationViolations(*rebuilt, policies, options.simulator_failure_cap);
+  }
+
+  // Traffic classes impacted: tcETGs whose edge set changed (§8.3). The
+  // universes enumerate candidate edges identically because devices, links,
+  // subnets, and processes are unchanged by translation.
+  const int subnet_count = harc_.SubnetCount();
+  for (SubnetId s = 0; s < subnet_count; ++s) {
+    for (SubnetId d = 0; d < subnet_count; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const Etg& before = harc_.tcetg(s, d);
+      const Etg& after = rebuilt_harc.tcetg(s, d);
+      for (CandidateEdgeId e = 0; e < harc_.universe().EdgeCount(); ++e) {
+        if (before.IsPresent(e) != after.IsPresent(e)) {
+          ++report.traffic_classes_impacted;
+          break;
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace cpr

@@ -1,0 +1,96 @@
+// CPR — Control Plane Repair: the end-to-end pipeline (paper §3).
+//
+//   configurations ──parse──▶ Network ──Algorithm 1──▶ HARC
+//        ▲                                               │
+//        │                                     MaxSMT repair (§5)
+//        │                                               │
+//   patched configs ◀──translate (§6)── construct edits ─┘
+//
+// After translation the pipeline closes the loop the paper closes by
+// construction: it re-parses the patched configurations, rebuilds the HARC,
+// re-verifies every policy graph-theoretically, and (optionally) validates
+// them again on the control-plane simulator under failure enumeration.
+
+#ifndef CPR_SRC_CORE_CPR_H_
+#define CPR_SRC_CORE_CPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arc/harc.h"
+#include "netbase/result.h"
+#include "repair/repair.h"
+#include "topo/network.h"
+#include "translate/translator.h"
+#include "verify/inference.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+struct CprOptions {
+  RepairOptions repair;
+  // Re-check the repaired network on the control-plane simulator.
+  bool validate_with_simulator = true;
+  // Maximum simultaneous failures the simulator enumerates for PC1/PC2.
+  int simulator_failure_cap = 2;
+};
+
+struct CprReport {
+  RepairStatus status = RepairStatus::kSuccess;
+  // Construct-level changes and their configuration realization.
+  RepairEdits edits;
+  std::vector<Config> patched_configs;
+  NetworkAnnotations patched_annotations;
+  std::vector<std::string> change_log;
+  std::string diff_text;
+
+  // Metrics (the paper's evaluation measures).
+  int64_t predicted_cost = 0;       // MaxSMT objective (§5.2).
+  int lines_changed = 0;            // Measured via config diff (§8.3).
+  int traffic_classes_impacted = 0; // tcETGs whose edge set changed (§8.3).
+  RepairStats stats;
+
+  // Policies still violated after the repair — both must be empty for a
+  // sound repair.
+  std::vector<Policy> residual_graph_violations;
+  std::vector<Policy> residual_simulation_violations;
+
+  bool Sound() const {
+    return (status == RepairStatus::kSuccess || status == RepairStatus::kNoViolations) &&
+           residual_graph_violations.empty() && residual_simulation_violations.empty();
+  }
+};
+
+class Cpr {
+ public:
+  // Builds the pipeline from raw configuration texts.
+  static Result<Cpr> FromConfigTexts(const std::vector<std::string>& texts,
+                                     NetworkAnnotations annotations = {});
+  static Result<Cpr> FromConfigs(std::vector<Config> configs,
+                                 NetworkAnnotations annotations = {});
+
+  const Network& network() const { return *network_; }
+  const Harc& harc() const { return harc_; }
+
+  // Infers the PC1/PC3 policies the current configurations satisfy (§8).
+  std::vector<Policy> InferPolicies(const InferenceOptions& options = {}) const;
+
+  // Repairs the network to satisfy `policies`; returns the patched
+  // configurations, metrics, and residual-violation checks.
+  Result<CprReport> Repair(const std::vector<Policy>& policies,
+                           const CprOptions& options = {}) const;
+
+ private:
+  // The network lives behind a stable pointer: the HARC's universe refers to
+  // it, and Cpr itself must stay movable.
+  explicit Cpr(std::unique_ptr<Network> network)
+      : network_(std::move(network)), harc_(Harc::Build(*network_)) {}
+
+  std::unique_ptr<Network> network_;
+  Harc harc_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CORE_CPR_H_

@@ -1,0 +1,42 @@
+// Textual policy specification.
+//
+// Operators hand CPR a policy file next to their configuration directory:
+//
+//   # comments and blank lines are ignored
+//   waypoint-link B C                                  # firewall annotation
+//   always-blocked  10.2.0.0/16 -> 10.30.0.0/16        # PC1
+//   always-waypoint 10.2.0.0/16 -> 10.20.0.0/16        # PC2
+//   reachable       10.2.0.0/16 -> 10.20.0.0/16 k 2    # PC3
+//   primary-path    10.1.0.0/16 -> 10.20.0.0/16 via A B C   # PC4
+//
+// Annotations (waypoint-link) are extracted before the network is built —
+// they are inputs to topology construction — while policies resolve their
+// subnets and devices against the built network.
+
+#ifndef CPR_SRC_CORE_POLICY_SPEC_H_
+#define CPR_SRC_CORE_POLICY_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/result.h"
+#include "topo/network.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+// Phase 1: waypoint annotations (usable before the network exists).
+Result<NetworkAnnotations> ParseSpecAnnotations(std::string_view text);
+
+// Phase 2: policies, resolved against the network. Unknown subnets or
+// devices are errors carrying the line number.
+Result<std::vector<Policy>> ParseSpecPolicies(std::string_view text,
+                                              const Network& network);
+
+// Renders policies back into the specification format (inference output).
+std::string FormatPolicySpec(const std::vector<Policy>& policies, const Network& network);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CORE_POLICY_SPEC_H_

@@ -1,0 +1,62 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpr {
+
+VertexId Digraph::AddVertex() {
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return static_cast<VertexId>(out_edges_.size() - 1);
+}
+
+EdgeId Digraph::AddEdge(VertexId from, VertexId to, double weight) {
+  assert(from >= 0 && from < VertexCount());
+  assert(to >= 0 && to < VertexCount());
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(DigraphEdge{from, to, weight});
+  removed_.push_back(false);
+  out_edges_[static_cast<size_t>(from)].push_back(id);
+  in_edges_[static_cast<size_t>(to)].push_back(id);
+  return id;
+}
+
+void Digraph::RemoveEdge(EdgeId edge) { removed_[static_cast<size_t>(edge)] = true; }
+
+void Digraph::RestoreEdge(EdgeId edge) { removed_[static_cast<size_t>(edge)] = false; }
+
+int Digraph::ActiveEdgeCount() const {
+  return static_cast<int>(std::count(removed_.begin(), removed_.end(), false));
+}
+
+std::vector<EdgeId> Digraph::OutEdges(VertexId v) const {
+  std::vector<EdgeId> out;
+  for (EdgeId id : out_edges_[static_cast<size_t>(v)]) {
+    if (!removed_[static_cast<size_t>(id)]) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> Digraph::InEdges(VertexId v) const {
+  std::vector<EdgeId> in;
+  for (EdgeId id : in_edges_[static_cast<size_t>(v)]) {
+    if (!removed_[static_cast<size_t>(id)]) {
+      in.push_back(id);
+    }
+  }
+  return in;
+}
+
+std::optional<EdgeId> Digraph::FindEdge(VertexId from, VertexId to) const {
+  for (EdgeId id : out_edges_[static_cast<size_t>(from)]) {
+    if (!removed_[static_cast<size_t>(id)] && edges_[static_cast<size_t>(id)].to == to) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cpr

@@ -1,0 +1,74 @@
+// A compact directed graph with weighted edges.
+//
+// This is the substrate under ARC's extended topology graphs (ETGs): the
+// policy verifiers (src/verify) run shortest-path, reachability, and
+// max-flow queries over it, and the repair encoder enumerates its candidate
+// edges. Vertices and edges are dense integer ids so algorithm state lives
+// in flat vectors.
+
+#ifndef CPR_SRC_GRAPH_DIGRAPH_H_
+#define CPR_SRC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+using VertexId = int32_t;
+using EdgeId = int32_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct DigraphEdge {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  double weight = 1.0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int vertex_count) : out_edges_(vertex_count), in_edges_(vertex_count) {}
+
+  VertexId AddVertex();
+
+  // Adds a directed edge; parallel edges are allowed (an ETG never creates
+  // them, but flow algorithms build residual multigraphs).
+  EdgeId AddEdge(VertexId from, VertexId to, double weight = 1.0);
+
+  // Logically removes an edge: it stays allocated (ids remain stable) but is
+  // skipped by all traversals. Used to model link failures.
+  void RemoveEdge(EdgeId edge);
+  void RestoreEdge(EdgeId edge);
+  bool IsEdgeRemoved(EdgeId edge) const { return removed_[static_cast<size_t>(edge)]; }
+
+  int VertexCount() const { return static_cast<int>(out_edges_.size()); }
+  int EdgeCount() const { return static_cast<int>(edges_.size()); }
+  // Number of edges not logically removed.
+  int ActiveEdgeCount() const;
+
+  const DigraphEdge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+  void SetEdgeWeight(EdgeId id, double weight) {
+    edges_[static_cast<size_t>(id)].weight = weight;
+  }
+
+  // Active (non-removed) outgoing/incoming edge ids of a vertex.
+  std::vector<EdgeId> OutEdges(VertexId v) const;
+  std::vector<EdgeId> InEdges(VertexId v) const;
+
+  // Finds an active edge from `from` to `to`, if any.
+  std::optional<EdgeId> FindEdge(VertexId from, VertexId to) const;
+
+ private:
+  std::vector<DigraphEdge> edges_;
+  std::vector<bool> removed_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_GRAPH_DIGRAPH_H_

@@ -1,0 +1,186 @@
+#include "graph/max_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace cpr {
+
+namespace {
+
+// Residual arc: a forward copy of an original edge or its reverse.
+struct ResidualArc {
+  VertexId to = kInvalidVertex;
+  int capacity = 0;
+  EdgeId original = kInvalidEdge;  // kInvalidEdge for reverse arcs
+  size_t reverse_index = 0;        // Index of the paired arc in arcs[to].
+};
+
+class ResidualGraph {
+ public:
+  ResidualGraph(const Digraph& graph, const std::vector<int>& capacity)
+      : arcs_(static_cast<size_t>(graph.VertexCount())) {
+    for (EdgeId id = 0; id < graph.EdgeCount(); ++id) {
+      if (graph.IsEdgeRemoved(id)) {
+        continue;
+      }
+      const DigraphEdge& edge = graph.edge(id);
+      size_t fwd_index = arcs_[static_cast<size_t>(edge.from)].size();
+      size_t rev_index = arcs_[static_cast<size_t>(edge.to)].size();
+      arcs_[static_cast<size_t>(edge.from)].push_back(
+          ResidualArc{edge.to, capacity[static_cast<size_t>(id)], id, rev_index});
+      arcs_[static_cast<size_t>(edge.to)].push_back(
+          ResidualArc{edge.from, 0, kInvalidEdge, fwd_index});
+    }
+  }
+
+  // One BFS augmentation; returns the amount pushed (0 when no augmenting
+  // path remains).
+  int Augment(VertexId source, VertexId target) {
+    std::vector<std::pair<VertexId, size_t>> parent(arcs_.size(), {kInvalidVertex, 0});
+    std::vector<bool> seen(arcs_.size(), false);
+    std::deque<VertexId> frontier;
+    seen[static_cast<size_t>(source)] = true;
+    frontier.push_back(source);
+    while (!frontier.empty() && !seen[static_cast<size_t>(target)]) {
+      VertexId v = frontier.front();
+      frontier.pop_front();
+      const auto& out = arcs_[static_cast<size_t>(v)];
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i].capacity <= 0 || seen[static_cast<size_t>(out[i].to)]) {
+          continue;
+        }
+        seen[static_cast<size_t>(out[i].to)] = true;
+        parent[static_cast<size_t>(out[i].to)] = {v, i};
+        frontier.push_back(out[i].to);
+      }
+    }
+    if (!seen[static_cast<size_t>(target)]) {
+      return 0;
+    }
+    // Find the bottleneck, then push.
+    int bottleneck = kInfiniteCapacity;
+    for (VertexId v = target; v != source;) {
+      auto [pv, pi] = parent[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, arcs_[static_cast<size_t>(pv)][pi].capacity);
+      v = pv;
+    }
+    for (VertexId v = target; v != source;) {
+      auto [pv, pi] = parent[static_cast<size_t>(v)];
+      ResidualArc& arc = arcs_[static_cast<size_t>(pv)][pi];
+      arc.capacity -= bottleneck;
+      arcs_[static_cast<size_t>(arc.to)][arc.reverse_index].capacity += bottleneck;
+      v = pv;
+    }
+    return bottleneck;
+  }
+
+  // Vertices reachable from `source` in the residual graph (the source side
+  // of the min cut).
+  std::vector<bool> SourceSide(VertexId source) const {
+    std::vector<bool> seen(arcs_.size(), false);
+    std::deque<VertexId> frontier;
+    seen[static_cast<size_t>(source)] = true;
+    frontier.push_back(source);
+    while (!frontier.empty()) {
+      VertexId v = frontier.front();
+      frontier.pop_front();
+      for (const ResidualArc& arc : arcs_[static_cast<size_t>(v)]) {
+        if (arc.capacity > 0 && !seen[static_cast<size_t>(arc.to)]) {
+          seen[static_cast<size_t>(arc.to)] = true;
+          frontier.push_back(arc.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+  // Flow on each original edge = original capacity minus residual capacity.
+  std::vector<int> EdgeFlow(const Digraph& graph, const std::vector<int>& capacity) const {
+    std::vector<int> flow(static_cast<size_t>(graph.EdgeCount()), 0);
+    for (const auto& bucket : arcs_) {
+      for (const ResidualArc& arc : bucket) {
+        if (arc.original != kInvalidEdge) {
+          flow[static_cast<size_t>(arc.original)] =
+              capacity[static_cast<size_t>(arc.original)] - arc.capacity;
+        }
+      }
+    }
+    return flow;
+  }
+
+ private:
+  std::vector<std::vector<ResidualArc>> arcs_;
+};
+
+}  // namespace
+
+MaxFlowResult ComputeMaxFlow(const Digraph& graph, VertexId source, VertexId target,
+                             const std::vector<int>& capacity) {
+  assert(capacity.size() == static_cast<size_t>(graph.EdgeCount()));
+  MaxFlowResult result;
+  if (source == target) {
+    result.edge_flow.assign(static_cast<size_t>(graph.EdgeCount()), 0);
+    return result;
+  }
+  ResidualGraph residual(graph, capacity);
+  while (true) {
+    int pushed = residual.Augment(source, target);
+    if (pushed == 0) {
+      break;
+    }
+    result.value += pushed;
+  }
+  result.edge_flow = residual.EdgeFlow(graph, capacity);
+  std::vector<bool> source_side = residual.SourceSide(source);
+  for (EdgeId id = 0; id < graph.EdgeCount(); ++id) {
+    if (graph.IsEdgeRemoved(id)) {
+      continue;
+    }
+    const DigraphEdge& edge = graph.edge(id);
+    if (source_side[static_cast<size_t>(edge.from)] &&
+        !source_side[static_cast<size_t>(edge.to)] &&
+        capacity[static_cast<size_t>(id)] < kInfiniteCapacity) {
+      result.min_cut_edges.push_back(id);
+    }
+  }
+  return result;
+}
+
+MaxFlowResult ComputeUnitMaxFlow(const Digraph& graph, VertexId source, VertexId target) {
+  std::vector<int> capacity(static_cast<size_t>(graph.EdgeCount()), 1);
+  return ComputeMaxFlow(graph, source, target, capacity);
+}
+
+std::vector<std::vector<EdgeId>> DecomposeFlowPaths(const Digraph& graph, VertexId source,
+                                                    VertexId target,
+                                                    const MaxFlowResult& result) {
+  std::vector<int> remaining = result.edge_flow;
+  std::vector<std::vector<EdgeId>> paths;
+  for (int p = 0; p < result.value; ++p) {
+    std::vector<EdgeId> path;
+    VertexId v = source;
+    // Walk flow greedily; each step consumes one unit on some out-edge.
+    while (v != target) {
+      bool advanced = false;
+      for (EdgeId id : graph.OutEdges(v)) {
+        if (remaining[static_cast<size_t>(id)] > 0) {
+          remaining[static_cast<size_t>(id)] -= 1;
+          path.push_back(id);
+          v = graph.edge(id).to;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        break;  // Flow had a cycle not on a source->target path; abandon.
+      }
+    }
+    if (v == target) {
+      paths.push_back(std::move(path));
+    }
+  }
+  return paths;
+}
+
+}  // namespace cpr

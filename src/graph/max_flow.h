@@ -1,0 +1,49 @@
+// Edmonds-Karp max-flow / min-cut over a Digraph.
+//
+// ARC verifies "reachable under < k link failures" (PC3) by computing the
+// max-flow of the traffic class's ETG where every inter-device edge has
+// capacity 1 and intra-device edges are effectively uncapacitated; by
+// Menger's theorem the flow value equals the number of link-disjoint paths.
+// The min-cut side is used when repairing PC1/PC2 with graph algorithms and
+// in tests as the dual witness.
+
+#ifndef CPR_SRC_GRAPH_MAX_FLOW_H_
+#define CPR_SRC_GRAPH_MAX_FLOW_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cpr {
+
+// Capacity assigned to "uncapacitated" edges; large enough to never bind in
+// any graph CPR builds (ETGs have < 10^6 edges).
+inline constexpr int kInfiniteCapacity = 1 << 28;
+
+struct MaxFlowResult {
+  int value = 0;
+  // Flow carried by each edge id (0 for removed edges).
+  std::vector<int> edge_flow;
+  // Edges crossing the minimum s-t cut (from the source side to the sink
+  // side), restricted to edges with finite capacity.
+  std::vector<EdgeId> min_cut_edges;
+};
+
+// Computes max-flow from `source` to `target`. `capacity[e]` gives the
+// capacity of edge e; it must have size graph.EdgeCount().
+MaxFlowResult ComputeMaxFlow(const Digraph& graph, VertexId source, VertexId target,
+                             const std::vector<int>& capacity);
+
+// Convenience: capacity 1 on every active edge.
+MaxFlowResult ComputeUnitMaxFlow(const Digraph& graph, VertexId source, VertexId target);
+
+// Decomposes a flow into `result.value` source->target paths (each a
+// sequence of edge ids). Paths are edge-disjoint with respect to edges whose
+// flow is 1.
+std::vector<std::vector<EdgeId>> DecomposeFlowPaths(const Digraph& graph, VertexId source,
+                                                    VertexId target,
+                                                    const MaxFlowResult& result);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_GRAPH_MAX_FLOW_H_

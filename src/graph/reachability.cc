@@ -1,0 +1,61 @@
+#include "graph/reachability.h"
+
+#include <deque>
+
+namespace cpr {
+
+std::vector<VertexId> ReachableSet(const Digraph& graph, VertexId source,
+                                   const EdgeFilter& allow_edge) {
+  std::vector<bool> seen(static_cast<size_t>(graph.VertexCount()), false);
+  std::deque<VertexId> frontier;
+  std::vector<VertexId> out;
+  seen[static_cast<size_t>(source)] = true;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    out.push_back(v);
+    for (EdgeId id : graph.OutEdges(v)) {
+      if (allow_edge && !allow_edge(id)) {
+        continue;
+      }
+      VertexId to = graph.edge(id).to;
+      if (!seen[static_cast<size_t>(to)]) {
+        seen[static_cast<size_t>(to)] = true;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsReachable(const Digraph& graph, VertexId source, VertexId target,
+                 const EdgeFilter& allow_edge) {
+  if (source == target) {
+    return true;
+  }
+  std::vector<bool> seen(static_cast<size_t>(graph.VertexCount()), false);
+  std::deque<VertexId> frontier;
+  seen[static_cast<size_t>(source)] = true;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    for (EdgeId id : graph.OutEdges(v)) {
+      if (allow_edge && !allow_edge(id)) {
+        continue;
+      }
+      VertexId to = graph.edge(id).to;
+      if (to == target) {
+        return true;
+      }
+      if (!seen[static_cast<size_t>(to)]) {
+        seen[static_cast<size_t>(to)] = true;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace cpr

@@ -1,0 +1,30 @@
+// BFS reachability over a Digraph, with an edge filter hook.
+//
+// The PC1 verifier asks "is DST reachable from SRC at all"; the PC2 verifier
+// asks the same question on the subgraph without waypoint edges, which is
+// what the filter callback supports.
+
+#ifndef CPR_SRC_GRAPH_REACHABILITY_H_
+#define CPR_SRC_GRAPH_REACHABILITY_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cpr {
+
+// Every edge for which `allow_edge` returns false is treated as absent. A
+// null filter admits all active edges.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+bool IsReachable(const Digraph& graph, VertexId source, VertexId target,
+                 const EdgeFilter& allow_edge = nullptr);
+
+// All vertices reachable from `source` (including `source` itself).
+std::vector<VertexId> ReachableSet(const Digraph& graph, VertexId source,
+                                   const EdgeFilter& allow_edge = nullptr);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_GRAPH_REACHABILITY_H_

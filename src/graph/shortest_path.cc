@@ -1,0 +1,74 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cpr {
+
+ShortestPathTree DijkstraFrom(const Digraph& graph, VertexId source) {
+  const size_t n = static_cast<size_t>(graph.VertexCount());
+  ShortestPathTree tree;
+  tree.distance.assign(n, kUnreachable);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.distance[static_cast<size_t>(source)] = 0.0;
+
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  queue.push({0.0, source});
+
+  while (!queue.empty()) {
+    auto [dist, v] = queue.top();
+    queue.pop();
+    if (dist > tree.distance[static_cast<size_t>(v)]) {
+      continue;  // Stale entry.
+    }
+    for (EdgeId id : graph.OutEdges(v)) {
+      const DigraphEdge& edge = graph.edge(id);
+      double candidate = dist + edge.weight;
+      size_t to = static_cast<size_t>(edge.to);
+      if (candidate < tree.distance[to] ||
+          (candidate == tree.distance[to] && tree.parent_edge[to] != kInvalidEdge &&
+           id < tree.parent_edge[to])) {
+        tree.distance[to] = candidate;
+        tree.parent_edge[to] = id;
+        queue.push({candidate, edge.to});
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<EdgeId> ShortestPathEdges(const Digraph& graph, VertexId source, VertexId target) {
+  ShortestPathTree tree = DijkstraFrom(graph, source);
+  std::vector<EdgeId> path;
+  if (!tree.Reached(target) || source == target) {
+    return path;
+  }
+  VertexId v = target;
+  while (v != source) {
+    EdgeId id = tree.parent_edge[static_cast<size_t>(v)];
+    path.push_back(id);
+    v = graph.edge(id).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<VertexId> ShortestPathVertices(const Digraph& graph, VertexId source,
+                                           VertexId target) {
+  std::vector<EdgeId> edges = ShortestPathEdges(graph, source, target);
+  std::vector<VertexId> vertices;
+  if (edges.empty()) {
+    if (source == target) {
+      vertices.push_back(source);
+    }
+    return vertices;
+  }
+  vertices.push_back(source);
+  for (EdgeId id : edges) {
+    vertices.push_back(graph.edge(id).to);
+  }
+  return vertices;
+}
+
+}  // namespace cpr

@@ -1,0 +1,44 @@
+// Dijkstra shortest paths over a Digraph.
+//
+// Used by the PC4 verifier (is the shortest SRC->DST path exactly P?), by
+// the control-plane simulator (OSPF SPF), and by path-equivalence checks.
+
+#ifndef CPR_SRC_GRAPH_SHORTEST_PATH_H_
+#define CPR_SRC_GRAPH_SHORTEST_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cpr {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+  // Distance from the source; kUnreachable if no path.
+  std::vector<double> distance;
+  // Edge entering each vertex on a shortest path; kInvalidEdge at the source
+  // and at unreachable vertices.
+  std::vector<EdgeId> parent_edge;
+
+  bool Reached(VertexId v) const { return distance[static_cast<size_t>(v)] != kUnreachable; }
+};
+
+// Single-source shortest paths; all edge weights must be non-negative. Ties
+// are broken deterministically by preferring the lower predecessor edge id,
+// which keeps simulator output stable across runs.
+ShortestPathTree DijkstraFrom(const Digraph& graph, VertexId source);
+
+// The shortest source->target path as a sequence of edge ids, or empty if
+// target is unreachable (or equals source).
+std::vector<EdgeId> ShortestPathEdges(const Digraph& graph, VertexId source, VertexId target);
+
+// The same path as a vertex sequence [source, ..., target]; empty if
+// unreachable.
+std::vector<VertexId> ShortestPathVertices(const Digraph& graph, VertexId source,
+                                           VertexId target);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_GRAPH_SHORTEST_PATH_H_

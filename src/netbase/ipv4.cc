@@ -1,0 +1,113 @@
+#include "netbase/ipv4.h"
+
+#include <charconv>
+
+namespace cpr {
+
+namespace {
+
+// Parses one decimal octet from `text` starting at `pos`, advancing `pos`
+// past the digits. Returns -1 on malformed input.
+int ParseOctet(std::string_view text, size_t* pos) {
+  if (*pos >= text.size() || text[*pos] < '0' || text[*pos] > '9') {
+    return -1;
+  }
+  int value = 0;
+  size_t digits = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    value = value * 10 + (text[*pos] - '0');
+    ++*pos;
+    ++digits;
+    if (digits > 3 || value > 255) {
+      return -1;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  size_t pos = 0;
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') {
+        return Error("malformed IPv4 address: " + std::string(text));
+      }
+      ++pos;
+    }
+    int octet = ParseOctet(text, &pos);
+    if (octet < 0) {
+      return Error("malformed IPv4 address: " + std::string(text));
+    }
+    bits = (bits << 8) | static_cast<uint32_t>(octet);
+  }
+  if (pos != text.size()) {
+    return Error("trailing characters in IPv4 address: " + std::string(text));
+  }
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) {
+      out.push_back('.');
+    }
+    out += std::to_string((bits_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr uint32_t MaskForLength(int length) {
+  return length == 0 ? 0u : (~uint32_t{0} << (32 - length));
+}
+
+}  // namespace
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, int length)
+    : address_(address.bits() & MaskForLength(length)), length_(length) {}
+
+Result<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Error("prefix missing '/len': " + std::string(text));
+  }
+  Result<Ipv4Address> address = Ipv4Address::Parse(text.substr(0, slash));
+  if (!address.ok()) {
+    return address.error();
+  }
+  std::string_view len_text = text.substr(slash + 1);
+  int length = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size() || length < 0 ||
+      length > 32) {
+    return Error("malformed prefix length: " + std::string(text));
+  }
+  return Ipv4Prefix(*address, length);
+}
+
+Ipv4Address Ipv4Prefix::Netmask() const { return Ipv4Address(MaskForLength(length_)); }
+
+bool Ipv4Prefix::Contains(Ipv4Address address) const {
+  return (address.bits() & MaskForLength(length_)) == address_.bits();
+}
+
+bool Ipv4Prefix::Contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && Contains(other.address_);
+}
+
+bool Ipv4Prefix::Overlaps(const Ipv4Prefix& other) const {
+  return Contains(other) || other.Contains(*this);
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace cpr

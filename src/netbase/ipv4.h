@@ -1,0 +1,89 @@
+// IPv4 addresses and prefixes.
+//
+// These are the only address types the CPR configuration language and
+// topology layer use. Addresses are stored in host byte order so arithmetic
+// (mask application, containment) is plain integer math.
+
+#ifndef CPR_SRC_NETBASE_IPV4_H_
+#define CPR_SRC_NETBASE_IPV4_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "netbase/result.h"
+
+namespace cpr {
+
+// A single IPv4 address, e.g. 10.0.2.3.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) | uint32_t{d}) {}
+
+  // Parses dotted-quad notation ("10.0.2.3"). Rejects out-of-range octets,
+  // missing octets, and trailing garbage.
+  static Result<Ipv4Address> Parse(std::string_view text);
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  std::string ToString() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+// An IPv4 prefix in CIDR form, e.g. 10.20.0.0/16. The network bits below the
+// prefix length are kept zeroed (canonical form).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address address, int length);
+
+  // Parses "a.b.c.d/len". The host bits are masked off.
+  static Result<Ipv4Prefix> Parse(std::string_view text);
+
+  Ipv4Address address() const { return address_; }
+  int length() const { return length_; }
+
+  // The netmask corresponding to the prefix length (/16 -> 255.255.0.0).
+  Ipv4Address Netmask() const;
+
+  bool Contains(Ipv4Address address) const;
+  // True if `other` is equal to or more specific than this prefix.
+  bool Contains(const Ipv4Prefix& other) const;
+  // True if the two prefixes share any address.
+  bool Overlaps(const Ipv4Prefix& other) const;
+
+  std::string ToString() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+}  // namespace cpr
+
+template <>
+struct std::hash<cpr::Ipv4Address> {
+  size_t operator()(const cpr::Ipv4Address& a) const noexcept {
+    return std::hash<uint32_t>()(a.bits());
+  }
+};
+
+template <>
+struct std::hash<cpr::Ipv4Prefix> {
+  size_t operator()(const cpr::Ipv4Prefix& p) const noexcept {
+    return std::hash<uint64_t>()((uint64_t{p.address().bits()} << 8) | uint64_t(p.length()));
+  }
+};
+
+#endif  // CPR_SRC_NETBASE_IPV4_H_

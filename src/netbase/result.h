@@ -1,0 +1,93 @@
+// Lightweight expected-style error propagation used across the CPR libraries.
+//
+// Functions that can fail for reasons a caller is expected to handle (parse
+// errors, malformed inputs, solver timeouts) return Result<T>; programming
+// errors are asserted. The design intentionally avoids exceptions on hot
+// paths while staying interoperable with code (e.g. the Z3 C++ API) that
+// throws.
+
+#ifndef CPR_SRC_NETBASE_RESULT_H_
+#define CPR_SRC_NETBASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cpr {
+
+// Describes why an operation failed. Carries a human-readable message that
+// is surfaced verbatim in CLI tools and test failures.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+// Result<T> holds either a value of type T or an Error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return Error{...};` both
+  // work at function boundaries.
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Result<void> analogue for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static Status Ok() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_NETBASE_RESULT_H_

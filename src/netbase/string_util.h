@@ -1,0 +1,31 @@
+// Small string helpers shared by the configuration lexer/printer and the
+// bench harness. Kept dependency-free.
+
+#ifndef CPR_SRC_NETBASE_STRING_UTIL_H_
+#define CPR_SRC_NETBASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr {
+
+// Splits on any run of the characters in `delims`; never returns empty
+// pieces.
+std::vector<std::string_view> SplitTokens(std::string_view text,
+                                          std::string_view delims = " \t");
+
+// Splits into lines on '\n'; keeps empty lines (a config diff cares about
+// them).
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins `pieces` with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_NETBASE_STRING_UTIL_H_

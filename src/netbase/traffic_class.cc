@@ -1,0 +1,9 @@
+#include "netbase/traffic_class.h"
+
+namespace cpr {
+
+std::string TrafficClass::ToString() const {
+  return src_.ToString() + " -> " + dst_.ToString();
+}
+
+}  // namespace cpr

@@ -1,0 +1,48 @@
+// Traffic classes: the unit of policy in CPR.
+//
+// A traffic class is a (source subnet, destination subnet) pair; a policy
+// ("always blocked", "reachable under < k failures", ...) applies to one
+// traffic class. Distributed routing protocols compute paths per
+// *destination*, which is why CPR's HARC (src/arc) groups traffic classes by
+// destination.
+
+#ifndef CPR_SRC_NETBASE_TRAFFIC_CLASS_H_
+#define CPR_SRC_NETBASE_TRAFFIC_CLASS_H_
+
+#include <functional>
+#include <string>
+
+#include "netbase/ipv4.h"
+
+namespace cpr {
+
+class TrafficClass {
+ public:
+  TrafficClass() = default;
+  TrafficClass(Ipv4Prefix src, Ipv4Prefix dst) : src_(src), dst_(dst) {}
+
+  const Ipv4Prefix& src() const { return src_; }
+  const Ipv4Prefix& dst() const { return dst_; }
+
+  // "10.1.0.0/16 -> 10.2.0.0/16"
+  std::string ToString() const;
+
+  auto operator<=>(const TrafficClass&) const = default;
+
+ private:
+  Ipv4Prefix src_;
+  Ipv4Prefix dst_;
+};
+
+}  // namespace cpr
+
+template <>
+struct std::hash<cpr::TrafficClass> {
+  size_t operator()(const cpr::TrafficClass& tc) const noexcept {
+    size_t h1 = std::hash<cpr::Ipv4Prefix>()(tc.src());
+    size_t h2 = std::hash<cpr::Ipv4Prefix>()(tc.dst());
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+#endif  // CPR_SRC_NETBASE_TRAFFIC_CLASS_H_

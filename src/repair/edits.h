@@ -1,0 +1,100 @@
+// Construct-level repair edits.
+//
+// CPR's MaxSMT variables correspond one-to-one with configuration
+// constructs: a routing adjacency (per link and same-protocol process pair,
+// symmetric — protocols form adjacencies in both directions), a
+// redistribution (per ordered process pair on a device), a route filter
+// entry (per destination and process), a static route (per destination,
+// device, and outgoing link), an ACL application (per traffic class and
+// interface direction), an OSPF interface cost (per link direction), and a
+// waypoint placement (per link). A solved model therefore decodes into a
+// flat list of construct changes — the RepairEdits — which the translator
+// (src/translate) turns into configuration lines mechanically and exactly.
+
+#ifndef CPR_SRC_REPAIR_EDITS_H_
+#define CPR_SRC_REPAIR_EDITS_H_
+
+#include <vector>
+
+#include "topo/network.h"
+
+namespace cpr {
+
+struct AdjacencyEdit {
+  LinkId link = -1;
+  ProcessId process_a = -1;  // Normalized: process_a < process_b.
+  ProcessId process_b = -1;
+  bool enable = true;  // false: tear the adjacency down.
+};
+
+struct RedistributionEdit {
+  // The process that gains/loses a `redistribute` statement...
+  ProcessId redistributing = -1;
+  // ...naming this process's protocol as the source.
+  ProcessId source = -1;
+  bool enable = true;
+};
+
+struct FilterEdit {
+  SubnetId dst = -1;
+  ProcessId process = -1;
+  bool block = true;  // true: filter out routes to dst; false: stop filtering.
+};
+
+struct StaticRouteEdit {
+  SubnetId dst = -1;
+  DeviceId device = -1;
+  LinkId link = -1;  // Next hop is the neighbor across this link.
+  bool add = true;
+  // Administrative distance for added routes. Default 1 (primary): the
+  // device then always forwards via its own static, which keeps mutually
+  // redistributing repair statics from forming externals-preference loops.
+  // Problems carrying PC4 policies use 200 instead (backup, paper Figure 2d)
+  // so the repair cannot preempt the policy's primary path.
+  int distance = 1;
+};
+
+struct AclEdit {
+  SubnetId src = -1;
+  SubnetId dst = -1;
+  // Where the filter applies: on a router-router link (ingress side of the
+  // direction egressing `egress_device`), or on a host-facing interface.
+  enum class Where { kLink, kSubnetSrcSide, kSubnetDstSide };
+  Where where = Where::kLink;
+  LinkId link = -1;               // kLink
+  DeviceId egress_device = -1;    // kLink: direction selector
+  SubnetId endpoint_subnet = -1;  // kSubnet*
+  bool block = true;
+};
+
+struct CostEdit {
+  LinkId link = -1;
+  DeviceId egress_device = -1;
+  int old_cost = 1;
+  int new_cost = 1;
+};
+
+struct WaypointEdit {
+  LinkId link = -1;
+};
+
+struct RepairEdits {
+  std::vector<AdjacencyEdit> adjacencies;
+  std::vector<RedistributionEdit> redistributions;
+  std::vector<FilterEdit> filters;
+  std::vector<StaticRouteEdit> static_routes;
+  std::vector<AclEdit> acls;
+  std::vector<CostEdit> costs;
+  std::vector<WaypointEdit> waypoints;
+
+  int TotalChanges() const {
+    return static_cast<int>(adjacencies.size() + redistributions.size() + filters.size() +
+                            static_routes.size() + acls.size() + costs.size() +
+                            waypoints.size());
+  }
+  bool empty() const { return TotalChanges() == 0; }
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_REPAIR_EDITS_H_

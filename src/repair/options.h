@@ -1,0 +1,56 @@
+// Options controlling repair computation.
+
+#ifndef CPR_SRC_REPAIR_OPTIONS_H_
+#define CPR_SRC_REPAIR_OPTIONS_H_
+
+namespace cpr {
+
+// Which MaxSMT problem granularity to use (paper §5.3).
+//
+// kAllTcs builds one problem over every policied traffic class and leaves
+// the aETG mutable.
+//
+// kPerDst builds one problem per destination with a violated policy. The
+// aETG is held fixed in this mode: per-destination problems then commute
+// (static routes, route filters, and ACLs are destination- or
+// traffic-class-scoped), which is what makes solving them independently —
+// and in parallel — sound. Destinations carrying PC4 policies share edge
+// costs, so all of them are merged into a single problem (§5.3).
+enum class Granularity {
+  kAllTcs,
+  kPerDst,
+};
+
+enum class BackendChoice {
+  kZ3,        // Z3 Optimize; required when PC4 policies are present.
+  kInternal,  // Homegrown CDCL/MaxSAT; boolean-only policy sets.
+};
+
+// What the MaxSMT objective minimizes (paper §5.2: "Similar sets of
+// constraints can be constructed for other objectives such as minimal number
+// of devices changed").
+enum class MinimizeObjective {
+  kLines,    // Number of configuration lines changed (the paper's default).
+  kDevices,  // Number of devices touched first; lines changed as tiebreak.
+};
+
+struct RepairOptions {
+  Granularity granularity = Granularity::kPerDst;
+  BackendChoice backend = BackendChoice::kZ3;
+  MinimizeObjective objective = MinimizeObjective::kLines;
+  // Worker threads for per-dst problems (the paper runs 10 in parallel).
+  int num_threads = 1;
+  // Per-problem solver time limit; <= 0 means unbounded.
+  double timeout_seconds = 0;
+  // Whether repairs may place new waypoints on links (paper footnote 2:
+  // virtual network functions let waypoints be added on arbitrary links).
+  bool allow_waypoint_placement = true;
+  // Soft-constraint weight charged for placing a new waypoint.
+  int64_t waypoint_weight = 1;
+  // Upper bound for PC4 edge-cost variables.
+  int max_edge_cost = 64;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_REPAIR_OPTIONS_H_

@@ -1,0 +1,360 @@
+#include "repair/repair.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "verify/checker.h"
+
+namespace cpr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Collects the tcs/policies of the given destination set into a problem.
+// Isolation policies span two destinations; the partitioner guarantees both
+// land in the same set.
+RepairProblem MakeProblem(const std::vector<Policy>& policies,
+                          const std::set<SubnetId>& dsts, bool mutable_aetg) {
+  RepairProblem problem;
+  problem.dsts.assign(dsts.begin(), dsts.end());
+  problem.mutable_aetg = mutable_aetg;
+  std::set<std::pair<SubnetId, SubnetId>> tcs;
+  for (const Policy& policy : policies) {
+    if (policy.pc == PolicyClass::kIsolation) {
+      if (dsts.count(policy.dst) > 0 && dsts.count(policy.dst2) > 0) {
+        problem.policies.push_back(policy);
+        tcs.insert({policy.src, policy.dst});
+        tcs.insert({policy.src2, policy.dst2});
+      }
+      continue;
+    }
+    if (dsts.count(policy.dst) > 0) {
+      problem.policies.push_back(policy);
+      tcs.insert({policy.src, policy.dst});
+    }
+  }
+  problem.tcs.assign(tcs.begin(), tcs.end());
+  return problem;
+}
+
+// Minimal union-find over subnet ids, used to group destinations that must
+// be repaired together (shared PC4 costs, isolation pairs).
+class DstGroups {
+ public:
+  explicit DstGroups(int n) : parent_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) {
+      parent_[static_cast<size_t>(i)] = i;
+    }
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      x = parent_[static_cast<size_t>(x)] = parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<size_t>(Find(a))] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<RepairProblem> PartitionProblems(const Harc& harc,
+                                             const std::vector<Policy>& policies,
+                                             const RepairOptions& options) {
+  std::vector<RepairProblem> problems;
+  if (policies.empty()) {
+    return problems;
+  }
+  if (options.granularity == Granularity::kAllTcs) {
+    std::set<SubnetId> dsts;
+    for (const Policy& policy : policies) {
+      dsts.insert(policy.dst);
+    }
+    problems.push_back(MakeProblem(policies, dsts, /*mutable_aetg=*/true));
+    return problems;
+  }
+
+  // kPerDst: only destinations with a violated policy need repair, but
+  // destinations coupled by shared state must be solved together:
+  // PC4 policies share global edge costs (all their destinations form one
+  // group), and an isolation policy's two destinations constrain each other.
+  std::vector<Policy> violations = FindViolations(harc, policies);
+  std::set<SubnetId> violated_dsts;
+  for (const Policy& policy : violations) {
+    violated_dsts.insert(policy.dst);
+    if (policy.pc == PolicyClass::kIsolation) {
+      violated_dsts.insert(policy.dst2);
+    }
+  }
+
+  DstGroups groups(harc.SubnetCount());
+  std::optional<SubnetId> pc4_anchor;
+  for (const Policy& policy : policies) {
+    if (policy.pc == PolicyClass::kPrimaryPath) {
+      if (pc4_anchor.has_value()) {
+        groups.Union(policy.dst, *pc4_anchor);
+      } else {
+        pc4_anchor = policy.dst;
+      }
+    }
+    if (policy.pc == PolicyClass::kIsolation) {
+      groups.Union(policy.dst, policy.dst2);
+    }
+  }
+
+  // A group is repaired when any member destination has a violation; the
+  // PC4 group additionally pulls in all its members regardless.
+  std::map<int, std::set<SubnetId>> members;
+  for (const Policy& policy : policies) {
+    members[groups.Find(policy.dst)].insert(policy.dst);
+    if (policy.pc == PolicyClass::kIsolation) {
+      members[groups.Find(policy.dst2)].insert(policy.dst2);
+    }
+  }
+  for (const auto& [root, dsts] : members) {
+    bool needed = std::any_of(dsts.begin(), dsts.end(), [&](SubnetId d) {
+      return violated_dsts.count(d) > 0;
+    });
+    if (needed) {
+      problems.push_back(MakeProblem(policies, dsts, /*mutable_aetg=*/false));
+    }
+  }
+  return problems;
+}
+
+Result<RepairOutcome> ComputeRepair(const Harc& original,
+                                    const std::vector<Policy>& policies,
+                                    const RepairOptions& options) {
+  Clock::time_point wall_start = Clock::now();
+  RepairOutcome outcome;
+  outcome.repaired = original;
+
+  std::vector<RepairProblem> problems = PartitionProblems(original, policies, options);
+  std::set<SubnetId> policied_dsts;
+  for (const Policy& policy : policies) {
+    policied_dsts.insert(policy.dst);
+  }
+  outcome.stats.problems_formulated = static_cast<int>(problems.size());
+  outcome.stats.destinations_skipped =
+      static_cast<int>(policied_dsts.size()) -
+      static_cast<int>([&] {
+        std::set<SubnetId> covered;
+        for (const RepairProblem& p : problems) {
+          covered.insert(p.dsts.begin(), p.dsts.end());
+        }
+        return covered.size();
+      }());
+  if (problems.empty()) {
+    outcome.status = RepairStatus::kNoViolations;
+    outcome.stats.wall_seconds = Seconds(wall_start);
+    return outcome;
+  }
+
+  // Encode every problem.
+  Clock::time_point encode_start = Clock::now();
+  std::vector<std::unique_ptr<RepairEncoder>> encoders;
+  encoders.reserve(problems.size());
+  for (const RepairProblem& problem : problems) {
+    auto encoder = std::make_unique<RepairEncoder>(original, problem, options);
+    Status status = encoder->Encode();
+    if (!status.ok()) {
+      return status.error();
+    }
+    outcome.stats.bool_vars += encoder->system().BoolCount();
+    outcome.stats.hard_constraints += static_cast<int64_t>(encoder->system().hard().size());
+    outcome.stats.soft_constraints += static_cast<int64_t>(encoder->system().soft().size());
+    encoders.push_back(std::move(encoder));
+  }
+  outcome.stats.encode_seconds = Seconds(encode_start);
+
+  // Solve, optionally in parallel (each worker owns a backend instance; Z3
+  // contexts are created per call, so workers never share Z3 state).
+  std::vector<MaxSmtResult> models(problems.size());
+  std::vector<double> solve_times(problems.size(), 0.0);
+  std::atomic<size_t> next{0};
+  int worker_count =
+      std::max(1, std::min<int>(options.num_threads, static_cast<int>(problems.size())));
+  auto worker = [&]() {
+    std::unique_ptr<MaxSmtBackend> backend = options.backend == BackendChoice::kZ3
+                                                 ? MakeZ3Backend()
+                                                 : MakeInternalBackend();
+    while (true) {
+      size_t index = next.fetch_add(1);
+      if (index >= problems.size()) {
+        return;
+      }
+      Clock::time_point start = Clock::now();
+      models[index] = backend->Solve(encoders[index]->system(), options.timeout_seconds);
+      solve_times[index] = Seconds(start);
+    }
+  };
+  if (worker_count == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  for (double t : solve_times) {
+    outcome.stats.solve_seconds += t;
+  }
+
+  // Check solver statuses.
+  for (const MaxSmtResult& model : models) {
+    switch (model.status) {
+      case MaxSmtResult::Status::kOptimal:
+        break;
+      case MaxSmtResult::Status::kUnsat:
+        outcome.status = RepairStatus::kUnsat;
+        outcome.stats.wall_seconds = Seconds(wall_start);
+        return outcome;
+      case MaxSmtResult::Status::kTimeout:
+        outcome.status = RepairStatus::kTimeout;
+        outcome.stats.wall_seconds = Seconds(wall_start);
+        return outcome;
+      case MaxSmtResult::Status::kUnsupported:
+        outcome.status = RepairStatus::kUnsupported;
+        outcome.stats.wall_seconds = Seconds(wall_start);
+        return outcome;
+    }
+  }
+
+  // Merge models into the repaired HARC.
+  const EtgUniverse& universe = original.universe();
+  std::set<SubnetId> solved_dsts;
+  std::set<std::pair<SubnetId, SubnetId>> solved_tcs;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    const RepairProblem& problem = problems[i];
+    const RepairEncoder& encoder = *encoders[i];
+    const MaxSmtResult& model = models[i];
+    outcome.predicted_cost += model.cost;
+    if (problem.mutable_aetg) {
+      for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+        outcome.repaired.mutable_aetg().SetPresent(e, encoder.DecodeAll(model, e));
+      }
+    }
+    for (SubnetId dst : problem.dsts) {
+      solved_dsts.insert(dst);
+      for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+        outcome.repaired.mutable_detg(dst).SetPresent(e, encoder.DecodeDst(model, dst, e));
+      }
+    }
+    for (const auto& [src, dst] : problem.tcs) {
+      solved_tcs.insert({src, dst});
+      for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+        outcome.repaired.mutable_tcetg(src, dst).SetPresent(
+            e, encoder.DecodeTc(model, src, dst, e));
+      }
+    }
+    encoder.CollectEdits(model, &outcome.edits);
+  }
+
+  // Propagate changes to ETGs that were not encoded, by re-deriving them
+  // from the (possibly changed) aETG plus the *unchanged* destination- and
+  // traffic-class-scoped constructs in the configurations — the same rules
+  // the HARC builder applies. This reproduces cross-traffic-class effects:
+  // e.g. a newly enabled adjacency becomes visible to every unpoliced
+  // destination, exactly as OSPF would behave.
+  const Network& network = original.network();
+  const int subnet_count = original.SubnetCount();
+  for (SubnetId d = 0; d < subnet_count; ++d) {
+    const Ipv4Prefix& dst_prefix = network.subnets()[static_cast<size_t>(d)].prefix;
+    if (solved_dsts.count(d) == 0) {
+      Etg& detg = outcome.repaired.mutable_detg(d);
+      for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+        const CandidateEdge& edge = universe.edge(e);
+        bool value = false;
+        switch (edge.kind) {
+          case EtgEdgeKind::kIntraSelf:
+            value = true;
+            break;
+          case EtgEdgeKind::kEndpointSrc:
+            value = edge.subnet != d;
+            break;
+          case EtgEdgeKind::kEndpointDst:
+            value = edge.subnet == d;
+            break;
+          case EtgEdgeKind::kRedistribution:
+            value = outcome.repaired.aetg().IsPresent(e) &&
+                    !ProcessBlocksDestination(network, edge.from_process, dst_prefix) &&
+                    !ProcessBlocksDestination(network, edge.to_process, dst_prefix);
+            break;
+          case EtgEdgeKind::kInterDevice:
+            value = (outcome.repaired.aetg().IsPresent(e) &&
+                     !ProcessBlocksDestination(network, edge.from_process, dst_prefix) &&
+                     !ProcessBlocksDestination(network, edge.to_process, dst_prefix)) ||
+                    StaticRouteConfigured(network, edge.device, edge.link, dst_prefix);
+            break;
+        }
+        detg.SetPresent(e, value);
+      }
+    }
+    for (SubnetId s = 0; s < subnet_count; ++s) {
+      if (s == d || solved_tcs.count({s, d}) > 0) {
+        continue;
+      }
+      const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix, dst_prefix);
+      const Etg& detg = outcome.repaired.detg(d);
+      Etg& tcetg = outcome.repaired.mutable_tcetg(s, d);
+      for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+        const CandidateEdge& edge = universe.edge(e);
+        bool value = detg.IsPresent(e);
+        if (value) {
+          switch (edge.kind) {
+            case EtgEdgeKind::kInterDevice:
+              value = !LinkAclBlocks(network, edge.link, edge.device, tc);
+              break;
+            case EtgEdgeKind::kEndpointSrc:
+              value = edge.subnet == s &&
+                      !EndpointAclBlocks(network, edge.subnet, /*src_side=*/true, tc);
+              break;
+            case EtgEdgeKind::kEndpointDst:
+              value = edge.subnet == d &&
+                      !EndpointAclBlocks(network, edge.subnet, /*src_side=*/false, tc);
+              break;
+            case EtgEdgeKind::kIntraSelf:
+            case EtgEdgeKind::kRedistribution:
+              break;
+          }
+        }
+        tcetg.SetPresent(e, value);
+      }
+    }
+  }
+
+  // Apply new edge costs as weight overrides so graph-level verification of
+  // the repaired HARC sees them (the translator separately turns them into
+  // interface cost changes).
+  for (const CostEdit& change : outcome.edits.costs) {
+    for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
+      const CandidateEdge& edge = universe.edge(e);
+      if (edge.kind == EtgEdgeKind::kInterDevice && edge.link == change.link &&
+          edge.device == change.egress_device) {
+        outcome.repaired.ApplyWeightOverride(e, change.new_cost);
+      }
+    }
+  }
+
+  outcome.status = RepairStatus::kSuccess;
+  outcome.stats.wall_seconds = Seconds(wall_start);
+  return outcome;
+}
+
+}  // namespace cpr

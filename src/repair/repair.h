@@ -1,0 +1,88 @@
+// The repair engine: partitions policies into MaxSMT problems (paper §5.3),
+// solves them (optionally in parallel), and merges the models into a
+// repaired HARC.
+//
+// In kAllTcs mode there is a single problem over every policied traffic
+// class, with the aETG mutable. In kPerDst mode there is one problem per
+// destination with at least one violated policy (destinations with none are
+// skipped outright — a large part of the paper's speedup), the aETG is held
+// fixed so the problems commute, and every destination carrying a PC4
+// policy is merged into one problem because edge costs are global.
+//
+// After solving, changes propagate to the ETGs that were not encoded: an
+// unpoliced destination's dETG follows the aETG wherever it originally
+// aligned with it and keeps its original deviations (static routes, route
+// filters); unpoliced traffic classes follow their dETG the same way. This
+// reproduces the cross-traffic-class semantics of the underlying constructs.
+
+#ifndef CPR_SRC_REPAIR_REPAIR_H_
+#define CPR_SRC_REPAIR_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "arc/harc.h"
+#include "netbase/result.h"
+#include "repair/encoder.h"
+#include "repair/options.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+enum class RepairStatus {
+  kSuccess,
+  kNoViolations,  // Nothing to repair; `repaired` equals the original.
+  kUnsat,         // The policies are jointly unsatisfiable on this topology.
+  kTimeout,       // A problem hit the solver time limit.
+  kUnsupported,   // Backend cannot express the problem (PC4 on internal).
+};
+
+struct RepairStats {
+  int problems_formulated = 0;
+  int destinations_skipped = 0;
+  double encode_seconds = 0;
+  double solve_seconds = 0;  // Sum over problems.
+  double wall_seconds = 0;   // End-to-end, reflecting parallelism.
+  int64_t bool_vars = 0;
+  int64_t hard_constraints = 0;
+  int64_t soft_constraints = 0;
+};
+
+struct RepairOutcome {
+  RepairStatus status = RepairStatus::kSuccess;
+  Harc repaired;
+  // Construct-level changes: what the translator turns into configuration
+  // lines.
+  RepairEdits edits;
+  // Total MaxSMT cost across problems: the predicted number of
+  // configuration changes (§5.2).
+  int64_t predicted_cost = 0;
+  RepairStats stats;
+
+  // Links gaining a waypoint (convenience view over `edits`).
+  std::vector<LinkId> NewWaypointLinks() const {
+    std::vector<LinkId> links;
+    for (const WaypointEdit& wp : edits.waypoints) {
+      links.push_back(wp.link);
+    }
+    return links;
+  }
+
+  bool ok() const { return status == RepairStatus::kSuccess || status == RepairStatus::kNoViolations; }
+};
+
+// Splits the policies into MaxSMT problems per the chosen granularity.
+// Exposed for tests and the scalability benches.
+std::vector<RepairProblem> PartitionProblems(const Harc& harc,
+                                             const std::vector<Policy>& policies,
+                                             const RepairOptions& options);
+
+// Computes a repair. Structural errors (e.g. an unmappable PC4 path) are
+// reported as Error; solver-level failures land in RepairOutcome::status.
+Result<RepairOutcome> ComputeRepair(const Harc& original,
+                                    const std::vector<Policy>& policies,
+                                    const RepairOptions& options);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_REPAIR_REPAIR_H_

@@ -1,0 +1,28 @@
+// Cardinality encodings over a SatSolver.
+//
+// The core-guided MaxSAT engine needs exactly-one constraints over the
+// relaxation variables of each unsat core (Fu-Malik). The at-most-one side
+// uses the sequential (ladder) encoding — linear in clauses and auxiliary
+// variables, so large cores stay cheap.
+
+#ifndef CPR_SRC_SMT_CARDINALITY_H_
+#define CPR_SRC_SMT_CARDINALITY_H_
+
+#include <vector>
+
+#include "smt/sat_solver.h"
+
+namespace cpr {
+
+// At most one of `lits` is true (sequential encoding; no-op for size < 2).
+void AddAtMostOne(SatSolver* solver, const std::vector<Lit>& lits);
+
+// At least one of `lits` is true.
+void AddAtLeastOne(SatSolver* solver, const std::vector<Lit>& lits);
+
+// Exactly one of `lits` is true.
+void AddExactlyOne(SatSolver* solver, const std::vector<Lit>& lits);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SMT_CARDINALITY_H_

@@ -1,0 +1,66 @@
+// Boolean variables and literals for the homegrown SAT/MaxSAT engine.
+//
+// Conventions follow MiniSat: variables are dense non-negative integers, a
+// literal packs a variable and a sign into one int (2*var for the positive
+// literal, 2*var+1 for the negative one).
+
+#ifndef CPR_SRC_SMT_LITERAL_H_
+#define CPR_SRC_SMT_LITERAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+using BoolVar = int32_t;
+
+class Lit {
+ public:
+  constexpr Lit() = default;
+  constexpr Lit(BoolVar var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+  static constexpr Lit FromCode(int32_t code) {
+    Lit lit;
+    lit.code_ = code;
+    return lit;
+  }
+
+  constexpr BoolVar var() const { return code_ >> 1; }
+  constexpr bool negated() const { return (code_ & 1) != 0; }
+  constexpr int32_t code() const { return code_; }
+
+  constexpr Lit operator~() const { return FromCode(code_ ^ 1); }
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr auto operator<=>(const Lit&) const = default;
+
+  std::string ToString() const {
+    return (negated() ? "~x" : "x") + std::to_string(var());
+  }
+
+ private:
+  int32_t code_ = -2;  // Invalid until assigned.
+};
+
+inline constexpr Lit kUndefLit = Lit::FromCode(-2);
+
+using Clause = std::vector<Lit>;
+
+// Ternary assignment value.
+enum class LBool : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool Negate(LBool value) {
+  switch (value) {
+    case LBool::kFalse:
+      return LBool::kTrue;
+    case LBool::kTrue:
+      return LBool::kFalse;
+    case LBool::kUndef:
+      return LBool::kUndef;
+  }
+  return LBool::kUndef;
+}
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SMT_LITERAL_H_

@@ -1,0 +1,141 @@
+#include "smt/maxsat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "smt/cardinality.h"
+
+namespace cpr {
+
+void MaxSatSolver::AddHard(Clause clause) {
+  if (!sat_.AddClause(std::move(clause))) {
+    hard_unsat_ = true;
+  }
+}
+
+Lit MaxSatSolver::MakeSelector(const Clause& clause) {
+  // A unit soft clause can be its own selector: assuming the literal
+  // enforces the clause, and cores then name the literal directly.
+  if (clause.size() == 1) {
+    return clause[0];
+  }
+  BoolVar selector = sat_.NewVar();
+  Clause guarded = clause;
+  guarded.push_back(Lit(selector, true));  // selector -> clause
+  sat_.AddClause(std::move(guarded));
+  return Lit(selector, false);
+}
+
+void MaxSatSolver::AddSoft(Clause clause, int64_t weight) {
+  assert(weight > 0);
+  Soft soft;
+  soft.selector = MakeSelector(clause);
+  soft.clause = std::move(clause);
+  soft.weight = weight;
+  softs_.push_back(std::move(soft));
+}
+
+std::optional<MaxSatSolver::Solution> MaxSatSolver::Solve() {
+  if (hard_unsat_) {
+    return std::nullopt;
+  }
+  // Fu-Malik terminates only on hard-satisfiable instances (every core must
+  // contain a soft clause); establish that up front.
+  ++stats_.sat_calls;
+  if (sat_.Solve({}) == SatResult::kUnsat) {
+    hard_unsat_ = true;
+    return std::nullopt;
+  }
+
+  int64_t cost = 0;
+
+  // Stratification: only softs with weight >= threshold participate; once
+  // SAT at a threshold, the threshold drops to the next weight present.
+  auto next_threshold = [this](int64_t below) {
+    int64_t best = 0;
+    for (const Soft& soft : softs_) {
+      if (soft.weight < below) {
+        best = std::max(best, soft.weight);
+      }
+    }
+    return best;
+  };
+  int64_t threshold = next_threshold(std::numeric_limits<int64_t>::max());
+  if (threshold == 0) {
+    threshold = 1;  // No softs: single hard SAT call below.
+  }
+
+  while (true) {
+    std::vector<Lit> assumptions;
+    std::vector<size_t> assumed_index;  // soft index per assumption
+    for (size_t i = 0; i < softs_.size(); ++i) {
+      if (softs_[i].weight >= threshold) {
+        assumptions.push_back(softs_[i].selector);
+        assumed_index.push_back(i);
+      }
+    }
+
+    ++stats_.sat_calls;
+    SatResult result = sat_.Solve(assumptions);
+    if (result == SatResult::kSat) {
+      int64_t lower = next_threshold(threshold);
+      if (lower == 0) {
+        Solution solution;
+        solution.cost = cost;
+        solution.model.resize(static_cast<size_t>(sat_.VarCount()));
+        for (BoolVar v = 0; v < sat_.VarCount(); ++v) {
+          solution.model[static_cast<size_t>(v)] = sat_.ModelValue(v);
+        }
+        return solution;
+      }
+      threshold = lower;
+      continue;
+    }
+
+    // UNSAT: the failed assumptions form a core over soft selectors.
+    const std::vector<Lit>& core = sat_.UnsatCore();
+    ++stats_.cores;
+    std::vector<size_t> core_softs;
+    for (Lit failed : core) {
+      for (size_t j = 0; j < assumptions.size(); ++j) {
+        if (assumptions[j] == failed) {
+          core_softs.push_back(assumed_index[j]);
+          break;
+        }
+      }
+    }
+    if (core_softs.empty()) {
+      // Core involves no soft clause: hard constraints are unsatisfiable.
+      return std::nullopt;
+    }
+
+    int64_t wmin = std::numeric_limits<int64_t>::max();
+    for (size_t i : core_softs) {
+      wmin = std::min(wmin, softs_[i].weight);
+    }
+    cost += wmin;
+
+    // Fu-Malik relaxation: every core member gets a relaxed clone of weight
+    // wmin; exactly one clone may use its relaxation.
+    std::vector<Lit> relax_lits;
+    relax_lits.reserve(core_softs.size());
+    for (size_t i : core_softs) {
+      BoolVar relax = sat_.NewVar();
+      relax_lits.push_back(Lit(relax, false));
+
+      Soft relaxed;
+      relaxed.clause = softs_[i].clause;
+      relaxed.clause.push_back(Lit(relax, false));
+      relaxed.weight = wmin;
+      relaxed.selector = MakeSelector(relaxed.clause);
+      softs_[i].weight -= wmin;
+      softs_.push_back(std::move(relaxed));
+    }
+    AddExactlyOne(&sat_, relax_lits);
+    // Weight-0 softs drop out of future assumption sets automatically.
+  }
+}
+
+}  // namespace cpr

@@ -1,0 +1,70 @@
+// Weighted partial MaxSAT via core-guided search (Fu-Malik / WPM1).
+//
+// CPR turns its repair formulation into a MaxSMT problem: hard constraints
+// encode policy compliance and HARC well-formedness, soft constraints (one
+// per candidate edge per ETG level, Table 2) encode similarity to the
+// original configurations. This engine solves the boolean fragment: it
+// maximizes the total weight of satisfied soft clauses, equivalently
+// minimizing the number of configuration lines the repair changes.
+//
+// Algorithm: solve with all (remaining-weight) soft selectors assumed; on
+// UNSAT take the failed-assumption core, split the minimum weight off every
+// core member, relax each with a fresh variable, assert exactly-one over the
+// relaxation variables, and repeat. Weight strata are processed highest
+// first so expensive softs are settled before cheap ones.
+
+#ifndef CPR_SRC_SMT_MAXSAT_H_
+#define CPR_SRC_SMT_MAXSAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "smt/sat_solver.h"
+
+namespace cpr {
+
+struct MaxSatStats {
+  int cores = 0;
+  int sat_calls = 0;
+};
+
+class MaxSatSolver {
+ public:
+  BoolVar NewVar() { return sat_.NewVar(); }
+
+  void AddHard(Clause clause);
+  // Soft clauses carry positive weights; satisfying one earns its weight.
+  void AddSoft(Clause clause, int64_t weight);
+
+  struct Solution {
+    // Total weight of violated soft clauses (the minimized objective).
+    int64_t cost = 0;
+    // Model values indexed by BoolVar.
+    std::vector<bool> model;
+  };
+
+  // Returns nullopt when the hard clauses alone are unsatisfiable.
+  std::optional<Solution> Solve();
+
+  const MaxSatStats& stats() const { return stats_; }
+  const SatStats& sat_stats() const { return sat_.stats(); }
+
+ private:
+  struct Soft {
+    Clause clause;
+    int64_t weight = 0;
+    Lit selector = kUndefLit;  // Assuming it enforces the clause.
+  };
+
+  Lit MakeSelector(const Clause& clause);
+
+  SatSolver sat_;
+  std::vector<Soft> softs_;
+  bool hard_unsat_ = false;
+  MaxSatStats stats_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SMT_MAXSAT_H_

@@ -1,0 +1,475 @@
+#include "smt/sat_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cpr {
+
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleThreshold = 1e100;
+constexpr int kRestartBase = 100;
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+int64_t Luby(int64_t i) {
+  int64_t k = 1;
+  while ((int64_t{1} << k) - 1 < i + 1) {
+    ++k;
+  }
+  while ((int64_t{1} << (k - 1)) - 1 != i) {
+    i -= (int64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((int64_t{1} << k) - 1 < i + 1) {
+      ++k;
+    }
+  }
+  return int64_t{1} << (k - 1);
+}
+
+}  // namespace
+
+SatSolver::SatSolver() = default;
+
+BoolVar SatSolver::NewVar() {
+  BoolVar var = static_cast<BoolVar>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  saved_phase_.push_back(false);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  model_.push_back(LBool::kUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_heap_.push_back({0.0, var});
+  return var;
+}
+
+bool SatSolver::AddClause(Clause clause) {
+  assert(DecisionLevel() == 0);
+  if (unsat_) {
+    return false;
+  }
+  // Level-0 simplification: drop false/duplicate literals, detect satisfied
+  // clauses and tautologies.
+  std::sort(clause.begin(), clause.end());
+  Clause simplified;
+  Lit prev = kUndefLit;
+  for (Lit lit : clause) {
+    if (Value(lit) == LBool::kTrue || lit == ~prev) {
+      return true;  // Satisfied or tautological.
+    }
+    if (Value(lit) == LBool::kFalse || lit == prev) {
+      continue;
+    }
+    simplified.push_back(lit);
+    prev = lit;
+  }
+  if (simplified.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    Enqueue(simplified[0], kNoReason);
+    if (Propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  ClauseRef ref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(ClauseData{std::move(simplified), false, 0.0, false});
+  AttachClause(ref);
+  return true;
+}
+
+void SatSolver::AttachClause(ClauseRef ref) {
+  const ClauseData& data = clauses_[static_cast<size_t>(ref)];
+  watches_[static_cast<size_t>(data.lits[0].code())].push_back(ref);
+  watches_[static_cast<size_t>(data.lits[1].code())].push_back(ref);
+}
+
+void SatSolver::Enqueue(Lit lit, ClauseRef reason) {
+  assert(Value(lit) == LBool::kUndef);
+  size_t v = static_cast<size_t>(lit.var());
+  assigns_[v] = lit.negated() ? LBool::kFalse : LBool::kTrue;
+  saved_phase_[v] = !lit.negated();
+  reason_[v] = reason;
+  level_[v] = DecisionLevel();
+  trail_.push_back(lit);
+}
+
+SatSolver::ClauseRef SatSolver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~p may have become unit or false.
+    std::vector<ClauseRef>& watch_list = watches_[static_cast<size_t>((~p).code())];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch_list.size(); ++i) {
+      ClauseRef ref = watch_list[i];
+      ClauseData& data = clauses_[static_cast<size_t>(ref)];
+      if (data.deleted) {
+        continue;  // Dropped by ReduceLearnts; unhook lazily.
+      }
+      Clause& lits = data.lits;
+      // Normalize: the falsified watch sits at lits[1].
+      if (lits[0] == ~p) {
+        std::swap(lits[0], lits[1]);
+      }
+      if (Value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = ref;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (size_t j = 2; j < lits.size(); ++j) {
+        if (Value(lits[j]) != LBool::kFalse) {
+          std::swap(lits[1], lits[j]);
+          watches_[static_cast<size_t>(lits[1].code())].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;
+      }
+      watch_list[keep++] = ref;
+      if (Value(lits[0]) == LBool::kFalse) {
+        // Conflict: restore remaining watches and report.
+        for (size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return ref;
+      }
+      Enqueue(lits[0], ref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void SatSolver::BumpVar(BoolVar var) {
+  double& act = activity_[static_cast<size_t>(var)];
+  act += var_inc_;
+  if (act > kRescaleThreshold) {
+    for (double& a : activity_) {
+      a *= 1.0 / kRescaleThreshold;
+    }
+    var_inc_ *= 1.0 / kRescaleThreshold;
+  }
+  order_heap_.push_back({activity_[static_cast<size_t>(var)], var});
+  std::push_heap(order_heap_.begin(), order_heap_.end());
+}
+
+void SatSolver::BumpClause(ClauseRef ref) {
+  ClauseData& data = clauses_[static_cast<size_t>(ref)];
+  if (!data.learnt) {
+    return;
+  }
+  data.activity += clause_inc_;
+  if (data.activity > kRescaleThreshold) {
+    for (ClauseData& c : clauses_) {
+      if (c.learnt) {
+        c.activity *= 1.0 / kRescaleThreshold;
+      }
+    }
+    clause_inc_ *= 1.0 / kRescaleThreshold;
+  }
+}
+
+void SatSolver::DecayActivities() {
+  var_inc_ /= kVarDecay;
+  clause_inc_ /= kClauseDecay;
+}
+
+void SatSolver::Analyze(ClauseRef conflict, Clause* learnt, int* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(kUndefLit);  // Placeholder for the asserting literal.
+  int counter = 0;
+  Lit p = kUndefLit;
+  size_t index = trail_.size();
+
+  ClauseRef reason = conflict;
+  do {
+    BumpClause(reason);
+    const Clause& lits = clauses_[static_cast<size_t>(reason)].lits;
+    for (size_t j = (p == kUndefLit ? 0 : 1); j < lits.size(); ++j) {
+      Lit q = lits[j];
+      size_t v = static_cast<size_t>(q.var());
+      if (seen_[v] == 0 && level_[v] > 0) {
+        seen_[v] = 1;
+        BumpVar(q.var());
+        if (level_[v] >= DecisionLevel()) {
+          ++counter;
+        } else {
+          learnt->push_back(q);
+        }
+      }
+    }
+    // Select the next implied literal to resolve on.
+    while (seen_[static_cast<size_t>(trail_[index - 1].var())] == 0) {
+      --index;
+    }
+    --index;
+    p = trail_[index];
+    seen_[static_cast<size_t>(p.var())] = 0;
+    reason = reason_[static_cast<size_t>(p.var())];
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = ~p;
+
+  // Cheap self-subsumption minimization: drop a literal whose entire reason
+  // clause is already in the learnt clause.
+  Clause to_clear = *learnt;  // seen_ flags must be reset for dropped lits too.
+  size_t keep = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    Lit lit = (*learnt)[i];
+    ClauseRef r = reason_[static_cast<size_t>(lit.var())];
+    bool redundant = false;
+    if (r != kNoReason) {
+      redundant = true;
+      const Clause& lits = clauses_[static_cast<size_t>(r)].lits;
+      for (size_t j = 1; j < lits.size(); ++j) {
+        size_t v = static_cast<size_t>(lits[j].var());
+        if (seen_[v] == 0 && level_[v] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) {
+      (*learnt)[keep++] = lit;
+    }
+  }
+  learnt->resize(keep);
+
+  // Compute the backtrack level and move its literal to position 1.
+  *backtrack_level = 0;
+  if (learnt->size() > 1) {
+    size_t max_index = 1;
+    for (size_t i = 2; i < learnt->size(); ++i) {
+      if (level_[static_cast<size_t>((*learnt)[i].var())] >
+          level_[static_cast<size_t>((*learnt)[max_index].var())]) {
+        max_index = i;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_index]);
+    *backtrack_level = level_[static_cast<size_t>((*learnt)[1].var())];
+  }
+
+  for (Lit lit : to_clear) {
+    if (lit != kUndefLit) {
+      seen_[static_cast<size_t>(lit.var())] = 0;
+    }
+  }
+}
+
+void SatSolver::AnalyzeFinal(Lit failed, const std::vector<Lit>& assumptions) {
+  core_.clear();
+  core_.push_back(failed);
+  if (DecisionLevel() == 0) {
+    return;
+  }
+  std::vector<uint8_t>& seen = seen_;
+  seen[static_cast<size_t>(failed.var())] = 1;
+  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_limits_[0]);) {
+    size_t v = static_cast<size_t>(trail_[i].var());
+    if (seen[v] == 0) {
+      continue;
+    }
+    if (reason_[v] == kNoReason) {
+      // A decision inside the assumption prefix is an assumption.
+      Lit decision = trail_[i];
+      if (std::find(assumptions.begin(), assumptions.end(), decision) !=
+          assumptions.end()) {
+        core_.push_back(decision);
+      }
+    } else {
+      const Clause& lits = clauses_[static_cast<size_t>(reason_[v])].lits;
+      for (size_t j = 1; j < lits.size(); ++j) {
+        if (level_[static_cast<size_t>(lits[j].var())] > 0) {
+          seen[static_cast<size_t>(lits[j].var())] = 1;
+        }
+      }
+    }
+    seen[v] = 0;
+  }
+  seen[static_cast<size_t>(failed.var())] = 0;
+}
+
+void SatSolver::Backtrack(int target_level) {
+  if (DecisionLevel() <= target_level) {
+    return;
+  }
+  size_t new_size = static_cast<size_t>(trail_limits_[static_cast<size_t>(target_level)]);
+  for (size_t i = trail_.size(); i-- > new_size;) {
+    size_t v = static_cast<size_t>(trail_[i].var());
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = kNoReason;
+    order_heap_.push_back({activity_[v], trail_[i].var()});
+    std::push_heap(order_heap_.begin(), order_heap_.end());
+  }
+  trail_.resize(new_size);
+  trail_limits_.resize(static_cast<size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit SatSolver::PickBranchLit() {
+  while (!order_heap_.empty()) {
+    std::pop_heap(order_heap_.begin(), order_heap_.end());
+    auto [act, var] = order_heap_.back();
+    order_heap_.pop_back();
+    size_t v = static_cast<size_t>(var);
+    if (assigns_[v] == LBool::kUndef && act == activity_[v]) {
+      return Lit(var, !saved_phase_[v]);
+    }
+    if (assigns_[v] == LBool::kUndef && act != activity_[v]) {
+      continue;  // Stale heap entry; a fresher one exists.
+    }
+  }
+  // Heap may have gone stale-empty; linear fallback.
+  for (BoolVar var = 0; var < VarCount(); ++var) {
+    if (assigns_[static_cast<size_t>(var)] == LBool::kUndef) {
+      return Lit(var, !saved_phase_[static_cast<size_t>(var)]);
+    }
+  }
+  return kUndefLit;
+}
+
+void SatSolver::ReduceLearnts() {
+  std::vector<ClauseRef> learnts;
+  for (ClauseRef ref = 0; ref < static_cast<ClauseRef>(clauses_.size()); ++ref) {
+    const ClauseData& data = clauses_[static_cast<size_t>(ref)];
+    if (data.learnt && !data.deleted && data.lits.size() > 2) {
+      learnts.push_back(ref);
+    }
+  }
+  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<size_t>(a)].activity <
+           clauses_[static_cast<size_t>(b)].activity;
+  });
+  size_t to_delete = learnts.size() / 2;
+  for (size_t i = 0; i < to_delete; ++i) {
+    ClauseData& data = clauses_[static_cast<size_t>(learnts[i])];
+    // Never delete a clause that is currently a reason (locked).
+    Lit first = data.lits[0];
+    if (Value(first) == LBool::kTrue &&
+        reason_[static_cast<size_t>(first.var())] == learnts[i]) {
+      continue;
+    }
+    data.deleted = true;
+    data.lits.clear();
+    data.lits.shrink_to_fit();
+    ++stats_.learnt_deleted;
+  }
+}
+
+SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
+  core_.clear();
+  if (unsat_) {
+    return SatResult::kUnsat;
+  }
+  Backtrack(0);
+  if (Propagate() != kNoReason) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  int64_t conflicts_until_restart = kRestartBase * Luby(stats_.restarts);
+  int64_t conflicts_this_restart = 0;
+  int64_t max_learnts = std::max<int64_t>(4000, static_cast<int64_t>(clauses_.size()) / 2);
+  int64_t live_learnts = 0;
+
+  while (true) {
+    ClauseRef conflict = Propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (DecisionLevel() == 0) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      // A conflict whose analysis would land inside the assumption prefix:
+      // handled naturally because the learnt clause's asserting literal is
+      // re-propagated after backtracking; if it contradicts an assumption,
+      // the assumption re-push below detects it.
+      Clause learnt;
+      int backtrack_level = 0;
+      Analyze(conflict, &learnt, &backtrack_level);
+      Backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        if (Value(learnt[0]) == LBool::kFalse) {
+          unsat_ = true;
+          return SatResult::kUnsat;
+        }
+        if (Value(learnt[0]) == LBool::kUndef) {
+          Enqueue(learnt[0], kNoReason);
+        }
+      } else {
+        ClauseRef ref = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(ClauseData{std::move(learnt), true, clause_inc_, false});
+        AttachClause(ref);
+        ++live_learnts;
+        Enqueue(clauses_.back().lits[0], ref);
+      }
+      DecayActivities();
+      continue;
+    }
+
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      conflicts_this_restart = 0;
+      conflicts_until_restart = kRestartBase * Luby(stats_.restarts);
+      Backtrack(0);
+      continue;
+    }
+    if (live_learnts - stats_.learnt_deleted > max_learnts) {
+      ReduceLearnts();
+      max_learnts += max_learnts / 10;
+    }
+
+    // Extend the trail: assumptions first, then heuristic decisions.
+    Lit next = kUndefLit;
+    while (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      Lit a = assumptions[static_cast<size_t>(DecisionLevel())];
+      if (Value(a) == LBool::kTrue) {
+        trail_limits_.push_back(static_cast<int>(trail_.size()));  // Dummy level.
+      } else if (Value(a) == LBool::kFalse) {
+        AnalyzeFinal(a, assumptions);
+        Backtrack(0);
+        return SatResult::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kUndefLit) {
+      next = PickBranchLit();
+      if (next == kUndefLit) {
+        // Full model found.
+        model_ = assigns_;
+        Backtrack(0);
+        return SatResult::kSat;
+      }
+      ++stats_.decisions;
+    }
+    trail_limits_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(next, kNoReason);
+  }
+}
+
+bool SatSolver::ModelValue(Lit lit) const {
+  LBool v = model_[static_cast<size_t>(lit.var())];
+  if (lit.negated()) {
+    v = Negate(v);
+  }
+  return v == LBool::kTrue;
+}
+
+}  // namespace cpr

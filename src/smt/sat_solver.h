@@ -1,0 +1,119 @@
+// CDCL SAT solver (the substrate under the internal MaxSAT backend).
+//
+// A conventional conflict-driven clause-learning solver in the MiniSat
+// lineage: two-watched-literal propagation, first-UIP conflict analysis
+// with clause minimization, VSIDS-style activity-ordered decisions with
+// phase saving, Luby restarts, activity-based learnt clause reduction, and
+// solving under assumptions with extraction of a failed-assumption core —
+// the primitive the core-guided MaxSAT engine (smt/maxsat.h) is built on.
+//
+// The paper solves its repair formulation with Z3; this solver exists so
+// the repository also ships a fully self-contained backend (see
+// solver/internal_backend.h) and an ablation comparing the two.
+
+#ifndef CPR_SRC_SMT_SAT_SOLVER_H_
+#define CPR_SRC_SMT_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/literal.h"
+
+namespace cpr {
+
+enum class SatResult { kSat, kUnsat };
+
+struct SatStats {
+  int64_t conflicts = 0;
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+  int64_t restarts = 0;
+  int64_t learnt_deleted = 0;
+};
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  BoolVar NewVar();
+  int VarCount() const { return static_cast<int>(assigns_.size()); }
+
+  // Adds a clause. Empty clauses and clauses falsified at level 0 make the
+  // instance trivially unsat. Returns false if the solver is already known
+  // unsat.
+  bool AddClause(Clause clause);
+  bool AddUnit(Lit lit) { return AddClause({lit}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+
+  // Solves under the given assumptions. After kUnsat with assumptions,
+  // UnsatCore() is the subset of assumptions proved contradictory; after
+  // kSat, ModelValue() reads the model.
+  SatResult Solve(const std::vector<Lit>& assumptions = {});
+
+  bool ModelValue(Lit lit) const;
+  bool ModelValue(BoolVar var) const { return ModelValue(Lit(var, false)); }
+  const std::vector<Lit>& UnsatCore() const { return core_; }
+
+  const SatStats& stats() const { return stats_; }
+
+ private:
+  struct ClauseData {
+    Clause lits;
+    bool learnt = false;
+    double activity = 0.0;
+    bool deleted = false;
+  };
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  LBool Value(Lit lit) const {
+    LBool v = assigns_[static_cast<size_t>(lit.var())];
+    return lit.negated() ? Negate(v) : v;
+  }
+
+  void Enqueue(Lit lit, ClauseRef reason);
+  ClauseRef Propagate();
+  void Analyze(ClauseRef conflict, Clause* learnt, int* backtrack_level);
+  void AnalyzeFinal(Lit failed, const std::vector<Lit>& assumptions);
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void BumpVar(BoolVar var);
+  void BumpClause(ClauseRef ref);
+  void DecayActivities();
+  void ReduceLearnts();
+  void AttachClause(ClauseRef ref);
+  int DecisionLevel() const { return static_cast<int>(trail_limits_.size()); }
+
+  // Clause storage and watches.
+  std::vector<ClauseData> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // Indexed by literal code.
+
+  // Assignment state.
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;  // Snapshot of assigns_ at the last kSat.
+  std::vector<bool> saved_phase_;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_limits_;
+  size_t propagate_head_ = 0;
+
+  // Decision heuristics.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<std::pair<double, BoolVar>> order_heap_;  // Lazy max-heap.
+
+  // Conflict analysis scratch.
+  std::vector<uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  bool unsat_ = false;
+  std::vector<Lit> core_;
+  SatStats stats_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SMT_SAT_SOLVER_H_

@@ -1,0 +1,54 @@
+// MaxSMT backend interface.
+//
+// CPR's repair formulation is solved by one of two interchangeable engines:
+// Z3's Optimize facility (the paper's choice, required for PC4's integer
+// edge costs) or the repository's own CDCL + core-guided MaxSAT stack
+// (boolean-only, fully self-contained). bench/ablation_backend compares
+// them.
+
+#ifndef CPR_SRC_SOLVER_BACKEND_H_
+#define CPR_SRC_SOLVER_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/constraint_system.h"
+
+namespace cpr {
+
+struct MaxSmtResult {
+  enum class Status {
+    kOptimal,      // All hard constraints satisfied, soft weight maximized.
+    kUnsat,        // Hard constraints unsatisfiable.
+    kTimeout,      // Gave up within the time limit.
+    kUnsupported,  // Backend cannot express the problem (ints on internal).
+  };
+  Status status = Status::kUnsat;
+  // Total weight of *violated* soft constraints.
+  int64_t cost = 0;
+  std::vector<bool> bool_values;     // Indexed by BVarId.
+  std::vector<int64_t> int_values;   // Indexed by IVarId.
+
+  bool ok() const { return status == Status::kOptimal; }
+};
+
+class MaxSmtBackend {
+ public:
+  virtual ~MaxSmtBackend() = default;
+
+  // `timeout_seconds` <= 0 means unbounded.
+  virtual MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Z3 Optimize with assert_soft (handles integers).
+std::unique_ptr<MaxSmtBackend> MakeZ3Backend();
+
+// Homegrown Tseitin -> CDCL/MaxSAT pipeline (boolean problems only).
+std::unique_ptr<MaxSmtBackend> MakeInternalBackend();
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SOLVER_BACKEND_H_

@@ -1,0 +1,157 @@
+// MaxSMT backend on the homegrown CDCL/MaxSAT stack.
+//
+// Boolean expressions are Tseitin-encoded: every composite node gets a
+// definition literal equivalent to the node, hard constraints assert their
+// root literal, and each soft constraint's root literal becomes a weighted
+// unit soft clause. Integer atoms (PC4 cost constraints) are not expressible
+// here; such systems are reported kUnsupported and the repair engine routes
+// them to Z3.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/maxsat.h"
+#include "solver/backend.h"
+
+namespace cpr {
+
+namespace {
+
+class Tseitin {
+ public:
+  Tseitin(MaxSatSolver* solver, const ConstraintSystem& system)
+      : solver_(solver), system_(system) {
+    // Decision variables occupy the first BoolCount() solver variables so
+    // the model maps back by identity.
+    for (BVarId v = 0; v < system.BoolCount(); ++v) {
+      solver_->NewVar();
+    }
+    true_lit_ = Lit(solver_->NewVar(), false);
+    solver_->AddHard({true_lit_});
+  }
+
+  // Definition literal for an expression: the literal is true in a model iff
+  // the expression is.
+  std::optional<Lit> Encode(ExprId id) {
+    if (auto it = cache_.find(id); it != cache_.end()) {
+      return it->second;
+    }
+    const ExprNode& n = system_.node(id);
+    std::optional<Lit> lit;
+    switch (n.kind) {
+      case ExprKind::kTrue:
+        lit = true_lit_;
+        break;
+      case ExprKind::kFalse:
+        lit = ~true_lit_;
+        break;
+      case ExprKind::kBoolVar:
+        lit = Lit(static_cast<BoolVar>(n.bool_var), false);
+        break;
+      case ExprKind::kNot: {
+        std::optional<Lit> child = Encode(n.children[0]);
+        if (child.has_value()) {
+          lit = ~*child;
+        }
+        break;
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        std::vector<Lit> children;
+        for (ExprId c : n.children) {
+          std::optional<Lit> child = Encode(c);
+          if (!child.has_value()) {
+            return std::nullopt;
+          }
+          children.push_back(*child);
+        }
+        Lit def = Lit(solver_->NewVar(), false);
+        if (n.kind == ExprKind::kAnd) {
+          // def <-> AND(children)
+          Clause back{def};
+          for (Lit c : children) {
+            solver_->AddHard({~def, c});
+            back.push_back(~c);
+          }
+          solver_->AddHard(std::move(back));
+        } else {
+          // def <-> OR(children)
+          Clause fwd{~def};
+          for (Lit c : children) {
+            solver_->AddHard({~c, def});
+            fwd.push_back(c);
+          }
+          solver_->AddHard(std::move(fwd));
+        }
+        lit = def;
+        break;
+      }
+      case ExprKind::kLinearLe:
+      case ExprKind::kLinearEq:
+        return std::nullopt;  // Integers are Z3-only.
+    }
+    if (lit.has_value()) {
+      cache_.emplace(id, *lit);
+    }
+    return lit;
+  }
+
+ private:
+  MaxSatSolver* solver_;
+  const ConstraintSystem& system_;
+  Lit true_lit_ = kUndefLit;
+  std::unordered_map<ExprId, Lit> cache_;
+};
+
+class InternalBackend final : public MaxSmtBackend {
+ public:
+  MaxSmtResult Solve(const ConstraintSystem& system, double /*timeout_seconds*/) override {
+    MaxSmtResult result;
+    if (system.HasIntegers()) {
+      result.status = MaxSmtResult::Status::kUnsupported;
+      return result;
+    }
+    MaxSatSolver maxsat;
+    Tseitin tseitin(&maxsat, system);
+    for (ExprId hard : system.hard()) {
+      std::optional<Lit> lit = tseitin.Encode(hard);
+      if (!lit.has_value()) {
+        result.status = MaxSmtResult::Status::kUnsupported;
+        return result;
+      }
+      maxsat.AddHard({*lit});
+    }
+    for (const SoftConstraint& soft : system.soft()) {
+      std::optional<Lit> lit = tseitin.Encode(soft.expr);
+      if (!lit.has_value()) {
+        result.status = MaxSmtResult::Status::kUnsupported;
+        return result;
+      }
+      maxsat.AddSoft({*lit}, soft.weight);
+    }
+
+    std::optional<MaxSatSolver::Solution> solution = maxsat.Solve();
+    if (!solution.has_value()) {
+      result.status = MaxSmtResult::Status::kUnsat;
+      return result;
+    }
+    result.status = MaxSmtResult::Status::kOptimal;
+    result.cost = solution->cost;
+    result.bool_values.resize(static_cast<size_t>(system.BoolCount()));
+    for (BVarId v = 0; v < system.BoolCount(); ++v) {
+      result.bool_values[static_cast<size_t>(v)] = solution->model[static_cast<size_t>(v)];
+    }
+    return result;
+  }
+
+  std::string name() const override { return "internal-maxsat"; }
+};
+
+}  // namespace
+
+std::unique_ptr<MaxSmtBackend> MakeInternalBackend() {
+  return std::make_unique<InternalBackend>();
+}
+
+}  // namespace cpr

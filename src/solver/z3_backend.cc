@@ -1,0 +1,163 @@
+// MaxSMT backend on Z3's Optimize engine (the paper's §7 setup: "We use the
+// Z3 theorem prover's API to encode and solve our MaxSMT formulation").
+// Soft constraints become assert_soft terms in a single objective group, so
+// Z3 minimizes the total violated weight exactly.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include <z3++.h>
+
+#include "solver/backend.h"
+
+namespace cpr {
+
+namespace {
+
+class Z3Translator {
+ public:
+  Z3Translator(z3::context* ctx, const ConstraintSystem& system)
+      : ctx_(ctx), system_(system), cache_(static_cast<size_t>(system.BoolCount()), -1) {
+    bool_consts_.reserve(static_cast<size_t>(system.BoolCount()));
+    for (BVarId v = 0; v < system.BoolCount(); ++v) {
+      bool_consts_.push_back(ctx_->bool_const(system.BoolName(v).c_str()));
+    }
+    int_consts_.reserve(static_cast<size_t>(system.IntCount()));
+    for (IVarId v = 0; v < system.IntCount(); ++v) {
+      int_consts_.push_back(ctx_->int_const(system.IntVar(v).name.c_str()));
+    }
+  }
+
+  z3::expr Translate(ExprId id) {
+    const ExprNode& n = system_.node(id);
+    switch (n.kind) {
+      case ExprKind::kTrue:
+        return ctx_->bool_val(true);
+      case ExprKind::kFalse:
+        return ctx_->bool_val(false);
+      case ExprKind::kBoolVar:
+        return bool_consts_[static_cast<size_t>(n.bool_var)];
+      case ExprKind::kNot:
+        return !Translate(n.children[0]);
+      case ExprKind::kAnd: {
+        z3::expr_vector parts(*ctx_);
+        for (ExprId c : n.children) {
+          parts.push_back(Translate(c));
+        }
+        return z3::mk_and(parts);
+      }
+      case ExprKind::kOr: {
+        z3::expr_vector parts(*ctx_);
+        for (ExprId c : n.children) {
+          parts.push_back(Translate(c));
+        }
+        return z3::mk_or(parts);
+      }
+      case ExprKind::kLinearLe:
+        return LinearSum(n) <= 0;
+      case ExprKind::kLinearEq:
+        return LinearSum(n) == 0;
+    }
+    return ctx_->bool_val(true);
+  }
+
+  const std::vector<z3::expr>& int_consts() const { return int_consts_; }
+  const std::vector<z3::expr>& bool_consts() const { return bool_consts_; }
+
+ private:
+  z3::expr LinearSum(const ExprNode& n) {
+    z3::expr sum = ctx_->int_val(static_cast<int64_t>(n.constant));
+    for (const LinearTerm& t : n.terms) {
+      z3::expr term = int_consts_[static_cast<size_t>(t.var)];
+      if (t.coefficient != 1) {
+        term = ctx_->int_val(t.coefficient) * term;
+      }
+      sum = sum + term;
+    }
+    return sum;
+  }
+
+  z3::context* ctx_;
+  const ConstraintSystem& system_;
+  std::vector<z3::expr> bool_consts_;
+  std::vector<z3::expr> int_consts_;
+  std::vector<int> cache_;  // Reserved for subtree sharing; Z3 hash-conses
+                            // internally so re-translation is cheap.
+};
+
+class Z3Backend final : public MaxSmtBackend {
+ public:
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    MaxSmtResult result;
+    try {
+      z3::context ctx;
+      z3::optimize opt(ctx);
+      if (timeout_seconds > 0) {
+        z3::params params(ctx);
+        params.set("timeout", static_cast<unsigned>(timeout_seconds * 1000));
+        opt.set(params);
+      }
+
+      Z3Translator translator(&ctx, system);
+      for (ExprId hard : system.hard()) {
+        opt.add(translator.Translate(hard));
+      }
+      for (IVarId v = 0; v < system.IntCount(); ++v) {
+        const IntVarInfo& info = system.IntVar(v);
+        const z3::expr& var = translator.int_consts()[static_cast<size_t>(v)];
+        opt.add(var >= ctx.int_val(info.lower));
+        opt.add(var <= ctx.int_val(info.upper));
+      }
+      std::vector<z3::expr> soft_exprs;
+      for (const SoftConstraint& soft : system.soft()) {
+        z3::expr e = translator.Translate(soft.expr);
+        soft_exprs.push_back(e);
+        opt.add_soft(e, static_cast<unsigned>(soft.weight));
+      }
+
+      z3::check_result check = opt.check();
+      if (check == z3::unsat) {
+        result.status = MaxSmtResult::Status::kUnsat;
+        return result;
+      }
+      if (check == z3::unknown) {
+        result.status = MaxSmtResult::Status::kTimeout;
+        return result;
+      }
+
+      z3::model model = opt.get_model();
+      result.status = MaxSmtResult::Status::kOptimal;
+      result.bool_values.resize(static_cast<size_t>(system.BoolCount()));
+      for (BVarId v = 0; v < system.BoolCount(); ++v) {
+        z3::expr value =
+            model.eval(translator.bool_consts()[static_cast<size_t>(v)], true);
+        result.bool_values[static_cast<size_t>(v)] = value.is_true();
+      }
+      result.int_values.resize(static_cast<size_t>(system.IntCount()));
+      for (IVarId v = 0; v < system.IntCount(); ++v) {
+        z3::expr value = model.eval(translator.int_consts()[static_cast<size_t>(v)], true);
+        result.int_values[static_cast<size_t>(v)] = value.get_numeral_int64();
+      }
+      // Cost = total weight of soft constraints the model violates.
+      for (size_t i = 0; i < soft_exprs.size(); ++i) {
+        if (model.eval(soft_exprs[i], true).is_false()) {
+          result.cost += system.soft()[i].weight;
+        }
+      }
+      return result;
+    } catch (const z3::exception& e) {
+      std::fprintf(stderr, "z3 backend error: %s\n", e.msg());
+      result.status = MaxSmtResult::Status::kUnsupported;
+      return result;
+    }
+  }
+
+  std::string name() const override { return "z3-optimize"; }
+};
+
+}  // namespace
+
+std::unique_ptr<MaxSmtBackend> MakeZ3Backend() { return std::make_unique<Z3Backend>(); }
+
+}  // namespace cpr

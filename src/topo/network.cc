@@ -1,0 +1,212 @@
+#include "topo/network.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cpr {
+
+Result<Network> Network::Build(std::vector<Config> configs, NetworkAnnotations annotations) {
+  Network net;
+  net.configs_ = std::move(configs);
+  net.annotations_ = std::move(annotations);
+
+  // Devices and routing processes.
+  for (size_t i = 0; i < net.configs_.size(); ++i) {
+    const Config& config = net.configs_[i];
+    if (config.hostname.empty()) {
+      return Error("configuration " + std::to_string(i) + " has no hostname");
+    }
+    if (net.FindDevice(config.hostname).has_value()) {
+      return Error("duplicate hostname: " + config.hostname);
+    }
+    Device device;
+    device.name = config.hostname;
+    device.config_index = static_cast<int>(i);
+    DeviceId device_id = static_cast<DeviceId>(net.devices_.size());
+
+    int index_on_device = 0;
+    auto add_process = [&](RouteSource kind, int protocol_id) {
+      ProcessId pid = static_cast<ProcessId>(net.processes_.size());
+      net.processes_.push_back(RoutingProcess{device_id, kind, protocol_id, index_on_device});
+      device.processes.push_back(pid);
+      ++index_on_device;
+    };
+    for (const OspfConfig& ospf : config.ospf_processes) {
+      add_process(RouteSource::kOspf, ospf.process_id);
+    }
+    if (config.bgp.has_value()) {
+      add_process(RouteSource::kBgp, config.bgp->asn);
+    }
+    if (config.rip.has_value()) {
+      add_process(RouteSource::kRip, 0);
+    }
+    net.devices_.push_back(std::move(device));
+  }
+
+  // Links and subnets: group addressed interfaces by their subnet prefix.
+  struct Attachment {
+    DeviceId device;
+    std::string interface;
+  };
+  std::map<Ipv4Prefix, std::vector<Attachment>> by_prefix;
+  for (size_t i = 0; i < net.configs_.size(); ++i) {
+    for (const InterfaceConfig& intf : net.configs_[i].interfaces) {
+      if (intf.shutdown || !intf.address.has_value()) {
+        continue;
+      }
+      by_prefix[intf.address->Prefix()].push_back(
+          Attachment{static_cast<DeviceId>(i), intf.name});
+    }
+  }
+  for (const auto& [prefix, attachments] : by_prefix) {
+    if (attachments.size() == 1) {
+      net.subnets_.push_back(
+          Subnet{prefix, attachments[0].device, attachments[0].interface});
+    } else if (attachments.size() == 2) {
+      if (attachments[0].device == attachments[1].device) {
+        return Error("two interfaces of " +
+                     net.devices_[static_cast<size_t>(attachments[0].device)].name +
+                     " share subnet " + prefix.ToString());
+      }
+      TopoLink link;
+      link.device_a = attachments[0].device;
+      link.interface_a = attachments[0].interface;
+      link.device_b = attachments[1].device;
+      link.interface_b = attachments[1].interface;
+      link.prefix = prefix;
+      const std::string& name_a = net.devices_[static_cast<size_t>(link.device_a)].name;
+      const std::string& name_b = net.devices_[static_cast<size_t>(link.device_b)].name;
+      link.waypoint =
+          net.annotations_.waypoint_links.count({name_a, name_b}) > 0 ||
+          net.annotations_.waypoint_links.count({name_b, name_a}) > 0;
+      net.links_.push_back(std::move(link));
+    } else {
+      return Error("subnet " + prefix.ToString() + " is shared by " +
+                   std::to_string(attachments.size()) + " routers (not point-to-point)");
+    }
+  }
+
+  return net;
+}
+
+std::optional<DeviceId> Network::FindDevice(const std::string& name) const {
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].name == name) {
+      return static_cast<DeviceId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SubnetId> Network::FindSubnet(const Ipv4Prefix& prefix) const {
+  for (size_t i = 0; i < subnets_.size(); ++i) {
+    if (subnets_[i].prefix == prefix) {
+      return static_cast<SubnetId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LinkId> Network::FindLink(DeviceId a, DeviceId b) const {
+  for (size_t i = 0; i < links_.size(); ++i) {
+    const TopoLink& link = links_[i];
+    if ((link.device_a == a && link.device_b == b) ||
+        (link.device_a == b && link.device_b == a)) {
+      return static_cast<LinkId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TrafficClass> Network::EnumerateTrafficClasses() const {
+  std::vector<TrafficClass> out;
+  for (size_t s = 0; s < subnets_.size(); ++s) {
+    for (size_t d = 0; d < subnets_.size(); ++d) {
+      if (s != d) {
+        out.emplace_back(subnets_[s].prefix, subnets_[d].prefix);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Network::NextHop> Network::ResolveNextHop(DeviceId device,
+                                                        Ipv4Address ip) const {
+  for (size_t i = 0; i < links_.size(); ++i) {
+    const TopoLink& link = links_[i];
+    DeviceId neighbor = -1;
+    std::string neighbor_interface;
+    if (link.device_a == device) {
+      neighbor = link.device_b;
+      neighbor_interface = link.interface_b;
+    } else if (link.device_b == device) {
+      neighbor = link.device_a;
+      neighbor_interface = link.interface_a;
+    } else {
+      continue;
+    }
+    const Config& config = config_for(neighbor);
+    const InterfaceConfig* intf = config.FindInterface(neighbor_interface);
+    if (intf != nullptr && intf->address.has_value() && intf->address->ip == ip) {
+      return NextHop{static_cast<LinkId>(i), neighbor};
+    }
+  }
+  return std::nullopt;
+}
+
+std::pair<std::string, std::string> Network::LinkInterfaces(LinkId link_id,
+                                                            DeviceId egress_device) const {
+  const TopoLink& link = links_[static_cast<size_t>(link_id)];
+  if (link.device_a == egress_device) {
+    return {link.interface_a, link.interface_b};
+  }
+  return {link.interface_b, link.interface_a};
+}
+
+DeviceId Network::LinkPeer(LinkId link_id, DeviceId device) const {
+  const TopoLink& link = links_[static_cast<size_t>(link_id)];
+  return link.device_a == device ? link.device_b : link.device_a;
+}
+
+bool Network::ProcessUsesInterface(ProcessId process, const std::string& interface) const {
+  const RoutingProcess& proc = processes_[static_cast<size_t>(process)];
+  const Config& config = config_for(proc.device);
+  const InterfaceConfig* intf = config.FindInterface(interface);
+  if (intf == nullptr || intf->shutdown || !intf->address.has_value()) {
+    return false;
+  }
+  switch (proc.kind) {
+    case RouteSource::kOspf: {
+      const OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+      if (ospf == nullptr) {
+        return false;
+      }
+      return std::any_of(ospf->networks.begin(), ospf->networks.end(),
+                         [&](const Ipv4Prefix& n) { return n.Contains(intf->address->ip); });
+    }
+    case RouteSource::kRip: {
+      if (!config.rip.has_value()) {
+        return false;
+      }
+      return std::any_of(config.rip->networks.begin(), config.rip->networks.end(),
+                         [&](const Ipv4Prefix& n) { return n.Contains(intf->address->ip); });
+    }
+    case RouteSource::kBgp: {
+      // BGP sessions are neighbor-addressed rather than interface-scoped; a
+      // BGP process "uses" an interface when one of its neighbors lives in
+      // that interface's subnet.
+      if (!config.bgp.has_value()) {
+        return false;
+      }
+      Ipv4Prefix subnet = intf->address->Prefix();
+      return std::any_of(config.bgp->neighbors.begin(), config.bgp->neighbors.end(),
+                         [&](const BgpNeighbor& n) { return subnet.Contains(n.ip); });
+    }
+    case RouteSource::kConnected:
+    case RouteSource::kStatic:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace cpr

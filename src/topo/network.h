@@ -1,0 +1,133 @@
+// Network topology derived from a set of router configurations.
+//
+// The topology layer answers the structural questions ARC's ETG construction
+// (Algorithm 1) asks: which devices exist, which routing processes run on
+// them, which physical links connect them (two interfaces sharing an IPv4
+// subnet), which subnets host endpoints (an addressed interface with no peer
+// router), and where waypoints (firewalls) sit.
+//
+// Waypoint placement is not expressible in router configurations — the paper
+// treats firewalls as attributes of links (Figure 2a) — so it arrives as an
+// annotation set next to the configs.
+
+#ifndef CPR_SRC_TOPO_NETWORK_H_
+#define CPR_SRC_TOPO_NETWORK_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/ast.h"
+#include "netbase/result.h"
+#include "netbase/traffic_class.h"
+
+namespace cpr {
+
+using DeviceId = int;
+using ProcessId = int;  // Index into Network::processes().
+using LinkId = int;
+using SubnetId = int;
+
+// One routing process instance on a device. Static routes and connected
+// subnets are not processes (they are constructs Algorithm 1 layers on top).
+struct RoutingProcess {
+  DeviceId device = -1;
+  RouteSource kind = RouteSource::kOspf;
+  // OSPF process id / BGP ASN; 0 for RIP.
+  int protocol_id = 0;
+  // Position of this process among the device's processes.
+  int index_on_device = 0;
+};
+
+struct Device {
+  std::string name;
+  // Index into the config vector the network was built from.
+  int config_index = -1;
+  std::vector<ProcessId> processes;
+};
+
+// A point-to-point physical link: two router interfaces in one subnet.
+struct TopoLink {
+  DeviceId device_a = -1;
+  std::string interface_a;
+  DeviceId device_b = -1;
+  std::string interface_b;
+  Ipv4Prefix prefix;
+  // True when a firewall/waypoint sits on this link (annotation).
+  bool waypoint = false;
+};
+
+// A host-facing subnet: one addressed router interface with no router peer.
+struct Subnet {
+  Ipv4Prefix prefix;
+  DeviceId device = -1;
+  std::string interface;
+};
+
+// Side-channel facts that accompany configurations.
+struct NetworkAnnotations {
+  // Links carrying a waypoint, named by the (unordered) device-name pair.
+  std::set<std::pair<std::string, std::string>> waypoint_links;
+};
+
+class Network {
+ public:
+  // Builds the topology from parsed configurations. Fails on duplicate
+  // hostnames or a subnet shared by more than two routers (CPR models
+  // point-to-point links, like the paper's data centers after switch
+  // exclusion).
+  static Result<Network> Build(std::vector<Config> configs,
+                               NetworkAnnotations annotations = {});
+
+  const std::vector<Config>& configs() const { return configs_; }
+  std::vector<Config>& mutable_configs() { return configs_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  const std::vector<RoutingProcess>& processes() const { return processes_; }
+  const std::vector<TopoLink>& links() const { return links_; }
+  const std::vector<Subnet>& subnets() const { return subnets_; }
+  const NetworkAnnotations& annotations() const { return annotations_; }
+
+  const Config& config_for(DeviceId device) const {
+    return configs_[static_cast<size_t>(devices_[static_cast<size_t>(device)].config_index)];
+  }
+
+  std::optional<DeviceId> FindDevice(const std::string& name) const;
+  std::optional<SubnetId> FindSubnet(const Ipv4Prefix& prefix) const;
+  // The link between two devices, if any (either orientation).
+  std::optional<LinkId> FindLink(DeviceId a, DeviceId b) const;
+
+  // All ordered pairs of distinct subnets — the traffic classes the paper's
+  // policies range over.
+  std::vector<TrafficClass> EnumerateTrafficClasses() const;
+
+  // Resolves a next-hop IP to the link and neighbor it lives on, from the
+  // perspective of `device` (the neighbor's interface address matches `ip`).
+  struct NextHop {
+    LinkId link = -1;
+    DeviceId neighbor = -1;
+  };
+  std::optional<NextHop> ResolveNextHop(DeviceId device, Ipv4Address ip) const;
+
+  // Whether an OSPF/RIP/BGP process covers (is configured on) an interface.
+  bool ProcessUsesInterface(ProcessId process, const std::string& interface) const;
+
+  // Interface names of `link` oriented so `.first` is on `egress_device`.
+  std::pair<std::string, std::string> LinkInterfaces(LinkId link,
+                                                     DeviceId egress_device) const;
+  // The device on the other end of `link`.
+  DeviceId LinkPeer(LinkId link, DeviceId device) const;
+
+ private:
+  std::vector<Config> configs_;
+  std::vector<Device> devices_;
+  std::vector<RoutingProcess> processes_;
+  std::vector<TopoLink> links_;
+  std::vector<Subnet> subnets_;
+  NetworkAnnotations annotations_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_TOPO_NETWORK_H_

@@ -1,0 +1,564 @@
+#include "translate/translator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "config/printer.h"
+
+namespace cpr {
+
+namespace {
+
+// Mutable view over the patched configs during translation.
+class Patcher {
+ public:
+  Patcher(const Network& network, std::vector<Config>* configs,
+          NetworkAnnotations* annotations, std::vector<std::string>* log)
+      : network_(network), configs_(configs), annotations_(annotations), log_(log) {}
+
+  Status Apply(const RepairEdits& edits) {
+    for (const AdjacencyEdit& edit : edits.adjacencies) {
+      Status status = ApplyAdjacency(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const RedistributionEdit& edit : edits.redistributions) {
+      Status status = ApplyRedistribution(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const FilterEdit& edit : edits.filters) {
+      Status status = ApplyFilter(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const StaticRouteEdit& edit : edits.static_routes) {
+      Status status = ApplyStaticRoute(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const AclEdit& edit : edits.acls) {
+      Status status = ApplyAcl(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const CostEdit& edit : edits.costs) {
+      Status status = ApplyCost(edit);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    for (const WaypointEdit& edit : edits.waypoints) {
+      ApplyWaypoint(edit);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Config& ConfigOf(DeviceId device) {
+    int index = network_.devices()[static_cast<size_t>(device)].config_index;
+    return (*configs_)[static_cast<size_t>(index)];
+  }
+  const std::string& NameOf(DeviceId device) const {
+    return network_.devices()[static_cast<size_t>(device)].name;
+  }
+  const RoutingProcess& Proc(ProcessId p) const {
+    return network_.processes()[static_cast<size_t>(p)];
+  }
+
+  void Log(const std::string& message) { log_->push_back(message); }
+
+  // ---- Adjacencies ----------------------------------------------------------
+
+  Status ApplyAdjacency(const AdjacencyEdit& edit) {
+    const RoutingProcess& pa = Proc(edit.process_a);
+    const RoutingProcess& pb = Proc(edit.process_b);
+    if (pa.kind != pb.kind) {
+      return Error("adjacency edit across different protocols");
+    }
+    switch (pa.kind) {
+      case RouteSource::kOspf:
+        return edit.enable ? EnableOspfAdjacency(edit) : DisableOspfAdjacency(edit);
+      case RouteSource::kBgp:
+        return edit.enable ? EnableBgpAdjacency(edit) : DisableBgpAdjacency(edit);
+      default:
+        return Error("adjacency translation is supported for OSPF and BGP only");
+    }
+  }
+
+  Status EnableOspfAdjacency(const AdjacencyEdit& edit) {
+    for (ProcessId p : {edit.process_a, edit.process_b}) {
+      const RoutingProcess& proc = Proc(p);
+      auto [intf_name, peer_intf] = network_.LinkInterfaces(edit.link, proc.device);
+      Config& config = ConfigOf(proc.device);
+      OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+      if (ospf == nullptr) {
+        return Error("OSPF process missing on " + NameOf(proc.device));
+      }
+      if (ospf->passive_interfaces.erase(intf_name) > 0) {
+        Log(NameOf(proc.device) + ": remove passive-interface " + intf_name);
+      }
+      const InterfaceConfig* intf = config.FindInterface(intf_name);
+      if (intf == nullptr || !intf->address.has_value()) {
+        return Error("link interface " + intf_name + " missing on " + NameOf(proc.device));
+      }
+      bool covered = std::any_of(
+          ospf->networks.begin(), ospf->networks.end(),
+          [&](const Ipv4Prefix& n) { return n.Contains(intf->address->ip); });
+      if (!covered) {
+        ospf->networks.push_back(intf->address->Prefix());
+        Log(NameOf(proc.device) + ": add network " + intf->address->Prefix().ToString() +
+            " to ospf " + std::to_string(proc.protocol_id));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status DisableOspfAdjacency(const AdjacencyEdit& edit) {
+    // One passive side suffices to tear the adjacency down (one line).
+    const RoutingProcess& proc = Proc(edit.process_a);
+    auto [intf_name, peer_intf] = network_.LinkInterfaces(edit.link, proc.device);
+    Config& config = ConfigOf(proc.device);
+    OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+    if (ospf == nullptr) {
+      return Error("OSPF process missing on " + NameOf(proc.device));
+    }
+    ospf->passive_interfaces.insert(intf_name);
+    Log(NameOf(proc.device) + ": add passive-interface " + intf_name);
+    return Status::Ok();
+  }
+
+  Status EnableBgpAdjacency(const AdjacencyEdit& edit) {
+    for (auto [self, other] : {std::pair{edit.process_a, edit.process_b},
+                               std::pair{edit.process_b, edit.process_a}}) {
+      const RoutingProcess& proc = Proc(self);
+      const RoutingProcess& peer = Proc(other);
+      auto [self_intf, peer_intf] = network_.LinkInterfaces(edit.link, proc.device);
+      const InterfaceConfig* peer_interface =
+          ConfigOf(peer.device).FindInterface(peer_intf);
+      if (peer_interface == nullptr || !peer_interface->address.has_value()) {
+        return Error("peer interface missing for BGP adjacency");
+      }
+      Config& config = ConfigOf(proc.device);
+      if (!config.bgp.has_value()) {
+        return Error("BGP process missing on " + NameOf(proc.device));
+      }
+      Ipv4Address peer_ip = peer_interface->address->ip;
+      bool exists = std::any_of(
+          config.bgp->neighbors.begin(), config.bgp->neighbors.end(),
+          [&](const BgpNeighbor& n) {
+            return n.ip == peer_ip && n.remote_as == peer.protocol_id;
+          });
+      if (!exists) {
+        config.bgp->neighbors.push_back(BgpNeighbor{peer_ip, peer.protocol_id});
+        Log(NameOf(proc.device) + ": add neighbor " + peer_ip.ToString() + " remote-as " +
+            std::to_string(peer.protocol_id));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status DisableBgpAdjacency(const AdjacencyEdit& edit) {
+    // Removing one side's neighbor statement kills the session.
+    const RoutingProcess& proc = Proc(edit.process_a);
+    const RoutingProcess& peer = Proc(edit.process_b);
+    auto [self_intf, peer_intf] = network_.LinkInterfaces(edit.link, proc.device);
+    const InterfaceConfig* peer_interface = ConfigOf(peer.device).FindInterface(peer_intf);
+    if (peer_interface == nullptr || !peer_interface->address.has_value()) {
+      return Error("peer interface missing for BGP adjacency");
+    }
+    Config& config = ConfigOf(proc.device);
+    if (!config.bgp.has_value()) {
+      return Error("BGP process missing on " + NameOf(proc.device));
+    }
+    Ipv4Address peer_ip = peer_interface->address->ip;
+    auto& neighbors = config.bgp->neighbors;
+    size_t before = neighbors.size();
+    neighbors.erase(std::remove_if(neighbors.begin(), neighbors.end(),
+                                   [&](const BgpNeighbor& n) { return n.ip == peer_ip; }),
+                    neighbors.end());
+    if (neighbors.size() == before) {
+      return Error("no neighbor statement found to remove on " + NameOf(proc.device));
+    }
+    Log(NameOf(proc.device) + ": remove neighbor " + peer_ip.ToString());
+    return Status::Ok();
+  }
+
+  // ---- Redistribution -------------------------------------------------------
+
+  Status ApplyRedistribution(const RedistributionEdit& edit) {
+    const RoutingProcess& redistributing = Proc(edit.redistributing);
+    const RoutingProcess& source = Proc(edit.source);
+    Config& config = ConfigOf(redistributing.device);
+    std::vector<Redistribution>* redists = nullptr;
+    switch (redistributing.kind) {
+      case RouteSource::kOspf: {
+        OspfConfig* ospf = config.FindOspf(redistributing.protocol_id);
+        if (ospf == nullptr) {
+          return Error("OSPF process missing");
+        }
+        redists = &ospf->redistributes;
+        break;
+      }
+      case RouteSource::kBgp:
+        if (!config.bgp.has_value()) {
+          return Error("BGP process missing");
+        }
+        redists = &config.bgp->redistributes;
+        break;
+      case RouteSource::kRip:
+        if (!config.rip.has_value()) {
+          return Error("RIP process missing");
+        }
+        redists = &config.rip->redistributes;
+        break;
+      default:
+        return Error("invalid redistributing process");
+    }
+    Redistribution target{source.kind,
+                          source.kind == RouteSource::kRip ? 0 : source.protocol_id};
+    auto it = std::find(redists->begin(), redists->end(), target);
+    if (edit.enable) {
+      if (it == redists->end()) {
+        redists->push_back(target);
+        Log(NameOf(redistributing.device) + ": add redistribute " +
+            RouteSourceName(source.kind));
+      }
+    } else {
+      if (it == redists->end()) {
+        return Error("no redistribute statement found to remove");
+      }
+      redists->erase(it);
+      Log(NameOf(redistributing.device) + ": remove redistribute " +
+          RouteSourceName(source.kind));
+    }
+    return Status::Ok();
+  }
+
+  // ---- Route filters --------------------------------------------------------
+
+  Status ApplyFilter(const FilterEdit& edit) {
+    const RoutingProcess& proc = Proc(edit.process);
+    Config& config = ConfigOf(proc.device);
+    const Ipv4Prefix& dst = network_.subnets()[static_cast<size_t>(edit.dst)].prefix;
+
+    std::optional<DistributeList>* dist_list = nullptr;
+    std::string proc_label;
+    switch (proc.kind) {
+      case RouteSource::kOspf: {
+        OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+        if (ospf == nullptr) {
+          return Error("OSPF process missing");
+        }
+        dist_list = &ospf->distribute_list;
+        proc_label = "ospf" + std::to_string(proc.protocol_id);
+        break;
+      }
+      case RouteSource::kBgp:
+        if (!config.bgp.has_value()) {
+          return Error("BGP process missing");
+        }
+        dist_list = &config.bgp->distribute_list;
+        proc_label = "bgp" + std::to_string(proc.protocol_id);
+        break;
+      case RouteSource::kRip:
+        if (!config.rip.has_value()) {
+          return Error("RIP process missing");
+        }
+        dist_list = &config.rip->distribute_list;
+        proc_label = "rip";
+        break;
+      default:
+        return Error("invalid filter process");
+    }
+
+    if (edit.block) {
+      if (!dist_list->has_value()) {
+        // Create a filter allowing everything except dst.
+        std::string name = "CPR-FLT-" + proc_label;
+        PrefixList& list = config.prefix_lists[name];
+        list.name = name;
+        list.entries.push_back(PrefixListEntry{false, dst, false});
+        list.entries.push_back(
+            PrefixListEntry{true, Ipv4Prefix(Ipv4Address(0), 0), true});
+        *dist_list = DistributeList{name};
+        Log(NameOf(proc.device) + ": create prefix-list " + name + " denying " +
+            dst.ToString() + " and apply distribute-list");
+        return Status::Ok();
+      }
+      PrefixList& list = config.prefix_lists[(*dist_list)->prefix_list];
+      if (list.name.empty()) {
+        list.name = (*dist_list)->prefix_list;
+        list.entries.push_back(
+            PrefixListEntry{true, Ipv4Prefix(Ipv4Address(0), 0), true});
+      }
+      list.entries.insert(list.entries.begin(), PrefixListEntry{false, dst, false});
+      Log(NameOf(proc.device) + ": deny " + dst.ToString() + " in prefix-list " +
+          list.name);
+      return Status::Ok();
+    }
+
+    // Unblock: the process currently filters dst.
+    if (!dist_list->has_value()) {
+      return Error("filter unblock requested but process has no distribute-list");
+    }
+    PrefixList& list = config.prefix_lists[(*dist_list)->prefix_list];
+    // If the first matching entry is an exact deny for dst, drop it;
+    // otherwise insert a permit in front (paper §6's ACL procedure, applied
+    // to prefix lists).
+    for (size_t i = 0; i < list.entries.size(); ++i) {
+      if (!list.entries[i].Matches(dst)) {
+        continue;
+      }
+      if (!list.entries[i].permit && list.entries[i].prefix == dst &&
+          !list.entries[i].le32) {
+        list.entries.erase(list.entries.begin() + static_cast<ptrdiff_t>(i));
+        Log(NameOf(proc.device) + ": remove deny " + dst.ToString() + " from prefix-list " +
+            list.name);
+        return Status::Ok();
+      }
+      break;
+    }
+    list.entries.insert(list.entries.begin(), PrefixListEntry{true, dst, false});
+    Log(NameOf(proc.device) + ": permit " + dst.ToString() + " in prefix-list " + list.name);
+    return Status::Ok();
+  }
+
+  // ---- Static routes --------------------------------------------------------
+
+  Status ApplyStaticRoute(const StaticRouteEdit& edit) {
+    Config& config = ConfigOf(edit.device);
+    const Ipv4Prefix& dst = network_.subnets()[static_cast<size_t>(edit.dst)].prefix;
+    DeviceId peer = network_.LinkPeer(edit.link, edit.device);
+    auto [self_intf, peer_intf] = network_.LinkInterfaces(edit.link, edit.device);
+    const InterfaceConfig* next_hop_intf = ConfigOf(peer).FindInterface(peer_intf);
+    if (next_hop_intf == nullptr || !next_hop_intf->address.has_value()) {
+      return Error("static route next hop interface missing");
+    }
+    Ipv4Address next_hop = next_hop_intf->address->ip;
+
+    if (edit.add) {
+      // edit.distance is 1 (primary) unless the repair must protect a PC4
+      // primary path, in which case it is 200 (backup, paper Figure 2d).
+      config.static_routes.push_back(StaticRouteConfig{dst, next_hop, edit.distance});
+      Log(NameOf(edit.device) + ": add ip route " + dst.ToString() + " " +
+          next_hop.ToString() +
+          (edit.distance != 1 ? " " + std::to_string(edit.distance) : ""));
+      // A static route deep in the network only attracts traffic if the
+      // device advertises it; ensure `redistribute static` on the device's
+      // routing process (the ETG edge assumes the path is usable end-to-end).
+      for (ProcessId p : network_.devices()[static_cast<size_t>(edit.device)].processes) {
+        const RoutingProcess& proc = Proc(p);
+        std::vector<Redistribution>* redists = nullptr;
+        if (proc.kind == RouteSource::kOspf) {
+          OspfConfig* ospf = config.FindOspf(proc.protocol_id);
+          redists = ospf != nullptr ? &ospf->redistributes : nullptr;
+        } else if (proc.kind == RouteSource::kBgp && config.bgp.has_value()) {
+          redists = &config.bgp->redistributes;
+        } else if (proc.kind == RouteSource::kRip && config.rip.has_value()) {
+          redists = &config.rip->redistributes;
+        }
+        if (redists == nullptr) {
+          continue;
+        }
+        Redistribution target{RouteSource::kStatic, 0};
+        if (std::find(redists->begin(), redists->end(), target) == redists->end()) {
+          redists->push_back(target);
+          Log(NameOf(edit.device) + ": add redistribute static");
+        }
+        break;
+      }
+      return Status::Ok();
+    }
+    auto& routes = config.static_routes;
+    auto it = std::find_if(routes.begin(), routes.end(), [&](const StaticRouteConfig& r) {
+      return r.prefix == dst && r.next_hop == next_hop;
+    });
+    if (it == routes.end()) {
+      return Error(
+          "static route removal for " + dst.ToString() + " on " + NameOf(edit.device) +
+          " has no exact match (covering routes cannot be removed per-destination)");
+    }
+    routes.erase(it);
+    Log(NameOf(edit.device) + ": remove ip route " + dst.ToString() + " " +
+        next_hop.ToString());
+    return Status::Ok();
+  }
+
+  // ---- ACLs -----------------------------------------------------------------
+
+  static std::string SanitizeName(std::string name) {
+    for (char& c : name) {
+      if (c == '/' || c == '.') {
+        c = '-';
+      }
+    }
+    return name;
+  }
+
+  // Adds a deny (or front permit) for tc on the ACL applied at
+  // (device, interface, in|out), creating ACL and application when missing.
+  void EditAclAt(DeviceId device, const std::string& interface, bool inbound,
+                 const TrafficClass& tc, bool block) {
+    Config& config = ConfigOf(device);
+    InterfaceConfig* intf = config.FindInterface(interface);
+    std::optional<std::string>& applied = inbound ? intf->acl_in : intf->acl_out;
+    if (!applied.has_value()) {
+      if (!block) {
+        return;  // Nothing blocks here.
+      }
+      std::string name = "CPR-" + SanitizeName(NameOf(device) + "-" + interface) +
+                         (inbound ? "-IN" : "-OUT");
+      AccessList& acl = config.access_lists[name];
+      acl.name = name;
+      acl.entries.push_back(AclEntry{false, tc.src(), tc.dst()});
+      acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+      applied = name;
+      Log(NameOf(device) + ": create " + name + " denying " + tc.ToString() +
+          " and apply on " + interface);
+      return;
+    }
+    AccessList& acl = config.access_lists[*applied];
+    if (acl.name.empty()) {
+      // Interface referenced an undefined ACL (permits all); materialize it.
+      acl.name = *applied;
+      acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+    }
+    if (block) {
+      if (!acl.Permits(tc)) {
+        return;  // Already blocked here.
+      }
+      acl.entries.insert(acl.entries.begin(), AclEntry{false, tc.src(), tc.dst()});
+      Log(NameOf(device) + ": deny " + tc.ToString() + " in " + acl.name);
+      return;
+    }
+    // Unblock: remove an exact deny if it is the first match; otherwise
+    // insert a permit in front (paper §6).
+    if (acl.Permits(tc)) {
+      return;  // Already permitted here.
+    }
+    for (size_t i = 0; i < acl.entries.size(); ++i) {
+      if (!acl.entries[i].Matches(tc)) {
+        continue;
+      }
+      if (!acl.entries[i].permit && acl.entries[i].src == tc.src() &&
+          acl.entries[i].dst == tc.dst()) {
+        acl.entries.erase(acl.entries.begin() + static_cast<ptrdiff_t>(i));
+        Log(NameOf(device) + ": remove deny " + tc.ToString() + " from " + acl.name);
+        return;
+      }
+      break;
+    }
+    acl.entries.insert(acl.entries.begin(), AclEntry{true, tc.src(), tc.dst()});
+    Log(NameOf(device) + ": permit " + tc.ToString() + " in " + acl.name);
+  }
+
+  Status ApplyAcl(const AclEdit& edit) {
+    TrafficClass tc(network_.subnets()[static_cast<size_t>(edit.src)].prefix,
+                    network_.subnets()[static_cast<size_t>(edit.dst)].prefix);
+    switch (edit.where) {
+      case AclEdit::Where::kLink: {
+        DeviceId ingress = network_.LinkPeer(edit.link, edit.egress_device);
+        auto [egress_intf, ingress_intf] =
+            network_.LinkInterfaces(edit.link, edit.egress_device);
+        if (edit.block) {
+          // Block on the ingress side (paper's example ACLs sit there).
+          EditAclAt(ingress, ingress_intf, /*inbound=*/true, tc, true);
+        } else {
+          // Unblock wherever the block lives (possibly both sides).
+          EditAclAt(edit.egress_device, egress_intf, /*inbound=*/false, tc, false);
+          EditAclAt(ingress, ingress_intf, /*inbound=*/true, tc, false);
+        }
+        return Status::Ok();
+      }
+      case AclEdit::Where::kSubnetSrcSide: {
+        const Subnet& subnet = network_.subnets()[static_cast<size_t>(edit.endpoint_subnet)];
+        EditAclAt(subnet.device, subnet.interface, /*inbound=*/true, tc, edit.block);
+        return Status::Ok();
+      }
+      case AclEdit::Where::kSubnetDstSide: {
+        const Subnet& subnet = network_.subnets()[static_cast<size_t>(edit.endpoint_subnet)];
+        EditAclAt(subnet.device, subnet.interface, /*inbound=*/false, tc, edit.block);
+        return Status::Ok();
+      }
+    }
+    return Error("invalid ACL edit");
+  }
+
+  // ---- Costs and waypoints --------------------------------------------------
+
+  Status ApplyCost(const CostEdit& edit) {
+    auto [egress_intf, ingress_intf] =
+        network_.LinkInterfaces(edit.link, edit.egress_device);
+    Config& config = ConfigOf(edit.egress_device);
+    InterfaceConfig* intf = config.FindInterface(egress_intf);
+    if (intf == nullptr) {
+      return Error("cost edit on missing interface " + egress_intf);
+    }
+    intf->ospf_cost = edit.new_cost;
+    Log(NameOf(edit.egress_device) + ": set ip ospf cost " + std::to_string(edit.new_cost) +
+        " on " + egress_intf);
+    return Status::Ok();
+  }
+
+  void ApplyWaypoint(const WaypointEdit& edit) {
+    const TopoLink& link = network_.links()[static_cast<size_t>(edit.link)];
+    annotations_->waypoint_links.insert(
+        {NameOf(link.device_a), NameOf(link.device_b)});
+    Log("place waypoint on link " + NameOf(link.device_a) + "-" + NameOf(link.device_b));
+  }
+
+  const Network& network_;
+  std::vector<Config>* configs_;
+  NetworkAnnotations* annotations_;
+  std::vector<std::string>* log_;
+};
+
+}  // namespace
+
+int TranslationResult::LinesChanged() const {
+  int total = 0;
+  for (const ConfigDiff& diff : device_diffs) {
+    total += diff.total();
+  }
+  return total;
+}
+
+std::string TranslationResult::DiffText(const Network& network) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < device_diffs.size(); ++i) {
+    if (device_diffs[i].lines.empty()) {
+      continue;
+    }
+    out << "--- " << network.configs()[i].hostname << " ---\n"
+        << device_diffs[i].ToString();
+  }
+  return out.str();
+}
+
+Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdits& edits) {
+  TranslationResult result;
+  result.patched_configs = network.configs();
+  result.annotations = network.annotations();
+
+  Patcher patcher(network, &result.patched_configs, &result.annotations,
+                  &result.change_log);
+  Status status = patcher.Apply(edits);
+  if (!status.ok()) {
+    return status.error();
+  }
+
+  result.device_diffs.reserve(network.configs().size());
+  for (size_t i = 0; i < network.configs().size(); ++i) {
+    result.device_diffs.push_back(
+        DiffConfigs(network.configs()[i], result.patched_configs[i]));
+  }
+  return result;
+}
+
+}  // namespace cpr

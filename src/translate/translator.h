@@ -1,0 +1,63 @@
+// Translating HARC repairs to configuration changes (paper §6, Table 3).
+//
+// Because the repair engine's decision variables already are configuration
+// constructs (see repair/edits.h), translation is mechanical: each edit
+// locates its stanza and inserts, removes, or rewrites the corresponding
+// lines —
+//
+//   adjacency enable   remove `passive-interface` / add `network` (OSPF),
+//                      add `neighbor ... remote-as ...` on both ends (BGP)
+//   adjacency disable  add `passive-interface` (OSPF), remove a neighbor
+//                      statement (BGP)
+//   redistribution     add/remove `redistribute <proto> <id>`
+//   route filter       add/remove a prefix-list deny (creating the
+//                      prefix-list and `distribute-list` application when
+//                      the process has none)
+//   static route       add/remove `ip route <dst> <next-hop> 200` (backup
+//                      administrative distance, as in the paper's Figure 2d
+//                      repair, so the route never preempts protocol routes)
+//   ACL                add/remove a deny entry — or add a permit entry in
+//                      front when the block stems from another entry or the
+//                      implicit deny (paper §6's procedure) — creating the
+//                      ACL and `ip access-group` application when absent
+//   cost               set `ip ospf cost` on the egress interface
+//   waypoint           recorded in the network annotations
+//
+// The measured repair size is the line diff between the original and patched
+// canonical configuration texts.
+
+#ifndef CPR_SRC_TRANSLATE_TRANSLATOR_H_
+#define CPR_SRC_TRANSLATE_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "config/diff.h"
+#include "netbase/result.h"
+#include "repair/edits.h"
+#include "topo/network.h"
+
+namespace cpr {
+
+struct TranslationResult {
+  // One patched config per original device (same order).
+  std::vector<Config> patched_configs;
+  // Original annotations plus any repair-placed waypoints.
+  NetworkAnnotations annotations;
+  // Per-device diffs of the canonical printed configurations.
+  std::vector<ConfigDiff> device_diffs;
+  // Human-readable change log, one entry per construct edit.
+  std::vector<std::string> change_log;
+
+  // Total configuration lines changed (sum of per-device added+removed).
+  int LinesChanged() const;
+  // Unified change summary for display.
+  std::string DiffText(const Network& network) const;
+};
+
+// Applies the edits to (copies of) the network's configurations.
+Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdits& edits);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_TRANSLATE_TRANSLATOR_H_

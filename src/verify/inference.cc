@@ -1,0 +1,36 @@
+#include "verify/inference.h"
+
+#include <algorithm>
+
+#include "verify/checker.h"
+
+namespace cpr {
+
+std::vector<Policy> InferPolicies(const Harc& harc, const InferenceOptions& options) {
+  std::vector<Policy> policies;
+  const int subnet_count = harc.SubnetCount();
+  const auto& subnets = harc.network().subnets();
+  for (SubnetId s = 0; s < subnet_count; ++s) {
+    for (SubnetId d = 0; d < subnet_count; ++d) {
+      if (s == d) {
+        continue;
+      }
+      // Traffic between subnets on one router never crosses the control
+      // plane ARC models (the router bridges them locally); no policy is
+      // inferred for such pairs.
+      if (subnets[static_cast<size_t>(s)].device == subnets[static_cast<size_t>(d)].device) {
+        continue;
+      }
+      int disjoint_paths = LinkDisjointPathCount(harc, s, d);
+      if (disjoint_paths == 0) {
+        policies.push_back(Policy::AlwaysBlocked(s, d));
+      } else {
+        int k = options.max_k > 0 ? std::min(disjoint_paths, options.max_k) : disjoint_paths;
+        policies.push_back(Policy::Reachability(s, d, k));
+      }
+    }
+  }
+  return policies;
+}
+
+}  // namespace cpr

@@ -1,0 +1,33 @@
+// Policy inference, paper §8.
+//
+// The evaluation dataset has no explicit policy list, so the paper infers
+// the policies each network satisfies in a snapshot "using ARC's
+// verification algorithms", restricted to PC1 and PC3. We do the same: for
+// every traffic class, blocked traffic yields a PC1 policy, reachable
+// traffic yields a PC3 policy whose k is the number of link-disjoint paths
+// (optionally capped — large fan-out networks would otherwise demand
+// needlessly strong fault-tolerance policies).
+
+#ifndef CPR_SRC_VERIFY_INFERENCE_H_
+#define CPR_SRC_VERIFY_INFERENCE_H_
+
+#include <vector>
+
+#include "arc/harc.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+struct InferenceOptions {
+  // Upper bound on inferred PC3 k; 0 means "no cap".
+  int max_k = 2;
+};
+
+// One PC1-or-PC3 policy per traffic class, mirroring the paper's dataset
+// ("the majority of the networks have a policy for every traffic class; no
+// traffic class has multiple policies").
+std::vector<Policy> InferPolicies(const Harc& harc, const InferenceOptions& options = {});
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_VERIFY_INFERENCE_H_

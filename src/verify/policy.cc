@@ -1,0 +1,42 @@
+#include "verify/policy.h"
+
+namespace cpr {
+
+std::string PolicyClassName(PolicyClass pc) {
+  switch (pc) {
+    case PolicyClass::kAlwaysBlocked:
+      return "PC1";
+    case PolicyClass::kAlwaysWaypoint:
+      return "PC2";
+    case PolicyClass::kReachability:
+      return "PC3";
+    case PolicyClass::kPrimaryPath:
+      return "PC4";
+    case PolicyClass::kIsolation:
+      return "PC5";
+  }
+  return "PC?";
+}
+
+std::string Policy::ToString(const Network& network) const {
+  const auto& subnets = network.subnets();
+  std::string out = PolicyClassName(pc) + " " +
+                    subnets[static_cast<size_t>(src)].prefix.ToString() + " -> " +
+                    subnets[static_cast<size_t>(dst)].prefix.ToString();
+  if (pc == PolicyClass::kReachability) {
+    out += " k=" + std::to_string(k);
+  }
+  if (pc == PolicyClass::kPrimaryPath) {
+    out += " via";
+    for (DeviceId d : primary_path) {
+      out += " " + network.devices()[static_cast<size_t>(d)].name;
+    }
+  }
+  if (pc == PolicyClass::kIsolation) {
+    out += " with " + subnets[static_cast<size_t>(src2)].prefix.ToString() + " -> " +
+           subnets[static_cast<size_t>(dst2)].prefix.ToString();
+  }
+  return out;
+}
+
+}  // namespace cpr

@@ -1,0 +1,73 @@
+// Policy model, paper Table 1.
+//
+// A policy names a traffic class and a requirement on the control plane's
+// behaviour under failures:
+//   PC1  traffic is always blocked;
+//   PC2  traffic always traverses a waypoint;
+//   PC3  the destination stays reachable when fewer than k links fail
+//        (equivalently: at least k link-disjoint paths exist);
+//   PC4  traffic uses a specific device-level path in the absence of
+//        failures.
+
+#ifndef CPR_SRC_VERIFY_POLICY_H_
+#define CPR_SRC_VERIFY_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace cpr {
+
+enum class PolicyClass {
+  kAlwaysBlocked,    // PC1
+  kAlwaysWaypoint,   // PC2
+  kReachability,     // PC3
+  kPrimaryPath,      // PC4
+  kIsolation,        // PC5 (paper §5.1's sketched extension: two traffic
+                     //      classes never share a link)
+};
+
+std::string PolicyClassName(PolicyClass pc);
+
+struct Policy {
+  PolicyClass pc = PolicyClass::kReachability;
+  SubnetId src = -1;
+  SubnetId dst = -1;
+  // PC3: required number of link-disjoint paths (tolerates k-1 failures).
+  int k = 1;
+  // PC4: the required path, as a device sequence from the source-attached
+  // device to the destination-attached device.
+  std::vector<DeviceId> primary_path;
+  // PC5: the second traffic class that must stay link-disjoint from
+  // (src, dst).
+  SubnetId src2 = -1;
+  SubnetId dst2 = -1;
+
+  static Policy AlwaysBlocked(SubnetId src, SubnetId dst) {
+    return Policy{PolicyClass::kAlwaysBlocked, src, dst, 0, {}};
+  }
+  static Policy AlwaysWaypoint(SubnetId src, SubnetId dst) {
+    return Policy{PolicyClass::kAlwaysWaypoint, src, dst, 0, {}};
+  }
+  static Policy Reachability(SubnetId src, SubnetId dst, int k) {
+    return Policy{PolicyClass::kReachability, src, dst, k, {}};
+  }
+  static Policy PrimaryPath(SubnetId src, SubnetId dst, std::vector<DeviceId> path) {
+    return Policy{PolicyClass::kPrimaryPath, src, dst, 0, std::move(path)};
+  }
+  static Policy Isolated(SubnetId src, SubnetId dst, SubnetId src2, SubnetId dst2) {
+    Policy policy{PolicyClass::kIsolation, src, dst, 0, {}};
+    policy.src2 = src2;
+    policy.dst2 = dst2;
+    return policy;
+  }
+
+  std::string ToString(const Network& network) const;
+
+  bool operator==(const Policy&) const = default;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_VERIFY_POLICY_H_

@@ -1,0 +1,496 @@
+#include "workload/datacenter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "arc/harc.h"
+#include "config/printer.h"
+#include "verify/checker.h"
+#include "verify/inference.h"
+
+namespace cpr {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Working-network construction
+// ---------------------------------------------------------------------------
+
+struct DcDraft {
+  std::vector<Config> configs;
+  int spines = 0;
+  int leaves = 0;
+  // Subnet prefix -> (leaf index, blocked sources by subnet index).
+  std::vector<Ipv4Prefix> subnet_prefixes;
+  std::vector<int> subnet_leaf;
+  // blocked[s][d]: traffic class (s, d) is blocked in the working network.
+  std::vector<std::vector<bool>> blocked;
+};
+
+Ipv4Prefix MustPrefix(const std::string& text) {
+  Result<Ipv4Prefix> prefix = Ipv4Prefix::Parse(text);
+  assert(prefix.ok());
+  return *prefix;
+}
+
+std::string ProtAclName(int subnet_index) { return "PROT" + std::to_string(subnet_index); }
+
+DcDraft BuildWorkingNetwork(std::mt19937* rng, double subnet_scale) {
+  DcDraft draft;
+
+  // Router count: 2..24, median 8 (log-normal around 8).
+  std::lognormal_distribution<double> router_dist(std::log(8.0), 0.45);
+  int routers = std::clamp(static_cast<int>(std::lround(router_dist(*rng))), 2, 24);
+  draft.spines = routers <= 3 ? 1 : std::clamp(routers / 4, 1, 4);
+  draft.leaves = routers - draft.spines;
+
+  // Subnet count: median ~30 (≈1K traffic classes) scaled by subnet_scale.
+  double median_subnets = std::max(4.0, 30.0 * subnet_scale);
+  std::lognormal_distribution<double> subnet_dist(std::log(median_subnets), 0.45);
+  int subnets = std::clamp(static_cast<int>(std::lround(subnet_dist(*rng))), 4, 300);
+
+  // Devices: leaves L0.., spines S0..
+  for (int l = 0; l < draft.leaves; ++l) {
+    Config config;
+    config.hostname = "L" + std::to_string(l);
+    OspfConfig ospf;
+    ospf.process_id = 1;
+    ospf.networks.push_back(MustPrefix("10.0.0.0/8"));
+    ospf.redistributes.push_back(Redistribution{RouteSource::kConnected, 0});
+    config.ospf_processes.push_back(std::move(ospf));
+    draft.configs.push_back(std::move(config));
+  }
+  for (int s = 0; s < draft.spines; ++s) {
+    Config config;
+    config.hostname = "S" + std::to_string(s);
+    OspfConfig ospf;
+    ospf.process_id = 1;
+    ospf.networks.push_back(MustPrefix("10.0.0.0/8"));
+    config.ospf_processes.push_back(std::move(ospf));
+    draft.configs.push_back(std::move(config));
+  }
+
+  // Links: full leaf-spine bipartite mesh (or a single leaf-leaf link when
+  // there is no spine capacity to speak of).
+  int link_index = 0;
+  auto add_interface = [&](int device, const std::string& address, bool passive) {
+    Config& config = draft.configs[static_cast<size_t>(device)];
+    InterfaceConfig intf;
+    intf.name = "eth" + std::to_string(config.interfaces.size());
+    size_t slash = address.find('/');
+    Result<Ipv4Address> ip = Ipv4Address::Parse(address.substr(0, slash));
+    assert(ip.ok());
+    intf.address = InterfaceAddress{*ip, std::stoi(address.substr(slash + 1))};
+    config.interfaces.push_back(intf);
+    if (passive) {
+      config.ospf_processes[0].passive_interfaces.insert(intf.name);
+    }
+    return config.interfaces.back().name;
+  };
+  auto connect = [&](int a, int b) {
+    std::string base = "10." + std::to_string(1 + link_index / 250) + "." +
+                       std::to_string(link_index % 250) + ".";
+    add_interface(a, base + "1/24", false);
+    add_interface(b, base + "2/24", false);
+    ++link_index;
+  };
+  if (draft.leaves == 1) {
+    // Degenerate two-router network: leaf + spine pair, subnets on both.
+    connect(0, 1);
+  } else {
+    for (int l = 0; l < draft.leaves; ++l) {
+      for (int s = 0; s < draft.spines; ++s) {
+        connect(l, draft.leaves + s);
+      }
+    }
+  }
+
+  // Host subnets round-robin over leaves (and the spine in the degenerate
+  // two-router case, so both routers host endpoints).
+  int host_devices = draft.leaves == 1 ? 2 : draft.leaves;
+  for (int i = 0; i < subnets; ++i) {
+    int device = i % host_devices;
+    std::string base = "10." + std::to_string(200 + i / 250) + "." +
+                       std::to_string(i % 250) + ".";
+    add_interface(device, base + "1/24", true);
+    draft.subnet_prefixes.push_back(MustPrefix(base + "0/24"));
+    draft.subnet_leaf.push_back(device);
+  }
+
+  // Blocked traffic classes: per-network blocking rate, realized as an
+  // egress ACL at the destination's host-facing interface (single choke
+  // point covering every path).
+  std::uniform_real_distribution<double> rate_dist(0.05, 0.4);
+  double block_rate = rate_dist(*rng);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  draft.blocked.assign(static_cast<size_t>(subnets),
+                       std::vector<bool>(static_cast<size_t>(subnets), false));
+  for (int d = 0; d < subnets; ++d) {
+    std::vector<int> blocked_sources;
+    for (int s = 0; s < subnets; ++s) {
+      if (s != d && draft.subnet_leaf[static_cast<size_t>(s)] !=
+                        draft.subnet_leaf[static_cast<size_t>(d)] &&
+          coin(*rng) < block_rate) {
+        draft.blocked[static_cast<size_t>(s)][static_cast<size_t>(d)] = true;
+        blocked_sources.push_back(s);
+      }
+    }
+    if (blocked_sources.empty()) {
+      continue;
+    }
+    int device = draft.subnet_leaf[static_cast<size_t>(d)];
+    Config& config = draft.configs[static_cast<size_t>(device)];
+    AccessList& acl = config.access_lists[ProtAclName(d)];
+    acl.name = ProtAclName(d);
+    for (int s : blocked_sources) {
+      acl.entries.push_back(AclEntry{false, draft.subnet_prefixes[static_cast<size_t>(s)],
+                                     draft.subnet_prefixes[static_cast<size_t>(d)]});
+    }
+    acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+    // Find the host interface of subnet d on that device and attach.
+    for (InterfaceConfig& intf : config.interfaces) {
+      if (intf.address.has_value() &&
+          intf.address->Prefix() == draft.subnet_prefixes[static_cast<size_t>(d)]) {
+        intf.acl_out = ProtAclName(d);
+      }
+    }
+  }
+
+  return draft;
+}
+
+// ---------------------------------------------------------------------------
+// Breakage: the state of the earlier snapshot
+// ---------------------------------------------------------------------------
+
+struct BreakOp {
+  enum class Kind { kUnprotectTc, kBlockTc, kDisableAdjacency };
+  Kind kind = Kind::kUnprotectTc;
+  int src = -1;           // kUnprotectTc / kBlockTc
+  int dst = -1;
+  int leaf = -1;          // kDisableAdjacency
+  std::string interface;  // kDisableAdjacency: leaf-side interface
+};
+
+std::vector<BreakOp> ChooseBreaks(const DcDraft& draft, std::mt19937* rng) {
+  std::vector<BreakOp> ops;
+  std::uniform_int_distribution<int> count_dist(1, 3);
+  int wanted = count_dist(*rng);
+  const int subnets = static_cast<int>(draft.subnet_prefixes.size());
+  std::uniform_int_distribution<int> subnet_dist(0, subnets - 1);
+  std::uniform_int_distribution<int> kind_dist(0, 2);
+  for (int attempt = 0; attempt < 40 && static_cast<int>(ops.size()) < wanted;
+       ++attempt) {
+    int kind = kind_dist(*rng);
+    if (kind == 0) {
+      // Remove a PC1 protection.
+      int s = subnet_dist(*rng);
+      int d = subnet_dist(*rng);
+      if (s != d && draft.blocked[static_cast<size_t>(s)][static_cast<size_t>(d)]) {
+        ops.push_back(BreakOp{BreakOp::Kind::kUnprotectTc, s, d, -1, ""});
+      }
+    } else if (kind == 1) {
+      // Block a PC3-policied traffic class.
+      int s = subnet_dist(*rng);
+      int d = subnet_dist(*rng);
+      if (s != d && !draft.blocked[static_cast<size_t>(s)][static_cast<size_t>(d)] &&
+          draft.subnet_leaf[static_cast<size_t>(s)] !=
+              draft.subnet_leaf[static_cast<size_t>(d)]) {
+        ops.push_back(BreakOp{BreakOp::Kind::kBlockTc, s, d, -1, ""});
+      }
+    } else if (draft.spines >= 2 && draft.leaves >= 2) {
+      // Tear down one leaf uplink (drops a disjoint path for the leaf). The
+      // leaf must host subnets, otherwise no policy notices.
+      std::uniform_int_distribution<int> leaf_dist(0, draft.leaves - 1);
+      int leaf = leaf_dist(*rng);
+      if (std::find(draft.subnet_leaf.begin(), draft.subnet_leaf.end(), leaf) ==
+          draft.subnet_leaf.end()) {
+        continue;
+      }
+      const Config& config = draft.configs[static_cast<size_t>(leaf)];
+      // Uplinks are the non-passive interfaces.
+      std::vector<std::string> uplinks;
+      for (const InterfaceConfig& intf : config.interfaces) {
+        if (config.ospf_processes[0].passive_interfaces.count(intf.name) == 0) {
+          uplinks.push_back(intf.name);
+        }
+      }
+      bool already = std::any_of(ops.begin(), ops.end(), [&](const BreakOp& o) {
+        return o.kind == BreakOp::Kind::kDisableAdjacency && o.leaf == leaf;
+      });
+      if (!already && uplinks.size() >= 2) {
+        // Disable all but one uplink so the leaf's disjoint-path count drops
+        // to 1, violating its subnets' PC3 (k=2) policies.
+        std::shuffle(uplinks.begin(), uplinks.end(), *rng);
+        for (size_t u = 1; u < uplinks.size(); ++u) {
+          BreakOp op;
+          op.kind = BreakOp::Kind::kDisableAdjacency;
+          op.leaf = leaf;
+          op.interface = uplinks[u];
+          ops.push_back(std::move(op));
+        }
+      }
+    }
+  }
+  if (ops.empty()) {
+    // Guarantee at least one violation: block the first cross-leaf pair.
+    for (int s = 0; s < subnets && ops.empty(); ++s) {
+      for (int d = 0; d < subnets && ops.empty(); ++d) {
+        if (s != d && !draft.blocked[static_cast<size_t>(s)][static_cast<size_t>(d)] &&
+            draft.subnet_leaf[static_cast<size_t>(s)] !=
+                draft.subnet_leaf[static_cast<size_t>(d)]) {
+          ops.push_back(BreakOp{BreakOp::Kind::kBlockTc, s, d, -1, ""});
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+void ApplyBreaks(const DcDraft& draft, const std::vector<BreakOp>& ops,
+                 std::vector<Config>* configs) {
+  for (const BreakOp& op : ops) {
+    switch (op.kind) {
+      case BreakOp::Kind::kUnprotectTc: {
+        int device = draft.subnet_leaf[static_cast<size_t>(op.dst)];
+        Config& config = (*configs)[static_cast<size_t>(device)];
+        auto it = config.access_lists.find(ProtAclName(op.dst));
+        if (it == config.access_lists.end()) {
+          break;
+        }
+        auto& entries = it->second.entries;
+        const Ipv4Prefix& src = draft.subnet_prefixes[static_cast<size_t>(op.src)];
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [&](const AclEntry& e) {
+                                       return !e.permit && e.src == src;
+                                     }),
+                      entries.end());
+        break;
+      }
+      case BreakOp::Kind::kBlockTc: {
+        int device = draft.subnet_leaf[static_cast<size_t>(op.dst)];
+        Config& config = (*configs)[static_cast<size_t>(device)];
+        AccessList& acl = config.access_lists[ProtAclName(op.dst)];
+        if (acl.name.empty()) {
+          acl.name = ProtAclName(op.dst);
+          acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+          for (InterfaceConfig& intf : config.interfaces) {
+            if (intf.address.has_value() &&
+                intf.address->Prefix() ==
+                    draft.subnet_prefixes[static_cast<size_t>(op.dst)]) {
+              intf.acl_out = acl.name;
+            }
+          }
+        }
+        acl.entries.insert(acl.entries.begin(),
+                           AclEntry{false, draft.subnet_prefixes[static_cast<size_t>(op.src)],
+                                    draft.subnet_prefixes[static_cast<size_t>(op.dst)]});
+        break;
+      }
+      case BreakOp::Kind::kDisableAdjacency: {
+        Config& config = (*configs)[static_cast<size_t>(op.leaf)];
+        config.ospf_processes[0].passive_interfaces.insert(op.interface);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The operator model: hand-written repairs of the broken snapshot
+// ---------------------------------------------------------------------------
+
+// Applies a heuristic fix for one break op to `configs` (which start as the
+// broken snapshot). Coarser-than-necessary strategies are chosen with some
+// probability — mirroring the paper's observation that hand-written repairs
+// impact more traffic classes and lines than CPR's.
+void HandFixOp(const DcDraft& draft, const BreakOp& op, std::mt19937* rng,
+               std::vector<Config>* configs) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  switch (op.kind) {
+    case BreakOp::Kind::kUnprotectTc: {
+      int device = draft.subnet_leaf[static_cast<size_t>(op.dst)];
+      Config& config = (*configs)[static_cast<size_t>(device)];
+      const Ipv4Prefix& src = draft.subnet_prefixes[static_cast<size_t>(op.src)];
+      const Ipv4Prefix& dst = draft.subnet_prefixes[static_cast<size_t>(op.dst)];
+      if (coin(*rng) < 0.5) {
+        // Coarse: protect the destination on every uplink of its leaf with a
+        // fresh inbound ACL (several lines; same traffic class).
+        for (InterfaceConfig& intf : config.interfaces) {
+          if (config.ospf_processes[0].passive_interfaces.count(intf.name) > 0) {
+            continue;  // Host-facing.
+          }
+          std::string name = "OPS-" + intf.name;
+          AccessList& acl = config.access_lists[name];
+          if (acl.name.empty()) {
+            acl.name = name;
+            acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+            intf.acl_in = name;
+          }
+          acl.entries.insert(acl.entries.begin(), AclEntry{false, src, dst});
+        }
+      } else {
+        // Exact: restore the deny in the destination's protection ACL.
+        AccessList& acl = config.access_lists[ProtAclName(op.dst)];
+        if (acl.name.empty()) {
+          acl.name = ProtAclName(op.dst);
+          acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+          for (InterfaceConfig& intf : config.interfaces) {
+            if (intf.address.has_value() && intf.address->Prefix() == dst) {
+              intf.acl_out = acl.name;
+            }
+          }
+        }
+        acl.entries.insert(acl.entries.begin(), AclEntry{false, src, dst});
+      }
+      break;
+    }
+    case BreakOp::Kind::kBlockTc: {
+      int device = draft.subnet_leaf[static_cast<size_t>(op.dst)];
+      Config& config = (*configs)[static_cast<size_t>(device)];
+      auto it = config.access_lists.find(ProtAclName(op.dst));
+      if (it == config.access_lists.end()) {
+        break;
+      }
+      const Ipv4Prefix& src = draft.subnet_prefixes[static_cast<size_t>(op.src)];
+      bool any_blocked_to_dst = false;
+      for (size_t s = 0; s < draft.subnet_prefixes.size(); ++s) {
+        if (draft.blocked[s][static_cast<size_t>(op.dst)]) {
+          any_blocked_to_dst = true;
+        }
+      }
+      if (coin(*rng) < 0.4 && !any_blocked_to_dst) {
+        // Coarse: open the destination to everyone (valid only when no PC1
+        // policy protects it; impacts every source's traffic class).
+        it->second.entries.insert(
+            it->second.entries.begin(),
+            AclEntry{true, std::nullopt, draft.subnet_prefixes[static_cast<size_t>(op.dst)]});
+      } else {
+        // Exact: drop the offending deny.
+        auto& entries = it->second.entries;
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [&](const AclEntry& e) {
+                                       return !e.permit && e.src == src;
+                                     }),
+                      entries.end());
+      }
+      break;
+    }
+    case BreakOp::Kind::kDisableAdjacency: {
+      Config& config = (*configs)[static_cast<size_t>(op.leaf)];
+      const InterfaceConfig* leaf_intf = config.FindInterface(op.interface);
+      if (coin(*rng) < 0.3 && leaf_intf != nullptr && leaf_intf->address.has_value()) {
+        // Coarse: leave the adjacency down and restore both directions of
+        // the lost path with backup static routes *over the disabled link*
+        // (the link is physically up; only routing is off) — one per remote
+        // subnet on the leaf, one per local subnet on the spine. Many lines,
+        // many traffic classes touched: the operator pattern the paper
+        // contrasts CPR against.
+        uint32_t leaf_ip = leaf_intf->address->ip.bits();
+        Ipv4Address spine_ip((leaf_ip & ~uint32_t{0xff}) | ((leaf_ip & 0xff) == 1 ? 2 : 1));
+        Ipv4Prefix link_subnet = leaf_intf->address->Prefix();
+        // Locate the spine device: the other config with an interface in the
+        // link's subnet.
+        int spine_device = -1;
+        std::string spine_interface;
+        for (size_t dev = 0; dev < configs->size(); ++dev) {
+          if (static_cast<int>(dev) == op.leaf) {
+            continue;
+          }
+          for (const InterfaceConfig& intf : (*configs)[dev].interfaces) {
+            if (intf.address.has_value() && intf.address->Prefix() == link_subnet) {
+              spine_device = static_cast<int>(dev);
+              spine_interface = intf.name;
+            }
+          }
+        }
+        if (spine_device >= 0) {
+          for (size_t d = 0; d < draft.subnet_prefixes.size(); ++d) {
+            if (draft.subnet_leaf[d] != op.leaf) {
+              config.static_routes.push_back(
+                  StaticRouteConfig{draft.subnet_prefixes[d], spine_ip, 200});
+            } else {
+              (*configs)[static_cast<size_t>(spine_device)].static_routes.push_back(
+                  StaticRouteConfig{draft.subnet_prefixes[d], leaf_intf->address->ip,
+                                    200});
+            }
+          }
+          break;
+        }
+        // Spine not found: fall back to the exact revert below.
+      }
+      config.ospf_processes[0].passive_interfaces.erase(op.interface);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+DatacenterNetwork GenerateDatacenterNetwork(int index, unsigned seed,
+                                            double subnet_scale) {
+  std::mt19937 rng(seed + static_cast<unsigned>(index) * 7919u);
+  DcDraft draft = BuildWorkingNetwork(&rng, subnet_scale);
+
+  DatacenterNetwork out;
+  out.index = index;
+  out.router_count = static_cast<int>(draft.configs.size());
+  int subnets = static_cast<int>(draft.subnet_prefixes.size());
+  out.traffic_class_count = subnets * (subnets - 1);
+
+  // Working snapshot: infer the policies it satisfies (ARC verification).
+  Result<Network> working = Network::Build(draft.configs, {});
+  if (!working.ok()) {
+    throw std::runtime_error("datacenter generator produced an invalid network: " +
+                             working.error().message());
+  }
+  Harc working_harc = Harc::Build(*working);
+  out.policies = InferPolicies(working_harc, InferenceOptions{2});
+
+  // Earlier (broken) snapshot.
+  std::vector<BreakOp> breaks = ChooseBreaks(draft, &rng);
+  std::vector<Config> broken = draft.configs;
+  ApplyBreaks(draft, breaks, &broken);
+
+  // Operator's hand-written repair, verified to restore every policy; on
+  // verification failure, fall back to the exact revert (the working
+  // snapshot itself).
+  std::vector<Config> handfixed = broken;
+  for (const BreakOp& op : breaks) {
+    HandFixOp(draft, op, &rng, &handfixed);
+  }
+  {
+    Result<Network> net = Network::Build(handfixed, {});
+    bool valid = net.ok();
+    if (valid) {
+      Harc harc = Harc::Build(*net);
+      valid = FindViolations(harc, out.policies).empty();
+    }
+    if (!valid) {
+      handfixed = draft.configs;
+    }
+  }
+
+  for (const Config& config : broken) {
+    out.broken_configs.push_back(PrintConfig(config));
+  }
+  for (const Config& config : handfixed) {
+    out.handfixed_configs.push_back(PrintConfig(config));
+  }
+  return out;
+}
+
+std::vector<DatacenterNetwork> GenerateDatacenterDataset(
+    const DatacenterDatasetOptions& options) {
+  std::vector<DatacenterNetwork> networks;
+  networks.reserve(static_cast<size_t>(options.networks));
+  for (int i = 0; i < options.networks; ++i) {
+    networks.push_back(GenerateDatacenterNetwork(i, options.seed, options.subnet_scale));
+  }
+  return networks;
+}
+
+}  // namespace cpr

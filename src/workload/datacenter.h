@@ -1,0 +1,66 @@
+// Synthetic stand-in for the paper's 96 real data-center networks (§8).
+//
+// The paper's dataset is proprietary (configuration snapshots from
+// Microsoft data centers); this generator reproduces its *published*
+// distributional properties, which are what the evaluation's shape depends
+// on:
+//
+//   * 96 networks, 2-24 routers each, median 8 (leaf-spine fabrics, OSPF,
+//     "dozens of switches" excluded as the paper excludes them);
+//   * up to tens of thousands of traffic classes, median ~1K (configurable
+//     scale so benches finish in CI time);
+//   * one PC1-or-PC3 policy per traffic class, mixed per network (Figure 6),
+//     inferred from the *working* snapshot with ARC verification;
+//   * successive snapshot pairs: a broken snapshot (violating some policies)
+//     and the operator's hand-written repair of it — produced by a heuristic
+//     operator model that prefers coarse constructs and is verified to
+//     restore all policies (paper §8.3: both repairs "realize the same set
+//     of policies").
+//
+// Blocked traffic classes are protected by per-subnet egress ACLs (a single
+// choke point at the destination's host-facing interface), the pattern that
+// makes one policy per traffic class natural.
+
+#ifndef CPR_SRC_WORKLOAD_DATACENTER_H_
+#define CPR_SRC_WORKLOAD_DATACENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/network.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+struct DatacenterDatasetOptions {
+  int networks = 96;
+  unsigned seed = 2017;
+  // Scale knob: multiplies subnet counts (1.0 reproduces a median of ~30
+  // subnets ~ 1K traffic classes; lower it for quick runs).
+  double subnet_scale = 1.0;
+};
+
+struct DatacenterNetwork {
+  int index = 0;
+  // Snapshot pair: the broken snapshot precedes the operator's hand-written
+  // repair.
+  std::vector<std::string> broken_configs;
+  std::vector<std::string> handfixed_configs;
+  NetworkAnnotations annotations;  // No waypoints: policies are PC1/PC3 only.
+  // Policies inferred from the hand-fixed snapshot (the network's intended
+  // behaviour); the broken snapshot violates a subset of them.
+  std::vector<Policy> policies;
+  int router_count = 0;
+  int traffic_class_count = 0;
+};
+
+std::vector<DatacenterNetwork> GenerateDatacenterDataset(
+    const DatacenterDatasetOptions& options = {});
+
+// Generates one network (exposed for tests and focused benches).
+DatacenterNetwork GenerateDatacenterNetwork(int index, unsigned seed,
+                                            double subnet_scale);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_WORKLOAD_DATACENTER_H_

@@ -1,0 +1,344 @@
+#include "workload/fattree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "config/parser.h"
+
+namespace cpr {
+
+namespace {
+
+// In-memory builder mirroring the subset of Config the generator needs,
+// rendered to IOS-like text at the end (benches consume texts, like real
+// snapshots).
+struct RouterDraft {
+  std::string name;
+  struct Interface {
+    std::string name;
+    std::string address;  // "a.b.c.d/len"
+    int cost = 1;
+    bool passive = false;          // host-facing
+    std::string acl_in;            // ACL name or empty
+  };
+  std::vector<Interface> interfaces;
+  // ACL entries: (permit, src prefix or "any", dst prefix or "any").
+  struct AclEntry {
+    bool permit;
+    std::string src;
+    std::string dst;
+  };
+  std::map<std::string, std::vector<AclEntry>> acls;
+
+  std::string Render() const {
+    std::ostringstream out;
+    out << "hostname " << name << "\n";
+    for (const Interface& intf : interfaces) {
+      out << "!\ninterface " << intf.name << "\n";
+      out << " ip address " << intf.address << "\n";
+      if (intf.cost != 1) {
+        out << " ip ospf cost " << intf.cost << "\n";
+      }
+      if (!intf.acl_in.empty()) {
+        out << " ip access-group " << intf.acl_in << " in\n";
+      }
+    }
+    for (const auto& [acl_name, entries] : acls) {
+      out << "!\nip access-list extended " << acl_name << "\n";
+      for (const AclEntry& entry : entries) {
+        out << " " << (entry.permit ? "permit" : "deny") << " ip " << entry.src << " "
+            << entry.dst << "\n";
+      }
+    }
+    out << "!\nrouter ospf 1\n redistribute connected\n";
+    for (const Interface& intf : interfaces) {
+      if (intf.passive) {
+        out << " passive-interface " << intf.name << "\n";
+      }
+    }
+    out << " network 10.0.0.0/8 area 0\n";
+    return out.str();
+  }
+};
+
+struct FatTreeTopology {
+  int ports;
+  std::vector<RouterDraft> routers;           // edges, then aggs, then cores
+  std::vector<std::string> host_prefixes;     // one per edge switch
+  std::vector<int> host_pod;                  // pod of each host subnet
+  // Router index helpers.
+  int EdgeIndex(int pod, int i) const { return pod * (ports / 2) + i; }
+  int AggIndex(int pod, int j) const {
+    return ports * (ports / 2) + pod * (ports / 2) + j;
+  }
+  int CoreIndex(int c) const { return 2 * ports * (ports / 2) + c; }
+  int CoreCount() const { return (ports / 2) * (ports / 2); }
+  // Core c belongs to group c / (ports/2) and attaches to that agg in every
+  // pod.
+  int CoreGroup(int c) const { return c / (ports / 2); }
+};
+
+std::string LinkPrefix(int link_index, int side) {
+  // 10.(1 + L/250).(L%250).(1|2)/24
+  return "10." + std::to_string(1 + link_index / 250) + "." +
+         std::to_string(link_index % 250) + "." + std::to_string(side + 1) + "/24";
+}
+
+// agg_core_cost(c): cost of every agg<->core link of core c (both sides).
+FatTreeTopology BuildTopology(int ports, int preferred_core) {
+  if (ports < 4 || ports % 2 != 0) {
+    throw std::invalid_argument("fat-tree ports must be an even number >= 4");
+  }
+  FatTreeTopology topo;
+  topo.ports = ports;
+  const int half = ports / 2;
+
+  for (int pod = 0; pod < ports; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      RouterDraft router;
+      router.name = "E" + std::to_string(pod) + "x" + std::to_string(i);
+      topo.routers.push_back(std::move(router));
+    }
+  }
+  for (int pod = 0; pod < ports; ++pod) {
+    for (int j = 0; j < half; ++j) {
+      RouterDraft router;
+      router.name = "A" + std::to_string(pod) + "x" + std::to_string(j);
+      topo.routers.push_back(std::move(router));
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    RouterDraft router;
+    router.name = "C" + std::to_string(c);
+    topo.routers.push_back(std::move(router));
+  }
+
+  int link_index = 0;
+  auto connect = [&](int a, int b, int cost) {
+    RouterDraft& ra = topo.routers[static_cast<size_t>(a)];
+    RouterDraft& rb = topo.routers[static_cast<size_t>(b)];
+    RouterDraft::Interface ia;
+    ia.name = "eth" + std::to_string(ra.interfaces.size());
+    ia.address = LinkPrefix(link_index, 0);
+    ia.cost = cost;
+    ra.interfaces.push_back(ia);
+    RouterDraft::Interface ib;
+    ib.name = "eth" + std::to_string(rb.interfaces.size());
+    ib.address = LinkPrefix(link_index, 1);
+    ib.cost = cost;
+    rb.interfaces.push_back(ib);
+    ++link_index;
+  };
+
+  for (int pod = 0; pod < ports; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) {
+        connect(topo.EdgeIndex(pod, i), topo.AggIndex(pod, j), 1);
+      }
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    int group = topo.CoreGroup(c);
+    // preferred_core < 0: uniform costs (PC1/PC2/PC3 scenarios). Otherwise
+    // the preferred core's links are cheap and every other core's expensive,
+    // inducing a unique primary path (PC4).
+    int cost = preferred_core < 0 ? 1 : (c == preferred_core ? 1 : 3);
+    for (int pod = 0; pod < ports; ++pod) {
+      connect(topo.AggIndex(pod, group), topo.CoreIndex(c), cost);
+    }
+  }
+
+  // Host subnets: one per edge switch.
+  for (int pod = 0; pod < ports; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      int idx = topo.EdgeIndex(pod, i);
+      std::string prefix_base =
+          "10.250." + std::to_string(idx) + ".";
+      RouterDraft& router = topo.routers[static_cast<size_t>(idx)];
+      RouterDraft::Interface intf;
+      intf.name = "eth" + std::to_string(router.interfaces.size());
+      intf.address = prefix_base + "1/24";
+      intf.passive = true;
+      router.interfaces.push_back(intf);
+      topo.host_prefixes.push_back(prefix_base + "0/24");
+      topo.host_pod.push_back(pod);
+    }
+  }
+  return topo;
+}
+
+std::vector<std::string> Render(const FatTreeTopology& topo) {
+  std::vector<std::string> texts;
+  texts.reserve(topo.routers.size());
+  for (const RouterDraft& router : topo.routers) {
+    texts.push_back(router.Render());
+  }
+  return texts;
+}
+
+// Applies an inbound ACL on every interface of every core switch, denying
+// the given traffic classes.
+void InstallCoreAcls(FatTreeTopology* topo,
+                     const std::vector<std::pair<std::string, std::string>>& denies,
+                     const std::vector<int>& cores) {
+  for (int c : cores) {
+    RouterDraft& core = topo->routers[static_cast<size_t>(topo->CoreIndex(c))];
+    std::vector<RouterDraft::AclEntry> entries;
+    for (const auto& [src, dst] : denies) {
+      entries.push_back({false, src, dst});
+    }
+    entries.push_back({true, "any", "any"});
+    core.acls["BLOCK"] = entries;
+    for (RouterDraft::Interface& intf : core.interfaces) {
+      intf.acl_in = "BLOCK";
+    }
+  }
+}
+
+}  // namespace
+
+FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
+                                    unsigned seed) {
+  const int half = ports / 2;
+  FatTreeScenario scenario;
+  scenario.ports = ports;
+
+  // Policied traffic classes: seeded sample of inter-pod subnet pairs.
+  FatTreeTopology probe = BuildTopology(ports, /*preferred_core=*/-1);
+  std::vector<std::pair<int, int>> interpod_pairs;
+  for (size_t s = 0; s < probe.host_prefixes.size(); ++s) {
+    for (size_t d = 0; d < probe.host_prefixes.size(); ++d) {
+      if (s != d && probe.host_pod[s] != probe.host_pod[d]) {
+        interpod_pairs.emplace_back(static_cast<int>(s), static_cast<int>(d));
+      }
+    }
+  }
+  std::mt19937 rng(seed);
+  std::shuffle(interpod_pairs.begin(), interpod_pairs.end(), rng);
+  if (num_policies > static_cast<int>(interpod_pairs.size())) {
+    num_policies = static_cast<int>(interpod_pairs.size());
+  }
+  interpod_pairs.resize(static_cast<size_t>(num_policies));
+
+  std::vector<std::pair<std::string, std::string>> denies;
+  for (const auto& [s, d] : interpod_pairs) {
+    denies.emplace_back(probe.host_prefixes[static_cast<size_t>(s)],
+                        probe.host_prefixes[static_cast<size_t>(d)]);
+  }
+  std::vector<int> all_cores;
+  std::vector<int> waypoint_cores;
+  std::vector<int> plain_cores;
+  for (int c = 0; c < probe.CoreCount(); ++c) {
+    all_cores.push_back(c);
+    // Waypoints on the first half of the cores' agg links.
+    if (c < probe.CoreCount() / 2 || probe.CoreCount() == 1) {
+      waypoint_cores.push_back(c);
+    } else {
+      plain_cores.push_back(c);
+    }
+  }
+
+  // Working / broken drafts per policy class.
+  FatTreeTopology working = BuildTopology(ports, -1);
+  FatTreeTopology broken = BuildTopology(ports, -1);
+  switch (pc) {
+    case PolicyClass::kAlwaysBlocked:
+      // Working blocks the policied pairs at every core; broken lost the
+      // protection ("inverting the ACLs").
+      InstallCoreAcls(&working, denies, all_cores);
+      InstallCoreAcls(&broken, {}, all_cores);
+      break;
+    case PolicyClass::kReachability:
+      // Working has no filters; broken denies the policied pairs.
+      InstallCoreAcls(&working, {}, all_cores);
+      InstallCoreAcls(&broken, denies, all_cores);
+      break;
+    case PolicyClass::kAlwaysWaypoint:
+      // Working forces the policied traffic through waypoint cores by
+      // blocking it at the others; broken inverts which cores block.
+      InstallCoreAcls(&working, denies, plain_cores);
+      InstallCoreAcls(&working, {}, waypoint_cores);
+      InstallCoreAcls(&broken, denies, waypoint_cores);
+      InstallCoreAcls(&broken, {}, plain_cores);
+      break;
+    case PolicyClass::kPrimaryPath:
+      // Working prefers core 0; broken prefers the last core.
+      working = BuildTopology(ports, 0);
+      broken = BuildTopology(ports, probe.CoreCount() - 1);
+      break;
+    case PolicyClass::kIsolation:
+      throw std::invalid_argument("fat-tree scenarios do not generate PC5 policies");
+  }
+
+  scenario.working_configs = Render(working);
+  scenario.broken_configs = Render(broken);
+  if (pc == PolicyClass::kAlwaysWaypoint) {
+    // Waypoints on every agg link of the waypoint cores (both snapshots).
+    for (int c : waypoint_cores) {
+      const RouterDraft& core = working.routers[static_cast<size_t>(working.CoreIndex(c))];
+      int group = working.CoreGroup(c);
+      for (int pod = 0; pod < ports; ++pod) {
+        const RouterDraft& agg =
+            working.routers[static_cast<size_t>(working.AggIndex(pod, group))];
+        scenario.annotations.waypoint_links.insert({agg.name, core.name});
+      }
+    }
+  }
+
+  // Express the policies against the built (working) network.
+  std::vector<Config> configs;
+  for (const std::string& text : scenario.working_configs) {
+    Result<Config> parsed = ParseConfig(text);
+    if (!parsed.ok()) {
+      throw std::runtime_error("fat-tree config failed to parse: " +
+                               parsed.error().message());
+    }
+    configs.push_back(std::move(parsed).value());
+  }
+  Result<Network> network = Network::Build(std::move(configs), scenario.annotations);
+  if (!network.ok()) {
+    throw std::runtime_error("fat-tree network failed to build: " +
+                             network.error().message());
+  }
+
+  for (const auto& [s, d] : interpod_pairs) {
+    Result<Ipv4Prefix> sp = Ipv4Prefix::Parse(probe.host_prefixes[static_cast<size_t>(s)]);
+    Result<Ipv4Prefix> dp = Ipv4Prefix::Parse(probe.host_prefixes[static_cast<size_t>(d)]);
+    SubnetId src = *network->FindSubnet(*sp);
+    SubnetId dst = *network->FindSubnet(*dp);
+    switch (pc) {
+      case PolicyClass::kAlwaysBlocked:
+        scenario.policies.push_back(Policy::AlwaysBlocked(src, dst));
+        break;
+      case PolicyClass::kReachability:
+        scenario.policies.push_back(Policy::Reachability(src, dst, std::min(2, half)));
+        break;
+      case PolicyClass::kAlwaysWaypoint:
+        scenario.policies.push_back(Policy::AlwaysWaypoint(src, dst));
+        break;
+      case PolicyClass::kIsolation:
+        throw std::invalid_argument("fat-tree scenarios do not generate PC5 policies");
+      case PolicyClass::kPrimaryPath: {
+        // edge(s) -> agg0(pod_s) -> core0 -> agg0(pod_d) -> edge(d).
+        int pod_s = probe.host_pod[static_cast<size_t>(s)];
+        int pod_d = probe.host_pod[static_cast<size_t>(d)];
+        std::vector<DeviceId> path = {
+            *network->FindDevice(probe.routers[static_cast<size_t>(s)].name),
+            *network->FindDevice("A" + std::to_string(pod_s) + "x0"),
+            *network->FindDevice("C0"),
+            *network->FindDevice("A" + std::to_string(pod_d) + "x0"),
+            *network->FindDevice(probe.routers[static_cast<size_t>(d)].name),
+        };
+        scenario.policies.push_back(Policy::PrimaryPath(src, dst, std::move(path)));
+        break;
+      }
+    }
+  }
+  return scenario;
+}
+
+}  // namespace cpr

@@ -1,0 +1,52 @@
+// Synthetic fat-tree configurations (paper §8, "Synthetic fat-tree
+// configurations").
+//
+// A k-port fat-tree [Al-Fares et al.] has k pods of k/2 edge and k/2
+// aggregation switches plus (k/2)^2 core switches (k=4 -> 20 routers, k=6 ->
+// 45, matching the paper's experiments). Every router runs OSPF; each edge
+// switch hosts one subnet. Following the paper's setup:
+//
+//   PC1  "hosts in different pods are always blocked":     ACLs on all core
+//        switches deny the blocked traffic classes;
+//   PC3  "hosts in different pods are always reachable":   no ACLs needed;
+//   PC2  "hosts in different pods always traverse a waypoint": waypoints sit
+//        on half of the core-aggregation links and ACLs block the policied
+//        traffic on the remainder;
+//   PC4  "assign lower costs to the links between the first core switch and
+//        the connected aggregation switches to induce primary paths".
+//
+// "We break the configurations by inverting the ACLs and assigning lower
+// costs to the links of a different core switch": the scenario carries a
+// working and a broken snapshot plus the policy set that the working
+// snapshot satisfies and the broken one violates.
+
+#ifndef CPR_SRC_WORKLOAD_FATTREE_H_
+#define CPR_SRC_WORKLOAD_FATTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "topo/network.h"
+#include "verify/policy.h"
+
+namespace cpr {
+
+struct FatTreeScenario {
+  int ports = 4;
+  std::vector<std::string> working_configs;
+  std::vector<std::string> broken_configs;
+  NetworkAnnotations annotations;
+  // Policies (subnet/device ids valid for networks built from either
+  // snapshot — the topology is identical).
+  std::vector<Policy> policies;
+};
+
+// Generates a scenario exercising `pc` with `num_policies` policies over
+// inter-pod traffic classes of a `ports`-port fat-tree. `seed` controls
+// which traffic-class pairs are policied.
+FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
+                                    unsigned seed);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_WORKLOAD_FATTREE_H_

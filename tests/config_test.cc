@@ -1,0 +1,236 @@
+// Tests for the configuration substrate: parser, printer (round-trip
+// property), semantic helpers, and the line differ.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "config/ast.h"
+#include "config/diff.h"
+#include "config/parser.h"
+#include "config/printer.h"
+
+namespace cpr {
+namespace {
+
+Ipv4Prefix P(const char* text) { return *Ipv4Prefix::Parse(text); }
+Ipv4Address A(const char* text) { return *Ipv4Address::Parse(text); }
+
+TEST(ParserTest, ParsesFullFeaturedConfig) {
+  const char* text = R"(hostname edge1
+!
+interface eth0
+ description uplink to spine
+ ip address 10.0.1.1/24
+ ip ospf cost 5
+ ip access-group FILTER in
+!
+interface eth1
+ ip address 10.9.0.1/24
+ shutdown
+!
+ip access-list extended FILTER
+ deny ip 10.8.0.0/16 10.9.0.0/16
+ permit ip any any
+!
+ip prefix-list NOCORE deny 10.99.0.0/16
+ip prefix-list NOCORE permit 0.0.0.0/0 le 32
+!
+router ospf 7
+ redistribute connected
+ redistribute bgp 65000
+ passive-interface eth1
+ network 10.0.0.0/8 area 0
+ distribute-list prefix NOCORE
+!
+router bgp 65001
+ neighbor 10.0.1.2 remote-as 65000
+ network 10.9.0.0/24
+ redistribute static
+!
+router rip
+ network 10.0.0.0/8
+!
+ip route 10.50.0.0/16 10.0.1.2 200
+ip route 10.60.0.0/16 10.0.1.2
+)";
+  Result<Config> parsed = ParseConfig(text);
+  ASSERT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message());
+  const Config& config = *parsed;
+
+  EXPECT_EQ(config.hostname, "edge1");
+  ASSERT_EQ(config.interfaces.size(), 2u);
+  EXPECT_EQ(config.interfaces[0].description, "uplink to spine");
+  EXPECT_EQ(config.interfaces[0].ospf_cost, 5);
+  EXPECT_EQ(config.interfaces[0].acl_in, "FILTER");
+  EXPECT_TRUE(config.interfaces[1].shutdown);
+
+  ASSERT_EQ(config.ospf_processes.size(), 1u);
+  const OspfConfig& ospf = config.ospf_processes[0];
+  EXPECT_EQ(ospf.process_id, 7);
+  ASSERT_EQ(ospf.redistributes.size(), 2u);
+  EXPECT_EQ(ospf.redistributes[1].from, RouteSource::kBgp);
+  EXPECT_EQ(ospf.redistributes[1].process_id, 65000);
+  EXPECT_EQ(ospf.passive_interfaces.count("eth1"), 1u);
+  ASSERT_TRUE(ospf.distribute_list.has_value());
+  EXPECT_EQ(ospf.distribute_list->prefix_list, "NOCORE");
+
+  ASSERT_TRUE(config.bgp.has_value());
+  EXPECT_EQ(config.bgp->asn, 65001);
+  ASSERT_EQ(config.bgp->neighbors.size(), 1u);
+  EXPECT_EQ(config.bgp->neighbors[0].remote_as, 65000);
+  ASSERT_TRUE(config.rip.has_value());
+
+  ASSERT_EQ(config.static_routes.size(), 2u);
+  EXPECT_EQ(config.static_routes[0].distance, 200);
+  EXPECT_EQ(config.static_routes[1].distance, 1);
+
+  const AccessList* acl = config.FindAccessList("FILTER");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->entries.size(), 2u);
+  EXPECT_FALSE(acl->entries[0].permit);
+
+  const PrefixList* plist = config.FindPrefixList("NOCORE");
+  ASSERT_NE(plist, nullptr);
+  EXPECT_FALSE(plist->Permits(P("10.99.0.0/16")));
+  EXPECT_TRUE(plist->Permits(P("10.50.0.0/16")));
+}
+
+TEST(ParserTest, ReportsLineNumbersOnErrors) {
+  Result<Config> parsed = ParseConfig("hostname x\ninterface e0\n ip address banana\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnknownCommands) {
+  EXPECT_FALSE(ParseConfig("hostname x\nfrobnicate\n").ok());
+  EXPECT_FALSE(ParseConfig("hostname x\nrouter eigrp 1\n").ok());
+  EXPECT_FALSE(ParseConfig("hostname x\ninterface e0\n ip addresses 1.2.3.4/8\n").ok());
+}
+
+TEST(ParserTest, AclDirectionValidation) {
+  EXPECT_FALSE(
+      ParseConfig("hostname x\ninterface e0\n ip access-group FOO sideways\n").ok());
+}
+
+// The printer/parser round-trip is the identity on the model — the property
+// the "lines changed" metric rests on.
+TEST(PrinterTest, RoundTripsRandomConfigs) {
+  std::mt19937 rng(5);
+  for (int round = 0; round < 100; ++round) {
+    Config config;
+    config.hostname = "r" + std::to_string(round);
+    int interfaces = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < interfaces; ++i) {
+      InterfaceConfig intf;
+      intf.name = "eth" + std::to_string(i);
+      intf.address = InterfaceAddress{Ipv4Address(0x0a000001u + static_cast<uint32_t>(
+                                                                    (round * 8 + i) << 8)),
+                                      24};
+      intf.ospf_cost = 1 + static_cast<int>(rng() % 4);
+      if (rng() % 3 == 0) {
+        intf.acl_in = "ACL" + std::to_string(i);
+        config.access_lists["ACL" + std::to_string(i)] =
+            AccessList{"ACL" + std::to_string(i),
+                       {AclEntry{false, P("10.1.0.0/16"), P("10.2.0.0/16")},
+                        AclEntry{true, std::nullopt, std::nullopt}}};
+      }
+      if (rng() % 4 == 0) {
+        intf.shutdown = true;
+      }
+      config.interfaces.push_back(std::move(intf));
+    }
+    OspfConfig ospf;
+    ospf.process_id = 1 + static_cast<int>(rng() % 9);
+    ospf.networks.push_back(P("10.0.0.0/8"));
+    if (rng() % 2 == 0) {
+      ospf.redistributes.push_back(Redistribution{RouteSource::kConnected, 0});
+    }
+    if (rng() % 3 == 0) {
+      ospf.passive_interfaces.insert("eth0");
+    }
+    if (rng() % 3 == 0) {
+      ospf.distribute_list = DistributeList{"PL"};
+      config.prefix_lists["PL"] =
+          PrefixList{"PL",
+                     {PrefixListEntry{false, P("10.77.0.0/16"), false},
+                      PrefixListEntry{true, P("0.0.0.0/0"), true}}};
+    }
+    config.ospf_processes.push_back(std::move(ospf));
+    if (rng() % 2 == 0) {
+      BgpConfig bgp;
+      bgp.asn = 65000 + round;
+      bgp.neighbors.push_back(BgpNeighbor{A("10.0.0.9"), 65001});
+      bgp.networks.push_back(P("10.9.0.0/24"));
+      config.bgp = std::move(bgp);
+    }
+    if (rng() % 3 == 0) {
+      config.static_routes.push_back(
+          StaticRouteConfig{P("10.50.0.0/16"), A("10.0.0.2"), 1 + (round % 254)});
+    }
+
+    std::string printed = PrintConfig(config);
+    Result<Config> reparsed = ParseConfig(printed);
+    ASSERT_TRUE(reparsed.ok()) << "round " << round << ": "
+                               << (reparsed.ok() ? "" : reparsed.error().message())
+                               << "\n" << printed;
+    EXPECT_EQ(*reparsed, config) << "round " << round << "\n" << printed;
+  }
+}
+
+TEST(AclSemanticsTest, FirstMatchWinsWithImplicitDeny) {
+  AccessList acl{"T",
+                 {AclEntry{false, P("10.1.0.0/16"), std::nullopt},
+                  AclEntry{true, std::nullopt, P("10.2.0.0/16")}}};
+  // First entry matches: deny wins even though the second would permit.
+  EXPECT_FALSE(acl.Permits(TrafficClass(P("10.1.5.0/24"), P("10.2.0.0/16"))));
+  // Only the second matches: permit.
+  EXPECT_TRUE(acl.Permits(TrafficClass(P("10.3.0.0/16"), P("10.2.0.0/16"))));
+  // Nothing matches: implicit deny.
+  EXPECT_FALSE(acl.Permits(TrafficClass(P("10.3.0.0/16"), P("10.4.0.0/16"))));
+}
+
+TEST(PrefixListSemanticsTest, ExactVersusLe32) {
+  PrefixListEntry exact{true, P("10.0.0.0/8"), false};
+  EXPECT_TRUE(exact.Matches(P("10.0.0.0/8")));
+  EXPECT_FALSE(exact.Matches(P("10.1.0.0/16")));
+  PrefixListEntry le{true, P("10.0.0.0/8"), true};
+  EXPECT_TRUE(le.Matches(P("10.1.0.0/16")));
+  EXPECT_FALSE(le.Matches(P("11.0.0.0/8")));
+}
+
+TEST(DiffTest, IdenticalConfigsHaveEmptyDiff) {
+  Config config;
+  config.hostname = "x";
+  EXPECT_EQ(DiffConfigs(config, config).total(), 0);
+}
+
+TEST(DiffTest, CountsAddedAndRemovedLines) {
+  ConfigDiff diff = DiffConfigText("a\nb\nc\n", "a\nX\nc\nd\n");
+  EXPECT_EQ(diff.removed(), 1);  // b
+  EXPECT_EQ(diff.added(), 2);    // X, d
+  EXPECT_EQ(diff.total(), 3);
+}
+
+TEST(DiffTest, IgnoresSeparatorsAndBlankLines) {
+  ConfigDiff diff = DiffConfigText("a\n!\nb\n", "a\n\n!\n!\nb\n");
+  EXPECT_EQ(diff.total(), 0);
+}
+
+TEST(DiffTest, SingleModelEditCostsMatchingLines) {
+  Config before;
+  before.hostname = "x";
+  OspfConfig ospf;
+  ospf.process_id = 1;
+  ospf.networks.push_back(P("10.0.0.0/8"));
+  before.ospf_processes.push_back(ospf);
+
+  Config after = before;
+  after.ospf_processes[0].passive_interfaces.insert("eth0");
+  EXPECT_EQ(DiffConfigs(before, after).total(), 1);
+  EXPECT_EQ(DiffConfigs(before, after).added(), 1);
+  EXPECT_EQ(DiffConfigs(after, before).removed(), 1);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,128 @@
+// The paper's running example (Figure 2a), used across test files.
+//
+// Routers A, B, C; subnets R and S attach to A, T to C, U to B. Physical
+// links A-B, A-C, B-C. OSPF everywhere, but C's interface toward A is
+// passive, so the only adjacencies are A-B and B-C. An ACL on B's A-facing
+// interface blocks traffic destined for U, and the B-C link carries a
+// firewall (waypoint).
+//
+// Ground truth from the paper (§2.2):
+//   EP1 (PC1 S->U)  holds: the only S->U path, A->B, has the blocking ACL.
+//   EP2 (PC2 S->T)  holds: the only S->T path, A->B->C, crosses the firewall.
+//   EP3 (PC3 S->T, k=2) violated: one link-disjoint path only.
+//   EP4 (PC4 R->T via A,B,C) holds.
+
+#ifndef CPR_TESTS_EXAMPLE_NETWORK_H_
+#define CPR_TESTS_EXAMPLE_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "config/parser.h"
+#include "netbase/ipv4.h"
+#include "topo/network.h"
+
+namespace cpr {
+
+inline const char* kExampleConfigA = R"(hostname A
+!
+interface Ethernet0/1
+ description Link-to-B
+ ip address 10.0.1.1/24
+!
+interface Ethernet0/2
+ description Link-to-C
+ ip address 10.0.2.1/24
+!
+interface Ethernet0/3
+ description Subnet-R
+ ip address 10.1.0.1/16
+!
+interface Ethernet0/4
+ description Subnet-S
+ ip address 10.2.0.1/16
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/3
+ passive-interface Ethernet0/4
+ network 10.0.0.0/16 area 0
+)";
+
+inline const char* kExampleConfigB = R"(hostname B
+!
+interface Ethernet0/1
+ description Link-to-A
+ ip address 10.0.1.2/24
+ ip access-group BLOCK-U in
+!
+interface Ethernet0/2
+ description Link-to-C
+ ip address 10.0.3.2/24
+!
+interface Ethernet0/3
+ description Subnet-U
+ ip address 10.30.0.1/16
+!
+ip access-list extended BLOCK-U
+ deny ip any 10.30.0.0/16
+ permit ip any any
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/3
+ network 10.0.0.0/16 area 0
+)";
+
+inline const char* kExampleConfigC = R"(hostname C
+!
+interface Ethernet0/1
+ description Link-to-A
+ ip address 10.0.2.3/24
+!
+interface Ethernet0/2
+ description Link-to-B
+ ip address 10.0.3.3/24
+!
+interface Ethernet0/3
+ description Subnet-T
+ ip address 10.20.0.0/16
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/1
+ passive-interface Ethernet0/3
+ network 10.0.0.0/16 area 0
+)";
+
+inline std::vector<Config> ParseExampleConfigs() {
+  std::vector<Config> configs;
+  for (const char* text : {kExampleConfigA, kExampleConfigB, kExampleConfigC}) {
+    Result<Config> parsed = ParseConfig(text);
+    if (!parsed.ok()) {
+      throw std::runtime_error("example config failed to parse: " + parsed.error().message());
+    }
+    configs.push_back(std::move(parsed).value());
+  }
+  return configs;
+}
+
+inline Network BuildExampleNetwork() {
+  NetworkAnnotations annotations;
+  annotations.waypoint_links.insert({"B", "C"});
+  Result<Network> net = Network::Build(ParseExampleConfigs(), std::move(annotations));
+  if (!net.ok()) {
+    throw std::runtime_error("example network failed to build: " + net.error().message());
+  }
+  return std::move(net).value();
+}
+
+// Subnet prefixes of the example, for id lookups.
+inline Ipv4Prefix ExampleSubnetR() { return *Ipv4Prefix::Parse("10.1.0.0/16"); }
+inline Ipv4Prefix ExampleSubnetS() { return *Ipv4Prefix::Parse("10.2.0.0/16"); }
+inline Ipv4Prefix ExampleSubnetT() { return *Ipv4Prefix::Parse("10.20.0.0/16"); }
+inline Ipv4Prefix ExampleSubnetU() { return *Ipv4Prefix::Parse("10.30.0.0/16"); }
+
+}  // namespace cpr
+
+#endif  // CPR_TESTS_EXAMPLE_NETWORK_H_

@@ -1,0 +1,205 @@
+// Unit and property tests for the graph substrate: Dijkstra, reachability,
+// max-flow/min-cut, flow decomposition — cross-checked against brute force
+// on random graphs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/digraph.h"
+#include "graph/max_flow.h"
+#include "graph/reachability.h"
+#include "graph/shortest_path.h"
+
+namespace cpr {
+namespace {
+
+Digraph DiamondGraph() {
+  // 0 -> {1,2} -> 3 with asymmetric weights.
+  Digraph g(4);
+  g.AddEdge(0, 1, 1.0);  // e0
+  g.AddEdge(0, 2, 2.0);  // e1
+  g.AddEdge(1, 3, 5.0);  // e2
+  g.AddEdge(2, 3, 1.0);  // e3
+  return g;
+}
+
+TEST(DigraphTest, EdgeRemovalIsLogical) {
+  Digraph g = DiamondGraph();
+  EXPECT_EQ(g.EdgeCount(), 4);
+  EXPECT_EQ(g.ActiveEdgeCount(), 4);
+  g.RemoveEdge(0);
+  EXPECT_EQ(g.EdgeCount(), 4);
+  EXPECT_EQ(g.ActiveEdgeCount(), 3);
+  EXPECT_FALSE(g.FindEdge(0, 1).has_value());
+  g.RestoreEdge(0);
+  EXPECT_TRUE(g.FindEdge(0, 1).has_value());
+}
+
+TEST(DigraphTest, OutAndInEdgesRespectRemoval) {
+  Digraph g = DiamondGraph();
+  EXPECT_EQ(g.OutEdges(0).size(), 2u);
+  EXPECT_EQ(g.InEdges(3).size(), 2u);
+  g.RemoveEdge(1);
+  EXPECT_EQ(g.OutEdges(0).size(), 1u);
+}
+
+TEST(ShortestPathTest, PicksCheaperRoute) {
+  Digraph g = DiamondGraph();
+  std::vector<VertexId> path = ShortestPathVertices(g, 0, 3);
+  // 0->2->3 costs 3; 0->1->3 costs 6.
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 2);
+  ShortestPathTree tree = DijkstraFrom(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 3.0);
+}
+
+TEST(ShortestPathTest, UnreachableReportsEmpty) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(ShortestPathEdges(g, 0, 2).empty());
+  EXPECT_FALSE(DijkstraFrom(g, 0).Reached(2));
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  Digraph g = DiamondGraph();
+  std::vector<VertexId> path = ShortestPathVertices(g, 2, 2);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 2);
+}
+
+// Property: Dijkstra distances match Floyd-Warshall on random graphs.
+TEST(ShortestPathTest, MatchesFloydWarshallOnRandomGraphs) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const int n = 8;
+    Digraph g(n);
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, kUnreachable));
+    for (int i = 0; i < n; ++i) {
+      dist[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+    }
+    int edges = 12 + static_cast<int>(rng() % 12);
+    for (int e = 0; e < edges; ++e) {
+      int u = static_cast<int>(rng() % n);
+      int v = static_cast<int>(rng() % n);
+      if (u == v) {
+        continue;
+      }
+      double w = 1.0 + static_cast<double>(rng() % 9);
+      g.AddEdge(u, v, w);
+      dist[static_cast<size_t>(u)][static_cast<size_t>(v)] =
+          std::min(dist[static_cast<size_t>(u)][static_cast<size_t>(v)], w);
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          dist[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+              std::min(dist[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                       dist[static_cast<size_t>(i)][static_cast<size_t>(k)] +
+                           dist[static_cast<size_t>(k)][static_cast<size_t>(j)]);
+        }
+      }
+    }
+    ShortestPathTree tree = DijkstraFrom(g, 0);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_DOUBLE_EQ(tree.distance[static_cast<size_t>(v)],
+                       dist[0][static_cast<size_t>(v)])
+          << "round " << round << " vertex " << v;
+    }
+  }
+}
+
+TEST(ReachabilityTest, BasicAndFiltered) {
+  Digraph g = DiamondGraph();
+  EXPECT_TRUE(IsReachable(g, 0, 3));
+  EXPECT_FALSE(IsReachable(g, 3, 0));
+  // Filter out both middle vertices' inbound edges: 3 unreachable.
+  EdgeFilter drop_into_middle = [&g](EdgeId id) {
+    return g.edge(id).to == 3;  // Only allow edges directly into 3.
+  };
+  EXPECT_FALSE(IsReachable(g, 0, 3, drop_into_middle));
+  EXPECT_EQ(ReachableSet(g, 0).size(), 4u);
+  EXPECT_EQ(ReachableSet(g, 3).size(), 1u);
+}
+
+TEST(MaxFlowTest, DiamondHasTwoUnitPaths) {
+  Digraph g = DiamondGraph();
+  MaxFlowResult flow = ComputeUnitMaxFlow(g, 0, 3);
+  EXPECT_EQ(flow.value, 2);
+  auto paths = DecomposeFlowPaths(g, 0, 3, flow);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(MaxFlowTest, RespectsCapacities) {
+  Digraph g(4);
+  EdgeId bottleneck = g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  std::vector<int> capacity = {3, 5, 2};
+  (void)bottleneck;
+  MaxFlowResult flow = ComputeMaxFlow(g, 0, 3, capacity);
+  EXPECT_EQ(flow.value, 2);
+  ASSERT_EQ(flow.min_cut_edges.size(), 1u);
+  EXPECT_EQ(flow.min_cut_edges[0], 2);  // The capacity-2 edge binds.
+}
+
+TEST(MaxFlowTest, InfiniteCapacityEdgesNeverInCut) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  std::vector<int> capacity = {kInfiniteCapacity, 1, kInfiniteCapacity};
+  MaxFlowResult flow = ComputeMaxFlow(g, 0, 3, capacity);
+  EXPECT_EQ(flow.value, 1);
+  ASSERT_EQ(flow.min_cut_edges.size(), 1u);
+  EXPECT_EQ(flow.min_cut_edges[0], 1);
+}
+
+TEST(MaxFlowTest, ZeroWhenDisconnected) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  MaxFlowResult flow = ComputeUnitMaxFlow(g, 0, 2);
+  EXPECT_EQ(flow.value, 0);
+  EXPECT_TRUE(flow.min_cut_edges.empty());
+}
+
+// Property: max-flow value equals min-cut capacity on random unit graphs,
+// and removing the cut disconnects source from sink.
+TEST(MaxFlowTest, MinCutDualityOnRandomGraphs) {
+  std::mt19937 rng(31);
+  for (int round = 0; round < 80; ++round) {
+    const int n = 7;
+    Digraph g(n);
+    int edges = 10 + static_cast<int>(rng() % 12);
+    for (int e = 0; e < edges; ++e) {
+      int u = static_cast<int>(rng() % n);
+      int v = static_cast<int>(rng() % n);
+      if (u != v) {
+        g.AddEdge(u, v);
+      }
+    }
+    MaxFlowResult flow = ComputeUnitMaxFlow(g, 0, n - 1);
+    EXPECT_EQ(static_cast<int>(flow.min_cut_edges.size()), flow.value) << "round " << round;
+    for (EdgeId id : flow.min_cut_edges) {
+      g.RemoveEdge(id);
+    }
+    EXPECT_FALSE(IsReachable(g, 0, n - 1)) << "round " << round;
+    // Paths decompose fully.
+    for (EdgeId id : flow.min_cut_edges) {
+      g.RestoreEdge(id);
+    }
+    auto paths = DecomposeFlowPaths(g, 0, n - 1, flow);
+    EXPECT_EQ(static_cast<int>(paths.size()), flow.value) << "round " << round;
+    for (const auto& path : paths) {
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(g.edge(path.front()).from, 0);
+      EXPECT_EQ(g.edge(path.back()).to, n - 1);
+      for (size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(g.edge(path[i - 1]).to, g.edge(path[i]).from);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr

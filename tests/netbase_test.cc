@@ -1,0 +1,153 @@
+// Unit tests for the netbase substrate: IPv4 parsing/formatting, prefix
+// containment, traffic classes, Result, and string utilities.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netbase/ipv4.h"
+#include "netbase/result.h"
+#include "netbase/string_util.h"
+#include "netbase/traffic_class.h"
+
+namespace cpr {
+namespace {
+
+TEST(Ipv4AddressTest, ParsesDottedQuad) {
+  Result<Ipv4Address> a = Ipv4Address::Parse("10.0.2.3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->bits(), 0x0a000203u);
+  EXPECT_EQ(a->ToString(), "10.0.2.3");
+}
+
+TEST(Ipv4AddressTest, ParsesBoundaryValues) {
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.0").ok());
+  EXPECT_TRUE(Ipv4Address::Parse("255.255.255.255").ok());
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->bits(), 0xffffffffu);
+}
+
+TEST(Ipv4AddressTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "1", "1.2", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.256",
+                          "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4", "1.2.3.-4",
+                          "1.2.3.4x", "1111.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Address::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Ipv4AddressTest, RoundTripsRandomAddresses) {
+  std::mt19937 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Ipv4Address a(rng());
+    Result<Ipv4Address> back = Ipv4Address::Parse(a.ToString());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->bits(), a.bits());
+  }
+}
+
+TEST(Ipv4PrefixTest, ParsesAndCanonicalizes) {
+  Result<Ipv4Prefix> p = Ipv4Prefix::Parse("10.20.33.44/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "10.20.0.0/16");  // Host bits masked.
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->Netmask().ToString(), "255.255.0.0");
+}
+
+TEST(Ipv4PrefixTest, RejectsMalformedInput) {
+  for (const char* bad : {"10.0.0.0", "10.0.0.0/", "10.0.0.0/33", "10.0.0.0/-1",
+                          "10.0.0.0/ 8", "10.0.0.0/8x", "1.2.3/8"}) {
+    EXPECT_FALSE(Ipv4Prefix::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Ipv4PrefixTest, ZeroLengthPrefixContainsEverything) {
+  Ipv4Prefix all = *Ipv4Prefix::Parse("0.0.0.0/0");
+  EXPECT_TRUE(all.Contains(Ipv4Address(0)));
+  EXPECT_TRUE(all.Contains(Ipv4Address(0xffffffffu)));
+  EXPECT_TRUE(all.Contains(*Ipv4Prefix::Parse("10.0.0.0/8")));
+}
+
+TEST(Ipv4PrefixTest, ContainmentSemantics) {
+  Ipv4Prefix wide = *Ipv4Prefix::Parse("10.0.0.0/8");
+  Ipv4Prefix narrow = *Ipv4Prefix::Parse("10.1.0.0/16");
+  Ipv4Prefix other = *Ipv4Prefix::Parse("11.0.0.0/8");
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Contains(wide));
+  EXPECT_FALSE(wide.Contains(other));
+  EXPECT_TRUE(wide.Overlaps(narrow));
+  EXPECT_TRUE(narrow.Overlaps(wide));
+  EXPECT_FALSE(wide.Overlaps(other));
+}
+
+TEST(Ipv4PrefixTest, Slash32BehavesLikeAddress) {
+  Ipv4Prefix host = *Ipv4Prefix::Parse("10.1.2.3/32");
+  EXPECT_TRUE(host.Contains(*Ipv4Address::Parse("10.1.2.3")));
+  EXPECT_FALSE(host.Contains(*Ipv4Address::Parse("10.1.2.4")));
+}
+
+TEST(TrafficClassTest, OrderingAndEquality) {
+  TrafficClass a(*Ipv4Prefix::Parse("10.1.0.0/16"), *Ipv4Prefix::Parse("10.2.0.0/16"));
+  TrafficClass b(*Ipv4Prefix::Parse("10.1.0.0/16"), *Ipv4Prefix::Parse("10.2.0.0/16"));
+  TrafficClass c(*Ipv4Prefix::Parse("10.2.0.0/16"), *Ipv4Prefix::Parse("10.1.0.0/16"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.ToString(), "10.1.0.0/16 -> 10.2.0.0/16");
+  EXPECT_EQ(std::hash<TrafficClass>()(a), std::hash<TrafficClass>()(b));
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().message(), "boom");
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message(), "nope");
+}
+
+TEST(StringUtilTest, SplitTokens) {
+  auto tokens = SplitTokens("  ip   address 10.0.0.1/24 ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "ip");
+  EXPECT_EQ(tokens[1], "address");
+  EXPECT_EQ(tokens[2], "10.0.0.1/24");
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   \t ").empty());
+}
+
+TEST(StringUtilTest, SplitLinesKeepsEmpties) {
+  auto lines = SplitLines("a\n\nb\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "b");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\r\n"), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,69 @@
+// Tests for the minimize-devices objective (paper §5.2: "other objectives
+// such as minimal number of devices changed").
+
+#include <gtest/gtest.h>
+
+#include "core/cpr.h"
+#include "workload/fattree.h"
+
+namespace cpr {
+namespace {
+
+// Devices whose printed configuration changed.
+int DevicesTouched(const CprReport& report, const Network& network) {
+  int touched = 0;
+  Result<Network> rebuilt =
+      Network::Build(report.patched_configs, report.patched_annotations);
+  for (size_t i = 0; i < network.configs().size(); ++i) {
+    if (!(network.configs()[i] == report.patched_configs[i])) {
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+TEST(ObjectiveTest, DevicesObjectiveNeverTouchesMoreDevices) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 6, 11);
+  Result<Cpr> broken = Cpr::FromConfigTexts(scenario.broken_configs, scenario.annotations);
+  ASSERT_TRUE(broken.ok());
+
+  CprOptions options;
+  options.validate_with_simulator = false;
+  options.repair.granularity = Granularity::kAllTcs;
+
+  options.repair.objective = MinimizeObjective::kLines;
+  Result<CprReport> lines_report = broken->Repair(scenario.policies, options);
+  ASSERT_TRUE(lines_report.ok());
+  ASSERT_EQ(lines_report->status, RepairStatus::kSuccess);
+
+  options.repair.objective = MinimizeObjective::kDevices;
+  Result<CprReport> devices_report = broken->Repair(scenario.policies, options);
+  ASSERT_TRUE(devices_report.ok());
+  ASSERT_EQ(devices_report->status, RepairStatus::kSuccess);
+
+  EXPECT_TRUE(devices_report->residual_graph_violations.empty());
+
+  int devices_with_lines_objective = DevicesTouched(*lines_report, broken->network());
+  int devices_with_devices_objective = DevicesTouched(*devices_report, broken->network());
+  EXPECT_LE(devices_with_devices_objective, devices_with_lines_objective);
+  EXPECT_GE(devices_with_devices_objective, 1);
+}
+
+TEST(ObjectiveTest, BothObjectivesSupportedOnBothBackends) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kReachability, 4, 11);
+  Result<Cpr> broken = Cpr::FromConfigTexts(scenario.broken_configs, scenario.annotations);
+  ASSERT_TRUE(broken.ok());
+  for (BackendChoice backend : {BackendChoice::kZ3, BackendChoice::kInternal}) {
+    CprOptions options;
+    options.validate_with_simulator = false;
+    options.repair.backend = backend;
+    options.repair.objective = MinimizeObjective::kDevices;
+    Result<CprReport> report = broken->Repair(scenario.policies, options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->status, RepairStatus::kSuccess);
+    EXPECT_TRUE(report->residual_graph_violations.empty());
+  }
+}
+
+}  // namespace
+}  // namespace cpr

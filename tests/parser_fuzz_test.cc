@@ -1,0 +1,74 @@
+// Robustness: the configuration parser must never crash — every input
+// either parses or returns an error. Mutates valid configs and feeds raw
+// noise.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "config/parser.h"
+#include "config/printer.h"
+#include "tests/example_network.h"
+
+namespace cpr {
+namespace {
+
+TEST(ParserFuzzTest, RandomMutationsNeverCrash) {
+  std::mt19937 rng(20170101);
+  const std::string base = kExampleConfigB;
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = base;
+    int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % text.size();
+      switch (rng() % 4) {
+        case 0:  // Flip a character.
+          text[pos] = static_cast<char>(' ' + rng() % 95);
+          break;
+        case 1:  // Delete a span.
+          text.erase(pos, rng() % 10);
+          break;
+        case 2:  // Duplicate a span.
+          text.insert(pos, text.substr(pos, rng() % 10));
+          break;
+        case 3:  // Insert newline (changes stanza structure).
+          text.insert(pos, "\n");
+          break;
+      }
+      if (text.empty()) {
+        text = " ";
+      }
+    }
+    Result<Config> parsed = ParseConfig(text);
+    if (parsed.ok()) {
+      // Whatever parsed must survive a print/parse round trip.
+      Result<Config> again = ParseConfig(PrintConfig(*parsed));
+      EXPECT_TRUE(again.ok()) << "round " << round;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RawNoiseNeverCrashes) {
+  std::mt19937 rng(8);
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    size_t length = rng() % 400;
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(static_cast<char>(rng() % 256));
+    }
+    (void)ParseConfig(text);  // Must not crash; result irrelevant.
+  }
+}
+
+TEST(ParserFuzzTest, DeepIndentationAndLongLines) {
+  std::string text = "hostname x\n";
+  text += std::string(10000, ' ') + "interface e0\n";
+  text += " ip address 10.0.0.1/24" + std::string(5000, ' ') + "\n";
+  (void)ParseConfig(text);
+  std::string long_token(100000, 'a');
+  (void)ParseConfig("hostname " + long_token + "\n");
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,176 @@
+// End-to-end pipeline tests: repair -> translation -> rebuilt network ->
+// graph re-verification -> control-plane simulation, on the paper's running
+// example (§2.2).
+
+#include <gtest/gtest.h>
+
+#include "core/cpr.h"
+#include "simulate/simulator.h"
+#include "tests/example_network.h"
+#include "verify/checker.h"
+
+namespace cpr {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() {
+    NetworkAnnotations annotations;
+    annotations.waypoint_links.insert({"B", "C"});
+    Result<Cpr> built =
+        Cpr::FromConfigTexts({kExampleConfigA, kExampleConfigB, kExampleConfigC},
+                             std::move(annotations));
+    if (!built.ok()) {
+      throw std::runtime_error(built.error().message());
+    }
+    cpr_ = std::make_unique<Cpr>(std::move(built).value());
+    r_ = *cpr_->network().FindSubnet(ExampleSubnetR());
+    s_ = *cpr_->network().FindSubnet(ExampleSubnetS());
+    t_ = *cpr_->network().FindSubnet(ExampleSubnetT());
+    u_ = *cpr_->network().FindSubnet(ExampleSubnetU());
+  }
+
+  std::unique_ptr<Cpr> cpr_;
+  SubnetId r_, s_, t_, u_;
+};
+
+// Before any repair: the simulator independently agrees with the paper's
+// ground truth about the broken network.
+TEST_F(PipelineTest, SimulatorAgreesWithGroundTruth) {
+  const Network& network = cpr_->network();
+  Simulator simulator(network);
+
+  // No failures: S -> T delivered via A -> B -> C, crossing the firewall.
+  ForwardingOutcome out = simulator.Forward(s_, t_);
+  ASSERT_EQ(out.kind, ForwardingOutcome::Kind::kDelivered);
+  std::vector<DeviceId> abc = {*network.FindDevice("A"), *network.FindDevice("B"),
+                               *network.FindDevice("C")};
+  EXPECT_EQ(out.path, abc);
+  EXPECT_TRUE(out.crossed_waypoint);
+
+  // S -> U dropped by the ACL on B's A-facing interface.
+  EXPECT_EQ(simulator.Forward(s_, u_).kind, ForwardingOutcome::Kind::kAclDropped);
+
+  // EP3 violated: failing A-B leaves T unreachable from S.
+  DeviceId a = *network.FindDevice("A");
+  DeviceId b = *network.FindDevice("B");
+  std::set<LinkId> fail_ab = {*network.FindLink(a, b)};
+  EXPECT_NE(simulator.Forward(s_, t_, fail_ab).kind,
+            ForwardingOutcome::Kind::kDelivered);
+
+  // Exhaustive policy checks (3 links -> full enumeration).
+  EXPECT_TRUE(CheckPolicyBySimulation(network, Policy::AlwaysBlocked(s_, u_), 3));
+  EXPECT_TRUE(CheckPolicyBySimulation(network, Policy::AlwaysWaypoint(s_, t_), 3));
+  EXPECT_FALSE(CheckPolicyBySimulation(network, Policy::Reachability(s_, t_, 2), 3));
+  EXPECT_TRUE(CheckPolicyBySimulation(network, Policy::PrimaryPath(r_, t_, abc), 3));
+}
+
+TEST_F(PipelineTest, FullRepairLoopIsSound) {
+  std::vector<Policy> policies = {
+      Policy::AlwaysBlocked(s_, u_),
+      Policy::AlwaysWaypoint(s_, t_),
+      Policy::Reachability(s_, t_, 2),
+  };
+  CprOptions options;
+  options.repair.granularity = Granularity::kPerDst;
+  options.simulator_failure_cap = 3;  // Exhaustive on 3 links.
+  Result<CprReport> report = cpr_->Repair(policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+
+  // Sound: no residual violations, graph-theoretic or simulated.
+  EXPECT_TRUE(report->residual_graph_violations.empty())
+      << report->residual_graph_violations.size() << " graph violations remain";
+  EXPECT_TRUE(report->residual_simulation_violations.empty())
+      << report->residual_simulation_violations.size() << " simulated violations remain";
+  EXPECT_TRUE(report->Sound());
+
+  // The repair changed something, and few lines of it.
+  EXPECT_GT(report->lines_changed, 0);
+  EXPECT_LE(report->lines_changed, 6);
+  EXPECT_FALSE(report->change_log.empty());
+
+  // The predicted cost approximates the measured line count (each construct
+  // edit is 1-3 lines).
+  EXPECT_LE(report->predicted_cost, report->lines_changed * 3);
+}
+
+TEST_F(PipelineTest, RepairWithPc4PinsPrimaryPath) {
+  std::vector<DeviceId> abc = {*cpr_->network().FindDevice("A"),
+                               *cpr_->network().FindDevice("B"),
+                               *cpr_->network().FindDevice("C")};
+  std::vector<Policy> policies = {
+      Policy::AlwaysBlocked(s_, u_),
+      Policy::AlwaysWaypoint(s_, t_),
+      Policy::Reachability(s_, t_, 2),
+      Policy::PrimaryPath(r_, t_, abc),
+  };
+  CprOptions options;
+  options.repair.granularity = Granularity::kAllTcs;
+  options.simulator_failure_cap = 3;
+  Result<CprReport> report = cpr_->Repair(policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound()) << "graph: " << report->residual_graph_violations.size()
+                               << " sim: " << report->residual_simulation_violations.size();
+}
+
+// The rebuilt HARC must agree with the solver's repaired HARC on every
+// policied traffic class — translation is exact.
+TEST_F(PipelineTest, RebuiltHarcMatchesRepairedHarc) {
+  std::vector<Policy> policies = {
+      Policy::AlwaysBlocked(s_, u_),
+      Policy::AlwaysWaypoint(s_, t_),
+      Policy::Reachability(s_, t_, 2),
+  };
+  RepairOptions repair_options;
+  Result<RepairOutcome> outcome = ComputeRepair(cpr_->harc(), policies, repair_options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->status, RepairStatus::kSuccess);
+
+  Result<TranslationResult> translation = TranslateEdits(cpr_->network(), outcome->edits);
+  ASSERT_TRUE(translation.ok()) << (translation.ok() ? "" : translation.error().message());
+  Result<Network> rebuilt =
+      Network::Build(translation->patched_configs, translation->annotations);
+  ASSERT_TRUE(rebuilt.ok());
+  Harc rebuilt_harc = Harc::Build(*rebuilt);
+
+  ASSERT_EQ(rebuilt_harc.universe().EdgeCount(), cpr_->harc().universe().EdgeCount());
+  for (const Policy& policy : policies) {
+    const Etg& repaired = outcome->repaired.tcetg(policy.src, policy.dst);
+    const Etg& from_configs = rebuilt_harc.tcetg(policy.src, policy.dst);
+    for (CandidateEdgeId e = 0; e < rebuilt_harc.universe().EdgeCount(); ++e) {
+      EXPECT_EQ(repaired.IsPresent(e), from_configs.IsPresent(e))
+          << "edge " << e << " (" << cpr_->harc().universe().VertexName(
+                 cpr_->harc().universe().edge(e).from)
+          << " -> "
+          << cpr_->harc().universe().VertexName(cpr_->harc().universe().edge(e).to)
+          << ") differs for policy " << policy.ToString(cpr_->network());
+    }
+  }
+}
+
+// Policy change scenario (§1): the operator newly requires S to be cut off
+// from T while R must keep reaching T — a per-traffic-class block that an
+// adjacency change cannot implement (it would sever R too).
+TEST_F(PipelineTest, PolicyChangeBlockSToTKeepRToT) {
+  std::vector<Policy> policies = {
+      Policy::AlwaysBlocked(s_, t_),
+      Policy::Reachability(r_, t_, 1),
+      Policy::AlwaysBlocked(s_, u_),
+  };
+  CprOptions options;
+  options.simulator_failure_cap = 3;
+  Result<CprReport> report = cpr_->Repair(policies, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound())
+      << "graph: " << report->residual_graph_violations.size()
+      << " sim: " << report->residual_simulation_violations.size();
+  // The minimal realization is an ACL scoped to the S->T traffic class, so R
+  // and U traffic classes stay untouched.
+  EXPECT_LE(report->traffic_classes_impacted, 1);
+}
+
+}  // namespace
+}  // namespace cpr

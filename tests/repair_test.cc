@@ -1,0 +1,169 @@
+// End-to-end tests of the MaxSMT repair engine on the paper's running
+// example (§2.2): CPR must fix the violated policy without breaking the
+// satisfied ones — the cross-policy and cross-traffic-class challenges.
+
+#include <gtest/gtest.h>
+
+#include "repair/repair.h"
+#include "tests/example_network.h"
+#include "verify/checker.h"
+#include "verify/inference.h"
+
+namespace cpr {
+namespace {
+
+class RepairExampleTest : public ::testing::TestWithParam<std::tuple<Granularity, BackendChoice>> {
+ protected:
+  RepairExampleTest() : network_(BuildExampleNetwork()), harc_(Harc::Build(network_)) {
+    r_ = *network_.FindSubnet(ExampleSubnetR());
+    s_ = *network_.FindSubnet(ExampleSubnetS());
+    t_ = *network_.FindSubnet(ExampleSubnetT());
+    u_ = *network_.FindSubnet(ExampleSubnetU());
+  }
+
+  // EP1-EP4 from §2.2 (EP4 only when PC4 is in play).
+  std::vector<Policy> ExamplePolicies(bool with_pc4) {
+    std::vector<Policy> policies = {
+        Policy::AlwaysBlocked(s_, u_),     // EP1
+        Policy::AlwaysWaypoint(s_, t_),    // EP2
+        Policy::Reachability(s_, t_, 2),   // EP3 (violated)
+    };
+    if (with_pc4) {
+      std::vector<DeviceId> abc = {*network_.FindDevice("A"), *network_.FindDevice("B"),
+                                   *network_.FindDevice("C")};
+      policies.push_back(Policy::PrimaryPath(r_, t_, abc));  // EP4
+    }
+    return policies;
+  }
+
+  RepairOptions MakeOptions() {
+    RepairOptions options;
+    options.granularity = std::get<0>(GetParam());
+    options.backend = std::get<1>(GetParam());
+    return options;
+  }
+
+  Network network_;
+  Harc harc_;
+  SubnetId r_, s_, t_, u_;
+};
+
+TEST_P(RepairExampleTest, RepairsEp3WithoutBreakingOthers) {
+  std::vector<Policy> policies = ExamplePolicies(/*with_pc4=*/false);
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, policies, MakeOptions());
+  ASSERT_TRUE(outcome.ok()) << (outcome.ok() ? "" : outcome.error().message());
+  ASSERT_EQ(outcome->status, RepairStatus::kSuccess);
+
+  // Every policy must hold on the repaired HARC; PC2 may rely on waypoints
+  // the repair placed.
+  const Harc& repaired = outcome->repaired;
+  EXPECT_TRUE(CheckAlwaysBlocked(repaired, s_, u_)) << "EP1 broke";
+  std::vector<LinkId> wp = outcome->NewWaypointLinks();
+  std::set<LinkId> extra(wp.begin(), wp.end());
+  EXPECT_TRUE(CheckAlwaysWaypoint(repaired, s_, t_, extra)) << "EP2 broke";
+  EXPECT_GE(LinkDisjointPathCount(repaired, s_, t_), 2) << "EP3 not repaired";
+
+  // Repaired HARC stays well-formed.
+  Status hierarchy = repaired.CheckHierarchy();
+  EXPECT_TRUE(hierarchy.ok()) << (hierarchy.ok() ? "" : hierarchy.error().message());
+
+  // The repair must be small: the paper's minimal repair for this example
+  // adds a static route (one dETG-level deviation), possibly a waypoint, and
+  // nothing else. Cost is the predicted number of configuration changes.
+  EXPECT_GT(outcome->predicted_cost, 0);
+  EXPECT_LE(outcome->predicted_cost, 4);
+}
+
+TEST_P(RepairExampleTest, NoViolationsMeansNoChanges) {
+  std::vector<Policy> satisfied = {
+      Policy::AlwaysBlocked(s_, u_),
+      Policy::AlwaysWaypoint(s_, t_),
+      Policy::Reachability(s_, t_, 1),
+  };
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, satisfied, MakeOptions());
+  ASSERT_TRUE(outcome.ok());
+  if (std::get<0>(GetParam()) == Granularity::kPerDst) {
+    // Per-dst skips clean destinations entirely.
+    EXPECT_EQ(outcome->status, RepairStatus::kNoViolations);
+  }
+  EXPECT_EQ(outcome->predicted_cost, 0);
+  // The repaired HARC equals the original.
+  EXPECT_TRUE(outcome->repaired.aetg() == harc_.aetg());
+  EXPECT_TRUE(outcome->repaired.detg(t_) == harc_.detg(t_));
+  EXPECT_TRUE(outcome->repaired.tcetg(s_, t_) == harc_.tcetg(s_, t_));
+}
+
+TEST_P(RepairExampleTest, UnsatisfiablePoliciesReported) {
+  // Blocked and reachable simultaneously: impossible.
+  std::vector<Policy> impossible = {
+      Policy::AlwaysBlocked(s_, t_),
+      Policy::Reachability(s_, t_, 1),
+  };
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, impossible, MakeOptions());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status, RepairStatus::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GranularityAndBackend, RepairExampleTest,
+    ::testing::Values(
+        std::make_tuple(Granularity::kAllTcs, BackendChoice::kZ3),
+        std::make_tuple(Granularity::kPerDst, BackendChoice::kZ3),
+        std::make_tuple(Granularity::kAllTcs, BackendChoice::kInternal),
+        std::make_tuple(Granularity::kPerDst, BackendChoice::kInternal)),
+    [](const ::testing::TestParamInfo<RepairExampleTest::ParamType>& info) {
+      std::string name = std::get<0>(info.param) == Granularity::kAllTcs ? "AllTcs" : "PerDst";
+      name += std::get<1>(info.param) == BackendChoice::kZ3 ? "Z3" : "Internal";
+      return name;
+    });
+
+// PC4 (Z3 only): repairing EP3 while EP4 pins R->T to A->B->C.
+TEST(RepairPc4Test, RepairWithPrimaryPathPolicy) {
+  Network network = BuildExampleNetwork();
+  Harc harc = Harc::Build(network);
+  SubnetId r = *network.FindSubnet(ExampleSubnetR());
+  SubnetId s = *network.FindSubnet(ExampleSubnetS());
+  SubnetId t = *network.FindSubnet(ExampleSubnetT());
+  SubnetId u = *network.FindSubnet(ExampleSubnetU());
+  std::vector<DeviceId> abc = {*network.FindDevice("A"), *network.FindDevice("B"),
+                               *network.FindDevice("C")};
+  std::vector<Policy> policies = {
+      Policy::AlwaysBlocked(s, u),
+      Policy::AlwaysWaypoint(s, t),
+      Policy::Reachability(s, t, 2),
+      Policy::PrimaryPath(r, t, abc),
+  };
+  RepairOptions options;
+  options.granularity = Granularity::kAllTcs;
+  options.backend = BackendChoice::kZ3;
+  Result<RepairOutcome> outcome = ComputeRepair(harc, policies, options);
+  ASSERT_TRUE(outcome.ok()) << (outcome.ok() ? "" : outcome.error().message());
+  ASSERT_EQ(outcome->status, RepairStatus::kSuccess);
+
+  const Harc& repaired = outcome->repaired;
+  EXPECT_TRUE(CheckAlwaysBlocked(repaired, s, u));
+  std::vector<LinkId> wp = outcome->NewWaypointLinks();
+  std::set<LinkId> extra(wp.begin(), wp.end());
+  EXPECT_TRUE(CheckAlwaysWaypoint(repaired, s, t, extra));
+  EXPECT_GE(LinkDisjointPathCount(repaired, s, t), 2);
+  EXPECT_TRUE(CheckPrimaryPath(repaired, r, t, abc));
+}
+
+// The internal backend must cleanly refuse integer-bearing problems.
+TEST(RepairPc4Test, InternalBackendRejectsPc4) {
+  Network network = BuildExampleNetwork();
+  Harc harc = Harc::Build(network);
+  SubnetId r = *network.FindSubnet(ExampleSubnetR());
+  SubnetId t = *network.FindSubnet(ExampleSubnetT());
+  std::vector<DeviceId> ac = {*network.FindDevice("A"), *network.FindDevice("C")};
+  std::vector<Policy> policies = {Policy::PrimaryPath(r, t, ac)};
+  RepairOptions options;
+  options.granularity = Granularity::kAllTcs;
+  options.backend = BackendChoice::kInternal;
+  Result<RepairOutcome> outcome = ComputeRepair(harc, policies, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status, RepairStatus::kUnsupported);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,355 @@
+// Tests for the homegrown CDCL SAT solver and core-guided MaxSAT engine,
+// including exhaustive cross-checks against brute force on random instances.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "smt/cardinality.h"
+#include "smt/maxsat.h"
+#include "smt/sat_solver.h"
+
+namespace cpr {
+namespace {
+
+// Evaluates a CNF under an assignment given as a bitmask over variables.
+bool EvalCnf(const std::vector<Clause>& cnf, uint32_t assignment) {
+  for (const Clause& clause : cnf) {
+    bool satisfied = false;
+    for (Lit lit : clause) {
+      bool value = ((assignment >> lit.var()) & 1) != 0;
+      if (value != lit.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BruteForceSat(const std::vector<Clause>& cnf, int vars) {
+  for (uint32_t a = 0; a < (1u << vars); ++a) {
+    if (EvalCnf(cnf, a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SatSolverTest, TrivialSat) {
+  SatSolver solver;
+  BoolVar x = solver.NewVar();
+  BoolVar y = solver.NewVar();
+  solver.AddClause({Lit(x, false), Lit(y, false)});
+  solver.AddUnit(Lit(x, true));
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_FALSE(solver.ModelValue(x));
+  EXPECT_TRUE(solver.ModelValue(y));
+}
+
+TEST(SatSolverTest, TrivialUnsat) {
+  SatSolver solver;
+  BoolVar x = solver.NewVar();
+  solver.AddUnit(Lit(x, false));
+  EXPECT_FALSE(solver.AddUnit(Lit(x, true)));
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, TautologyAndDuplicatesIgnored) {
+  SatSolver solver;
+  BoolVar x = solver.NewVar();
+  BoolVar y = solver.NewVar();
+  solver.AddClause({Lit(x, false), Lit(x, true)});             // Tautology.
+  solver.AddClause({Lit(y, false), Lit(y, false), Lit(x, false)});
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+// Pigeonhole principle PHP(n+1, n): unsatisfiable, requires real conflict
+// analysis to solve in reasonable time.
+std::vector<Clause> Pigeonhole(SatSolver* solver, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<BoolVar>> in(static_cast<size_t>(pigeons),
+                                       std::vector<BoolVar>(static_cast<size_t>(holes)));
+  for (auto& row : in) {
+    for (BoolVar& v : row) {
+      v = solver->NewVar();
+    }
+  }
+  std::vector<Clause> cnf;
+  for (int p = 0; p < pigeons; ++p) {
+    Clause some_hole;
+    for (int h = 0; h < holes; ++h) {
+      some_hole.push_back(Lit(in[static_cast<size_t>(p)][static_cast<size_t>(h)], false));
+    }
+    cnf.push_back(some_hole);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.push_back({Lit(in[static_cast<size_t>(p1)][static_cast<size_t>(h)], true),
+                       Lit(in[static_cast<size_t>(p2)][static_cast<size_t>(h)], true)});
+      }
+    }
+  }
+  return cnf;
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  for (int holes : {2, 3, 4, 5}) {
+    SatSolver solver;
+    for (const Clause& clause : Pigeonhole(&solver, holes)) {
+      solver.AddClause(clause);
+    }
+    EXPECT_EQ(solver.Solve(), SatResult::kUnsat) << "holes=" << holes;
+  }
+}
+
+TEST(SatSolverTest, AssumptionsSatAndUnsat) {
+  SatSolver solver;
+  BoolVar x = solver.NewVar();
+  BoolVar y = solver.NewVar();
+  solver.AddClause({Lit(x, true), Lit(y, false)});  // x -> y
+  EXPECT_EQ(solver.Solve({Lit(x, false)}), SatResult::kSat);
+  EXPECT_TRUE(solver.ModelValue(y));
+  EXPECT_EQ(solver.Solve({Lit(x, false), Lit(y, true)}), SatResult::kUnsat);
+  // The core mentions only the contradictory assumptions.
+  const std::vector<Lit>& core = solver.UnsatCore();
+  EXPECT_GE(core.size(), 1u);
+  EXPECT_LE(core.size(), 2u);
+  for (Lit lit : core) {
+    EXPECT_TRUE(lit == Lit(x, false) || lit == Lit(y, true));
+  }
+  // Solving again without assumptions still succeeds (state restored).
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, CoreExcludesIrrelevantAssumptions) {
+  SatSolver solver;
+  BoolVar a = solver.NewVar();
+  BoolVar b = solver.NewVar();
+  BoolVar c = solver.NewVar();
+  solver.AddClause({Lit(a, true), Lit(b, true)});  // ~a | ~b
+  EXPECT_EQ(solver.Solve({Lit(c, false), Lit(a, false), Lit(b, false)}),
+            SatResult::kUnsat);
+  for (Lit lit : solver.UnsatCore()) {
+    EXPECT_NE(lit.var(), c) << "independent assumption leaked into the core";
+  }
+}
+
+// Property test: agreement with brute force on random 3-SAT near the phase
+// transition.
+TEST(SatSolverTest, RandomInstancesMatchBruteForce) {
+  std::mt19937 rng(12345);
+  const int vars = 10;
+  for (int round = 0; round < 300; ++round) {
+    int clauses = 20 + static_cast<int>(rng() % 40);  // ratio 2.0 - 6.0
+    std::vector<Clause> cnf;
+    SatSolver solver;
+    for (int v = 0; v < vars; ++v) {
+      solver.NewVar();
+    }
+    for (int c = 0; c < clauses; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(
+            Lit(static_cast<BoolVar>(rng() % vars), (rng() & 1) != 0));
+      }
+      cnf.push_back(clause);
+      solver.AddClause(clause);
+    }
+    bool expected = BruteForceSat(cnf, vars);
+    SatResult got = solver.Solve();
+    ASSERT_EQ(got == SatResult::kSat, expected) << "round " << round;
+    if (got == SatResult::kSat) {
+      // The reported model must actually satisfy the CNF.
+      uint32_t assignment = 0;
+      for (int v = 0; v < vars; ++v) {
+        if (solver.ModelValue(static_cast<BoolVar>(v))) {
+          assignment |= 1u << v;
+        }
+      }
+      EXPECT_TRUE(EvalCnf(cnf, assignment)) << "round " << round;
+    }
+  }
+}
+
+TEST(CardinalityTest, AtMostOneEnumeration) {
+  for (int n : {2, 3, 5, 8}) {
+    SatSolver solver;
+    std::vector<Lit> lits;
+    for (int i = 0; i < n; ++i) {
+      lits.push_back(Lit(solver.NewVar(), false));
+    }
+    AddAtMostOne(&solver, lits);
+    // All-zero and each single-one assignment are allowed.
+    EXPECT_EQ(solver.Solve(), SatResult::kSat);
+    for (int i = 0; i < n; ++i) {
+      std::vector<Lit> assume = {lits[static_cast<size_t>(i)]};
+      EXPECT_EQ(solver.Solve(assume), SatResult::kSat) << "n=" << n << " i=" << i;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) {
+          EXPECT_FALSE(solver.ModelValue(lits[static_cast<size_t>(j)]))
+              << "n=" << n << " i=" << i << " j=" << j;
+        }
+      }
+    }
+    // Any two true is forbidden.
+    EXPECT_EQ(solver.Solve({lits[0], lits[static_cast<size_t>(n - 1)]}),
+              SatResult::kUnsat);
+  }
+}
+
+TEST(CardinalityTest, ExactlyOneForcesOne) {
+  SatSolver solver;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) {
+    lits.push_back(Lit(solver.NewVar(), false));
+  }
+  AddExactlyOne(&solver, lits);
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  int true_count = 0;
+  for (Lit lit : lits) {
+    true_count += solver.ModelValue(lit) ? 1 : 0;
+  }
+  EXPECT_EQ(true_count, 1);
+}
+
+// --- MaxSAT -----------------------------------------------------------------
+
+TEST(MaxSatTest, AllSoftSatisfiable) {
+  MaxSatSolver solver;
+  BoolVar x = solver.NewVar();
+  BoolVar y = solver.NewVar();
+  solver.AddHard({Lit(x, false), Lit(y, false)});
+  solver.AddSoft({Lit(x, false)}, 1);
+  solver.AddSoft({Lit(y, false)}, 1);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->cost, 0);
+  EXPECT_TRUE(solution->model[static_cast<size_t>(x)]);
+  EXPECT_TRUE(solution->model[static_cast<size_t>(y)]);
+}
+
+TEST(MaxSatTest, MustViolateCheapest) {
+  MaxSatSolver solver;
+  BoolVar x = solver.NewVar();
+  // Hard: exactly one polarity; softs pull both ways with different weights.
+  solver.AddSoft({Lit(x, false)}, 5);
+  solver.AddSoft({Lit(x, true)}, 2);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->cost, 2);
+  EXPECT_TRUE(solution->model[static_cast<size_t>(x)]);
+}
+
+TEST(MaxSatTest, HardUnsatReported) {
+  MaxSatSolver solver;
+  BoolVar x = solver.NewVar();
+  solver.AddHard({Lit(x, false)});
+  solver.AddHard({Lit(x, true)});
+  solver.AddSoft({Lit(x, false)}, 1);
+  EXPECT_FALSE(solver.Solve().has_value());
+}
+
+TEST(MaxSatTest, ChainOfImplicationsCost) {
+  // Hard: a -> b -> c. Softs: a (w 10), !c (w 1). Optimal violates !c.
+  MaxSatSolver solver;
+  BoolVar a = solver.NewVar();
+  BoolVar b = solver.NewVar();
+  BoolVar c = solver.NewVar();
+  solver.AddHard({Lit(a, true), Lit(b, false)});
+  solver.AddHard({Lit(b, true), Lit(c, false)});
+  solver.AddSoft({Lit(a, false)}, 10);
+  solver.AddSoft({Lit(c, true)}, 1);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->cost, 1);
+  EXPECT_TRUE(solution->model[static_cast<size_t>(a)]);
+  EXPECT_TRUE(solution->model[static_cast<size_t>(c)]);
+}
+
+// Brute-force optimum of a weighted MaxSAT instance.
+int64_t BruteForceMaxSatCost(const std::vector<Clause>& hard,
+                             const std::vector<std::pair<Clause, int64_t>>& soft, int vars) {
+  int64_t best = -1;
+  for (uint32_t a = 0; a < (1u << vars); ++a) {
+    if (!EvalCnf(hard, a)) {
+      continue;
+    }
+    int64_t cost = 0;
+    for (const auto& [clause, weight] : soft) {
+      if (!EvalCnf({clause}, a)) {
+        cost += weight;
+      }
+    }
+    if (best < 0 || cost < best) {
+      best = cost;
+    }
+  }
+  return best;
+}
+
+TEST(MaxSatTest, RandomInstancesMatchBruteForce) {
+  std::mt19937 rng(777);
+  const int vars = 8;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Clause> hard;
+    std::vector<std::pair<Clause, int64_t>> soft;
+    MaxSatSolver solver;
+    for (int v = 0; v < vars; ++v) {
+      solver.NewVar();
+    }
+    int hard_count = 5 + static_cast<int>(rng() % 10);
+    int soft_count = 3 + static_cast<int>(rng() % 8);
+    for (int c = 0; c < hard_count; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(Lit(static_cast<BoolVar>(rng() % vars), (rng() & 1) != 0));
+      }
+      hard.push_back(clause);
+      solver.AddHard(clause);
+    }
+    for (int c = 0; c < soft_count; ++c) {
+      Clause clause;
+      int len = 1 + static_cast<int>(rng() % 2);
+      for (int k = 0; k < len; ++k) {
+        clause.push_back(Lit(static_cast<BoolVar>(rng() % vars), (rng() & 1) != 0));
+      }
+      int64_t weight = 1 + static_cast<int64_t>(rng() % 4);
+      soft.emplace_back(clause, weight);
+      solver.AddSoft(clause, weight);
+    }
+    int64_t expected = BruteForceMaxSatCost(hard, soft, vars);
+    auto solution = solver.Solve();
+    if (expected < 0) {
+      EXPECT_FALSE(solution.has_value()) << "round " << round;
+    } else {
+      ASSERT_TRUE(solution.has_value()) << "round " << round;
+      EXPECT_EQ(solution->cost, expected) << "round " << round;
+      // The model must satisfy all hard clauses and incur exactly `cost`.
+      uint32_t assignment = 0;
+      for (int v = 0; v < vars; ++v) {
+        if (solution->model[static_cast<size_t>(v)]) {
+          assignment |= 1u << v;
+        }
+      }
+      EXPECT_TRUE(EvalCnf(hard, assignment)) << "round " << round;
+      int64_t model_cost = 0;
+      for (const auto& [clause, weight] : soft) {
+        if (!EvalCnf({clause}, assignment)) {
+          model_cost += weight;
+        }
+      }
+      EXPECT_EQ(model_cost, solution->cost) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr

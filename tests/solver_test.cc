@@ -1,0 +1,152 @@
+// Tests for the solver abstraction: constraint IR simplification and the
+// equivalence of the Z3 and internal backends on boolean MaxSMT problems.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "solver/backend.h"
+#include "solver/constraint_system.h"
+
+namespace cpr {
+namespace {
+
+TEST(ConstraintSystemTest, ConstantFolding) {
+  ConstraintSystem cs;
+  EXPECT_EQ(cs.Not(cs.True()), cs.False());
+  EXPECT_EQ(cs.Not(cs.False()), cs.True());
+  EXPECT_EQ(cs.And({cs.True(), cs.True()}), cs.True());
+  EXPECT_EQ(cs.And({cs.True(), cs.False()}), cs.False());
+  EXPECT_EQ(cs.Or({cs.False(), cs.False()}), cs.False());
+  EXPECT_EQ(cs.Or({cs.False(), cs.True()}), cs.True());
+
+  BVarId x = cs.NewBool("x");
+  EXPECT_EQ(cs.And({cs.Var(x), cs.True()}), cs.Var(x));
+  EXPECT_EQ(cs.Or({cs.Var(x), cs.False()}), cs.Var(x));
+  EXPECT_EQ(cs.Not(cs.Not(cs.Var(x))), cs.Var(x));
+  EXPECT_EQ(cs.Implies(cs.False(), cs.Var(x)), cs.True());
+  EXPECT_EQ(cs.Iff(cs.Var(x), cs.True()), cs.Var(x));
+}
+
+TEST(ConstraintSystemTest, VarLeafMemoization) {
+  ConstraintSystem cs;
+  BVarId x = cs.NewBool("x");
+  EXPECT_EQ(cs.Var(x), cs.Var(x));
+}
+
+class BackendTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<MaxSmtBackend> MakeBackend() {
+    return GetParam() ? MakeZ3Backend() : MakeInternalBackend();
+  }
+};
+
+TEST_P(BackendTest, SolvesSimpleOptimization) {
+  ConstraintSystem cs;
+  BVarId x = cs.NewBool("x");
+  BVarId y = cs.NewBool("y");
+  cs.AddHard(cs.Or({cs.Var(x), cs.Var(y)}));
+  cs.AddSoft(cs.Not(cs.Var(x)), 3);
+  cs.AddSoft(cs.Not(cs.Var(y)), 1);
+  MaxSmtResult result = MakeBackend()->Solve(cs, 10);
+  ASSERT_EQ(result.status, MaxSmtResult::Status::kOptimal);
+  EXPECT_EQ(result.cost, 1);  // Violate the cheap soft: set y.
+  EXPECT_FALSE(result.bool_values[static_cast<size_t>(x)]);
+  EXPECT_TRUE(result.bool_values[static_cast<size_t>(y)]);
+}
+
+TEST_P(BackendTest, ReportsHardUnsat) {
+  ConstraintSystem cs;
+  BVarId x = cs.NewBool("x");
+  cs.AddHard(cs.Var(x));
+  cs.AddHard(cs.Not(cs.Var(x)));
+  EXPECT_EQ(MakeBackend()->Solve(cs, 10).status, MaxSmtResult::Status::kUnsat);
+}
+
+TEST_P(BackendTest, HandlesNestedStructure) {
+  ConstraintSystem cs;
+  BVarId a = cs.NewBool("a");
+  BVarId b = cs.NewBool("b");
+  BVarId c = cs.NewBool("c");
+  // (a <-> b) and (b -> c) and soft(!c w5), soft(a w2)
+  cs.AddHard(cs.Iff(cs.Var(a), cs.Var(b)));
+  cs.AddHard(cs.Implies(cs.Var(b), cs.Var(c)));
+  cs.AddSoft(cs.Not(cs.Var(c)), 5);
+  cs.AddSoft(cs.Var(a), 2);
+  MaxSmtResult result = MakeBackend()->Solve(cs, 10);
+  ASSERT_EQ(result.status, MaxSmtResult::Status::kOptimal);
+  // Options: a=b=0, c=0 -> cost 2 (violate soft a). a=b=1 -> c=1 -> cost 5.
+  EXPECT_EQ(result.cost, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest, ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Z3" : "Internal";
+                         });
+
+TEST(BackendEquivalenceTest, RandomBooleanProblemsAgreeOnCost) {
+  std::mt19937 rng(321);
+  auto z3 = MakeZ3Backend();
+  auto internal = MakeInternalBackend();
+  for (int round = 0; round < 60; ++round) {
+    ConstraintSystem cs;
+    const int vars = 6;
+    std::vector<ExprId> leaves;
+    for (int i = 0; i < vars; ++i) {
+      leaves.push_back(cs.Var(cs.NewBool("v" + std::to_string(i))));
+    }
+    auto random_literal = [&]() {
+      ExprId leaf = leaves[rng() % leaves.size()];
+      return (rng() & 1) != 0 ? cs.Not(leaf) : leaf;
+    };
+    int hards = 2 + static_cast<int>(rng() % 5);
+    for (int h = 0; h < hards; ++h) {
+      cs.AddHard(cs.Or({random_literal(), random_literal(), random_literal()}));
+    }
+    int softs = 2 + static_cast<int>(rng() % 5);
+    for (int s = 0; s < softs; ++s) {
+      ExprId body = (rng() & 1) != 0
+                        ? cs.And({random_literal(), random_literal()})
+                        : cs.Iff(random_literal(), random_literal());
+      cs.AddSoft(body, 1 + static_cast<int64_t>(rng() % 3));
+    }
+    MaxSmtResult a = z3->Solve(cs, 10);
+    MaxSmtResult b = internal->Solve(cs, 10);
+    ASSERT_EQ(a.status, b.status) << "round " << round;
+    if (a.status == MaxSmtResult::Status::kOptimal) {
+      EXPECT_EQ(a.cost, b.cost) << "round " << round;
+    }
+  }
+}
+
+TEST(Z3BackendTest, SolvesIntegerConstraints) {
+  ConstraintSystem cs;
+  IVarId x = cs.NewInt("x", 1, 10);
+  IVarId y = cs.NewInt("y", 1, 10);
+  BVarId flag = cs.NewBool("flag");
+  // x + y == 7; flag required; flag -> x >= y + 3; soft(x == 1, w5) must be
+  // violated (x >= 5 given the bounds), soft(x == 5, w1) is achievable.
+  cs.AddHard(cs.LinearEq({{x, 1}, {y, 1}}, -7));
+  cs.AddHard(cs.Var(flag));
+  cs.AddHard(cs.Implies(cs.Var(flag), cs.LinearLe({{y, 1}, {x, -1}}, 3)));
+  cs.AddSoft(cs.LinearEq({{x, 1}}, -1), 5);
+  cs.AddSoft(cs.LinearEq({{x, 1}}, -5), 1);
+  MaxSmtResult result = MakeZ3Backend()->Solve(cs, 10);
+  ASSERT_EQ(result.status, MaxSmtResult::Status::kOptimal);
+  // Optimal: x=5, y=2 -> only the w5 soft violated.
+  EXPECT_EQ(result.cost, 5);
+  EXPECT_EQ(result.int_values[static_cast<size_t>(x)], 5);
+  EXPECT_EQ(result.int_values[static_cast<size_t>(y)], 2);
+  EXPECT_TRUE(result.bool_values[static_cast<size_t>(flag)]);
+}
+
+TEST(InternalBackendTest, RejectsIntegerProblems) {
+  ConstraintSystem cs;
+  IVarId x = cs.NewInt("x", 0, 5);
+  cs.AddHard(cs.LinearEq({{x, 1}}, -3));
+  EXPECT_EQ(MakeInternalBackend()->Solve(cs, 10).status,
+            MaxSmtResult::Status::kUnsupported);
+}
+
+}  // namespace
+}  // namespace cpr

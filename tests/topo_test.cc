@@ -1,0 +1,130 @@
+// Tests for the topology layer: device/link/subnet derivation, process
+// enumeration, next-hop resolution, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "tests/example_network.h"
+#include "topo/network.h"
+
+namespace cpr {
+namespace {
+
+TEST(NetworkBuildTest, DerivesLinksAndSubnets) {
+  Network network = BuildExampleNetwork();
+  EXPECT_EQ(network.devices().size(), 3u);
+  EXPECT_EQ(network.links().size(), 3u);
+  EXPECT_EQ(network.subnets().size(), 4u);
+  // Every link connects two distinct devices and records both interfaces.
+  for (const TopoLink& link : network.links()) {
+    EXPECT_NE(link.device_a, link.device_b);
+    EXPECT_FALSE(link.interface_a.empty());
+    EXPECT_FALSE(link.interface_b.empty());
+  }
+  // Every subnet names its attachment interface.
+  for (const Subnet& subnet : network.subnets()) {
+    const Config& config = network.config_for(subnet.device);
+    EXPECT_NE(config.FindInterface(subnet.interface), nullptr);
+  }
+}
+
+TEST(NetworkBuildTest, RejectsDuplicateHostnames) {
+  Config a = *ParseConfig("hostname X\n");
+  Config b = *ParseConfig("hostname X\n");
+  EXPECT_FALSE(Network::Build({a, b}).ok());
+}
+
+TEST(NetworkBuildTest, RejectsMissingHostname) {
+  Config anonymous;
+  EXPECT_FALSE(Network::Build({anonymous}).ok());
+}
+
+TEST(NetworkBuildTest, RejectsThreeRoutersOnOneSubnet) {
+  std::vector<Config> configs;
+  for (int i = 0; i < 3; ++i) {
+    Config config = *ParseConfig("hostname R" + std::to_string(i) +
+                                 "\ninterface e0\n ip address 10.0.0." +
+                                 std::to_string(i + 1) + "/24\n");
+    configs.push_back(std::move(config));
+  }
+  Result<Network> network = Network::Build(std::move(configs));
+  EXPECT_FALSE(network.ok());
+}
+
+TEST(NetworkBuildTest, ShutdownInterfacesAreInvisible) {
+  Config a = *ParseConfig(
+      "hostname A\ninterface e0\n ip address 10.0.0.1/24\ninterface e1\n shutdown\n ip "
+      "address 10.5.0.1/24\n");
+  Config b = *ParseConfig("hostname B\ninterface e0\n ip address 10.0.0.2/24\n");
+  Result<Network> network = Network::Build({a, b});
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->links().size(), 1u);
+  EXPECT_EQ(network->subnets().size(), 0u);  // 10.5/24 is down.
+}
+
+TEST(NetworkQueriesTest, FindersAndNextHop) {
+  Network network = BuildExampleNetwork();
+  ASSERT_TRUE(network.FindDevice("A").has_value());
+  ASSERT_FALSE(network.FindDevice("Z").has_value());
+  DeviceId a = *network.FindDevice("A");
+  DeviceId b = *network.FindDevice("B");
+  DeviceId c = *network.FindDevice("C");
+  ASSERT_TRUE(network.FindLink(a, b).has_value());
+  EXPECT_EQ(network.FindLink(a, b), network.FindLink(b, a));
+
+  // Next hop 10.0.2.3 from A resolves to C across the A-C link.
+  auto hop = network.ResolveNextHop(a, *Ipv4Address::Parse("10.0.2.3"));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->neighbor, c);
+  // A's own address never resolves as a next hop from A.
+  EXPECT_FALSE(network.ResolveNextHop(a, *Ipv4Address::Parse("10.0.2.1")).has_value());
+  // Unknown address resolves to nothing.
+  EXPECT_FALSE(network.ResolveNextHop(a, *Ipv4Address::Parse("9.9.9.9")).has_value());
+}
+
+TEST(NetworkQueriesTest, LinkOrientationHelpers) {
+  Network network = BuildExampleNetwork();
+  DeviceId a = *network.FindDevice("A");
+  DeviceId b = *network.FindDevice("B");
+  LinkId ab = *network.FindLink(a, b);
+  auto [from_a, from_b] = network.LinkInterfaces(ab, a);
+  auto [from_b2, from_a2] = network.LinkInterfaces(ab, b);
+  EXPECT_EQ(from_a, from_a2);
+  EXPECT_EQ(from_b, from_b2);
+  EXPECT_EQ(network.LinkPeer(ab, a), b);
+  EXPECT_EQ(network.LinkPeer(ab, b), a);
+}
+
+TEST(NetworkQueriesTest, ProcessUsesInterface) {
+  Network network = BuildExampleNetwork();
+  DeviceId c = *network.FindDevice("C");
+  ProcessId ospf_c = network.devices()[static_cast<size_t>(c)].processes[0];
+  // C's OSPF covers its link interfaces (10.0.0.0/16) but not Subnet-T
+  // (10.20.0.0/16).
+  EXPECT_TRUE(network.ProcessUsesInterface(ospf_c, "Ethernet0/1"));
+  EXPECT_TRUE(network.ProcessUsesInterface(ospf_c, "Ethernet0/2"));
+  EXPECT_FALSE(network.ProcessUsesInterface(ospf_c, "Ethernet0/3"));
+  EXPECT_FALSE(network.ProcessUsesInterface(ospf_c, "NoSuchIntf"));
+}
+
+TEST(NetworkQueriesTest, TrafficClassEnumeration) {
+  Network network = BuildExampleNetwork();
+  std::vector<TrafficClass> tcs = network.EnumerateTrafficClasses();
+  EXPECT_EQ(tcs.size(), 12u);  // 4 subnets, ordered pairs.
+  for (const TrafficClass& tc : tcs) {
+    EXPECT_NE(tc.src(), tc.dst());
+  }
+}
+
+TEST(AnnotationsTest, WaypointOrderInsensitive) {
+  NetworkAnnotations annotations;
+  annotations.waypoint_links.insert({"C", "B"});  // Reversed order.
+  Result<Network> network = Network::Build(ParseExampleConfigs(), annotations);
+  ASSERT_TRUE(network.ok());
+  DeviceId b = *network->FindDevice("B");
+  DeviceId c = *network->FindDevice("C");
+  EXPECT_TRUE(network->links()[static_cast<size_t>(*network->FindLink(b, c))].waypoint);
+}
+
+}  // namespace
+}  // namespace cpr

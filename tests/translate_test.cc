@@ -1,0 +1,218 @@
+// Tests for the HARC-repair-to-configuration translator (Table 3): each
+// construct edit produces exactly the configuration change whose rebuilt
+// HARC realizes the edit.
+
+#include <gtest/gtest.h>
+
+#include "arc/harc.h"
+#include "tests/example_network.h"
+#include "translate/translator.h"
+
+namespace cpr {
+namespace {
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  TranslatorTest() : network_(BuildExampleNetwork()) {
+    a_ = *network_.FindDevice("A");
+    b_ = *network_.FindDevice("B");
+    c_ = *network_.FindDevice("C");
+    s_ = *network_.FindSubnet(ExampleSubnetS());
+    t_ = *network_.FindSubnet(ExampleSubnetT());
+    u_ = *network_.FindSubnet(ExampleSubnetU());
+  }
+
+  ProcessId OspfOf(DeviceId device) {
+    return network_.devices()[static_cast<size_t>(device)].processes[0];
+  }
+
+  Network Rebuild(const TranslationResult& result) {
+    Result<Network> rebuilt = Network::Build(result.patched_configs, result.annotations);
+    EXPECT_TRUE(rebuilt.ok());
+    return std::move(rebuilt).value();
+  }
+
+  Network network_;
+  DeviceId a_, b_, c_;
+  SubnetId s_, t_, u_;
+};
+
+TEST_F(TranslatorTest, EnableOspfAdjacencyRemovesPassive) {
+  RepairEdits edits;
+  LinkId ac = *network_.FindLink(a_, c_);
+  ProcessId pa = OspfOf(a_);
+  ProcessId pc = OspfOf(c_);
+  edits.adjacencies.push_back(
+      AdjacencyEdit{ac, std::min(pa, pc), std::max(pa, pc), /*enable=*/true});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message());
+  // Exactly one line: C's passive-interface removed (A's side was active).
+  EXPECT_EQ(result->LinesChanged(), 1);
+
+  Network rebuilt = Rebuild(*result);
+  Harc harc = Harc::Build(rebuilt);
+  // The adjacency now exists: A and C exchange routes.
+  ProcessId pa2 = rebuilt.devices()[static_cast<size_t>(a_)].processes[0];
+  ProcessId pc2 = rebuilt.devices()[static_cast<size_t>(c_)].processes[0];
+  auto edge = harc.universe().FindEdge(harc.universe().ProcessOut(pa2),
+                                       harc.universe().ProcessIn(pc2));
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_TRUE(harc.aetg().IsPresent(*edge));
+}
+
+TEST_F(TranslatorTest, DisableOspfAdjacencyAddsPassive) {
+  RepairEdits edits;
+  LinkId ab = *network_.FindLink(a_, b_);
+  ProcessId pa = OspfOf(a_);
+  ProcessId pb = OspfOf(b_);
+  edits.adjacencies.push_back(
+      AdjacencyEdit{ab, std::min(pa, pb), std::max(pa, pb), /*enable=*/false});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->LinesChanged(), 1);
+
+  Network rebuilt = Rebuild(*result);
+  Harc harc = Harc::Build(rebuilt);
+  ProcessId pa2 = rebuilt.devices()[static_cast<size_t>(a_)].processes[0];
+  ProcessId pb2 = rebuilt.devices()[static_cast<size_t>(b_)].processes[0];
+  auto edge = harc.universe().FindEdge(harc.universe().ProcessOut(pa2),
+                                       harc.universe().ProcessIn(pb2));
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_FALSE(harc.aetg().IsPresent(*edge));
+}
+
+TEST_F(TranslatorTest, StaticRouteAddAndRemove) {
+  RepairEdits add;
+  LinkId ac = *network_.FindLink(a_, c_);
+  add.static_routes.push_back(StaticRouteEdit{t_, a_, ac, /*add=*/true, /*distance=*/200});
+  Result<TranslationResult> added = TranslateEdits(network_, add);
+  ASSERT_TRUE(added.ok());
+  // `ip route` + `redistribute static`.
+  EXPECT_EQ(added->LinesChanged(), 2);
+  Network with_static = Rebuild(*added);
+  EXPECT_TRUE(StaticRouteConfigured(with_static, a_, ac,
+                                    with_static.subnets()[static_cast<size_t>(t_)].prefix));
+
+  // Removing it again (from the patched network) restores the original.
+  RepairEdits remove;
+  remove.static_routes.push_back(StaticRouteEdit{t_, a_, ac, /*add=*/false, 1});
+  Result<TranslationResult> removed = TranslateEdits(with_static, remove);
+  ASSERT_TRUE(removed.ok());
+  Network back = Rebuild(*removed);
+  EXPECT_FALSE(StaticRouteConfigured(back, a_, ac,
+                                     back.subnets()[static_cast<size_t>(t_)].prefix));
+}
+
+TEST_F(TranslatorTest, RemovingUnknownStaticFails) {
+  RepairEdits edits;
+  LinkId ac = *network_.FindLink(a_, c_);
+  edits.static_routes.push_back(StaticRouteEdit{t_, a_, ac, /*add=*/false, 1});
+  EXPECT_FALSE(TranslateEdits(network_, edits).ok());
+}
+
+TEST_F(TranslatorTest, LinkAclBlockCreatesInboundAcl) {
+  RepairEdits edits;
+  LinkId ac = *network_.FindLink(a_, c_);
+  edits.acls.push_back(AclEdit{s_, t_, AclEdit::Where::kLink, ac, a_, -1, /*block=*/true});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok());
+  Network rebuilt = Rebuild(*result);
+  TrafficClass tc(rebuilt.subnets()[static_cast<size_t>(s_)].prefix,
+                  rebuilt.subnets()[static_cast<size_t>(t_)].prefix);
+  EXPECT_TRUE(LinkAclBlocks(rebuilt, ac, a_, tc));
+  // Other traffic classes pass.
+  TrafficClass other(rebuilt.subnets()[static_cast<size_t>(t_)].prefix,
+                     rebuilt.subnets()[static_cast<size_t>(s_)].prefix);
+  EXPECT_FALSE(LinkAclBlocks(rebuilt, ac, a_, other));
+}
+
+TEST_F(TranslatorTest, LinkAclUnblockRemovesExactDeny) {
+  // B's BLOCK-U ACL denies any->U on the A->B direction; unblock S->U.
+  RepairEdits edits;
+  LinkId ab = *network_.FindLink(a_, b_);
+  edits.acls.push_back(AclEdit{s_, u_, AclEdit::Where::kLink, ab, a_, -1, /*block=*/false});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok());
+  Network rebuilt = Rebuild(*result);
+  TrafficClass tc(rebuilt.subnets()[static_cast<size_t>(s_)].prefix,
+                  rebuilt.subnets()[static_cast<size_t>(u_)].prefix);
+  EXPECT_FALSE(LinkAclBlocks(rebuilt, ab, a_, tc));
+  // The deny was `any -> U`, not an exact match, so a permit was inserted in
+  // front (paper §6's procedure) and other sources stay blocked.
+  TrafficClass other(rebuilt.subnets()[static_cast<size_t>(t_)].prefix,
+                     rebuilt.subnets()[static_cast<size_t>(u_)].prefix);
+  EXPECT_TRUE(LinkAclBlocks(rebuilt, ab, a_, other));
+}
+
+TEST_F(TranslatorTest, FilterBlockAndUnblockRoundTrip) {
+  ProcessId pb = OspfOf(b_);
+  RepairEdits block;
+  block.filters.push_back(FilterEdit{t_, pb, /*block=*/true});
+  Result<TranslationResult> blocked = TranslateEdits(network_, block);
+  ASSERT_TRUE(blocked.ok());
+  Network with_filter = Rebuild(*blocked);
+  EXPECT_TRUE(ProcessBlocksDestination(with_filter, pb,
+                                       with_filter.subnets()[static_cast<size_t>(t_)].prefix));
+
+  RepairEdits unblock;
+  unblock.filters.push_back(FilterEdit{t_, pb, /*block=*/false});
+  Result<TranslationResult> unblocked = TranslateEdits(with_filter, unblock);
+  ASSERT_TRUE(unblocked.ok());
+  Network back = Rebuild(*unblocked);
+  EXPECT_FALSE(ProcessBlocksDestination(back, pb,
+                                        back.subnets()[static_cast<size_t>(t_)].prefix));
+}
+
+TEST_F(TranslatorTest, CostEditRewritesInterfaceCost) {
+  RepairEdits edits;
+  LinkId ab = *network_.FindLink(a_, b_);
+  edits.costs.push_back(CostEdit{ab, a_, 1, 7});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->LinesChanged(), 1);
+  Network rebuilt = Rebuild(*result);
+  auto [egress, ingress] = rebuilt.LinkInterfaces(ab, a_);
+  EXPECT_EQ(rebuilt.config_for(a_).FindInterface(egress)->ospf_cost, 7);
+}
+
+TEST_F(TranslatorTest, WaypointEditUpdatesAnnotations) {
+  RepairEdits edits;
+  LinkId ac = *network_.FindLink(a_, c_);
+  edits.waypoints.push_back(WaypointEdit{ac});
+  Result<TranslationResult> result = TranslateEdits(network_, edits);
+  ASSERT_TRUE(result.ok());
+  Network rebuilt = Rebuild(*result);
+  EXPECT_TRUE(rebuilt.links()[static_cast<size_t>(ac)].waypoint);
+  // Configurations untouched: waypoints are annotations.
+  EXPECT_EQ(result->LinesChanged(), 0);
+}
+
+TEST_F(TranslatorTest, RedistributionEditRoundTrip) {
+  // A has one OSPF process only; build a two-process device scenario by
+  // adding BGP to A's config first.
+  std::vector<Config> configs = ParseExampleConfigs();
+  configs[0].bgp.emplace();
+  configs[0].bgp->asn = 65000;
+  Result<Network> net = Network::Build(std::move(configs), {});
+  ASSERT_TRUE(net.ok());
+  DeviceId a = *net->FindDevice("A");
+  const auto& procs = net->devices()[static_cast<size_t>(a)].processes;
+  ASSERT_EQ(procs.size(), 2u);
+  ProcessId ospf = procs[0];
+  ProcessId bgp = procs[1];
+
+  RepairEdits enable;
+  enable.redistributions.push_back(RedistributionEdit{ospf, bgp, /*enable=*/true});
+  Result<TranslationResult> enabled = TranslateEdits(*net, enable);
+  ASSERT_TRUE(enabled.ok());
+  Network with_redist = *Network::Build(enabled->patched_configs, enabled->annotations);
+  const OspfConfig& ospf_config = with_redist.config_for(a).ospf_processes[0];
+  bool found = false;
+  for (const Redistribution& r : ospf_config.redistributes) {
+    found |= r.from == RouteSource::kBgp && r.process_id == 65000;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,185 @@
+// Tests for the evaluation workload generators: fat-tree scenarios (§8) and
+// the synthetic data-center dataset with hand-written repairs.
+
+#include <gtest/gtest.h>
+
+#include "core/cpr.h"
+#include "verify/checker.h"
+#include "workload/datacenter.h"
+#include "workload/fattree.h"
+
+namespace cpr {
+namespace {
+
+Cpr MustBuild(const std::vector<std::string>& texts, NetworkAnnotations annotations) {
+  Result<Cpr> built = Cpr::FromConfigTexts(texts, std::move(annotations));
+  if (!built.ok()) {
+    throw std::runtime_error(built.error().message());
+  }
+  return std::move(built).value();
+}
+
+class FatTreeScenarioTest : public ::testing::TestWithParam<PolicyClass> {};
+
+TEST_P(FatTreeScenarioTest, WorkingSatisfiesBrokenViolates) {
+  PolicyClass pc = GetParam();
+  FatTreeScenario scenario = MakeFatTreeScenario(4, pc, 12, 42);
+
+  // 4-port fat-tree: 8 edge + 8 agg + 4 core = 20 routers (paper §8).
+  EXPECT_EQ(scenario.working_configs.size(), 20u);
+  EXPECT_EQ(scenario.policies.size(), 12u);
+
+  Cpr working = MustBuild(scenario.working_configs, scenario.annotations);
+  EXPECT_TRUE(FindViolations(working.harc(), scenario.policies).empty())
+      << "working fat-tree snapshot must satisfy all " << PolicyClassName(pc)
+      << " policies";
+
+  Cpr broken = MustBuild(scenario.broken_configs, scenario.annotations);
+  EXPECT_FALSE(FindViolations(broken.harc(), scenario.policies).empty())
+      << "broken fat-tree snapshot must violate some " << PolicyClassName(pc)
+      << " policies";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, FatTreeScenarioTest,
+                         ::testing::Values(PolicyClass::kAlwaysBlocked,
+                                           PolicyClass::kAlwaysWaypoint,
+                                           PolicyClass::kReachability,
+                                           PolicyClass::kPrimaryPath),
+                         [](const ::testing::TestParamInfo<PolicyClass>& info) {
+                           return PolicyClassName(info.param);
+                         });
+
+TEST(FatTreeRepairTest, RepairsBrokenPc1Scenario) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 6, 7);
+  Cpr broken = MustBuild(scenario.broken_configs, scenario.annotations);
+  CprOptions options;
+  options.repair.granularity = Granularity::kPerDst;
+  options.repair.num_threads = 4;
+  options.validate_with_simulator = true;
+  options.simulator_failure_cap = 1;
+  Result<CprReport> report = broken.Repair(scenario.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound())
+      << "graph residuals: " << report->residual_graph_violations.size()
+      << ", sim residuals: " << report->residual_simulation_violations.size();
+  EXPECT_GT(report->lines_changed, 0);
+}
+
+TEST(FatTreeRepairTest, RepairsBrokenPc3Scenario) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kReachability, 6, 7);
+  Cpr broken = MustBuild(scenario.broken_configs, scenario.annotations);
+  CprOptions options;
+  options.repair.granularity = Granularity::kPerDst;
+  options.repair.num_threads = 4;
+  // Graph-level validation only: ARC's pathset semantics assume traffic can
+  // use any unblocked ETG path, but deterministic OSPF forwarding may pin the
+  // traffic to a path whose mid-network ACL still blocks it (fat-tree core
+  // ACLs are mid-path; see DESIGN.md "model vs execution"). The DC dataset
+  // uses destination choke-point ACLs, where simulation and model agree.
+  options.validate_with_simulator = false;
+  Result<CprReport> report = broken.Repair(scenario.policies, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound());
+}
+
+TEST(FatTreeRepairTest, RepairsBrokenPc4Scenario) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kPrimaryPath, 3, 7);
+  Cpr broken = MustBuild(scenario.broken_configs, scenario.annotations);
+  CprOptions options;
+  options.repair.granularity = Granularity::kAllTcs;  // PC4 cannot split.
+  options.simulator_failure_cap = 0;                  // PC4 checks failure-free state.
+  Result<CprReport> report = broken.Repair(scenario.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound())
+      << "graph residuals: " << report->residual_graph_violations.size()
+      << ", sim residuals: " << report->residual_simulation_violations.size();
+  // A cost repair should touch interface costs.
+  EXPECT_FALSE(report->edits.costs.empty());
+}
+
+class DatacenterDatasetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatacenterDatasetTest, NetworkInvariants) {
+  DatacenterNetwork network = GenerateDatacenterNetwork(GetParam(), 2017, 0.25);
+
+  EXPECT_GE(network.router_count, 2);
+  EXPECT_LE(network.router_count, 24);
+  EXPECT_FALSE(network.policies.empty());
+  EXPECT_GT(network.traffic_class_count, 0);
+
+  // The hand-fixed snapshot satisfies every policy.
+  Cpr handfixed = MustBuild(network.handfixed_configs, network.annotations);
+  std::vector<Policy> residual = FindViolations(handfixed.harc(), network.policies);
+  EXPECT_TRUE(residual.empty()) << residual.size() << " policies violated after hand repair";
+
+  // The broken snapshot violates at least one.
+  Cpr broken = MustBuild(network.broken_configs, network.annotations);
+  EXPECT_FALSE(FindViolations(broken.harc(), network.policies).empty());
+
+  // Policies reference subnet ids valid in both snapshots (identical subnet
+  // enumeration).
+  EXPECT_EQ(broken.network().subnets().size(), handfixed.network().subnets().size());
+  for (size_t i = 0; i < broken.network().subnets().size(); ++i) {
+    EXPECT_EQ(broken.network().subnets()[i].prefix,
+              handfixed.network().subnets()[i].prefix);
+  }
+
+  // Policy mix: PC1 and PC3 only (Figure 6).
+  for (const Policy& policy : network.policies) {
+    EXPECT_TRUE(policy.pc == PolicyClass::kAlwaysBlocked ||
+                policy.pc == PolicyClass::kReachability);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, DatacenterDatasetTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 17, 42, 63, 88, 95));
+
+TEST(DatacenterRepairTest, CprRepairsBrokenSnapshot) {
+  DatacenterNetwork network = GenerateDatacenterNetwork(3, 2017, 0.2);
+  Cpr broken = MustBuild(network.broken_configs, network.annotations);
+  CprOptions options;
+  options.repair.granularity = Granularity::kPerDst;
+  options.repair.num_threads = 4;
+  options.simulator_failure_cap = 1;
+  Result<CprReport> report = broken.Repair(network.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->Sound())
+      << "graph residuals: " << report->residual_graph_violations.size()
+      << ", sim residuals: " << report->residual_simulation_violations.size();
+}
+
+// Soundness sweep: CPR repairs of many generated networks must restore all
+// policies both graph-theoretically and under simulated forwarding with
+// single-link failures. This is the repository's strongest end-to-end
+// property test.
+class DatacenterSoundnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatacenterSoundnessSweep, RepairIsSoundUnderSimulation) {
+  DatacenterNetwork network = GenerateDatacenterNetwork(GetParam(), 4242, 0.2);
+  Cpr broken = MustBuild(network.broken_configs, network.annotations);
+  CprOptions options;
+  options.repair.granularity = Granularity::kPerDst;
+  options.repair.num_threads = 8;
+  options.simulator_failure_cap = 1;
+  Result<CprReport> report = broken.Repair(network.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_TRUE(report->status == RepairStatus::kSuccess ||
+              report->status == RepairStatus::kNoViolations);
+  EXPECT_TRUE(report->residual_graph_violations.empty())
+      << report->residual_graph_violations.size() << " graph violations";
+  EXPECT_TRUE(report->residual_simulation_violations.empty())
+      << report->residual_simulation_violations.size() << " simulated violations, e.g. "
+      << (report->residual_simulation_violations.empty()
+              ? ""
+              : report->residual_simulation_violations[0].ToString(broken.network()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, DatacenterSoundnessSweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cpr

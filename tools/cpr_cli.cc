@@ -1,0 +1,297 @@
+// cpr — command line interface to Control Plane Repair.
+//
+//   cpr show     <config-dir>                      topology summary
+//   cpr infer    <config-dir>                      print satisfied policies
+//   cpr verify   <config-dir> <policy-file>        check policies (exit 1 on
+//                                                  violations)
+//   cpr repair   <config-dir> <policy-file>        compute and print a patch
+//       [--granularity perdst|alltcs] [--backend z3|internal]
+//       [--threads N] [--timeout SECONDS] [--out DIR] [--no-simulate]
+//
+// A config directory holds one file per router (any extension); the policy
+// file uses the format documented in core/policy_spec.h.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/printer.h"
+#include "core/cpr.h"
+#include "core/policy_spec.h"
+#include "simulate/simulator.h"
+#include "verify/checker.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cpr show|infer <config-dir> [<policy-file>]\n"
+               "       cpr verify|repair <config-dir> <policy-file> [options]\n"
+               "options: --granularity perdst|alltcs  --backend z3|internal\n"
+               "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n");
+  return 2;
+}
+
+cpr::Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return cpr::Error("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Loads every regular file in the directory as a router configuration, in
+// lexicographic order (deterministic device ids).
+cpr::Result<std::vector<std::string>> LoadConfigDir(const std::string& dir) {
+  std::vector<fs::path> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      paths.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return cpr::Error("cannot list " + dir + ": " + ec.message());
+  }
+  if (paths.empty()) {
+    return cpr::Error("no configuration files in " + dir);
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> texts;
+  for (const fs::path& path : paths) {
+    cpr::Result<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      return text.error();
+    }
+    texts.push_back(std::move(text).value());
+  }
+  return texts;
+}
+
+struct CliArgs {
+  std::string command;
+  std::string config_dir;
+  std::string policy_file;
+  std::string out_dir;
+  cpr::CprOptions options;
+};
+
+cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
+  if (argc < 3) {
+    return cpr::Error("missing arguments");
+  }
+  CliArgs args;
+  args.command = argv[1];
+  args.config_dir = argv[2];
+  args.options.repair.num_threads = 8;
+  int next = 3;
+  if (next < argc && argv[next][0] != '-') {
+    args.policy_file = argv[next++];
+  }
+  for (; next < argc; ++next) {
+    std::string flag = argv[next];
+    auto value = [&]() -> cpr::Result<std::string> {
+      if (next + 1 >= argc) {
+        return cpr::Error(flag + " needs a value");
+      }
+      return std::string(argv[++next]);
+    };
+    if (flag == "--granularity") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      if (*v == "perdst") {
+        args.options.repair.granularity = cpr::Granularity::kPerDst;
+      } else if (*v == "alltcs") {
+        args.options.repair.granularity = cpr::Granularity::kAllTcs;
+      } else {
+        return cpr::Error("unknown granularity " + *v);
+      }
+    } else if (flag == "--backend") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      if (*v == "z3") {
+        args.options.repair.backend = cpr::BackendChoice::kZ3;
+      } else if (*v == "internal") {
+        args.options.repair.backend = cpr::BackendChoice::kInternal;
+      } else {
+        return cpr::Error("unknown backend " + *v);
+      }
+    } else if (flag == "--threads") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.options.repair.num_threads = std::atoi(v->c_str());
+    } else if (flag == "--timeout") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.options.repair.timeout_seconds = std::atof(v->c_str());
+    } else if (flag == "--out") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.out_dir = *v;
+    } else if (flag == "--no-simulate") {
+      args.options.validate_with_simulator = false;
+    } else {
+      return cpr::Error("unknown flag " + flag);
+    }
+  }
+  return args;
+}
+
+int CmdShow(const cpr::Cpr& pipeline) {
+  const cpr::Network& network = pipeline.network();
+  std::printf("devices (%zu):\n", network.devices().size());
+  for (const cpr::Device& device : network.devices()) {
+    std::printf("  %-12s %zu routing process(es)\n", device.name.c_str(),
+                device.processes.size());
+  }
+  std::printf("links (%zu):\n", network.links().size());
+  for (const cpr::TopoLink& link : network.links()) {
+    std::printf("  %s <-> %s  %s%s\n",
+                network.devices()[static_cast<size_t>(link.device_a)].name.c_str(),
+                network.devices()[static_cast<size_t>(link.device_b)].name.c_str(),
+                link.prefix.ToString().c_str(), link.waypoint ? "  [waypoint]" : "");
+  }
+  std::printf("subnets (%zu):\n", network.subnets().size());
+  for (const cpr::Subnet& subnet : network.subnets()) {
+    std::printf("  %-20s at %s\n", subnet.prefix.ToString().c_str(),
+                network.devices()[static_cast<size_t>(subnet.device)].name.c_str());
+  }
+  std::printf("traffic classes: %zu\n", network.EnumerateTrafficClasses().size());
+  return 0;
+}
+
+int CmdInfer(const cpr::Cpr& pipeline) {
+  std::vector<cpr::Policy> policies = pipeline.InferPolicies();
+  std::fputs(cpr::FormatPolicySpec(policies, pipeline.network()).c_str(), stdout);
+  return 0;
+}
+
+int CmdVerify(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies) {
+  std::vector<cpr::Policy> violations = cpr::FindViolations(pipeline.harc(), policies);
+  for (const cpr::Policy& policy : policies) {
+    bool violated =
+        std::find(violations.begin(), violations.end(), policy) != violations.end();
+    std::printf("%-9s %s\n", violated ? "VIOLATED" : "ok",
+                policy.ToString(pipeline.network()).c_str());
+  }
+  std::printf("%zu/%zu policies hold\n", policies.size() - violations.size(),
+              policies.size());
+  return violations.empty() ? 0 : 1;
+}
+
+int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies,
+              const CliArgs& args) {
+  cpr::Result<cpr::CprReport> report = pipeline.Repair(policies, args.options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "repair error: %s\n", report.error().message().c_str());
+    return 1;
+  }
+  if (report->status == cpr::RepairStatus::kNoViolations) {
+    std::printf("all policies already hold; nothing to repair\n");
+    return 0;
+  }
+  if (report->status != cpr::RepairStatus::kSuccess) {
+    std::fprintf(stderr, "repair failed: status %d\n", static_cast<int>(report->status));
+    return 1;
+  }
+  std::printf("repair: %d line(s) changed across %zu construct edit(s)\n",
+              report->lines_changed, report->change_log.size());
+  for (const std::string& change : report->change_log) {
+    std::printf("  * %s\n", change.c_str());
+  }
+  std::printf("\n%s", report->diff_text.c_str());
+  std::printf("\nvalidation: %zu graph / %zu simulated residual violations -> %s\n",
+              report->residual_graph_violations.size(),
+              report->residual_simulation_violations.size(),
+              report->Sound() ? "sound" : "UNSOUND");
+
+  if (!args.out_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(args.out_dir, ec);
+    for (const cpr::Config& config : report->patched_configs) {
+      fs::path path = fs::path(args.out_dir) / (config.hostname + ".cfg");
+      std::ofstream out(path);
+      out << cpr::PrintConfig(config);
+    }
+    std::printf("patched configurations written to %s\n", args.out_dir.c_str());
+  }
+  return report->Sound() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cpr::Result<CliArgs> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().message().c_str());
+    return Usage();
+  }
+
+  cpr::Result<std::vector<std::string>> texts = LoadConfigDir(args->config_dir);
+  if (!texts.ok()) {
+    std::fprintf(stderr, "error: %s\n", texts.error().message().c_str());
+    return 1;
+  }
+
+  std::string policy_text;
+  if (!args->policy_file.empty()) {
+    cpr::Result<std::string> content = ReadFile(args->policy_file);
+    if (!content.ok()) {
+      std::fprintf(stderr, "error: %s\n", content.error().message().c_str());
+      return 1;
+    }
+    policy_text = std::move(content).value();
+  }
+
+  cpr::Result<cpr::NetworkAnnotations> annotations =
+      cpr::ParseSpecAnnotations(policy_text);
+  if (!annotations.ok()) {
+    std::fprintf(stderr, "error: %s\n", annotations.error().message().c_str());
+    return 1;
+  }
+  cpr::Result<cpr::Cpr> pipeline = cpr::Cpr::FromConfigTexts(*texts, *annotations);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.error().message().c_str());
+    return 1;
+  }
+
+  if (args->command == "show") {
+    return CmdShow(*pipeline);
+  }
+  if (args->command == "infer") {
+    return CmdInfer(*pipeline);
+  }
+
+  cpr::Result<std::vector<cpr::Policy>> policies =
+      cpr::ParseSpecPolicies(policy_text, pipeline->network());
+  if (!policies.ok()) {
+    std::fprintf(stderr, "error: %s\n", policies.error().message().c_str());
+    return 1;
+  }
+  if (args->command == "verify") {
+    return CmdVerify(*pipeline, *policies);
+  }
+  if (args->command == "repair") {
+    return CmdRepair(*pipeline, *policies, *args);
+  }
+  return Usage();
+}
