@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_policy_class.dir/fig08a_policy_class.cc.o"
+  "CMakeFiles/fig08a_policy_class.dir/fig08a_policy_class.cc.o.d"
+  "fig08a_policy_class"
+  "fig08a_policy_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_policy_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_policy_count.dir/fig08b_policy_count.cc.o"
+  "CMakeFiles/fig08b_policy_count.dir/fig08b_policy_count.cc.o.d"
+  "fig08b_policy_count"
+  "fig08b_policy_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_policy_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_minimality.dir/fig09_minimality.cc.o"
+  "CMakeFiles/fig09_minimality.dir/fig09_minimality.cc.o.d"
+  "fig09_minimality"
+  "fig09_minimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_minimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_audit.dir/datacenter_audit.cc.o"
+  "CMakeFiles/datacenter_audit.dir/datacenter_audit.cc.o.d"
+  "datacenter_audit"
+  "datacenter_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_repair.dir/fattree_repair.cc.o"
+  "CMakeFiles/fattree_repair.dir/fattree_repair.cc.o.d"
+  "fattree_repair"
+  "fattree_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_change.dir/policy_change.cc.o"
+  "CMakeFiles/policy_change.dir/policy_change.cc.o.d"
+  "policy_change"
+  "policy_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("graph")
+subdirs("config")
+subdirs("topo")
+subdirs("arc")
+subdirs("verify")
+subdirs("smt")
+subdirs("solver")
+subdirs("repair")
+subdirs("translate")
+subdirs("simulate")
+subdirs("core")
+subdirs("workload")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arc/etg.cc" "src/arc/CMakeFiles/cpr_arc.dir/etg.cc.o" "gcc" "src/arc/CMakeFiles/cpr_arc.dir/etg.cc.o.d"
+  "/root/repo/src/arc/harc.cc" "src/arc/CMakeFiles/cpr_arc.dir/harc.cc.o" "gcc" "src/arc/CMakeFiles/cpr_arc.dir/harc.cc.o.d"
+  "/root/repo/src/arc/universe.cc" "src/arc/CMakeFiles/cpr_arc.dir/universe.cc.o" "gcc" "src/arc/CMakeFiles/cpr_arc.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/cpr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cpr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_arc.dir/etg.cc.o"
+  "CMakeFiles/cpr_arc.dir/etg.cc.o.d"
+  "CMakeFiles/cpr_arc.dir/harc.cc.o"
+  "CMakeFiles/cpr_arc.dir/harc.cc.o.d"
+  "CMakeFiles/cpr_arc.dir/universe.cc.o"
+  "CMakeFiles/cpr_arc.dir/universe.cc.o.d"
+  "libcpr_arc.a"
+  "libcpr_arc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

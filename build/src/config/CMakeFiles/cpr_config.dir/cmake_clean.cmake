@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_config.dir/ast.cc.o"
+  "CMakeFiles/cpr_config.dir/ast.cc.o.d"
+  "CMakeFiles/cpr_config.dir/diff.cc.o"
+  "CMakeFiles/cpr_config.dir/diff.cc.o.d"
+  "CMakeFiles/cpr_config.dir/parser.cc.o"
+  "CMakeFiles/cpr_config.dir/parser.cc.o.d"
+  "CMakeFiles/cpr_config.dir/printer.cc.o"
+  "CMakeFiles/cpr_config.dir/printer.cc.o.d"
+  "libcpr_config.a"
+  "libcpr_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_core.dir/cpr.cc.o"
+  "CMakeFiles/cpr_core.dir/cpr.cc.o.d"
+  "CMakeFiles/cpr_core.dir/policy_spec.cc.o"
+  "CMakeFiles/cpr_core.dir/policy_spec.cc.o.d"
+  "libcpr_core.a"
+  "libcpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/cpr_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/cpr_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/max_flow.cc" "src/graph/CMakeFiles/cpr_graph.dir/max_flow.cc.o" "gcc" "src/graph/CMakeFiles/cpr_graph.dir/max_flow.cc.o.d"
+  "/root/repo/src/graph/reachability.cc" "src/graph/CMakeFiles/cpr_graph.dir/reachability.cc.o" "gcc" "src/graph/CMakeFiles/cpr_graph.dir/reachability.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/cpr_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/cpr_graph.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_graph.dir/digraph.cc.o"
+  "CMakeFiles/cpr_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/cpr_graph.dir/max_flow.cc.o"
+  "CMakeFiles/cpr_graph.dir/max_flow.cc.o.d"
+  "CMakeFiles/cpr_graph.dir/reachability.cc.o"
+  "CMakeFiles/cpr_graph.dir/reachability.cc.o.d"
+  "CMakeFiles/cpr_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/cpr_graph.dir/shortest_path.cc.o.d"
+  "libcpr_graph.a"
+  "libcpr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/ipv4.cc" "src/netbase/CMakeFiles/cpr_netbase.dir/ipv4.cc.o" "gcc" "src/netbase/CMakeFiles/cpr_netbase.dir/ipv4.cc.o.d"
+  "/root/repo/src/netbase/string_util.cc" "src/netbase/CMakeFiles/cpr_netbase.dir/string_util.cc.o" "gcc" "src/netbase/CMakeFiles/cpr_netbase.dir/string_util.cc.o.d"
+  "/root/repo/src/netbase/traffic_class.cc" "src/netbase/CMakeFiles/cpr_netbase.dir/traffic_class.cc.o" "gcc" "src/netbase/CMakeFiles/cpr_netbase.dir/traffic_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

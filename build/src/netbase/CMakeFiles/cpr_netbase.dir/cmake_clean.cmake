@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_netbase.dir/ipv4.cc.o"
+  "CMakeFiles/cpr_netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/cpr_netbase.dir/string_util.cc.o"
+  "CMakeFiles/cpr_netbase.dir/string_util.cc.o.d"
+  "CMakeFiles/cpr_netbase.dir/traffic_class.cc.o"
+  "CMakeFiles/cpr_netbase.dir/traffic_class.cc.o.d"
+  "libcpr_netbase.a"
+  "libcpr_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

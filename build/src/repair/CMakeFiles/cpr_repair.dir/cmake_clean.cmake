@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_repair.dir/encoder.cc.o"
+  "CMakeFiles/cpr_repair.dir/encoder.cc.o.d"
+  "CMakeFiles/cpr_repair.dir/repair.cc.o"
+  "CMakeFiles/cpr_repair.dir/repair.cc.o.d"
+  "libcpr_repair.a"
+  "libcpr_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

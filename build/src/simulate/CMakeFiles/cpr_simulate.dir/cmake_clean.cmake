@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_simulate.dir/simulator.cc.o"
+  "CMakeFiles/cpr_simulate.dir/simulator.cc.o.d"
+  "libcpr_simulate.a"
+  "libcpr_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/cardinality.cc" "src/smt/CMakeFiles/cpr_smt.dir/cardinality.cc.o" "gcc" "src/smt/CMakeFiles/cpr_smt.dir/cardinality.cc.o.d"
+  "/root/repo/src/smt/maxsat.cc" "src/smt/CMakeFiles/cpr_smt.dir/maxsat.cc.o" "gcc" "src/smt/CMakeFiles/cpr_smt.dir/maxsat.cc.o.d"
+  "/root/repo/src/smt/sat_solver.cc" "src/smt/CMakeFiles/cpr_smt.dir/sat_solver.cc.o" "gcc" "src/smt/CMakeFiles/cpr_smt.dir/sat_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_smt.dir/cardinality.cc.o"
+  "CMakeFiles/cpr_smt.dir/cardinality.cc.o.d"
+  "CMakeFiles/cpr_smt.dir/maxsat.cc.o"
+  "CMakeFiles/cpr_smt.dir/maxsat.cc.o.d"
+  "CMakeFiles/cpr_smt.dir/sat_solver.cc.o"
+  "CMakeFiles/cpr_smt.dir/sat_solver.cc.o.d"
+  "libcpr_smt.a"
+  "libcpr_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

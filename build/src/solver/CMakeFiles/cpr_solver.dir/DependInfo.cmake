@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/constraint_system.cc" "src/solver/CMakeFiles/cpr_solver.dir/constraint_system.cc.o" "gcc" "src/solver/CMakeFiles/cpr_solver.dir/constraint_system.cc.o.d"
+  "/root/repo/src/solver/internal_backend.cc" "src/solver/CMakeFiles/cpr_solver.dir/internal_backend.cc.o" "gcc" "src/solver/CMakeFiles/cpr_solver.dir/internal_backend.cc.o.d"
+  "/root/repo/src/solver/z3_backend.cc" "src/solver/CMakeFiles/cpr_solver.dir/z3_backend.cc.o" "gcc" "src/solver/CMakeFiles/cpr_solver.dir/z3_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/cpr_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_solver.dir/constraint_system.cc.o"
+  "CMakeFiles/cpr_solver.dir/constraint_system.cc.o.d"
+  "CMakeFiles/cpr_solver.dir/internal_backend.cc.o"
+  "CMakeFiles/cpr_solver.dir/internal_backend.cc.o.d"
+  "CMakeFiles/cpr_solver.dir/z3_backend.cc.o"
+  "CMakeFiles/cpr_solver.dir/z3_backend.cc.o.d"
+  "libcpr_solver.a"
+  "libcpr_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

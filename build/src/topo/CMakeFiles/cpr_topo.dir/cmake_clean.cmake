@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_topo.dir/network.cc.o"
+  "CMakeFiles/cpr_topo.dir/network.cc.o.d"
+  "libcpr_topo.a"
+  "libcpr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_translate.dir/translator.cc.o"
+  "CMakeFiles/cpr_translate.dir/translator.cc.o.d"
+  "libcpr_translate.a"
+  "libcpr_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

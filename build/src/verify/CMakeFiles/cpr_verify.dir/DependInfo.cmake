@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/checker.cc" "src/verify/CMakeFiles/cpr_verify.dir/checker.cc.o" "gcc" "src/verify/CMakeFiles/cpr_verify.dir/checker.cc.o.d"
+  "/root/repo/src/verify/inference.cc" "src/verify/CMakeFiles/cpr_verify.dir/inference.cc.o" "gcc" "src/verify/CMakeFiles/cpr_verify.dir/inference.cc.o.d"
+  "/root/repo/src/verify/policy.cc" "src/verify/CMakeFiles/cpr_verify.dir/policy.cc.o" "gcc" "src/verify/CMakeFiles/cpr_verify.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arc/CMakeFiles/cpr_arc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cpr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cpr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

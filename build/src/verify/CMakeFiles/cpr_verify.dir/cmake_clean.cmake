@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_verify.dir/checker.cc.o"
+  "CMakeFiles/cpr_verify.dir/checker.cc.o.d"
+  "CMakeFiles/cpr_verify.dir/inference.cc.o"
+  "CMakeFiles/cpr_verify.dir/inference.cc.o.d"
+  "CMakeFiles/cpr_verify.dir/policy.cc.o"
+  "CMakeFiles/cpr_verify.dir/policy.cc.o.d"
+  "libcpr_verify.a"
+  "libcpr_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_workload.dir/datacenter.cc.o"
+  "CMakeFiles/cpr_workload.dir/datacenter.cc.o.d"
+  "CMakeFiles/cpr_workload.dir/fattree.cc.o"
+  "CMakeFiles/cpr_workload.dir/fattree.cc.o.d"
+  "libcpr_workload.a"
+  "libcpr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harc_property_test.dir/harc_property_test.cc.o"
+  "CMakeFiles/harc_property_test.dir/harc_property_test.cc.o.d"
+  "harc_property_test"
+  "harc_property_test.pdb"
+  "harc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

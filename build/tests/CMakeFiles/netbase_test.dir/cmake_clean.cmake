@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_test.dir/netbase_test.cc.o"
+  "CMakeFiles/netbase_test.dir/netbase_test.cc.o.d"
+  "netbase_test"
+  "netbase_test.pdb"
+  "netbase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/cpr_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/cpr_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/cpr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/cpr_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulate/CMakeFiles/cpr_simulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/cpr_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/arc/CMakeFiles/cpr_arc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/cpr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cpr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/cpr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

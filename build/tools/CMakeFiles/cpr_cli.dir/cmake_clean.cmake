@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_cli.dir/cpr_cli.cc.o"
+  "CMakeFiles/cpr_cli.dir/cpr_cli.cc.o.d"
+  "cpr"
+  "cpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
