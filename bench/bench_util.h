@@ -77,6 +77,10 @@ inline const char* StatusName(RepairStatus status) {
       return "TIMEOUT";
     case RepairStatus::kUnsupported:
       return "UNSUPPORTED";
+    case RepairStatus::kPartial:
+      return "PARTIAL";
+    case RepairStatus::kError:
+      return "ERROR";
   }
   return "?";
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the default configuration, then build
+# the ASan+UBSan configuration and run the solver/repair-heavy tests under
+# it (the degraded paths exercise worker threads, backend failover, and
+# cooperative cancellation — exactly where memory bugs would hide).
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer configuration
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== default configuration =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$fast" -eq 1 ]]; then
+  echo "== sanitizer configuration skipped (--fast) =="
+  exit 0
+fi
+
+echo "== ASan+UBSan configuration =="
+cmake -B build-asan -S . -DCPR_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+# Leak detection is off: Z3 keeps global state alive at exit.
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
+  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend'
+
+echo "== all checks passed =="

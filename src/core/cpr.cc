@@ -44,9 +44,13 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   report.predicted_cost = outcome->predicted_cost;
   report.stats = outcome->stats;
   report.edits = outcome->edits;
-  if (!outcome->ok()) {
-    return report;  // kUnsat / kTimeout / kUnsupported: nothing to translate.
+  if (!outcome->HasRepair()) {
+    return report;  // kUnsat / kTimeout / kUnsupported / kError: nothing to
+                    // translate.
   }
+  // kPartial proceeds: the solved problems' edits are translated and
+  // re-verified, and the failed problems' policies simply show up in
+  // residual_graph_violations (Sound() stays false).
 
   Result<TranslationResult> translation = TranslateEdits(*network_, outcome->edits);
   if (!translation.ok()) {

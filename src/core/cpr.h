@@ -56,6 +56,9 @@ struct CprReport {
   std::vector<Policy> residual_graph_violations;
   std::vector<Policy> residual_simulation_violations;
 
+  // A kPartial repair is never sound: its failed problems' policies remain
+  // violated (and appear in residual_graph_violations), but the merged
+  // patch for the solved problems is still valid and worth applying.
   bool Sound() const {
     return (status == RepairStatus::kSuccess || status == RepairStatus::kNoViolations) &&
            residual_graph_violations.empty() && residual_simulation_violations.empty();

@@ -1,0 +1,70 @@
+// A shared wall-clock budget for cooperative cancellation.
+//
+// The repair engine creates one Deadline for an entire run; every
+// per-problem solver call derives its timeout from the remaining budget, so
+// N problems cannot each consume the full budget. Deadline is a copyable
+// value type (it only stores an expiry instant), so worker threads can hold
+// their own copies without synchronization.
+
+#ifndef CPR_SRC_NETBASE_DEADLINE_H_
+#define CPR_SRC_NETBASE_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace cpr {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  // A deadline `seconds` from now; <= 0 means unbounded (matching the
+  // RepairOptions convention).
+  static Deadline After(double seconds) {
+    Deadline deadline;
+    if (seconds > 0) {
+      deadline.bounded_ = true;
+      deadline.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(seconds));
+    }
+    return deadline;
+  }
+
+  bool unbounded() const { return !bounded_; }
+
+  bool Expired() const { return bounded_ && Clock::now() >= at_; }
+
+  // Seconds until expiry, clamped at 0; +infinity when unbounded.
+  double RemainingSeconds() const {
+    if (!bounded_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::max(0.0, std::chrono::duration<double>(at_ - Clock::now()).count());
+  }
+
+  // Per-call solver timeout: the smaller of `cap` (<= 0 meaning "no cap")
+  // and the remaining budget. A bounded deadline never yields <= 0 (which
+  // backends would read as "unbounded"); an exhausted budget clamps to a
+  // millisecond so the solver call returns kTimeout immediately.
+  double ClampTimeout(double cap) const {
+    if (!bounded_) {
+      return cap;
+    }
+    double remaining = std::max(RemainingSeconds(), 1e-3);
+    return cap > 0 ? std::min(cap, remaining) : remaining;
+  }
+
+ private:
+  bool bounded_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_NETBASE_DEADLINE_H_

@@ -3,6 +3,8 @@
 #ifndef CPR_SRC_REPAIR_OPTIONS_H_
 #define CPR_SRC_REPAIR_OPTIONS_H_
 
+#include "solver/fault_injection.h"
+
 namespace cpr {
 
 // Which MaxSMT problem granularity to use (paper §5.3).
@@ -42,6 +44,29 @@ struct RepairOptions {
   int num_threads = 1;
   // Per-problem solver time limit; <= 0 means unbounded.
   double timeout_seconds = 0;
+
+  // --- Robustness controls (degraded modes; see DESIGN.md §6) ---
+  // Total wall-clock budget for the whole repair; every per-problem solver
+  // call derives its timeout from the remaining budget. <= 0 means
+  // unbounded.
+  double deadline_seconds = 0;
+  // Extra attempts after a per-problem solver timeout. 0 (the default)
+  // preserves the paper pipeline's one-shot behavior and bench timings.
+  int max_retries = 0;
+  // Timeout escalation factor applied on each retry.
+  double retry_backoff = 2.0;
+  // Cap on the escalated per-call timeout; <= 0 means uncapped.
+  double max_timeout_seconds = 0;
+  // When the internal backend reports kUnsupported for a problem, re-solve
+  // that problem on Z3 instead of failing the run.
+  bool enable_failover = true;
+  // Merge the models of solved problems even when other problems failed
+  // (RepairStatus::kPartial); failed problems leave their dETGs untouched.
+  bool allow_partial = true;
+  // Testing hook: deterministically degrade solver calls (see
+  // solver/fault_injection.h). Disabled by default.
+  FaultInjectionSpec fault_injection;
+
   // Whether repairs may place new waypoints on links (paper footnote 2:
   // virtual network functions let waypoints be added on arbitrary links).
   bool allow_waypoint_placement = true;

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
 
+#include "netbase/deadline.h"
+#include "solver/failover.h"
+#include "solver/fault_injection.h"
 #include "verify/checker.h"
 
 namespace cpr {
@@ -134,10 +138,36 @@ std::vector<RepairProblem> PartitionProblems(const Harc& harc,
   return problems;
 }
 
+// Builds one worker's solver stack: the chosen engine, optionally wrapped in
+// deterministic fault injection, always wrapped in the failover/retry/
+// exception-isolation decorator. Each worker owns its own stack (Z3 contexts
+// are created per call, so workers never share Z3 state).
+std::unique_ptr<MaxSmtBackend> MakeWorkerBackend(const RepairOptions& options,
+                                                 const Deadline& deadline) {
+  std::unique_ptr<MaxSmtBackend> primary = options.backend == BackendChoice::kZ3
+                                               ? MakeZ3Backend()
+                                               : MakeInternalBackend();
+  if (options.fault_injection.enabled()) {
+    primary = MakeFaultInjectingBackend(std::move(primary), options.fault_injection);
+  }
+  std::unique_ptr<MaxSmtBackend> secondary;
+  if (options.enable_failover && options.backend == BackendChoice::kInternal) {
+    secondary = MakeZ3Backend();
+  }
+  FailoverPolicy policy;
+  policy.max_retries = options.max_retries;
+  policy.backoff = options.retry_backoff;
+  policy.max_timeout_seconds = options.max_timeout_seconds;
+  policy.deadline = deadline;
+  return MakeFailoverBackend(std::move(primary), std::move(secondary), policy);
+}
+
 Result<RepairOutcome> ComputeRepair(const Harc& original,
                                     const std::vector<Policy>& policies,
                                     const RepairOptions& options) {
   Clock::time_point wall_start = Clock::now();
+  // Shared wall-clock budget for the whole run; encoding draws it down too.
+  Deadline deadline = Deadline::After(options.deadline_seconds);
   RepairOutcome outcome;
   outcome.repaired = original;
 
@@ -179,24 +209,44 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   }
   outcome.stats.encode_seconds = Seconds(encode_start);
 
-  // Solve, optionally in parallel (each worker owns a backend instance; Z3
-  // contexts are created per call, so workers never share Z3 state).
+  // Solve, optionally in parallel. Every per-problem outcome is recorded
+  // individually: a failed problem (timeout/unsat/unsupported/error) never
+  // aborts the run, and an exception in a backend is converted to a result
+  // instead of terminating the worker thread.
   std::vector<MaxSmtResult> models(problems.size());
   std::vector<double> solve_times(problems.size(), 0.0);
   std::atomic<size_t> next{0};
   int worker_count =
       std::max(1, std::min<int>(options.num_threads, static_cast<int>(problems.size())));
   auto worker = [&]() {
-    std::unique_ptr<MaxSmtBackend> backend = options.backend == BackendChoice::kZ3
-                                                 ? MakeZ3Backend()
-                                                 : MakeInternalBackend();
+    std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
     while (true) {
       size_t index = next.fetch_add(1);
       if (index >= problems.size()) {
         return;
       }
+      if (deadline.Expired()) {
+        models[index].status = MaxSmtResult::Status::kTimeout;
+        models[index].backend = backend->name();
+        models[index].attempts = 0;
+        models[index].message = "wall-clock deadline exhausted before solving";
+        continue;
+      }
       Clock::time_point start = Clock::now();
-      models[index] = backend->Solve(encoders[index]->system(), options.timeout_seconds);
+      try {
+        models[index] = backend->Solve(encoders[index]->system(),
+                                       deadline.ClampTimeout(options.timeout_seconds));
+      } catch (const std::exception& e) {
+        // The failover decorator already catches; this is the last line of
+        // defense so a worker can never call std::terminate.
+        models[index] = MaxSmtResult{};
+        models[index].status = MaxSmtResult::Status::kError;
+        models[index].message = e.what();
+      } catch (...) {
+        models[index] = MaxSmtResult{};
+        models[index].status = MaxSmtResult::Status::kError;
+        models[index].message = "unknown exception in solver worker";
+      }
       solve_times[index] = Seconds(start);
     }
   };
@@ -216,34 +266,66 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     outcome.stats.solve_seconds += t;
   }
 
-  // Check solver statuses.
-  for (const MaxSmtResult& model : models) {
-    switch (model.status) {
-      case MaxSmtResult::Status::kOptimal:
-        break;
-      case MaxSmtResult::Status::kUnsat:
-        outcome.status = RepairStatus::kUnsat;
-        outcome.stats.wall_seconds = Seconds(wall_start);
-        return outcome;
-      case MaxSmtResult::Status::kTimeout:
-        outcome.status = RepairStatus::kTimeout;
-        outcome.stats.wall_seconds = Seconds(wall_start);
-        return outcome;
-      case MaxSmtResult::Status::kUnsupported:
-        outcome.status = RepairStatus::kUnsupported;
-        outcome.stats.wall_seconds = Seconds(wall_start);
-        return outcome;
+  // Record per-problem diagnostics and classify the run.
+  outcome.stats.problem_reports.reserve(problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    ProblemReport report;
+    report.dsts = problems[i].dsts;
+    report.status = models[i].status;
+    report.attempts = models[i].attempts;
+    report.backend = models[i].backend;
+    report.solve_seconds = solve_times[i];
+    report.cost = models[i].cost;
+    report.message = models[i].message;
+    if (report.solved()) {
+      ++outcome.stats.problems_solved;
+    } else {
+      ++outcome.stats.problems_failed;
     }
+    outcome.stats.problem_reports.push_back(std::move(report));
+  }
+  auto overall_failure = [&]() {
+    // The first failed problem (in problem order) names the run's status,
+    // matching the pre-partial pipeline's abort-on-first-failure semantics.
+    for (const MaxSmtResult& model : models) {
+      switch (model.status) {
+        case MaxSmtResult::Status::kOptimal:
+          break;
+        case MaxSmtResult::Status::kUnsat:
+          return RepairStatus::kUnsat;
+        case MaxSmtResult::Status::kTimeout:
+          return RepairStatus::kTimeout;
+        case MaxSmtResult::Status::kUnsupported:
+          return RepairStatus::kUnsupported;
+        case MaxSmtResult::Status::kError:
+          return RepairStatus::kError;
+      }
+    }
+    return RepairStatus::kSuccess;
+  };
+  if (outcome.stats.problems_solved == 0 ||
+      (outcome.stats.problems_failed > 0 && !options.allow_partial)) {
+    outcome.status = overall_failure();
+    outcome.stats.wall_seconds = Seconds(wall_start);
+    return outcome;
   }
 
-  // Merge models into the repaired HARC.
+  // Merge the solved models into the repaired HARC. Failed problems are
+  // skipped: their dETGs/tcETGs stay exactly as in the original (the
+  // `settled` sets below also shield them from re-derivation), so a partial
+  // repair degrades gracefully instead of corrupting unsolved destinations.
   const EtgUniverse& universe = original.universe();
-  std::set<SubnetId> solved_dsts;
-  std::set<std::pair<SubnetId, SubnetId>> solved_tcs;
+  std::set<SubnetId> settled_dsts;
+  std::set<std::pair<SubnetId, SubnetId>> settled_tcs;
   for (size_t i = 0; i < problems.size(); ++i) {
     const RepairProblem& problem = problems[i];
     const RepairEncoder& encoder = *encoders[i];
     const MaxSmtResult& model = models[i];
+    if (!model.ok()) {
+      settled_dsts.insert(problem.dsts.begin(), problem.dsts.end());
+      settled_tcs.insert(problem.tcs.begin(), problem.tcs.end());
+      continue;
+    }
     outcome.predicted_cost += model.cost;
     if (problem.mutable_aetg) {
       for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
@@ -251,13 +333,13 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
       }
     }
     for (SubnetId dst : problem.dsts) {
-      solved_dsts.insert(dst);
+      settled_dsts.insert(dst);
       for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
         outcome.repaired.mutable_detg(dst).SetPresent(e, encoder.DecodeDst(model, dst, e));
       }
     }
     for (const auto& [src, dst] : problem.tcs) {
-      solved_tcs.insert({src, dst});
+      settled_tcs.insert({src, dst});
       for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
         outcome.repaired.mutable_tcetg(src, dst).SetPresent(
             e, encoder.DecodeTc(model, src, dst, e));
@@ -276,7 +358,7 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   const int subnet_count = original.SubnetCount();
   for (SubnetId d = 0; d < subnet_count; ++d) {
     const Ipv4Prefix& dst_prefix = network.subnets()[static_cast<size_t>(d)].prefix;
-    if (solved_dsts.count(d) == 0) {
+    if (settled_dsts.count(d) == 0) {
       Etg& detg = outcome.repaired.mutable_detg(d);
       for (CandidateEdgeId e = 0; e < universe.EdgeCount(); ++e) {
         const CandidateEdge& edge = universe.edge(e);
@@ -307,7 +389,7 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
       }
     }
     for (SubnetId s = 0; s < subnet_count; ++s) {
-      if (s == d || solved_tcs.count({s, d}) > 0) {
+      if (s == d || settled_tcs.count({s, d}) > 0) {
         continue;
       }
       const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix, dst_prefix);
@@ -352,7 +434,8 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     }
   }
 
-  outcome.status = RepairStatus::kSuccess;
+  outcome.status = outcome.stats.problems_failed > 0 ? RepairStatus::kPartial
+                                                     : RepairStatus::kSuccess;
   outcome.stats.wall_seconds = Seconds(wall_start);
   return outcome;
 }

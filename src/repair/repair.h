@@ -32,13 +32,53 @@ namespace cpr {
 enum class RepairStatus {
   kSuccess,
   kNoViolations,  // Nothing to repair; `repaired` equals the original.
+  kPartial,       // Some problems solved and merged, others failed; see
+                  // RepairStats::problem_reports for per-problem outcomes.
   kUnsat,         // The policies are jointly unsatisfiable on this topology.
   kTimeout,       // A problem hit the solver time limit.
   kUnsupported,   // Backend cannot express the problem (PC4 on internal).
+  kError,         // A backend failed internally (e.g. threw an exception).
+};
+
+inline const char* RepairStatusName(RepairStatus status) {
+  switch (status) {
+    case RepairStatus::kSuccess:
+      return "success";
+    case RepairStatus::kNoViolations:
+      return "no-violations";
+    case RepairStatus::kPartial:
+      return "partial";
+    case RepairStatus::kUnsat:
+      return "unsat";
+    case RepairStatus::kTimeout:
+      return "timeout";
+    case RepairStatus::kUnsupported:
+      return "unsupported";
+    case RepairStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+// Per-problem diagnostic record: every formulated MaxSMT problem gets one,
+// whether it solved or failed. `dsts` identifies the problem (the
+// destination group it repairs); provenance mirrors MaxSmtResult.
+struct ProblemReport {
+  std::vector<SubnetId> dsts;
+  MaxSmtResult::Status status = MaxSmtResult::Status::kUnsat;
+  int attempts = 0;
+  std::string backend;
+  double solve_seconds = 0;
+  int64_t cost = 0;
+  std::string message;  // Failure detail (empty on success).
+
+  bool solved() const { return status == MaxSmtResult::Status::kOptimal; }
 };
 
 struct RepairStats {
   int problems_formulated = 0;
+  int problems_solved = 0;
+  int problems_failed = 0;
   int destinations_skipped = 0;
   double encode_seconds = 0;
   double solve_seconds = 0;  // Sum over problems.
@@ -46,6 +86,8 @@ struct RepairStats {
   int64_t bool_vars = 0;
   int64_t hard_constraints = 0;
   int64_t soft_constraints = 0;
+  // One entry per formulated problem, in problem order.
+  std::vector<ProblemReport> problem_reports;
 };
 
 struct RepairOutcome {
@@ -69,6 +111,10 @@ struct RepairOutcome {
   }
 
   bool ok() const { return status == RepairStatus::kSuccess || status == RepairStatus::kNoViolations; }
+
+  // kPartial still carries a merged (sub)repair worth translating; the
+  // failed problems' policies simply remain violated.
+  bool HasRepair() const { return ok() || status == RepairStatus::kPartial; }
 };
 
 // Splits the policies into MaxSMT problems per the chosen granularity.

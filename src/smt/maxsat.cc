@@ -41,10 +41,16 @@ std::optional<MaxSatSolver::Solution> MaxSatSolver::Solve() {
   if (hard_unsat_) {
     return std::nullopt;
   }
+  timed_out_ = false;
   // Fu-Malik terminates only on hard-satisfiable instances (every core must
   // contain a soft clause); establish that up front.
   ++stats_.sat_calls;
-  if (sat_.Solve({}) == SatResult::kUnsat) {
+  SatResult hard_check = sat_.Solve({});
+  if (hard_check == SatResult::kUnknown) {
+    timed_out_ = true;
+    return std::nullopt;
+  }
+  if (hard_check == SatResult::kUnsat) {
     hard_unsat_ = true;
     return std::nullopt;
   }
@@ -79,6 +85,10 @@ std::optional<MaxSatSolver::Solution> MaxSatSolver::Solve() {
 
     ++stats_.sat_calls;
     SatResult result = sat_.Solve(assumptions);
+    if (result == SatResult::kUnknown) {
+      timed_out_ = true;
+      return std::nullopt;
+    }
     if (result == SatResult::kSat) {
       int64_t lower = next_threshold(threshold);
       if (lower == 0) {

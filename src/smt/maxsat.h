@@ -44,8 +44,14 @@ class MaxSatSolver {
     std::vector<bool> model;
   };
 
-  // Returns nullopt when the hard clauses alone are unsatisfiable.
+  // Returns nullopt when the hard clauses alone are unsatisfiable, or when
+  // the deadline expired mid-search — TimedOut() distinguishes the two.
   std::optional<Solution> Solve();
+
+  // Deadline for the underlying SAT search; expiry makes Solve return
+  // nullopt with TimedOut() true.
+  void SetDeadline(Deadline deadline) { sat_.SetDeadline(deadline); }
+  bool TimedOut() const { return timed_out_; }
 
   const MaxSatStats& stats() const { return stats_; }
   const SatStats& sat_stats() const { return sat_.stats(); }
@@ -62,6 +68,7 @@ class MaxSatSolver {
   SatSolver sat_;
   std::vector<Soft> softs_;
   bool hard_unsat_ = false;
+  bool timed_out_ = false;
   MaxSatStats stats_;
 };
 

@@ -387,6 +387,15 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
   int64_t live_learnts = 0;
 
   while (true) {
+    // Cooperative deadline check. Every outer iteration is one
+    // propagate-plus-decision (or conflict) step, so checking the clock a
+    // few times per hundred iterations bounds overrun to milliseconds
+    // without measurable overhead on the hot path.
+    if (!deadline_.unbounded() && (++deadline_check_counter_ & 127) == 0 &&
+        deadline_.Expired()) {
+      Backtrack(0);
+      return SatResult::kUnknown;
+    }
     ClauseRef conflict = Propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;

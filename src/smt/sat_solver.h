@@ -17,11 +17,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "netbase/deadline.h"
 #include "smt/literal.h"
 
 namespace cpr {
 
-enum class SatResult { kSat, kUnsat };
+// kUnknown: the search was abandoned because the deadline expired; the
+// instance may be either satisfiable or unsatisfiable.
+enum class SatResult { kSat, kUnsat, kUnknown };
 
 struct SatStats {
   int64_t conflicts = 0;
@@ -49,6 +52,11 @@ class SatSolver {
   // UnsatCore() is the subset of assumptions proved contradictory; after
   // kSat, ModelValue() reads the model.
   SatResult Solve(const std::vector<Lit>& assumptions = {});
+
+  // Cooperative cancellation: once the deadline expires, Solve returns
+  // kUnknown (checked periodically in the CDCL loop). The solver stays
+  // usable — learnt clauses are kept and a later Solve may continue.
+  void SetDeadline(Deadline deadline) { deadline_ = deadline; }
 
   bool ModelValue(Lit lit) const;
   bool ModelValue(BoolVar var) const { return ModelValue(Lit(var, false)); }
@@ -112,6 +120,8 @@ class SatSolver {
   bool unsat_ = false;
   std::vector<Lit> core_;
   SatStats stats_;
+  Deadline deadline_;
+  int64_t deadline_check_counter_ = 0;
 };
 
 }  // namespace cpr

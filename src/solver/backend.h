@@ -24,6 +24,7 @@ struct MaxSmtResult {
     kUnsat,        // Hard constraints unsatisfiable.
     kTimeout,      // Gave up within the time limit.
     kUnsupported,  // Backend cannot express the problem (ints on internal).
+    kError,        // Backend failed internally (e.g. threw); see `message`.
   };
   Status status = Status::kUnsat;
   // Total weight of *violated* soft constraints.
@@ -31,8 +32,31 @@ struct MaxSmtResult {
   std::vector<bool> bool_values;     // Indexed by BVarId.
   std::vector<int64_t> int_values;   // Indexed by IVarId.
 
+  // Diagnostics: which backend produced this result, how many solve
+  // attempts (retries and failovers) it took, and failure detail for
+  // kError/kUnsupported/kTimeout.
+  std::string backend;
+  int attempts = 1;
+  std::string message;
+
   bool ok() const { return status == Status::kOptimal; }
 };
+
+inline const char* MaxSmtStatusName(MaxSmtResult::Status status) {
+  switch (status) {
+    case MaxSmtResult::Status::kOptimal:
+      return "optimal";
+    case MaxSmtResult::Status::kUnsat:
+      return "unsat";
+    case MaxSmtResult::Status::kTimeout:
+      return "timeout";
+    case MaxSmtResult::Status::kUnsupported:
+      return "unsupported";
+    case MaxSmtResult::Status::kError:
+      return "error";
+  }
+  return "?";
+}
 
 class MaxSmtBackend {
  public:

@@ -1,0 +1,48 @@
+// Fault-isolating MaxSMT backend decorator.
+//
+// Wraps a primary (and optionally a secondary) backend behind the plain
+// MaxSmtBackend interface and adds the degraded-mode policies the repair
+// engine relies on:
+//
+//   * kUnsupported from the primary fails over to the secondary (the repair
+//     engine pairs the internal backend with Z3 so integer-bearing problems
+//     still solve).
+//   * kTimeout retries with an escalated timeout (policy.backoff, capped by
+//     policy.max_timeout_seconds and the shared wall-clock deadline), up to
+//     policy.max_retries extra attempts per backend.
+//   * Any exception a backend throws is caught and converted to
+//     MaxSmtResult::Status::kError — a worker thread never terminates.
+//
+// The returned MaxSmtResult carries provenance: `backend` names the engine
+// that produced the final answer and `attempts` counts every solve call made
+// across retries and failover.
+
+#ifndef CPR_SRC_SOLVER_FAILOVER_H_
+#define CPR_SRC_SOLVER_FAILOVER_H_
+
+#include <memory>
+
+#include "netbase/deadline.h"
+#include "solver/backend.h"
+
+namespace cpr {
+
+struct FailoverPolicy {
+  // Extra attempts after a timeout, per backend.
+  int max_retries = 1;
+  // Timeout escalation factor applied on each retry.
+  double backoff = 2.0;
+  // Cap on the escalated per-call timeout; <= 0 means uncapped.
+  double max_timeout_seconds = 0;
+  // Shared wall-clock budget; retries never schedule past it.
+  Deadline deadline;
+};
+
+// `secondary` may be null, in which case kUnsupported is returned as-is.
+std::unique_ptr<MaxSmtBackend> MakeFailoverBackend(
+    std::unique_ptr<MaxSmtBackend> primary, std::unique_ptr<MaxSmtBackend> secondary,
+    const FailoverPolicy& policy = {});
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SOLVER_FAILOVER_H_

@@ -1,0 +1,86 @@
+#include "solver/failover.h"
+
+#include <exception>
+#include <utility>
+
+namespace cpr {
+
+namespace {
+
+class FailoverBackend final : public MaxSmtBackend {
+ public:
+  FailoverBackend(std::unique_ptr<MaxSmtBackend> primary,
+                  std::unique_ptr<MaxSmtBackend> secondary, const FailoverPolicy& policy)
+      : primary_(std::move(primary)), secondary_(std::move(secondary)), policy_(policy) {}
+
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    int attempts = 0;
+    MaxSmtResult result = SolveOn(primary_.get(), system, timeout_seconds, &attempts);
+    if (result.status == MaxSmtResult::Status::kUnsupported && secondary_ != nullptr) {
+      result = SolveOn(secondary_.get(), system, timeout_seconds, &attempts);
+    }
+    result.attempts = attempts;
+    return result;
+  }
+
+  std::string name() const override {
+    return secondary_ == nullptr ? "failover(" + primary_->name() + ")"
+                                 : "failover(" + primary_->name() + "->" +
+                                       secondary_->name() + ")";
+  }
+
+ private:
+  // One backend with timeout-escalation retries. Exceptions become kError
+  // immediately (no retry: a throwing backend is unlikely to recover, and
+  // retrying would mask the diagnostic).
+  MaxSmtResult SolveOn(MaxSmtBackend* backend, const ConstraintSystem& system,
+                       double timeout_seconds, int* attempts) {
+    MaxSmtResult result;
+    for (int attempt = 0;; ++attempt) {
+      ++*attempts;
+      try {
+        result = backend->Solve(system, policy_.deadline.ClampTimeout(timeout_seconds));
+      } catch (const std::exception& e) {
+        result = MaxSmtResult{};
+        result.status = MaxSmtResult::Status::kError;
+        result.message = e.what();
+      } catch (...) {
+        result = MaxSmtResult{};
+        result.status = MaxSmtResult::Status::kError;
+        result.message = "backend threw a non-standard exception";
+      }
+      if (result.backend.empty()) {
+        result.backend = backend->name();
+      }
+      if (result.status != MaxSmtResult::Status::kTimeout ||
+          attempt >= policy_.max_retries || policy_.deadline.Expired()) {
+        return result;
+      }
+      // Escalate the per-call timeout for the retry; an unbounded timeout
+      // (<= 0) stays unbounded, and ClampTimeout above keeps every attempt
+      // inside the shared deadline.
+      if (timeout_seconds > 0) {
+        timeout_seconds *= policy_.backoff;
+        if (policy_.max_timeout_seconds > 0 &&
+            timeout_seconds > policy_.max_timeout_seconds) {
+          timeout_seconds = policy_.max_timeout_seconds;
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<MaxSmtBackend> primary_;
+  std::unique_ptr<MaxSmtBackend> secondary_;
+  FailoverPolicy policy_;
+};
+
+}  // namespace
+
+std::unique_ptr<MaxSmtBackend> MakeFailoverBackend(std::unique_ptr<MaxSmtBackend> primary,
+                                                   std::unique_ptr<MaxSmtBackend> secondary,
+                                                   const FailoverPolicy& policy) {
+  return std::make_unique<FailoverBackend>(std::move(primary), std::move(secondary),
+                                           policy);
+}
+
+}  // namespace cpr

@@ -1,0 +1,170 @@
+#include "solver/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "netbase/string_util.h"
+
+namespace cpr {
+
+namespace {
+
+Result<FaultInjectionSpec::Kind> ParseKind(const std::string& word) {
+  using Kind = FaultInjectionSpec::Kind;
+  if (word == "none") {
+    return Kind::kNone;
+  }
+  if (word == "timeout") {
+    return Kind::kTimeout;
+  }
+  if (word == "unsat") {
+    return Kind::kUnsat;
+  }
+  if (word == "slow") {
+    return Kind::kSlow;
+  }
+  if (word == "throw") {
+    return Kind::kThrow;
+  }
+  return Error("unknown fault kind '" + word + "' (timeout|unsat|slow|throw)");
+}
+
+class FaultInjectingBackend final : public MaxSmtBackend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<MaxSmtBackend> inner, FaultInjectionSpec spec)
+      : inner_(std::move(inner)), spec_(spec), rng_state_(spec.seed) {}
+
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    if (ShouldInject()) {
+      MaxSmtResult result;
+      result.backend = name();
+      switch (spec_.kind) {
+        case FaultInjectionSpec::Kind::kTimeout:
+          result.status = MaxSmtResult::Status::kTimeout;
+          result.message = "injected timeout";
+          return result;
+        case FaultInjectionSpec::Kind::kUnsat:
+          result.status = MaxSmtResult::Status::kUnsat;
+          result.message = "injected unsat";
+          return result;
+        case FaultInjectionSpec::Kind::kThrow:
+          throw std::runtime_error("injected backend exception");
+        case FaultInjectionSpec::Kind::kSlow:
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(spec_.slow_seconds));
+          break;  // Then solve normally.
+        case FaultInjectionSpec::Kind::kNone:
+          break;
+      }
+    }
+    return inner_->Solve(system, timeout_seconds);
+  }
+
+  std::string name() const override { return inner_->name() + "+fault"; }
+
+ private:
+  bool ShouldInject() {
+    if (!spec_.enabled()) {
+      return false;
+    }
+    if (spec_.max_injections >= 0 && injected_ >= spec_.max_injections) {
+      return false;
+    }
+    if (NextUniform() >= spec_.probability) {
+      return false;
+    }
+    ++injected_;
+    return true;
+  }
+
+  // splitmix64: tiny, seeded, platform-independent — injection sequences
+  // must be reproducible across standard libraries.
+  double NextUniform() {
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0;  // [0, 1)
+  }
+
+  std::unique_ptr<MaxSmtBackend> inner_;
+  FaultInjectionSpec spec_;
+  uint64_t rng_state_;
+  int injected_ = 0;
+};
+
+}  // namespace
+
+Result<FaultInjectionSpec> FaultInjectionSpec::Parse(const std::string& text) {
+  FaultInjectionSpec spec;
+  std::vector<std::string_view> parts = SplitTokens(text, ":");
+  if (parts.empty()) {
+    return Error("empty fault injection spec");
+  }
+  Result<Kind> kind = ParseKind(std::string(parts[0]));
+  if (!kind.ok()) {
+    return kind.error();
+  }
+  spec.kind = *kind;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::string part(parts[i]);
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Error("fault spec option '" + part + "' is not key=value");
+    }
+    std::string key = part.substr(0, eq);
+    std::string value = part.substr(eq + 1);
+    if (key == "p") {
+      spec.probability = std::atof(value.c_str());
+      if (spec.probability < 0 || spec.probability > 1) {
+        return Error("fault probability must be in [0, 1]");
+      }
+    } else if (key == "seed") {
+      spec.seed = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "max") {
+      spec.max_injections = std::atoi(value.c_str());
+    } else if (key == "slow") {
+      spec.slow_seconds = std::atof(value.c_str());
+    } else {
+      return Error("unknown fault spec option '" + key + "' (p|seed|max|slow)");
+    }
+  }
+  return spec;
+}
+
+std::string FaultInjectionSpec::ToString() const {
+  std::string kind_name;
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kTimeout:
+      kind_name = "timeout";
+      break;
+    case Kind::kUnsat:
+      kind_name = "unsat";
+      break;
+    case Kind::kSlow:
+      kind_name = "slow";
+      break;
+    case Kind::kThrow:
+      kind_name = "throw";
+      break;
+  }
+  std::string out = kind_name + ":p=" + std::to_string(probability) +
+                    ":seed=" + std::to_string(seed);
+  if (max_injections >= 0) {
+    out += ":max=" + std::to_string(max_injections);
+  }
+  return out;
+}
+
+std::unique_ptr<MaxSmtBackend> MakeFaultInjectingBackend(
+    std::unique_ptr<MaxSmtBackend> inner, const FaultInjectionSpec& spec) {
+  return std::make_unique<FaultInjectingBackend>(std::move(inner), spec);
+}
+
+}  // namespace cpr

@@ -1,0 +1,67 @@
+// Deterministic fault injection for the solver layer.
+//
+// FaultInjectingBackend decorates any MaxSmtBackend and, according to a
+// seeded FaultInjectionSpec, replaces solve calls with degraded outcomes:
+// timeouts, unsat verdicts, artificially slow solves, or thrown exceptions.
+// The repair tests use it to drive every degraded path (retry, failover,
+// partial repair, error isolation) without depending on real solver
+// hardness, and `cpr repair --inject-fault <spec>` exposes it for manual
+// chaos testing.
+//
+// Spec grammar (parsed by FaultInjectionSpec::Parse):
+//
+//   kind[:key=value]...
+//
+//   kind  = timeout | unsat | slow | throw
+//   keys  = p=<0..1>     per-call injection probability (default 1)
+//           seed=<u32>   RNG seed (default 1)
+//           max=<n>      stop injecting after n faults (default unlimited)
+//           slow=<sec>   added latency for kind=slow (default 0.05)
+//
+// Examples: "timeout:max=1" (first call times out, rest solve normally),
+// "throw:p=0.25:seed=7" (a quarter of calls throw, reproducibly).
+//
+// Injection draws come from a private seeded generator, so a given spec
+// produces the same fault sequence on every run of a single-threaded
+// repair. Each worker thread owns its own decorated backend instance and
+// therefore its own deterministic sequence.
+
+#ifndef CPR_SRC_SOLVER_FAULT_INJECTION_H_
+#define CPR_SRC_SOLVER_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "netbase/result.h"
+#include "solver/backend.h"
+
+namespace cpr {
+
+struct FaultInjectionSpec {
+  enum class Kind {
+    kNone,     // Pass-through (the default; injection disabled).
+    kTimeout,  // Return MaxSmtResult::Status::kTimeout without solving.
+    kUnsat,    // Return MaxSmtResult::Status::kUnsat without solving.
+    kSlow,     // Sleep slow_seconds, then solve normally.
+    kThrow,    // Throw std::runtime_error from Solve.
+  };
+
+  Kind kind = Kind::kNone;
+  double probability = 1.0;
+  uint32_t seed = 1;
+  int max_injections = -1;  // < 0 means unlimited.
+  double slow_seconds = 0.05;
+
+  bool enabled() const { return kind != Kind::kNone; }
+
+  static Result<FaultInjectionSpec> Parse(const std::string& text);
+  std::string ToString() const;
+};
+
+std::unique_ptr<MaxSmtBackend> MakeFaultInjectingBackend(
+    std::unique_ptr<MaxSmtBackend> inner, const FaultInjectionSpec& spec);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_SOLVER_FAULT_INJECTION_H_

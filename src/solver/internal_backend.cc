@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netbase/deadline.h"
 #include "smt/maxsat.h"
 #include "solver/backend.h"
 
@@ -106,18 +107,22 @@ class Tseitin {
 
 class InternalBackend final : public MaxSmtBackend {
  public:
-  MaxSmtResult Solve(const ConstraintSystem& system, double /*timeout_seconds*/) override {
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
     MaxSmtResult result;
+    result.backend = name();
     if (system.HasIntegers()) {
       result.status = MaxSmtResult::Status::kUnsupported;
+      result.message = "integer constraints require the Z3 backend";
       return result;
     }
     MaxSatSolver maxsat;
+    maxsat.SetDeadline(Deadline::After(timeout_seconds));
     Tseitin tseitin(&maxsat, system);
     for (ExprId hard : system.hard()) {
       std::optional<Lit> lit = tseitin.Encode(hard);
       if (!lit.has_value()) {
         result.status = MaxSmtResult::Status::kUnsupported;
+        result.message = "expression not expressible in the boolean fragment";
         return result;
       }
       maxsat.AddHard({*lit});
@@ -126,6 +131,7 @@ class InternalBackend final : public MaxSmtBackend {
       std::optional<Lit> lit = tseitin.Encode(soft.expr);
       if (!lit.has_value()) {
         result.status = MaxSmtResult::Status::kUnsupported;
+        result.message = "expression not expressible in the boolean fragment";
         return result;
       }
       maxsat.AddSoft({*lit}, soft.weight);
@@ -133,7 +139,12 @@ class InternalBackend final : public MaxSmtBackend {
 
     std::optional<MaxSatSolver::Solution> solution = maxsat.Solve();
     if (!solution.has_value()) {
-      result.status = MaxSmtResult::Status::kUnsat;
+      if (maxsat.TimedOut()) {
+        result.status = MaxSmtResult::Status::kTimeout;
+        result.message = "CDCL search abandoned at the time limit";
+      } else {
+        result.status = MaxSmtResult::Status::kUnsat;
+      }
       return result;
     }
     result.status = MaxSmtResult::Status::kOptimal;

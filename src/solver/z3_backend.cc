@@ -3,8 +3,8 @@
 // Soft constraints become assert_soft terms in a single objective group, so
 // Z3 minimizes the total violated weight exactly.
 
-#include <cstdio>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include <z3++.h>
@@ -90,6 +90,7 @@ class Z3Backend final : public MaxSmtBackend {
  public:
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
     MaxSmtResult result;
+    result.backend = name();
     try {
       z3::context ctx;
       z3::optimize opt(ctx);
@@ -123,6 +124,7 @@ class Z3Backend final : public MaxSmtBackend {
       }
       if (check == z3::unknown) {
         result.status = MaxSmtResult::Status::kTimeout;
+        result.message = "z3 returned unknown (time limit)";
         return result;
       }
 
@@ -147,8 +149,10 @@ class Z3Backend final : public MaxSmtBackend {
       }
       return result;
     } catch (const z3::exception& e) {
-      std::fprintf(stderr, "z3 backend error: %s\n", e.msg());
-      result.status = MaxSmtResult::Status::kUnsupported;
+      // Never let a solver exception escape into a worker thread; the repair
+      // engine records the error per-problem and keeps going.
+      result.status = MaxSmtResult::Status::kError;
+      result.message = std::string("z3 exception: ") + e.msg();
       return result;
     }
   }

@@ -149,8 +149,10 @@ TEST(RepairPc4Test, RepairWithPrimaryPathPolicy) {
   EXPECT_TRUE(CheckPrimaryPath(repaired, r, t, abc));
 }
 
-// The internal backend must cleanly refuse integer-bearing problems.
-TEST(RepairPc4Test, InternalBackendRejectsPc4) {
+// With failover disabled, the internal backend must cleanly refuse
+// integer-bearing problems; with failover on (the default), the same
+// problem re-solves on Z3 (covered in tests/robustness_test.cc).
+TEST(RepairPc4Test, InternalBackendRejectsPc4WithoutFailover) {
   Network network = BuildExampleNetwork();
   Harc harc = Harc::Build(network);
   SubnetId r = *network.FindSubnet(ExampleSubnetR());
@@ -160,9 +162,12 @@ TEST(RepairPc4Test, InternalBackendRejectsPc4) {
   RepairOptions options;
   options.granularity = Granularity::kAllTcs;
   options.backend = BackendChoice::kInternal;
+  options.enable_failover = false;
   Result<RepairOutcome> outcome = ComputeRepair(harc, policies, options);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->status, RepairStatus::kUnsupported);
+  ASSERT_EQ(outcome->stats.problem_reports.size(), 1u);
+  EXPECT_EQ(outcome->stats.problem_reports[0].status, MaxSmtResult::Status::kUnsupported);
 }
 
 }  // namespace

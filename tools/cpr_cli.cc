@@ -6,7 +6,9 @@
 //                                                  violations)
 //   cpr repair   <config-dir> <policy-file>        compute and print a patch
 //       [--granularity perdst|alltcs] [--backend z3|internal]
-//       [--threads N] [--timeout SECONDS] [--out DIR] [--no-simulate]
+//       [--threads N] [--timeout SECONDS] [--deadline SECONDS]
+//       [--max-retries N] [--no-failover] [--no-partial]
+//       [--inject-fault SPEC] [--out DIR] [--no-simulate]
 //
 // A config directory holds one file per router (any extension); the policy
 // file uses the format documented in core/policy_spec.h.
@@ -14,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -35,7 +38,14 @@ int Usage() {
                "usage: cpr show|infer <config-dir> [<policy-file>]\n"
                "       cpr verify|repair <config-dir> <policy-file> [options]\n"
                "options: --granularity perdst|alltcs  --backend z3|internal\n"
-               "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n");
+               "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n"
+               "robustness: --deadline SECONDS   total wall-clock budget\n"
+               "            --max-retries N      extra attempts after a timeout\n"
+               "            --no-failover        don't re-solve unsupported problems on z3\n"
+               "            --no-partial         all-or-nothing (fail the run if any\n"
+               "                                 per-destination problem fails)\n"
+               "            --inject-fault SPEC  degrade solver calls for testing, e.g.\n"
+               "                                 timeout:max=1, throw:p=0.5:seed=7\n");
   return 2;
 }
 
@@ -141,6 +151,32 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         return v.error();
       }
       args.options.repair.timeout_seconds = std::atof(v->c_str());
+    } else if (flag == "--deadline") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.options.repair.deadline_seconds = std::atof(v->c_str());
+    } else if (flag == "--max-retries") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.options.repair.max_retries = std::atoi(v->c_str());
+    } else if (flag == "--no-failover") {
+      args.options.repair.enable_failover = false;
+    } else if (flag == "--no-partial") {
+      args.options.repair.allow_partial = false;
+    } else if (flag == "--inject-fault") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      cpr::Result<cpr::FaultInjectionSpec> spec = cpr::FaultInjectionSpec::Parse(*v);
+      if (!spec.ok()) {
+        return spec.error();
+      }
+      args.options.repair.fault_injection = *spec;
     } else if (flag == "--out") {
       auto v = value();
       if (!v.ok()) {
@@ -198,6 +234,35 @@ int CmdVerify(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
   return violations.empty() ? 0 : 1;
 }
 
+// Per-problem diagnostics, printed whenever any problem failed so operators
+// can see exactly which destination groups degraded and why.
+void PrintProblemDiagnostics(const cpr::Cpr& pipeline, const cpr::RepairStats& stats) {
+  if (stats.problems_failed == 0) {
+    return;
+  }
+  std::fprintf(stderr, "problems: %d solved, %d failed\n", stats.problems_solved,
+               stats.problems_failed);
+  const cpr::Network& network = pipeline.network();
+  for (size_t i = 0; i < stats.problem_reports.size(); ++i) {
+    const cpr::ProblemReport& problem = stats.problem_reports[i];
+    if (problem.solved()) {
+      continue;
+    }
+    std::string dsts;
+    for (cpr::SubnetId dst : problem.dsts) {
+      if (!dsts.empty()) {
+        dsts += ",";
+      }
+      dsts += network.subnets()[static_cast<size_t>(dst)].prefix.ToString();
+    }
+    std::fprintf(stderr, "  problem %zu [dst %s]: %s after %d attempt(s) on %s (%.2fs)%s%s\n",
+                 i, dsts.c_str(), cpr::MaxSmtStatusName(problem.status), problem.attempts,
+                 problem.backend.empty() ? "?" : problem.backend.c_str(),
+                 problem.solve_seconds, problem.message.empty() ? "" : ": ",
+                 problem.message.c_str());
+  }
+}
+
 int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies,
               const CliArgs& args) {
   cpr::Result<cpr::CprReport> report = pipeline.Repair(policies, args.options);
@@ -209,9 +274,16 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
     std::printf("all policies already hold; nothing to repair\n");
     return 0;
   }
-  if (report->status != cpr::RepairStatus::kSuccess) {
-    std::fprintf(stderr, "repair failed: status %d\n", static_cast<int>(report->status));
+  PrintProblemDiagnostics(pipeline, report->stats);
+  if (report->status != cpr::RepairStatus::kSuccess &&
+      report->status != cpr::RepairStatus::kPartial) {
+    std::fprintf(stderr, "repair failed: %s\n", cpr::RepairStatusName(report->status));
     return 1;
+  }
+  if (report->status == cpr::RepairStatus::kPartial) {
+    std::printf("partial repair: %d/%d problems solved; patch below covers the "
+                "solved destinations only\n",
+                report->stats.problems_solved, report->stats.problems_formulated);
   }
   std::printf("repair: %d line(s) changed across %zu construct edit(s)\n",
               report->lines_changed, report->change_log.size());
@@ -237,9 +309,7 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
   return report->Sound() ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunCli(int argc, char** argv) {
   cpr::Result<CliArgs> args = ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n", args.error().message().c_str());
@@ -294,4 +364,22 @@ int main(int argc, char** argv) {
     return CmdRepair(*pipeline, *policies, *args);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Exception-safe boundary: library code mostly reports failures through
+  // Result<T>, but some substrates throw (workload generators, the Z3 API,
+  // the standard library). A throw must produce a one-line error and a
+  // non-zero exit, never an abort.
+  try {
+    return RunCli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
 }
