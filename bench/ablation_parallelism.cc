@@ -34,9 +34,10 @@ int main() {
       "policies, one problem per violated destination) ===\n",
       config.threads, kPorts, scenario.policies.size());
   std::printf("backend: %s\n", backend == cpr::BackendChoice::kZ3 ? "z3" : "internal");
-  std::printf("%-10s %-12s %-14s %-14s %-10s\n", "threads", "problems", "solve-sum(s)",
-              "wall(s)", "speedup");
+  std::printf("%-10s %-12s %-14s %-14s %-14s %-10s\n", "threads", "problems",
+              "solve-sum(s)", "solve-wall(s)", "wall(s)", "speedup");
 
+  cpr::BenchJson bench("ablation_parallelism", config);
   double baseline = 0;
   for (int threads : {1, 2, 4, 8, config.threads}) {
     if (threads <= 0 || (threads == config.threads && config.threads <= 8)) {
@@ -59,8 +60,15 @@ int main() {
     }
     char speedup[16];
     std::snprintf(speedup, sizeof(speedup), "%.2fx", baseline / stats.wall_seconds);
-    std::printf("%-10d %-12d %-14.3f %-14.3f %-10s\n", threads, stats.problems_formulated,
-                stats.solve_seconds, stats.wall_seconds, speedup);
+    std::printf("%-10d %-12d %-14.3f %-14.3f %-14.3f %-10s\n", threads,
+                stats.problems_formulated, stats.solve_seconds, stats.solve_wall_seconds,
+                stats.wall_seconds, speedup);
+    bench.AddRow()
+        .Set("threads", threads)
+        .Set("problems", stats.problems_formulated)
+        .Set("solve_seconds_sum", stats.solve_seconds)
+        .Set("solve_wall_seconds", stats.solve_wall_seconds)
+        .Set("wall_seconds", stats.wall_seconds);
   }
   std::printf(
       "\nnote: the paper's 10-way speedup materializes when individual problems take\n"
@@ -68,5 +76,6 @@ int main() {
       "allocator contention dominate and parallelism is roughly neutral. Raise\n"
       "CPR_BENCH_FT_PORTS (and expect long runs) to push into the regime where the\n"
       "solver dominates.\n");
+  bench.Write();
   return 0;
 }

@@ -12,6 +12,9 @@
 //                       the paper used 8 hours)
 //   CPR_BENCH_THREADS   worker threads for per-dst solving (default 10,
 //                       like the paper's parallel runs)
+//   CPR_BENCH_JSON      where BenchJson writes its machine-readable record
+//                       (default BENCH_<bench-name>.json in the working
+//                       directory)
 
 #ifndef CPR_BENCH_BENCH_UTIL_H_
 #define CPR_BENCH_BENCH_UTIL_H_
@@ -21,9 +24,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/cpr.h"
+#include "obs/json.h"
 
 namespace cpr {
 
@@ -84,6 +90,131 @@ inline const char* StatusName(RepairStatus status) {
   }
   return "?";
 }
+
+// Machine-readable companion to a bench's printed table: one BENCH_*.json
+// per run holding the bench name, the CPR_BENCH_* configuration, every row,
+// and the summary values. Rows mirror the printed columns so plots never
+// have to re-parse stdout.
+//
+//   cpr::BenchJson bench("fig07_realdc_time", config);
+//   ...
+//   cpr::BenchJson::Row& row = bench.AddRow();
+//   row.Set("network", i).Set("perdst_seconds", perdst_time);
+//   ...
+//   bench.SetSummary("perdst_median_seconds", median);
+//   bench.Write();  // BENCH_fig07_realdc_time.json (or $CPR_BENCH_JSON)
+class BenchJson {
+ public:
+  using Value = std::variant<int64_t, double, std::string>;
+
+  class Row {
+   public:
+    Row& Set(std::string key, int64_t value) { return Emplace(std::move(key), value); }
+    Row& Set(std::string key, int value) {
+      return Emplace(std::move(key), static_cast<int64_t>(value));
+    }
+    Row& Set(std::string key, size_t value) {
+      return Emplace(std::move(key), static_cast<int64_t>(value));
+    }
+    Row& Set(std::string key, double value) { return Emplace(std::move(key), value); }
+    Row& Set(std::string key, std::string value) {
+      return Emplace(std::move(key), std::move(value));
+    }
+    Row& Set(std::string key, const char* value) {
+      return Emplace(std::move(key), std::string(value));
+    }
+
+   private:
+    friend class BenchJson;
+    Row& Emplace(std::string key, Value value) {
+      fields_.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+    std::vector<std::pair<std::string, Value>> fields_;
+  };
+
+  BenchJson(std::string name, const BenchConfig& config)
+      : name_(std::move(name)), config_(config) {}
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  template <typename T>
+  void SetSummary(std::string key, T value) {
+    summary_.Set(std::move(key), value);
+  }
+
+  // $CPR_BENCH_JSON wins so CI can collect records from a fixed location.
+  std::string Path() const {
+    const char* override_path = std::getenv("CPR_BENCH_JSON");
+    if (override_path != nullptr && override_path[0] != '\0') {
+      return override_path;
+    }
+    return "BENCH_" + name_ + ".json";
+  }
+
+  // Serializes and writes the record; prints the path (or the error) to
+  // stderr so a bench's stdout stays a clean table. Returns success.
+  bool Write() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("config").BeginObject();
+    w.Key("scale").Double(config_.scale);
+    w.Key("networks").Int(config_.networks);
+    w.Key("timeout_seconds").Double(config_.timeout);
+    w.Key("threads").Int(config_.threads);
+    w.EndObject();
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows_) {
+      WriteFields(&w, row);
+    }
+    w.EndArray();
+    w.Key("summary");
+    WriteFields(&w, summary_);
+    w.EndObject();
+
+    std::string path = Path();
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const std::string& json = w.str();
+    bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+              std::fputc('\n', file) != EOF;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok) {
+      std::fprintf(stderr, "bench json: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "bench json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static void WriteFields(obs::JsonWriter* w, const Row& row) {
+    w->BeginObject();
+    for (const auto& [key, value] : row.fields_) {
+      w->Key(key);
+      if (const int64_t* as_int = std::get_if<int64_t>(&value)) {
+        w->Int(*as_int);
+      } else if (const double* as_double = std::get_if<double>(&value)) {
+        w->Double(*as_double);
+      } else {
+        w->String(std::get<std::string>(value));
+      }
+    }
+    w->EndObject();
+  }
+
+  std::string name_;
+  BenchConfig config_;
+  std::vector<Row> rows_;
+  Row summary_;
+};
 
 inline Cpr MustBuildCpr(const std::vector<std::string>& texts,
                         const NetworkAnnotations& annotations) {

@@ -12,6 +12,7 @@
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig06_policy_mix", config);
   std::printf("=== Figure 6: policy mix across %d data center networks (scale %.2f) ===\n",
               config.networks, config.scale);
 
@@ -53,6 +54,12 @@ int main() {
     total_pc3 += row.pc3;
     routers.push_back(row.routers);
     tcs.push_back(row.tcs);
+    bench.AddRow()
+        .Set("network", row.index)
+        .Set("routers", row.routers)
+        .Set("traffic_classes", row.tcs)
+        .Set("pc1", row.pc1)
+        .Set("pc3", row.pc3);
   }
   std::printf("\nsummary: median routers %.0f (paper: 8), median traffic classes %.0f,\n",
               cpr::Percentile(routers, 0.5), cpr::Percentile(tcs, 0.5));
@@ -63,5 +70,10 @@ int main() {
               static_cast<long long>(total_pc3),
               100.0 * static_cast<double>(total_pc3) /
                   static_cast<double>(total_pc1 + total_pc3));
+  bench.SetSummary("median_routers", cpr::Percentile(routers, 0.5));
+  bench.SetSummary("median_traffic_classes", cpr::Percentile(tcs, 0.5));
+  bench.SetSummary("total_pc1", total_pc1);
+  bench.SetSummary("total_pc3", total_pc3);
+  bench.Write();
   return 0;
 }

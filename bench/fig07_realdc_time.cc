@@ -13,6 +13,7 @@
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig07_realdc_time", config);
   std::printf(
       "=== Figure 7: repair time, all-tcs vs per-dst (%d networks, scale %.2f, "
       "timeout %.0fs, %d threads) ===\n",
@@ -80,6 +81,19 @@ int main() {
     std::printf("%-8d %-8d %-8zu %-10d %-12.3f %-14s %-12s\n", i, network.router_count,
                 network.policies.size(), violated, perdst_time, alltcs_text,
                 speedup_text);
+    bench.AddRow()
+        .Set("network", i)
+        .Set("routers", network.router_count)
+        .Set("policies", network.policies.size())
+        .Set("violated", violated)
+        .Set("perdst_seconds", perdst_time)
+        .Set("perdst_status", perdst.ok() ? cpr::StatusName(perdst->status) : "ERROR")
+        .Set("perdst_solve_seconds_sum", perdst.ok() ? perdst->stats.solve_seconds : 0.0)
+        .Set("perdst_solve_wall_seconds",
+             perdst.ok() ? perdst->stats.solve_wall_seconds : 0.0)
+        .Set("alltcs_seconds", alltcs_time)
+        .Set("alltcs_status", alltcs.ok() ? cpr::StatusName(alltcs->status) : "ERROR")
+        .Set("alltcs_timed_out", static_cast<int64_t>(alltcs_timed_out));
   }
 
   std::printf("\nsummary over %d networks:\n", completed);
@@ -97,5 +111,12 @@ int main() {
                 cpr::Percentile(alltcs_times, 0.5) /
                     std::max(1e-9, cpr::Percentile(perdst_times, 0.5)));
   }
+  bench.SetSummary("completed", completed);
+  bench.SetSummary("perdst_median_seconds", cpr::Percentile(perdst_times, 0.5));
+  bench.SetSummary("perdst_p90_seconds", cpr::Percentile(perdst_times, 0.9));
+  bench.SetSummary("perdst_under_minute", perdst_under_minute);
+  bench.SetSummary("alltcs_median_seconds", cpr::Percentile(alltcs_times, 0.5));
+  bench.SetSummary("alltcs_timeouts", alltcs_timeouts);
+  bench.Write();
   return 0;
 }

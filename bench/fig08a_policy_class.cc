@@ -30,6 +30,7 @@ double TimeRepair(const cpr::FatTreeScenario& scenario, cpr::Granularity granula
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig08a_policy_class", config);
   const int kPolicies = 12;
   std::printf(
       "=== Figure 8a: time vs policy class (4-port fat-tree, 20 routers, %d policies) "
@@ -55,6 +56,10 @@ int main() {
       // Per-dst cannot split PC4 problems: edge costs are global (§5.3).
       std::printf("%-8s %-14s %-14s %-10s\n", cpr::PolicyClassName(pc).c_str(),
                   alltcs_text, "n/a", "-");
+      bench.AddRow()
+          .Set("policy_class", cpr::PolicyClassName(pc))
+          .Set("alltcs_seconds", alltcs)
+          .Set("perdst_applicable", static_cast<int64_t>(0));
       continue;
     }
     double perdst =
@@ -68,7 +73,13 @@ int main() {
                   alltcs / std::max(1e-9, perdst));
     std::printf("%-8s %-14s %-14s %-10s\n", cpr::PolicyClassName(pc).c_str(), alltcs_text,
                 perdst_text, speedup_text);
+    bench.AddRow()
+        .Set("policy_class", cpr::PolicyClassName(pc))
+        .Set("alltcs_seconds", alltcs)
+        .Set("perdst_applicable", static_cast<int64_t>(1))
+        .Set("perdst_seconds", perdst);
   }
   std::printf("\nshape check (paper): PC3 fastest, PC4 slowest; per-dst ~10x faster.\n");
+  bench.Write();
   return 0;
 }

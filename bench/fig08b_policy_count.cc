@@ -12,6 +12,7 @@
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig08b_policy_count", config);
   const int kPorts = cpr::EnvInt("CPR_BENCH_FT_PORTS", 6);
   std::printf(
       "=== Figure 8b: time vs number of policies (%d-port fat-tree, %d routers, "
@@ -47,11 +48,17 @@ int main() {
       } else {
         std::printf("%-12s ", report.ok() ? cpr::StatusName(report.value().status) : "ERR");
       }
+      bench.AddRow()
+          .Set("policies", count)
+          .Set("policy_class", cpr::PolicyClassName(pc))
+          .Set("seconds", seconds)
+          .Set("status", report.ok() ? cpr::StatusName(report->status) : "ERROR");
       std::fflush(stdout);
     }
     std::printf("\n");
   }
   std::printf("\nshape check (paper): exponential growth in policy count; PC1/PC2 taper "
               "near the topology's capacity.\n");
+  bench.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig08c_network_size", config);
   const int kPolicies = 30;
   const int max_ports = cpr::EnvInt("CPR_BENCH_FT_MAX_PORTS", 8);
   std::printf(
@@ -43,10 +44,17 @@ int main() {
       } else {
         std::printf("%-12s ", report.ok() ? cpr::StatusName(report.value().status) : "ERR");
       }
+      bench.AddRow()
+          .Set("ports", ports)
+          .Set("routers", ports * ports * 5 / 4)
+          .Set("policy_class", cpr::PolicyClassName(pc))
+          .Set("seconds", seconds)
+          .Set("status", report.ok() ? cpr::StatusName(report->status) : "ERROR");
       std::fflush(stdout);
     }
     std::printf("\n");
   }
   std::printf("\nshape check (paper): exponential growth with size; PC3 steepest.\n");
+  bench.Write();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig09_minimality", config);
   std::printf(
       "=== Figure 9: lines changed, per-dst vs all-tcs (%d networks, scale %.2f) ===\n",
       config.networks, config.scale);
@@ -52,10 +53,18 @@ int main() {
     }
     std::printf("%-8d %-14d %-14d %-8s\n", i, perdst_lines, alltcs_lines,
                 perdst_lines == alltcs_lines ? "yes" : "NO");
+    bench.AddRow()
+        .Set("network", i)
+        .Set("perdst_lines", perdst_lines)
+        .Set("alltcs_lines", alltcs_lines);
   }
   std::printf("\nsummary: equal lines in %d/%d compared networks (%.0f%%); %d skipped "
               "(all-tcs timeout/unsat)\n",
               equal, compared, compared > 0 ? 100.0 * equal / compared : 0.0, skipped);
   std::printf("shape check (paper): per-dst always matched all-tcs line counts.\n");
+  bench.SetSummary("compared", compared);
+  bench.SetSummary("equal", equal);
+  bench.SetSummary("skipped", skipped);
+  bench.Write();
   return 0;
 }

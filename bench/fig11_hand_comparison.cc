@@ -50,6 +50,7 @@ int HandLinesChanged(const cpr::DatacenterNetwork& network) {
 
 int main() {
   cpr::BenchConfig config;
+  cpr::BenchJson bench("fig11_hand_comparison", config);
   std::printf(
       "=== Figure 11: CPR vs hand-written repairs (%d networks, scale %.2f) ===\n",
       config.networks, config.scale);
@@ -95,6 +96,14 @@ int main() {
     std::printf("%-8d %-10d %-10zu %-12d %-12d %-12.1f %-12.1f\n", i,
                 network.traffic_class_count, network.policies.size(), cpr_lines,
                 hand_lines, 100.0 * cpr_tcs / denom, 100.0 * hand_tcs / denom);
+    bench.AddRow()
+        .Set("network", i)
+        .Set("traffic_classes", network.traffic_class_count)
+        .Set("policies", network.policies.size())
+        .Set("cpr_lines", cpr_lines)
+        .Set("hand_lines", hand_lines)
+        .Set("cpr_tcs_impacted", cpr_tcs)
+        .Set("hand_tcs_impacted", hand_tcs);
   }
 
   std::printf("\nsummary over %d compared networks:\n", compared);
@@ -105,5 +114,10 @@ int main() {
               "same in %.0f%% (paper: 53%% / 47%%)\n",
               compared > 0 ? 100.0 * hand_more_tcs / compared : 0.0,
               compared > 0 ? 100.0 * hand_equal_tcs / compared : 0.0);
+  bench.SetSummary("compared", compared);
+  bench.SetSummary("cpr_fewer_or_equal_lines", cpr_fewer_or_equal_lines);
+  bench.SetSummary("hand_more_tcs", hand_more_tcs);
+  bench.SetSummary("hand_equal_tcs", hand_equal_tcs);
+  bench.Write();
   return 0;
 }

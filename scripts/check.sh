@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the default configuration, then build
-# the ASan+UBSan configuration and run the solver/repair-heavy tests under
-# it (the degraded paths exercise worker threads, backend failover, and
-# cooperative cancellation — exactly where memory bugs would hide).
+# Full pre-merge check: build and test the default configuration, smoke-test
+# the --stats-json pipeline end to end, then build the ASan+UBSan and TSan
+# configurations and run the solver/repair-heavy and concurrency-heavy tests
+# under them (the degraded paths exercise worker threads, backend failover,
+# and cooperative cancellation — exactly where memory and data-race bugs
+# would hide).
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer configuration
+#   --fast   skip the sanitizer configurations
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,8 +27,24 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "== --stats-json end-to-end smoke =="
+stats_json="$(mktemp /tmp/cpr-stats-XXXXXX.json)"
+trap 'rm -f "$stats_json"' EXIT
+build/tools/cpr repair examples/data/paper-example \
+  examples/data/paper-example-boolean.policies \
+  --backend internal --stats-json "$stats_json" >/dev/null
+for key in '"schema_version"' '"stages"' '"counters"' '"gauges"' \
+           '"histograms"' '"repair"' '"problems"' '"solve_wall_seconds"' \
+           '"cdcl.decisions"' '"cdcl.heap_picks"'; do
+  if ! grep -q -- "$key" "$stats_json"; then
+    echo "stats smoke FAILED: missing $key in $stats_json" >&2
+    exit 1
+  fi
+done
+echo "stats smoke OK ($(wc -c < "$stats_json") bytes)"
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "== sanitizer configuration skipped (--fast) =="
+  echo "== sanitizer configurations skipped (--fast) =="
   exit 0
 fi
 
@@ -35,6 +53,14 @@ cmake -B build-asan -S . -DCPR_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 # Leak detection is off: Z3 keeps global state alive at exit.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
-  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend'
+  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json'
+
+echo "== TSan configuration =="
+cmake -B build-tsan -S . -DCPR_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$jobs" --target obs_test repair_test
+# The observability layer is lock-free on the hot path; TSan validates the
+# atomics, and the repair tests validate the worker pool that feeds them.
+TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan --output-on-failure \
+  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair'
 
 echo "== all checks passed =="

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace cpr {
 
 namespace {
@@ -215,10 +218,20 @@ bool StaticRouteConfigured(const Network& network, DeviceId device, LinkId link,
 }
 
 Harc Harc::Build(const Network& network) {
+  obs::StageSpan span("harc.build");
   Harc harc;
   harc.universe_ = std::make_shared<const EtgUniverse>(EtgUniverse::Build(network));
   const EtgUniverse& universe = *harc.universe_;
   const int subnet_count = static_cast<int>(network.subnets().size());
+  {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.gauge("harc.subnets").Set(subnet_count);
+    registry.gauge("harc.candidate_vertices").Set(universe.VertexCount());
+    registry.gauge("harc.candidate_edges").Set(universe.EdgeCount());
+    // Per-traffic-class ETGs: one per ordered (src, dst) subnet pair.
+    registry.gauge("harc.tcetgs").Set(static_cast<int64_t>(subnet_count) *
+                                      (subnet_count - 1));
+  }
 
   // ---- aETG: adjacencies and redistribution (applies to everything). ----
   harc.aetg_ = Etg(&universe);

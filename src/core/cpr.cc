@@ -1,6 +1,8 @@
 #include "core/cpr.h"
 
 #include "config/parser.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "simulate/simulator.h"
 #include "verify/checker.h"
 
@@ -10,17 +12,23 @@ Result<Cpr> Cpr::FromConfigTexts(const std::vector<std::string>& texts,
                                  NetworkAnnotations annotations) {
   std::vector<Config> configs;
   configs.reserve(texts.size());
-  for (size_t i = 0; i < texts.size(); ++i) {
-    Result<Config> parsed = ParseConfig(texts[i]);
-    if (!parsed.ok()) {
-      return Error("config " + std::to_string(i) + ": " + parsed.error().message());
+  {
+    obs::StageSpan span("pipeline.parse_configs");
+    for (size_t i = 0; i < texts.size(); ++i) {
+      Result<Config> parsed = ParseConfig(texts[i]);
+      if (!parsed.ok()) {
+        return Error("config " + std::to_string(i) + ": " + parsed.error().message());
+      }
+      configs.push_back(std::move(parsed).value());
     }
-    configs.push_back(std::move(parsed).value());
   }
+  obs::Registry::Global().gauge("pipeline.configs_parsed")
+      .Set(static_cast<int64_t>(configs.size()));
   return FromConfigs(std::move(configs), std::move(annotations));
 }
 
 Result<Cpr> Cpr::FromConfigs(std::vector<Config> configs, NetworkAnnotations annotations) {
+  obs::StageSpan span("pipeline.build_network");
   Result<Network> network = Network::Build(std::move(configs), std::move(annotations));
   if (!network.ok()) {
     return network.error();
@@ -36,7 +44,10 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
   CprReport report;
 
-  Result<RepairOutcome> outcome = ComputeRepair(harc_, policies, options.repair);
+  Result<RepairOutcome> outcome = [&]() {
+    obs::StageSpan repair_span("pipeline.repair");
+    return ComputeRepair(harc_, policies, options.repair);
+  }();
   if (!outcome.ok()) {
     return outcome.error();
   }
@@ -52,7 +63,10 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   // re-verified, and the failed problems' policies simply show up in
   // residual_graph_violations (Sound() stays false).
 
-  Result<TranslationResult> translation = TranslateEdits(*network_, outcome->edits);
+  Result<TranslationResult> translation = [&]() {
+    obs::StageSpan translate_span("pipeline.translate");
+    return TranslateEdits(*network_, outcome->edits);
+  }();
   if (!translation.ok()) {
     return translation.error();
   }
@@ -64,15 +78,22 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
 
   // Close the loop: rebuild the network and HARC from the patched
   // configurations and re-check every policy.
-  Result<Network> rebuilt =
-      Network::Build(report.patched_configs, report.patched_annotations);
+  Result<Network> rebuilt = [&]() -> Result<Network> {
+    obs::StageSpan rebuild_span("pipeline.rebuild");
+    return Network::Build(report.patched_configs, report.patched_annotations);
+  }();
   if (!rebuilt.ok()) {
     return Error("patched configurations no longer form a valid network: " +
                  rebuilt.error().message());
   }
-  Harc rebuilt_harc = Harc::Build(*rebuilt);
-  report.residual_graph_violations = FindViolations(rebuilt_harc, policies);
+  Harc rebuilt_harc = [&]() {
+    obs::StageSpan reverify_span("pipeline.reverify");
+    Harc harc = Harc::Build(*rebuilt);
+    report.residual_graph_violations = FindViolations(harc, policies);
+    return harc;
+  }();
   if (options.validate_with_simulator) {
+    obs::StageSpan simulate_span("pipeline.simulate");
     report.residual_simulation_violations =
         FindSimulationViolations(*rebuilt, policies, options.simulator_failure_cap);
   }

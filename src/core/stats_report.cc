@@ -1,0 +1,155 @@
+#include "core/stats_report.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace cpr {
+
+namespace {
+
+void WriteRun(obs::JsonWriter* w, const StatsRunInfo& run) {
+  w->Key("run").BeginObject();
+  w->Key("command").String(run.command);
+  w->Key("config_dir").String(run.config_dir);
+  w->Key("policy_file").String(run.policy_file);
+  w->Key("backend").String(run.backend);
+  w->Key("granularity").String(run.granularity);
+  w->Key("threads").Int(run.threads);
+  w->Key("status").String(run.status);
+  w->Key("wall_seconds").Double(run.wall_seconds);
+  w->EndObject();
+}
+
+void WriteStages(obs::JsonWriter* w) {
+  w->Key("stages").BeginArray();
+  for (const obs::SpanRecord& span : obs::Trace::Global().Records()) {
+    w->BeginObject();
+    w->Key("name").String(span.name);
+    w->Key("parent").Int(span.parent);
+    w->Key("thread").Int(span.thread);
+    w->Key("start_seconds").Double(span.start_seconds);
+    w->Key("duration_seconds").Double(span.duration_seconds);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+void WriteInstruments(obs::JsonWriter* w) {
+  obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w->Key(name).Int(value);
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w->Key(name).Int(value);
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, data] : snapshot.histograms) {
+    w->Key(name).BeginObject();
+    w->Key("count").Int(data.count);
+    w->Key("sum_seconds").Double(data.sum_seconds);
+    w->Key("min_seconds").Double(data.min_seconds);
+    w->Key("max_seconds").Double(data.max_seconds);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+void WriteCounterPairs(obs::JsonWriter* w,
+                       const std::vector<std::pair<std::string, double>>& pairs) {
+  // Per-problem counters arrive in backend order; sort for a deterministic
+  // document.
+  std::map<std::string, double> sorted(pairs.begin(), pairs.end());
+  w->BeginObject();
+  for (const auto& [name, value] : sorted) {
+    w->Key(name).Double(value);
+  }
+  w->EndObject();
+}
+
+void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
+  const RepairStats& stats = report.stats;
+  w->Key("repair").BeginObject();
+  w->Key("status").String(RepairStatusName(report.status));
+  w->Key("predicted_cost").Int(report.predicted_cost);
+  w->Key("lines_changed").Int(report.lines_changed);
+  w->Key("traffic_classes_impacted").Int(report.traffic_classes_impacted);
+  w->Key("problems_formulated").Int(stats.problems_formulated);
+  w->Key("problems_solved").Int(stats.problems_solved);
+  w->Key("problems_failed").Int(stats.problems_failed);
+  w->Key("destinations_skipped").Int(stats.destinations_skipped);
+  w->Key("encode_seconds").Double(stats.encode_seconds);
+  w->Key("solve_seconds_sum").Double(stats.solve_seconds);
+  w->Key("solve_wall_seconds").Double(stats.solve_wall_seconds);
+  w->Key("wall_seconds").Double(stats.wall_seconds);
+  w->Key("bool_vars").Int(stats.bool_vars);
+  w->Key("hard_constraints").Int(stats.hard_constraints);
+  w->Key("soft_constraints").Int(stats.soft_constraints);
+  w->Key("residual_graph_violations")
+      .Int(static_cast<int64_t>(report.residual_graph_violations.size()));
+  w->Key("residual_simulation_violations")
+      .Int(static_cast<int64_t>(report.residual_simulation_violations.size()));
+  w->Key("solver_counter_totals");
+  WriteCounterPairs(w, stats.solver_counter_totals);
+  w->Key("problems").BeginArray();
+  for (const ProblemReport& problem : stats.problem_reports) {
+    w->BeginObject();
+    w->Key("dsts").BeginArray();
+    for (SubnetId dst : problem.dsts) {
+      w->Int(dst);
+    }
+    w->EndArray();
+    w->Key("status").String(MaxSmtStatusName(problem.status));
+    w->Key("attempts").Int(problem.attempts);
+    w->Key("backend").String(problem.backend);
+    w->Key("solve_seconds").Double(problem.solve_seconds);
+    w->Key("cost").Int(problem.cost);
+    w->Key("message").String(problem.message);
+    w->Key("solver_counters");
+    WriteCounterPairs(w, problem.solver_counters);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  WriteRun(&w, run);
+  WriteStages(&w);
+  WriteInstruments(&w);
+  if (report != nullptr) {
+    WriteRepair(&w, *report);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteStatsJson(const std::string& path, const std::string& json) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Error("cannot open stats file '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  bool newline_ok = std::fputc('\n', file) != EOF;
+  int close_rc = std::fclose(file);
+  if (written != json.size() || !newline_ok || close_rc != 0) {
+    return Error("short write to stats file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpr

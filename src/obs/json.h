@@ -1,0 +1,66 @@
+// Minimal JSON emission and validation — just enough for --stats-json and
+// the BENCH_*.json records, with zero third-party dependencies.
+//
+// JsonWriter builds a UTF-8 JSON document into a string with automatic comma
+// placement (a stack of container states); Key() then a value inside
+// objects, bare values inside arrays. Doubles are emitted with enough
+// precision to round-trip timings and are mapped to null when non-finite, so
+// the output is always syntactically valid JSON.
+//
+// ValidateJson is a strict recursive-descent syntax checker used by the
+// schema tests and available to tools; it does not build a DOM.
+
+#ifndef CPR_SRC_OBS_JSON_H_
+#define CPR_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Must be called inside an object, immediately before the member's value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // The document so far. Call once nesting is balanced.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: the count of values emitted so far.
+  // ~uint32 high bit marks "a key was just written" for objects.
+  struct Frame {
+    bool object = false;
+    bool key_pending = false;
+    int values = 0;
+  };
+  std::vector<Frame> stack_;
+};
+
+// Escapes a string for inclusion in a JSON document (no surrounding quotes).
+std::string JsonEscape(std::string_view raw);
+
+// Strict JSON syntax check (RFC 8259 grammar, UTF-8 not validated). On
+// failure returns false and, when `error` is non-null, a brief description
+// with the byte offset.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_JSON_H_

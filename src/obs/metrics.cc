@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cpr::obs {
+
+namespace {
+
+int BucketIndex(double seconds) {
+  double micros = seconds * 1e6;
+  if (!(micros > 1.0)) {  // Also catches NaN and negatives.
+    return 0;
+  }
+  int index = static_cast<int>(std::ceil(std::log2(micros)));
+  return std::min(index, Histogram::kBuckets - 1);
+}
+
+// fetch_min/fetch_max for atomic<double> via CAS. Relaxed is fine: these are
+// diagnostics, not synchronization.
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double seconds) {
+  if (std::isnan(seconds)) {
+    return;
+  }
+  seconds = std::max(seconds, 0.0);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, seconds);
+  AtomicMin(&min_, seconds);
+  AtomicMax(&max_, seconds);
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum_seconds = sum_.load(std::memory_order_relaxed);
+  data.min_seconds =
+      data.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  data.max_seconds = max_.load(std::memory_order_relaxed);
+  data.buckets.reserve(kBuckets);
+  for (const std::atomic<int64_t>& bucket : buckets_) {
+    data.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return data;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (std::atomic<int64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // Leaked: outlives every user.
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Data());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace cpr::obs

@@ -1,0 +1,126 @@
+// Lightweight, thread-safe metrics for the repair pipeline.
+//
+// Three instrument kinds, all registered by name in a Registry:
+//
+//   Counter    — monotonically increasing int64 (events: conflicts, retries,
+//                faults injected, problems solved);
+//   Gauge      — last-written int64 (sizes: tcETG count, candidate edges,
+//                boolean variables in the encoding);
+//   Histogram  — duration distribution in seconds (log2 buckets from 1 us to
+//                ~1 h, plus count/sum/min/max), fed by Observe().
+//
+// Design constraints, in order:
+//
+//   1. Near-zero overhead. Instruments are plain atomics with relaxed
+//      ordering; no locks on the write path. Hot loops (the CDCL inner loop)
+//      do NOT write to the registry at all — they keep local plain-int stats
+//      and flush once per solve call.
+//   2. Thread safety. Worker threads in the repair pool increment the same
+//      counters concurrently; increments must never be lost (obs_test
+//      verifies this under TSan).
+//   3. Stable addresses. counter()/gauge()/histogram() return references
+//      valid for the registry's lifetime, so call sites can cache them.
+//
+// The registry itself is passive: nothing is printed or written anywhere
+// until a sink (core/stats_report.h, bench/bench_util.h) takes a Snapshot.
+
+#ifndef CPR_SRC_OBS_METRICS_H_
+#define CPR_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::obs {
+
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time copy of a histogram's state.
+struct HistogramData {
+  int64_t count = 0;
+  double sum_seconds = 0;
+  double min_seconds = 0;  // 0 when count == 0.
+  double max_seconds = 0;
+  // bucket[i] counts observations in (2^(i-1), 2^i] microseconds; the last
+  // bucket is unbounded above.
+  std::vector<int64_t> buckets;
+};
+
+class Histogram {
+ public:
+  // log2 microsecond buckets: <=1us, <=2us, ... <=2^31us (~36 min), +inf.
+  static constexpr int kBuckets = 33;
+
+  void Observe(double seconds);
+  HistogramData Data() const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min_ starts at +infinity so AtomicMin works without a seeding race;
+  // Data() reports 0 while count_ is 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+// A named snapshot of every instrument, sorted by name (deterministic JSON).
+struct Snapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+};
+
+class Registry {
+ public:
+  // The process-wide registry the pipeline instruments against.
+  static Registry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot TakeSnapshot() const;
+
+  // Zeroes every instrument (references stay valid). Used between runs and
+  // by tests; the CLI calls it before a run so a stats file reflects one
+  // repair, not process history.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps only, never instrument writes.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_METRICS_H_

@@ -1,0 +1,93 @@
+// Nestable stage spans: where the pipeline's wall-clock time goes.
+//
+// A StageSpan is an RAII timer. While a Trace is enabled, constructing one
+// records a span (name, start offset, duration, parent span, thread) into
+// the trace; nesting follows the call tree per thread via a thread-local
+// stack. When the trace is disabled — the default — a StageSpan costs one
+// relaxed atomic load and never reads the clock, so instrumented code paths
+// are free until someone attaches a sink (`cpr --stats-json`, tests).
+//
+// Typical use:
+//
+//   obs::StageSpan span("repair.encode");
+//   ... encode ...            // duration recorded when `span` destructs
+//
+// Worker-thread spans parent correctly within their own thread; a thread's
+// first span is a root (parent == -1). Span records are only appended, so
+// indices are stable identifiers within one enabled trace.
+
+#ifndef CPR_SRC_OBS_SPAN_H_
+#define CPR_SRC_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::obs {
+
+struct SpanRecord {
+  std::string name;
+  int32_t parent = -1;  // Index into the trace's record list; -1 for roots.
+  int32_t thread = 0;   // Dense per-trace thread index (0 = first thread seen).
+  double start_seconds = 0;     // Offset from Trace enable time.
+  double duration_seconds = 0;  // 0 while the span is still open.
+};
+
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // The process-wide trace the pipeline instruments against.
+  static Trace& Global();
+
+  // Enables recording, discarding any previous records and re-basing the
+  // time origin. Not meant to be called while spans are open.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Copy of all records so far (open spans have duration 0).
+  std::vector<SpanRecord> Records() const;
+
+ private:
+  friend class StageSpan;
+
+  int32_t BeginSpan(std::string_view name);
+  void EndSpan(int32_t index);
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point origin_{};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  int32_t next_thread_index_ = 0;
+  uint64_t generation_ = 0;  // Bumped by Enable(); invalidates stale TLS state.
+};
+
+class StageSpan {
+ public:
+  explicit StageSpan(std::string_view name) {
+    Trace& trace = Trace::Global();
+    if (trace.enabled()) {
+      index_ = trace.BeginSpan(name);
+    }
+  }
+  ~StageSpan() {
+    if (index_ >= 0) {
+      Trace::Global().EndSpan(index_);
+    }
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  int32_t index_ = -1;
+};
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_SPAN_H_

@@ -4,12 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "netbase/deadline.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "solver/failover.h"
 #include "solver/fault_injection.h"
 #include "verify/checker.h"
@@ -171,7 +175,11 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   RepairOutcome outcome;
   outcome.repaired = original;
 
-  std::vector<RepairProblem> problems = PartitionProblems(original, policies, options);
+  std::vector<RepairProblem> problems;
+  {
+    obs::StageSpan partition_span("repair.partition");
+    problems = PartitionProblems(original, policies, options);
+  }
   std::set<SubnetId> policied_dsts;
   for (const Policy& policy : policies) {
     policied_dsts.insert(policy.dst);
@@ -196,18 +204,28 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   Clock::time_point encode_start = Clock::now();
   std::vector<std::unique_ptr<RepairEncoder>> encoders;
   encoders.reserve(problems.size());
-  for (const RepairProblem& problem : problems) {
-    auto encoder = std::make_unique<RepairEncoder>(original, problem, options);
-    Status status = encoder->Encode();
-    if (!status.ok()) {
-      return status.error();
+  {
+    obs::StageSpan encode_span("repair.encode");
+    for (const RepairProblem& problem : problems) {
+      auto encoder = std::make_unique<RepairEncoder>(original, problem, options);
+      Status status = encoder->Encode();
+      if (!status.ok()) {
+        return status.error();
+      }
+      outcome.stats.bool_vars += encoder->system().BoolCount();
+      outcome.stats.hard_constraints += static_cast<int64_t>(encoder->system().hard().size());
+      outcome.stats.soft_constraints += static_cast<int64_t>(encoder->system().soft().size());
+      encoders.push_back(std::move(encoder));
     }
-    outcome.stats.bool_vars += encoder->system().BoolCount();
-    outcome.stats.hard_constraints += static_cast<int64_t>(encoder->system().hard().size());
-    outcome.stats.soft_constraints += static_cast<int64_t>(encoder->system().soft().size());
-    encoders.push_back(std::move(encoder));
   }
   outcome.stats.encode_seconds = Seconds(encode_start);
+  {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.gauge("repair.problems_formulated").Set(outcome.stats.problems_formulated);
+    registry.gauge("repair.bool_vars").Set(outcome.stats.bool_vars);
+    registry.gauge("repair.hard_constraints").Set(outcome.stats.hard_constraints);
+    registry.gauge("repair.soft_constraints").Set(outcome.stats.soft_constraints);
+  }
 
   // Solve, optionally in parallel. Every per-problem outcome is recorded
   // individually: a failed problem (timeout/unsat/unsupported/error) never
@@ -218,6 +236,7 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   std::atomic<size_t> next{0};
   int worker_count =
       std::max(1, std::min<int>(options.num_threads, static_cast<int>(problems.size())));
+  Clock::time_point solve_start = Clock::now();
   auto worker = [&]() {
     std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
     while (true) {
@@ -230,8 +249,10 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
         models[index].backend = backend->name();
         models[index].attempts = 0;
         models[index].message = "wall-clock deadline exhausted before solving";
+        obs::Registry::Global().counter("repair.deadline_skips").Increment();
         continue;
       }
+      obs::StageSpan problem_span("repair.problem");
       Clock::time_point start = Clock::now();
       try {
         models[index] = backend->Solve(encoders[index]->system(),
@@ -248,26 +269,34 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
         models[index].message = "unknown exception in solver worker";
       }
       solve_times[index] = Seconds(start);
+      obs::Registry::Global()
+          .histogram("repair.problem_solve_seconds")
+          .Observe(solve_times[index]);
     }
   };
-  if (worker_count == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(worker_count));
-    for (int i = 0; i < worker_count; ++i) {
-      threads.emplace_back(worker);
-    }
-    for (std::thread& thread : threads) {
-      thread.join();
+  {
+    obs::StageSpan solve_span("repair.solve");
+    if (worker_count == 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(worker_count));
+      for (int i = 0; i < worker_count; ++i) {
+        threads.emplace_back(worker);
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
     }
   }
+  outcome.stats.solve_wall_seconds = Seconds(solve_start);
   for (double t : solve_times) {
     outcome.stats.solve_seconds += t;
   }
 
   // Record per-problem diagnostics and classify the run.
   outcome.stats.problem_reports.reserve(problems.size());
+  std::map<std::string, double> counter_totals;
   for (size_t i = 0; i < problems.size(); ++i) {
     ProblemReport report;
     report.dsts = problems[i].dsts;
@@ -277,12 +306,23 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     report.solve_seconds = solve_times[i];
     report.cost = models[i].cost;
     report.message = models[i].message;
+    report.solver_counters = models[i].solver_counters;
+    for (const auto& [name, value] : report.solver_counters) {
+      counter_totals[name] += value;
+    }
     if (report.solved()) {
       ++outcome.stats.problems_solved;
     } else {
       ++outcome.stats.problems_failed;
     }
     outcome.stats.problem_reports.push_back(std::move(report));
+  }
+  outcome.stats.solver_counter_totals.assign(counter_totals.begin(),
+                                             counter_totals.end());
+  {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.counter("repair.problems_solved").Add(outcome.stats.problems_solved);
+    registry.counter("repair.problems_failed").Add(outcome.stats.problems_failed);
   }
   auto overall_failure = [&]() {
     // The first failed problem (in problem order) names the run's status,

@@ -71,6 +71,9 @@ struct ProblemReport {
   double solve_seconds = 0;
   int64_t cost = 0;
   std::string message;  // Failure detail (empty on success).
+  // Solver-internal counters from the backend that produced the result
+  // (CDCL "cdcl.*" / Z3 "z3.*"; see MaxSmtResult::solver_counters).
+  std::vector<std::pair<std::string, double>> solver_counters;
 
   bool solved() const { return status == MaxSmtResult::Status::kOptimal; }
 };
@@ -81,13 +84,20 @@ struct RepairStats {
   int problems_failed = 0;
   int destinations_skipped = 0;
   double encode_seconds = 0;
-  double solve_seconds = 0;  // Sum over problems.
-  double wall_seconds = 0;   // End-to-end, reflecting parallelism.
+  // Per-problem solve time SUMMED over problems — a CPU-style total that
+  // exceeds elapsed time on parallel runs. Display it labeled as a sum.
+  double solve_seconds = 0;
+  // Elapsed time of the solve phase (all workers, start to join); the number
+  // to compare against wall_seconds when judging parallel speedup.
+  double solve_wall_seconds = 0;
+  double wall_seconds = 0;  // End-to-end, reflecting parallelism.
   int64_t bool_vars = 0;
   int64_t hard_constraints = 0;
   int64_t soft_constraints = 0;
   // One entry per formulated problem, in problem order.
   std::vector<ProblemReport> problem_reports;
+  // Sum of per-problem solver counters across all problem reports.
+  std::vector<std::pair<std::string, double>> solver_counter_totals;
 };
 
 struct RepairOutcome {

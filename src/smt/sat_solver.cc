@@ -44,7 +44,9 @@ BoolVar SatSolver::NewVar() {
   model_.push_back(LBool::kUndef);
   watches_.emplace_back();
   watches_.emplace_back();
-  order_heap_.push_back({0.0, var});
+  heap_stamp_.push_back(0);
+  order_heap_.push_back({0.0, 0, var});
+  std::push_heap(order_heap_.begin(), order_heap_.end());
   return var;
 }
 
@@ -155,15 +157,23 @@ SatSolver::ClauseRef SatSolver::Propagate() {
 }
 
 void SatSolver::BumpVar(BoolVar var) {
-  double& act = activity_[static_cast<size_t>(var)];
-  act += var_inc_;
-  if (act > kRescaleThreshold) {
+  size_t v = static_cast<size_t>(var);
+  activity_[v] += var_inc_;
+  if (activity_[v] > kRescaleThreshold) {
     for (double& a : activity_) {
       a *= 1.0 / kRescaleThreshold;
     }
     var_inc_ *= 1.0 / kRescaleThreshold;
+    // Rescale the keys already in the heap by the same factor: uniform
+    // positive scaling preserves the heap order, and entries stay valid
+    // (staleness is tracked by stamps, so the rescale cannot silently drain
+    // the heap into the O(V) linear fallback).
+    for (HeapEntry& entry : order_heap_) {
+      entry.activity *= 1.0 / kRescaleThreshold;
+    }
+    ++stats_.activity_rescales;
   }
-  order_heap_.push_back({activity_[static_cast<size_t>(var)], var});
+  order_heap_.push_back({activity_[v], ++heap_stamp_[v], var});
   std::push_heap(order_heap_.begin(), order_heap_.end());
 }
 
@@ -312,7 +322,9 @@ void SatSolver::Backtrack(int target_level) {
     size_t v = static_cast<size_t>(trail_[i].var());
     assigns_[v] = LBool::kUndef;
     reason_[v] = kNoReason;
-    order_heap_.push_back({activity_[v], trail_[i].var()});
+    // Re-insert with the current stamp: the entry is as valid as the latest
+    // bump (duplicates are fine; PickBranchLit skips assigned variables).
+    order_heap_.push_back({activity_[v], heap_stamp_[v], trail_[i].var()});
     std::push_heap(order_heap_.begin(), order_heap_.end());
   }
   trail_.resize(new_size);
@@ -323,19 +335,25 @@ void SatSolver::Backtrack(int target_level) {
 Lit SatSolver::PickBranchLit() {
   while (!order_heap_.empty()) {
     std::pop_heap(order_heap_.begin(), order_heap_.end());
-    auto [act, var] = order_heap_.back();
+    HeapEntry entry = order_heap_.back();
     order_heap_.pop_back();
-    size_t v = static_cast<size_t>(var);
-    if (assigns_[v] == LBool::kUndef && act == activity_[v]) {
-      return Lit(var, !saved_phase_[v]);
+    size_t v = static_cast<size_t>(entry.var);
+    if (entry.stamp != heap_stamp_[v]) {
+      continue;  // Superseded by a newer entry for the same variable.
     }
-    if (assigns_[v] == LBool::kUndef && act != activity_[v]) {
-      continue;  // Stale heap entry; a fresher one exists.
+    if (assigns_[v] != LBool::kUndef) {
+      continue;  // Assigned; Backtrack re-inserts it on unassignment.
     }
+    ++stats_.heap_picks;
+    return Lit(entry.var, !saved_phase_[v]);
   }
-  // Heap may have gone stale-empty; linear fallback.
+  // Every unassigned variable always has a current-stamp heap entry (NewVar
+  // seeds one, Backtrack restores one), so this scan only runs when the
+  // instance is fully assigned — or if that invariant is ever broken, which
+  // fallback_picks makes visible.
   for (BoolVar var = 0; var < VarCount(); ++var) {
     if (assigns_[static_cast<size_t>(var)] == LBool::kUndef) {
+      ++stats_.fallback_picks;
       return Lit(var, !saved_phase_[static_cast<size_t>(var)]);
     }
   }
@@ -411,6 +429,7 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
       Clause learnt;
       int backtrack_level = 0;
       Analyze(conflict, &learnt, &backtrack_level);
+      stats_.learnt_literals += static_cast<int64_t>(learnt.size());
       Backtrack(backtrack_level);
       if (learnt.size() == 1) {
         if (Value(learnt[0]) == LBool::kFalse) {

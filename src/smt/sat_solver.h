@@ -32,6 +32,11 @@ struct SatStats {
   int64_t propagations = 0;
   int64_t restarts = 0;
   int64_t learnt_deleted = 0;
+  int64_t learnt_literals = 0;   // Total literals across learnt clauses.
+  int64_t activity_rescales = 0; // VSIDS activity rescale events.
+  int64_t heap_picks = 0;        // Decisions served by the order heap.
+  int64_t fallback_picks = 0;    // Decisions that fell back to a linear
+                                 // scan — nonzero indicates a stale heap.
 };
 
 class SatSolver {
@@ -63,6 +68,11 @@ class SatSolver {
   const std::vector<Lit>& UnsatCore() const { return core_; }
 
   const SatStats& stats() const { return stats_; }
+
+  // Test hook: seeds the VSIDS bump increment so an activity rescale can be
+  // forced after a handful of conflicts instead of ~4500 (the natural decay
+  // rate). Used by the order-heap staleness regression test.
+  void SetVarActivityIncrementForTest(double increment) { var_inc_ = increment; }
 
  private:
   struct ClauseData {
@@ -106,11 +116,24 @@ class SatSolver {
   std::vector<int> trail_limits_;
   size_t propagate_head_ = 0;
 
-  // Decision heuristics.
+  // Decision heuristics. The order heap is lazy: BumpVar and Backtrack push
+  // fresh entries without removing superseded ones, and PickBranchLit
+  // discards entries whose stamp no longer matches heap_stamp_[var]. Stamps
+  // (not activity comparisons) detect staleness, so a global activity
+  // rescale — which changes every variable's activity at once — cannot
+  // invalidate the whole heap (it is rescaled in place instead, preserving
+  // the heap order).
+  struct HeapEntry {
+    double activity = 0;
+    uint32_t stamp = 0;
+    BoolVar var = 0;
+    bool operator<(const HeapEntry& other) const { return activity < other.activity; }
+  };
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
-  std::vector<std::pair<double, BoolVar>> order_heap_;  // Lazy max-heap.
+  std::vector<HeapEntry> order_heap_;       // Lazy max-heap.
+  std::vector<uint32_t> heap_stamp_;        // Latest valid stamp per variable.
 
   // Conflict analysis scratch.
   std::vector<uint8_t> seen_;

@@ -10,8 +10,10 @@
 #define CPR_SRC_SOLVER_BACKEND_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "solver/constraint_system.h"
@@ -39,6 +41,12 @@ struct MaxSmtResult {
   int attempts = 1;
   std::string message;
 
+  // Solver-internal counters for observability: CDCL statistics
+  // ("cdcl.decisions", "cdcl.conflicts", ...) from the internal backend, Z3
+  // Optimize statistics ("z3.<key>") from the Z3 backend. Kept as ordered
+  // name/value pairs so per-problem reports serialize deterministically.
+  std::vector<std::pair<std::string, double>> solver_counters;
+
   bool ok() const { return status == Status::kOptimal; }
 };
 
@@ -56,6 +64,26 @@ inline const char* MaxSmtStatusName(MaxSmtResult::Status status) {
       return "error";
   }
   return "?";
+}
+
+// Converts a positive per-call timeout in seconds to the milliseconds unit
+// solver APIs (Z3's "timeout" parameter) expect, clamped to [1, UINT_MAX].
+// The clamp matters at both edges: a sub-millisecond budget must not
+// truncate to 0 (which Z3 reads as "no timeout", defeating the Deadline
+// contract), and a huge remaining budget (> ~49.7 days) must saturate
+// instead of wrapping the unsigned cast into a bogus small value.
+// Callers gate on `timeout_seconds > 0` first: non-positive means unbounded
+// by the MaxSmtBackend convention and should not reach this conversion.
+inline unsigned TimeoutMillis(double timeout_seconds) {
+  double millis = timeout_seconds * 1000.0;
+  constexpr double kMax = static_cast<double>(std::numeric_limits<unsigned>::max());
+  if (!(millis < kMax)) {  // Also saturates on NaN.
+    return std::numeric_limits<unsigned>::max();
+  }
+  if (millis < 1.0) {
+    return 1u;
+  }
+  return static_cast<unsigned>(millis);
 }
 
 class MaxSmtBackend {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "netbase/string_util.h"
+#include "obs/metrics.h"
 
 namespace cpr {
 
@@ -78,6 +79,7 @@ class FaultInjectingBackend final : public MaxSmtBackend {
       return false;
     }
     ++injected_;
+    obs::Registry::Global().counter("solver.faults_injected").Increment();
     return true;
   }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "netbase/deadline.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "smt/maxsat.h"
 #include "solver/backend.h"
 
@@ -105,11 +107,39 @@ class Tseitin {
   std::unordered_map<ExprId, Lit> cache_;
 };
 
+// Copies the CDCL/MaxSAT engine's per-solve statistics onto the result (for
+// per-problem reports) and accumulates them into the global registry (for
+// run-wide totals). The solver keeps plain local counters on its hot path;
+// this once-per-solve flush is the only registry traffic.
+void FlushSolverCounters(const MaxSatSolver& maxsat, MaxSmtResult* result) {
+  const SatStats& sat = maxsat.sat_stats();
+  const MaxSatStats& wpm = maxsat.stats();
+  result->solver_counters = {
+      {"cdcl.decisions", static_cast<double>(sat.decisions)},
+      {"cdcl.propagations", static_cast<double>(sat.propagations)},
+      {"cdcl.conflicts", static_cast<double>(sat.conflicts)},
+      {"cdcl.restarts", static_cast<double>(sat.restarts)},
+      {"cdcl.learnt_deleted", static_cast<double>(sat.learnt_deleted)},
+      {"cdcl.learnt_literals", static_cast<double>(sat.learnt_literals)},
+      {"cdcl.activity_rescales", static_cast<double>(sat.activity_rescales)},
+      {"cdcl.heap_picks", static_cast<double>(sat.heap_picks)},
+      {"cdcl.fallback_picks", static_cast<double>(sat.fallback_picks)},
+      {"maxsat.cores", static_cast<double>(wpm.cores)},
+      {"maxsat.sat_calls", static_cast<double>(wpm.sat_calls)},
+  };
+  obs::Registry& registry = obs::Registry::Global();
+  for (const auto& [name, value] : result->solver_counters) {
+    registry.counter(name).Add(static_cast<int64_t>(value));
+  }
+  registry.counter("solver.internal_solves").Increment();
+}
+
 class InternalBackend final : public MaxSmtBackend {
  public:
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
     MaxSmtResult result;
     result.backend = name();
+    obs::StageSpan span("solver.internal");
     if (system.HasIntegers()) {
       result.status = MaxSmtResult::Status::kUnsupported;
       result.message = "integer constraints require the Z3 backend";
@@ -138,6 +168,7 @@ class InternalBackend final : public MaxSmtBackend {
     }
 
     std::optional<MaxSatSolver::Solution> solution = maxsat.Solve();
+    FlushSolverCounters(maxsat, &result);
     if (!solution.has_value()) {
       if (maxsat.TimedOut()) {
         result.status = MaxSmtResult::Status::kTimeout;

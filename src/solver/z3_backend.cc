@@ -9,6 +9,8 @@
 
 #include <z3++.h>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "solver/backend.h"
 
 namespace cpr {
@@ -91,12 +93,16 @@ class Z3Backend final : public MaxSmtBackend {
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
     MaxSmtResult result;
     result.backend = name();
+    obs::StageSpan span("solver.z3");
     try {
       z3::context ctx;
       z3::optimize opt(ctx);
       if (timeout_seconds > 0) {
         z3::params params(ctx);
-        params.set("timeout", static_cast<unsigned>(timeout_seconds * 1000));
+        // TimeoutMillis clamps to [1, UINT_MAX] ms: a raw unsigned cast
+        // wraps for huge budgets and truncates sub-millisecond caps to 0,
+        // which Z3 interprets as "no timeout".
+        params.set("timeout", TimeoutMillis(timeout_seconds));
         opt.set(params);
       }
 
@@ -118,6 +124,7 @@ class Z3Backend final : public MaxSmtBackend {
       }
 
       z3::check_result check = opt.check();
+      ExtractStatistics(opt, &result);
       if (check == z3::unsat) {
         result.status = MaxSmtResult::Status::kUnsat;
         return result;
@@ -158,6 +165,26 @@ class Z3Backend final : public MaxSmtBackend {
   }
 
   std::string name() const override { return "z3-optimize"; }
+
+ private:
+  // Surfaces Z3's Optimize statistics (decisions, conflicts, restarts,
+  // memory, ...) as "z3.<key>" counters on the result, and mirrors the call
+  // count into the global registry. Key names vary across Z3 versions; every
+  // key present is forwarded verbatim.
+  static void ExtractStatistics(const z3::optimize& opt, MaxSmtResult* result) {
+    try {
+      z3::stats statistics = opt.statistics();
+      for (unsigned i = 0; i < statistics.size(); ++i) {
+        double value = statistics.is_uint(i)
+                           ? static_cast<double>(statistics.uint_value(i))
+                           : statistics.double_value(i);
+        result->solver_counters.emplace_back("z3." + statistics.key(i), value);
+      }
+    } catch (const z3::exception&) {
+      // Statistics are best-effort diagnostics; never fail a solve for them.
+    }
+    obs::Registry::Global().counter("solver.z3_solves").Increment();
+  }
 };
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "config/printer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace cpr {
 
@@ -542,6 +544,7 @@ std::string TranslationResult::DiffText(const Network& network) const {
 }
 
 Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdits& edits) {
+  obs::StageSpan span("translate.edits");
   TranslationResult result;
   result.patched_configs = network.configs();
   result.annotations = network.annotations();
@@ -552,6 +555,8 @@ Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdi
   if (!status.ok()) {
     return status.error();
   }
+  obs::Registry::Global().counter("translate.changes").Add(
+      static_cast<int64_t>(result.change_log.size()));
 
   result.device_diffs.reserve(network.configs().size());
   for (size_t i = 0; i < network.configs().size(); ++i) {

@@ -3,6 +3,8 @@
 #include "graph/max_flow.h"
 #include "graph/reachability.h"
 #include "graph/shortest_path.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace cpr {
 
@@ -137,12 +139,16 @@ bool VerifyPolicy(const Harc& harc, const Policy& policy) {
 }
 
 std::vector<Policy> FindViolations(const Harc& harc, const std::vector<Policy>& policies) {
+  obs::StageSpan span("verify.find_violations");
   std::vector<Policy> violations;
   for (const Policy& policy : policies) {
     if (!VerifyPolicy(harc, policy)) {
       violations.push_back(policy);
     }
   }
+  obs::Registry& registry = obs::Registry::Global();
+  registry.counter("verify.policies_checked").Add(static_cast<int64_t>(policies.size()));
+  registry.counter("verify.violations_found").Add(static_cast<int64_t>(violations.size()));
   return violations;
 }
 

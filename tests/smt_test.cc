@@ -351,5 +351,85 @@ TEST(MaxSatTest, RandomInstancesMatchBruteForce) {
   }
 }
 
+// Pigeonhole principle PHP(holes+1, holes): unsatisfiable, and forces the
+// solver through many conflicts (hence many VSIDS bumps).
+std::vector<Clause> PigeonholeCnf(SatSolver* solver, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<BoolVar>> in(static_cast<size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<size_t>(p)].push_back(solver->NewVar());
+    }
+  }
+  std::vector<Clause> cnf;
+  for (int p = 0; p < pigeons; ++p) {
+    Clause some_hole;
+    for (int h = 0; h < holes; ++h) {
+      some_hole.push_back(Lit(in[static_cast<size_t>(p)][static_cast<size_t>(h)], false));
+    }
+    cnf.push_back(some_hole);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        cnf.push_back({Lit(in[static_cast<size_t>(p)][static_cast<size_t>(h)], true),
+                       Lit(in[static_cast<size_t>(q)][static_cast<size_t>(h)], true)});
+      }
+    }
+  }
+  return cnf;
+}
+
+// Regression for the VSIDS order-heap staleness bug: a rescale used to
+// change every activity_[v] out from under the heap's recorded keys, so the
+// float-equality staleness check discarded the whole heap and every decision
+// fell back to an O(V) linear scan. With stamp-based staleness plus in-place
+// key rescaling, the heap must keep serving decisions across rescales.
+TEST(SatSolverTest, OrderHeapSurvivesActivityRescale) {
+  SatSolver solver;
+  // A near-threshold increment forces a rescale within a few conflicts
+  // (kRescaleThreshold is 1e100).
+  solver.SetVarActivityIncrementForTest(1e99);
+  for (const Clause& clause : PigeonholeCnf(&solver, 7)) {
+    ASSERT_TRUE(solver.AddClause(clause));
+  }
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+  const SatStats& stats = solver.stats();
+  ASSERT_GE(stats.activity_rescales, 1) << "test did not exercise a rescale";
+  EXPECT_GT(stats.decisions, 0);
+  EXPECT_GT(stats.heap_picks, 0);
+  // The invariant the fix establishes: every unassigned variable always has
+  // a current-stamp heap entry, so the linear-scan fallback never fires.
+  EXPECT_EQ(stats.fallback_picks, 0);
+  EXPECT_EQ(stats.heap_picks, stats.decisions);
+}
+
+// Same instance without the forced increment, as a control: heap behaviour
+// is identical whether or not a rescale happened.
+TEST(SatSolverTest, OrderHeapServesAllDecisionsWithoutRescale) {
+  SatSolver solver;
+  for (const Clause& clause : PigeonholeCnf(&solver, 6)) {
+    ASSERT_TRUE(solver.AddClause(clause));
+  }
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+  const SatStats& stats = solver.stats();
+  EXPECT_EQ(stats.activity_rescales, 0);
+  EXPECT_GT(stats.heap_picks, 0);
+  EXPECT_EQ(stats.fallback_picks, 0);
+}
+
+// Learnt-literal accounting: any conflicting run must record at least one
+// literal per learnt clause.
+TEST(SatSolverTest, LearntLiteralsTracked) {
+  SatSolver solver;
+  for (const Clause& clause : PigeonholeCnf(&solver, 5)) {
+    ASSERT_TRUE(solver.AddClause(clause));
+  }
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+  const SatStats& stats = solver.stats();
+  EXPECT_GT(stats.conflicts, 0);
+  EXPECT_GT(stats.learnt_literals, 0);
+}
+
 }  // namespace
 }  // namespace cpr

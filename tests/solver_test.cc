@@ -148,5 +148,73 @@ TEST(InternalBackendTest, RejectsIntegerProblems) {
             MaxSmtResult::Status::kUnsupported);
 }
 
+// Regression for the Z3 timeout conversion: `timeout_seconds * 1000` used to
+// be cast straight to unsigned, so sub-millisecond budgets truncated to 0
+// (which Z3 reads as "no timeout") and large budgets wrapped around to an
+// arbitrary small value. TimeoutMillis must clamp to [1 ms, UINT_MAX ms].
+TEST(TimeoutMillisTest, SubMillisecondBudgetsClampUpToOneMs) {
+  EXPECT_EQ(TimeoutMillis(0.0005), 1u);   // Would truncate to 0.
+  EXPECT_EQ(TimeoutMillis(0.0), 1u);
+  EXPECT_EQ(TimeoutMillis(1e-12), 1u);
+  EXPECT_EQ(TimeoutMillis(-1.0), 1u);     // Nonsensical, but never 0.
+}
+
+TEST(TimeoutMillisTest, NormalBudgetsConvertExactly) {
+  EXPECT_EQ(TimeoutMillis(0.25), 250u);
+  EXPECT_EQ(TimeoutMillis(1.0), 1000u);
+  EXPECT_EQ(TimeoutMillis(3600.0), 3600u * 1000u);
+}
+
+TEST(TimeoutMillisTest, HugeBudgetsSaturateInsteadOfWrapping) {
+  constexpr unsigned kMax = std::numeric_limits<unsigned>::max();
+  // 8 hours (the paper's limit) stays in range...
+  EXPECT_EQ(TimeoutMillis(8 * 3600.0), 8u * 3600u * 1000u);
+  // ...but anything past UINT_MAX ms (~49.7 days) must saturate, not wrap.
+  EXPECT_EQ(TimeoutMillis(5e6), kMax);     // ~57.9 days.
+  EXPECT_EQ(TimeoutMillis(1e12), kMax);
+  EXPECT_EQ(TimeoutMillis(std::numeric_limits<double>::infinity()), kMax);
+  EXPECT_EQ(TimeoutMillis(std::numeric_limits<double>::quiet_NaN()), kMax);
+}
+
+// The backend result carries the solver-internal counters (z3.* for the Z3
+// backend, cdcl.*/maxsat.* for the internal one).
+TEST(BackendCountersTest, InternalBackendReportsCdclCounters) {
+  ConstraintSystem cs;
+  BVarId a = cs.NewBool("a");
+  BVarId b = cs.NewBool("b");
+  cs.AddHard(cs.Or({cs.Var(a), cs.Var(b)}));
+  cs.AddSoft(cs.Not(cs.Var(a)), 1);
+  cs.AddSoft(cs.Not(cs.Var(b)), 1);
+  MaxSmtResult result = MakeInternalBackend()->Solve(cs, 10);
+  ASSERT_EQ(result.status, MaxSmtResult::Status::kOptimal);
+  bool saw_decisions = false;
+  bool saw_fallback = false;
+  for (const auto& [name, value] : result.solver_counters) {
+    if (name == "cdcl.decisions") {
+      saw_decisions = true;
+    }
+    if (name == "cdcl.fallback_picks") {
+      saw_fallback = true;
+      EXPECT_EQ(value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_decisions);
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST(BackendCountersTest, Z3BackendReportsSolverStatistics) {
+  ConstraintSystem cs;
+  IVarId x = cs.NewInt("x", 1, 10);
+  cs.AddHard(cs.LinearEq({{x, 1}}, -3));
+  MaxSmtResult result = MakeZ3Backend()->Solve(cs, 10);
+  ASSERT_EQ(result.status, MaxSmtResult::Status::kOptimal);
+  // Z3 always reports at least some statistics (e.g. memory/rlimit), each
+  // forwarded under the "z3." prefix.
+  EXPECT_FALSE(result.solver_counters.empty());
+  for (const auto& [name, value] : result.solver_counters) {
+    EXPECT_EQ(name.rfind("z3.", 0), 0u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace cpr

@@ -14,11 +14,13 @@
 // file uses the format documented in core/policy_spec.h.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +28,9 @@
 #include "config/printer.h"
 #include "core/cpr.h"
 #include "core/policy_spec.h"
+#include "core/stats_report.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "simulate/simulator.h"
 #include "verify/checker.h"
 
@@ -39,6 +44,9 @@ int Usage() {
                "       cpr verify|repair <config-dir> <policy-file> [options]\n"
                "options: --granularity perdst|alltcs  --backend z3|internal\n"
                "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n"
+               "         --stats-json PATH    write a machine-readable run report\n"
+               "                              (stage spans, solver counters, per-\n"
+               "                              problem results) to PATH\n"
                "robustness: --deadline SECONDS   total wall-clock budget\n"
                "            --max-retries N      extra attempts after a timeout\n"
                "            --no-failover        don't re-solve unsupported problems on z3\n"
@@ -92,6 +100,7 @@ struct CliArgs {
   std::string config_dir;
   std::string policy_file;
   std::string out_dir;
+  std::string stats_json_path;  // Empty: no stats file.
   cpr::CprOptions options;
 };
 
@@ -183,6 +192,12 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         return v.error();
       }
       args.out_dir = *v;
+    } else if (flag == "--stats-json") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.stats_json_path = *v;
     } else if (flag == "--no-simulate") {
       args.options.validate_with_simulator = false;
     } else {
@@ -263,18 +278,30 @@ void PrintProblemDiagnostics(const cpr::Cpr& pipeline, const cpr::RepairStats& s
   }
 }
 
+// On return, `*report_out` holds the repair report whenever the repair
+// engine produced one (even for failed runs), so the stats sink can record
+// it; it stays empty only when Repair() itself errored.
 int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies,
-              const CliArgs& args) {
+              const CliArgs& args, std::optional<cpr::CprReport>* report_out) {
   cpr::Result<cpr::CprReport> report = pipeline.Repair(policies, args.options);
   if (!report.ok()) {
     std::fprintf(stderr, "repair error: %s\n", report.error().message().c_str());
     return 1;
   }
+  *report_out = *report;
   if (report->status == cpr::RepairStatus::kNoViolations) {
     std::printf("all policies already hold; nothing to repair\n");
     return 0;
   }
   PrintProblemDiagnostics(pipeline, report->stats);
+  // solve times: the per-problem sum exceeds the solve wall time whenever
+  // problems ran in parallel — label it so parallel runs don't read as slow.
+  std::printf(
+      "timing: encode %.2fs, solve %.2fs (cpu-sum over %d problems), "
+      "solve wall %.2fs, repair total %.2fs\n",
+      report->stats.encode_seconds, report->stats.solve_seconds,
+      report->stats.problems_formulated, report->stats.solve_wall_seconds,
+      report->stats.wall_seconds);
   if (report->status != cpr::RepairStatus::kSuccess &&
       report->status != cpr::RepairStatus::kPartial) {
     std::fprintf(stderr, "repair failed: %s\n", cpr::RepairStatusName(report->status));
@@ -309,11 +336,48 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
   return report->Sound() ? 0 : 1;
 }
 
+// Serializes the run (trace + registry + optional repair report) to the
+// --stats-json path. Called on every exit path once the pipeline started.
+void WriteStats(const CliArgs& args, int exit_code,
+                const std::optional<cpr::CprReport>& report, double wall_seconds) {
+  if (args.stats_json_path.empty()) {
+    return;
+  }
+  cpr::StatsRunInfo run;
+  run.command = args.command;
+  run.config_dir = args.config_dir;
+  run.policy_file = args.policy_file;
+  run.backend =
+      args.options.repair.backend == cpr::BackendChoice::kZ3 ? "z3" : "internal";
+  run.granularity = args.options.repair.granularity == cpr::Granularity::kPerDst
+                        ? "perdst"
+                        : "alltcs";
+  run.threads = args.options.repair.num_threads;
+  run.status = report.has_value() ? cpr::RepairStatusName(report->status)
+                                  : (exit_code == 0 ? "ok" : "error");
+  run.wall_seconds = wall_seconds;
+  std::string json =
+      cpr::BuildStatsJson(run, report.has_value() ? &*report : nullptr);
+  cpr::Status written = cpr::WriteStatsJson(args.stats_json_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.error().message().c_str());
+  } else {
+    std::fprintf(stderr, "stats written to %s\n", args.stats_json_path.c_str());
+  }
+}
+
 int RunCli(int argc, char** argv) {
+  auto run_start = std::chrono::steady_clock::now();
   cpr::Result<CliArgs> args = ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n", args.error().message().c_str());
     return Usage();
+  }
+  if (!args->stats_json_path.empty()) {
+    // A stats file describes exactly one run: drop any instrument state left
+    // by earlier in-process activity and start a fresh trace.
+    cpr::obs::Registry::Global().Reset();
+    cpr::obs::Trace::Global().Enable();
   }
 
   cpr::Result<std::vector<std::string>> texts = LoadConfigDir(args->config_dir);
@@ -344,11 +408,20 @@ int RunCli(int argc, char** argv) {
     return 1;
   }
 
+  std::optional<cpr::CprReport> report;
+  auto finish = [&](int exit_code) {
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+            .count();
+    WriteStats(*args, exit_code, report, wall);
+    return exit_code;
+  };
+
   if (args->command == "show") {
-    return CmdShow(*pipeline);
+    return finish(CmdShow(*pipeline));
   }
   if (args->command == "infer") {
-    return CmdInfer(*pipeline);
+    return finish(CmdInfer(*pipeline));
   }
 
   cpr::Result<std::vector<cpr::Policy>> policies =
@@ -358,10 +431,10 @@ int RunCli(int argc, char** argv) {
     return 1;
   }
   if (args->command == "verify") {
-    return CmdVerify(*pipeline, *policies);
+    return finish(CmdVerify(*pipeline, *policies));
   }
   if (args->command == "repair") {
-    return CmdRepair(*pipeline, *policies, *args);
+    return finish(CmdRepair(*pipeline, *policies, *args, &report));
   }
   return Usage();
 }
