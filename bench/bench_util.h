@@ -87,6 +87,8 @@ inline const char* StatusName(RepairStatus status) {
       return "PARTIAL";
     case RepairStatus::kError:
       return "ERROR";
+    case RepairStatus::kLintRejected:
+      return "LINT-REJECTED";
   }
   return "?";
 }

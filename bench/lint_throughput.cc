@@ -1,0 +1,89 @@
+// Lint throughput on the largest fig07 data-center network: full lint
+// passes per second over the parsed configuration set, and configs/second.
+// CPR_BENCH_DIRTY (default 0) seeds that many lint defects first, so the
+// bench can also measure the (slightly slower) diagnostic-heavy path.
+//
+//   lints_per_second     full Run() passes over the whole network per second
+//   configs_per_second   router configurations linted per second
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "config/parser.h"
+#include "lint/lint.h"
+#include "workload/datacenter.h"
+#include "workload/dirty.h"
+
+int main() {
+  cpr::BenchConfig config;
+  int dirty = cpr::EnvInt("CPR_BENCH_DIRTY", 0);
+
+  std::vector<cpr::DatacenterNetwork> dataset = cpr::GenerateDatacenterDataset(
+      {.networks = config.networks, .seed = 2017, .subnet_scale = config.scale});
+  const cpr::DatacenterNetwork* largest = &dataset.front();
+  for (const cpr::DatacenterNetwork& network : dataset) {
+    if (network.router_count > largest->router_count) {
+      largest = &network;
+    }
+  }
+
+  std::vector<std::string> texts = largest->handfixed_configs;
+  int planted = 0;
+  if (dirty > 0) {
+    cpr::Result<int> seeded =
+        cpr::SeedLintDefects(&texts, cpr::DirtyOptions::Mix(dirty, 7));
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", seeded.error().message().c_str());
+      return 1;
+    }
+    planted = *seeded;
+  }
+  std::vector<cpr::Config> configs;
+  configs.reserve(texts.size());
+  for (const std::string& text : texts) {
+    cpr::Result<cpr::Config> parsed = cpr::ParseConfig(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", parsed.error().message().c_str());
+      return 1;
+    }
+    configs.push_back(std::move(parsed).value());
+  }
+
+  // Warm up once (and record the findings), then time a fixed rep count.
+  cpr::lint::Report report = cpr::lint::Run(configs);
+  const int reps = 200;
+  cpr::WallTimer timer;
+  size_t findings = 0;
+  for (int r = 0; r < reps; ++r) {
+    findings += cpr::lint::Run(configs).diagnostics.size();
+  }
+  double seconds = timer.Seconds();
+  double lints_per_second = seconds > 0 ? reps / seconds : 0;
+  double configs_per_second =
+      seconds > 0 ? reps * static_cast<double>(configs.size()) / seconds : 0;
+
+  std::printf("lint throughput: network %d (%d routers, %zu configs)\n",
+              largest->index, largest->router_count, configs.size());
+  std::printf("  defects seeded   %d\n", planted);
+  std::printf("  findings         %zu (%d err / %d warn / %d info)\n",
+              report.diagnostics.size(), report.errors, report.warnings, report.infos);
+  std::printf("  reps             %d in %.3fs\n", reps, seconds);
+  std::printf("  lints/second     %.1f\n", lints_per_second);
+  std::printf("  configs/second   %.1f\n", configs_per_second);
+
+  cpr::BenchJson bench("lint", config);
+  cpr::BenchJson::Row& row = bench.AddRow();
+  row.Set("network", largest->index)
+      .Set("routers", largest->router_count)
+      .Set("defects_seeded", planted)
+      .Set("findings", report.diagnostics.size())
+      .Set("errors", report.errors)
+      .Set("warnings", report.warnings)
+      .Set("reps", reps)
+      .Set("seconds", seconds);
+  bench.SetSummary("lints_per_second", lints_per_second);
+  bench.SetSummary("configs_per_second", configs_per_second);
+  bench.Write();
+  return 0;
+}

@@ -23,19 +23,60 @@ done
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "== default configuration =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Warning-clean by policy: .clang-tidy sets WarningsAsErrors '*'.
+  find src tools -name '*.cc' -print0 |
+    xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+  echo "clang-tidy OK"
+else
+  echo "clang-tidy not installed; stage skipped"
+fi
+
+echo "== cpr lint smoke =="
+lint_json="$(mktemp /tmp/cpr-lint-XXXXXX.json)"
+build/tools/cpr lint examples/data/paper-example --json > "$lint_json"
+build/tools/cpr_json_validate "$lint_json"
+for key in '"schema_version"' '"files"' '"errors"' '"warnings"' \
+           '"parse_errors"' '"diagnostics"'; do
+  if ! grep -q -- "$key" "$lint_json"; then
+    echo "lint smoke FAILED: missing $key in $lint_json" >&2
+    exit 1
+  fi
+done
+if grep -q '"errors":[1-9]' "$lint_json"; then
+  echo "lint smoke FAILED: example configurations have lint errors" >&2
+  exit 1
+fi
+rm -f "$lint_json"
+echo "lint smoke OK"
 
 echo "== --stats-json end-to-end smoke =="
 stats_json="$(mktemp /tmp/cpr-stats-XXXXXX.json)"
 trap 'rm -f "$stats_json"' EXIT
+repair_log="$(mktemp /tmp/cpr-repair-XXXXXX.log)"
 build/tools/cpr repair examples/data/paper-example \
   examples/data/paper-example-boolean.policies \
-  --backend internal --stats-json "$stats_json" >/dev/null
+  --backend internal --stats-json "$stats_json" > "$repair_log"
+
+echo "== post-repair lint audit =="
+# The repaired configurations must introduce no new lint findings; the
+# pipeline's audit prints its verdict on the repair's stdout.
+if ! grep -q 'lint audit: clean' "$repair_log"; then
+  echo "lint audit FAILED: repair output did not report a clean audit" >&2
+  cat "$repair_log" >&2
+  exit 1
+fi
+rm -f "$repair_log"
+echo "lint audit OK"
 for key in '"schema_version"' '"stages"' '"counters"' '"gauges"' \
            '"histograms"' '"repair"' '"problems"' '"solve_wall_seconds"' \
-           '"cdcl.decisions"' '"cdcl.heap_picks"'; do
+           '"cdcl.decisions"' '"cdcl.heap_picks"' '"lint"' \
+           '"lint_errors"' '"audit_new_findings"'; do
   if ! grep -q -- "$key" "$stats_json"; then
     echo "stats smoke FAILED: missing $key in $stats_json" >&2
     exit 1

@@ -6,10 +6,17 @@
 // top-level command. `!` and blank lines are separators. See
 // config/printer.h for the canonical form the printer emits; the parser
 // accepts that form plus leading indentation.
+//
+// Every parse error carries a precise source location: the lexer stamps each
+// token with its 1-based line and column in the raw input, and error
+// messages are rendered as "line L:C: ...". Callers that want the location
+// structurally (e.g. `cpr lint`'s file:line:col output) pass a
+// ParseErrorDetail out-parameter.
 
 #ifndef CPR_SRC_CONFIG_PARSER_H_
 #define CPR_SRC_CONFIG_PARSER_H_
 
+#include <string>
 #include <string_view>
 
 #include "config/ast.h"
@@ -17,9 +24,20 @@
 
 namespace cpr {
 
-// Parses one router's configuration. Errors carry the offending line number
-// and text.
-Result<Config> ParseConfig(std::string_view text);
+// Structured location + message for a parse failure. `line` and `col` are
+// 1-based; `col` points at the offending token (or just past the last token
+// when the line ended early).
+struct ParseErrorDetail {
+  int line = 0;
+  int col = 0;
+  std::string message;  // Bare message, without the location prefix.
+};
+
+// Parses one router's configuration. Errors carry the offending line and
+// column ("line L:C: message"); when `detail` is non-null it receives the
+// same information structurally on failure (and is left untouched on
+// success).
+Result<Config> ParseConfig(std::string_view text, ParseErrorDetail* detail = nullptr);
 
 }  // namespace cpr
 

@@ -1,6 +1,7 @@
 #include "core/cpr.h"
 
 #include "config/parser.h"
+#include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "simulate/simulator.h"
@@ -44,6 +45,26 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
   CprReport report;
 
+  // Pre-repair lint gate: a config that references undefined constructs or
+  // carries an inconsistent topology produces a wrong HARC and therefore a
+  // confidently wrong repair — refuse it up front (paper §9 offloads this to
+  // Batfish; lint/lint.h is our equivalent).
+  if (options.lint_mode != LintMode::kOff) {
+    obs::StageSpan lint_span("pipeline.lint");
+    report.lint_report = lint::Run(network_->configs());
+    obs::Registry& registry = obs::Registry::Global();
+    registry.counter("lint.findings")
+        .Add(static_cast<int64_t>(report.lint_report.diagnostics.size()));
+    registry.counter("lint.errors").Add(report.lint_report.errors);
+    registry.counter("lint.warnings").Add(report.lint_report.warnings);
+    report.stats.lint_errors = report.lint_report.errors;
+    report.stats.lint_warnings = report.lint_report.warnings;
+    if (options.lint_mode == LintMode::kGate && report.lint_report.errors > 0) {
+      report.status = RepairStatus::kLintRejected;
+      return report;
+    }
+  }
+
   Result<RepairOutcome> outcome = [&]() {
     obs::StageSpan repair_span("pipeline.repair");
     return ComputeRepair(harc_, policies, options.repair);
@@ -54,6 +75,9 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   report.status = outcome->status;
   report.predicted_cost = outcome->predicted_cost;
   report.stats = outcome->stats;
+  // The repair engine's stats start from zero; restore the gate's counts.
+  report.stats.lint_errors = report.lint_report.errors;
+  report.stats.lint_warnings = report.lint_report.warnings;
   report.edits = outcome->edits;
   if (!outcome->HasRepair()) {
     return report;  // kUnsat / kTimeout / kUnsupported / kError: nothing to
@@ -96,6 +120,20 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
     obs::StageSpan simulate_span("pipeline.simulate");
     report.residual_simulation_violations =
         FindSimulationViolations(*rebuilt, policies, options.simulator_failure_cap);
+  }
+
+  // Post-translate lint audit: the patched configurations must introduce no
+  // error/warning finding the originals did not already have. Any fresh
+  // finding is a translator defect surfaced for free.
+  if (options.lint_mode != LintMode::kOff) {
+    obs::StageSpan audit_span("pipeline.lint_audit");
+    lint::Report patched_lint = lint::Run(report.patched_configs);
+    report.lint_new_findings = lint::NewFindings(report.lint_report, patched_lint);
+    report.stats.lint_audit_new_findings =
+        static_cast<int>(report.lint_new_findings.size());
+    obs::Registry::Global()
+        .counter("lint.audit_new_findings")
+        .Add(static_cast<int64_t>(report.lint_new_findings.size()));
   }
 
   // Traffic classes impacted: tcETGs whose edge set changed (§8.3). The

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arc/harc.h"
+#include "lint/lint.h"
 #include "netbase/result.h"
 #include "repair/repair.h"
 #include "topo/network.h"
@@ -28,8 +29,18 @@
 
 namespace cpr {
 
+// How the pre-repair lint gate treats the input configurations.
+enum class LintMode {
+  kGate,      // Default: refuse to repair when lint reports errors
+              // (RepairStatus::kLintRejected).
+  kWarnOnly,  // Lint, record findings, proceed regardless.
+  kOff,       // Skip linting (and the post-translate audit) entirely.
+};
+
 struct CprOptions {
   RepairOptions repair;
+  // Pre-repair lint gate + post-translate lint audit (lint/lint.h).
+  LintMode lint_mode = LintMode::kGate;
   // Re-check the repaired network on the control-plane simulator.
   bool validate_with_simulator = true;
   // Maximum simultaneous failures the simulator enumerates for PC1/PC2.
@@ -55,6 +66,14 @@ struct CprReport {
   // sound repair.
   std::vector<Policy> residual_graph_violations;
   std::vector<Policy> residual_simulation_violations;
+
+  // Lint gate findings on the *input* configurations (empty when
+  // LintMode::kOff), and the post-translate audit: error/warning findings
+  // the patched configurations have that the originals did not. A correct
+  // translation leaves `lint_new_findings` empty — a free end-to-end
+  // regression oracle for the translator.
+  lint::Report lint_report;
+  std::vector<lint::Diagnostic> lint_new_findings;
 
   // A kPartial repair is never sound: its failed problems' policies remain
   // violated (and appear in residual_graph_violations), but the merged

@@ -98,6 +98,9 @@ void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
       .Int(static_cast<int64_t>(report.residual_graph_violations.size()));
   w->Key("residual_simulation_violations")
       .Int(static_cast<int64_t>(report.residual_simulation_violations.size()));
+  w->Key("lint_errors").Int(stats.lint_errors);
+  w->Key("lint_warnings").Int(stats.lint_warnings);
+  w->Key("lint_audit_new_findings").Int(stats.lint_audit_new_findings);
   w->Key("solver_counter_totals");
   WriteCounterPairs(w, stats.solver_counter_totals);
   w->Key("problems").BeginArray();
@@ -122,6 +125,36 @@ void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
   w->EndObject();
 }
 
+void WriteDiagnostics(obs::JsonWriter* w, const std::vector<lint::Diagnostic>& diags) {
+  w->BeginArray();
+  for (const lint::Diagnostic& d : diags) {
+    w->BeginObject();
+    w->Key("rule").String(d.rule);
+    w->Key("severity").String(lint::SeverityName(d.severity));
+    w->Key("device").String(d.device);
+    w->Key("path").String(d.path);
+    w->Key("message").String(d.message);
+    w->Key("hint").String(d.hint);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+// The lint section carries its own schema version: the rule catalog evolves
+// independently of the surrounding run schema.
+void WriteLint(obs::JsonWriter* w, const CprReport& report) {
+  w->Key("lint").BeginObject();
+  w->Key("schema_version").Int(1);
+  w->Key("errors").Int(report.lint_report.errors);
+  w->Key("warnings").Int(report.lint_report.warnings);
+  w->Key("infos").Int(report.lint_report.infos);
+  w->Key("diagnostics");
+  WriteDiagnostics(w, report.lint_report.diagnostics);
+  w->Key("audit_new_findings");
+  WriteDiagnostics(w, report.lint_new_findings);
+  w->EndObject();
+}
+
 }  // namespace
 
 std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
@@ -133,6 +166,7 @@ std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
   WriteInstruments(&w);
   if (report != nullptr) {
     WriteRepair(&w, *report);
+    WriteLint(&w, *report);
   }
   w.EndObject();
   return w.str();

@@ -1,0 +1,657 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netbase/string_util.h"
+
+namespace cpr::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared formatting helpers
+// ---------------------------------------------------------------------------
+
+std::string PrefixOrAny(const std::optional<Ipv4Prefix>& prefix) {
+  return prefix.has_value() ? prefix->ToString() : "any";
+}
+
+std::string AclEntryText(const AclEntry& entry) {
+  return std::string(entry.permit ? "permit" : "deny") + " ip " +
+         PrefixOrAny(entry.src) + " " + PrefixOrAny(entry.dst);
+}
+
+std::string PrefixListEntryText(const std::string& name, const PrefixListEntry& entry) {
+  std::string text = "ip prefix-list " + name + " " +
+                     (entry.permit ? "permit" : "deny") + " " + entry.prefix.ToString();
+  if (entry.le32) {
+    text += " le 32";
+  }
+  return text;
+}
+
+std::string ProcessPath(RouteSource kind, int protocol_id) {
+  switch (kind) {
+    case RouteSource::kOspf:
+      return "router ospf " + std::to_string(protocol_id);
+    case RouteSource::kBgp:
+      return "router bgp " + std::to_string(protocol_id);
+    case RouteSource::kRip:
+      return "router rip";
+    case RouteSource::kConnected:
+      return "connected";
+    case RouteSource::kStatic:
+      return "static";
+  }
+  return "?";
+}
+
+class Collector {
+ public:
+  void Emit(std::string rule, Severity severity, std::string device, std::string path,
+            std::string message, std::string hint, std::string anchor) {
+    diagnostics_.push_back(Diagnostic{std::move(rule), severity, std::move(device),
+                                      std::move(path), std::move(message),
+                                      std::move(hint), std::move(anchor)});
+  }
+
+  Report Finish() {
+    std::sort(diagnostics_.begin(), diagnostics_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return std::tie(a.device, a.rule, a.path, a.message) <
+                       std::tie(b.device, b.rule, b.path, b.message);
+              });
+    Report report;
+    report.diagnostics = std::move(diagnostics_);
+    for (const Diagnostic& d : report.diagnostics) {
+      switch (d.severity) {
+        case Severity::kError:
+          ++report.errors;
+          break;
+        case Severity::kWarning:
+          ++report.warnings;
+          break;
+        case Severity::kInfo:
+          ++report.infos;
+          break;
+      }
+    }
+    return report;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: reference resolution (per device)
+// ---------------------------------------------------------------------------
+
+void CheckReferences(const Config& config, Collector* out) {
+  const std::string& dev = config.hostname;
+
+  // ACL applications vs. definitions.
+  std::set<std::string> used_acls;
+  for (const InterfaceConfig& intf : config.interfaces) {
+    for (const auto& [applied, direction] :
+         {std::pair{&intf.acl_in, "in"}, std::pair{&intf.acl_out, "out"}}) {
+      if (!applied->has_value()) {
+        continue;
+      }
+      const std::string& name = **applied;
+      used_acls.insert(name);
+      if (config.FindAccessList(name) == nullptr) {
+        out->Emit("ref.undefined-acl", Severity::kError, dev, "interface " + intf.name,
+                  "ACL '" + name + "' applied " + direction + " on interface " +
+                      intf.name + " is not defined; traffic is filtered against an "
+                      "ACL that does not exist",
+                  "define `ip access-list extended " + name +
+                      "` or remove the `ip access-group` line",
+                  "ip access-group " + name);
+      }
+    }
+  }
+  for (const auto& [name, acl] : config.access_lists) {
+    if (used_acls.count(name) == 0) {
+      out->Emit("ref.unused-acl", Severity::kWarning, dev,
+                "ip access-list extended " + name,
+                "ACL '" + name + "' is defined but applied to no interface",
+                "apply it with `ip access-group " + name + " in|out` or delete it",
+                "ip access-list extended " + name);
+    }
+  }
+
+  // Distribute-list prefix-list references vs. definitions.
+  std::set<std::string> used_prefix_lists;
+  auto check_distribute_list = [&](const std::optional<DistributeList>& dist_list,
+                                   const std::string& proc_path) {
+    if (!dist_list.has_value()) {
+      return;
+    }
+    const std::string& name = dist_list->prefix_list;
+    used_prefix_lists.insert(name);
+    if (config.FindPrefixList(name) == nullptr) {
+      out->Emit("ref.undefined-prefix-list", Severity::kError, dev, proc_path,
+                "distribute-list on " + proc_path + " references prefix-list '" + name +
+                    "' which is not defined; the process filters against nothing",
+                "define `ip prefix-list " + name +
+                    " ...` or remove the distribute-list",
+                "distribute-list prefix " + name);
+    }
+  };
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    check_distribute_list(ospf.distribute_list,
+                          ProcessPath(RouteSource::kOspf, ospf.process_id));
+  }
+  if (config.bgp.has_value()) {
+    check_distribute_list(config.bgp->distribute_list,
+                          ProcessPath(RouteSource::kBgp, config.bgp->asn));
+  }
+  if (config.rip.has_value()) {
+    check_distribute_list(config.rip->distribute_list, ProcessPath(RouteSource::kRip, 0));
+  }
+  for (const auto& [name, prefix_list] : config.prefix_lists) {
+    if (used_prefix_lists.count(name) == 0) {
+      out->Emit("ref.unused-prefix-list", Severity::kWarning, dev,
+                "ip prefix-list " + name,
+                "prefix-list '" + name + "' is defined but referenced by no "
+                "distribute-list",
+                "reference it with `distribute-list prefix " + name + "` or delete it",
+                "ip prefix-list " + name);
+    }
+  }
+
+  // Static routes must have a next hop inside a connected subnet.
+  for (const StaticRouteConfig& route : config.static_routes) {
+    bool reachable = false;
+    for (const InterfaceConfig& intf : config.interfaces) {
+      if (!intf.shutdown && intf.address.has_value() &&
+          intf.address->Prefix().Contains(route.next_hop)) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      out->Emit("ref.static-nexthop-unreachable", Severity::kError, dev,
+                "ip route " + route.prefix.ToString(),
+                "static route to " + route.prefix.ToString() + " has next hop " +
+                    route.next_hop.ToString() +
+                    " which no connected (up, addressed) subnet covers; the route "
+                    "blackholes",
+                "point the next hop at a directly connected neighbor or remove the route",
+                "ip route " + route.prefix.ToString() + " " + route.next_hop.ToString());
+    }
+  }
+
+  // Passive-interface statements must name existing interfaces.
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    for (const std::string& passive : ospf.passive_interfaces) {
+      if (config.FindInterface(passive) == nullptr) {
+        out->Emit("ref.unknown-passive-interface", Severity::kWarning, dev,
+                  ProcessPath(RouteSource::kOspf, ospf.process_id),
+                  "passive-interface " + passive + " names an interface that does "
+                  "not exist on " + dev,
+                  "fix the interface name or remove the statement",
+                  "passive-interface " + passive);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: topology consistency (all devices at once)
+// ---------------------------------------------------------------------------
+
+struct Attachment {
+  size_t config_index;
+  const Config* config;
+  const InterfaceConfig* intf;
+};
+
+// The OSPF process covering `intf` on `config` (its `network` ranges contain
+// the interface address), or nullptr.
+const OspfConfig* CoveringOspf(const Config& config, const InterfaceConfig& intf) {
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    for (const Ipv4Prefix& range : ospf.networks) {
+      if (range.Contains(intf.address->ip)) {
+        return &ospf;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void CheckTopology(const std::vector<Config>& configs, Collector* out) {
+  // Collect live (up, addressed) interface attachments.
+  std::vector<Attachment> attachments;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (const InterfaceConfig& intf : configs[i].interfaces) {
+      if (!intf.shutdown && intf.address.has_value()) {
+        attachments.push_back(Attachment{i, &configs[i], &intf});
+      }
+    }
+  }
+
+  // Duplicate interface IPs anywhere in the network.
+  std::map<Ipv4Address, std::vector<const Attachment*>> by_ip;
+  for (const Attachment& a : attachments) {
+    by_ip[a.intf->address->ip].push_back(&a);
+  }
+  for (const auto& [ip, owners] : by_ip) {
+    for (size_t k = 1; k < owners.size(); ++k) {
+      out->Emit("topo.duplicate-ip", Severity::kError, owners[k]->config->hostname,
+                "interface " + owners[k]->intf->name,
+                "interface address " + ip.ToString() + " duplicates " +
+                    owners[0]->config->hostname + "/" + owners[0]->intf->name,
+                "renumber one of the interfaces",
+                "ip address " + ip.ToString());
+    }
+  }
+
+  // Group by exact subnet prefix — the same grouping the topo layer uses to
+  // derive links, so lint sees exactly what the HARC will be built from.
+  std::map<Ipv4Prefix, std::vector<const Attachment*>> by_prefix;
+  for (const Attachment& a : attachments) {
+    by_prefix[a.intf->address->Prefix()].push_back(&a);
+  }
+
+  for (const auto& [prefix, members] : by_prefix) {
+    if (members.size() == 2 && members[0]->config_index == members[1]->config_index) {
+      out->Emit("topo.shared-subnet", Severity::kError, members[0]->config->hostname,
+                "interface " + members[1]->intf->name,
+                "interfaces " + members[0]->intf->name + " and " +
+                    members[1]->intf->name + " of " + members[0]->config->hostname +
+                    " both sit in subnet " + prefix.ToString(),
+                "renumber one interface into its own subnet",
+                "ip address " + members[1]->intf->address->ip.ToString());
+    } else if (members.size() > 2) {
+      std::vector<std::string> names;
+      names.reserve(members.size());
+      for (const Attachment* m : members) {
+        names.push_back(m->config->hostname + "/" + m->intf->name);
+      }
+      out->Emit("topo.shared-subnet", Severity::kError, members[0]->config->hostname,
+                "subnet " + prefix.ToString(),
+                "subnet " + prefix.ToString() + " is shared by " +
+                    std::to_string(members.size()) + " interfaces (" +
+                    JoinStrings(names, ", ") +
+                    "); CPR models point-to-point links only",
+                "split the subnet so at most two routers share it",
+                "ip address");
+    }
+  }
+
+  // Overlapping-but-unequal interface subnets: the classic mask mismatch on
+  // a link. The topo layer groups by *exact* prefix, so each end silently
+  // becomes its own host subnet and the link vanishes from the HARC.
+  for (auto it = by_prefix.begin(); it != by_prefix.end(); ++it) {
+    for (auto jt = std::next(it); jt != by_prefix.end(); ++jt) {
+      if (!it->first.Overlaps(jt->first)) {
+        continue;
+      }
+      const Attachment* a = it->second.front();
+      const Attachment* b = jt->second.front();
+      out->Emit("topo.subnet-mismatch", Severity::kError, b->config->hostname,
+                "interface " + b->intf->name,
+                "subnet " + jt->first.ToString() + " on " + b->config->hostname + "/" +
+                    b->intf->name + " overlaps " + it->first.ToString() + " on " +
+                    a->config->hostname + "/" + a->intf->name +
+                    " but the prefixes differ; no link is derived from either end",
+                "align the prefix lengths on both ends of the link",
+                "ip address " + b->intf->address->ip.ToString());
+    }
+  }
+
+  // Per-link OSPF coverage and passivity, on the links that do form.
+  for (const auto& [prefix, members] : by_prefix) {
+    if (members.size() != 2 || members[0]->config_index == members[1]->config_index) {
+      continue;
+    }
+    const Attachment* a = members[0];
+    const Attachment* b = members[1];
+    const OspfConfig* ospf_a = CoveringOspf(*a->config, *a->intf);
+    const OspfConfig* ospf_b = CoveringOspf(*b->config, *b->intf);
+    for (const auto& [covered, bare] :
+         {std::pair{a, b}, std::pair{b, a}}) {
+      const OspfConfig* covered_ospf = covered == a ? ospf_a : ospf_b;
+      const OspfConfig* bare_ospf = covered == a ? ospf_b : ospf_a;
+      if (covered_ospf != nullptr && bare_ospf == nullptr &&
+          !bare->config->ospf_processes.empty()) {
+        out->Emit("topo.ospf-adjacency-mismatch", Severity::kWarning,
+                  bare->config->hostname, "interface " + bare->intf->name,
+                  "link subnet " + prefix.ToString() + ": " +
+                      covered->config->hostname + "/" + covered->intf->name +
+                      " is covered by an OSPF network statement but " +
+                      bare->config->hostname + "/" + bare->intf->name +
+                      " is not; no adjacency forms",
+                  "add a matching `network` statement on " + bare->config->hostname +
+                      " or remove the one-sided coverage",
+                  "ip address " + bare->intf->address->ip.ToString());
+      }
+    }
+    if (ospf_a != nullptr && ospf_b != nullptr) {
+      bool passive_a = ospf_a->passive_interfaces.count(a->intf->name) > 0;
+      bool passive_b = ospf_b->passive_interfaces.count(b->intf->name) > 0;
+      if (passive_a != passive_b) {
+        const Attachment* passive = passive_a ? a : b;
+        const Attachment* active = passive_a ? b : a;
+        // Info, not warning: tearing an adjacency down by making ONE side
+        // passive is the minimal (one-line) idiom the translator itself
+        // uses, so this is surfaced but never fails the post-repair audit.
+        out->Emit("topo.ospf-passive-mismatch", Severity::kInfo,
+                  passive->config->hostname, "interface " + passive->intf->name,
+                  "link subnet " + prefix.ToString() + ": " +
+                      passive->config->hostname + "/" + passive->intf->name +
+                      " is passive while " + active->config->hostname + "/" +
+                      active->intf->name + " is active; the adjacency is down but " +
+                      active->config->hostname + " keeps soliciting it",
+                  "make both sides passive (or neither)",
+                  "passive-interface " + passive->intf->name);
+      }
+    }
+  }
+
+  // BGP neighbor statements: the address must be owned by some other device,
+  // that device must run BGP, and its ASN must match our remote-as.
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& config = configs[i];
+    if (!config.bgp.has_value()) {
+      continue;
+    }
+    const std::string proc_path = ProcessPath(RouteSource::kBgp, config.bgp->asn);
+    for (const BgpNeighbor& neighbor : config.bgp->neighbors) {
+      const Attachment* owner = nullptr;
+      for (const Attachment& a : attachments) {
+        if (a.config_index != i && a.intf->address->ip == neighbor.ip) {
+          owner = &a;
+          break;
+        }
+      }
+      if (owner == nullptr) {
+        out->Emit("topo.bgp-neighbor-unknown", Severity::kWarning, config.hostname,
+                  proc_path,
+                  "BGP neighbor " + neighbor.ip.ToString() +
+                      " is not an interface address of any other device; the session "
+                      "never establishes",
+                  "fix the neighbor address or add the missing peer",
+                  "neighbor " + neighbor.ip.ToString());
+        continue;
+      }
+      if (!owner->config->bgp.has_value()) {
+        out->Emit("topo.bgp-neighbor-unknown", Severity::kWarning, config.hostname,
+                  proc_path,
+                  "BGP neighbor " + neighbor.ip.ToString() + " belongs to " +
+                      owner->config->hostname + " which runs no BGP process",
+                  "configure `router bgp` on " + owner->config->hostname +
+                      " or remove the neighbor",
+                  "neighbor " + neighbor.ip.ToString());
+        continue;
+      }
+      if (owner->config->bgp->asn != neighbor.remote_as) {
+        out->Emit("topo.bgp-asn-mismatch", Severity::kError, config.hostname, proc_path,
+                  "neighbor " + neighbor.ip.ToString() + " is configured with remote-as " +
+                      std::to_string(neighbor.remote_as) + " but " +
+                      owner->config->hostname + " runs AS " +
+                      std::to_string(owner->config->bgp->asn) +
+                      "; the session never establishes",
+                  "set remote-as " + std::to_string(owner->config->bgp->asn),
+                  "neighbor " + neighbor.ip.ToString());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: semantic dead code (per device)
+// ---------------------------------------------------------------------------
+
+// Whether filter field `a` matches everything field `b` matches
+// (nullopt = `any` = the universe).
+bool FieldCovers(const std::optional<Ipv4Prefix>& a, const std::optional<Ipv4Prefix>& b) {
+  if (!a.has_value()) {
+    return true;
+  }
+  if (!b.has_value()) {
+    return false;
+  }
+  return a->Contains(*b);
+}
+
+// Whether prefix-list entry `a` matches every prefix entry `b` matches.
+bool PrefixEntryCovers(const PrefixListEntry& a, const PrefixListEntry& b) {
+  if (b.le32) {
+    return a.le32 && a.prefix.Contains(b.prefix);
+  }
+  return a.le32 ? a.prefix.Contains(b.prefix) : a.prefix == b.prefix;
+}
+
+void CheckDeadCode(const Config& config, Collector* out) {
+  const std::string& dev = config.hostname;
+
+  // Fully shadowed ACL entries: first-match-wins, so an entry covered by any
+  // earlier entry (regardless of permit/deny) is never consulted.
+  for (const auto& [name, acl] : config.access_lists) {
+    for (size_t j = 1; j < acl.entries.size(); ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        if (FieldCovers(acl.entries[i].src, acl.entries[j].src) &&
+            FieldCovers(acl.entries[i].dst, acl.entries[j].dst)) {
+          out->Emit("dead.shadowed-acl-entry", Severity::kWarning, dev,
+                    "ip access-list extended " + name + " entry " + std::to_string(j + 1),
+                    "entry " + std::to_string(j + 1) + " (`" +
+                        AclEntryText(acl.entries[j]) + "`) is never matched; entry " +
+                        std::to_string(i + 1) + " (`" + AclEntryText(acl.entries[i]) +
+                        "`) already covers it",
+                    "delete the shadowed entry or move it above the covering one",
+                    AclEntryText(acl.entries[j]));
+          break;
+        }
+      }
+    }
+  }
+
+  // Fully shadowed prefix-list entries, same first-match-wins argument.
+  for (const auto& [name, prefix_list] : config.prefix_lists) {
+    for (size_t j = 1; j < prefix_list.entries.size(); ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        if (PrefixEntryCovers(prefix_list.entries[i], prefix_list.entries[j])) {
+          out->Emit("dead.shadowed-prefix-list-entry", Severity::kWarning, dev,
+                    "ip prefix-list " + name + " entry " + std::to_string(j + 1),
+                    "entry " + std::to_string(j + 1) + " (`" +
+                        PrefixListEntryText(name, prefix_list.entries[j]) +
+                        "`) is never matched; entry " + std::to_string(i + 1) + " (`" +
+                        PrefixListEntryText(name, prefix_list.entries[i]) +
+                        "`) already covers it",
+                    "delete the shadowed entry or move it above the covering one",
+                    PrefixListEntryText(name, prefix_list.entries[j]));
+          break;
+        }
+      }
+    }
+  }
+
+  // Redistribution cycles on the per-device process graph: nodes are the
+  // device's routing processes, with an edge S -> P when P redistributes
+  // from S's protocol. A cycle re-advertises routes back into their source
+  // protocol, amplifying metrics and masking withdrawals.
+  struct ProcNode {
+    RouteSource kind;
+    int protocol_id;  // OSPF pid / BGP ASN; 0 for RIP.
+    const std::vector<Redistribution>* redistributes;
+  };
+  std::vector<ProcNode> nodes;
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    nodes.push_back(ProcNode{RouteSource::kOspf, ospf.process_id, &ospf.redistributes});
+  }
+  if (config.bgp.has_value()) {
+    nodes.push_back(ProcNode{RouteSource::kBgp, config.bgp->asn, &config.bgp->redistributes});
+  }
+  if (config.rip.has_value()) {
+    nodes.push_back(ProcNode{RouteSource::kRip, 0, &config.rip->redistributes});
+  }
+  auto find_node = [&](RouteSource kind, int protocol_id) -> int {
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].kind == kind &&
+          (kind == RouteSource::kRip || nodes[n].protocol_id == protocol_id)) {
+        return static_cast<int>(n);
+      }
+    }
+    return -1;
+  };
+  // adjacency[p] holds the processes that feed INTO p (p redistributes them).
+  std::vector<std::vector<int>> feeds_into(nodes.size());
+  for (size_t p = 0; p < nodes.size(); ++p) {
+    for (const Redistribution& redist : *nodes[p].redistributes) {
+      int source = find_node(redist.from, redist.process_id);
+      if (source >= 0 && source != static_cast<int>(p)) {
+        feeds_into[static_cast<size_t>(source)].push_back(static_cast<int>(p));
+      }
+    }
+  }
+  // Colored DFS; report each cycle once via its smallest member node.
+  std::vector<int> color(nodes.size(), 0);  // 0 white, 1 gray, 2 black
+  std::vector<int> stack;
+  std::set<int> reported;
+  auto dfs = [&](auto&& self, int u) -> void {
+    color[static_cast<size_t>(u)] = 1;
+    stack.push_back(u);
+    for (int v : feeds_into[static_cast<size_t>(u)]) {
+      if (color[static_cast<size_t>(v)] == 1) {
+        // Back edge: the cycle is the stack suffix starting at v.
+        auto begin = std::find(stack.begin(), stack.end(), v);
+        std::vector<int> cycle(begin, stack.end());
+        int anchor_node = *std::min_element(cycle.begin(), cycle.end());
+        if (reported.insert(anchor_node).second) {
+          std::vector<std::string> names;
+          names.reserve(cycle.size() + 1);
+          for (int n : cycle) {
+            names.push_back(ProcessPath(nodes[static_cast<size_t>(n)].kind,
+                                        nodes[static_cast<size_t>(n)].protocol_id));
+          }
+          names.push_back(names.front());
+          out->Emit("dead.redistribution-cycle", Severity::kWarning, dev,
+                    names.front(),
+                    "route redistribution cycle: " + JoinStrings(names, " -> "),
+                    "break the cycle by removing one redistribute statement or "
+                    "filtering it with a distribute-list",
+                    "redistribute");
+        }
+      } else if (color[static_cast<size_t>(v)] == 0) {
+        self(self, v);
+      }
+    }
+    stack.pop_back();
+    color[static_cast<size_t>(u)] = 2;
+  };
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    if (color[n] == 0) {
+      dfs(dfs, static_cast<int>(n));
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(SeverityName(severity)) + ": [" + rule + "] ";
+  if (!device.empty()) {
+    out += device + ": ";
+  }
+  if (!path.empty()) {
+    out += path + ": ";
+  }
+  out += message;
+  return out;
+}
+
+Report Run(const std::vector<Config>& configs, const Options& options) {
+  Collector collector;
+  for (const Config& config : configs) {
+    if (options.reference_rules) {
+      CheckReferences(config, &collector);
+    }
+    if (options.deadcode_rules) {
+      CheckDeadCode(config, &collector);
+    }
+  }
+  if (options.topology_rules) {
+    CheckTopology(configs, &collector);
+  }
+  return collector.Finish();
+}
+
+std::vector<Diagnostic> NewFindings(const Report& before, const Report& after) {
+  std::map<std::string, int> seen;
+  for (const Diagnostic& d : before.diagnostics) {
+    if (d.severity != Severity::kInfo) {
+      ++seen[d.Key()];
+    }
+  }
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : after.diagnostics) {
+    if (d.severity == Severity::kInfo) {
+      continue;
+    }
+    auto it = seen.find(d.Key());
+    if (it != seen.end() && it->second > 0) {
+      --it->second;
+    } else {
+      fresh.push_back(d);
+    }
+  }
+  return fresh;
+}
+
+std::vector<std::string> RuleCatalog() {
+  return {
+      "dead.redistribution-cycle",
+      "dead.shadowed-acl-entry",
+      "dead.shadowed-prefix-list-entry",
+      "ref.static-nexthop-unreachable",
+      "ref.undefined-acl",
+      "ref.undefined-prefix-list",
+      "ref.unknown-passive-interface",
+      "ref.unused-acl",
+      "ref.unused-prefix-list",
+      "topo.bgp-asn-mismatch",
+      "topo.bgp-neighbor-unknown",
+      "topo.duplicate-ip",
+      "topo.ospf-adjacency-mismatch",
+      "topo.ospf-passive-mismatch",
+      "topo.shared-subnet",
+      "topo.subnet-mismatch",
+  };
+}
+
+std::optional<std::pair<int, int>> Locate(std::string_view config_text,
+                                          const Diagnostic& diagnostic) {
+  if (diagnostic.anchor.empty()) {
+    return std::nullopt;
+  }
+  int line = 0;
+  for (std::string_view raw_line : SplitLines(config_text)) {
+    ++line;
+    size_t pos = raw_line.find(diagnostic.anchor);
+    if (pos != std::string_view::npos) {
+      return std::pair{line, static_cast<int>(pos) + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cpr::lint

@@ -1,0 +1,114 @@
+// cpr::lint — multi-pass static analysis over router configurations.
+//
+// CPR's soundness rests on the configurations it abstracts being internally
+// coherent: a config that references an undefined ACL, puts the two ends of
+// a link on mismatched subnets, or redistributes routes in a cycle produces
+// a *wrong* HARC and therefore a confidently wrong repair. The paper (§9)
+// offloads these sanity checks to Batfish; this module is our equivalent,
+// and it doubles as a translator audit — a repaired configuration set must
+// not introduce findings the original did not have.
+//
+// Three pass families (see DESIGN.md §8 for the full rule catalog):
+//
+//   reference resolution   names used but undefined / defined but unused
+//                          (ACLs, prefix lists, passive interfaces), static
+//                          routes whose next hop no connected subnet covers;
+//   topology consistency   cross-device checks on the link structure the
+//                          topo layer derives: duplicate interface IPs,
+//                          overlapping-but-unequal link subnets, subnets
+//                          shared by more than two routers, one-sided OSPF
+//                          coverage or passivity, BGP neighbor addresses no
+//                          peer owns, neighbor remote-as vs. the peer's ASN;
+//   semantic dead code     ACL / prefix-list entries fully shadowed by
+//                          earlier entries (pairwise containment), route
+//                          redistribution cycles on the per-device process
+//                          graph.
+//
+// Severities: kError findings make the HARC abstraction untrustworthy and
+// gate the repair pipeline by default; kWarning findings are suspicious but
+// safely abstractable; kInfo findings are idioms worth surfacing (e.g. a
+// one-sided passive-interface, which is exactly how the translator tears
+// down an adjacency with a single line). The post-repair audit compares
+// error- and warning-level findings only, so info-level idioms the repair
+// itself produces do not fail the oracle.
+
+#ifndef CPR_SRC_LINT_LINT_H_
+#define CPR_SRC_LINT_LINT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/ast.h"
+
+namespace cpr::lint {
+
+enum class Severity {
+  kError,
+  kWarning,
+  kInfo,
+};
+
+const char* SeverityName(Severity severity);
+
+// One finding. `device` is the hostname the finding is attached to (the
+// device whose config should change); `path` is a stable config path inside
+// that device ("interface Ethernet0/1", "ip access-list extended BLOCK-U
+// entry 2", ...); `anchor` is a literal substring of the (canonical) config
+// text used to recover a file:line:col location best-effort.
+struct Diagnostic {
+  std::string rule;  // e.g. "ref.undefined-acl"
+  Severity severity = Severity::kWarning;
+  std::string device;
+  std::string path;
+  std::string message;
+  std::string hint;    // Fix-it suggestion; may be empty.
+  std::string anchor;  // Substring to locate the finding in config text.
+
+  // Identity for audit diffing: the same defect keeps the same key across a
+  // reprint/reparse round trip.
+  std::string Key() const { return rule + "|" + device + "|" + path; }
+
+  // "error: [ref.undefined-acl] A: interface Ethernet0/1: ACL 'X' ..."
+  std::string ToString() const;
+};
+
+struct Options {
+  bool reference_rules = true;
+  bool topology_rules = true;
+  bool deadcode_rules = true;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;  // Sorted: device, rule, path.
+  int errors = 0;
+  int warnings = 0;
+  int infos = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+// Runs every enabled pass over the configuration set. Topology passes see
+// all configs at once; reference and dead-code passes are per-device.
+Report Run(const std::vector<Config>& configs, const Options& options = {});
+
+// The translator audit: findings present in `after` but not in `before`
+// (multiset difference on Diagnostic::Key), restricted to error- and
+// warning-severity findings. A correct translation returns an empty vector.
+std::vector<Diagnostic> NewFindings(const Report& before, const Report& after);
+
+// Every rule id the linter can emit, sorted — the documentation and the
+// per-rule test fixtures are checked against this list.
+std::vector<std::string> RuleCatalog();
+
+// Best-effort source location of `diagnostic` inside one device's config
+// text: the first line containing the diagnostic's anchor. Returns 1-based
+// {line, col} or nullopt when the anchor does not appear (e.g. the text is
+// not the canonical print of the config).
+std::optional<std::pair<int, int>> Locate(std::string_view config_text,
+                                          const Diagnostic& diagnostic);
+
+}  // namespace cpr::lint
+
+#endif  // CPR_SRC_LINT_LINT_H_

@@ -38,6 +38,9 @@ enum class RepairStatus {
   kTimeout,       // A problem hit the solver time limit.
   kUnsupported,   // Backend cannot express the problem (PC4 on internal).
   kError,         // A backend failed internally (e.g. threw an exception).
+  kLintRejected,  // The pre-repair lint gate found error-severity findings;
+                  // the configurations cannot be trusted to abstract
+                  // correctly (override with LintMode::kWarnOnly).
 };
 
 inline const char* RepairStatusName(RepairStatus status) {
@@ -56,6 +59,8 @@ inline const char* RepairStatusName(RepairStatus status) {
       return "unsupported";
     case RepairStatus::kError:
       return "error";
+    case RepairStatus::kLintRejected:
+      return "lint-rejected";
   }
   return "?";
 }
@@ -98,6 +103,11 @@ struct RepairStats {
   std::vector<ProblemReport> problem_reports;
   // Sum of per-problem solver counters across all problem reports.
   std::vector<std::pair<std::string, double>> solver_counter_totals;
+  // Filled by the core pipeline's lint gate and post-translate audit (all
+  // zero when linting is disabled); see lint/lint.h.
+  int lint_errors = 0;
+  int lint_warnings = 0;
+  int lint_audit_new_findings = 0;
 };
 
 struct RepairOutcome {

@@ -299,6 +299,26 @@ class Patcher {
         list.entries.push_back(
             PrefixListEntry{true, Ipv4Prefix(Ipv4Address(0), 0), true});
       }
+      // Prefer dropping an exact permit for dst when removal alone blocks it:
+      // a front deny would leave that permit as dead (shadowed) configuration.
+      for (size_t i = 0; i < list.entries.size(); ++i) {
+        if (!list.entries[i].Matches(dst)) {
+          continue;
+        }
+        if (list.entries[i].permit && list.entries[i].prefix == dst &&
+            !list.entries[i].le32) {
+          PrefixListEntry removed = list.entries[i];
+          list.entries.erase(list.entries.begin() + static_cast<ptrdiff_t>(i));
+          if (!list.Permits(dst)) {
+            Log(NameOf(proc.device) + ": remove permit " + dst.ToString() +
+                " from prefix-list " + list.name);
+            return Status::Ok();
+          }
+          list.entries.insert(list.entries.begin() + static_cast<ptrdiff_t>(i),
+                              removed);
+        }
+        break;
+      }
       list.entries.insert(list.entries.begin(), PrefixListEntry{false, dst, false});
       Log(NameOf(proc.device) + ": deny " + dst.ToString() + " in prefix-list " +
           list.name);
@@ -434,6 +454,26 @@ class Patcher {
     if (block) {
       if (!acl.Permits(tc)) {
         return;  // Already blocked here.
+      }
+      // Prefer dropping an exact permit for tc when removal alone blocks it:
+      // a front deny would leave that permit as dead (shadowed) configuration.
+      for (size_t i = 0; i < acl.entries.size(); ++i) {
+        if (!acl.entries[i].Matches(tc)) {
+          continue;
+        }
+        if (acl.entries[i].permit && acl.entries[i].src == tc.src() &&
+            acl.entries[i].dst == tc.dst()) {
+          AclEntry removed = acl.entries[i];
+          acl.entries.erase(acl.entries.begin() + static_cast<ptrdiff_t>(i));
+          if (!acl.Permits(tc)) {
+            Log(NameOf(device) + ": remove permit " + tc.ToString() + " from " +
+                acl.name);
+            return;
+          }
+          acl.entries.insert(acl.entries.begin() + static_cast<ptrdiff_t>(i),
+                             removed);
+        }
+        break;
       }
       acl.entries.insert(acl.entries.begin(), AclEntry{false, tc.src(), tc.dst()});
       Log(NameOf(device) + ": deny " + tc.ToString() + " in " + acl.name);

@@ -1,0 +1,202 @@
+#include "workload/dirty.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "config/ast.h"
+#include "config/parser.h"
+#include "config/printer.h"
+
+namespace cpr {
+
+namespace {
+
+// Deterministic device picker (LCG; std::mt19937 would also do, but the
+// stream only needs to be stable and cheap).
+class Picker {
+ public:
+  explicit Picker(unsigned seed) : state_(seed * 2654435761u + 1) {}
+
+  size_t Next(size_t bound) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return static_cast<size_t>(state_ >> 8) % bound;
+  }
+
+ private:
+  unsigned state_;
+};
+
+InterfaceConfig* LiveInterface(Config& config) {
+  for (InterfaceConfig& intf : config.interfaces) {
+    if (!intf.shutdown && intf.address.has_value()) {
+      return &intf;
+    }
+  }
+  return nullptr;
+}
+
+bool PlantUndefinedAclRef(Config& config, int i) {
+  InterfaceConfig* intf = LiveInterface(config);
+  if (intf == nullptr || intf->acl_in.has_value()) {
+    return false;
+  }
+  intf->acl_in = "LINT-MISSING-" + std::to_string(i);
+  return true;
+}
+
+bool PlantUnusedAcl(Config& config, int i) {
+  std::string name = "LINT-UNUSED-" + std::to_string(i);
+  AccessList& acl = config.access_lists[name];
+  acl.name = name;
+  acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+  return true;
+}
+
+// An applied ACL whose second entry is shadowed by a leading permit-any; the
+// filter still permits everything, so the network's behavior is unchanged.
+bool PlantShadowedAclEntry(Config& config, int i) {
+  InterfaceConfig* intf = LiveInterface(config);
+  if (intf == nullptr || intf->acl_out.has_value()) {
+    return false;
+  }
+  std::string name = "LINT-SHADOW-" + std::to_string(i);
+  AccessList& acl = config.access_lists[name];
+  acl.name = name;
+  acl.entries.push_back(AclEntry{true, std::nullopt, std::nullopt});
+  acl.entries.push_back(
+      AclEntry{false, Ipv4Prefix(Ipv4Address(198, 51, 100, 0), 24), std::nullopt});
+  intf->acl_out = name;
+  return true;
+}
+
+// TEST-NET-1 destination via a TEST-NET-3 next hop no connected subnet covers.
+bool PlantStaticBlackhole(Config& config, int i) {
+  config.static_routes.push_back(
+      StaticRouteConfig{Ipv4Prefix(Ipv4Address(192, 0, 2, static_cast<uint8_t>(i % 256)), 32),
+                        Ipv4Address(203, 0, 113, static_cast<uint8_t>(1 + i % 250)), 1});
+  return true;
+}
+
+// Re-uses a neighbor's interface address as a /32 on this device.
+bool PlantDuplicateIp(std::vector<Config>& configs, size_t victim, int i) {
+  for (size_t d = 0; d < configs.size(); ++d) {
+    if (d == victim) {
+      continue;
+    }
+    InterfaceConfig* source = LiveInterface(configs[d]);
+    if (source == nullptr) {
+      continue;
+    }
+    InterfaceConfig clone;
+    clone.name = "LintDup" + std::to_string(i);
+    clone.address = InterfaceAddress{source->address->ip, 32};
+    configs[victim].interfaces.push_back(clone);
+    return true;
+  }
+  return false;
+}
+
+// Mutual OSPF <-> RIP redistribution (adds an empty RIP process if needed).
+bool PlantRedistributionCycle(Config& config) {
+  if (config.ospf_processes.empty()) {
+    return false;
+  }
+  OspfConfig& ospf = config.ospf_processes.front();
+  if (!config.rip.has_value()) {
+    config.rip = RipConfig{};
+  }
+  Redistribution from_rip{RouteSource::kRip, 0};
+  Redistribution from_ospf{RouteSource::kOspf, ospf.process_id};
+  bool planted = false;
+  if (std::find(ospf.redistributes.begin(), ospf.redistributes.end(), from_rip) ==
+      ospf.redistributes.end()) {
+    ospf.redistributes.push_back(from_rip);
+    planted = true;
+  }
+  if (std::find(config.rip->redistributes.begin(), config.rip->redistributes.end(),
+                from_ospf) == config.rip->redistributes.end()) {
+    config.rip->redistributes.push_back(from_ospf);
+    planted = true;
+  }
+  return planted;
+}
+
+bool PlantUnknownPassiveInterface(Config& config, int i) {
+  if (config.ospf_processes.empty()) {
+    return false;
+  }
+  return config.ospf_processes.front()
+      .passive_interfaces.insert("LintGhost" + std::to_string(i))
+      .second;
+}
+
+}  // namespace
+
+DirtyOptions DirtyOptions::Mix(int n, unsigned seed) {
+  DirtyOptions options;
+  options.seed = seed;
+  int* counts[] = {&options.undefined_acl_refs,         &options.static_blackholes,
+                   &options.duplicate_ips,              &options.unused_acls,
+                   &options.shadowed_acl_entries,       &options.redistribution_cycles,
+                   &options.unknown_passive_interfaces};
+  for (int i = 0; i < n; ++i) {
+    ++*counts[i % (sizeof(counts) / sizeof(counts[0]))];
+  }
+  return options;
+}
+
+Result<int> SeedLintDefects(std::vector<std::string>* configs,
+                            const DirtyOptions& options) {
+  if (configs == nullptr || configs->empty()) {
+    return Error("no configurations to dirty");
+  }
+  std::vector<Config> parsed;
+  parsed.reserve(configs->size());
+  for (size_t i = 0; i < configs->size(); ++i) {
+    Result<Config> config = ParseConfig((*configs)[i]);
+    if (!config.ok()) {
+      return Error("config " + std::to_string(i) + ": " + config.error().message());
+    }
+    parsed.push_back(std::move(config).value());
+  }
+
+  Picker picker(options.seed);
+  int planted = 0;
+  int serial = 0;
+  // Each planting gets a bounded number of device draws: a kind no device
+  // can host is skipped rather than looping forever.
+  auto plant = [&](int count, auto&& try_plant) {
+    for (int i = 0; i < count; ++i) {
+      ++serial;
+      for (size_t attempt = 0; attempt < parsed.size(); ++attempt) {
+        size_t device = picker.Next(parsed.size());
+        if (try_plant(device, serial)) {
+          ++planted;
+          break;
+        }
+      }
+    }
+  };
+
+  plant(options.undefined_acl_refs,
+        [&](size_t d, int i) { return PlantUndefinedAclRef(parsed[d], i); });
+  plant(options.unused_acls, [&](size_t d, int i) { return PlantUnusedAcl(parsed[d], i); });
+  plant(options.shadowed_acl_entries,
+        [&](size_t d, int i) { return PlantShadowedAclEntry(parsed[d], i); });
+  plant(options.static_blackholes,
+        [&](size_t d, int i) { return PlantStaticBlackhole(parsed[d], i); });
+  plant(options.duplicate_ips,
+        [&](size_t d, int i) { return PlantDuplicateIp(parsed, d, i); });
+  plant(options.redistribution_cycles,
+        [&](size_t d, int) { return PlantRedistributionCycle(parsed[d]); });
+  plant(options.unknown_passive_interfaces,
+        [&](size_t d, int i) { return PlantUnknownPassiveInterface(parsed[d], i); });
+
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    (*configs)[i] = PrintConfig(parsed[i]);
+  }
+  return planted;
+}
+
+}  // namespace cpr

@@ -1,0 +1,55 @@
+// Dirty-config generator: seeds clean configurations with a controllable
+// mix of lintable defects (lint/lint.h rule catalog). Used to exercise the
+// lint gate end-to-end — `cpr gen --dirty N` produces config directories
+// the linter must reject — and to size lint throughput benches.
+
+#ifndef CPR_SRC_WORKLOAD_DIRTY_H_
+#define CPR_SRC_WORKLOAD_DIRTY_H_
+
+#include <string>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace cpr {
+
+// How many defects of each kind to seed. Each count maps to one lint rule:
+//
+//   undefined_acl_refs          ref.undefined-acl            (error)
+//   static_blackholes           ref.static-nexthop-unreachable (error)
+//   duplicate_ips               topo.duplicate-ip            (error)
+//   unused_acls                 ref.unused-acl               (warning)
+//   shadowed_acl_entries        dead.shadowed-acl-entry      (warning)
+//   redistribution_cycles       dead.redistribution-cycle    (warning)
+//   unknown_passive_interfaces  ref.unknown-passive-interface (warning)
+struct DirtyOptions {
+  unsigned seed = 1;
+  int undefined_acl_refs = 0;
+  int unused_acls = 0;
+  int shadowed_acl_entries = 0;
+  int static_blackholes = 0;
+  int duplicate_ips = 0;
+  int redistribution_cycles = 0;
+  int unknown_passive_interfaces = 0;
+
+  // Spreads `n` defects round-robin over the seven kinds (deterministic).
+  static DirtyOptions Mix(int n, unsigned seed);
+
+  int Total() const {
+    return undefined_acl_refs + unused_acls + shadowed_acl_entries +
+           static_blackholes + duplicate_ips + redistribution_cycles +
+           unknown_passive_interfaces;
+  }
+};
+
+// Parses each config, mutates the ASTs to plant the requested defects, and
+// reprints in place. Devices are chosen pseudo-randomly from `seed`. Returns
+// the number of defects actually planted — a kind that no device can host
+// (e.g. a redistribution cycle in an OSPF-free network) is skipped, so the
+// result can be below DirtyOptions::Total().
+Result<int> SeedLintDefects(std::vector<std::string>* configs,
+                            const DirtyOptions& options);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_WORKLOAD_DIRTY_H_

@@ -1,0 +1,716 @@
+// Tests for cpr::lint — one fixture per rule (dirty config triggers exactly
+// the expected rule; the clean baseline is silent), audit (NewFindings)
+// semantics, parser line/column diagnostics, the pipeline lint gate, the
+// post-translate audit on the example and workload scenarios, and the dirty
+// workload generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/parser.h"
+#include "config/printer.h"
+#include "core/cpr.h"
+#include "lint/lint.h"
+#include "tests/example_network.h"
+#include "workload/datacenter.h"
+#include "workload/dirty.h"
+#include "workload/fattree.h"
+
+namespace cpr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture helpers
+// ---------------------------------------------------------------------------
+
+std::vector<Config> ParseAll(const std::vector<std::string>& texts) {
+  std::vector<Config> configs;
+  for (const std::string& text : texts) {
+    Result<Config> config = ParseConfig(text);
+    EXPECT_TRUE(config.ok()) << (config.ok() ? "" : config.error().message());
+    if (config.ok()) {
+      configs.push_back(std::move(config).value());
+    }
+  }
+  return configs;
+}
+
+lint::Report LintTexts(const std::vector<std::string>& texts) {
+  return lint::Run(ParseAll(texts));
+}
+
+std::set<std::string> RulesIn(const lint::Report& report) {
+  std::set<std::string> rules;
+  for (const lint::Diagnostic& d : report.diagnostics) {
+    rules.insert(d.rule);
+  }
+  return rules;
+}
+
+// Minimal clean pair: one OSPF adjacency on 10.0.0.0/24, one host subnet per
+// router. Every per-rule fixture is a mutation of these two.
+const char* kCleanR1 = R"(hostname R1
+!
+interface eth0
+ ip address 10.0.0.1/24
+!
+interface eth1
+ ip address 10.1.0.1/24
+!
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+
+const char* kCleanR2 = R"(hostname R2
+!
+interface eth0
+ ip address 10.0.0.2/24
+!
+interface eth1
+ ip address 10.2.0.1/24
+!
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+
+TEST(LintBaselineTest, CleanPairIsSilent) {
+  lint::Report report = LintTexts({kCleanR1, kCleanR2});
+  EXPECT_TRUE(report.clean())
+      << (report.diagnostics.empty() ? "" : report.diagnostics.front().ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Reference-resolution rules
+// ---------------------------------------------------------------------------
+
+TEST(LintRuleTest, UndefinedAcl) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+ ip access-group GHOST in
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.undefined-acl"});
+  ASSERT_EQ(report.errors, 1);
+  EXPECT_EQ(report.diagnostics.front().device, "R1");
+
+  const char* fixed = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+ ip access-group GHOST in
+interface eth1
+ ip address 10.1.0.1/24
+ip access-list extended GHOST
+ permit ip any any
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+TEST(LintRuleTest, UnusedAcl) {
+  std::string dirty = std::string(kCleanR1) + R"(ip access-list extended LONELY
+ permit ip any any
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.unused-acl"});
+  EXPECT_EQ(report.warnings, 1);
+}
+
+TEST(LintRuleTest, UndefinedPrefixList) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+ distribute-list prefix NOPE
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.undefined-prefix-list"});
+  EXPECT_EQ(report.errors, 1);
+
+  const char* fixed = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+ip prefix-list NOPE permit 0.0.0.0/0 le 32
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+ distribute-list prefix NOPE
+)";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+TEST(LintRuleTest, UnusedPrefixList) {
+  std::string dirty = std::string(kCleanR1) + "ip prefix-list LONELY permit 10.0.0.0/8\n";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.unused-prefix-list"});
+  EXPECT_EQ(report.warnings, 1);
+}
+
+TEST(LintRuleTest, StaticNexthopUnreachable) {
+  std::string dirty = std::string(kCleanR1) + "ip route 192.0.2.0/24 203.0.113.1\n";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.static-nexthop-unreachable"});
+  EXPECT_EQ(report.errors, 1);
+
+  // Next hop inside eth0's subnet: fine.
+  std::string fixed = std::string(kCleanR1) + "ip route 192.0.2.0/24 10.0.0.2\n";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+TEST(LintRuleTest, UnknownPassiveInterface) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ passive-interface ghost9
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"ref.unknown-passive-interface"});
+  EXPECT_EQ(report.warnings, 1);
+
+  const char* fixed = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ passive-interface eth1
+ network 10.0.0.0/24 area 0
+)";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+// ---------------------------------------------------------------------------
+// Topology-consistency rules
+// ---------------------------------------------------------------------------
+
+TEST(LintRuleTest, DuplicateIp) {
+  const char* dirty = R"(hostname R2
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.2.0.1/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({kCleanR1, dirty});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.duplicate-ip"});
+  EXPECT_EQ(report.errors, 1);
+}
+
+TEST(LintRuleTest, SharedSubnet) {
+  // Three attachments to 10.0.0.0/24 (R1 gains a second one).
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+interface eth2
+ ip address 10.0.0.5/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.shared-subnet"});
+  EXPECT_EQ(report.errors, 1);
+
+  // Two interfaces of the SAME router: also flagged.
+  const char* same_device = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.0.0.9/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report solo = LintTexts({same_device});
+  EXPECT_EQ(RulesIn(solo), std::set<std::string>{"topo.shared-subnet"});
+}
+
+TEST(LintRuleTest, SubnetMismatch) {
+  // R2's end of the link uses /30: the prefixes overlap but differ, so the
+  // topo layer derives no link at all.
+  const char* dirty = R"(hostname R2
+interface eth0
+ ip address 10.0.0.2/30
+interface eth1
+ ip address 10.2.0.1/24
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({kCleanR1, dirty});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.subnet-mismatch"});
+  EXPECT_EQ(report.errors, 1);
+}
+
+TEST(LintRuleTest, OspfAdjacencyMismatch) {
+  // R2's OSPF network statement no longer covers the link interface.
+  const char* dirty = R"(hostname R2
+interface eth0
+ ip address 10.0.0.2/24
+interface eth1
+ ip address 10.2.0.1/24
+router ospf 1
+ redistribute connected
+ network 10.2.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({kCleanR1, dirty});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.ospf-adjacency-mismatch"});
+  EXPECT_EQ(report.warnings, 1);
+  EXPECT_EQ(report.diagnostics.front().device, "R2");
+}
+
+TEST(LintRuleTest, OspfPassiveMismatchIsInfo) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ passive-interface eth0
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.ospf-passive-mismatch"});
+  ASSERT_EQ(report.infos, 1);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.warnings, 0);
+  EXPECT_EQ(report.diagnostics.front().severity, lint::Severity::kInfo);
+}
+
+TEST(LintRuleTest, BgpNeighborUnknown) {
+  std::string dirty = std::string(kCleanR1) + R"(router bgp 100
+ neighbor 10.0.0.9 remote-as 200
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.bgp-neighbor-unknown"});
+  EXPECT_EQ(report.warnings, 1);
+
+  // The address exists but its owner runs no BGP: same rule.
+  std::string peerless = std::string(kCleanR1) + R"(router bgp 100
+ neighbor 10.0.0.2 remote-as 200
+)";
+  lint::Report peerless_report = LintTexts({peerless, kCleanR2});
+  EXPECT_EQ(RulesIn(peerless_report), std::set<std::string>{"topo.bgp-neighbor-unknown"});
+}
+
+TEST(LintRuleTest, BgpAsnMismatch) {
+  std::string r1 = std::string(kCleanR1) + R"(router bgp 100
+ neighbor 10.0.0.2 remote-as 300
+)";
+  std::string r2 = std::string(kCleanR2) + R"(router bgp 200
+ neighbor 10.0.0.1 remote-as 100
+)";
+  lint::Report report = LintTexts({r1, r2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"topo.bgp-asn-mismatch"});
+  ASSERT_EQ(report.errors, 1);
+  EXPECT_EQ(report.diagnostics.front().device, "R1");
+
+  std::string r1_fixed = std::string(kCleanR1) + R"(router bgp 100
+ neighbor 10.0.0.2 remote-as 200
+)";
+  EXPECT_TRUE(LintTexts({r1_fixed, r2}).clean());
+}
+
+// ---------------------------------------------------------------------------
+// Dead-code rules
+// ---------------------------------------------------------------------------
+
+TEST(LintRuleTest, ShadowedAclEntry) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+ ip access-group FILTER in
+interface eth1
+ ip address 10.1.0.1/24
+ip access-list extended FILTER
+ permit ip any any
+ deny ip 10.9.0.0/16 any
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"dead.shadowed-acl-entry"});
+  EXPECT_EQ(report.warnings, 1);
+
+  // Specific entry first: nothing is shadowed.
+  const char* fixed = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+ ip access-group FILTER in
+interface eth1
+ ip address 10.1.0.1/24
+ip access-list extended FILTER
+ deny ip 10.9.0.0/16 any
+ permit ip any any
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+)";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+TEST(LintRuleTest, ShadowedPrefixListEntry) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+ip prefix-list PL permit 10.0.0.0/8 le 32
+ip prefix-list PL deny 10.9.0.0/16
+router ospf 1
+ redistribute connected
+ network 10.0.0.0/24 area 0
+ distribute-list prefix PL
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"dead.shadowed-prefix-list-entry"});
+  EXPECT_EQ(report.warnings, 1);
+}
+
+TEST(LintRuleTest, RedistributionCycle) {
+  const char* dirty = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ redistribute rip
+ network 10.0.0.0/24 area 0
+router rip
+ redistribute ospf 1
+)";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_EQ(RulesIn(report), std::set<std::string>{"dead.redistribution-cycle"});
+  EXPECT_EQ(report.warnings, 1);
+
+  // One-directional redistribution: no cycle.
+  const char* fixed = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ redistribute rip
+ network 10.0.0.0/24 area 0
+router rip
+)";
+  EXPECT_TRUE(LintTexts({fixed, kCleanR2}).clean());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog, audit semantics, locations
+// ---------------------------------------------------------------------------
+
+TEST(LintCatalogTest, SixteenRulesAcrossThreeFamilies) {
+  std::vector<std::string> catalog = lint::RuleCatalog();
+  EXPECT_EQ(catalog.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end()));
+  int ref = 0, topo = 0, dead = 0;
+  for (const std::string& rule : catalog) {
+    ref += rule.rfind("ref.", 0) == 0;
+    topo += rule.rfind("topo.", 0) == 0;
+    dead += rule.rfind("dead.", 0) == 0;
+  }
+  EXPECT_GE(ref, 3);
+  EXPECT_GE(topo, 3);
+  EXPECT_GE(dead, 2);
+  EXPECT_EQ(ref + topo + dead, static_cast<int>(catalog.size()));
+}
+
+TEST(LintAuditTest, IdenticalReportsHaveNoNewFindings) {
+  std::string dirty = std::string(kCleanR1) + "ip route 192.0.2.0/24 203.0.113.1\n";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  EXPECT_TRUE(lint::NewFindings(report, report).empty());
+}
+
+TEST(LintAuditTest, FreshFindingIsReported) {
+  lint::Report before = LintTexts({kCleanR1, kCleanR2});
+  std::string dirty = std::string(kCleanR1) + "ip route 192.0.2.0/24 203.0.113.1\n";
+  lint::Report after = LintTexts({dirty, kCleanR2});
+  std::vector<lint::Diagnostic> fresh = lint::NewFindings(before, after);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh.front().rule, "ref.static-nexthop-unreachable");
+}
+
+TEST(LintAuditTest, InfoFindingsNeverFailTheAudit) {
+  lint::Report before = LintTexts({kCleanR1, kCleanR2});
+  // A one-sided passive-interface is the translator's own adjacency-teardown
+  // idiom; it must not count as a regression.
+  const char* patched = R"(hostname R1
+interface eth0
+ ip address 10.0.0.1/24
+interface eth1
+ ip address 10.1.0.1/24
+router ospf 1
+ redistribute connected
+ passive-interface eth0
+ network 10.0.0.0/24 area 0
+)";
+  lint::Report after = LintTexts({patched, kCleanR2});
+  EXPECT_EQ(after.infos, 1);
+  EXPECT_TRUE(lint::NewFindings(before, after).empty());
+}
+
+TEST(LintLocateTest, AnchorsResolveToLineAndColumn) {
+  std::string dirty = std::string(kCleanR1) + "ip route 192.0.2.0/24 203.0.113.1\n";
+  lint::Report report = LintTexts({dirty, kCleanR2});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  auto pos = lint::Locate(dirty, report.diagnostics.front());
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_GT(pos->first, 1);
+  EXPECT_EQ(pos->second, 1);  // The route line starts at column 1.
+  // A text the anchor does not appear in yields nullopt, not a bogus hit.
+  EXPECT_FALSE(lint::Locate(kCleanR2, report.diagnostics.front()).has_value());
+}
+
+TEST(ParserDetailTest, ErrorsCarryLineAndColumn) {
+  ParseErrorDetail detail;
+  Result<Config> parsed =
+      ParseConfig("hostname X\ninterface eth0\n ip address banana/24\n", &detail);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(detail.line, 3);
+  EXPECT_EQ(detail.col, 13);  // Column of "banana".
+  EXPECT_FALSE(detail.message.empty());
+  // The formatted message leads with line:col.
+  EXPECT_NE(parsed.error().message().find("line 3:13"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline gate
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ExampleTextsWithDanglingAcl() {
+  std::string broken_a = kExampleConfigA;
+  size_t pos = broken_a.find(" ip address 10.0.1.1/24\n");
+  broken_a.insert(pos + std::string(" ip address 10.0.1.1/24\n").size(),
+                  " ip access-group GHOST in\n");
+  return {broken_a, kExampleConfigB, kExampleConfigC};
+}
+
+class LintGateTest : public ::testing::Test {
+ protected:
+  Cpr Build(const std::vector<std::string>& texts) {
+    NetworkAnnotations annotations;
+    annotations.waypoint_links.insert({"B", "C"});
+    Result<Cpr> built = Cpr::FromConfigTexts(texts, std::move(annotations));
+    if (!built.ok()) {
+      throw std::runtime_error(built.error().message());
+    }
+    return std::move(built).value();
+  }
+
+  std::vector<Policy> Policies(const Cpr& cpr) {
+    SubnetId s = *cpr.network().FindSubnet(*Ipv4Prefix::Parse("10.2.0.0/16"));
+    SubnetId u = *cpr.network().FindSubnet(*Ipv4Prefix::Parse("10.30.0.0/16"));
+    SubnetId t = *cpr.network().FindSubnet(*Ipv4Prefix::Parse("10.20.0.0/16"));
+    return {Policy::AlwaysBlocked(s, u), Policy::AlwaysWaypoint(s, t)};
+  }
+};
+
+TEST_F(LintGateTest, GateRejectsDanglingAclByDefault) {
+  Cpr cpr = Build(ExampleTextsWithDanglingAcl());
+  Result<CprReport> report = cpr.Repair(Policies(cpr), CprOptions{});
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  EXPECT_EQ(report->status, RepairStatus::kLintRejected);
+  EXPECT_GE(report->stats.lint_errors, 1);
+  EXPECT_TRUE(report->patched_configs.empty());
+  EXPECT_FALSE(report->Sound());
+}
+
+TEST_F(LintGateTest, WarnOnlyProceedsAndRecordsCounts) {
+  Cpr cpr = Build(ExampleTextsWithDanglingAcl());
+  CprOptions options;
+  options.lint_mode = LintMode::kWarnOnly;
+  options.simulator_failure_cap = 3;
+  Result<CprReport> report = cpr.Repair(Policies(cpr), options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  EXPECT_NE(report->status, RepairStatus::kLintRejected);
+  EXPECT_GE(report->stats.lint_errors, 1);
+}
+
+TEST_F(LintGateTest, OffReproducesUnlintedBehavior) {
+  Cpr dirty = Build(ExampleTextsWithDanglingAcl());
+  CprOptions off;
+  off.lint_mode = LintMode::kOff;
+  off.simulator_failure_cap = 3;
+  Result<CprReport> dirty_report = dirty.Repair(Policies(dirty), off);
+  ASSERT_TRUE(dirty_report.ok());
+  EXPECT_TRUE(dirty_report->lint_report.diagnostics.empty());
+  EXPECT_EQ(dirty_report->stats.lint_errors, 0);
+
+  // The dangling ACL permits everything, so with the gate off the repair
+  // behaves exactly like the clean example.
+  Cpr clean = Build({kExampleConfigA, kExampleConfigB, kExampleConfigC});
+  Result<CprReport> clean_report = clean.Repair(Policies(clean), off);
+  ASSERT_TRUE(clean_report.ok());
+  EXPECT_EQ(dirty_report->status, clean_report->status);
+  EXPECT_EQ(dirty_report->lines_changed, clean_report->lines_changed);
+}
+
+TEST_F(LintGateTest, CleanConfigsPassTheGate) {
+  Cpr cpr = Build({kExampleConfigA, kExampleConfigB, kExampleConfigC});
+  CprOptions options;
+  options.simulator_failure_cap = 3;
+  Result<CprReport> report = cpr.Repair(Policies(cpr), options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  EXPECT_NE(report->status, RepairStatus::kLintRejected);
+  EXPECT_EQ(report->stats.lint_errors, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Post-translate audit
+// ---------------------------------------------------------------------------
+
+TEST(LintTranslateAuditTest, PaperExampleRepairIntroducesNoFindings) {
+  NetworkAnnotations annotations;
+  annotations.waypoint_links.insert({"B", "C"});
+  Result<Cpr> cpr = Cpr::FromConfigTexts(
+      {kExampleConfigA, kExampleConfigB, kExampleConfigC}, std::move(annotations));
+  ASSERT_TRUE(cpr.ok());
+  SubnetId s = *cpr->network().FindSubnet(*Ipv4Prefix::Parse("10.2.0.0/16"));
+  SubnetId t = *cpr->network().FindSubnet(*Ipv4Prefix::Parse("10.20.0.0/16"));
+  SubnetId u = *cpr->network().FindSubnet(*Ipv4Prefix::Parse("10.30.0.0/16"));
+  CprOptions options;
+  options.simulator_failure_cap = 3;
+  Result<CprReport> report = cpr->Repair(
+      {Policy::AlwaysBlocked(s, u), Policy::AlwaysWaypoint(s, t),
+       Policy::Reachability(s, t, 2)},
+      options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_EQ(report->status, RepairStatus::kSuccess);
+  EXPECT_TRUE(report->lint_new_findings.empty())
+      << report->lint_new_findings.front().ToString();
+  EXPECT_EQ(report->stats.lint_audit_new_findings, 0);
+}
+
+TEST(LintTranslateAuditTest, FatTreeRepairIntroducesNoFindings) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 4, 11);
+  Result<Cpr> cpr = Cpr::FromConfigTexts(scenario.broken_configs, scenario.annotations);
+  ASSERT_TRUE(cpr.ok()) << (cpr.ok() ? "" : cpr.error().message());
+  CprOptions options;
+  options.validate_with_simulator = false;
+  Result<CprReport> report = cpr->Repair(scenario.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_NE(report->status, RepairStatus::kLintRejected);
+  EXPECT_TRUE(report->lint_new_findings.empty())
+      << report->lint_new_findings.front().ToString();
+}
+
+TEST(LintTranslateAuditTest, DatacenterRepairIntroducesNoFindings) {
+  DatacenterNetwork network = GenerateDatacenterNetwork(3, 2017, 0.25);
+  Result<Cpr> cpr = Cpr::FromConfigTexts(network.broken_configs, network.annotations);
+  ASSERT_TRUE(cpr.ok()) << (cpr.ok() ? "" : cpr.error().message());
+  CprOptions options;
+  options.validate_with_simulator = false;
+  Result<CprReport> report = cpr->Repair(network.policies, options);
+  ASSERT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message());
+  ASSERT_NE(report->status, RepairStatus::kLintRejected);
+  EXPECT_TRUE(report->lint_new_findings.empty())
+      << report->lint_new_findings.front().ToString();
+}
+
+// The gate is on by default, so the workload generators' configurations must
+// carry zero error-severity findings.
+TEST(LintWorkloadTest, GeneratedConfigsAreErrorFree) {
+  FatTreeScenario fattree = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 4, 5);
+  EXPECT_EQ(LintTexts(fattree.working_configs).errors, 0);
+  EXPECT_EQ(LintTexts(fattree.broken_configs).errors, 0);
+  DatacenterNetwork dc = GenerateDatacenterNetwork(0, 2017, 0.25);
+  EXPECT_EQ(LintTexts(dc.broken_configs).errors, 0);
+  EXPECT_EQ(LintTexts(dc.handfixed_configs).errors, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Dirty generator
+// ---------------------------------------------------------------------------
+
+TEST(DirtyWorkloadTest, MixSpreadsTheRequestedTotal) {
+  EXPECT_EQ(DirtyOptions::Mix(14, 3).Total(), 14);
+  EXPECT_EQ(DirtyOptions::Mix(3, 3).Total(), 3);
+  DirtyOptions mix = DirtyOptions::Mix(7, 1);
+  EXPECT_EQ(mix.undefined_acl_refs, 1);
+  EXPECT_EQ(mix.unknown_passive_interfaces, 1);
+}
+
+TEST(DirtyWorkloadTest, SeededDefectsAreDetectable) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 0, 9);
+  std::vector<std::string> configs = scenario.working_configs;
+  ASSERT_EQ(LintTexts(configs).errors, 0);
+
+  Result<int> planted = SeedLintDefects(&configs, DirtyOptions::Mix(14, 9));
+  ASSERT_TRUE(planted.ok()) << (planted.ok() ? "" : planted.error().message());
+  EXPECT_EQ(*planted, 14);
+
+  lint::Report report = LintTexts(configs);
+  EXPECT_GT(report.errors, 0);
+  EXPECT_GT(report.warnings, 0);
+  std::set<std::string> rules = RulesIn(report);
+  EXPECT_TRUE(rules.count("ref.undefined-acl"));
+  EXPECT_TRUE(rules.count("ref.static-nexthop-unreachable"));
+  EXPECT_TRUE(rules.count("topo.duplicate-ip"));
+  EXPECT_TRUE(rules.count("ref.unused-acl"));
+  EXPECT_TRUE(rules.count("dead.shadowed-acl-entry"));
+  EXPECT_TRUE(rules.count("dead.redistribution-cycle"));
+  EXPECT_TRUE(rules.count("ref.unknown-passive-interface"));
+}
+
+TEST(DirtyWorkloadTest, TargetedDefectBlocksTheGate) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 2, 13);
+  std::vector<std::string> configs = scenario.broken_configs;
+  DirtyOptions options;
+  options.seed = 13;
+  options.undefined_acl_refs = 2;
+  Result<int> planted = SeedLintDefects(&configs, options);
+  ASSERT_TRUE(planted.ok());
+  ASSERT_EQ(*planted, 2);
+
+  Result<Cpr> cpr = Cpr::FromConfigTexts(configs, scenario.annotations);
+  ASSERT_TRUE(cpr.ok()) << (cpr.ok() ? "" : cpr.error().message());
+  CprOptions gate;
+  gate.validate_with_simulator = false;
+  Result<CprReport> report = cpr->Repair(scenario.policies, gate);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, RepairStatus::kLintRejected);
+
+  CprOptions off;
+  off.lint_mode = LintMode::kOff;
+  off.validate_with_simulator = false;
+  Result<CprReport> off_report = cpr->Repair(scenario.policies, off);
+  ASSERT_TRUE(off_report.ok());
+  EXPECT_NE(off_report->status, RepairStatus::kLintRejected);
+}
+
+}  // namespace
+}  // namespace cpr

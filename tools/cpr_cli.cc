@@ -1,6 +1,8 @@
 // cpr — command line interface to Control Plane Repair.
 //
 //   cpr show     <config-dir>                      topology summary
+//   cpr lint     <config-dir> [--json]             static analysis findings
+//                                                  (exit 1 on errors)
 //   cpr infer    <config-dir>                      print satisfied policies
 //   cpr verify   <config-dir> <policy-file>        check policies (exit 1 on
 //                                                  violations)
@@ -9,6 +11,9 @@
 //       [--threads N] [--timeout SECONDS] [--deadline SECONDS]
 //       [--max-retries N] [--no-failover] [--no-partial]
 //       [--inject-fault SPEC] [--out DIR] [--no-simulate]
+//       [--lint error|warn|off]
+//   cpr gen      <out-dir> --fattree PORTS [--dirty N] [--seed S]
+//                                                  write synthetic configs
 //
 // A config directory holds one file per router (any extension); the policy
 // file uses the format documented in core/policy_spec.h.
@@ -20,19 +25,25 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "config/parser.h"
 #include "config/printer.h"
 #include "core/cpr.h"
 #include "core/policy_spec.h"
 #include "core/stats_report.h"
+#include "lint/lint.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "simulate/simulator.h"
 #include "verify/checker.h"
+#include "workload/dirty.h"
+#include "workload/fattree.h"
 
 namespace {
 
@@ -41,12 +52,16 @@ namespace fs = std::filesystem;
 int Usage() {
   std::fprintf(stderr,
                "usage: cpr show|infer <config-dir> [<policy-file>]\n"
+               "       cpr lint <config-dir> [--json]\n"
                "       cpr verify|repair <config-dir> <policy-file> [options]\n"
+               "       cpr gen <out-dir> --fattree PORTS [--dirty N] [--seed S]\n"
                "options: --granularity perdst|alltcs  --backend z3|internal\n"
                "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n"
                "         --stats-json PATH    write a machine-readable run report\n"
                "                              (stage spans, solver counters, per-\n"
                "                              problem results) to PATH\n"
+               "         --lint error|warn|off  pre-repair lint gate: refuse on\n"
+               "                              errors (default), report only, or skip\n"
                "robustness: --deadline SECONDS   total wall-clock budget\n"
                "            --max-retries N      extra attempts after a timeout\n"
                "            --no-failover        don't re-solve unsupported problems on z3\n"
@@ -67,40 +82,48 @@ cpr::Result<std::string> ReadFile(const fs::path& path) {
   return buffer.str();
 }
 
+struct ConfigDir {
+  std::vector<fs::path> paths;
+  std::vector<std::string> texts;  // Parallel to paths.
+};
+
 // Loads every regular file in the directory as a router configuration, in
 // lexicographic order (deterministic device ids).
-cpr::Result<std::vector<std::string>> LoadConfigDir(const std::string& dir) {
-  std::vector<fs::path> paths;
+cpr::Result<ConfigDir> LoadConfigDir(const std::string& dir) {
+  ConfigDir loaded;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (entry.is_regular_file()) {
-      paths.push_back(entry.path());
+      loaded.paths.push_back(entry.path());
     }
   }
   if (ec) {
     return cpr::Error("cannot list " + dir + ": " + ec.message());
   }
-  if (paths.empty()) {
+  if (loaded.paths.empty()) {
     return cpr::Error("no configuration files in " + dir);
   }
-  std::sort(paths.begin(), paths.end());
-  std::vector<std::string> texts;
-  for (const fs::path& path : paths) {
+  std::sort(loaded.paths.begin(), loaded.paths.end());
+  for (const fs::path& path : loaded.paths) {
     cpr::Result<std::string> text = ReadFile(path);
     if (!text.ok()) {
       return text.error();
     }
-    texts.push_back(std::move(text).value());
+    loaded.texts.push_back(std::move(text).value());
   }
-  return texts;
+  return loaded;
 }
 
 struct CliArgs {
   std::string command;
-  std::string config_dir;
+  std::string config_dir;  // Output directory for `gen`.
   std::string policy_file;
   std::string out_dir;
   std::string stats_json_path;  // Empty: no stats file.
+  bool json = false;            // `cpr lint --json`.
+  int fattree_ports = 0;        // `cpr gen --fattree PORTS`.
+  int dirty = 0;                // `cpr gen --dirty N` lint defects.
+  unsigned seed = 1;
   cpr::CprOptions options;
 };
 
@@ -118,7 +141,16 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
   }
   for (; next < argc; ++next) {
     std::string flag = argv[next];
+    // `--flag=value` and `--flag value` are both accepted.
+    std::optional<std::string> inline_value;
+    if (size_t eq = flag.find('='); flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+    }
     auto value = [&]() -> cpr::Result<std::string> {
+      if (inline_value.has_value()) {
+        return *inline_value;
+      }
       if (next + 1 >= argc) {
         return cpr::Error(flag + " needs a value");
       }
@@ -200,6 +232,40 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.stats_json_path = *v;
     } else if (flag == "--no-simulate") {
       args.options.validate_with_simulator = false;
+    } else if (flag == "--lint") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      if (*v == "error") {
+        args.options.lint_mode = cpr::LintMode::kGate;
+      } else if (*v == "warn") {
+        args.options.lint_mode = cpr::LintMode::kWarnOnly;
+      } else if (*v == "off") {
+        args.options.lint_mode = cpr::LintMode::kOff;
+      } else {
+        return cpr::Error("unknown lint mode " + *v + " (error|warn|off)");
+      }
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--fattree") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.fattree_ports = std::atoi(v->c_str());
+    } else if (flag == "--dirty") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.dirty = std::atoi(v->c_str());
+    } else if (flag == "--seed") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.seed = static_cast<unsigned>(std::atoi(v->c_str()));
     } else {
       return cpr::Error("unknown flag " + flag);
     }
@@ -227,6 +293,183 @@ int CmdShow(const cpr::Cpr& pipeline) {
                 network.devices()[static_cast<size_t>(subnet.device)].name.c_str());
   }
   std::printf("traffic classes: %zu\n", network.EnumerateTrafficClasses().size());
+  return 0;
+}
+
+// ---- cpr lint -------------------------------------------------------------
+
+struct ParseFailure {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+struct LocatedDiagnostic {
+  std::string file;
+  int line = 0;  // 0: anchor not found in the file text.
+  int col = 0;
+  const cpr::lint::Diagnostic* diagnostic;
+};
+
+std::string LintJson(size_t files, const std::vector<ParseFailure>& parse_failures,
+                     const cpr::lint::Report& report,
+                     const std::vector<LocatedDiagnostic>& located) {
+  cpr::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("files").Int(static_cast<int64_t>(files));
+  w.Key("errors").Int(report.errors);
+  w.Key("warnings").Int(report.warnings);
+  w.Key("infos").Int(report.infos);
+  w.Key("parse_errors").BeginArray();
+  for (const ParseFailure& failure : parse_failures) {
+    w.BeginObject();
+    w.Key("file").String(failure.file);
+    w.Key("line").Int(failure.line);
+    w.Key("col").Int(failure.col);
+    w.Key("message").String(failure.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("diagnostics").BeginArray();
+  for (const LocatedDiagnostic& entry : located) {
+    const cpr::lint::Diagnostic& d = *entry.diagnostic;
+    w.BeginObject();
+    w.Key("file").String(entry.file);
+    w.Key("line").Int(entry.line);
+    w.Key("col").Int(entry.col);
+    w.Key("rule").String(d.rule);
+    w.Key("severity").String(cpr::lint::SeverityName(d.severity));
+    w.Key("device").String(d.device);
+    w.Key("path").String(d.path);
+    w.Key("message").String(d.message);
+    w.Key("hint").String(d.hint);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+int CmdLint(const ConfigDir& dir, bool json) {
+  std::vector<ParseFailure> parse_failures;
+  std::vector<cpr::Config> configs;
+  std::vector<size_t> file_of_config;  // configs[c] parsed from paths[...].
+  for (size_t i = 0; i < dir.texts.size(); ++i) {
+    cpr::ParseErrorDetail detail;
+    cpr::Result<cpr::Config> parsed = cpr::ParseConfig(dir.texts[i], &detail);
+    if (!parsed.ok()) {
+      parse_failures.push_back(ParseFailure{dir.paths[i].string(), detail.line,
+                                            detail.col, detail.message});
+      continue;
+    }
+    file_of_config.push_back(i);
+    configs.push_back(std::move(parsed).value());
+  }
+
+  cpr::lint::Report report = cpr::lint::Run(configs);
+  std::map<std::string, size_t> file_of_device;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    file_of_device[configs[c].hostname] = file_of_config[c];
+  }
+  std::vector<LocatedDiagnostic> located;
+  located.reserve(report.diagnostics.size());
+  for (const cpr::lint::Diagnostic& d : report.diagnostics) {
+    LocatedDiagnostic entry;
+    entry.diagnostic = &d;
+    auto it = file_of_device.find(d.device);
+    if (it != file_of_device.end()) {
+      entry.file = dir.paths[it->second].string();
+      if (auto pos = cpr::lint::Locate(dir.texts[it->second], d)) {
+        entry.line = pos->first;
+        entry.col = pos->second;
+      }
+    } else {
+      entry.file = d.device;  // Cross-device finding on an unparsed file.
+    }
+    located.push_back(entry);
+  }
+
+  bool failed = !parse_failures.empty() || report.errors > 0;
+  if (json) {
+    std::string doc = LintJson(dir.paths.size(), parse_failures, report, located);
+    std::string json_error;
+    if (!cpr::obs::ValidateJson(doc, &json_error)) {
+      std::fprintf(stderr, "internal error: lint json invalid: %s\n", json_error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", doc.c_str());
+    return failed ? 1 : 0;
+  }
+
+  for (const ParseFailure& failure : parse_failures) {
+    std::printf("%s:%d:%d: error: [parse] %s\n", failure.file.c_str(), failure.line,
+                failure.col, failure.message.c_str());
+  }
+  for (const LocatedDiagnostic& entry : located) {
+    const cpr::lint::Diagnostic& d = *entry.diagnostic;
+    if (entry.line > 0) {
+      std::printf("%s:%d:%d: %s: [%s] %s\n", entry.file.c_str(), entry.line, entry.col,
+                  cpr::lint::SeverityName(d.severity), d.rule.c_str(), d.message.c_str());
+    } else {
+      std::printf("%s: %s: [%s] %s\n", entry.file.c_str(),
+                  cpr::lint::SeverityName(d.severity), d.rule.c_str(), d.message.c_str());
+    }
+    if (!d.hint.empty()) {
+      std::printf("    hint: %s\n", d.hint.c_str());
+    }
+  }
+  std::printf("%zu file(s): %zu parse error(s), %d error(s), %d warning(s), %d info(s)\n",
+              dir.paths.size(), parse_failures.size(), report.errors, report.warnings,
+              report.infos);
+  return failed ? 1 : 0;
+}
+
+// ---- cpr gen --------------------------------------------------------------
+
+int CmdGen(const CliArgs& args) {
+  if (args.fattree_ports < 4 || args.fattree_ports % 2 != 0) {
+    std::fprintf(stderr, "error: gen requires --fattree PORTS (even, >= 4)\n");
+    return 2;
+  }
+  cpr::FatTreeScenario scenario = cpr::MakeFatTreeScenario(
+      args.fattree_ports, cpr::PolicyClass::kAlwaysBlocked, 0, args.seed);
+  std::vector<std::string> configs = std::move(scenario.working_configs);
+  int planted = 0;
+  if (args.dirty > 0) {
+    cpr::Result<int> seeded =
+        cpr::SeedLintDefects(&configs, cpr::DirtyOptions::Mix(args.dirty, args.seed));
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "error: %s\n", seeded.error().message().c_str());
+      return 1;
+    }
+    planted = *seeded;
+  }
+  std::error_code ec;
+  fs::create_directories(args.config_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", args.config_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  for (const std::string& text : configs) {
+    cpr::Result<cpr::Config> parsed = cpr::ParseConfig(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "internal error: generated config does not parse: %s\n",
+                   parsed.error().message().c_str());
+      return 1;
+    }
+    fs::path path = fs::path(args.config_dir) / (parsed->hostname + ".cfg");
+    std::ofstream out(path);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.string().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu configuration(s) to %s (%d lint defect(s) seeded)\n",
+              configs.size(), args.config_dir.c_str(), planted);
   return 0;
 }
 
@@ -289,6 +532,20 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
     return 1;
   }
   *report_out = *report;
+  if (report->status == cpr::RepairStatus::kLintRejected) {
+    std::fprintf(stderr,
+                 "lint gate: %d error(s), %d warning(s) in the input configurations:\n",
+                 report->lint_report.errors, report->lint_report.warnings);
+    for (const cpr::lint::Diagnostic& d : report->lint_report.diagnostics) {
+      if (d.severity != cpr::lint::Severity::kInfo) {
+        std::fprintf(stderr, "  %s\n", d.ToString().c_str());
+      }
+    }
+    std::fprintf(stderr,
+                 "repair refused: the HARC built from broken configurations cannot be "
+                 "trusted; fix the errors or re-run with --lint=warn\n");
+    return 1;
+  }
   if (report->status == cpr::RepairStatus::kNoViolations) {
     std::printf("all policies already hold; nothing to repair\n");
     return 0;
@@ -322,6 +579,18 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
               report->residual_graph_violations.size(),
               report->residual_simulation_violations.size(),
               report->Sound() ? "sound" : "UNSOUND");
+  if (args.options.lint_mode != cpr::LintMode::kOff) {
+    if (report->lint_new_findings.empty()) {
+      std::printf("lint audit: clean (repaired configurations introduce no new "
+                  "findings)\n");
+    } else {
+      std::printf("lint audit: %zu NEW finding(s) in the repaired configurations:\n",
+                  report->lint_new_findings.size());
+      for (const cpr::lint::Diagnostic& d : report->lint_new_findings) {
+        std::printf("  %s\n", d.ToString().c_str());
+      }
+    }
+  }
 
   if (!args.out_dir.empty()) {
     std::error_code ec;
@@ -380,11 +649,19 @@ int RunCli(int argc, char** argv) {
     cpr::obs::Trace::Global().Enable();
   }
 
-  cpr::Result<std::vector<std::string>> texts = LoadConfigDir(args->config_dir);
-  if (!texts.ok()) {
-    std::fprintf(stderr, "error: %s\n", texts.error().message().c_str());
+  if (args->command == "gen") {
+    return CmdGen(*args);
+  }
+
+  cpr::Result<ConfigDir> loaded = LoadConfigDir(args->config_dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.error().message().c_str());
     return 1;
   }
+  if (args->command == "lint") {
+    return CmdLint(*loaded, args->json);
+  }
+  const std::vector<std::string>& texts = loaded->texts;
 
   std::string policy_text;
   if (!args->policy_file.empty()) {
@@ -402,7 +679,7 @@ int RunCli(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", annotations.error().message().c_str());
     return 1;
   }
-  cpr::Result<cpr::Cpr> pipeline = cpr::Cpr::FromConfigTexts(*texts, *annotations);
+  cpr::Result<cpr::Cpr> pipeline = cpr::Cpr::FromConfigTexts(texts, *annotations);
   if (!pipeline.ok()) {
     std::fprintf(stderr, "error: %s\n", pipeline.error().message().c_str());
     return 1;

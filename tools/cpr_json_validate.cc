@@ -1,0 +1,48 @@
+// cpr_json_validate — strict RFC 8259 syntax check for scripts.
+//
+//   cpr_json_validate FILE...    validate each file (exit 1 on the first
+//                                invalid one)
+//   cpr_json_validate            validate stdin
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+int Validate(const std::string& label, const std::string& text) {
+  std::string error;
+  if (!cpr::obs::ValidateJson(text, &error)) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", label.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", label.c_str(), text.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return Validate("<stdin>", buffer.str());
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (Validate(argv[i], buffer.str()) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
