@@ -23,6 +23,8 @@ int main() {
   int compared = 0;
   int equal = 0;
   int skipped = 0;
+  size_t attributed = 0;
+  size_t orphans = 0;
   for (int i = 0; i < config.networks; ++i) {
     cpr::DatacenterNetwork network =
         cpr::GenerateDatacenterNetwork(i, 2017, config.scale);
@@ -53,18 +55,35 @@ int main() {
     }
     std::printf("%-8d %-14d %-14d %-8s\n", i, perdst_lines, alltcs_lines,
                 perdst_lines == alltcs_lines ? "yes" : "NO");
+    // Provenance counts make a minimality regression attributable: if the
+    // line count grows, the chains name the constructs (and policies) that
+    // grew it, and orphans flag attribution bugs rather than real growth.
+    const cpr::obs::ProvenanceReport& perdst_prov = perdst.value().provenance;
+    const cpr::obs::ProvenanceReport& alltcs_prov = alltcs.value().provenance;
     bench.AddRow()
         .Set("network", i)
         .Set("perdst_lines", perdst_lines)
-        .Set("alltcs_lines", alltcs_lines);
+        .Set("alltcs_lines", alltcs_lines)
+        .Set("perdst_edits", perdst_prov.edits_total())
+        .Set("perdst_attributed_edits", perdst_prov.chains.size())
+        .Set("perdst_orphan_edits", perdst_prov.orphan_edits.size())
+        .Set("alltcs_edits", alltcs_prov.edits_total())
+        .Set("alltcs_attributed_edits", alltcs_prov.chains.size())
+        .Set("alltcs_orphan_edits", alltcs_prov.orphan_edits.size());
+    attributed += perdst_prov.chains.size() + alltcs_prov.chains.size();
+    orphans += perdst_prov.orphan_edits.size() + alltcs_prov.orphan_edits.size();
   }
   std::printf("\nsummary: equal lines in %d/%d compared networks (%.0f%%); %d skipped "
               "(all-tcs timeout/unsat)\n",
               equal, compared, compared > 0 ? 100.0 * equal / compared : 0.0, skipped);
   std::printf("shape check (paper): per-dst always matched all-tcs line counts.\n");
+  std::printf("provenance: %zu edit(s) attributed, %zu orphan(s)\n", attributed,
+              orphans);
   bench.SetSummary("compared", compared);
   bench.SetSummary("equal", equal);
   bench.SetSummary("skipped", skipped);
+  bench.SetSummary("attributed_edits", attributed);
+  bench.SetSummary("orphan_edits", orphans);
   bench.Write();
   return 0;
 }

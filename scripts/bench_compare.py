@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json
+        [--tolerance 0.10] [--timing-tolerance R] [--min-seconds 0.05]
+
+Every bench binary writes a machine-readable record (bench/bench_util.h):
+
+    {"bench": ..., "config": {...}, "rows": [...], "summary": {...}}
+
+This tool diffs the two summaries key by key and exits non-zero when the
+current run regressed beyond tolerance:
+
+  * lower-is-better keys (names containing "seconds", "lines", "skipped",
+    "failed", "timeout", "cost", "bytes", "orphan"): regression = increase;
+  * higher-is-better keys (names containing "equal", "compared", "solved",
+    "attributed", "throughput", "per_second"): regression = decrease;
+  * other shared numeric keys are reported but never fail the run.
+
+Timing keys ("seconds" in the name) are machine-dependent, so they are only
+*enforced* when --timing-tolerance is given (use it when baseline and current
+come from the same machine, e.g. an A/B overhead check); otherwise they are
+reported informationally. Absolute timing deltas below --min-seconds are
+always ignored as noise. Row counts must match exactly: a bench that silently
+dropped rows is a harness regression, not a performance one.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("seconds", "lines", "skipped", "failed", "timeout", "cost",
+                   "bytes", "orphan")
+HIGHER_IS_BETTER = ("equal", "compared", "solved", "attributed", "throughput",
+                    "per_second", "completed")
+
+
+def classify(key):
+    lowered = key.lower()
+    if any(hint in lowered for hint in LOWER_IS_BETTER):
+        return "lower"
+    if any(hint in lowered for hint in HIGHER_IS_BETTER):
+        return "higher"
+    return "info"
+
+
+def load_summary(path):
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle)
+    summary = record.get("summary")
+    if not isinstance(summary, dict):
+        raise SystemExit(f"{path}: no summary object (not a BENCH_*.json?)")
+    return record, summary
+
+
+def relative_delta(baseline, current):
+    if baseline == 0:
+        return float("inf") if current != 0 else 0.0
+    return (current - baseline) / abs(baseline)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--timing-tolerance", type=float, default=None,
+                        help="enforce *_seconds keys at this relative tolerance "
+                             "(default: timing is informational only)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore timing deltas below this many seconds "
+                             "(default 0.05)")
+    args = parser.parse_args()
+
+    base_record, base = load_summary(args.baseline)
+    curr_record, curr = load_summary(args.current)
+
+    if base_record.get("bench") != curr_record.get("bench"):
+        print(f"FAIL: comparing different benches: "
+              f"{base_record.get('bench')!r} vs {curr_record.get('bench')!r}")
+        return 1
+
+    failures = []
+    base_rows = len(base_record.get("rows", []))
+    curr_rows = len(curr_record.get("rows", []))
+    if base_rows != curr_rows:
+        failures.append(f"row count changed: {base_rows} -> {curr_rows}")
+
+    print(f"bench: {base_record.get('bench')}")
+    print(f"{'key':<32} {'baseline':>14} {'current':>14} {'delta':>9}  verdict")
+    for key in sorted(set(base) & set(curr)):
+        b, c = base[key], curr[key]
+        if not (isinstance(b, (int, float)) and isinstance(c, (int, float))):
+            continue
+        direction = classify(key)
+        delta = relative_delta(b, c)
+        is_timing = "seconds" in key.lower()
+        tolerance = args.tolerance
+        enforced = direction != "info"
+        if is_timing:
+            if args.timing_tolerance is None:
+                enforced = False
+            else:
+                tolerance = args.timing_tolerance
+            if abs(c - b) < args.min_seconds:
+                enforced = False
+
+        regressed = (direction == "lower" and delta > tolerance) or \
+                    (direction == "higher" and delta < -tolerance)
+        if enforced and regressed:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{key}: {b} -> {c} ({delta:+.1%}, tolerance {tolerance:.0%})")
+        elif regressed:
+            verdict = "regressed (not enforced)"
+        else:
+            verdict = "ok" if direction != "info" else "info"
+        print(f"{key:<32} {b:>14.6g} {c:>14.6g} {delta:>+8.1%}  {verdict}")
+
+    for key in sorted(set(base) - set(curr)):
+        failures.append(f"summary key disappeared: {key}")
+    for key in sorted(set(curr) - set(base)):
+        print(f"{key:<32} {'-':>14} {curr[key]!r:>14}            new key")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: no regressions beyond {args.tolerance:.0%} vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

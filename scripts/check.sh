@@ -84,6 +84,51 @@ for key in '"schema_version"' '"stages"' '"counters"' '"gauges"' \
 done
 echo "stats smoke OK ($(wc -c < "$stats_json") bytes)"
 
+echo "== cpr explain smoke =="
+explain_json="$(mktemp /tmp/cpr-explain-XXXXXX.json)"
+build/tools/cpr explain examples/data/paper-example \
+  examples/data/paper-example-boolean.policies \
+  --backend internal --json > "$explain_json"
+build/tools/cpr_json_validate "$explain_json"
+for key in '"schema_version"' '"edits_total"' '"edits_attributed"' \
+           '"chains"' '"unsat_cores"'; do
+  if ! grep -q -- "$key" "$explain_json"; then
+    echo "explain smoke FAILED: missing $key in $explain_json" >&2
+    exit 1
+  fi
+done
+# Every emitted edit must carry a provenance chain: orphans mean a construct
+# key mismatch between the encoder and the edit decoder.
+if ! grep -q '"orphan_edits":\[\]' "$explain_json"; then
+  echo "explain smoke FAILED: orphan edits in $explain_json" >&2
+  exit 1
+fi
+rm -f "$explain_json"
+echo "explain smoke OK"
+
+echo "== --trace-out smoke =="
+trace_json="$(mktemp /tmp/cpr-trace-XXXXXX.json)"
+build/tools/cpr repair examples/data/paper-example \
+  examples/data/paper-example-boolean.policies \
+  --backend internal --trace-out "$trace_json" >/dev/null
+build/tools/cpr_json_validate "$trace_json"
+for key in '"traceEvents"' '"ph":"X"' '"pipeline.' '"repair.' 'thread_name'; do
+  if ! grep -q -- "$key" "$trace_json"; then
+    echo "trace smoke FAILED: missing $key in $trace_json" >&2
+    exit 1
+  fi
+done
+rm -f "$trace_json"
+echo "trace smoke OK"
+
+echo "== bench compare (trajectory vs committed baseline) =="
+bench_json="$(mktemp /tmp/cpr-bench-XXXXXX.json)"
+scripts/bench_smoke.sh "$bench_json" >/dev/null
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_fig07_realdc_time.json "$bench_json"
+rm -f "$bench_json"
+echo "bench compare OK"
+
 if [[ "$fast" -eq 1 ]]; then
   echo "== sanitizer configurations skipped (--fast) =="
   exit 0

@@ -1,5 +1,7 @@
 #include "core/cpr.h"
 
+#include <unordered_map>
+
 #include "config/parser.h"
 #include "lint/lint.h"
 #include "obs/metrics.h"
@@ -79,6 +81,9 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   report.stats.lint_errors = report.lint_report.errors;
   report.stats.lint_warnings = report.lint_report.warnings;
   report.edits = outcome->edits;
+  // Copy provenance before the no-repair early return so unsat cores from
+  // fully-failed runs still reach `cpr explain`.
+  report.provenance = outcome->provenance;
   if (!outcome->HasRepair()) {
     return report;  // kUnsat / kTimeout / kUnsupported / kError: nothing to
                     // translate.
@@ -99,6 +104,21 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   report.change_log = translation->change_log;
   report.diff_text = translation->DiffText(*network_);
   report.lines_changed = translation->LinesChanged();
+
+  // Complete the provenance chains with the configuration lines each edit
+  // produced, joined by canonical construct key.
+  {
+    std::unordered_map<std::string, const EditTrace*> traces;
+    for (const EditTrace& trace : translation->edit_traces) {
+      traces.emplace(trace.construct, &trace);
+    }
+    for (obs::ProvenanceChain& chain : report.provenance.chains) {
+      auto it = traces.find(chain.construct);
+      if (it != traces.end()) {
+        chain.config_changes = it->second->changes;
+      }
+    }
+  }
 
   // Close the loop: rebuild the network and HARC from the patched
   // configurations and re-check every policy.

@@ -62,6 +62,12 @@ struct CprReport {
   int traffic_classes_impacted = 0; // tcETGs whose edge set changed (§8.3).
   RepairStats stats;
 
+  // Provenance: one chain per emitted edit (policy → problem → flipped soft
+  // constraint → construct → configuration lines) plus per-problem unsat
+  // cores. The config-change legs are joined in from the translator's edit
+  // traces by construct key; `cpr explain` renders this report.
+  obs::ProvenanceReport provenance;
+
   // Policies still violated after the repair — both must be empty for a
   // sound repair.
   std::vector<Policy> residual_graph_violations;

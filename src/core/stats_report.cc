@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 
 namespace cpr {
@@ -35,6 +36,13 @@ void WriteStages(obs::JsonWriter* w) {
     w->Key("thread").Int(span.thread);
     w->Key("start_seconds").Double(span.start_seconds);
     w->Key("duration_seconds").Double(span.duration_seconds);
+    if (!span.args.empty()) {
+      w->Key("args").BeginObject();
+      for (const auto& [key, value] : span.args) {
+        w->Key(key).String(value);
+      }
+      w->EndObject();
+    }
     w->EndObject();
   }
   w->EndArray();
@@ -59,6 +67,9 @@ void WriteInstruments(obs::JsonWriter* w) {
     w->Key("sum_seconds").Double(data.sum_seconds);
     w->Key("min_seconds").Double(data.min_seconds);
     w->Key("max_seconds").Double(data.max_seconds);
+    w->Key("p50_seconds").Double(data.QuantileSeconds(0.50));
+    w->Key("p90_seconds").Double(data.QuantileSeconds(0.90));
+    w->Key("p99_seconds").Double(data.QuantileSeconds(0.99));
     w->EndObject();
   }
   w->EndObject();
@@ -119,6 +130,19 @@ void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
     w->Key("message").String(problem.message);
     w->Key("solver_counters");
     WriteCounterPairs(w, problem.solver_counters);
+    w->Key("violated_softs").BeginArray();
+    for (const auto& [label, weight] : problem.violated_softs) {
+      w->BeginObject();
+      w->Key("label").String(label);
+      w->Key("weight").Int(weight);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->Key("unsat_core").BeginArray();
+    for (const std::string& label : problem.unsat_core_labels) {
+      w->String(label);
+    }
+    w->EndArray();
     w->EndObject();
   }
   w->EndArray();
@@ -155,6 +179,16 @@ void WriteLint(obs::JsonWriter* w, const CprReport& report) {
   w->EndObject();
 }
 
+// Like the lint section, provenance carries its own schema version so `cpr
+// explain --json` and --stats-json stay in lockstep (both delegate to
+// obs::WriteProvenanceFields).
+void WriteProvenance(obs::JsonWriter* w, const CprReport& report) {
+  w->Key("provenance").BeginObject();
+  w->Key("schema_version").Int(1);
+  obs::WriteProvenanceFields(w, report.provenance);
+  w->EndObject();
+}
+
 }  // namespace
 
 std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
@@ -167,6 +201,7 @@ std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
   if (report != nullptr) {
     WriteRepair(&w, *report);
     WriteLint(&w, *report);
+    WriteProvenance(&w, *report);
   }
   w.EndObject();
   return w.str();

@@ -10,11 +10,12 @@
 //     "run": { "command", "config_dir", "policy_file", "backend",
 //              "granularity", "threads", "status", "wall_seconds" },
 //     "stages": [ { "name", "parent", "thread", "start_seconds",
-//                   "duration_seconds" }, ... ],
+//                   "duration_seconds", "args"? }, ... ],
 //     "counters": { "<name>": <int>, ... },
 //     "gauges": { "<name>": <int>, ... },
 //     "histograms": { "<name>": { "count", "sum_seconds", "min_seconds",
-//                                 "max_seconds" }, ... },
+//                                 "max_seconds", "p50_seconds",
+//                                 "p90_seconds", "p99_seconds" }, ... },
 //     "repair": {                      // present only when a repair ran
 //       "status", "predicted_cost", "lines_changed",
 //       "traffic_classes_impacted", "problems_formulated",
@@ -26,7 +27,15 @@
 //       "solver_counter_totals": { "<name>": <double>, ... },
 //       "problems": [ { "dsts", "status", "attempts", "backend",
 //                       "solve_seconds", "cost", "message",
-//                       "solver_counters": { ... } }, ... ]
+//                       "solver_counters": { ... },
+//                       "violated_softs": [ { "label", "weight" }, ... ],
+//                       "unsat_core": [ "<label>", ... ] }, ... ]
+//     },
+//     "provenance": {                  // present only when a repair ran
+//       "schema_version": 1, "edits_total", "edits_attributed",
+//       "orphan_edits": [ ... ], "chains": [ ... ], "unsat_cores": [ ... ]
+//       // field layout shared with `cpr explain --json`
+//       // (obs/provenance.h)
 //     }
 //   }
 //

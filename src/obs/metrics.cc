@@ -54,6 +54,28 @@ void Histogram::Observe(double seconds) {
   buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
 }
 
+double HistogramData::QuantileSeconds(double q) const {
+  if (count <= 0 || buckets.empty()) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::max<int64_t>(rank, 1);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      if (i + 1 == buckets.size()) {
+        return max_seconds;  // Unbounded last bucket: best bound we have.
+      }
+      // Upper bound of bucket i is 2^i microseconds.
+      double estimate = std::ldexp(1.0, static_cast<int>(i)) * 1e-6;
+      return std::min(std::max(estimate, min_seconds), max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
 HistogramData Histogram::Data() const {
   HistogramData data;
   data.count = count_.load(std::memory_order_relaxed);

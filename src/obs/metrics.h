@@ -70,6 +70,12 @@ struct HistogramData {
   // bucket[i] counts observations in (2^(i-1), 2^i] microseconds; the last
   // bucket is unbounded above.
   std::vector<int64_t> buckets;
+
+  // Estimates the q-quantile (0 < q <= 1) from the bucket counts: the upper
+  // bound (2^i microseconds) of the first bucket whose cumulative count
+  // reaches ceil(q * count), clamped to the exact [min, max] envelope; the
+  // unbounded last bucket reports max_seconds. Returns 0 when count == 0.
+  double QuantileSeconds(double q) const;
 };
 
 class Histogram {

@@ -1,0 +1,147 @@
+#include "obs/provenance.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cpr::obs {
+
+namespace {
+
+void WriteStringArray(JsonWriter* w, const std::vector<std::string>& values) {
+  w->BeginArray();
+  for (const std::string& value : values) {
+    w->String(value);
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+void WriteProvenanceFields(JsonWriter* w, const ProvenanceReport& report) {
+  w->Key("edits_total").Int(report.edits_total());
+  w->Key("edits_attributed").Int(static_cast<int64_t>(report.chains.size()));
+  w->Key("orphan_edits");
+  WriteStringArray(w, report.orphan_edits);
+  w->Key("chains").BeginArray();
+  for (const ProvenanceChain& chain : report.chains) {
+    w->BeginObject();
+    w->Key("construct").String(chain.construct);
+    w->Key("edit").String(chain.edit);
+    w->Key("soft_label").String(chain.soft_label);
+    w->Key("soft_weight").Int(chain.soft_weight);
+    w->Key("problem").Int(chain.problem);
+    w->Key("dsts");
+    WriteStringArray(w, chain.dsts);
+    w->Key("policies");
+    WriteStringArray(w, chain.policies);
+    w->Key("backend").String(chain.backend);
+    w->Key("config_changes");
+    WriteStringArray(w, chain.config_changes);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("unsat_cores").BeginArray();
+  for (const UnsatCoreReport& core : report.unsat_cores) {
+    w->BeginObject();
+    w->Key("problem").Int(core.problem);
+    w->Key("backend").String(core.backend);
+    w->Key("labels");
+    WriteStringArray(w, core.labels);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string ProvenanceJson(const ProvenanceReport& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  WriteProvenanceFields(&w, report);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ProvenanceText(const ProvenanceReport& report) {
+  std::ostringstream out;
+  out << "provenance: " << report.chains.size() << "/" << report.edits_total()
+      << " edits attributed, " << report.orphan_edits.size() << " orphans, "
+      << report.unsat_cores.size() << " unsat cores\n";
+  for (const ProvenanceChain& chain : report.chains) {
+    out << "edit: " << chain.edit << "\n";
+    out << "  <= soft constraint '" << chain.soft_label << "' (weight "
+        << chain.soft_weight << ") flipped by " << chain.backend << "\n";
+    out << "  <= problem " << chain.problem;
+    if (!chain.dsts.empty()) {
+      out << " [dsts:";
+      for (const std::string& dst : chain.dsts) {
+        out << " " << dst;
+      }
+      out << "]";
+    }
+    out << "\n";
+    for (const std::string& policy : chain.policies) {
+      out << "  <= policy: " << policy << "\n";
+    }
+    for (const std::string& change : chain.config_changes) {
+      out << "  => config: " << change << "\n";
+    }
+  }
+  for (const std::string& orphan : report.orphan_edits) {
+    out << "orphan edit (no provenance chain): " << orphan << "\n";
+  }
+  for (const UnsatCoreReport& core : report.unsat_cores) {
+    out << "problem " << core.problem << " UNSAT (" << core.backend
+        << "); core:\n";
+    if (core.labels.empty()) {
+      out << "  (backend produced no core)\n";
+    }
+    for (const std::string& label : core.labels) {
+      out << "  <= hard constraint: " << label << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string BuildChromeTrace(const std::vector<SpanRecord>& spans) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  int32_t max_thread = -1;
+  for (const SpanRecord& span : spans) {
+    max_thread = std::max(max_thread, span.thread);
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String("cpr");
+    w.Key("ph").String("X");
+    // trace_event timestamps are microseconds; durations clamp to >= 1 so
+    // sub-microsecond spans stay visible instead of degenerating to zero
+    // width in the viewer.
+    w.Key("ts").Double(span.start_seconds * 1e6);
+    w.Key("dur").Double(std::max(span.duration_seconds * 1e6, 1.0));
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(span.thread);
+    w.Key("args").BeginObject();
+    for (const auto& [key, value] : span.args) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  for (int32_t tid = 0; tid <= max_thread; ++tid) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(tid == 0 ? "pipeline" : "repair worker " + std::to_string(tid));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace cpr::obs

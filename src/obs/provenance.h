@@ -1,0 +1,80 @@
+// Repair provenance: the causal chain behind every emitted config edit.
+//
+// The MaxSMT repair pipeline decides each configuration change by flipping a
+// weight-carrying soft constraint inside one per-destination problem, under
+// hard constraints derived from the policies. This module carries that chain
+// — construct key -> flipped soft label (+weight) -> problem (dsts,
+// policies, backend) -> emitted config lines — as plain strings so the obs
+// layer stays free of network/solver types, and renders it three ways:
+//
+//   * ProvenanceText   — compiler-style "edit <= because ..." report,
+//   * ProvenanceJson   — schema_version-1 JSON (`cpr explain --json`),
+//   * BuildChromeTrace — StageSpan tree as Chrome trace_event JSON
+//                        (chrome://tracing / Perfetto).
+//
+// UNSAT problems contribute no edits; their explanation is an unsat core —
+// the hard-constraint labels (policy ids) that are jointly unsatisfiable —
+// reported per problem in UnsatCoreReport.
+
+#ifndef CPR_SRC_OBS_PROVENANCE_H_
+#define CPR_SRC_OBS_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace cpr::obs {
+
+struct ProvenanceChain {
+  std::string construct;   // Canonical construct key, e.g. "adj:l3:p1-2".
+  std::string edit;        // Human-readable edit summary.
+  std::string soft_label;  // Flipped soft-constraint label (== construct).
+  int64_t soft_weight = 0;
+  int problem = -1;                   // dETG/problem index within the run.
+  std::vector<std::string> dsts;      // Destination subnets of that problem.
+  std::vector<std::string> policies;  // Policies constraining that problem.
+  std::string backend;                // Solver backend that chose the flip.
+  std::vector<std::string> config_changes;  // Emitted config path/line text.
+};
+
+struct UnsatCoreReport {
+  int problem = -1;
+  std::string backend;
+  std::vector<std::string> labels;  // Hard-constraint (policy) labels.
+};
+
+struct ProvenanceReport {
+  std::vector<ProvenanceChain> chains;
+  // Edits the pipeline could not attribute to a chain. Non-empty means a
+  // construct key mismatch between encoder and decoder — a bug.
+  std::vector<std::string> orphan_edits;
+  std::vector<UnsatCoreReport> unsat_cores;
+
+  int64_t edits_total() const {
+    return static_cast<int64_t>(chains.size() + orphan_edits.size());
+  }
+};
+
+// Standalone schema_version-1 JSON document (the `cpr explain --json`
+// payload; also embedded as the "provenance" section of --stats-json).
+std::string ProvenanceJson(const ProvenanceReport& report);
+
+// Same content, embedded into an in-progress JsonWriter object (the caller
+// has already opened an object and will close it).
+void WriteProvenanceFields(JsonWriter* w, const ProvenanceReport& report);
+
+// Compiler-style textual report: one paragraph per edit, "edit <= because
+// soft constraint / problem / policy", then per-problem unsat cores.
+std::string ProvenanceText(const ProvenanceReport& report);
+
+// Serializes a span list (Trace::Records()) as Chrome trace_event JSON:
+// complete "X" events with microsecond ts/dur, pid 1, tid = span thread,
+// span annotations under "args", plus thread_name metadata events.
+std::string BuildChromeTrace(const std::vector<SpanRecord>& spans);
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_PROVENANCE_H_

@@ -60,6 +60,17 @@ int32_t Trace::BeginSpan(std::string_view name) {
   return index;
 }
 
+void Trace::Annotate(int32_t index, std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tls_state.generation != generation_) {
+    return;  // The trace restarted while this span was open.
+  }
+  if (index >= 0 && static_cast<size_t>(index) < records_.size()) {
+    records_[static_cast<size_t>(index)].args.emplace_back(std::string(key),
+                                                           std::string(value));
+  }
+}
+
 void Trace::EndSpan(int32_t index) {
   Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(mu_);

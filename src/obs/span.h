@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cpr::obs {
@@ -35,6 +36,9 @@ struct SpanRecord {
   int32_t thread = 0;   // Dense per-trace thread index (0 = first thread seen).
   double start_seconds = 0;     // Offset from Trace enable time.
   double duration_seconds = 0;  // 0 while the span is still open.
+  // Key/value annotations (StageSpan::Annotate) — solver events such as
+  // backend, status, and cost ride along into trace exports.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 class Trace {
@@ -58,6 +62,7 @@ class Trace {
 
   int32_t BeginSpan(std::string_view name);
   void EndSpan(int32_t index);
+  void Annotate(int32_t index, std::string_view key, std::string_view value);
 
   std::atomic<bool> enabled_{false};
   Clock::time_point origin_{};
@@ -78,6 +83,14 @@ class StageSpan {
   ~StageSpan() {
     if (index_ >= 0) {
       Trace::Global().EndSpan(index_);
+    }
+  }
+
+  // Attaches a key/value pair to this span's record (no-op while the trace
+  // is disabled). Values appear under "args" in trace exports.
+  void Annotate(std::string_view key, std::string_view value) {
+    if (index_ >= 0) {
+      Trace::Global().Annotate(index_, key, value);
     }
   }
 

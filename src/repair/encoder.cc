@@ -13,6 +13,26 @@ std::string EdgeName(const EtgUniverse& universe, CandidateEdgeId e) {
   return universe.VertexName(edge.from) + ">" + universe.VertexName(edge.to);
 }
 
+// Provenance label for a policy's hard constraints; matches the variable
+// name tags the per-policy encoders already use.
+std::string PolicyTag(const Policy& policy) {
+  std::string sd = std::to_string(policy.src) + "_" + std::to_string(policy.dst);
+  switch (policy.pc) {
+    case PolicyClass::kAlwaysBlocked:
+      return "pc1_" + sd;
+    case PolicyClass::kAlwaysWaypoint:
+      return "pc2_" + sd;
+    case PolicyClass::kReachability:
+      return "pc3_" + sd;
+    case PolicyClass::kPrimaryPath:
+      return "pc4_" + sd;
+    case PolicyClass::kIsolation:
+      return "pc5_" + sd + "_" + std::to_string(policy.src2) + "_" +
+             std::to_string(policy.dst2);
+  }
+  return "pc?_" + sd;
+}
+
 }  // namespace
 
 RepairEncoder::RepairEncoder(const Harc& harc, const RepairProblem& problem,
@@ -30,6 +50,9 @@ Status RepairEncoder::Encode() {
   }
 
   for (const Policy& policy : problem_.policies) {
+    // Every hard constraint emitted while encoding this policy carries its
+    // tag, so backend unsat cores map straight back to policies.
+    system_.SetHardLabelContext(PolicyTag(policy));
     switch (policy.pc) {
       case PolicyClass::kAlwaysBlocked:
         EncodePc1(policy);
@@ -52,18 +75,19 @@ Status RepairEncoder::Encode() {
         break;
     }
   }
+  system_.SetHardLabelContext({});
   if (options_.objective == MinimizeObjective::kDevices) {
     AddDeviceObjective();
   }
   return Status::Ok();
 }
 
-void RepairEncoder::KeepSoft(ExprId expr, bool original,
+void RepairEncoder::KeepSoft(ExprId expr, bool original, std::string label,
                              std::initializer_list<DeviceId> devices) {
   ExprId keep = original ? expr : system_.Not(expr);
   // One line of configuration per violated construct soft (Table 2's unit of
   // utility). Under kDevices these become the tiebreak.
-  system_.AddSoft(keep, 1);
+  system_.AddSoft(keep, 1, std::move(label));
   if (options_.objective == MinimizeObjective::kDevices) {
     for (DeviceId device : devices) {
       device_deviations_[device].push_back(system_.Not(keep));
@@ -76,11 +100,12 @@ void RepairEncoder::AddDeviceObjective() {
   // the solver minimizes devices first, then lines.
   constexpr int64_t kDeviceWeight = 1000;
   for (const auto& [device, deviations] : device_deviations_) {
+    std::string label = "devchg:" + std::to_string(device);
     ExprId changed = system_.Var(system_.NewBool("devchg_" + std::to_string(device)));
     for (ExprId deviation : deviations) {
-      system_.AddHard(system_.Implies(deviation, changed));
+      system_.AddHard(system_.Implies(deviation, changed), label);
     }
-    system_.AddSoft(system_.Not(changed), kDeviceWeight);
+    system_.AddSoft(system_.Not(changed), kDeviceWeight, label);
   }
 }
 
@@ -107,7 +132,7 @@ ExprId RepairEncoder::AdjacencyExpr(const CandidateEdge& edge, CandidateEdgeId /
                                  std::to_string(key.low) + "_" + std::to_string(key.high));
     expr = system_.Var(var);
     const auto& processes = universe_.network().processes();
-    KeepSoft(expr, original,
+    KeepSoft(expr, original, AdjacencyConstructKey(key.link, key.low, key.high),
              {processes[static_cast<size_t>(key.low)].device,
               processes[static_cast<size_t>(key.high)].device});
   }
@@ -126,7 +151,7 @@ ExprId RepairEncoder::FilterLit(SubnetId dst, ProcessId process) {
       network, process, network.subnets()[static_cast<size_t>(dst)].prefix);
   BVarId var = system_.NewBool("flt_d" + std::to_string(dst) + "_p" + std::to_string(process));
   ExprId expr = system_.Var(var);
-  KeepSoft(expr, original,
+  KeepSoft(expr, original, FilterConstructKey(dst, process),
            {network.processes()[static_cast<size_t>(process)].device});
   filter_exprs_.emplace(key, expr);
   return expr;
@@ -144,7 +169,7 @@ ExprId RepairEncoder::StaticLit(SubnetId dst, DeviceId device, LinkId link) {
   BVarId var = system_.NewBool("sr_d" + std::to_string(dst) + "_dev" +
                                std::to_string(device) + "_l" + std::to_string(link));
   ExprId expr = system_.Var(var);
-  KeepSoft(expr, original, {device});
+  KeepSoft(expr, original, StaticRouteConstructKey(dst, device, link), {device});
   static_exprs_.emplace(key, expr);
   return expr;
 }
@@ -165,7 +190,8 @@ ExprId RepairEncoder::LinkAclLit(SubnetId src, SubnetId dst, LinkId link,
   ExprId expr = system_.Var(var);
   // An ACL change may land on either end of the link (blocks apply on the
   // ingress side; unblocks may touch both).
-  KeepSoft(expr, original, {egress, network.LinkPeer(link, egress)});
+  KeepSoft(expr, original, LinkAclConstructKey(src, dst, link, egress),
+           {egress, network.LinkPeer(link, egress)});
   link_acl_exprs_.emplace(key, expr);
   return expr;
 }
@@ -184,7 +210,8 @@ ExprId RepairEncoder::EndpointAclLit(SubnetId src, SubnetId dst, SubnetId subnet
   BVarId var = system_.NewBool("eacl_t" + std::to_string(src) + "_" + std::to_string(dst) +
                                (src_side ? "_in" : "_out"));
   ExprId expr = system_.Var(var);
-  KeepSoft(expr, original, {network.subnets()[static_cast<size_t>(subnet)].device});
+  KeepSoft(expr, original, EndpointAclConstructKey(src, dst, src_side),
+           {network.subnets()[static_cast<size_t>(subnet)].device});
   endpoint_acl_exprs_.emplace(key, expr);
   return expr;
 }
@@ -202,7 +229,8 @@ ExprId RepairEncoder::WaypointExpr(LinkId link) {
     new_waypoint_vars_.emplace(link, var);
     expr = system_.Var(var);
     // Placing a waypoint costs one change (paper: "plus a firewall").
-    system_.AddSoft(system_.Not(expr), options_.waypoint_weight);
+    system_.AddSoft(system_.Not(expr), options_.waypoint_weight,
+                    WaypointConstructKey(link));
   } else {
     expr = system_.False();
   }
@@ -223,7 +251,8 @@ IVarId RepairEncoder::CostVar(const CandidateEdge& edge) {
   // Keeping the configured cost avoids one configuration change (on the
   // egress interface's device).
   int64_t original = static_cast<int64_t>(edge.default_weight);
-  KeepSoft(system_.LinearEq({{var, 1}}, -original), true, {edge.device});
+  KeepSoft(system_.LinearEq({{var, 1}}, -original), true,
+           CostConstructKey(edge.link, edge.device), {edge.device});
   return var;
 }
 
@@ -252,7 +281,9 @@ void RepairEncoder::BuildAetgLayer() {
         } else {
           BVarId var = system_.NewBool("rd_" + EdgeName(universe_, e));
           expr = system_.Var(var);
-          KeepSoft(expr, original, {edge.device});
+          KeepSoft(expr, original,
+                   RedistributionConstructKey(edge.from_process, edge.to_process),
+                   {edge.device});
         }
         break;
       }
@@ -678,46 +709,9 @@ void RepairEncoder::EncodeIsolation(const Policy& policy) {
 // ---------------------------------------------------------------------------
 
 bool RepairEncoder::EvalExpr(const MaxSmtResult& model, ExprId e) const {
-  if (e == system_.True()) {
-    return true;
-  }
-  if (e == system_.False()) {
-    return false;
-  }
-  const ExprNode& n = system_.node(e);
-  switch (n.kind) {
-    case ExprKind::kTrue:
-      return true;
-    case ExprKind::kFalse:
-      return false;
-    case ExprKind::kBoolVar:
-      return model.bool_values[static_cast<size_t>(n.bool_var)];
-    case ExprKind::kNot:
-      return !EvalExpr(model, n.children[0]);
-    case ExprKind::kAnd:
-      for (ExprId c : n.children) {
-        if (!EvalExpr(model, c)) {
-          return false;
-        }
-      }
-      return true;
-    case ExprKind::kOr:
-      for (ExprId c : n.children) {
-        if (EvalExpr(model, c)) {
-          return true;
-        }
-      }
-      return false;
-    case ExprKind::kLinearLe:
-    case ExprKind::kLinearEq: {
-      int64_t sum = n.constant;
-      for (const LinearTerm& t : n.terms) {
-        sum += t.coefficient * model.int_values[static_cast<size_t>(t.var)];
-      }
-      return n.kind == ExprKind::kLinearLe ? sum <= 0 : sum == 0;
-    }
-  }
-  return false;
+  // The recursion lives on ConstraintSystem so backends evaluate models the
+  // same way the decoder does (one semantics for "violated").
+  return system_.EvalOnModel(e, model.bool_values, model.int_values);
 }
 
 bool RepairEncoder::DecodeAll(const MaxSmtResult& model, CandidateEdgeId e) const {

@@ -150,10 +150,12 @@ class RepairEncoder {
   IVarId CostVar(const CandidateEdge& edge);
 
   // Registers the weight-1 "keep this construct as configured" soft
-  // constraint and, under the minimize-devices objective, records the
+  // constraint, labelled with the construct's canonical key (edits.h) for
+  // provenance, and, under the minimize-devices objective, records the
   // deviation against the devices whose configurations realizing a change
   // would touch.
-  void KeepSoft(ExprId expr, bool original, std::initializer_list<DeviceId> devices);
+  void KeepSoft(ExprId expr, bool original, std::string label,
+                std::initializer_list<DeviceId> devices);
   void AddDeviceObjective();
 
   Result<std::vector<CandidateEdgeId>> MapDevicePath(const Policy& policy) const;

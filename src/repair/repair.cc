@@ -269,6 +269,11 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
         models[index].message = "unknown exception in solver worker";
       }
       solve_times[index] = Seconds(start);
+      // Per-problem solver events for trace exports (--trace-out).
+      problem_span.Annotate("problem", std::to_string(index));
+      problem_span.Annotate("backend", models[index].backend);
+      problem_span.Annotate("status", MaxSmtStatusName(models[index].status));
+      problem_span.Annotate("cost", std::to_string(models[index].cost));
       obs::Registry::Global()
           .histogram("repair.problem_solve_seconds")
           .Observe(solve_times[index]);
@@ -309,6 +314,26 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     report.solver_counters = models[i].solver_counters;
     for (const auto& [name, value] : report.solver_counters) {
       counter_totals[name] += value;
+    }
+    const ConstraintSystem& system = encoders[i]->system();
+    for (int soft_index : models[i].violated_soft) {
+      const SoftConstraint& soft = system.soft()[static_cast<size_t>(soft_index)];
+      report.violated_softs.emplace_back(soft.label, soft.weight);
+    }
+    for (int hard_index : models[i].unsat_core) {
+      const std::string& label = system.HardLabel(static_cast<size_t>(hard_index));
+      // Many hard constraints share one policy tag; keep distinct labels.
+      if (std::find(report.unsat_core_labels.begin(), report.unsat_core_labels.end(),
+                    label) == report.unsat_core_labels.end()) {
+        report.unsat_core_labels.push_back(label);
+      }
+    }
+    if (models[i].status == MaxSmtResult::Status::kUnsat) {
+      obs::UnsatCoreReport core;
+      core.problem = static_cast<int>(i);
+      core.backend = report.backend;
+      core.labels = report.unsat_core_labels;
+      outcome.provenance.unsat_cores.push_back(std::move(core));
     }
     if (report.solved()) {
       ++outcome.stats.problems_solved;
@@ -385,7 +410,56 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
             e, encoder.DecodeTc(model, src, dst, e));
       }
     }
+    // Capture the per-category sizes around CollectEdits: the new entries
+    // belong to this problem, which is what lets every edit's provenance
+    // chain name its owning problem and the soft constraint it flipped.
+    const RepairEdits& all_edits = outcome.edits;
+    size_t counts[7] = {all_edits.adjacencies.size(),   all_edits.redistributions.size(),
+                        all_edits.filters.size(),       all_edits.static_routes.size(),
+                        all_edits.acls.size(),          all_edits.costs.size(),
+                        all_edits.waypoints.size()};
     encoder.CollectEdits(model, &outcome.edits);
+    const Network& problem_network = original.network();
+    auto attach = [&](const auto& edits_vec, size_t old_size) {
+      for (size_t j = old_size; j < edits_vec.size(); ++j) {
+        std::string construct = ConstructKey(edits_vec[j]);
+        obs::ProvenanceChain chain;
+        chain.construct = construct;
+        chain.edit = Describe(edits_vec[j]);
+        chain.problem = static_cast<int>(i);
+        chain.backend = model.backend;
+        for (SubnetId dst : problem.dsts) {
+          chain.dsts.push_back(
+              problem_network.subnets()[static_cast<size_t>(dst)].prefix.ToString());
+        }
+        for (const Policy& policy : problem.policies) {
+          chain.policies.push_back(policy.ToString(problem_network));
+        }
+        const auto& softs = encoder.system().soft();
+        for (int soft_index : model.violated_soft) {
+          const SoftConstraint& soft = softs[static_cast<size_t>(soft_index)];
+          if (soft.label == construct) {
+            chain.soft_label = soft.label;
+            chain.soft_weight = soft.weight;
+            break;
+          }
+        }
+        if (chain.soft_label.empty()) {
+          // Construct key mismatch between encoder label and decoder edit —
+          // surfaced instead of silently dropped (check.sh greps for zero).
+          outcome.provenance.orphan_edits.push_back(construct + ": " + chain.edit);
+        } else {
+          outcome.provenance.chains.push_back(std::move(chain));
+        }
+      }
+    };
+    attach(all_edits.adjacencies, counts[0]);
+    attach(all_edits.redistributions, counts[1]);
+    attach(all_edits.filters, counts[2]);
+    attach(all_edits.static_routes, counts[3]);
+    attach(all_edits.acls, counts[4]);
+    attach(all_edits.costs, counts[5]);
+    attach(all_edits.waypoints, counts[6]);
   }
 
   // Propagate changes to ETGs that were not encoded, by re-deriving them

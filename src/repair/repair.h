@@ -23,6 +23,7 @@
 
 #include "arc/harc.h"
 #include "netbase/result.h"
+#include "obs/provenance.h"
 #include "repair/encoder.h"
 #include "repair/options.h"
 #include "verify/policy.h"
@@ -79,6 +80,12 @@ struct ProblemReport {
   // Solver-internal counters from the backend that produced the result
   // (CDCL "cdcl.*" / Z3 "z3.*"; see MaxSmtResult::solver_counters).
   std::vector<std::pair<std::string, double>> solver_counters;
+  // Provenance. For solved problems: (label, weight) of each soft constraint
+  // the optimum violated — the constructs this problem decided to change.
+  // For UNSAT problems: the distinct hard-constraint labels (policy tags) in
+  // the backend's unsat core.
+  std::vector<std::pair<std::string, int64_t>> violated_softs;
+  std::vector<std::string> unsat_core_labels;
 
   bool solved() const { return status == MaxSmtResult::Status::kOptimal; }
 };
@@ -120,6 +127,10 @@ struct RepairOutcome {
   // configuration changes (§5.2).
   int64_t predicted_cost = 0;
   RepairStats stats;
+  // One ProvenanceChain per emitted edit (policy -> problem -> flipped soft
+  // -> construct), plus per-problem unsat cores. `config_changes` is filled
+  // later by the core pipeline once the translator has emitted lines.
+  obs::ProvenanceReport provenance;
 
   // Links gaining a waypoint (convenience view over `edits`).
   std::vector<LinkId> NewWaypointLinks() const {

@@ -47,6 +47,15 @@ struct MaxSmtResult {
   // name/value pairs so per-problem reports serialize deterministically.
   std::vector<std::pair<std::string, double>> solver_counters;
 
+  // Provenance. For kOptimal: indices into ConstraintSystem::soft() of the
+  // soft constraints the optimum violates (their weights sum to `cost`).
+  // For kUnsat: indices into ConstraintSystem::hard() forming an
+  // unsatisfiable core — minimal where the backend supports minimization
+  // (Z3 core.minimize), a failed-assumption subset otherwise (internal
+  // CDCL). Empty when the backend could not extract one.
+  std::vector<int> violated_soft;
+  std::vector<int> unsat_core;
+
   bool ok() const { return status == Status::kOptimal; }
 };
 

@@ -123,6 +123,48 @@ ExprId ConstraintSystem::LinearEq(std::vector<LinearTerm> terms, int64_t constan
   return AddNode(std::move(n));
 }
 
+bool ConstraintSystem::EvalOnModel(ExprId e, const std::vector<bool>& bool_values,
+                                   const std::vector<int64_t>& int_values) const {
+  const ExprNode& n = node(e);
+  switch (n.kind) {
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kFalse:
+      return false;
+    case ExprKind::kBoolVar: {
+      size_t v = static_cast<size_t>(n.bool_var);
+      return v < bool_values.size() && bool_values[v];
+    }
+    case ExprKind::kNot:
+      return !EvalOnModel(n.children[0], bool_values, int_values);
+    case ExprKind::kAnd:
+      for (ExprId c : n.children) {
+        if (!EvalOnModel(c, bool_values, int_values)) {
+          return false;
+        }
+      }
+      return true;
+    case ExprKind::kOr:
+      for (ExprId c : n.children) {
+        if (EvalOnModel(c, bool_values, int_values)) {
+          return true;
+        }
+      }
+      return false;
+    case ExprKind::kLinearLe:
+    case ExprKind::kLinearEq: {
+      int64_t sum = n.constant;
+      for (const LinearTerm& term : n.terms) {
+        size_t v = static_cast<size_t>(term.var);
+        int64_t value = v < int_values.size() ? int_values[v] : 0;
+        sum += term.coefficient * value;
+      }
+      return n.kind == ExprKind::kLinearLe ? sum <= 0 : sum == 0;
+    }
+  }
+  return false;
+}
+
 int64_t ConstraintSystem::TotalSoftWeight() const {
   int64_t total = 0;
   for (const SoftConstraint& s : soft_) {

@@ -57,6 +57,9 @@ struct IntVarInfo {
 struct SoftConstraint {
   ExprId expr = -1;
   int64_t weight = 1;
+  // Provenance label: which repair construct this soft constraint keeps
+  // (e.g. "adj:l3:p1-2"). Empty when the producer did not attach one.
+  std::string label;
 };
 
 class ConstraintSystem {
@@ -81,8 +84,20 @@ class ConstraintSystem {
   ExprId LinearLe(std::vector<LinearTerm> terms, int64_t constant);
   ExprId LinearEq(std::vector<LinearTerm> terms, int64_t constant);
 
-  void AddHard(ExprId e) { hard_.push_back(e); }
-  void AddSoft(ExprId e, int64_t weight) { soft_.push_back(SoftConstraint{e, weight}); }
+  // `label` tags the constraint for provenance: policy id for hard
+  // constraints, construct key for softs. Hard labels live in a parallel
+  // vector so `hard()` stays a plain ExprId list for backends.
+  void AddHard(ExprId e, std::string label = {}) {
+    hard_.push_back(e);
+    hard_labels_.push_back(label.empty() ? hard_context_ : std::move(label));
+  }
+  // Default label for AddHard calls that pass none — producers set it around
+  // a group of constraints (e.g. one policy's encoding) instead of threading
+  // a label through every call site.
+  void SetHardLabelContext(std::string label) { hard_context_ = std::move(label); }
+  void AddSoft(ExprId e, int64_t weight, std::string label = {}) {
+    soft_.push_back(SoftConstraint{e, weight, std::move(label)});
+  }
 
   // --- Introspection for backends and stats ---
   int BoolCount() const { return static_cast<int>(bool_names_.size()); }
@@ -91,9 +106,17 @@ class ConstraintSystem {
   const IntVarInfo& IntVar(IVarId v) const { return int_vars_[static_cast<size_t>(v)]; }
   const ExprNode& node(ExprId e) const { return nodes_[static_cast<size_t>(e)]; }
   const std::vector<ExprId>& hard() const { return hard_; }
+  const std::string& HardLabel(size_t i) const { return hard_labels_[i]; }
   const std::vector<SoftConstraint>& soft() const { return soft_; }
   bool HasIntegers() const { return !int_vars_.empty(); }
   int64_t TotalSoftWeight() const;
+
+  // Evaluates an expression against a candidate model (bool_values indexed
+  // by BVarId, int_values by IVarId). Missing assignments read as
+  // false / 0. Shared by backends (to report which softs a model violates)
+  // and by the repair decoder.
+  bool EvalOnModel(ExprId e, const std::vector<bool>& bool_values,
+                   const std::vector<int64_t>& int_values) const;
 
  private:
   ExprId AddNode(ExprNode node);
@@ -102,6 +125,8 @@ class ConstraintSystem {
   std::vector<std::string> bool_names_;
   std::vector<IntVarInfo> int_vars_;
   std::vector<ExprId> hard_;
+  std::vector<std::string> hard_labels_;  // Parallel to hard_.
+  std::string hard_context_;
   std::vector<SoftConstraint> soft_;
   ExprId true_ = -1;
   ExprId false_ = -1;

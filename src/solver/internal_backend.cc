@@ -7,8 +7,10 @@
 // here; such systems are reported kUnsupported and the repair engine routes
 // them to Z3.
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netbase/deadline.h"
@@ -21,9 +23,13 @@ namespace cpr {
 
 namespace {
 
+// Templated over the clause sink so the same encoder serves both the
+// MaxSatSolver solve path and the plain-SatSolver unsat-core path. `Solver`
+// needs NewVar() -> BoolVar and AddHard(Clause).
+template <typename Solver>
 class Tseitin {
  public:
-  Tseitin(MaxSatSolver* solver, const ConstraintSystem& system)
+  Tseitin(Solver* solver, const ConstraintSystem& system)
       : solver_(solver), system_(system) {
     // Decision variables occupy the first BoolCount() solver variables so
     // the model maps back by identity.
@@ -101,11 +107,58 @@ class Tseitin {
   }
 
  private:
-  MaxSatSolver* solver_;
+  Solver* solver_;
   const ConstraintSystem& system_;
   Lit true_lit_ = kUndefLit;
   std::unordered_map<ExprId, Lit> cache_;
 };
+
+// Adapts SatSolver to the Tseitin clause-sink interface.
+struct SatSink {
+  SatSolver* sat;
+  BoolVar NewVar() { return sat->NewVar(); }
+  void AddHard(Clause clause) { sat->AddClause(std::move(clause)); }
+};
+
+// Assumption-based unsat core for an UNSAT system: re-encode the hard
+// constraints into a fresh SAT solver, assume every hard root literal, and
+// map the failed-assumption subset back to hard-constraint indices. The
+// shared Tseitin cache can hand two hard constraints the same root literal;
+// the core then lists both (a correct, if less minimal, core).
+void ExtractInternalCore(const ConstraintSystem& system, double timeout_seconds,
+                         MaxSmtResult* result) {
+  SatSolver sat;
+  sat.SetDeadline(Deadline::After(timeout_seconds));
+  SatSink sink{&sat};
+  Tseitin<SatSink> tseitin(&sink, system);
+  std::vector<Lit> assumptions;
+  std::unordered_map<int64_t, std::vector<int>> owners;  // Lit key -> hards.
+  const std::vector<ExprId>& hards = system.hard();
+  for (size_t i = 0; i < hards.size(); ++i) {
+    std::optional<Lit> lit = tseitin.Encode(hards[i]);
+    if (!lit.has_value()) {
+      return;  // Not boolean-expressible; the solve path reported that.
+    }
+    int64_t key = static_cast<int64_t>(lit->var()) * 2 + (lit->negated() ? 1 : 0);
+    auto [it, inserted] = owners.try_emplace(key);
+    if (inserted) {
+      assumptions.push_back(*lit);
+    }
+    it->second.push_back(static_cast<int>(i));
+  }
+  if (sat.Solve(assumptions) != SatResult::kUnsat) {
+    return;  // Timed out (or the Tseitin roots alone are level-0 unsat).
+  }
+  for (Lit failed : sat.UnsatCore()) {
+    int64_t key = static_cast<int64_t>(failed.var()) * 2 + (failed.negated() ? 1 : 0);
+    auto it = owners.find(key);
+    if (it != owners.end()) {
+      result->unsat_core.insert(result->unsat_core.end(), it->second.begin(),
+                                it->second.end());
+    }
+  }
+  std::sort(result->unsat_core.begin(), result->unsat_core.end());
+}
 
 // Copies the CDCL/MaxSAT engine's per-solve statistics onto the result (for
 // per-problem reports) and accumulates them into the global registry (for
@@ -147,7 +200,7 @@ class InternalBackend final : public MaxSmtBackend {
     }
     MaxSatSolver maxsat;
     maxsat.SetDeadline(Deadline::After(timeout_seconds));
-    Tseitin tseitin(&maxsat, system);
+    Tseitin<MaxSatSolver> tseitin(&maxsat, system);
     for (ExprId hard : system.hard()) {
       std::optional<Lit> lit = tseitin.Encode(hard);
       if (!lit.has_value()) {
@@ -175,6 +228,7 @@ class InternalBackend final : public MaxSmtBackend {
         result.message = "CDCL search abandoned at the time limit";
       } else {
         result.status = MaxSmtResult::Status::kUnsat;
+        ExtractInternalCore(system, timeout_seconds, &result);
       }
       return result;
     }
@@ -183,6 +237,13 @@ class InternalBackend final : public MaxSmtBackend {
     result.bool_values.resize(static_cast<size_t>(system.BoolCount()));
     for (BVarId v = 0; v < system.BoolCount(); ++v) {
       result.bool_values[static_cast<size_t>(v)] = solution->model[static_cast<size_t>(v)];
+    }
+    // Provenance: which softs the optimum sacrificed.
+    const std::vector<SoftConstraint>& softs = system.soft();
+    for (size_t i = 0; i < softs.size(); ++i) {
+      if (!system.EvalOnModel(softs[i].expr, result.bool_values, result.int_values)) {
+        result.violated_soft.push_back(static_cast<int>(i));
+      }
     }
     return result;
   }

@@ -3,6 +3,7 @@
 // Soft constraints become assert_soft terms in a single objective group, so
 // Z3 minimizes the total violated weight exactly.
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
@@ -127,6 +128,7 @@ class Z3Backend final : public MaxSmtBackend {
       ExtractStatistics(opt, &result);
       if (check == z3::unsat) {
         result.status = MaxSmtResult::Status::kUnsat;
+        ExtractUnsatCore(&ctx, &translator, system, timeout_seconds, &result);
         return result;
       }
       if (check == z3::unknown) {
@@ -148,10 +150,12 @@ class Z3Backend final : public MaxSmtBackend {
         z3::expr value = model.eval(translator.int_consts()[static_cast<size_t>(v)], true);
         result.int_values[static_cast<size_t>(v)] = value.get_numeral_int64();
       }
-      // Cost = total weight of soft constraints the model violates.
+      // Cost = total weight of soft constraints the model violates; the
+      // violated indices double as the edit-provenance record.
       for (size_t i = 0; i < soft_exprs.size(); ++i) {
         if (model.eval(soft_exprs[i], true).is_false()) {
           result.cost += system.soft()[i].weight;
+          result.violated_soft.push_back(static_cast<int>(i));
         }
       }
       return result;
@@ -167,6 +171,57 @@ class Z3Backend final : public MaxSmtBackend {
   std::string name() const override { return "z3-optimize"; }
 
  private:
+  // Best-effort unsat core for an UNSAT system: re-check with a plain
+  // z3::solver asserting each hard constraint under a tracking boolean
+  // ("hc<i>"), ask Z3 to minimize the core, and map the surviving tracking
+  // booleans back to hard-constraint indices. Failures (old Z3 without
+  // core.minimize, a timeout during the re-check) leave the core empty —
+  // provenance never turns an UNSAT answer into an error.
+  static void ExtractUnsatCore(z3::context* ctx, Z3Translator* translator,
+                               const ConstraintSystem& system,
+                               double timeout_seconds, MaxSmtResult* result) {
+    try {
+      z3::solver solver(*ctx);
+      z3::params params(*ctx);
+      params.set("unsat_core", true);
+      if (timeout_seconds > 0) {
+        params.set("timeout", TimeoutMillis(timeout_seconds));
+      }
+      solver.set(params);
+      try {
+        z3::params minimize(*ctx);
+        minimize.set("core.minimize", true);
+        solver.set(minimize);
+      } catch (const z3::exception&) {
+        // Minimization is an optimization of the diagnostic, not required.
+      }
+      const std::vector<ExprId>& hards = system.hard();
+      for (size_t i = 0; i < hards.size(); ++i) {
+        std::string tag = "hc" + std::to_string(i);
+        solver.add(translator->Translate(hards[i]), tag.c_str());
+      }
+      for (IVarId v = 0; v < system.IntCount(); ++v) {
+        const IntVarInfo& info = system.IntVar(v);
+        const z3::expr& var = translator->int_consts()[static_cast<size_t>(v)];
+        solver.add(var >= ctx->int_val(info.lower));
+        solver.add(var <= ctx->int_val(info.upper));
+      }
+      if (solver.check() != z3::unsat) {
+        return;  // The re-check timed out; keep the core empty.
+      }
+      z3::expr_vector core = solver.unsat_core();
+      for (unsigned i = 0; i < core.size(); ++i) {
+        std::string tag = core[static_cast<int>(i)].decl().name().str();
+        if (tag.rfind("hc", 0) == 0) {
+          result->unsat_core.push_back(std::stoi(tag.substr(2)));
+        }
+      }
+      std::sort(result->unsat_core.begin(), result->unsat_core.end());
+    } catch (const z3::exception&) {
+      result->unsat_core.clear();
+    }
+  }
+
   // Surfaces Z3's Optimize statistics (decisions, conflicts, restarts,
   // memory, ...) as "z3.<key>" counters on the result, and mirrors the call
   // count into the global registry. Key names vary across Z3 versions; every

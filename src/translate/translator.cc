@@ -1,6 +1,7 @@
 #include "translate/translator.h"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 #include "config/printer.h"
@@ -15,53 +16,80 @@ namespace {
 class Patcher {
  public:
   Patcher(const Network& network, std::vector<Config>* configs,
-          NetworkAnnotations* annotations, std::vector<std::string>* log)
-      : network_(network), configs_(configs), annotations_(annotations), log_(log) {}
+          NetworkAnnotations* annotations, std::vector<std::string>* log,
+          std::vector<EditTrace>* traces)
+      : network_(network),
+        configs_(configs),
+        annotations_(annotations),
+        log_(log),
+        traces_(traces) {}
 
   Status Apply(const RepairEdits& edits) {
     for (const AdjacencyEdit& edit : edits.adjacencies) {
-      Status status = ApplyAdjacency(edit);
+      Status status = Traced(edit, &Patcher::ApplyAdjacency);
       if (!status.ok()) {
         return status;
       }
     }
     for (const RedistributionEdit& edit : edits.redistributions) {
-      Status status = ApplyRedistribution(edit);
+      Status status = Traced(edit, &Patcher::ApplyRedistribution);
       if (!status.ok()) {
         return status;
       }
     }
     for (const FilterEdit& edit : edits.filters) {
-      Status status = ApplyFilter(edit);
+      Status status = Traced(edit, &Patcher::ApplyFilter);
       if (!status.ok()) {
         return status;
       }
     }
     for (const StaticRouteEdit& edit : edits.static_routes) {
-      Status status = ApplyStaticRoute(edit);
+      Status status = Traced(edit, &Patcher::ApplyStaticRoute);
       if (!status.ok()) {
         return status;
       }
     }
     for (const AclEdit& edit : edits.acls) {
-      Status status = ApplyAcl(edit);
+      Status status = Traced(edit, &Patcher::ApplyAcl);
       if (!status.ok()) {
         return status;
       }
     }
     for (const CostEdit& edit : edits.costs) {
-      Status status = ApplyCost(edit);
+      Status status = Traced(edit, &Patcher::ApplyCost);
       if (!status.ok()) {
         return status;
       }
     }
     for (const WaypointEdit& edit : edits.waypoints) {
-      ApplyWaypoint(edit);
+      Status status = Traced(edit, [](Patcher& self, const WaypointEdit& e) {
+        self.ApplyWaypoint(e);
+        return Status::Ok();
+      });
+      if (!status.ok()) {
+        return status;
+      }
     }
     return Status::Ok();
   }
 
  private:
+  // Runs one edit's Apply* and, on success, records an EditTrace covering
+  // the change-log lines that edit produced.
+  template <typename Edit, typename Fn>
+  Status Traced(const Edit& edit, Fn fn) {
+    size_t before = log_->size();
+    Status status = std::invoke(fn, *this, edit);
+    if (status.ok()) {
+      EditTrace trace;
+      trace.construct = ConstructKey(edit);
+      trace.summary = Describe(edit);
+      trace.changes.assign(log_->begin() + static_cast<ptrdiff_t>(before), log_->end());
+      traces_->push_back(std::move(trace));
+    }
+    return status;
+  }
+
   Config& ConfigOf(DeviceId device) {
     int index = network_.devices()[static_cast<size_t>(device)].config_index;
     return (*configs_)[static_cast<size_t>(index)];
@@ -559,6 +587,7 @@ class Patcher {
   std::vector<Config>* configs_;
   NetworkAnnotations* annotations_;
   std::vector<std::string>* log_;
+  std::vector<EditTrace>* traces_;
 };
 
 }  // namespace
@@ -590,7 +619,7 @@ Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdi
   result.annotations = network.annotations();
 
   Patcher patcher(network, &result.patched_configs, &result.annotations,
-                  &result.change_log);
+                  &result.change_log, &result.edit_traces);
   Status status = patcher.Apply(edits);
   if (!status.ok()) {
     return status.error();

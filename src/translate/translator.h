@@ -39,6 +39,17 @@
 
 namespace cpr {
 
+// Provenance record for one applied construct edit: which construct it
+// changed (canonical key from repair/edits.h), a human summary, and the
+// change-log lines it produced. Joined by construct key with the repair
+// engine's ProvenanceChains so every configuration line traces back to the
+// soft constraint whose violation demanded it.
+struct EditTrace {
+  std::string construct;
+  std::string summary;
+  std::vector<std::string> changes;
+};
+
 struct TranslationResult {
   // One patched config per original device (same order).
   std::vector<Config> patched_configs;
@@ -48,6 +59,8 @@ struct TranslationResult {
   std::vector<ConfigDiff> device_diffs;
   // Human-readable change log, one entry per construct edit.
   std::vector<std::string> change_log;
+  // One trace per applied edit, in application order.
+  std::vector<EditTrace> edit_traces;
 
   // Total configuration lines changed (sum of per-device added+removed).
   int LinesChanged() const;

@@ -12,6 +12,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 
 namespace cpr::obs {
@@ -114,6 +115,41 @@ TEST(HistogramTest, ConcurrentObservationsKeepExactCountAndExtremes) {
   EXPECT_DOUBLE_EQ(data.max_seconds, 1e-6 * kThreads);
 }
 
+TEST(HistogramTest, QuantilesAreOrderedAndInsideObservedRange) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.hist.q");
+  EXPECT_EQ(histogram.Data().QuantileSeconds(0.5), 0.0);  // Defined 0 when empty.
+  // 90 fast observations and 10 slow ones: p50/p90 must sit in the fast
+  // mass, p99 in the slow tail, and every estimate inside [min, max].
+  for (int i = 0; i < 90; ++i) {
+    histogram.Observe(1e-3);
+  }
+  for (int i = 0; i < 10; ++i) {
+    histogram.Observe(1.0);
+  }
+  HistogramData data = histogram.Data();
+  double p50 = data.QuantileSeconds(0.50);
+  double p90 = data.QuantileSeconds(0.90);
+  double p99 = data.QuantileSeconds(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, data.min_seconds);
+  EXPECT_LE(p99, data.max_seconds);
+  EXPECT_LT(p50, 0.01);  // Log2-microsecond bucket of the 1ms mass.
+  EXPECT_GT(p99, 0.5);   // The tail observation.
+}
+
+TEST(HistogramTest, QuantileOfSingleObservationIsExact) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.hist.q1");
+  histogram.Observe(0.5);
+  // With one observation min == max == 0.5, and clamping makes every
+  // quantile exact despite the coarse bucket estimate.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Data().QuantileSeconds(q), 0.5) << q;
+  }
+}
+
 TEST(RegistryTest, SnapshotIsSortedAndComplete) {
   Registry registry;
   registry.counter("b.counter").Add(2);
@@ -210,6 +246,28 @@ TEST(SpanTest, ThreadsGetDistinctIndicesAndOwnRoots) {
       EXPECT_EQ(records[static_cast<size_t>(record.parent)].thread, record.thread);
     }
   }
+}
+
+// Chrome trace export: the span tree (with per-span args) must serialize
+// into a valid trace_event document carrying one "X" event per span plus
+// thread_name metadata.
+TEST(SpanTest, ChromeTraceExportIsValidAndComplete) {
+  Trace& trace = Trace::Global();
+  trace.Enable();
+  {
+    StageSpan outer("pipeline.test");
+    outer.Annotate("status", "ok");
+    { StageSpan inner("repair.test_child"); }
+  }
+  trace.Disable();
+  std::string doc = BuildChromeTrace(trace.Records());
+  std::string error;
+  ASSERT_TRUE(ValidateJson(doc, &error)) << error;
+  EXPECT_NE(doc.find("\"pipeline.test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"repair.test_child\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("thread_name"), std::string::npos);
+  EXPECT_NE(doc.find("\"status\":\"ok\""), std::string::npos);
 }
 
 TEST(JsonWriterTest, CommasAndNesting) {

@@ -12,8 +12,19 @@
 //       [--max-retries N] [--no-failover] [--no-partial]
 //       [--inject-fault SPEC] [--out DIR] [--no-simulate]
 //       [--lint error|warn|off]
+//   cpr explain  <config-dir> <policy-file> [--json]
+//                                                  compute a repair and print
+//                                                  each edit's provenance
+//                                                  chain (policy -> problem ->
+//                                                  flipped soft constraint ->
+//                                                  construct -> config lines);
+//                                                  takes the repair options
 //   cpr gen      <out-dir> --fattree PORTS [--dirty N] [--seed S]
 //                                                  write synthetic configs
+//
+// Every command accepts --stats-json PATH (machine-readable run report) and
+// --trace-out PATH (Chrome trace_event JSON of the stage-span tree; load via
+// chrome://tracing or https://ui.perfetto.dev).
 //
 // A config directory holds one file per router (any extension); the policy
 // file uses the format documented in core/policy_spec.h.
@@ -39,6 +50,7 @@
 #include "lint/lint.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 #include "simulate/simulator.h"
 #include "verify/checker.h"
@@ -54,12 +66,18 @@ int Usage() {
                "usage: cpr show|infer <config-dir> [<policy-file>]\n"
                "       cpr lint <config-dir> [--json]\n"
                "       cpr verify|repair <config-dir> <policy-file> [options]\n"
+               "       cpr explain <config-dir> <policy-file> [--json] [options]\n"
+               "                            compute a repair and print each edit's\n"
+               "                            provenance chain (policy -> problem ->\n"
+               "                            soft constraint -> construct -> lines)\n"
                "       cpr gen <out-dir> --fattree PORTS [--dirty N] [--seed S]\n"
                "options: --granularity perdst|alltcs  --backend z3|internal\n"
                "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n"
                "         --stats-json PATH    write a machine-readable run report\n"
                "                              (stage spans, solver counters, per-\n"
                "                              problem results) to PATH\n"
+               "         --trace-out PATH     write a Chrome trace_event JSON of\n"
+               "                              the stage spans (chrome://tracing)\n"
                "         --lint error|warn|off  pre-repair lint gate: refuse on\n"
                "                              errors (default), report only, or skip\n"
                "robustness: --deadline SECONDS   total wall-clock budget\n"
@@ -120,7 +138,8 @@ struct CliArgs {
   std::string policy_file;
   std::string out_dir;
   std::string stats_json_path;  // Empty: no stats file.
-  bool json = false;            // `cpr lint --json`.
+  std::string trace_out_path;   // Empty: no Chrome trace file.
+  bool json = false;            // `cpr lint --json` / `cpr explain --json`.
   int fattree_ports = 0;        // `cpr gen --fattree PORTS`.
   int dirty = 0;                // `cpr gen --dirty N` lint defects.
   unsigned seed = 1;
@@ -230,6 +249,12 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         return v.error();
       }
       args.stats_json_path = *v;
+    } else if (flag == "--trace-out") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.trace_out_path = *v;
     } else if (flag == "--no-simulate") {
       args.options.validate_with_simulator = false;
     } else if (flag == "--lint") {
@@ -518,6 +543,16 @@ void PrintProblemDiagnostics(const cpr::Cpr& pipeline, const cpr::RepairStats& s
                  problem.backend.empty() ? "?" : problem.backend.c_str(),
                  problem.solve_seconds, problem.message.empty() ? "" : ": ",
                  problem.message.c_str());
+    if (!problem.unsat_core_labels.empty()) {
+      std::string core;
+      for (const std::string& label : problem.unsat_core_labels) {
+        if (!core.empty()) {
+          core += ", ";
+        }
+        core += label;
+      }
+      std::fprintf(stderr, "    unsat core (conflicting policies): %s\n", core.c_str());
+    }
   }
 }
 
@@ -605,6 +640,38 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
   return report->Sound() ? 0 : 1;
 }
 
+// ---- cpr explain ----------------------------------------------------------
+
+// Recomputes the repair and renders its provenance report: one chain per
+// emitted edit from policy to configuration line, plus the unsat cores of
+// problems that had no repair. The simulator is skipped — explain answers
+// "why these changes", not "does the patch validate".
+int CmdExplain(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies,
+               const CliArgs& args, std::optional<cpr::CprReport>* report_out) {
+  cpr::CprOptions options = args.options;
+  options.validate_with_simulator = false;
+  cpr::Result<cpr::CprReport> report = pipeline.Repair(policies, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "repair error: %s\n", report.error().message().c_str());
+    return 1;
+  }
+  *report_out = *report;
+  if (args.json) {
+    std::string doc = cpr::obs::ProvenanceJson(report->provenance);
+    std::string json_error;
+    if (!cpr::obs::ValidateJson(doc, &json_error)) {
+      std::fprintf(stderr, "internal error: explain json invalid: %s\n",
+                   json_error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", doc.c_str());
+    return 0;
+  }
+  std::printf("status: %s\n", cpr::RepairStatusName(report->status));
+  std::fputs(cpr::obs::ProvenanceText(report->provenance).c_str(), stdout);
+  return 0;
+}
+
 // Serializes the run (trace + registry + optional repair report) to the
 // --stats-json path. Called on every exit path once the pipeline started.
 void WriteStats(const CliArgs& args, int exit_code,
@@ -635,6 +702,22 @@ void WriteStats(const CliArgs& args, int exit_code,
   }
 }
 
+// Serializes the stage-span tree to the --trace-out path as Chrome
+// trace_event JSON (chrome://tracing / ui.perfetto.dev).
+void WriteTrace(const CliArgs& args) {
+  if (args.trace_out_path.empty()) {
+    return;
+  }
+  std::string json =
+      cpr::obs::BuildChromeTrace(cpr::obs::Trace::Global().Records());
+  cpr::Status written = cpr::WriteStatsJson(args.trace_out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.error().message().c_str());
+  } else {
+    std::fprintf(stderr, "trace written to %s\n", args.trace_out_path.c_str());
+  }
+}
+
 int RunCli(int argc, char** argv) {
   auto run_start = std::chrono::steady_clock::now();
   cpr::Result<CliArgs> args = ParseArgs(argc, argv);
@@ -642,9 +725,9 @@ int RunCli(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.error().message().c_str());
     return Usage();
   }
-  if (!args->stats_json_path.empty()) {
-    // A stats file describes exactly one run: drop any instrument state left
-    // by earlier in-process activity and start a fresh trace.
+  if (!args->stats_json_path.empty() || !args->trace_out_path.empty()) {
+    // A stats/trace file describes exactly one run: drop any instrument state
+    // left by earlier in-process activity and start a fresh trace.
     cpr::obs::Registry::Global().Reset();
     cpr::obs::Trace::Global().Enable();
   }
@@ -691,6 +774,7 @@ int RunCli(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
             .count();
     WriteStats(*args, exit_code, report, wall);
+    WriteTrace(*args);
     return exit_code;
   };
 
@@ -712,6 +796,9 @@ int RunCli(int argc, char** argv) {
   }
   if (args->command == "repair") {
     return finish(CmdRepair(*pipeline, *policies, *args, &report));
+  }
+  if (args->command == "explain") {
+    return finish(CmdExplain(*pipeline, *policies, *args, &report));
   }
   return Usage();
 }
