@@ -81,6 +81,8 @@ inline const char* StatusName(RepairStatus status) {
       return "UNSAT";
     case RepairStatus::kTimeout:
       return "TIMEOUT";
+    case RepairStatus::kDeadlineExceeded:
+      return "DEADLINE";
     case RepairStatus::kUnsupported:
       return "UNSUPPORTED";
     case RepairStatus::kPartial:

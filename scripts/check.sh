@@ -121,6 +121,61 @@ done
 rm -f "$trace_json"
 echo "trace smoke OK"
 
+echo "== cprd daemon smoke (submit, drain, restart, recover) =="
+cprd_dir="$(mktemp -d /tmp/cpr-cprd-XXXXXX)"
+sock="$cprd_dir/sock"
+start_cprd() {
+  build/tools/cprd serve --socket "$sock" --checkpoint-dir "$cprd_dir/ckpt" \
+    --workers 1 --solve-threads 2 --results-dir "$cprd_dir/results" \
+    >> "$cprd_dir/daemon.log" 2>&1 &
+  cprd_pid=$!
+  for _ in $(seq 50); do [[ -S "$sock" ]] && return 0; sleep 0.1; done
+  echo "cprd smoke FAILED: daemon never opened $sock" >&2
+  cat "$cprd_dir/daemon.log" >&2
+  exit 1
+}
+start_cprd
+build/tools/cprd ping --socket "$sock" | grep -q 'ok=1'
+# Request 1 runs the full pipeline through the daemon.
+build/tools/cprd submit --socket "$sock" examples/data/paper-example \
+  examples/data/paper-example-boolean.policies --backend internal \
+  --tag smoke --wait 60 | tail -1 | grep -q 'status=success'
+# Request 2 is slow (injected) and request 3 queues behind it (1 worker).
+# SIGTERM mid-flight: the daemon must finish #2 within the drain deadline
+# and checkpoint #3 for the next daemon.
+build/tools/cprd submit --socket "$sock" examples/data/paper-example \
+  examples/data/paper-example-boolean.policies --backend internal \
+  --tag slow --inject-fault 'slow:p=1:slow=1.5:seed=1' | grep -q 'admitted=1 id=2'
+build/tools/cprd submit --socket "$sock" examples/data/paper-example \
+  examples/data/paper-example-boolean.policies --backend internal \
+  --tag queued | grep -q 'admitted=1 id=3'
+kill -TERM "$cprd_pid"
+wait "$cprd_pid"
+# The restarted daemon recovers exactly the unfinished request (#3) and
+# completes it; #1 and #2 finished and must never re-run.
+start_cprd
+build/tools/cprd stats --socket "$sock" | grep -q ' recovered=1'
+build/tools/cprd wait --socket "$sock" --id 3 --timeout 60 | grep -q 'state=done'
+build/tools/cprd drain --socket "$sock" | grep -q 'draining=1'
+wait "$cprd_pid"
+# A third daemon finds a clean slate: completed work is never recovered.
+start_cprd
+build/tools/cprd stats --socket "$sock" | grep -q ' recovered=0'
+build/tools/cprd drain --socket "$sock" >/dev/null
+wait "$cprd_pid"
+rm -rf "$cprd_dir"
+echo "cprd smoke OK"
+
+echo "== cprd loadgen vs committed baseline =="
+cprd_bench_json="$(mktemp /tmp/cpr-cprd-bench-XXXXXX.json)"
+CPR_BENCH_JSON="$cprd_bench_json" build/bench/cprd_throughput >/dev/null
+# Throughput on shared CI machines is noisy; the committed baseline is
+# conservative and the tolerance loose — this catches collapses, not jitter.
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_cprd_throughput.json "$cprd_bench_json" --tolerance 0.5
+rm -f "$cprd_bench_json"
+echo "cprd loadgen OK"
+
 echo "== bench compare (trajectory vs committed baseline) =="
 bench_json="$(mktemp /tmp/cpr-bench-XXXXXX.json)"
 scripts/bench_smoke.sh "$bench_json" >/dev/null
@@ -139,14 +194,15 @@ cmake -B build-asan -S . -DCPR_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 # Leak detection is off: Z3 keeps global state alive at exit.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
-  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json'
+  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json|Daemon|Checkpoint|SnapshotCache|Wire'
 
 echo "== TSan configuration =="
 cmake -B build-tsan -S . -DCPR_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$jobs" --target obs_test repair_test
+cmake --build build-tsan -j "$jobs" --target obs_test repair_test serve_test
 # The observability layer is lock-free on the hot path; TSan validates the
-# atomics, and the repair tests validate the worker pool that feeds them.
+# atomics, the repair tests validate the worker pool that feeds them, and the
+# serve tests validate the daemon (workers + shared solve pool + drain).
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan --output-on-failure \
-  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair'
+  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair|Daemon|Checkpoint|SnapshotCache|Wire'
 
 echo "== all checks passed =="

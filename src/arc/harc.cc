@@ -224,7 +224,7 @@ Harc Harc::Build(const Network& network) {
   const EtgUniverse& universe = *harc.universe_;
   const int subnet_count = static_cast<int>(network.subnets().size());
   {
-    obs::Registry& registry = obs::Registry::Global();
+    obs::Registry& registry = obs::CurrentRegistry();
     registry.gauge("harc.subnets").Set(subnet_count);
     registry.gauge("harc.candidate_vertices").Set(universe.VertexCount());
     registry.gauge("harc.candidate_edges").Set(universe.EdgeCount());

@@ -25,7 +25,7 @@ Result<Cpr> Cpr::FromConfigTexts(const std::vector<std::string>& texts,
       configs.push_back(std::move(parsed).value());
     }
   }
-  obs::Registry::Global().gauge("pipeline.configs_parsed")
+  obs::CurrentRegistry().gauge("pipeline.configs_parsed")
       .Set(static_cast<int64_t>(configs.size()));
   return FromConfigs(std::move(configs), std::move(annotations));
 }
@@ -47,6 +47,15 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
   CprReport report;
 
+  // A request whose wall-clock budget is already gone — zero, negative, or
+  // consumed while queued — must not start any work, not even the lint
+  // gate: the caller gets a clean kDeadlineExceeded report immediately.
+  if (options.repair.deadline.Expired()) {
+    report.status = RepairStatus::kDeadlineExceeded;
+    obs::CurrentRegistry().counter("repair.deadline_rejects").Increment();
+    return report;
+  }
+
   // Pre-repair lint gate: a config that references undefined constructs or
   // carries an inconsistent topology produces a wrong HARC and therefore a
   // confidently wrong repair — refuse it up front (paper §9 offloads this to
@@ -54,7 +63,7 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   if (options.lint_mode != LintMode::kOff) {
     obs::StageSpan lint_span("pipeline.lint");
     report.lint_report = lint::Run(network_->configs());
-    obs::Registry& registry = obs::Registry::Global();
+    obs::Registry& registry = obs::CurrentRegistry();
     registry.counter("lint.findings")
         .Add(static_cast<int64_t>(report.lint_report.diagnostics.size()));
     registry.counter("lint.errors").Add(report.lint_report.errors);
@@ -151,7 +160,7 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
     report.lint_new_findings = lint::NewFindings(report.lint_report, patched_lint);
     report.stats.lint_audit_new_findings =
         static_cast<int>(report.lint_new_findings.size());
-    obs::Registry::Global()
+    obs::CurrentRegistry()
         .counter("lint.audit_new_findings")
         .Add(static_cast<int64_t>(report.lint_new_findings.size()));
   }

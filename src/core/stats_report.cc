@@ -29,7 +29,7 @@ void WriteRun(obs::JsonWriter* w, const StatsRunInfo& run) {
 
 void WriteStages(obs::JsonWriter* w) {
   w->Key("stages").BeginArray();
-  for (const obs::SpanRecord& span : obs::Trace::Global().Records()) {
+  for (const obs::SpanRecord& span : obs::CurrentTrace().Records()) {
     w->BeginObject();
     w->Key("name").String(span.name);
     w->Key("parent").Int(span.parent);
@@ -49,7 +49,7 @@ void WriteStages(obs::JsonWriter* w) {
 }
 
 void WriteInstruments(obs::JsonWriter* w) {
-  obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  obs::Snapshot snapshot = obs::CurrentRegistry().TakeSnapshot();
   w->Key("counters").BeginObject();
   for (const auto& [name, value] : snapshot.counters) {
     w->Key(name).Int(value);

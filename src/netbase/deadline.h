@@ -36,6 +36,25 @@ class Deadline {
     return deadline;
   }
 
+  // A deadline that has already passed. This is how "zero budget" is spelled
+  // explicitly: After(0) means unbounded for historical CLI reasons, but a
+  // server that computes `remaining = budget - elapsed` and lands on <= 0
+  // must produce a deadline that is expired, not one that never expires.
+  static Deadline Exhausted() {
+    Deadline deadline;
+    deadline.bounded_ = true;
+    deadline.at_ = Clock::time_point::min();
+    return deadline;
+  }
+
+  // Remaining budget as a deadline: seconds > 0 behaves like After();
+  // seconds <= 0 is an exhausted (already expired) budget. Distinct from
+  // After() because callers subtracting elapsed time from a budget must
+  // never have an overdrawn budget flip to "unbounded".
+  static Deadline FromBudget(double seconds) {
+    return seconds > 0 ? After(seconds) : Exhausted();
+  }
+
   bool unbounded() const { return !bounded_; }
 
   bool Expired() const { return bounded_ && Clock::now() >= at_; }
@@ -45,7 +64,13 @@ class Deadline {
     if (!bounded_) {
       return std::numeric_limits<double>::infinity();
     }
-    return std::max(0.0, std::chrono::duration<double>(at_ - Clock::now()).count());
+    Clock::time_point now = Clock::now();
+    if (now >= at_) {
+      // Checked before subtracting: Exhausted()'s time_point::min() would
+      // overflow the duration arithmetic below.
+      return 0.0;
+    }
+    return std::chrono::duration<double>(at_ - now).count();
   }
 
   // Per-call solver timeout: the smaller of `cap` (<= 0 meaning "no cap")

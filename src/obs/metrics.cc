@@ -105,6 +105,20 @@ Registry& Registry::Global() {
   return *registry;
 }
 
+namespace {
+thread_local Registry* tls_registry = nullptr;
+}  // namespace
+
+Registry& CurrentRegistry() {
+  return tls_registry != nullptr ? *tls_registry : Registry::Global();
+}
+
+RegistryScope::RegistryScope(Registry* registry) : previous_(tls_registry) {
+  tls_registry = registry;
+}
+
+RegistryScope::~RegistryScope() { tls_registry = previous_; }
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);

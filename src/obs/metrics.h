@@ -106,7 +106,9 @@ struct Snapshot {
 
 class Registry {
  public:
-  // The process-wide registry the pipeline instruments against.
+  // The process-wide default registry. Instrument sites should normally go
+  // through CurrentRegistry() instead, which resolves to this unless a
+  // RegistryScope is active on the calling thread.
   static Registry& Global();
 
   Counter& counter(std::string_view name);
@@ -125,6 +127,33 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- Per-request scoping -----------------------------------------------
+//
+// A long-running server executes many repairs concurrently; if they all
+// instrumented Registry::Global(), two requests would interleave counts in
+// each other's --stats-json output. CurrentRegistry() resolves to a
+// thread-local override when a RegistryScope is active, and to Global()
+// otherwise, so single-process CLI behavior is unchanged while cprd gives
+// every request its own registry. The repair engine propagates the caller's
+// current registry into its worker threads/tasks, so a scope installed
+// around Cpr::Repair() covers the whole parallel solve.
+
+// The registry instrument sites should write to on this thread.
+Registry& CurrentRegistry();
+
+// RAII: routes CurrentRegistry() on this thread to `registry` (nullptr
+// restores Global()). Scopes nest; each restores the previous binding.
+class RegistryScope {
+ public:
+  explicit RegistryScope(Registry* registry);
+  ~RegistryScope();
+  RegistryScope(const RegistryScope&) = delete;
+  RegistryScope& operator=(const RegistryScope&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 }  // namespace cpr::obs

@@ -14,6 +14,13 @@ struct ThreadState {
 
 thread_local ThreadState tls_state;
 
+// One generation counter shared by every Trace instance: each Enable() gets
+// a process-unique epoch, so TLS state from one trace can never be mistaken
+// for state belonging to another (pool threads hop between request traces).
+std::atomic<uint64_t> g_generation{0};
+
+thread_local Trace* tls_trace = nullptr;
+
 }  // namespace
 
 Trace& Trace::Global() {
@@ -21,11 +28,17 @@ Trace& Trace::Global() {
   return *trace;
 }
 
+Trace& CurrentTrace() { return tls_trace != nullptr ? *tls_trace : Trace::Global(); }
+
+TraceScope::TraceScope(Trace* trace) : previous_(tls_trace) { tls_trace = trace; }
+
+TraceScope::~TraceScope() { tls_trace = previous_; }
+
 void Trace::Enable() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
   next_thread_index_ = 0;
-  ++generation_;
+  generation_ = g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
   origin_ = Clock::now();
   enabled_.store(true, std::memory_order_relaxed);
 }

@@ -45,7 +45,8 @@ class Trace {
  public:
   using Clock = std::chrono::steady_clock;
 
-  // The process-wide trace the pipeline instruments against.
+  // The process-wide default trace. StageSpan goes through CurrentTrace(),
+  // which resolves to this unless a TraceScope is active on the thread.
   static Trace& Global();
 
   // Enables recording, discarding any previous records and re-basing the
@@ -69,20 +70,40 @@ class Trace {
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;
   int32_t next_thread_index_ = 0;
-  uint64_t generation_ = 0;  // Bumped by Enable(); invalidates stale TLS state.
+  // Globally unique per Enable() across every Trace instance, so a thread
+  // that alternates between per-request traces (a shared solve pool) never
+  // reuses stale TLS span state from another trace.
+  uint64_t generation_ = 0;
+};
+
+// The trace StageSpan records into on this thread: a thread-local override
+// when a TraceScope is active (cprd gives every request its own trace),
+// Global() otherwise.
+Trace& CurrentTrace();
+
+// RAII: routes CurrentTrace() on this thread to `trace` (nullptr restores
+// Global()). Scopes nest; each restores the previous binding.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* previous_;
 };
 
 class StageSpan {
  public:
-  explicit StageSpan(std::string_view name) {
-    Trace& trace = Trace::Global();
-    if (trace.enabled()) {
-      index_ = trace.BeginSpan(name);
+  explicit StageSpan(std::string_view name) : trace_(&CurrentTrace()) {
+    if (trace_->enabled()) {
+      index_ = trace_->BeginSpan(name);
     }
   }
   ~StageSpan() {
     if (index_ >= 0) {
-      Trace::Global().EndSpan(index_);
+      trace_->EndSpan(index_);
     }
   }
 
@@ -90,7 +111,7 @@ class StageSpan {
   // is disabled). Values appear under "args" in trace exports.
   void Annotate(std::string_view key, std::string_view value) {
     if (index_ >= 0) {
-      Trace::Global().Annotate(index_, key, value);
+      trace_->Annotate(index_, key, value);
     }
   }
 
@@ -98,6 +119,7 @@ class StageSpan {
   StageSpan& operator=(const StageSpan&) = delete;
 
  private:
+  Trace* trace_;  // Captured at construction so destruction pairs correctly.
   int32_t index_ = -1;
 };
 

@@ -3,9 +3,25 @@
 #ifndef CPR_SRC_REPAIR_OPTIONS_H_
 #define CPR_SRC_REPAIR_OPTIONS_H_
 
+#include <functional>
+
+#include "netbase/deadline.h"
 #include "solver/fault_injection.h"
 
 namespace cpr {
+
+// Where the repair engine runs per-problem solver work. By default it spawns
+// its own `num_threads` workers per call; a long-running server instead
+// installs a shared executor (serve/thread_pool.h) so the per-dst problems
+// of *concurrent* repair requests shard across one bounded pool instead of
+// multiplying threads per request. Implementations must run every submitted
+// task exactly once; tasks never block on other tasks, so a fixed-size pool
+// cannot deadlock.
+class SolveTaskRunner {
+ public:
+  virtual ~SolveTaskRunner() = default;
+  virtual void Submit(std::function<void()> task) = 0;
+};
 
 // Which MaxSMT problem granularity to use (paper §5.3).
 //
@@ -50,6 +66,15 @@ struct RepairOptions {
   // call derives its timeout from the remaining budget. <= 0 means
   // unbounded.
   double deadline_seconds = 0;
+  // Absolute wall-clock deadline; when bounded it takes precedence over
+  // deadline_seconds. This is how a server propagates a per-request budget
+  // that started ticking at admission (queue wait included): an already
+  // expired deadline makes the repair return RepairStatus::kDeadlineExceeded
+  // immediately, before any solver work.
+  Deadline deadline = Deadline::Never();
+  // Shared cross-request solve executor; nullptr means "spawn num_threads
+  // local workers" (the CLI path). See SolveTaskRunner above.
+  SolveTaskRunner* solve_runner = nullptr;
   // Extra attempts after a per-problem solver timeout. 0 (the default)
   // preserves the paper pipeline's one-shot behavior and bench timings.
   int max_retries = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <map>
 #include <memory>
@@ -171,8 +172,23 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
                                     const RepairOptions& options) {
   Clock::time_point wall_start = Clock::now();
   // Shared wall-clock budget for the whole run; encoding draws it down too.
-  Deadline deadline = Deadline::After(options.deadline_seconds);
+  // An absolute deadline (per-request budget started at admission) takes
+  // precedence over the relative deadline_seconds convenience.
+  Deadline deadline = options.deadline.unbounded()
+                          ? Deadline::After(options.deadline_seconds)
+                          : options.deadline;
   RepairOutcome outcome;
+  // A budget that is already gone — zero, negative, or consumed by queue
+  // wait — fails fast with a clean, empty report: no partitioning, no
+  // encoding, no solver calls. (Mid-run exhaustion still reports kTimeout
+  // per problem, preserving partial-merge semantics.)
+  if (deadline.Expired()) {
+    outcome.repaired = original;
+    outcome.status = RepairStatus::kDeadlineExceeded;
+    outcome.stats.wall_seconds = Seconds(wall_start);
+    obs::CurrentRegistry().counter("repair.deadline_rejects").Increment();
+    return outcome;
+  }
   outcome.repaired = original;
 
   std::vector<RepairProblem> problems;
@@ -220,7 +236,7 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   }
   outcome.stats.encode_seconds = Seconds(encode_start);
   {
-    obs::Registry& registry = obs::Registry::Global();
+    obs::Registry& registry = obs::CurrentRegistry();
     registry.gauge("repair.problems_formulated").Set(outcome.stats.problems_formulated);
     registry.gauge("repair.bool_vars").Set(outcome.stats.bool_vars);
     registry.gauge("repair.hard_constraints").Set(outcome.stats.hard_constraints);
@@ -233,64 +249,107 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   // instead of terminating the worker thread.
   std::vector<MaxSmtResult> models(problems.size());
   std::vector<double> solve_times(problems.size(), 0.0);
-  std::atomic<size_t> next{0};
-  int worker_count =
-      std::max(1, std::min<int>(options.num_threads, static_cast<int>(problems.size())));
-  Clock::time_point solve_start = Clock::now();
-  auto worker = [&]() {
-    std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
-    while (true) {
-      size_t index = next.fetch_add(1);
-      if (index >= problems.size()) {
-        return;
-      }
-      if (deadline.Expired()) {
-        models[index].status = MaxSmtResult::Status::kTimeout;
-        models[index].backend = backend->name();
-        models[index].attempts = 0;
-        models[index].message = "wall-clock deadline exhausted before solving";
-        obs::Registry::Global().counter("repair.deadline_skips").Increment();
-        continue;
-      }
-      obs::StageSpan problem_span("repair.problem");
-      Clock::time_point start = Clock::now();
-      try {
-        models[index] = backend->Solve(encoders[index]->system(),
-                                       deadline.ClampTimeout(options.timeout_seconds));
-      } catch (const std::exception& e) {
-        // The failover decorator already catches; this is the last line of
-        // defense so a worker can never call std::terminate.
-        models[index] = MaxSmtResult{};
-        models[index].status = MaxSmtResult::Status::kError;
-        models[index].message = e.what();
-      } catch (...) {
-        models[index] = MaxSmtResult{};
-        models[index].status = MaxSmtResult::Status::kError;
-        models[index].message = "unknown exception in solver worker";
-      }
-      solve_times[index] = Seconds(start);
-      // Per-problem solver events for trace exports (--trace-out).
-      problem_span.Annotate("problem", std::to_string(index));
-      problem_span.Annotate("backend", models[index].backend);
-      problem_span.Annotate("status", MaxSmtStatusName(models[index].status));
-      problem_span.Annotate("cost", std::to_string(models[index].cost));
-      obs::Registry::Global()
-          .histogram("repair.problem_solve_seconds")
-          .Observe(solve_times[index]);
+  // Workers and pool tasks inherit the submitting thread's registry and
+  // trace, so a per-request RegistryScope installed around the repair covers
+  // the whole parallel solve — concurrent requests never interleave counts.
+  obs::Registry* request_registry = &obs::CurrentRegistry();
+  obs::Trace* request_trace = &obs::CurrentTrace();
+  auto solve_one = [&](size_t index, MaxSmtBackend* backend) {
+    if (deadline.Expired()) {
+      models[index].status = MaxSmtResult::Status::kTimeout;
+      models[index].backend = backend->name();
+      models[index].attempts = 0;
+      models[index].message = "wall-clock deadline exhausted before solving";
+      obs::CurrentRegistry().counter("repair.deadline_skips").Increment();
+      return;
     }
+    obs::StageSpan problem_span("repair.problem");
+    Clock::time_point start = Clock::now();
+    try {
+      models[index] = backend->Solve(encoders[index]->system(),
+                                     deadline.ClampTimeout(options.timeout_seconds));
+    } catch (const std::exception& e) {
+      // The failover decorator already catches; this is the last line of
+      // defense so a worker can never call std::terminate.
+      models[index] = MaxSmtResult{};
+      models[index].status = MaxSmtResult::Status::kError;
+      models[index].message = e.what();
+    } catch (...) {
+      models[index] = MaxSmtResult{};
+      models[index].status = MaxSmtResult::Status::kError;
+      models[index].message = "unknown exception in solver worker";
+    }
+    solve_times[index] = Seconds(start);
+    // Per-problem solver events for trace exports (--trace-out).
+    problem_span.Annotate("problem", std::to_string(index));
+    problem_span.Annotate("backend", models[index].backend);
+    problem_span.Annotate("status", MaxSmtStatusName(models[index].status));
+    problem_span.Annotate("cost", std::to_string(models[index].cost));
+    obs::CurrentRegistry()
+        .histogram("repair.problem_solve_seconds")
+        .Observe(solve_times[index]);
   };
+  Clock::time_point solve_start = Clock::now();
   {
     obs::StageSpan solve_span("repair.solve");
-    if (worker_count == 1) {
-      worker();
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<size_t>(worker_count));
-      for (int i = 0; i < worker_count; ++i) {
-        threads.emplace_back(worker);
+    if (options.solve_runner != nullptr) {
+      // Shared-executor mode: one task per problem, so the per-dst problems
+      // of concurrent repair requests interleave fairly across one bounded
+      // pool. Each task builds its own backend (Z3 contexts are per call;
+      // internal backend construction is cheap) and the submitter blocks
+      // until every one of *its* tasks finished — tasks never block on other
+      // tasks, so a fixed-size pool cannot deadlock.
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      size_t done = 0;
+      for (size_t i = 0; i < problems.size(); ++i) {
+        options.solve_runner->Submit([&, i]() {
+          {
+            obs::RegistryScope registry_scope(request_registry);
+            obs::TraceScope trace_scope(request_trace);
+            std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
+            solve_one(i, backend.get());
+          }
+          {
+            // Notify while still holding the lock: the waiting submitter owns
+            // done_mu/done_cv on its stack, and the moment it observes the
+            // final count it may return and destroy both. Signalling after
+            // unlock would race with that destruction.
+            std::lock_guard<std::mutex> lock(done_mu);
+            ++done;
+            done_cv.notify_one();
+          }
+        });
       }
-      for (std::thread& thread : threads) {
-        thread.join();
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return done == problems.size(); });
+    } else {
+      std::atomic<size_t> next{0};
+      auto worker = [&]() {
+        obs::RegistryScope registry_scope(request_registry);
+        obs::TraceScope trace_scope(request_trace);
+        std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
+        while (true) {
+          size_t index = next.fetch_add(1);
+          if (index >= problems.size()) {
+            return;
+          }
+          solve_one(index, backend.get());
+        }
+      };
+      int worker_count = std::max(
+          1, std::min<int>(options.num_threads, static_cast<int>(problems.size())));
+      if (worker_count == 1) {
+        worker();
+      } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(worker_count));
+        for (int i = 0; i < worker_count; ++i) {
+          threads.emplace_back(worker);
+        }
+        for (std::thread& thread : threads) {
+          thread.join();
+        }
       }
     }
   }
@@ -345,7 +404,7 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   outcome.stats.solver_counter_totals.assign(counter_totals.begin(),
                                              counter_totals.end());
   {
-    obs::Registry& registry = obs::Registry::Global();
+    obs::Registry& registry = obs::CurrentRegistry();
     registry.counter("repair.problems_solved").Add(outcome.stats.problems_solved);
     registry.counter("repair.problems_failed").Add(outcome.stats.problems_failed);
   }

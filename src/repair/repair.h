@@ -37,6 +37,9 @@ enum class RepairStatus {
                   // RepairStats::problem_reports for per-problem outcomes.
   kUnsat,         // The policies are jointly unsatisfiable on this topology.
   kTimeout,       // A problem hit the solver time limit.
+  kDeadlineExceeded,  // The wall-clock budget was exhausted (or never
+                      // existed: a zero/expired deadline) before any solver
+                      // work started; the report is clean and empty.
   kUnsupported,   // Backend cannot express the problem (PC4 on internal).
   kError,         // A backend failed internally (e.g. threw an exception).
   kLintRejected,  // The pre-repair lint gate found error-severity findings;
@@ -56,6 +59,8 @@ inline const char* RepairStatusName(RepairStatus status) {
       return "unsat";
     case RepairStatus::kTimeout:
       return "timeout";
+    case RepairStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
     case RepairStatus::kUnsupported:
       return "unsupported";
     case RepairStatus::kError:

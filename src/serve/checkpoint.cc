@@ -1,0 +1,209 @@
+#include "serve/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace cpr::serve {
+
+namespace fs = std::filesystem;
+
+Result<CheckpointStore> CheckpointStore::Open(const std::string& dir) {
+  if (dir.empty()) {
+    return Error("checkpoint dir must not be empty");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Error("cannot create checkpoint dir " + dir + ": " + ec.message());
+  }
+  return CheckpointStore(dir);
+}
+
+std::string CheckpointStore::RequestPath(uint64_t id) const {
+  return dir_ + "/request-" + std::to_string(id) + ".ckpt";
+}
+
+std::string CheckpointStore::CompletedLogPath() const { return dir_ + "/completed.log"; }
+
+std::string CheckpointStore::EncodeRecord(const CheckpointRecord& record) {
+  WireFields fields;
+  fields.emplace_back("id", std::to_string(record.id));
+  fields.emplace_back("attempts", std::to_string(record.attempts));
+  fields.emplace_back("budget", std::to_string(record.budget));
+  WireFields spec_fields = FieldsFromSpec(record.spec);
+  fields.insert(fields.end(), spec_fields.begin(), spec_fields.end());
+  return EncodeWireLine(fields);
+}
+
+Result<CheckpointRecord> CheckpointStore::DecodeRecord(const std::string& line) {
+  Result<WireFields> fields = DecodeWireLine(line);
+  if (!fields.ok()) {
+    return fields.error();
+  }
+  WireView view(*fields);
+  if (!view.Has("id")) {
+    return Error("checkpoint record missing id");
+  }
+  CheckpointRecord record;
+  record.id = static_cast<uint64_t>(view.GetInt("id"));
+  record.attempts = static_cast<int>(view.GetInt("attempts"));
+  record.budget = view.GetDouble("budget");
+  record.spec = SpecFromFields(*fields);
+  return record;
+}
+
+namespace {
+
+// Write + fsync + rename: the checkpoint is all-or-nothing even across a
+// power cut mid-write.
+Status WriteFileDurably(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error("open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      ::close(fd);
+      return Error("write " + tmp + ": " + std::strerror(saved));
+    }
+    written += static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    return Error("sync " + tmp + " failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Error("rename " + tmp + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status AppendLineDurably(const std::string& path, const std::string& line) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Error("open " + path + ": " + std::strerror(errno));
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t written = 0;
+  while (written < framed.size()) {
+    ssize_t n = ::write(fd, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      ::close(fd);
+      return Error("write " + path + ": " + std::strerror(saved));
+    }
+    written += static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    return Error("sync " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CheckpointStore::Persist(const CheckpointRecord& record) {
+  return WriteFileDurably(RequestPath(record.id), EncodeRecord(record) + "\n");
+}
+
+Status CheckpointStore::MarkCompleted(uint64_t id) {
+  // Log first, unlink second: a crash in between leaves a request file that
+  // the next LoadAndSweep removes via the log entry.
+  Status logged = AppendLineDurably(CompletedLogPath(), std::to_string(id));
+  if (!logged.ok()) {
+    return logged;
+  }
+  std::error_code ec;
+  fs::remove(RequestPath(id), ec);  // Missing file is fine (already swept).
+  return Status::Ok();
+}
+
+Result<std::vector<CheckpointRecord>> CheckpointStore::LoadAndSweep() {
+  // The mark: every id completed.log says finished.
+  std::set<uint64_t> completed;
+  {
+    std::ifstream log(CompletedLogPath());
+    std::string line;
+    while (std::getline(log, line)) {
+      if (!line.empty()) {
+        uint64_t id = std::strtoull(line.c_str(), nullptr, 10);
+        completed.insert(id);
+        max_seen_id_ = std::max(max_seen_id_, id);
+      }
+    }
+  }
+
+  std::vector<CheckpointRecord> pending;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (name.rfind("request-", 0) != 0) {
+      continue;
+    }
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // A torn write from a crashed daemon; the rename never happened, so
+      // the record was never admitted durably.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string line;
+    if (!std::getline(in, line)) {
+      continue;
+    }
+    Result<CheckpointRecord> record = DecodeRecord(line);
+    if (!record.ok()) {
+      return Error("corrupt checkpoint " + name + ": " + record.error().message());
+    }
+    max_seen_id_ = std::max(max_seen_id_, record->id);
+    if (completed.count(record->id) != 0) {
+      // The sweep: it finished; only the unlink was lost.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    pending.push_back(std::move(record).value());
+  }
+  if (ec) {
+    return Error("cannot list checkpoint dir " + dir_ + ": " + ec.message());
+  }
+
+  // Every logged id's file is now gone, so the log has served its purpose;
+  // truncate it so it cannot grow without bound across restarts.
+  std::ofstream truncate(CompletedLogPath(), std::ios::trunc);
+
+  std::sort(pending.begin(), pending.end(),
+            [](const CheckpointRecord& a, const CheckpointRecord& b) { return a.id < b.id; });
+  return pending;
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,81 @@
+// Durable request state for graceful drain/restart.
+//
+// Every admitted request is persisted as `request-<id>.ckpt` (one wire line:
+// id, attempts, remaining budget, then the spec fields) via write-to-temp +
+// rename, so a checkpoint is either fully present or absent — never torn.
+// Completion appends the id to `completed.log` and then unlinks the request
+// file; the log absorbs the crash window between those two steps.
+//
+// Restart recovery is mark-and-sweep: LoadAndSweep() reads completed.log
+// (the mark), deletes any request file whose id appears there (the sweep —
+// it finished, the unlink just never happened), returns the rest for
+// re-queueing, and truncates the log. The result is exactly-once execution
+// across a graceful drain (SIGTERM): drained-but-queued requests run on the
+// next daemon, finished requests never re-run. A hard kill mid-execution
+// degrades to at-least-once — the in-flight request's file survives, so the
+// next daemon runs it again — which is the right bias for a repair service:
+// re-verifying an already-repaired snapshot is cheap, silently dropping a
+// repair is not.
+//
+// Budget convention (the `budget` field): > 0 seconds remaining, 0 means
+// unbounded, < 0 means the deadline expired while queued — recovery turns
+// that into Deadline::Exhausted() so the request reports kDeadlineExceeded
+// instead of silently gaining a fresh budget.
+
+#ifndef CPR_SRC_SERVE_CHECKPOINT_H_
+#define CPR_SRC_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/result.h"
+#include "serve/request.h"
+
+namespace cpr::serve {
+
+struct CheckpointRecord {
+  uint64_t id = 0;
+  int attempts = 0;
+  double budget = 0;  // See the convention above.
+  RequestSpec spec;
+};
+
+class CheckpointStore {
+ public:
+  // Creates `dir` if needed. An empty dir is invalid.
+  static Result<CheckpointStore> Open(const std::string& dir);
+
+  // Durably writes (or overwrites) the record's file.
+  Status Persist(const CheckpointRecord& record);
+
+  // Marks `id` finished: appends to completed.log, then removes the file.
+  Status MarkCompleted(uint64_t id);
+
+  // Recovery: returns every request that was admitted but never completed,
+  // sorted by id (admission order), after sweeping completed leftovers.
+  Result<std::vector<CheckpointRecord>> LoadAndSweep();
+
+  // Highest id ever seen by LoadAndSweep (0 before it runs); the daemon
+  // resumes id allocation above it.
+  uint64_t max_seen_id() const { return max_seen_id_; }
+
+  const std::string& dir() const { return dir_; }
+
+  // Serialization, exposed for tests.
+  static std::string EncodeRecord(const CheckpointRecord& record);
+  static Result<CheckpointRecord> DecodeRecord(const std::string& line);
+
+ private:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string RequestPath(uint64_t id) const;
+  std::string CompletedLogPath() const;
+
+  std::string dir_;
+  uint64_t max_seen_id_ = 0;
+};
+
+}  // namespace cpr::serve
+
+#endif  // CPR_SRC_SERVE_CHECKPOINT_H_

@@ -1,0 +1,531 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/policy_spec.h"
+#include "core/stats_report.h"
+
+namespace cpr::serve {
+
+namespace {
+
+using Clock = Deadline::Clock;
+
+double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace
+
+const char* RequestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kDone:
+      return "done";
+    case RequestState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+Daemon::Daemon(const DaemonOptions& options, CheckpointStore store)
+    : options_(options),
+      store_(std::move(store)),
+      cache_(options.cache_capacity),
+      solve_pool_(std::make_unique<ThreadPool>(options.solve_threads)),
+      serve_metrics_(obs::Registry::Global()),
+      jitter_rng_(options.retry_jitter_seed) {}
+
+Result<std::unique_ptr<Daemon>> Daemon::Start(const DaemonOptions& options) {
+  if (options.checkpoint_dir.empty()) {
+    return Error("daemon requires a checkpoint dir");
+  }
+  Result<CheckpointStore> store = CheckpointStore::Open(options.checkpoint_dir);
+  if (!store.ok()) {
+    return store.error();
+  }
+  Result<std::vector<CheckpointRecord>> recovered = store->LoadAndSweep();
+  if (!recovered.ok()) {
+    return recovered.error();
+  }
+  if (!options.results_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.results_dir, ec);
+    if (ec) {
+      return Error("cannot create results dir " + options.results_dir + ": " + ec.message());
+    }
+  }
+
+  std::unique_ptr<Daemon> daemon(new Daemon(options, std::move(store).value()));
+  daemon->next_id_ = daemon->store_.max_seen_id() + 1;
+  for (CheckpointRecord& record : *recovered) {
+    Request request;
+    request.id = record.id;
+    request.spec = std::move(record.spec);
+    request.attempts = record.attempts;
+    request.deadline = daemon->DeadlineFromBudget(record.budget);
+    request.recovered = true;
+    request.admitted_at = Clock::now();
+    daemon->queue_.push_back(request.id);
+    daemon->requests_.emplace(request.id, std::move(request));
+    daemon->serve_metrics_.counter("serve.recovered").Increment();
+  }
+  daemon->recovered_count_ = static_cast<int>(recovered->size());
+  daemon->serve_metrics_.gauge("serve.queue.depth")
+      .Set(static_cast<int64_t>(daemon->queue_.size()));
+
+  int workers = std::max(1, options.workers);
+  daemon->workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    daemon->workers_.emplace_back([d = daemon.get()] { d->WorkerLoop(); });
+  }
+  return daemon;
+}
+
+Daemon::~Daemon() {
+  Drain();
+  // Drain() skips the join when its deadline fires; destruction cannot.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  solve_pool_->Shutdown();
+}
+
+double Daemon::BudgetOf(const Deadline& deadline) const {
+  if (deadline.unbounded()) {
+    return 0;
+  }
+  if (deadline.Expired()) {
+    return -1;
+  }
+  return deadline.RemainingSeconds();
+}
+
+Deadline Daemon::DeadlineFromBudget(double budget) const {
+  if (budget > 0) {
+    return Deadline::After(budget);
+  }
+  if (budget < 0) {
+    return Deadline::Exhausted();
+  }
+  return Deadline::Never();
+}
+
+double Daemon::JitteredBackoff(int attempt) {
+  double base = options_.retry_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    base *= 2;
+  }
+  if (options_.retry_max_backoff_seconds > 0) {
+    base = std::min(base, options_.retry_max_backoff_seconds);
+  }
+  // Full jitter on the upper half: [base/2, base). Decorrelates retry storms
+  // without ever retrying earlier than half the nominal backoff.
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  return base * jitter(jitter_rng_);
+}
+
+AdmissionDecision Daemon::Submit(const RequestSpec& spec) {
+  AdmissionDecision decision;
+  uint64_t id = 0;
+  CheckpointRecord record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      decision.error = "daemon is draining";
+      serve_metrics_.counter("serve.admission.drain_rejects").Increment();
+      return decision;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Saturated: reject with a hint scaled to how much work is ahead of
+      // the caller. Never admit-and-drop; the queue bound is the contract.
+      double per_request = std::max(exec_seconds_ema_, 0.05);
+      double workers = static_cast<double>(std::max(1, options_.workers));
+      decision.retry_after_seconds =
+          per_request * (static_cast<double>(queue_.size()) + 1.0) / workers;
+      decision.error = "queue full";
+      serve_metrics_.counter("serve.admission.rejects").Increment();
+      return decision;
+    }
+    id = next_id_++;
+    Request request;
+    request.id = id;
+    request.spec = spec;
+    if (spec.deadline_seconds > 0) {
+      request.deadline = Deadline::After(spec.deadline_seconds);
+    } else if (spec.deadline_seconds < 0) {
+      request.deadline = Deadline::Exhausted();
+    } else {
+      request.deadline = Deadline::After(options_.default_deadline_seconds);
+    }
+    request.admitted_at = Clock::now();
+    record.id = id;
+    record.attempts = 0;
+    record.budget = BudgetOf(request.deadline);
+    record.spec = spec;
+    requests_.emplace(id, std::move(request));
+  }
+
+  // Durability before acknowledgment — but outside the lock: Persist fsyncs,
+  // and workers must not stall on disk while a request is being admitted.
+  Status persisted = store_.Persist(record);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!persisted.ok()) {
+    requests_.erase(id);
+    decision.error = "checkpoint failed: " + persisted.error().message();
+    serve_metrics_.counter("serve.admission.persist_failures").Increment();
+    return decision;
+  }
+  queue_.push_back(id);
+  serve_metrics_.counter("serve.admitted").Increment();
+  serve_metrics_.gauge("serve.queue.depth").Set(static_cast<int64_t>(queue_.size()));
+  queue_cv_.notify_one();
+  decision.admitted = true;
+  decision.id = id;
+  return decision;
+}
+
+void Daemon::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (draining_) {
+      return;  // Queued requests stay queued — Drain() checkpoints them.
+    }
+    uint64_t id = queue_.front();
+    queue_.pop_front();
+    serve_metrics_.gauge("serve.queue.depth").Set(static_cast<int64_t>(queue_.size()));
+    Request& request = requests_.at(id);
+    request.state = RequestState::kRunning;
+    request.queue_seconds = Seconds(request.admitted_at);
+    ++running_;
+    serve_metrics_.gauge("serve.running").Set(running_);
+    lock.unlock();
+
+    serve_metrics_.histogram("serve.queue_wait_seconds").Observe(request.queue_seconds);
+    Execute(&request);
+
+    lock.lock();
+    --running_;
+    serve_metrics_.gauge("serve.running").Set(running_);
+    terminal_cv_.notify_all();
+  }
+}
+
+void Daemon::Execute(Request* request) {
+  Clock::time_point exec_start = Clock::now();
+  for (;;) {
+    Attempt attempt;
+    // Crash isolation: whatever a request does — throwing parsers, backend
+    // exceptions, filesystem surprises — is converted to a structured
+    // failure on THIS request; the daemon and its siblings keep running.
+    try {
+      attempt = ExecuteOnce(request);
+    } catch (const std::exception& e) {
+      attempt.terminal = false;
+      attempt.status = "error";
+      attempt.error = std::string("exception: ") + e.what();
+      serve_metrics_.counter("serve.requests.crash_isolated").Increment();
+    } catch (...) {
+      attempt.terminal = false;
+      attempt.status = "error";
+      attempt.error = "unknown exception";
+      serve_metrics_.counter("serve.requests.crash_isolated").Increment();
+    }
+    int attempts;
+    bool exhausted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      attempts = ++request->attempts;
+      exhausted = attempts >= std::max(1, options_.max_request_attempts);
+      request->status = attempt.status;
+      request->error =
+          (!attempt.terminal && exhausted)
+              ? "transient failure persisted across " + std::to_string(attempts) +
+                    " attempt(s): " + attempt.error
+              : attempt.error;
+      if (!attempt.stats_json.empty()) {
+        request->stats_json = std::move(attempt.stats_json);
+      }
+    }
+    if (attempt.terminal || exhausted) {
+      FinishRequest(request,
+                    attempt.terminal && attempt.error.empty() ? RequestState::kDone
+                                                              : RequestState::kFailed,
+                    Seconds(exec_start));
+      return;
+    }
+    serve_metrics_.counter("serve.retries").Increment();
+    double backoff = JitteredBackoff(attempts);
+    // Never sleep past the request's own deadline; an expired deadline makes
+    // the next attempt report kDeadlineExceeded immediately.
+    backoff = std::min(backoff, request->deadline.ClampTimeout(backoff));
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
+Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
+  Clock::time_point start = Clock::now();
+  Attempt attempt;
+  // Per-request instrument sinks: concurrent requests never interleave
+  // counts, and the stats document below reflects exactly one request.
+  request->registry->Reset();
+  request->trace->Enable();
+  obs::RegistryScope registry_scope(request->registry.get());
+  obs::TraceScope trace_scope(request->trace.get());
+
+  auto write_stats = [&](const CprReport* report, const std::string& status) {
+    StatsRunInfo run;
+    run.command = "serve";
+    run.config_dir = request->spec.config_dir;
+    run.policy_file = request->spec.policy_file;
+    run.backend = request->spec.backend;
+    run.granularity = request->spec.granularity;
+    run.threads = options_.solve_threads;
+    run.status = status;
+    run.wall_seconds = Seconds(start);
+    attempt.stats_json = BuildStatsJson(run, report);
+  };
+
+  // The budget died in the queue (or arrived dead): a clean, solver-free
+  // deadline report. This is a DONE request, not a failed one — the daemon
+  // did exactly what the budget allowed.
+  if (request->deadline.Expired()) {
+    attempt.status = RepairStatusName(RepairStatus::kDeadlineExceeded);
+    serve_metrics_.counter("serve.deadline_expired").Increment();
+    write_stats(nullptr, attempt.status);
+    return attempt;
+  }
+
+  obs::StageSpan span("serve.request");
+  span.Annotate("tag", request->spec.tag);
+
+  auto reject = [&](const std::string& why) {
+    attempt.status = "invalid-request";
+    attempt.error = why;
+    write_stats(nullptr, attempt.status);
+    serve_metrics_.counter("serve.requests.invalid").Increment();
+    return attempt;  // Malformed input never becomes valid by retrying.
+  };
+
+  Result<CprOptions> options = ToCprOptions(request->spec);
+  if (!options.ok()) {
+    return reject(options.error().message());
+  }
+  Result<RequestInputs> inputs = LoadRequestInputs(request->spec);
+  if (!inputs.ok()) {
+    return reject(inputs.error().message());
+  }
+  Result<std::shared_ptr<const Cpr>> pipeline =
+      cache_.GetOrBuild(request->spec.config_dir, inputs->config_texts, inputs->policy_text);
+  if (!pipeline.ok()) {
+    return reject(pipeline.error().message());
+  }
+  Result<std::vector<Policy>> policies =
+      ParseSpecPolicies(inputs->policy_text, (*pipeline)->network());
+  if (!policies.ok()) {
+    return reject(policies.error().message());
+  }
+
+  options->repair.deadline = request->deadline;
+  options->repair.solve_runner = solve_pool_.get();
+
+  Result<CprReport> report = (*pipeline)->Repair(*policies, *options);
+  if (!report.ok()) {
+    // Structural repair errors (unmappable paths) are deterministic.
+    return reject(report.error().message());
+  }
+  attempt.status = RepairStatusName(report->status);
+  span.Annotate("status", attempt.status);
+  write_stats(&*report, attempt.status);
+  if (report->status == RepairStatus::kError) {
+    // A backend failed internally — the one failure class worth retrying
+    // (fault injection, resource exhaustion, Z3 hiccups).
+    std::string detail;
+    for (const ProblemReport& problem : report->stats.problem_reports) {
+      if (!problem.message.empty()) {
+        detail = problem.message;
+        break;
+      }
+    }
+    attempt.terminal = false;
+    attempt.error = detail.empty() ? "backend error" : detail;
+    serve_metrics_.counter("serve.requests.transient_errors").Increment();
+  }
+  return attempt;
+}
+
+void Daemon::FinishRequest(Request* request, RequestState terminal, double exec_seconds) {
+  // Mark first, then surface: once a request's completion is durable, no
+  // future daemon will re-run it.
+  Status marked = store_.MarkCompleted(request->id);
+  if (!marked.ok()) {
+    serve_metrics_.counter("serve.checkpoint.mark_failures").Increment();
+  }
+  if (!options_.results_dir.empty() && !request->stats_json.empty()) {
+    std::ofstream out(options_.results_dir + "/result-" + std::to_string(request->id) +
+                      ".json");
+    out << request->stats_json << "\n";
+  }
+  serve_metrics_.histogram("serve.exec_seconds").Observe(exec_seconds);
+  serve_metrics_
+      .counter(terminal == RequestState::kDone ? "serve.requests.completed"
+                                               : "serve.requests.failed")
+      .Increment();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  request->exec_seconds = exec_seconds;
+  request->state = terminal;
+  ++completed_total_;
+  // EMA of execution time feeds the admission retry-after hint.
+  exec_seconds_ema_ = exec_seconds_ema_ <= 0
+                          ? exec_seconds
+                          : 0.8 * exec_seconds_ema_ + 0.2 * exec_seconds;
+  terminal_cv_.notify_all();
+}
+
+std::optional<RequestStatus> Daemon::GetStatus(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return std::nullopt;
+  }
+  const Request& request = it->second;
+  RequestStatus status;
+  status.id = request.id;
+  status.state = request.state;
+  status.tag = request.spec.tag;
+  status.status = request.status;
+  status.error = request.error;
+  status.attempts = request.attempts;
+  status.recovered = request.recovered;
+  status.queue_seconds = request.queue_seconds;
+  status.exec_seconds = request.exec_seconds;
+  status.stats_json = request.stats_json;
+  return status;
+}
+
+std::vector<RequestStatus> Daemon::Statuses() const {
+  std::vector<RequestStatus> statuses;
+  std::lock_guard<std::mutex> lock(mu_);
+  statuses.reserve(requests_.size());
+  for (const auto& [id, request] : requests_) {
+    RequestStatus status;
+    status.id = request.id;
+    status.state = request.state;
+    status.tag = request.spec.tag;
+    status.status = request.status;
+    status.error = request.error;
+    status.attempts = request.attempts;
+    status.recovered = request.recovered;
+    status.queue_seconds = request.queue_seconds;
+    status.exec_seconds = request.exec_seconds;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+bool Daemon::WaitFor(uint64_t id, double timeout_seconds) {
+  Deadline deadline = Deadline::After(timeout_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = requests_.find(id);
+    if (it == requests_.end()) {
+      return false;
+    }
+    if (it->second.state == RequestState::kDone ||
+        it->second.state == RequestState::kFailed) {
+      return true;
+    }
+    if (deadline.Expired()) {
+      return false;
+    }
+    terminal_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+void Daemon::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  terminal_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+size_t Daemon::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool Daemon::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+DrainReport Daemon::Drain() {
+  Clock::time_point start = Clock::now();
+  DrainReport report;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (drained_) {
+    return report;
+  }
+  int64_t completed_before = completed_total_;
+  draining_ = true;
+  queue_cv_.notify_all();
+
+  // Let in-flight requests finish — they were admitted, the client was
+  // promised exactly-once, and their checkpoints only clear on completion.
+  Deadline drain_deadline = Deadline::After(options_.drain_deadline_seconds);
+  while (running_ > 0) {
+    if (drain_deadline.Expired()) {
+      report.deadline_hit = true;
+      break;
+    }
+    terminal_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+
+  // Hand the queued requests to the next daemon with their REMAINING
+  // budgets — a request that waited 20s of a 30s budget restarts with 10s,
+  // and one that expired while queued restarts already exhausted (budget
+  // < 0) so it reports kDeadlineExceeded instead of silently rejuvenating.
+  for (uint64_t id : queue_) {
+    const Request& request = requests_.at(id);
+    CheckpointRecord record;
+    record.id = request.id;
+    record.attempts = request.attempts;
+    record.budget = BudgetOf(request.deadline);
+    record.spec = request.spec;
+    if (store_.Persist(record).ok()) {
+      ++report.checkpointed;
+    } else {
+      serve_metrics_.counter("serve.checkpoint.mark_failures").Increment();
+    }
+  }
+  report.completed_in_drain = static_cast<int>(completed_total_ - completed_before);
+  drained_ = true;
+  lock.unlock();
+
+  if (!report.deadline_hit) {
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    solve_pool_->Shutdown();
+  }
+  report.drain_seconds = Seconds(start);
+  serve_metrics_.histogram("serve.drain_seconds").Observe(report.drain_seconds);
+  serve_metrics_.counter("serve.drains").Increment();
+  return report;
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,64 @@
+// What a cprd client asks for: one repair over a configuration snapshot.
+//
+// RequestSpec is the unit that crosses every boundary in the daemon — the
+// wire (cprd submit), the queue, the checkpoint file — so it has exactly one
+// serialization (the wire field format) used everywhere. Parsing is
+// tolerant: unknown keys are ignored so old daemons accept new clients'
+// hints, and missing keys take the defaults below.
+
+#ifndef CPR_SRC_SERVE_REQUEST_H_
+#define CPR_SRC_SERVE_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cpr.h"
+#include "netbase/result.h"
+#include "serve/wire.h"
+
+namespace cpr::serve {
+
+struct RequestSpec {
+  std::string tag;          // Client label, echoed in status output.
+  std::string config_dir;   // Directory of router configuration files.
+  std::string policy_file;  // Policy spec (core/policy_spec.h format).
+
+  // Total wall-clock budget for the request, queue wait INCLUDED — the
+  // deadline starts ticking at admission, not at execution. 0 means "use
+  // the daemon default"; < 0 means "already exhausted" (the request is
+  // reported kDeadlineExceeded without solver work; checkpoint recovery
+  // uses this to preserve expiry across a restart).
+  double deadline_seconds = 0;
+
+  // Passed through to RepairOptions (tools/cpr repair flags).
+  double timeout_seconds = 10;
+  std::string backend = "z3";         // "z3" | "internal"
+  std::string granularity = "perdst"; // "perdst" | "alltcs"
+  int max_retries = 0;                // Per-problem solver retries.
+  bool simulate = false;              // Re-validate on the simulator.
+  std::string lint = "gate";          // "gate" | "warn" | "off"
+  std::string inject_fault;           // FaultInjectionSpec text (testing).
+};
+
+// Spec -> pipeline options. The daemon fills options.repair.deadline and
+// options.repair.solve_runner itself; this maps only the client-visible
+// knobs. Fails on an unknown backend/granularity/lint value or a malformed
+// fault spec.
+Result<CprOptions> ToCprOptions(const RequestSpec& spec);
+
+// Spec <-> wire fields. FieldsFromSpec omits keys holding their default so
+// lines stay short; SpecFromFields applies defaults for missing keys.
+WireFields FieldsFromSpec(const RequestSpec& spec);
+RequestSpec SpecFromFields(const WireFields& fields);
+
+// Loads the request's inputs from disk: every regular file in config_dir
+// (lexicographic order, deterministic device ids) plus the policy text.
+struct RequestInputs {
+  std::vector<std::string> config_texts;
+  std::string policy_text;
+};
+Result<RequestInputs> LoadRequestInputs(const RequestSpec& spec);
+
+}  // namespace cpr::serve
+
+#endif  // CPR_SRC_SERVE_REQUEST_H_

@@ -1,0 +1,70 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cpr::serve {
+
+ThreadPool::ThreadPool(int threads) {
+  int count = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Racing a shutdown: run inline rather than drop — the submitting repair
+  // is blocked on this task's completion signal.
+  task();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown_ with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Repair tasks catch their own exceptions (crash isolation happens at
+    // the request layer); a throw escaping here would kill the daemon, so
+    // swallow defensively.
+    try {
+      task();
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace cpr::serve

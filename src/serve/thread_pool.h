@@ -1,0 +1,60 @@
+// The daemon's shared solve executor.
+//
+// Each repair request fans its per-dst MaxSMT problems out as tasks; under
+// a CLI run the engine spawns its own threads, but a daemon handling many
+// concurrent requests would multiply threads per request. Installing one
+// ThreadPool as RepairOptions::solve_runner shards every request's problems
+// across a single bounded pool instead — total solver parallelism is
+// `threads`, however many requests are in flight.
+//
+// Deadlock freedom: the repair engine's tasks never block on other tasks
+// (the submitter waits on a latch, the tasks only signal it), so a fixed
+// pool size is safe. Exactly-once: every submitted task runs even during
+// shutdown — Shutdown() drains the queue before joining, and a Submit that
+// races shutdown runs the task inline on the submitting thread rather than
+// dropping it (a dropped task would strand a repair waiting on its latch
+// forever).
+
+#ifndef CPR_SRC_SERVE_THREAD_POOL_H_
+#define CPR_SRC_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "repair/options.h"
+
+namespace cpr::serve {
+
+class ThreadPool : public SolveTaskRunner {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task) override;
+
+  // Stops the workers after the queue drains. Idempotent; the destructor
+  // calls it.
+  void Shutdown();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cpr::serve
+
+#endif  // CPR_SRC_SERVE_THREAD_POOL_H_

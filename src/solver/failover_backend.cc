@@ -19,7 +19,7 @@ class FailoverBackend final : public MaxSmtBackend {
     int attempts = 0;
     MaxSmtResult result = SolveOn(primary_.get(), system, timeout_seconds, &attempts);
     if (result.status == MaxSmtResult::Status::kUnsupported && secondary_ != nullptr) {
-      obs::Registry::Global().counter("solver.failovers").Increment();
+      obs::CurrentRegistry().counter("solver.failovers").Increment();
       result = SolveOn(secondary_.get(), system, timeout_seconds, &attempts);
     }
     result.attempts = attempts;
@@ -47,12 +47,12 @@ class FailoverBackend final : public MaxSmtBackend {
         result = MaxSmtResult{};
         result.status = MaxSmtResult::Status::kError;
         result.message = e.what();
-        obs::Registry::Global().counter("solver.exceptions_caught").Increment();
+        obs::CurrentRegistry().counter("solver.exceptions_caught").Increment();
       } catch (...) {
         result = MaxSmtResult{};
         result.status = MaxSmtResult::Status::kError;
         result.message = "backend threw a non-standard exception";
-        obs::Registry::Global().counter("solver.exceptions_caught").Increment();
+        obs::CurrentRegistry().counter("solver.exceptions_caught").Increment();
       }
       if (result.backend.empty()) {
         result.backend = backend->name();
@@ -61,7 +61,7 @@ class FailoverBackend final : public MaxSmtBackend {
           attempt >= policy_.max_retries || policy_.deadline.Expired()) {
         return result;
       }
-      obs::Registry::Global().counter("solver.retries").Increment();
+      obs::CurrentRegistry().counter("solver.retries").Increment();
       // Escalate the per-call timeout for the retry; an unbounded timeout
       // (<= 0) stays unbounded, and ClampTimeout above keeps every attempt
       // inside the shared deadline.

@@ -79,7 +79,7 @@ class FaultInjectingBackend final : public MaxSmtBackend {
       return false;
     }
     ++injected_;
-    obs::Registry::Global().counter("solver.faults_injected").Increment();
+    obs::CurrentRegistry().counter("solver.faults_injected").Increment();
     return true;
   }
 

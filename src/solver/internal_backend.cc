@@ -180,7 +180,7 @@ void FlushSolverCounters(const MaxSatSolver& maxsat, MaxSmtResult* result) {
       {"maxsat.cores", static_cast<double>(wpm.cores)},
       {"maxsat.sat_calls", static_cast<double>(wpm.sat_calls)},
   };
-  obs::Registry& registry = obs::Registry::Global();
+  obs::Registry& registry = obs::CurrentRegistry();
   for (const auto& [name, value] : result->solver_counters) {
     registry.counter(name).Add(static_cast<int64_t>(value));
   }

@@ -238,7 +238,7 @@ class Z3Backend final : public MaxSmtBackend {
     } catch (const z3::exception&) {
       // Statistics are best-effort diagnostics; never fail a solve for them.
     }
-    obs::Registry::Global().counter("solver.z3_solves").Increment();
+    obs::CurrentRegistry().counter("solver.z3_solves").Increment();
   }
 };
 

@@ -624,7 +624,7 @@ Result<TranslationResult> TranslateEdits(const Network& network, const RepairEdi
   if (!status.ok()) {
     return status.error();
   }
-  obs::Registry::Global().counter("translate.changes").Add(
+  obs::CurrentRegistry().counter("translate.changes").Add(
       static_cast<int64_t>(result.change_log.size()));
 
   result.device_diffs.reserve(network.configs().size());

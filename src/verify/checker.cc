@@ -146,7 +146,7 @@ std::vector<Policy> FindViolations(const Harc& harc, const std::vector<Policy>& 
       violations.push_back(policy);
     }
   }
-  obs::Registry& registry = obs::Registry::Global();
+  obs::Registry& registry = obs::CurrentRegistry();
   registry.counter("verify.policies_checked").Add(static_cast<int64_t>(policies.size()));
   registry.counter("verify.violations_found").Add(static_cast<int64_t>(violations.size()));
   return violations;

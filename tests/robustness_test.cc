@@ -356,15 +356,52 @@ TEST_F(RobustRepairTest, UnsupportedProblemFailsOverToZ3) {
   EXPECT_TRUE(CheckPrimaryPath(outcome->repaired, r, t_, abc));
 }
 
-TEST_F(RobustRepairTest, ExhaustedDeadlineTimesOutWithoutSolving) {
+TEST_F(RobustRepairTest, ExhaustedDeadlineRejectsWithoutSolving) {
+  RepairOptions options = BaseOptions();
+  options.deadline = Deadline::Exhausted();  // e.g. --deadline 0
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, TwoProblemPolicies(), options);
+  ASSERT_TRUE(outcome.ok());
+  // The budget was gone before any work started: the engine must reject with
+  // a clean, empty report rather than formulate problems and time them out.
+  EXPECT_EQ(outcome->status, RepairStatus::kDeadlineExceeded);
+  EXPECT_TRUE(outcome->stats.problem_reports.empty());
+  EXPECT_EQ(outcome->stats.problems_formulated, 0);
+}
+
+TEST_F(RobustRepairTest, TinyDeadlineSecondsAlsoRejectsCleanly) {
   RepairOptions options = BaseOptions();
   options.deadline_seconds = 1e-9;  // Expired before the first solver call.
   Result<RepairOutcome> outcome = ComputeRepair(harc_, TwoProblemPolicies(), options);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->status, RepairStatus::kTimeout);
-  for (const ProblemReport& report : outcome->stats.problem_reports) {
-    EXPECT_EQ(report.status, MaxSmtResult::Status::kTimeout);
+  // A nonzero-but-vanishing budget expires somewhere between entry and the
+  // first solver call; either the entry check catches it (clean reject) or
+  // every problem is skipped as timed out. Both leave the HARC untouched.
+  if (outcome->status == RepairStatus::kDeadlineExceeded) {
+    EXPECT_TRUE(outcome->stats.problem_reports.empty());
+  } else {
+    EXPECT_EQ(outcome->status, RepairStatus::kTimeout);
+    for (const ProblemReport& report : outcome->stats.problem_reports) {
+      EXPECT_EQ(report.status, MaxSmtResult::Status::kTimeout);
+    }
   }
+}
+
+TEST_F(RobustRepairTest, AbsoluteDeadlineTakesPrecedenceOverBudgetSeconds) {
+  RepairOptions options = BaseOptions();
+  options.deadline_seconds = 300;  // Would be generous...
+  options.deadline = Deadline::Exhausted();  // ...but the absolute wins.
+  Result<RepairOutcome> outcome = ComputeRepair(harc_, TwoProblemPolicies(), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status, RepairStatus::kDeadlineExceeded);
+}
+
+TEST(DeadlineBudgetTest, FromBudgetMapsSignOntoBoundedness) {
+  EXPECT_FALSE(Deadline::FromBudget(10.0).Expired());
+  EXPECT_FALSE(Deadline::FromBudget(10.0).unbounded());
+  EXPECT_TRUE(Deadline::FromBudget(0).Expired());
+  EXPECT_TRUE(Deadline::FromBudget(-3).Expired());
+  EXPECT_TRUE(Deadline::Exhausted().Expired());
+  EXPECT_EQ(Deadline::Exhausted().RemainingSeconds(), 0.0);
 }
 
 TEST_F(RobustRepairTest, GenerousDeadlineLeavesRepairUnaffected) {

@@ -1,0 +1,542 @@
+// cprd daemon robustness: admission control, deadline budgets, crash
+// isolation with retry, snapshot caching, and exactly-once drain/restart.
+//
+// Every test drives a real in-process Daemon over the paper's running
+// example (tests/example_network.h) with the internal backend, so the full
+// parse -> HARC -> verify -> MaxSAT -> translate pipeline runs under the
+// daemon exactly as it does under `cprd serve`.
+
+#include "serve/daemon.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/checkpoint.h"
+#include "serve/request.h"
+#include "serve/snapshot_cache.h"
+#include "serve/wire.h"
+#include "tests/example_network.h"
+
+namespace cpr::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The boolean-only policy subset keeps every problem in the propositional
+// fragment, so the internal backend solves it without Z3.
+constexpr const char* kPolicyText =
+    "waypoint-link B C\n"
+    "reachable 10.2.0.0/16 -> 10.20.0.0/16 k 2\n";
+
+// A disposable on-disk snapshot (config dir + policy file + daemon dirs).
+class ServeFixture {
+ public:
+  explicit ServeFixture(const std::string& name) {
+    root_ = fs::temp_directory_path() /
+            ("cpr_serve_test_" + name + "_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "configs");
+    fs::create_directories(root_ / "ckpt");
+    WriteConfig("A.cfg", kExampleConfigA);
+    WriteConfig("B.cfg", kExampleConfigB);
+    WriteConfig("C.cfg", kExampleConfigC);
+    policy_file_ = (root_ / "example.policies").string();
+    std::ofstream(policy_file_) << kPolicyText;
+  }
+
+  ~ServeFixture() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void WriteConfig(const std::string& name, const std::string& text) {
+    std::ofstream((root_ / "configs" / name)) << text;
+  }
+
+  std::string config_dir() const { return (root_ / "configs").string(); }
+  std::string policy_file() const { return policy_file_; }
+  std::string checkpoint_dir() const { return (root_ / "ckpt").string(); }
+
+  RequestSpec Spec(const std::string& tag = "t") const {
+    RequestSpec spec;
+    spec.tag = tag;
+    spec.config_dir = config_dir();
+    spec.policy_file = policy_file();
+    spec.backend = "internal";
+    spec.timeout_seconds = 10;
+    return spec;
+  }
+
+  DaemonOptions Options() const {
+    DaemonOptions options;
+    options.checkpoint_dir = checkpoint_dir();
+    options.workers = 2;
+    options.solve_threads = 2;
+    options.retry_backoff_seconds = 0.01;  // Tests should not sleep much.
+    options.retry_max_backoff_seconds = 0.05;
+    return options;
+  }
+
+ private:
+  fs::path root_;
+  std::string policy_file_;
+};
+
+int64_t CounterIn(const obs::Snapshot& snapshot, const std::string& name) {
+  for (const auto& [counter, value] : snapshot.counters) {
+    if (counter == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+int64_t GlobalCounter(const std::string& name) {
+  return CounterIn(obs::Registry::Global().TakeSnapshot(), name);
+}
+
+// ---- wire + spec serialization --------------------------------------------
+
+TEST(WireTest, EscapingRoundTripsHostileValues) {
+  WireFields fields{{"op", "submit"},
+                    {"tag", "spaces and = and % and\nnewline\r"},
+                    {"empty", ""}};
+  std::string line = EncodeWireLine(fields);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  Result<WireFields> decoded = DecodeWireLine(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(*decoded, fields);
+}
+
+TEST(WireTest, SpecFieldsRoundTripIncludingNonDefaults) {
+  RequestSpec spec;
+  spec.tag = "soak run #4";
+  spec.config_dir = "/tmp/x y";
+  spec.policy_file = "/tmp/p";
+  spec.deadline_seconds = 12.5;
+  spec.timeout_seconds = 3;
+  spec.backend = "internal";
+  spec.granularity = "alltcs";
+  spec.max_retries = 2;
+  spec.simulate = true;
+  spec.lint = "off";
+  spec.inject_fault = "throw:p=0.5:seed=7";
+
+  RequestSpec round = SpecFromFields(FieldsFromSpec(spec));
+  EXPECT_EQ(round.tag, spec.tag);
+  EXPECT_EQ(round.config_dir, spec.config_dir);
+  EXPECT_EQ(round.policy_file, spec.policy_file);
+  EXPECT_DOUBLE_EQ(round.deadline_seconds, spec.deadline_seconds);
+  EXPECT_DOUBLE_EQ(round.timeout_seconds, spec.timeout_seconds);
+  EXPECT_EQ(round.backend, spec.backend);
+  EXPECT_EQ(round.granularity, spec.granularity);
+  EXPECT_EQ(round.max_retries, spec.max_retries);
+  EXPECT_EQ(round.simulate, spec.simulate);
+  EXPECT_EQ(round.lint, spec.lint);
+  EXPECT_EQ(round.inject_fault, spec.inject_fault);
+}
+
+// ---- checkpoint store -----------------------------------------------------
+
+TEST(CheckpointTest, MarkAndSweepRecoversOnlyUncompletedRequests) {
+  ServeFixture fx("ckpt");
+  Result<CheckpointStore> store = CheckpointStore::Open(fx.checkpoint_dir());
+  ASSERT_TRUE(store.ok()) << store.error().message();
+
+  for (uint64_t id : {1, 2, 3}) {
+    CheckpointRecord record;
+    record.id = id;
+    record.budget = id == 3 ? -1 : 0;  // Request 3 expired while queued.
+    record.spec = fx.Spec("r" + std::to_string(id));
+    ASSERT_TRUE(store->Persist(record).ok());
+  }
+  ASSERT_TRUE(store->MarkCompleted(2).ok());
+
+  // A new store on the same dir models the restarted daemon.
+  Result<CheckpointStore> reopened = CheckpointStore::Open(fx.checkpoint_dir());
+  ASSERT_TRUE(reopened.ok());
+  Result<std::vector<CheckpointRecord>> pending = reopened->LoadAndSweep();
+  ASSERT_TRUE(pending.ok()) << pending.error().message();
+  ASSERT_EQ(pending->size(), 2u);
+  EXPECT_EQ((*pending)[0].id, 1u);
+  EXPECT_EQ((*pending)[1].id, 3u);
+  EXPECT_LT((*pending)[1].budget, 0);  // Expiry survives the restart.
+  EXPECT_EQ(reopened->max_seen_id(), 3u);
+  EXPECT_EQ((*pending)[0].spec.tag, "r1");
+}
+
+// ---- snapshot cache -------------------------------------------------------
+
+TEST(SnapshotCacheTest, HitsOnIdenticalSnapshotInvalidatesOnChange) {
+  ServeFixture fx("cache");
+  obs::Registry registry;
+  SnapshotCache cache(4, &registry);
+
+  Result<RequestInputs> inputs = LoadRequestInputs(fx.Spec());
+  ASSERT_TRUE(inputs.ok()) << inputs.error().message();
+
+  Result<std::shared_ptr<const Cpr>> first =
+      cache.GetOrBuild(fx.config_dir(), inputs->config_texts, inputs->policy_text);
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  Result<std::shared_ptr<const Cpr>> second =
+      cache.GetOrBuild(fx.config_dir(), inputs->config_texts, inputs->policy_text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "same snapshot must share a pipeline";
+
+  // Change one router: same source, new content hash -> differ-driven
+  // invalidation of the superseded entry, not just an LRU insert.
+  std::vector<std::string> changed = inputs->config_texts;
+  changed[0] += "! drift\n";
+  Result<std::shared_ptr<const Cpr>> third =
+      cache.GetOrBuild(fx.config_dir(), changed, inputs->policy_text);
+  ASSERT_TRUE(third.ok()) << third.error().message();
+  EXPECT_NE(first->get(), third->get());
+
+  obs::Snapshot snapshot = registry.TakeSnapshot();
+  EXPECT_EQ(CounterIn(snapshot, "serve.cache.hits"), 1);
+  EXPECT_EQ(CounterIn(snapshot, "serve.cache.misses"), 2);
+  EXPECT_EQ(CounterIn(snapshot, "serve.cache.invalidations"), 1);
+  EXPECT_EQ(cache.size(), 1u) << "superseded snapshot must not linger";
+}
+
+// ---- daemon: happy path ---------------------------------------------------
+
+TEST(DaemonTest, RunsRequestThroughFullPipeline) {
+  ServeFixture fx("happy");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec("happy"));
+  ASSERT_TRUE(decision.admitted) << decision.error;
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(decision.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, RequestState::kDone);
+  EXPECT_EQ(status->status, "success");
+  EXPECT_EQ(status->attempts, 1);
+  EXPECT_TRUE(status->error.empty()) << status->error;
+  // The per-request stats document is the one-shot --stats-json equivalent.
+  EXPECT_NE(status->stats_json.find("\"serve\""), std::string::npos);
+  EXPECT_NE(status->stats_json.find("\"success\""), std::string::npos);
+
+  // Pipeline instruments must land in the per-request registry, never the
+  // process-global one (cross-request contamination is what this fixes).
+  obs::Snapshot global = obs::Registry::Global().TakeSnapshot();
+  for (const auto& [name, value] : global.counters) {
+    EXPECT_NE(name.rfind("repair.", 0), 0u)
+        << "pipeline counter leaked into the global registry: " << name;
+  }
+}
+
+// ---- daemon: deadlines ----------------------------------------------------
+
+TEST(DaemonTest, ExpiredDeadlineReportsCleanlyWithoutSolving) {
+  ServeFixture fx("deadline");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok());
+
+  RequestSpec spec = fx.Spec("expired");
+  spec.deadline_seconds = -1;  // Arrived dead.
+  AdmissionDecision decision = (*daemon)->Submit(spec);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 10));
+
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(decision.id);
+  ASSERT_TRUE(status.has_value());
+  // A dead budget is a DONE request with a clean deadline report — the
+  // daemon did exactly what the budget allowed — not a failure.
+  EXPECT_EQ(status->state, RequestState::kDone);
+  EXPECT_EQ(status->status, "deadline-exceeded");
+  EXPECT_EQ(status->attempts, 1);
+  EXPECT_NE(status->stats_json.find("deadline-exceeded"), std::string::npos);
+}
+
+TEST(DaemonTest, BudgetSpentInQueueExpiresTheRequest) {
+  ServeFixture fx("queuewait");
+  DaemonOptions options = fx.Options();
+  options.workers = 1;  // One worker, so the victim waits behind the blocker.
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  RequestSpec blocker = fx.Spec("blocker");
+  blocker.inject_fault = "slow:p=1:slow=0.4:seed=1";
+  ASSERT_TRUE((*daemon)->Submit(blocker).admitted);
+
+  RequestSpec victim = fx.Spec("victim");
+  victim.deadline_seconds = 0.05;  // Will die in the queue behind the blocker.
+  AdmissionDecision decision = (*daemon)->Submit(victim);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(decision.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->status, "deadline-exceeded")
+      << "the budget starts at admission; queue wait must spend it";
+  EXPECT_EQ(status->state, RequestState::kDone);
+}
+
+// ---- daemon: admission control --------------------------------------------
+
+TEST(DaemonTest, SaturatedQueueRejectsWithRetryAfterHint) {
+  ServeFixture fx("saturate");
+  DaemonOptions options = fx.Options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  RequestSpec slow = fx.Spec("slow");
+  slow.inject_fault = "slow:p=1:slow=0.5:seed=1";
+  // Fill the worker and the queue; with a 0.5s solve, one of these must hit
+  // a full queue long before the worker drains it.
+  AdmissionDecision rejected;
+  int admitted = 0;
+  for (int i = 0; i < 6 && !rejected.error.size(); ++i) {
+    AdmissionDecision decision = (*daemon)->Submit(slow);
+    if (decision.admitted) {
+      ++admitted;
+    } else {
+      rejected = decision;
+    }
+  }
+  ASSERT_FALSE(rejected.admitted);
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+  EXPECT_GT(rejected.retry_after_seconds, 0) << "a reject must carry a hint";
+
+  // A rejected request was never accepted: it owes no status entry, and the
+  // admitted ones still finish.
+  (*daemon)->WaitIdle();
+  EXPECT_EQ(static_cast<int>((*daemon)->Statuses().size()), admitted);
+}
+
+TEST(DaemonTest, DrainingDaemonStopsAdmitting) {
+  ServeFixture fx("drainrej");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok());
+  (*daemon)->Drain();
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec());
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_NE(decision.error.find("draining"), std::string::npos);
+}
+
+// ---- daemon: crash isolation + retry --------------------------------------
+
+TEST(DaemonTest, TransientFaultsRetryThenFailStructurally) {
+  ServeFixture fx("throw");
+  DaemonOptions options = fx.Options();
+  options.max_request_attempts = 2;
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  RequestSpec faulty = fx.Spec("faulty");
+  faulty.inject_fault = "throw:p=1:seed=7";  // Every solver call explodes.
+  AdmissionDecision decision = (*daemon)->Submit(faulty);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(decision.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, RequestState::kFailed);
+  EXPECT_EQ(status->attempts, 2) << "transient failures must be retried";
+  EXPECT_NE(status->error.find("transient failure persisted"), std::string::npos)
+      << status->error;
+
+  // The blast radius is one request: the daemon keeps serving.
+  AdmissionDecision healthy = (*daemon)->Submit(fx.Spec("healthy"));
+  ASSERT_TRUE(healthy.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(healthy.id, 30));
+  EXPECT_EQ((*daemon)->GetStatus(healthy.id)->status, "success");
+}
+
+TEST(DaemonTest, InvalidInputFailsFastWithoutRetries) {
+  ServeFixture fx("invalid");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok());
+
+  RequestSpec bad = fx.Spec("bad");
+  bad.config_dir = fx.config_dir() + "-does-not-exist";
+  AdmissionDecision decision = (*daemon)->Submit(bad);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 10));
+
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(decision.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, RequestState::kFailed);
+  EXPECT_EQ(status->status, "invalid-request");
+  EXPECT_EQ(status->attempts, 1) << "malformed input never becomes valid by retrying";
+}
+
+TEST(DaemonTest, FaultInjectionSoakLeavesEveryRequestTerminalExactlyOnce) {
+  ServeFixture fx("soak");
+  DaemonOptions options = fx.Options();
+  options.max_request_attempts = 3;
+  options.queue_capacity = 64;
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  constexpr int kRequests = 10;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    RequestSpec spec = fx.Spec("soak" + std::to_string(i));
+    // Half-probability explosions, seeded per request: some requests succeed
+    // first try, some after retries, some exhaust all attempts.
+    spec.inject_fault = "throw:p=0.5:seed=" + std::to_string(100 + i);
+    AdmissionDecision decision = (*daemon)->Submit(spec);
+    ASSERT_TRUE(decision.admitted) << decision.error;
+    ids.push_back(decision.id);
+  }
+
+  for (uint64_t id : ids) {
+    ASSERT_TRUE((*daemon)->WaitFor(id, 60)) << "request " << id << " never finished";
+  }
+  int done = 0, failed = 0;
+  for (uint64_t id : ids) {
+    std::optional<RequestStatus> status = (*daemon)->GetStatus(id);
+    ASSERT_TRUE(status.has_value());
+    ASSERT_GE(status->attempts, 1);
+    ASSERT_LE(status->attempts, 3);
+    if (status->state == RequestState::kDone) {
+      ++done;
+      EXPECT_EQ(status->status, "success");
+    } else {
+      ++failed;
+      EXPECT_EQ(status->state, RequestState::kFailed);
+    }
+  }
+  EXPECT_EQ(done + failed, kRequests);
+  // The daemon outlives the soak: a clean request still succeeds.
+  AdmissionDecision after = (*daemon)->Submit(fx.Spec("after-soak"));
+  ASSERT_TRUE(after.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(after.id, 30));
+  EXPECT_EQ((*daemon)->GetStatus(after.id)->status, "success");
+}
+
+// ---- daemon: graceful drain + restart -------------------------------------
+
+TEST(DaemonTest, DrainCheckpointsQueueAndRestartRecoversExactlyOnce) {
+  ServeFixture fx("drain");
+  DaemonOptions options = fx.Options();
+  options.workers = 1;  // Serialize, so most requests are still queued at drain.
+  options.queue_capacity = 16;
+
+  std::set<uint64_t> all_ids;
+  std::set<uint64_t> finished_before_restart;
+  {
+    Result<std::unique_ptr<Daemon>> first = Daemon::Start(options);
+    ASSERT_TRUE(first.ok()) << first.error().message();
+    for (int i = 0; i < 4; ++i) {
+      RequestSpec spec = fx.Spec("gen1-" + std::to_string(i));
+      spec.inject_fault = "slow:p=1:slow=0.3:seed=1";
+      AdmissionDecision decision = (*first)->Submit(spec);
+      ASSERT_TRUE(decision.admitted) << decision.error;
+      all_ids.insert(decision.id);
+    }
+
+    // SIGTERM equivalent: stop admitting, finish in-flight, checkpoint the
+    // rest with their remaining budgets.
+    DrainReport report = (*first)->Drain();
+    EXPECT_FALSE(report.deadline_hit);
+    for (const RequestStatus& status : (*first)->Statuses()) {
+      if (status.state == RequestState::kDone || status.state == RequestState::kFailed) {
+        finished_before_restart.insert(status.id);
+      }
+    }
+    EXPECT_EQ(report.checkpointed,
+              static_cast<int>(all_ids.size() - finished_before_restart.size()));
+    EXPECT_GE(report.checkpointed, 1)
+        << "a 1-worker daemon with 0.3s solves cannot have drained 4 requests";
+  }
+
+  // The restarted daemon mark-and-sweeps the checkpoint dir: finished
+  // requests never re-run, unfinished ones run exactly once.
+  Result<std::unique_ptr<Daemon>> second = Daemon::Start(options);
+  ASSERT_TRUE(second.ok()) << second.error().message();
+  EXPECT_EQ((*second)->recovered_count(),
+            static_cast<int>(all_ids.size() - finished_before_restart.size()));
+
+  std::set<uint64_t> recovered_ids;
+  for (const RequestStatus& status : (*second)->Statuses()) {
+    EXPECT_TRUE(status.recovered);
+    EXPECT_TRUE(all_ids.count(status.id)) << "unknown id recovered: " << status.id;
+    EXPECT_FALSE(finished_before_restart.count(status.id))
+        << "request " << status.id << " finished before the restart and ran again";
+    recovered_ids.insert(status.id);
+  }
+  EXPECT_EQ(recovered_ids.size() + finished_before_restart.size(), all_ids.size())
+      << "every admitted request is either finished or recovered — none lost";
+
+  for (uint64_t id : recovered_ids) {
+    ASSERT_TRUE((*second)->WaitFor(id, 60));
+    EXPECT_EQ((*second)->GetStatus(id)->status, "success");
+  }
+
+  // New ids never collide with the previous daemon's.
+  AdmissionDecision fresh = (*second)->Submit(fx.Spec("gen2"));
+  ASSERT_TRUE(fresh.admitted);
+  EXPECT_FALSE(all_ids.count(fresh.id));
+  ASSERT_TRUE((*second)->WaitFor(fresh.id, 30));
+
+  // A third daemon finds a clean slate: nothing re-runs after completion.
+  (*second)->Drain();
+  second->reset();
+  Result<std::unique_ptr<Daemon>> third = Daemon::Start(options);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ((*third)->recovered_count(), 0)
+      << "completed requests must never be recovered again";
+}
+
+TEST(DaemonTest, RecoveredExpiredBudgetStaysExpired) {
+  ServeFixture fx("recexp");
+  DaemonOptions options = fx.Options();
+  options.workers = 1;
+
+  {
+    Result<std::unique_ptr<Daemon>> first = Daemon::Start(options);
+    ASSERT_TRUE(first.ok());
+    RequestSpec blocker = fx.Spec("blocker");
+    blocker.inject_fault = "slow:p=1:slow=0.4:seed=1";
+    ASSERT_TRUE((*first)->Submit(blocker).admitted);
+    RequestSpec doomed = fx.Spec("doomed");
+    doomed.deadline_seconds = 0.01;  // Expires while queued behind the blocker.
+    AdmissionDecision decision = (*first)->Submit(doomed);
+    ASSERT_TRUE(decision.admitted);
+    (*first)->Drain();
+  }
+
+  Result<std::unique_ptr<Daemon>> second = Daemon::Start(options);
+  ASSERT_TRUE(second.ok());
+  (*second)->WaitIdle();
+  bool saw_doomed = false;
+  for (const RequestStatus& status : (*second)->Statuses()) {
+    if (status.tag != "doomed") {
+      continue;
+    }
+    saw_doomed = true;
+    EXPECT_EQ(status.status, "deadline-exceeded")
+        << "an expired budget must not rejuvenate across a restart";
+  }
+  EXPECT_TRUE(saw_doomed) << "the doomed request was lost in the restart";
+}
+
+// Daemon-level serve.* signals stay in the global registry (that is where
+// `cprd stats` reads them), even while pipeline counters are per-request.
+TEST(DaemonTest, ServeCountersLandInGlobalRegistry) {
+  int64_t admitted_before = GlobalCounter("serve.admitted");
+  ServeFixture fx("metrics");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok());
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec());
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+  EXPECT_EQ(GlobalCounter("serve.admitted"), admitted_before + 1);
+}
+
+}  // namespace
+}  // namespace cpr::serve

@@ -80,7 +80,9 @@ int Usage() {
                "                              the stage spans (chrome://tracing)\n"
                "         --lint error|warn|off  pre-repair lint gate: refuse on\n"
                "                              errors (default), report only, or skip\n"
-               "robustness: --deadline SECONDS   total wall-clock budget\n"
+               "robustness: --deadline SECONDS   total wall-clock budget (<=0\n"
+               "                              rejects immediately with status\n"
+               "                              deadline-exceeded; omit = unbounded)\n"
                "            --max-retries N      extra attempts after a timeout\n"
                "            --no-failover        don't re-solve unsupported problems on z3\n"
                "            --no-partial         all-or-nothing (fail the run if any\n"
@@ -217,6 +219,12 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         return v.error();
       }
       args.options.repair.deadline_seconds = std::atof(v->c_str());
+      // An explicit zero (or negative) budget means "no time at all", not
+      // "unbounded": the repair reports kDeadlineExceeded without starting
+      // solver work. Only the flag's *absence* means unbounded.
+      if (args.options.repair.deadline_seconds <= 0) {
+        args.options.repair.deadline = cpr::Deadline::Exhausted();
+      }
     } else if (flag == "--max-retries") {
       auto v = value();
       if (!v.ok()) {

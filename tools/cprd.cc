@@ -1,0 +1,562 @@
+// cprd — the CPR repair daemon and its client, in one binary.
+//
+// Server:
+//   cprd serve --socket PATH --checkpoint-dir DIR
+//        [--workers N] [--solve-threads N] [--queue-capacity N]
+//        [--drain-deadline S] [--default-deadline S] [--max-attempts N]
+//        [--results-dir DIR] [--cache-capacity N]
+//
+// Client (one wire op per invocation, against a running daemon):
+//   cprd ping   --socket PATH
+//   cprd submit --socket PATH <config-dir> <policy-file>
+//        [--tag T] [--deadline S] [--timeout S] [--backend z3|internal]
+//        [--granularity perdst|alltcs] [--max-retries N] [--simulate]
+//        [--lint gate|warn|off] [--inject-fault SPEC] [--wait S]
+//   cprd status --socket PATH [--id N]
+//   cprd wait   --socket PATH --id N [--timeout S]
+//   cprd result --socket PATH --id N         per-request stats JSON
+//   cprd stats  --socket PATH                serve.* counters/gauges
+//   cprd drain  --socket PATH                stop admitting; daemon exits
+//
+// The wire protocol is one key=value line per request and response
+// (serve/wire.h); every client op prints the daemon's response line verbatim
+// so scripts can parse it the same way the client does. SIGTERM (or a drain
+// op) makes the server stop admitting, finish in-flight repairs within the
+// drain deadline, checkpoint the still-queued requests, and exit 0; a
+// restarted daemon on the same --checkpoint-dir re-queues exactly the
+// requests that never completed.
+//
+// The control socket is a low-rate path: connections are handled inline on
+// the accept loop (repairs execute on the daemon's worker pool, never on the
+// connection loop), and blocking ops (`wait`) are clamped server-side so the
+// loop keeps polling for SIGTERM; the client re-issues until its own timeout.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "netbase/deadline.h"
+#include "obs/metrics.h"
+#include "serve/daemon.h"
+#include "serve/request.h"
+#include "serve/wire.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cpr::serve::Daemon;
+using cpr::serve::DaemonOptions;
+using cpr::serve::RequestSpec;
+using cpr::serve::RequestStatus;
+using cpr::serve::WireFields;
+using cpr::serve::WireView;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cprd serve  --socket PATH --checkpoint-dir DIR [server options]\n"
+      "       cprd submit --socket PATH <config-dir> <policy-file> [request options]\n"
+      "       cprd ping|status|wait|result|stats|drain --socket PATH [--id N] "
+      "[--timeout S]\n"
+      "server options:\n"
+      "  --workers N           concurrent requests in execution (default 2)\n"
+      "  --solve-threads N     shared solver pool size (default 4)\n"
+      "  --queue-capacity N    admission bound (default 16)\n"
+      "  --drain-deadline S    wait for in-flight work on drain (default 30)\n"
+      "  --default-deadline S  budget for requests without one (default none)\n"
+      "  --max-attempts N      attempts per request on transient failure (default 3)\n"
+      "  --results-dir DIR     write per-request stats JSON files\n"
+      "  --cache-capacity N    snapshot cache entries (default 8)\n"
+      "request options:\n"
+      "  --tag T  --deadline S  --timeout S  --backend z3|internal\n"
+      "  --granularity perdst|alltcs  --max-retries N  --simulate\n"
+      "  --lint gate|warn|off  --inject-fault SPEC\n"
+      "  --wait S   block until the request is terminal (then exit 0 iff done)\n");
+  return 2;
+}
+
+// --flag value / --flag=value, shared by every subcommand.
+struct ArgReader {
+  int argc;
+  char** argv;
+  int next = 2;
+
+  // Returns false when exhausted; on true, `flag` is set and `value` holds
+  // the inline value if `--flag=value` was used.
+  bool NextFlag(std::string* flag, std::optional<std::string>* value) {
+    if (next >= argc) {
+      return false;
+    }
+    *flag = argv[next++];
+    value->reset();
+    if (size_t eq = flag->find('=');
+        flag->rfind("--", 0) == 0 && eq != std::string::npos) {
+      *value = flag->substr(eq + 1);
+      flag->resize(eq);
+    }
+    return true;
+  }
+
+  cpr::Result<std::string> Value(const std::string& flag,
+                                 const std::optional<std::string>& inline_value) {
+    if (inline_value.has_value()) {
+      return *inline_value;
+    }
+    if (next >= argc) {
+      return cpr::Error(flag + " needs a value");
+    }
+    return std::string(argv[next++]);
+  }
+};
+
+// ---- server ---------------------------------------------------------------
+
+std::string StatusFields(const RequestStatus& status) {
+  WireFields fields;
+  fields.emplace_back("found", "1");
+  fields.emplace_back("id", std::to_string(status.id));
+  fields.emplace_back("state", cpr::serve::RequestStateName(status.state));
+  if (!status.tag.empty()) {
+    fields.emplace_back("tag", status.tag);
+  }
+  fields.emplace_back("status", status.status);
+  if (!status.error.empty()) {
+    fields.emplace_back("error", status.error);
+  }
+  fields.emplace_back("attempts", std::to_string(status.attempts));
+  fields.emplace_back("recovered", status.recovered ? "1" : "0");
+  fields.emplace_back("queue_seconds", std::to_string(status.queue_seconds));
+  fields.emplace_back("exec_seconds", std::to_string(status.exec_seconds));
+  return cpr::serve::EncodeWireLine(fields);
+}
+
+// One request line in, one response line out. Returns true when the op asks
+// the daemon to drain (the accept loop exits and drains).
+bool HandleConnection(Daemon* daemon, int fd) {
+  cpr::Result<std::string> line = cpr::serve::RecvLine(fd);
+  if (!line.ok()) {
+    return false;
+  }
+  auto respond = [fd](const WireFields& fields) {
+    cpr::serve::SendLine(fd, cpr::serve::EncodeWireLine(fields));
+  };
+  cpr::Result<WireFields> decoded = cpr::serve::DecodeWireLine(*line);
+  if (!decoded.ok()) {
+    respond({{"error", decoded.error().message()}});
+    return false;
+  }
+  WireView view(*decoded);
+  std::string op = view.Get("op");
+
+  if (op == "ping") {
+    respond({{"ok", "1"}, {"pid", std::to_string(::getpid())}});
+    return false;
+  }
+  if (op == "submit") {
+    RequestSpec spec = cpr::serve::SpecFromFields(*decoded);
+    cpr::serve::AdmissionDecision decision = daemon->Submit(spec);
+    WireFields fields;
+    fields.emplace_back("admitted", decision.admitted ? "1" : "0");
+    if (decision.admitted) {
+      fields.emplace_back("id", std::to_string(decision.id));
+    } else {
+      fields.emplace_back("retry_after", std::to_string(decision.retry_after_seconds));
+      fields.emplace_back("error", decision.error);
+    }
+    respond(fields);
+    return false;
+  }
+  if (op == "status") {
+    if (view.Has("id")) {
+      std::optional<RequestStatus> status =
+          daemon->GetStatus(static_cast<uint64_t>(view.GetInt("id")));
+      if (!status.has_value()) {
+        respond({{"found", "0"}});
+        return false;
+      }
+      cpr::serve::SendLine(fd, StatusFields(*status));
+      return false;
+    }
+    int queued = 0, running = 0, done = 0, failed = 0;
+    for (const RequestStatus& status : daemon->Statuses()) {
+      switch (status.state) {
+        case cpr::serve::RequestState::kQueued: ++queued; break;
+        case cpr::serve::RequestState::kRunning: ++running; break;
+        case cpr::serve::RequestState::kDone: ++done; break;
+        case cpr::serve::RequestState::kFailed: ++failed; break;
+      }
+    }
+    respond({{"queued", std::to_string(queued)},
+             {"running", std::to_string(running)},
+             {"done", std::to_string(done)},
+             {"failed", std::to_string(failed)},
+             {"draining", daemon->draining() ? "1" : "0"}});
+    return false;
+  }
+  if (op == "wait") {
+    // Clamped so a long wait cannot wedge the accept loop against SIGTERM;
+    // the client loops until its own timeout.
+    double timeout = std::min(view.GetDouble("timeout", 2.0), 2.0);
+    uint64_t id = static_cast<uint64_t>(view.GetInt("id"));
+    bool terminal = daemon->WaitFor(id, timeout);
+    std::optional<RequestStatus> status = daemon->GetStatus(id);
+    WireFields fields;
+    fields.emplace_back("done", terminal ? "1" : "0");
+    if (status.has_value()) {
+      fields.emplace_back("state", cpr::serve::RequestStateName(status->state));
+      fields.emplace_back("status", status->status);
+      if (!status->error.empty()) {
+        fields.emplace_back("error", status->error);
+      }
+    } else {
+      fields.emplace_back("error", "unknown id");
+    }
+    respond(fields);
+    return false;
+  }
+  if (op == "result") {
+    std::optional<RequestStatus> status =
+        daemon->GetStatus(static_cast<uint64_t>(view.GetInt("id")));
+    if (!status.has_value()) {
+      respond({{"found", "0"}});
+      return false;
+    }
+    respond({{"found", "1"}, {"stats", status->stats_json}});
+    return false;
+  }
+  if (op == "stats") {
+    cpr::obs::Snapshot snapshot = cpr::obs::Registry::Global().TakeSnapshot();
+    WireFields fields;
+    fields.emplace_back("queue_depth", std::to_string(daemon->queue_depth()));
+    fields.emplace_back("recovered", std::to_string(daemon->recovered_count()));
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name.rfind("serve.", 0) == 0) {
+        fields.emplace_back(name, std::to_string(value));
+      }
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (name.rfind("serve.", 0) == 0) {
+        fields.emplace_back(name, std::to_string(value));
+      }
+    }
+    respond(fields);
+    return false;
+  }
+  if (op == "drain") {
+    respond({{"draining", "1"}});
+    return true;
+  }
+  respond({{"error", "unknown op: " + op}});
+  return false;
+}
+
+int CmdServe(ArgReader* args) {
+  DaemonOptions options;
+  std::string socket_path;
+  std::string flag;
+  std::optional<std::string> inline_value;
+  while (args->NextFlag(&flag, &inline_value)) {
+    auto value = [&]() { return args->Value(flag, inline_value); };
+    cpr::Result<std::string> v = cpr::Error("unset");
+    if (flag == "--socket") {
+      if (v = value(); !v.ok()) return Usage();
+      socket_path = *v;
+    } else if (flag == "--checkpoint-dir") {
+      if (v = value(); !v.ok()) return Usage();
+      options.checkpoint_dir = *v;
+    } else if (flag == "--workers") {
+      if (v = value(); !v.ok()) return Usage();
+      options.workers = std::atoi(v->c_str());
+    } else if (flag == "--solve-threads") {
+      if (v = value(); !v.ok()) return Usage();
+      options.solve_threads = std::atoi(v->c_str());
+    } else if (flag == "--queue-capacity") {
+      if (v = value(); !v.ok()) return Usage();
+      options.queue_capacity = static_cast<size_t>(std::atoll(v->c_str()));
+    } else if (flag == "--drain-deadline") {
+      if (v = value(); !v.ok()) return Usage();
+      options.drain_deadline_seconds = std::atof(v->c_str());
+    } else if (flag == "--default-deadline") {
+      if (v = value(); !v.ok()) return Usage();
+      options.default_deadline_seconds = std::atof(v->c_str());
+    } else if (flag == "--max-attempts") {
+      if (v = value(); !v.ok()) return Usage();
+      options.max_request_attempts = std::atoi(v->c_str());
+    } else if (flag == "--results-dir") {
+      if (v = value(); !v.ok()) return Usage();
+      options.results_dir = *v;
+    } else if (flag == "--cache-capacity") {
+      if (v = value(); !v.ok()) return Usage();
+      options.cache_capacity = static_cast<size_t>(std::atoll(v->c_str()));
+    } else {
+      std::fprintf(stderr, "error: unknown serve flag %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (socket_path.empty() || options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: serve requires --socket and --checkpoint-dir\n");
+    return Usage();
+  }
+
+  cpr::Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "error: %s\n", daemon.error().message().c_str());
+    return 1;
+  }
+  cpr::Result<cpr::serve::UnixFd> listener = cpr::serve::ListenUnix(socket_path);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: %s\n", listener.error().message().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // A vanished client must not kill the daemon.
+
+  std::fprintf(stderr,
+               "cprd listening on %s (workers=%d solve_threads=%d queue=%zu "
+               "recovered=%d)\n",
+               socket_path.c_str(), options.workers, options.solve_threads,
+               options.queue_capacity, (*daemon)->recovered_count());
+
+  bool drain_requested = false;
+  while (!g_shutdown && !drain_requested) {
+    struct pollfd pfd = {(*listener).fd(), POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) {
+      continue;  // Timeout or EINTR: re-check the shutdown flag.
+    }
+    cpr::Result<cpr::serve::UnixFd> conn = cpr::serve::AcceptUnix(*listener);
+    if (!conn.ok() || !conn->valid()) {
+      continue;
+    }
+    drain_requested = HandleConnection(daemon->get(), conn->fd());
+  }
+
+  std::fprintf(stderr, "cprd draining (%s)...\n",
+               g_shutdown ? "signal" : "drain op");
+  cpr::serve::DrainReport report = (*daemon)->Drain();
+  std::fprintf(stderr,
+               "cprd drained in %.2fs: %d completed, %d checkpointed for restart%s\n",
+               report.drain_seconds, report.completed_in_drain, report.checkpointed,
+               report.deadline_hit ? " (drain deadline hit; in-flight work continues)"
+                                   : "");
+  daemon->reset();  // Joins any stragglers before the socket disappears.
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+// ---- client ---------------------------------------------------------------
+
+// Sends one line, prints the response line verbatim, and returns it.
+cpr::Result<WireFields> RoundTrip(const std::string& socket_path,
+                                  const WireFields& request, bool print = true) {
+  cpr::Result<cpr::serve::UnixFd> conn = cpr::serve::ConnectUnix(socket_path);
+  if (!conn.ok()) {
+    return conn.error();
+  }
+  cpr::Status sent = cpr::serve::SendLine(conn->fd(), cpr::serve::EncodeWireLine(request));
+  if (!sent.ok()) {
+    return sent.error();
+  }
+  cpr::Result<std::string> response = cpr::serve::RecvLine(conn->fd());
+  if (!response.ok()) {
+    return response.error();
+  }
+  if (print) {
+    std::printf("%s\n", response->c_str());
+  }
+  return cpr::serve::DecodeWireLine(*response);
+}
+
+// Client-side wait loop: the server clamps each wait op, so poll until the
+// deadline. Returns 0 when the request finished as "done".
+int WaitLoop(const std::string& socket_path, uint64_t id, double timeout) {
+  cpr::Deadline deadline = cpr::Deadline::After(timeout);
+  for (;;) {
+    WireFields request{{"op", "wait"}, {"id", std::to_string(id)}, {"timeout", "2"}};
+    cpr::Result<WireFields> response = RoundTrip(socket_path, request, false);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().message().c_str());
+      return 1;
+    }
+    WireView view(*response);
+    if (view.Get("done") == "1") {
+      std::printf("%s\n", cpr::serve::EncodeWireLine(*response).c_str());
+      return view.Get("state") == "done" ? 0 : 1;
+    }
+    if (deadline.Expired()) {
+      std::printf("%s\n", cpr::serve::EncodeWireLine(*response).c_str());
+      std::fprintf(stderr, "error: timed out waiting for request %llu\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+  }
+}
+
+int CmdClient(const std::string& command, ArgReader* args) {
+  std::string socket_path;
+  RequestSpec spec;
+  uint64_t id = 0;
+  bool have_id = false;
+  double timeout = 60;
+  double submit_wait = -1;
+  std::vector<std::string> positionals;
+
+  std::string flag;
+  std::optional<std::string> inline_value;
+  while (args->NextFlag(&flag, &inline_value)) {
+    auto value = [&]() { return args->Value(flag, inline_value); };
+    cpr::Result<std::string> v = cpr::Error("unset");
+    if (flag.rfind('-', 0) != 0) {
+      positionals.push_back(flag);
+    } else if (flag == "--socket") {
+      if (v = value(); !v.ok()) return Usage();
+      socket_path = *v;
+    } else if (flag == "--id") {
+      if (v = value(); !v.ok()) return Usage();
+      id = static_cast<uint64_t>(std::atoll(v->c_str()));
+      have_id = true;
+    } else if (flag == "--timeout" && command != "submit") {
+      if (v = value(); !v.ok()) return Usage();
+      timeout = std::atof(v->c_str());
+    } else if (flag == "--tag") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.tag = *v;
+    } else if (flag == "--deadline") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.deadline_seconds = std::atof(v->c_str());
+      if (spec.deadline_seconds <= 0) {
+        spec.deadline_seconds = -1;  // Explicit zero budget, not "default".
+      }
+    } else if (flag == "--timeout") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.timeout_seconds = std::atof(v->c_str());
+    } else if (flag == "--backend") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.backend = *v;
+    } else if (flag == "--granularity") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.granularity = *v;
+    } else if (flag == "--max-retries") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.max_retries = std::atoi(v->c_str());
+    } else if (flag == "--simulate") {
+      spec.simulate = true;
+    } else if (flag == "--lint") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.lint = *v;
+    } else if (flag == "--inject-fault") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.inject_fault = *v;
+    } else if (flag == "--wait") {
+      if (v = value(); !v.ok()) return Usage();
+      submit_wait = std::atof(v->c_str());
+    } else {
+      std::fprintf(stderr, "error: unknown %s flag %s\n", command.c_str(), flag.c_str());
+      return Usage();
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: %s requires --socket\n", command.c_str());
+    return Usage();
+  }
+  if (command == "submit") {
+    if (positionals.size() != 2) {
+      std::fprintf(stderr, "error: submit requires <config-dir> <policy-file>\n");
+      return Usage();
+    }
+    // The daemon resolves paths in its own working directory; pin them here.
+    spec.config_dir = fs::absolute(positionals[0]).string();
+    spec.policy_file = fs::absolute(positionals[1]).string();
+  }
+
+  if (command == "ping" || command == "stats" || command == "drain") {
+    cpr::Result<WireFields> response = RoundTrip(socket_path, {{"op", command}});
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (command == "submit") {
+    WireFields request = cpr::serve::FieldsFromSpec(spec);
+    request.insert(request.begin(), {"op", "submit"});
+    cpr::Result<WireFields> response = RoundTrip(socket_path, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().message().c_str());
+      return 1;
+    }
+    WireView view(*response);
+    if (view.Get("admitted") != "1") {
+      return 1;
+    }
+    if (submit_wait > 0) {
+      return WaitLoop(socket_path, static_cast<uint64_t>(view.GetInt("id")),
+                      submit_wait);
+    }
+    return 0;
+  }
+  if (command == "status" || command == "result") {
+    WireFields request{{"op", command}};
+    if (have_id) {
+      request.emplace_back("id", std::to_string(id));
+    }
+    cpr::Result<WireFields> response = RoundTrip(socket_path, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().message().c_str());
+      return 1;
+    }
+    return WireView(*response).Get("found", "1") == "1" ? 0 : 1;
+  }
+  if (command == "wait") {
+    if (!have_id) {
+      std::fprintf(stderr, "error: wait requires --id\n");
+      return Usage();
+    }
+    return WaitLoop(socket_path, id, timeout);
+  }
+  return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  ArgReader args{argc, argv};
+  if (command == "serve") {
+    return CmdServe(&args);
+  }
+  if (command == "ping" || command == "submit" || command == "status" ||
+      command == "wait" || command == "result" || command == "stats" ||
+      command == "drain") {
+    return CmdClient(command, &args);
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return 1;
+  }
+}
