@@ -1,9 +1,17 @@
 // Figure 8c: repair time vs network size (fat-trees of growing port count,
-// 30 policies), maxsmt-per-dst, for PC1/PC2/PC3 (PC4 excluded, §5.3).
+// 30 policies), maxsmt-per-dst, for PC1/PC2/PC3 (PC4 excluded, §5.3) — with
+// a symmetry-quotient compression ablation (DESIGN.md §11): every scenario
+// is repaired twice, compression off and compression auto, on the same
+// pipeline.
 //
 // Paper finding this bench reproduces in shape: times grow exponentially
 // with network size; PC3's growth is steepest because each physical link
-// adds K more edge variables per policy.
+// adds K more edge variables per policy. The compression columns show the
+// pre-pass flattening exactly that growth — the quotient of a symmetric
+// fat-tree stays the same size as the concrete one scales.
+//
+//   CPR_BENCH_FT_MAX_PORTS   largest port count (default 8; 10 for the
+//                            committed full baseline, 6 for the CI smoke)
 
 #include <cstdio>
 
@@ -18,16 +26,20 @@ int main() {
   std::printf(
       "=== Figure 8c: time vs network size (fat-trees, %d policies, per-dst) ===\n",
       kPolicies);
-  std::printf("%-8s %-10s %-12s %-12s %-12s\n", "ports", "routers", "PC1(s)", "PC2(s)",
-              "PC3(s)");
+  std::printf("%-6s %-8s %-5s %-10s %-10s %-9s %-7s %-8s\n", "ports", "routers", "pc",
+              "off(s)", "auto(s)", "speedup", "ratio", "liftfail");
 
   const cpr::PolicyClass classes[] = {
       cpr::PolicyClass::kAlwaysBlocked,
       cpr::PolicyClass::kAlwaysWaypoint,
       cpr::PolicyClass::kReachability,
   };
+  double total_off = 0;
+  double total_auto = 0;
+  int64_t lift_failed = 0;
+  int64_t groups_compressed = 0;
+  int64_t repairs_failed = 0;
   for (int ports = 4; ports <= max_ports; ports += 2) {
-    std::printf("%-8d %-10d ", ports, ports * ports * 5 / 4);
     for (cpr::PolicyClass pc : classes) {
       cpr::FatTreeScenario scenario = cpr::MakeFatTreeScenario(ports, pc, kPolicies, 2017);
       cpr::Cpr broken = cpr::MustBuildCpr(scenario.broken_configs, scenario.annotations);
@@ -36,25 +48,62 @@ int main() {
       options.repair.granularity = cpr::Granularity::kPerDst;
       options.repair.num_threads = config.threads;
       options.repair.timeout_seconds = config.timeout * 6;
-      cpr::WallTimer timer;
-      cpr::Result<cpr::CprReport> report = broken.Repair(scenario.policies, options);
-      double seconds = timer.Seconds();
-      if (report.ok() && report.value().status == cpr::RepairStatus::kSuccess) {
-        std::printf("%-12.3f ", seconds);
-      } else {
-        std::printf("%-12s ", report.ok() ? cpr::StatusName(report.value().status) : "ERR");
-      }
+
+      options.repair.compress.mode = cpr::CompressMode::kOff;
+      cpr::WallTimer off_timer;
+      cpr::Result<cpr::CprReport> off = broken.Repair(scenario.policies, options);
+      double seconds_off = off_timer.Seconds();
+
+      options.repair.compress.mode = cpr::CompressMode::kAuto;
+      cpr::WallTimer auto_timer;
+      cpr::Result<cpr::CprReport> with = broken.Repair(scenario.policies, options);
+      double seconds_auto = auto_timer.Seconds();
+
+      bool off_ok = off.ok() && off->status == cpr::RepairStatus::kSuccess;
+      bool auto_ok = with.ok() && with->status == cpr::RepairStatus::kSuccess &&
+                     with->Sound();
+      double speedup = seconds_auto > 0 ? seconds_off / seconds_auto : 0;
+      double ratio = with.ok() ? with->compression.quotient_ratio : 1.0;
+      int64_t row_lift_failed =
+          with.ok() ? with->compression.lift_verify_failures : 0;
+      total_off += seconds_off;
+      total_auto += seconds_auto;
+      lift_failed += row_lift_failed;
+      groups_compressed += with.ok() ? with->compression.groups_compressed : 0;
+      repairs_failed += (off_ok ? 0 : 1) + (auto_ok ? 0 : 1);
+
+      std::printf("%-6d %-8d %-5s %-10.3f %-10.3f %-9.2f %-7.2f %-8lld%s%s\n", ports,
+                  ports * ports * 5 / 4, cpr::PolicyClassName(pc).c_str(), seconds_off,
+                  seconds_auto, speedup, ratio,
+                  static_cast<long long>(row_lift_failed),
+                  off_ok ? "" : " OFF-FAILED", auto_ok ? "" : " AUTO-FAILED");
       bench.AddRow()
           .Set("ports", ports)
           .Set("routers", ports * ports * 5 / 4)
           .Set("policy_class", cpr::PolicyClassName(pc))
-          .Set("seconds", seconds)
-          .Set("status", report.ok() ? cpr::StatusName(report->status) : "ERROR");
+          .Set("seconds_off", seconds_off)
+          .Set("seconds_auto", seconds_auto)
+          .Set("speedup", speedup)
+          .Set("quotient_ratio", ratio)
+          .Set("lift_verify_failed", row_lift_failed)
+          .Set("status_off",
+               off.ok() ? cpr::StatusName(off->status) : "ERROR")
+          .Set("status_auto",
+               with.ok() ? cpr::StatusName(with->status) : "ERROR");
       std::fflush(stdout);
     }
-    std::printf("\n");
   }
-  std::printf("\nshape check (paper): exponential growth with size; PC3 steepest.\n");
+  std::printf(
+      "\nshape check (paper): exponential growth with size; PC3 steepest.\n"
+      "ablation: total off %.3fs, auto %.3fs (%.2fx), %lld lift-verify failure(s).\n",
+      total_off, total_auto, total_auto > 0 ? total_off / total_auto : 0,
+      static_cast<long long>(lift_failed));
+  bench.SetSummary("scaled_total_off_seconds", total_off);
+  bench.SetSummary("scaled_total_auto_seconds", total_auto);
+  bench.SetSummary("scaled_speedup", total_auto > 0 ? total_off / total_auto : 0.0);
+  bench.SetSummary("lift_verify_failed", lift_failed);
+  bench.SetSummary("groups_compressed", groups_compressed);
+  bench.SetSummary("repairs_failed", repairs_failed);
   bench.Write();
   return 0;
 }

@@ -15,7 +15,8 @@ current run regressed beyond tolerance:
   * lower-is-better keys (names containing "seconds", "lines", "skipped",
     "failed", "timeout", "cost", "bytes", "orphan"): regression = increase;
   * higher-is-better keys (names containing "equal", "compared", "solved",
-    "attributed", "throughput", "per_second"): regression = decrease;
+    "attributed", "throughput", "per_second", "speedup", "compressed"):
+    regression = decrease;
   * other shared numeric keys are reported but never fail the run.
 
 Timing keys ("seconds" in the name) are machine-dependent, so they are only
@@ -33,7 +34,7 @@ import sys
 LOWER_IS_BETTER = ("seconds", "lines", "skipped", "failed", "timeout", "cost",
                    "bytes", "orphan")
 HIGHER_IS_BETTER = ("equal", "compared", "solved", "attributed", "throughput",
-                    "per_second", "completed")
+                    "per_second", "completed", "speedup", "compressed")
 
 
 def classify(key):

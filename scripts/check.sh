@@ -121,6 +121,37 @@ done
 rm -f "$trace_json"
 echo "trace smoke OK"
 
+echo "== compression smoke (symmetric compresses, asymmetric declines) =="
+comp_dir="$(mktemp -d /tmp/cpr-compress-XXXXXX)"
+comp_json="$comp_dir/stats.json"
+build/tools/cpr gen "$comp_dir/sym" --fattree 4 --broken --pc pc1 --policies 4 \
+  --policy-out "$comp_dir/sym.policies" --seed 7 >/dev/null
+build/tools/cpr repair "$comp_dir/sym" "$comp_dir/sym.policies" \
+  --backend internal --compress auto --no-simulate \
+  --stats-json "$comp_json" >/dev/null
+python3 - "$comp_json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["compression"]
+assert s["attempted"] and s["applied"], s
+assert s["quotient_ratio"] > 1.0, s
+assert s["lift_verify_failures"] == 0, s
+EOF
+# Fully asymmetric input must decline with the clean-fallback signature:
+# ratio exactly 1.0 and the uncompressed path still repairs.
+build/tools/cpr gen "$comp_dir/asym" --fattree 4 --broken --pc pc1 --policies 4 \
+  --policy-out "$comp_dir/asym.policies" --seed 7 --dirty-asym 20 >/dev/null
+build/tools/cpr repair "$comp_dir/asym" "$comp_dir/asym.policies" \
+  --backend internal --compress auto --no-simulate \
+  --stats-json "$comp_json" >/dev/null
+python3 - "$comp_json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["compression"]
+assert s["attempted"] and not s["applied"], s
+assert s["quotient_ratio"] == 1.0, s
+EOF
+rm -rf "$comp_dir"
+echo "compression smoke OK"
+
 echo "== cprd daemon smoke (submit, drain, restart, recover) =="
 cprd_dir="$(mktemp -d /tmp/cpr-cprd-XXXXXX)"
 sock="$cprd_dir/sock"
@@ -184,6 +215,19 @@ python3 scripts/bench_compare.py \
 rm -f "$bench_json"
 echo "bench compare OK"
 
+echo "== fig08c compression ablation vs committed smoke baseline =="
+cmake --build build -j "$jobs" --target fig08c_network_size >/dev/null
+fig08c_json="$(mktemp /tmp/cpr-fig08c-XXXXXX.json)"
+CPR_BENCH_FT_MAX_PORTS=6 CPR_BENCH_JSON="$fig08c_json" \
+  build/bench/fig08c_network_size >/dev/null
+# Speedup is a same-machine A/B ratio but still noisy on shared CI; the
+# loose tolerance catches the compression pre-pass collapsing (speedup -> 1,
+# lift failures > 0), not jitter.
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_fig08c_smoke.json "$fig08c_json" --tolerance 0.5
+rm -f "$fig08c_json"
+echo "fig08c ablation OK"
+
 if [[ "$fast" -eq 1 ]]; then
   echo "== sanitizer configurations skipped (--fast) =="
   exit 0
@@ -194,15 +238,15 @@ cmake -B build-asan -S . -DCPR_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 # Leak detection is off: Z3 keeps global state alive at exit.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
-  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json|Daemon|Checkpoint|SnapshotCache|Wire'
+  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json|Daemon|Checkpoint|SnapshotCache|Wire|Compress'
 
 echo "== TSan configuration =="
 cmake -B build-tsan -S . -DCPR_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$jobs" --target obs_test repair_test serve_test
+cmake --build build-tsan -j "$jobs" --target obs_test repair_test serve_test compress_test
 # The observability layer is lock-free on the hot path; TSan validates the
 # atomics, the repair tests validate the worker pool that feeds them, and the
 # serve tests validate the daemon (workers + shared solve pool + drain).
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan --output-on-failure \
-  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair|Daemon|Checkpoint|SnapshotCache|Wire'
+  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair|Daemon|Checkpoint|SnapshotCache|Wire|Compress'
 
 echo "== all checks passed =="

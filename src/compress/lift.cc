@@ -1,0 +1,234 @@
+#include "compress/lift.h"
+
+#include <algorithm>
+
+namespace cpr::compress {
+
+namespace {
+
+class Lifter {
+ public:
+  Lifter(const Quotient& quotient, std::set<std::string>* emitted)
+      : q_(quotient), emitted_(emitted) {}
+
+  LiftedEdits Run(const RepairEdits& quotient_edits) {
+    for (const AdjacencyEdit& edit : quotient_edits.adjacencies) {
+      BeginAbstract(ConstructKey(edit));
+      LiftAdjacency(edit);
+    }
+    for (const RedistributionEdit& edit : quotient_edits.redistributions) {
+      BeginAbstract(ConstructKey(edit));
+      LiftRedistribution(edit);
+    }
+    for (const FilterEdit& edit : quotient_edits.filters) {
+      BeginAbstract(ConstructKey(edit));
+      LiftFilter(edit);
+    }
+    for (const StaticRouteEdit& edit : quotient_edits.static_routes) {
+      BeginAbstract(ConstructKey(edit));
+      LiftStaticRoute(edit);
+    }
+    for (const AclEdit& edit : quotient_edits.acls) {
+      BeginAbstract(ConstructKey(edit));
+      LiftAcl(edit);
+    }
+    for (const CostEdit& edit : quotient_edits.costs) {
+      BeginAbstract(ConstructKey(edit));
+      LiftCost(edit);
+    }
+    for (const WaypointEdit& edit : quotient_edits.waypoints) {
+      BeginAbstract(ConstructKey(edit));
+      LiftWaypoint(edit);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void BeginAbstract(const std::string& key) {
+    ++out_.abstract_edits;
+    current_ = &out_.fanout[key];
+  }
+
+  template <typename Edit>
+  void Emit(const Edit& edit, std::vector<Edit>& into) {
+    std::string key = ConstructKey(edit);
+    current_->emplace_back(key, Describe(edit));
+    if (emitted_->insert(std::move(key)).second) {
+      into.push_back(edit);
+      ++out_.concrete_edits;
+    }
+  }
+
+  int BlockOf(DeviceId quotient_device) const {
+    return q_.block_of[static_cast<size_t>(
+        q_.rep_of[static_cast<size_t>(quotient_device)])];
+  }
+  const std::vector<LinkId>& Links(LinkId quotient_link) const {
+    return q_.link_members[static_cast<size_t>(quotient_link)];
+  }
+  const std::vector<SubnetId>& Subnets(SubnetId quotient_subnet) const {
+    return q_.subnet_members[static_cast<size_t>(quotient_subnet)];
+  }
+  const std::map<DeviceId, ProcessId>& Processes(ProcessId quotient_process) const {
+    return q_.process_members[static_cast<size_t>(quotient_process)];
+  }
+  // The endpoint of a concrete link lying in `block` (-1 when neither does).
+  DeviceId EndpointInBlock(LinkId link, int block) const {
+    const TopoLink& topo = q_.concrete->links()[static_cast<size_t>(link)];
+    if (q_.block_of[static_cast<size_t>(topo.device_a)] == block) {
+      return topo.device_a;
+    }
+    if (q_.block_of[static_cast<size_t>(topo.device_b)] == block) {
+      return topo.device_b;
+    }
+    return -1;
+  }
+
+  void LiftAdjacency(const AdjacencyEdit& edit) {
+    const Network& qnet = *q_.network;
+    const DeviceId side_a =
+        qnet.processes()[static_cast<size_t>(edit.process_a)].device;
+    const DeviceId side_b =
+        qnet.processes()[static_cast<size_t>(edit.process_b)].device;
+    const int block_a = BlockOf(side_a);
+    const int block_b = BlockOf(side_b);
+    for (LinkId link : Links(edit.link)) {
+      const DeviceId device_a = EndpointInBlock(link, block_a);
+      const DeviceId device_b = EndpointInBlock(link, block_b);
+      if (device_a < 0 || device_b < 0) {
+        continue;
+      }
+      auto it_a = Processes(edit.process_a).find(device_a);
+      auto it_b = Processes(edit.process_b).find(device_b);
+      if (it_a == Processes(edit.process_a).end() ||
+          it_b == Processes(edit.process_b).end()) {
+        continue;
+      }
+      AdjacencyEdit lifted = edit;
+      lifted.link = link;
+      lifted.process_a = std::min(it_a->second, it_b->second);
+      lifted.process_b = std::max(it_a->second, it_b->second);
+      Emit(lifted, out_.edits.adjacencies);
+    }
+  }
+
+  void LiftRedistribution(const RedistributionEdit& edit) {
+    // Both processes live on one device; fan over its block.
+    for (const auto& [device, redistributing] : Processes(edit.redistributing)) {
+      auto source = Processes(edit.source).find(device);
+      if (source == Processes(edit.source).end()) {
+        continue;
+      }
+      RedistributionEdit lifted = edit;
+      lifted.redistributing = redistributing;
+      lifted.source = source->second;
+      Emit(lifted, out_.edits.redistributions);
+    }
+  }
+
+  void LiftFilter(const FilterEdit& edit) {
+    for (const auto& [device, process] : Processes(edit.process)) {
+      (void)device;
+      for (SubnetId dst : Subnets(edit.dst)) {
+        FilterEdit lifted = edit;
+        lifted.process = process;
+        lifted.dst = dst;
+        Emit(lifted, out_.edits.filters);
+      }
+    }
+  }
+
+  void LiftStaticRoute(const StaticRouteEdit& edit) {
+    for (DeviceId device : q_.device_members[static_cast<size_t>(edit.device)]) {
+      for (LinkId link : Links(edit.link)) {
+        const TopoLink& topo = q_.concrete->links()[static_cast<size_t>(link)];
+        if (topo.device_a != device && topo.device_b != device) {
+          continue;
+        }
+        for (SubnetId dst : Subnets(edit.dst)) {
+          StaticRouteEdit lifted = edit;
+          lifted.device = device;
+          lifted.link = link;
+          lifted.dst = dst;
+          Emit(lifted, out_.edits.static_routes);
+        }
+      }
+    }
+  }
+
+  void LiftAcl(const AclEdit& edit) {
+    if (edit.where == AclEdit::Where::kLink) {
+      const int egress_block = BlockOf(edit.egress_device);
+      for (LinkId link : Links(edit.link)) {
+        const DeviceId egress = EndpointInBlock(link, egress_block);
+        if (egress < 0) {
+          continue;
+        }
+        for (SubnetId src : Subnets(edit.src)) {
+          for (SubnetId dst : Subnets(edit.dst)) {
+            AclEdit lifted = edit;
+            lifted.link = link;
+            lifted.egress_device = egress;
+            lifted.src = src;
+            lifted.dst = dst;
+            Emit(lifted, out_.edits.acls);
+          }
+        }
+      }
+      return;
+    }
+    // Host-facing application: the endpoint subnet tracks whichever side of
+    // the traffic class it equals (the encoder always aligns them).
+    for (SubnetId src : Subnets(edit.src)) {
+      for (SubnetId dst : Subnets(edit.dst)) {
+        AclEdit lifted = edit;
+        lifted.src = src;
+        lifted.dst = dst;
+        if (edit.endpoint_subnet == edit.src) {
+          lifted.endpoint_subnet = src;
+        } else if (edit.endpoint_subnet == edit.dst) {
+          lifted.endpoint_subnet = dst;
+        } else {
+          continue;  // Unaligned endpoint: leave to the concrete fallback.
+        }
+        Emit(lifted, out_.edits.acls);
+      }
+    }
+  }
+
+  void LiftCost(const CostEdit& edit) {
+    const int egress_block = BlockOf(edit.egress_device);
+    for (LinkId link : Links(edit.link)) {
+      const DeviceId egress = EndpointInBlock(link, egress_block);
+      if (egress < 0) {
+        continue;
+      }
+      CostEdit lifted = edit;
+      lifted.link = link;
+      lifted.egress_device = egress;
+      Emit(lifted, out_.edits.costs);
+    }
+  }
+
+  void LiftWaypoint(const WaypointEdit& edit) {
+    for (LinkId link : Links(edit.link)) {
+      WaypointEdit lifted = edit;
+      lifted.link = link;
+      Emit(lifted, out_.edits.waypoints);
+    }
+  }
+
+  const Quotient& q_;
+  std::set<std::string>* emitted_;
+  LiftedEdits out_;
+  std::vector<std::pair<std::string, std::string>>* current_ = nullptr;
+};
+
+}  // namespace
+
+LiftedEdits LiftEdits(const Quotient& quotient, const RepairEdits& quotient_edits,
+                      std::set<std::string>* emitted) {
+  return Lifter(quotient, emitted).Run(quotient_edits);
+}
+
+}  // namespace cpr::compress

@@ -1,0 +1,45 @@
+// Lifting quotient repairs back to the concrete network (stage 3).
+//
+// Every quotient edit names quotient-space ids; lifting fans it out over the
+// fan-out classes the quotient builder recorded: devices and processes fan
+// over their block, links over the label-matched links between the block
+// pair, subnets over the same-interface subnets of the block. One abstract
+// edit therefore becomes N concrete edits — the whole point of the
+// abstraction — and the fan-out map lets provenance duplicate each abstract
+// chain into one chain per concrete construct, so `cpr explain` only ever
+// shows concrete ids.
+//
+// Lifting is heuristic, not certified: the caller re-verifies the lifted
+// patch on the concrete network and re-repairs anything still violated.
+
+#ifndef CPR_SRC_COMPRESS_LIFT_H_
+#define CPR_SRC_COMPRESS_LIFT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compress/quotient.h"
+#include "repair/edits.h"
+
+namespace cpr::compress {
+
+struct LiftedEdits {
+  // Concrete edits, deduplicated by construct key (within this lift and
+  // against `emitted`, the caller's cross-group key set).
+  RepairEdits edits;
+  // Quotient construct key -> lifted (concrete key, concrete description)
+  // pairs, for provenance fan-out.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> fanout;
+  int abstract_edits = 0;
+  int concrete_edits = 0;
+};
+
+LiftedEdits LiftEdits(const Quotient& quotient, const RepairEdits& quotient_edits,
+                      std::set<std::string>* emitted);
+
+}  // namespace cpr::compress
+
+#endif  // CPR_SRC_COMPRESS_LIFT_H_

@@ -1,0 +1,174 @@
+#include "compress/partition.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "config/diff.h"
+#include "config/printer.h"
+
+namespace cpr::compress {
+
+std::string SubnetPins::Key() const {
+  std::string key;
+  for (const auto& [subnet, token] : tokens) {
+    key.append("s");
+    key.append(std::to_string(subnet));
+    key.append("=");
+    key.append(token);
+    key.append(";");
+  }
+  return key;
+}
+
+std::string RoleSignature(const Config& config) {
+  Config abstracted = config;
+  abstracted.hostname = "router";
+  for (InterfaceConfig& interface : abstracted.interfaces) {
+    if (interface.address.has_value()) {
+      interface.address->ip = Ipv4Address(0);
+    }
+  }
+  if (abstracted.bgp.has_value()) {
+    for (BgpNeighbor& neighbor : abstracted.bgp->neighbors) {
+      neighbor.ip = Ipv4Address(0);
+    }
+  }
+  for (StaticRouteConfig& route : abstracted.static_routes) {
+    route.next_hop = Ipv4Address(0);
+  }
+  return PrintConfig(abstracted);
+}
+
+namespace {
+
+// Interns strings to dense colour ids.
+class ColourTable {
+ public:
+  int Intern(const std::string& key) {
+    auto [it, inserted] = ids_.emplace(key, static_cast<int>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  int size() const { return static_cast<int>(ids_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace
+
+Partition ComputePartition(const Network& network, const SubnetPins& pins) {
+  const int n = static_cast<int>(network.devices().size());
+  Partition partition;
+  partition.block_of.assign(static_cast<size_t>(n), 0);
+  if (n == 0) {
+    return partition;
+  }
+
+  // --- Initial colours: differ-seeded configuration roles plus pins. Two
+  // devices share an initial colour exactly when the differ reports zero
+  // changed lines between their abstracted canonical texts (and their pinned
+  // host subnets agree).
+  std::vector<std::string> signature(static_cast<size_t>(n));
+  for (DeviceId d = 0; d < n; ++d) {
+    signature[static_cast<size_t>(d)] = RoleSignature(network.config_for(d));
+  }
+  for (const Subnet& subnet : network.subnets()) {
+    // Pin tokens ride on the hosting device, tagged by interface so the
+    // (interface -> subnet role) pairing is part of the colour.
+    SubnetId id = *network.FindSubnet(subnet.prefix);
+    auto it = pins.tokens.find(id);
+    if (it != pins.tokens.end()) {
+      signature[static_cast<size_t>(subnet.device)] +=
+          "\npin " + subnet.interface + " " + it->second;
+    }
+  }
+  std::vector<int> colour(static_cast<size_t>(n), -1);
+  int colour_count = 0;
+  {
+    // Exemplar per colour; a device joins the first exemplar its signature
+    // diffs cleanly against.
+    std::unordered_map<std::string, std::vector<std::pair<DeviceId, int>>> buckets;
+    for (DeviceId d = 0; d < n; ++d) {
+      const std::string& sig = signature[static_cast<size_t>(d)];
+      auto& bucket = buckets[sig];
+      for (const auto& [exemplar, exemplar_colour] : bucket) {
+        if (DiffConfigText(signature[static_cast<size_t>(exemplar)], sig).total() == 0) {
+          colour[static_cast<size_t>(d)] = exemplar_colour;
+          break;
+        }
+      }
+      if (colour[static_cast<size_t>(d)] < 0) {
+        colour[static_cast<size_t>(d)] = colour_count++;
+        bucket.emplace_back(d, colour[static_cast<size_t>(d)]);
+      }
+    }
+  }
+
+  // --- Link roles: (peer, my cost, peer cost, waypoint) per incident link.
+  struct Incident {
+    DeviceId peer = -1;
+    int my_cost = 1;
+    int peer_cost = 1;
+    bool waypoint = false;
+  };
+  std::vector<std::vector<Incident>> incident(static_cast<size_t>(n));
+  for (const TopoLink& link : network.links()) {
+    auto cost = [&](DeviceId device, const std::string& interface) {
+      const InterfaceConfig* config = network.config_for(device).FindInterface(interface);
+      return config != nullptr ? config->ospf_cost : 1;
+    };
+    const int cost_a = cost(link.device_a, link.interface_a);
+    const int cost_b = cost(link.device_b, link.interface_b);
+    incident[static_cast<size_t>(link.device_a)].push_back(
+        {link.device_b, cost_a, cost_b, link.waypoint});
+    incident[static_cast<size_t>(link.device_b)].push_back(
+        {link.device_a, cost_b, cost_a, link.waypoint});
+  }
+
+  // --- Refinement to fixpoint. The previous colour is part of the key, so
+  // the partition only ever splits; it stabilizes in at most n rounds.
+  while (true) {
+    ColourTable table;
+    std::vector<int> next(static_cast<size_t>(n));
+    for (DeviceId d = 0; d < n; ++d) {
+      std::vector<std::tuple<int, int, int, bool>> roles;
+      roles.reserve(incident[static_cast<size_t>(d)].size());
+      for (const Incident& link : incident[static_cast<size_t>(d)]) {
+        roles.emplace_back(colour[static_cast<size_t>(link.peer)], link.my_cost,
+                           link.peer_cost, link.waypoint);
+      }
+      std::sort(roles.begin(), roles.end());
+      std::string key = std::to_string(colour[static_cast<size_t>(d)]);
+      for (const auto& [peer, mine, theirs, waypoint] : roles) {
+        key += "|" + std::to_string(peer) + "," + std::to_string(mine) + "," +
+               std::to_string(theirs) + (waypoint ? ",w" : "");
+      }
+      next[static_cast<size_t>(d)] = table.Intern(key);
+    }
+    ++partition.rounds;
+    const bool stable = table.size() == colour_count;
+    colour_count = table.size();
+    colour = std::move(next);
+    if (stable) {
+      break;
+    }
+  }
+
+  // --- Blocks ordered by lowest member, members ascending.
+  std::vector<int> block_for_colour(static_cast<size_t>(colour_count), -1);
+  for (DeviceId d = 0; d < n; ++d) {
+    int& block = block_for_colour[static_cast<size_t>(colour[static_cast<size_t>(d)])];
+    if (block < 0) {
+      block = static_cast<int>(partition.members.size());
+      partition.members.emplace_back();
+    }
+    partition.block_of[static_cast<size_t>(d)] = block;
+    partition.members[static_cast<size_t>(block)].push_back(d);
+  }
+  return partition;
+}
+
+}  // namespace cpr::compress

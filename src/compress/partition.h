@@ -1,0 +1,70 @@
+// Behavioral-symmetry partition of routers (compression pre-pass, stage 1).
+//
+// Two routers may share a block only when they are behaviorally
+// interchangeable: identical configurations up to identity (hostname,
+// interface addresses, BGP-neighbor and static-route next-hop addresses are
+// abstracted away; filtering content — ACL entries, prefix lists, `network`
+// statements, static-route destinations — stays concrete), the same multiset
+// of link roles toward their neighbors' blocks (peer block, OSPF cost pair,
+// waypoint flag), and the same pinned host subnets.
+//
+// The partition is computed by iterative role refinement (one-dimensional
+// Weisfeiler-Leman colour refinement over the link graph), seeded by the
+// config differ: two routers start in the same block exactly when their
+// abstracted canonical texts diff to zero lines. Pins let a caller
+// distinguish policy endpoints — a pinned subnet's host router gets a colour
+// of its own, which is how the per-destination quotients keep a policy's SRC
+// and DST expressible (see quotient.h).
+
+#ifndef CPR_SRC_COMPRESS_PARTITION_H_
+#define CPR_SRC_COMPRESS_PARTITION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/ast.h"
+#include "topo/network.h"
+
+namespace cpr::compress {
+
+// Distinguished roles for policy-endpoint host subnets. Subnets absent from
+// the map are unpinned ("plain") and may merge freely.
+struct SubnetPins {
+  std::map<SubnetId, std::string> tokens;
+
+  // Stable cache key over the pinned set.
+  std::string Key() const;
+};
+
+struct Partition {
+  // Device -> block index (dense, 0-based).
+  std::vector<int> block_of;
+  // Block -> member devices, sorted ascending; blocks ordered by their
+  // lowest member.
+  std::vector<std::vector<DeviceId>> members;
+  // Refinement rounds until fixpoint (diagnostics).
+  int rounds = 0;
+
+  int block_count() const { return static_cast<int>(members.size()); }
+  int device_count() const { return static_cast<int>(block_of.size()); }
+  double Ratio() const {
+    return members.empty() ? 1.0
+                           : static_cast<double>(block_of.size()) /
+                                 static_cast<double>(members.size());
+  }
+  bool SameBlock(DeviceId a, DeviceId b) const {
+    return block_of[static_cast<size_t>(a)] == block_of[static_cast<size_t>(b)];
+  }
+};
+
+// The identity-abstracted canonical text used for differ seeding: hostname
+// dropped, interface / BGP-neighbor / static-next-hop addresses zeroed,
+// everything else verbatim. Exposed for tests.
+std::string RoleSignature(const Config& config);
+
+Partition ComputePartition(const Network& network, const SubnetPins& pins = {});
+
+}  // namespace cpr::compress
+
+#endif  // CPR_SRC_COMPRESS_PARTITION_H_

@@ -1,0 +1,299 @@
+#include "compress/quotient.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace cpr::compress {
+
+namespace {
+
+// The lowest selected device of each block: the representative whose host
+// subnets stand in for the whole block when mapping policy endpoints.
+std::vector<DeviceId> PrimaryReps(const Partition& partition,
+                                  const std::set<DeviceId>& reps) {
+  std::vector<DeviceId> primary(partition.members.size(), -1);
+  for (DeviceId rep : reps) {
+    DeviceId& slot = primary[static_cast<size_t>(
+        partition.block_of[static_cast<size_t>(rep)])];
+    if (slot < 0 || rep < slot) {
+      slot = rep;
+    }
+  }
+  return primary;
+}
+
+}  // namespace
+
+Result<Quotient> BuildQuotient(const Network& concrete, const Partition& partition) {
+  const int n = static_cast<int>(concrete.devices().size());
+
+  // Intra-block links break the quotient invariant (a representative would
+  // need itself as a neighbor); such partitions do not quotient.
+  for (const TopoLink& link : concrete.links()) {
+    if (partition.SameBlock(link.device_a, link.device_b)) {
+      return Error("link inside block: " +
+                   concrete.devices()[static_cast<size_t>(link.device_a)].name + " - " +
+                   concrete.devices()[static_cast<size_t>(link.device_b)].name);
+    }
+  }
+
+  std::vector<std::vector<LinkId>> incident(static_cast<size_t>(n));
+  for (LinkId l = 0; l < static_cast<int>(concrete.links().size()); ++l) {
+    const TopoLink& link = concrete.links()[static_cast<size_t>(l)];
+    incident[static_cast<size_t>(link.device_a)].push_back(l);
+    incident[static_cast<size_t>(link.device_b)].push_back(l);
+  }
+
+  // --- Representative selection: one per block, then close under "every
+  // representative has a selected neighbor in each adjacent block".
+  std::set<DeviceId> reps;
+  std::deque<DeviceId> worklist;
+  for (const std::vector<DeviceId>& block : partition.members) {
+    reps.insert(block.front());
+    worklist.push_back(block.front());
+  }
+  while (!worklist.empty()) {
+    const DeviceId rep = worklist.front();
+    worklist.pop_front();
+    // Neighbors grouped by block; select the lowest neighbor of any block
+    // with no selected neighbor yet.
+    std::map<int, std::vector<DeviceId>> by_block;
+    for (LinkId l : incident[static_cast<size_t>(rep)]) {
+      const DeviceId peer = concrete.LinkPeer(l, rep);
+      by_block[partition.block_of[static_cast<size_t>(peer)]].push_back(peer);
+    }
+    for (auto& [block, peers] : by_block) {
+      const bool covered =
+          std::any_of(peers.begin(), peers.end(),
+                      [&](DeviceId peer) { return reps.count(peer) > 0; });
+      if (!covered) {
+        const DeviceId added = *std::min_element(peers.begin(), peers.end());
+        reps.insert(added);
+        worklist.push_back(added);
+        // The new representative's own neighborhoods need covering too, and
+        // existing representatives adjacent to `block` are still covered —
+        // closure only ever adds.
+      }
+    }
+  }
+
+  // --- Pruned representative configurations (concrete addresses kept).
+  std::map<std::pair<DeviceId, std::string>, LinkId> link_at;
+  for (LinkId l = 0; l < static_cast<int>(concrete.links().size()); ++l) {
+    const TopoLink& link = concrete.links()[static_cast<size_t>(l)];
+    link_at[{link.device_a, link.interface_a}] = l;
+    link_at[{link.device_b, link.interface_b}] = l;
+  }
+  std::vector<Config> configs;
+  NetworkAnnotations annotations;
+  for (DeviceId rep : reps) {
+    Config config = concrete.config_for(rep);
+    std::set<std::string> dropped;
+    std::vector<InterfaceConfig> kept;
+    for (InterfaceConfig& interface : config.interfaces) {
+      auto it = link_at.find({rep, interface.name});
+      if (it != link_at.end() &&
+          reps.count(concrete.LinkPeer(it->second, rep)) == 0) {
+        dropped.insert(interface.name);
+      } else {
+        kept.push_back(std::move(interface));
+      }
+    }
+    config.interfaces = std::move(kept);
+    auto reachable = [&](Ipv4Address ip) {
+      return std::any_of(config.interfaces.begin(), config.interfaces.end(),
+                         [&](const InterfaceConfig& interface) {
+                           return interface.address.has_value() &&
+                                  interface.address->Prefix().Contains(ip);
+                         });
+    };
+    for (OspfConfig& ospf : config.ospf_processes) {
+      for (const std::string& name : dropped) {
+        ospf.passive_interfaces.erase(name);
+      }
+    }
+    if (config.bgp.has_value()) {
+      auto& neighbors = config.bgp->neighbors;
+      neighbors.erase(std::remove_if(neighbors.begin(), neighbors.end(),
+                                     [&](const BgpNeighbor& neighbor) {
+                                       return !reachable(neighbor.ip);
+                                     }),
+                      neighbors.end());
+    }
+    auto& statics = config.static_routes;
+    statics.erase(std::remove_if(statics.begin(), statics.end(),
+                                 [&](const StaticRouteConfig& route) {
+                                   return !reachable(route.next_hop);
+                                 }),
+                  statics.end());
+    configs.push_back(std::move(config));
+  }
+  for (const TopoLink& link : concrete.links()) {
+    if (link.waypoint && reps.count(link.device_a) > 0 && reps.count(link.device_b) > 0) {
+      annotations.waypoint_links.insert(
+          {concrete.devices()[static_cast<size_t>(link.device_a)].name,
+           concrete.devices()[static_cast<size_t>(link.device_b)].name});
+    }
+  }
+
+  Result<Network> network = Network::Build(std::move(configs), std::move(annotations));
+  if (!network.ok()) {
+    return Error("representative subnetwork: " + network.error().message());
+  }
+
+  Quotient quotient;
+  quotient.concrete = &concrete;
+  quotient.network = std::make_unique<Network>(std::move(network).value());
+  quotient.block_of = partition.block_of;
+  quotient.concrete_devices = n;
+  const Network& qnet = *quotient.network;
+
+  // --- Device map.
+  quotient.rep_of.resize(qnet.devices().size());
+  quotient.device_members.resize(qnet.devices().size());
+  for (DeviceId qd = 0; qd < static_cast<int>(qnet.devices().size()); ++qd) {
+    auto rep = concrete.FindDevice(qnet.devices()[static_cast<size_t>(qd)].name);
+    if (!rep.has_value()) {
+      return Error("representative vanished from its own subnetwork");
+    }
+    quotient.rep_of[static_cast<size_t>(qd)] = *rep;
+    quotient.device_members[static_cast<size_t>(qd)] =
+        partition.members[static_cast<size_t>(
+            partition.block_of[static_cast<size_t>(*rep)])];
+  }
+
+  // --- Process map: same (kind, protocol id, position) on each member.
+  auto find_process = [&](DeviceId device, const RoutingProcess& role)
+      -> std::optional<ProcessId> {
+    for (ProcessId p : concrete.devices()[static_cast<size_t>(device)].processes) {
+      const RoutingProcess& candidate = concrete.processes()[static_cast<size_t>(p)];
+      if (candidate.kind == role.kind && candidate.protocol_id == role.protocol_id &&
+          candidate.index_on_device == role.index_on_device) {
+        return p;
+      }
+    }
+    return std::nullopt;
+  };
+  quotient.process_members.resize(qnet.processes().size());
+  for (ProcessId qp = 0; qp < static_cast<int>(qnet.processes().size()); ++qp) {
+    const RoutingProcess& role = qnet.processes()[static_cast<size_t>(qp)];
+    for (DeviceId member : quotient.device_members[static_cast<size_t>(role.device)]) {
+      auto process = find_process(member, role);
+      if (!process.has_value()) {
+        return Error("block member " +
+                     concrete.devices()[static_cast<size_t>(member)].name +
+                     " lacks a same-role process");
+      }
+      quotient.process_members[static_cast<size_t>(qp)][member] = *process;
+    }
+  }
+
+  // --- Subnet map: same interface across the block. Policy endpoints map
+  // through the block's primary representative.
+  std::map<std::pair<DeviceId, std::string>, SubnetId> subnet_at;
+  for (SubnetId s = 0; s < static_cast<int>(concrete.subnets().size()); ++s) {
+    const Subnet& subnet = concrete.subnets()[static_cast<size_t>(s)];
+    subnet_at[{subnet.device, subnet.interface}] = s;
+  }
+  quotient.subnet_members.resize(qnet.subnets().size());
+  for (SubnetId qs = 0; qs < static_cast<int>(qnet.subnets().size()); ++qs) {
+    const Subnet& subnet = qnet.subnets()[static_cast<size_t>(qs)];
+    for (DeviceId member :
+         quotient.device_members[static_cast<size_t>(subnet.device)]) {
+      auto it = subnet_at.find({member, subnet.interface});
+      if (it == subnet_at.end()) {
+        return Error("block member " +
+                     concrete.devices()[static_cast<size_t>(member)].name +
+                     " lacks subnet interface " + subnet.interface);
+      }
+      quotient.subnet_members[static_cast<size_t>(qs)].push_back(it->second);
+    }
+  }
+  const std::vector<DeviceId> primary = PrimaryReps(partition, reps);
+  std::map<std::pair<DeviceId, std::string>, SubnetId> quotient_subnet_at;
+  for (SubnetId qs = 0; qs < static_cast<int>(qnet.subnets().size()); ++qs) {
+    const Subnet& subnet = qnet.subnets()[static_cast<size_t>(qs)];
+    quotient_subnet_at[{quotient.rep_of[static_cast<size_t>(subnet.device)],
+                        subnet.interface}] = qs;
+  }
+  quotient.quotient_subnet_of.assign(concrete.subnets().size(), -1);
+  for (SubnetId s = 0; s < static_cast<int>(concrete.subnets().size()); ++s) {
+    const Subnet& subnet = concrete.subnets()[static_cast<size_t>(s)];
+    const DeviceId rep = primary[static_cast<size_t>(
+        partition.block_of[static_cast<size_t>(subnet.device)])];
+    auto it = quotient_subnet_at.find({rep, subnet.interface});
+    if (it == quotient_subnet_at.end()) {
+      return Error("subnet " + subnet.prefix.ToString() +
+                   " has no representative counterpart");
+    }
+    quotient.quotient_subnet_of[static_cast<size_t>(s)] = it->second;
+  }
+
+  // --- Link map: between the same block pair with the same label.
+  auto link_cost = [](const Network& net, LinkId link, DeviceId device) {
+    const auto [mine, theirs] = net.LinkInterfaces(link, device);
+    (void)theirs;
+    const InterfaceConfig* interface = net.config_for(device).FindInterface(mine);
+    return interface != nullptr ? interface->ospf_cost : 1;
+  };
+  quotient.link_members.resize(qnet.links().size());
+  for (LinkId ql = 0; ql < static_cast<int>(qnet.links().size()); ++ql) {
+    const TopoLink& qlink = qnet.links()[static_cast<size_t>(ql)];
+    const DeviceId rep_a = quotient.rep_of[static_cast<size_t>(qlink.device_a)];
+    const DeviceId rep_b = quotient.rep_of[static_cast<size_t>(qlink.device_b)];
+    const int block_a = partition.block_of[static_cast<size_t>(rep_a)];
+    const int block_b = partition.block_of[static_cast<size_t>(rep_b)];
+    const int cost_a = link_cost(qnet, ql, qlink.device_a);
+    const int cost_b = link_cost(qnet, ql, qlink.device_b);
+    for (LinkId l = 0; l < static_cast<int>(concrete.links().size()); ++l) {
+      const TopoLink& link = concrete.links()[static_cast<size_t>(l)];
+      if (link.waypoint != qlink.waypoint) {
+        continue;
+      }
+      const int la = partition.block_of[static_cast<size_t>(link.device_a)];
+      const int lb = partition.block_of[static_cast<size_t>(link.device_b)];
+      if (la == block_a && lb == block_b) {
+        if (link_cost(concrete, l, link.device_a) == cost_a &&
+            link_cost(concrete, l, link.device_b) == cost_b) {
+          quotient.link_members[static_cast<size_t>(ql)].push_back(l);
+        }
+      } else if (la == block_b && lb == block_a) {
+        if (link_cost(concrete, l, link.device_a) == cost_b &&
+            link_cost(concrete, l, link.device_b) == cost_a) {
+          quotient.link_members[static_cast<size_t>(ql)].push_back(l);
+        }
+      }
+    }
+  }
+
+  quotient.harc = std::make_unique<Harc>(Harc::Build(qnet));
+  return quotient;
+}
+
+std::optional<Policy> MapPolicy(const Quotient& quotient, const Policy& policy) {
+  auto map_subnet = [&](SubnetId subnet) -> SubnetId {
+    return quotient.quotient_subnet_of[static_cast<size_t>(subnet)];
+  };
+  switch (policy.pc) {
+    case PolicyClass::kAlwaysBlocked:
+      return Policy::AlwaysBlocked(map_subnet(policy.src), map_subnet(policy.dst));
+    case PolicyClass::kAlwaysWaypoint:
+      return Policy::AlwaysWaypoint(map_subnet(policy.src), map_subnet(policy.dst));
+    case PolicyClass::kReachability:
+      // Link multiplicity is deliberately lost by the quotient: require a
+      // single path here and let the concrete re-verify enforce the real k.
+      return Policy::Reachability(map_subnet(policy.src), map_subnet(policy.dst),
+                                  std::min(policy.k, 1));
+    case PolicyClass::kPrimaryPath:
+    case PolicyClass::kIsolation:
+      // Device-level paths and cross-class link sharing are exactly what the
+      // quotient abstracts away.
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cpr::compress

@@ -1,0 +1,83 @@
+// Quotient network construction (compression pre-pass, stage 2).
+//
+// Given a behavioral partition, the quotient is the *representative
+// subnetwork*: a set of concrete routers — at least one per block, grown
+// until every representative has a representative neighbor in each block its
+// block is adjacent to — with their configurations pruned down to the
+// interfaces whose link peers were also selected. Representative configs
+// keep their concrete addresses, so Network::Build reconstructs the selected
+// links exactly; nothing is rewritten. The repair engine then runs on the
+// small network unchanged, and every id space (device, process, link,
+// subnet) carries a fan-out map back to the concrete network for the edit
+// lifter (lift.h).
+//
+// Policies map per-endpoint: a concrete subnet maps to the same-interface
+// subnet of its block's representative. PC3's k is clamped to 1 on the
+// quotient (link multiplicity is deliberately lost by the abstraction; the
+// concrete re-verify, not the quotient, enforces the real k). PC4 and PC5 do
+// not map — their groups always repair uncompressed.
+
+#ifndef CPR_SRC_COMPRESS_QUOTIENT_H_
+#define CPR_SRC_COMPRESS_QUOTIENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arc/harc.h"
+#include "compress/partition.h"
+#include "netbase/result.h"
+#include "topo/network.h"
+#include "verify/policy.h"
+
+namespace cpr::compress {
+
+struct Quotient {
+  // The concrete network this quotient abstracts (not owned, must outlive).
+  const Network* concrete = nullptr;
+  // The representative subnetwork and its HARC (behind stable pointers: the
+  // HARC's universe refers to the network, and Quotient must stay movable).
+  std::unique_ptr<Network> network;
+  std::unique_ptr<Harc> harc;
+
+  // Quotient device -> the concrete representative it is.
+  std::vector<DeviceId> rep_of;
+  // Concrete device -> its partition block.
+  std::vector<int> block_of;
+  // Fan-out maps, by quotient id. Fan-out is by *block*, not representative:
+  // an edit on any representative applies to every member of its block.
+  std::vector<std::vector<DeviceId>> device_members;
+  // Quotient process -> concrete same-role process per block member.
+  std::vector<std::map<DeviceId, ProcessId>> process_members;
+  // Quotient subnet -> same-interface subnets across the block.
+  std::vector<std::vector<SubnetId>> subnet_members;
+  // Quotient link -> concrete links between the two blocks with the same
+  // (cost pair, waypoint) label.
+  std::vector<std::vector<LinkId>> link_members;
+  // Concrete subnet -> quotient subnet (total: every block has a rep).
+  std::vector<SubnetId> quotient_subnet_of;
+
+  int concrete_devices = 0;
+  int quotient_devices() const {
+    return network ? static_cast<int>(network->devices().size()) : 0;
+  }
+  double Ratio() const {
+    return quotient_devices() > 0
+               ? static_cast<double>(concrete_devices) / quotient_devices()
+               : 1.0;
+  }
+};
+
+// Fails when the partition cannot quotient this topology (a link inside a
+// block, a representative config that no longer parses into a network, or a
+// block member missing a same-role process); callers fall back to
+// uncompressed repair.
+Result<Quotient> BuildQuotient(const Network& concrete, const Partition& partition);
+
+// Maps a concrete policy onto the quotient; nullopt for PC4/PC5.
+std::optional<Policy> MapPolicy(const Quotient& quotient, const Policy& policy);
+
+}  // namespace cpr::compress
+
+#endif  // CPR_SRC_COMPRESS_QUOTIENT_H_

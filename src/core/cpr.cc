@@ -11,6 +11,26 @@
 
 namespace cpr {
 
+namespace {
+
+// Completes provenance chains with the configuration lines each edit
+// produced, joined by canonical construct key.
+void JoinConfigChanges(const std::vector<EditTrace>& edit_traces,
+                       obs::ProvenanceReport* provenance) {
+  std::unordered_map<std::string, const EditTrace*> traces;
+  for (const EditTrace& trace : edit_traces) {
+    traces.emplace(trace.construct, &trace);
+  }
+  for (obs::ProvenanceChain& chain : provenance->chains) {
+    auto it = traces.find(chain.construct);
+    if (it != traces.end()) {
+      chain.config_changes = it->second->changes;
+    }
+  }
+}
+
+}  // namespace
+
 Result<Cpr> Cpr::FromConfigTexts(const std::vector<std::string>& texts,
                                  NetworkAnnotations annotations) {
   std::vector<Config> configs;
@@ -76,6 +96,44 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
     }
   }
 
+  // Symmetry-quotient compression pre-pass (DESIGN.md §11): solve the
+  // policies on a small quotient network, lift the edits to every concrete
+  // router, re-verify concretely, and fall back to uncompressed repair for
+  // anything the lifted patch did not fix. When the pre-pass declines (too
+  // small, not symmetric enough, unsupported policy mix) the ordinary path
+  // below runs unchanged.
+  if (options.repair.compress.mode != CompressMode::kOff &&
+      options.repair.granularity == Granularity::kPerDst) {
+    Result<compress::CompressionOutcome> compressed =
+        compress::TryCompressedRepair(*network_, harc_, policies, options.repair);
+    if (!compressed.ok()) {
+      return compressed.error();
+    }
+    report.compression = compressed->stats;
+    if (compressed->result.has_value()) {
+      compress::CompressedRepairResult& result = *compressed->result;
+      report.status = result.status;
+      report.predicted_cost = result.predicted_cost;
+      report.stats = std::move(result.stats);
+      report.stats.lint_errors = report.lint_report.errors;
+      report.stats.lint_warnings = report.lint_report.warnings;
+      report.edits = std::move(result.edits);
+      report.provenance = std::move(result.provenance);
+      report.patched_configs = std::move(result.patched_configs);
+      report.patched_annotations = std::move(result.patched_annotations);
+      report.change_log = std::move(result.change_log);
+      report.diff_text = std::move(result.diff_text);
+      report.lines_changed = result.lines_changed;
+      JoinConfigChanges(result.edit_traces, &report.provenance);
+      Status closed = CloseLoop(policies, options, std::move(result.rebuilt_network),
+                                std::move(result.rebuilt_harc), &report);
+      if (!closed.ok()) {
+        return closed.error();
+      }
+      return report;
+    }
+  }
+
   Result<RepairOutcome> outcome = [&]() {
     obs::StageSpan repair_span("pipeline.repair");
     return ComputeRepair(harc_, policies, options.repair);
@@ -114,40 +172,43 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   report.diff_text = translation->DiffText(*network_);
   report.lines_changed = translation->LinesChanged();
 
-  // Complete the provenance chains with the configuration lines each edit
-  // produced, joined by canonical construct key.
-  {
-    std::unordered_map<std::string, const EditTrace*> traces;
-    for (const EditTrace& trace : translation->edit_traces) {
-      traces.emplace(trace.construct, &trace);
-    }
-    for (obs::ProvenanceChain& chain : report.provenance.chains) {
-      auto it = traces.find(chain.construct);
-      if (it != traces.end()) {
-        chain.config_changes = it->second->changes;
-      }
-    }
-  }
+  JoinConfigChanges(translation->edit_traces, &report.provenance);
 
-  // Close the loop: rebuild the network and HARC from the patched
-  // configurations and re-check every policy.
-  Result<Network> rebuilt = [&]() -> Result<Network> {
-    obs::StageSpan rebuild_span("pipeline.rebuild");
-    return Network::Build(report.patched_configs, report.patched_annotations);
-  }();
-  if (!rebuilt.ok()) {
-    return Error("patched configurations no longer form a valid network: " +
-                 rebuilt.error().message());
+  Status closed = CloseLoop(policies, options, nullptr, nullptr, &report);
+  if (!closed.ok()) {
+    return closed.error();
   }
-  Harc rebuilt_harc = [&]() {
+  return report;
+}
+
+Status Cpr::CloseLoop(const std::vector<Policy>& policies, const CprOptions& options,
+                      std::unique_ptr<Network> prebuilt_network,
+                      std::unique_ptr<Harc> prebuilt_harc, CprReport* report) const {
+  // Close the loop: rebuild the network and HARC from the patched
+  // configurations and re-check every policy. The compression pre-pass hands
+  // over the rebuilt pair when its lifted patch already re-verified clean.
+  std::unique_ptr<Network> rebuilt = std::move(prebuilt_network);
+  if (rebuilt == nullptr) {
+    obs::StageSpan rebuild_span("pipeline.rebuild");
+    Result<Network> built =
+        Network::Build(report->patched_configs, report->patched_annotations);
+    if (!built.ok()) {
+      return Error("patched configurations no longer form a valid network: " +
+                   built.error().message());
+    }
+    rebuilt = std::make_unique<Network>(std::move(built).value());
+  }
+  std::unique_ptr<Harc> rebuilt_harc = std::move(prebuilt_harc);
+  {
     obs::StageSpan reverify_span("pipeline.reverify");
-    Harc harc = Harc::Build(*rebuilt);
-    report.residual_graph_violations = FindViolations(harc, policies);
-    return harc;
-  }();
+    if (rebuilt_harc == nullptr) {
+      rebuilt_harc = std::make_unique<Harc>(Harc::Build(*rebuilt));
+    }
+    report->residual_graph_violations = FindViolations(*rebuilt_harc, policies);
+  }
   if (options.validate_with_simulator) {
     obs::StageSpan simulate_span("pipeline.simulate");
-    report.residual_simulation_violations =
+    report->residual_simulation_violations =
         FindSimulationViolations(*rebuilt, policies, options.simulator_failure_cap);
   }
 
@@ -156,13 +217,13 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
   // finding is a translator defect surfaced for free.
   if (options.lint_mode != LintMode::kOff) {
     obs::StageSpan audit_span("pipeline.lint_audit");
-    lint::Report patched_lint = lint::Run(report.patched_configs);
-    report.lint_new_findings = lint::NewFindings(report.lint_report, patched_lint);
-    report.stats.lint_audit_new_findings =
-        static_cast<int>(report.lint_new_findings.size());
+    lint::Report patched_lint = lint::Run(report->patched_configs);
+    report->lint_new_findings = lint::NewFindings(report->lint_report, patched_lint);
+    report->stats.lint_audit_new_findings =
+        static_cast<int>(report->lint_new_findings.size());
     obs::CurrentRegistry()
         .counter("lint.audit_new_findings")
-        .Add(static_cast<int64_t>(report.lint_new_findings.size()));
+        .Add(static_cast<int64_t>(report->lint_new_findings.size()));
   }
 
   // Traffic classes impacted: tcETGs whose edge set changed (§8.3). The
@@ -175,17 +236,17 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
         continue;
       }
       const Etg& before = harc_.tcetg(s, d);
-      const Etg& after = rebuilt_harc.tcetg(s, d);
+      const Etg& after = rebuilt_harc->tcetg(s, d);
       for (CandidateEdgeId e = 0; e < harc_.universe().EdgeCount(); ++e) {
         if (before.IsPresent(e) != after.IsPresent(e)) {
-          ++report.traffic_classes_impacted;
+          ++report->traffic_classes_impacted;
           break;
         }
       }
     }
   }
 
-  return report;
+  return Status::Ok();
 }
 
 }  // namespace cpr

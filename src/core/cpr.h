@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arc/harc.h"
+#include "compress/compress.h"
 #include "lint/lint.h"
 #include "netbase/result.h"
 #include "repair/repair.h"
@@ -61,6 +62,11 @@ struct CprReport {
   int lines_changed = 0;            // Measured via config diff (§8.3).
   int traffic_classes_impacted = 0; // tcETGs whose edge set changed (§8.3).
   RepairStats stats;
+
+  // Symmetry-quotient compression pre-pass telemetry (DESIGN.md §11):
+  // whether it ran, what ratio it achieved, and how much fell back to the
+  // uncompressed path. attempted == false when CompressMode::kOff.
+  compress::CompressionStats compression;
 
   // Provenance: one chain per emitted edit (policy → problem → flipped soft
   // constraint → construct → configuration lines) plus per-problem unsat
@@ -114,6 +120,13 @@ class Cpr {
   // it, and Cpr itself must stay movable.
   explicit Cpr(std::unique_ptr<Network> network)
       : network_(std::move(network)), harc_(Harc::Build(*network_)) {}
+
+  // Shared tail of Repair(): rebuild (unless the compression pre-pass hands
+  // over an already-rebuilt network/HARC), re-verify, simulate, lint-audit,
+  // and count impacted traffic classes.
+  Status CloseLoop(const std::vector<Policy>& policies, const CprOptions& options,
+                   std::unique_ptr<Network> prebuilt_network,
+                   std::unique_ptr<Harc> prebuilt_harc, CprReport* report) const;
 
   std::unique_ptr<Network> network_;
   Harc harc_;

@@ -164,6 +164,34 @@ void WriteDiagnostics(obs::JsonWriter* w, const std::vector<lint::Diagnostic>& d
   w->EndArray();
 }
 
+// Symmetry-quotient compression pre-pass telemetry (DESIGN.md §11).
+// quotient_ratio is 1.0 whenever compression did not apply — the
+// clean-fallback signature check.sh asserts on asymmetric input.
+void WriteCompression(obs::JsonWriter* w, const CprReport& report) {
+  const compress::CompressionStats& c = report.compression;
+  w->Key("compression").BeginObject();
+  w->Key("attempted").Bool(c.attempted);
+  w->Key("applied").Bool(c.applied);
+  w->Key("skipped_reason").String(c.skipped_reason);
+  w->Key("routers").Int(c.routers);
+  w->Key("base_blocks").Int(c.base_blocks);
+  w->Key("quotient_ratio").Double(c.quotient_ratio);
+  w->Key("groups_total").Int(c.groups_total);
+  w->Key("groups_compressed").Int(c.groups_compressed);
+  w->Key("groups_fallback").Int(c.groups_fallback);
+  w->Key("abstract_edits").Int(c.abstract_edits);
+  w->Key("lifted_edits").Int(c.lifted_edits);
+  w->Key("lift_verify_failures").Int(c.lift_verify_failures);
+  w->Key("fallback_policies").Int(c.fallback_policies);
+  w->Key("cache_hits").Int(c.cache_hits);
+  w->Key("cache_misses").Int(c.cache_misses);
+  w->Key("partition_seconds").Double(c.partition_seconds);
+  w->Key("quotient_seconds").Double(c.quotient_seconds);
+  w->Key("solve_seconds").Double(c.solve_seconds);
+  w->Key("lift_seconds").Double(c.lift_seconds);
+  w->EndObject();
+}
+
 // The lint section carries its own schema version: the rule catalog evolves
 // independently of the surrounding run schema.
 void WriteLint(obs::JsonWriter* w, const CprReport& report) {
@@ -200,6 +228,7 @@ std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
   WriteInstruments(&w);
   if (report != nullptr) {
     WriteRepair(&w, *report);
+    WriteCompression(&w, *report);
     WriteLint(&w, *report);
     WriteProvenance(&w, *report);
   }

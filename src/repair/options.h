@@ -10,6 +10,10 @@
 
 namespace cpr {
 
+namespace compress {
+class CompressionCache;
+}  // namespace compress
+
 // Where the repair engine runs per-problem solver work. By default it spawns
 // its own `num_threads` workers per call; a long-running server instead
 // installs a shared executor (serve/thread_pool.h) so the per-dst problems
@@ -50,6 +54,35 @@ enum class BackendChoice {
 enum class MinimizeObjective {
   kLines,    // Number of configuration lines changed (the paper's default).
   kDevices,  // Number of devices touched first; lines changed as tiebreak.
+};
+
+// Symmetry-quotient compression pre-pass (src/compress, DESIGN.md §11).
+//
+// kAuto compresses only when it is likely to pay off: the network must have
+// at least `min_routers` devices and the base behavioral partition must
+// shrink it by at least `min_ratio`. kOn attempts compression whenever the
+// instance is structurally compressible (per-destination granularity, no
+// PC4/PC5 group). Either way the lifted patch is re-verified on the concrete
+// network and any still-violated policy is re-repaired uncompressed, so
+// correctness never depends on the abstraction.
+enum class CompressMode {
+  kOff,
+  kAuto,
+  kOn,
+};
+
+struct CompressOptions {
+  CompressMode mode = CompressMode::kOff;
+  // kAuto: minimum devices-per-block ratio of the base partition before the
+  // pre-pass engages (and minimum per-group quotient shrinkage to solve a
+  // group on its quotient instead of falling back).
+  double min_ratio = 1.5;
+  // kAuto: networks smaller than this solve fast enough uncompressed.
+  int min_routers = 8;
+  // Optional cross-request cache of partitions and quotient networks, scoped
+  // to one configuration snapshot (serve/snapshot_cache.h evicts it together
+  // with the snapshot when the differ reports a change).
+  compress::CompressionCache* cache = nullptr;
 };
 
 struct RepairOptions {
@@ -99,6 +132,10 @@ struct RepairOptions {
   int64_t waypoint_weight = 1;
   // Upper bound for PC4 edge-cost variables.
   int max_edge_cost = 64;
+
+  // Symmetry-quotient compression pre-pass (off by default; the bench rows
+  // and the paper pipeline are measured uncompressed unless asked).
+  CompressOptions compress;
 };
 
 }  // namespace cpr

@@ -328,21 +328,26 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
   if (!inputs.ok()) {
     return reject(inputs.error().message());
   }
-  Result<std::shared_ptr<const Cpr>> pipeline =
-      cache_.GetOrBuild(request->spec.config_dir, inputs->config_texts, inputs->policy_text);
-  if (!pipeline.ok()) {
-    return reject(pipeline.error().message());
+  Result<Snapshot> snapshot = cache_.GetOrBuildSnapshot(
+      request->spec.config_dir, inputs->config_texts, inputs->policy_text);
+  if (!snapshot.ok()) {
+    return reject(snapshot.error().message());
   }
+  const std::shared_ptr<const Cpr>& pipeline = snapshot->cpr;
   Result<std::vector<Policy>> policies =
-      ParseSpecPolicies(inputs->policy_text, (*pipeline)->network());
+      ParseSpecPolicies(inputs->policy_text, pipeline->network());
   if (!policies.ok()) {
     return reject(policies.error().message());
   }
 
   options->repair.deadline = request->deadline;
   options->repair.solve_runner = solve_pool_.get();
+  // The snapshot's compression cache persists the base partition and
+  // quotients across re-submissions of the same snapshot; differ-driven
+  // invalidation drops it with the entry.
+  options->repair.compress.cache = snapshot->compression.get();
 
-  Result<CprReport> report = (*pipeline)->Repair(*policies, *options);
+  Result<CprReport> report = pipeline->Repair(*policies, *options);
   if (!report.ok()) {
     // Structural repair errors (unmappable paths) are deterministic.
     return reject(report.error().message());

@@ -42,6 +42,16 @@ Result<CprOptions> ToCprOptions(const RequestSpec& spec) {
     return Error("unknown lint mode: " + spec.lint);
   }
 
+  if (spec.compress == "on") {
+    options.repair.compress.mode = CompressMode::kOn;
+  } else if (spec.compress == "off") {
+    options.repair.compress.mode = CompressMode::kOff;
+  } else if (spec.compress == "auto") {
+    options.repair.compress.mode = CompressMode::kAuto;
+  } else {
+    return Error("unknown compress mode: " + spec.compress);
+  }
+
   if (!spec.inject_fault.empty()) {
     Result<FaultInjectionSpec> fault = FaultInjectionSpec::Parse(spec.inject_fault);
     if (!fault.ok()) {
@@ -74,6 +84,7 @@ WireFields FieldsFromSpec(const RequestSpec& spec) {
   }
   if (spec.simulate != defaults.simulate) put("simulate", spec.simulate ? "1" : "0");
   if (spec.lint != defaults.lint) put("lint", spec.lint);
+  if (spec.compress != defaults.compress) put("compress", spec.compress);
   if (!spec.inject_fault.empty()) put("inject_fault", spec.inject_fault);
   return fields;
 }
@@ -91,6 +102,7 @@ RequestSpec SpecFromFields(const WireFields& fields) {
   spec.max_retries = static_cast<int>(view.GetInt("max_retries", spec.max_retries));
   spec.simulate = view.GetInt("simulate", spec.simulate ? 1 : 0) != 0;
   spec.lint = view.Get("lint", spec.lint);
+  spec.compress = view.Get("compress", spec.compress);
   spec.inject_fault = view.Get("inject_fault");
   return spec;
 }

@@ -37,6 +37,7 @@ struct RequestSpec {
   int max_retries = 0;                // Per-problem solver retries.
   bool simulate = false;              // Re-validate on the simulator.
   std::string lint = "gate";          // "gate" | "warn" | "off"
+  std::string compress = "off";       // "on" | "off" | "auto" (compress/).
   std::string inject_fault;           // FaultInjectionSpec text (testing).
 };
 

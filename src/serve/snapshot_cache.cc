@@ -71,6 +71,16 @@ void SnapshotCache::Touch(std::list<Entry>::iterator it) {
 Result<std::shared_ptr<const Cpr>> SnapshotCache::GetOrBuild(
     const std::string& source, const std::vector<std::string>& config_texts,
     const std::string& policy_text) {
+  Result<Snapshot> snapshot = GetOrBuildSnapshot(source, config_texts, policy_text);
+  if (!snapshot.ok()) {
+    return snapshot.error();
+  }
+  return std::move(snapshot->cpr);
+}
+
+Result<Snapshot> SnapshotCache::GetOrBuildSnapshot(
+    const std::string& source, const std::vector<std::string>& config_texts,
+    const std::string& policy_text) {
   const uint64_t key = SnapshotKey(config_texts, policy_text);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -79,7 +89,7 @@ Result<std::shared_ptr<const Cpr>> SnapshotCache::GetOrBuild(
       registry_->counter("serve.cache.hits").Increment();
       Touch(it->second);
       last_key_by_source_[source] = key;
-      return it->second->cpr;
+      return Snapshot{it->second->cpr, it->second->compression};
     }
     registry_->counter("serve.cache.misses").Increment();
 
@@ -124,6 +134,7 @@ Result<std::shared_ptr<const Cpr>> SnapshotCache::GetOrBuild(
     return built.error();
   }
   auto cpr = std::make_shared<const Cpr>(std::move(built).value());
+  auto compression = std::make_shared<compress::CompressionCache>();
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_key_.find(key);
@@ -131,17 +142,17 @@ Result<std::shared_ptr<const Cpr>> SnapshotCache::GetOrBuild(
     // A racing request built the same snapshot first; adopt its entry.
     Touch(it->second);
     last_key_by_source_[source] = key;
-    return it->second->cpr;
+    return Snapshot{it->second->cpr, it->second->compression};
   }
   while (lru_.size() >= capacity_) {
     registry_->counter("serve.cache.evictions").Increment();
     by_key_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front(Entry{key, source, cpr, config_texts});
+  lru_.push_front(Entry{key, source, cpr, compression, config_texts});
   by_key_[key] = lru_.begin();
   last_key_by_source_[source] = key;
-  return cpr;
+  return Snapshot{std::move(cpr), std::move(compression)};
 }
 
 }  // namespace cpr::serve

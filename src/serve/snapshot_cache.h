@@ -30,11 +30,21 @@
 #include <string>
 #include <vector>
 
+#include "compress/compress.h"
 #include "core/cpr.h"
 #include "netbase/result.h"
 #include "obs/metrics.h"
 
 namespace cpr::serve {
+
+// A cached snapshot: the built pipeline plus its compression cache (base
+// partition + per-pin-signature quotients, compress/compress.h). The
+// compression cache shares the entry's lifetime, so differ-driven
+// invalidation drops stale quotients together with the stale HARC.
+struct Snapshot {
+  std::shared_ptr<const Cpr> cpr;
+  std::shared_ptr<compress::CompressionCache> compression;
+};
 
 class SnapshotCache {
  public:
@@ -51,6 +61,11 @@ class SnapshotCache {
       const std::string& source, const std::vector<std::string>& config_texts,
       const std::string& policy_text);
 
+  // Like GetOrBuild, also returning the entry's compression cache.
+  Result<Snapshot> GetOrBuildSnapshot(const std::string& source,
+                                      const std::vector<std::string>& config_texts,
+                                      const std::string& policy_text);
+
   size_t size() const;
 
   // Content hash: FNV-1a over the config texts and the policy file's
@@ -63,6 +78,7 @@ class SnapshotCache {
     uint64_t key = 0;
     std::string source;
     std::shared_ptr<const Cpr> cpr;
+    std::shared_ptr<compress::CompressionCache> compression;
     std::vector<std::string> config_texts;  // Kept for the invalidation diff.
   };
 

@@ -199,4 +199,46 @@ Result<int> SeedLintDefects(std::vector<std::string>* configs,
   return planted;
 }
 
+Result<int> SeedAsymmetry(std::vector<std::string>* configs, int count, unsigned seed) {
+  if (configs == nullptr || configs->empty()) {
+    return Error("no configurations to mutate");
+  }
+  std::vector<Config> parsed;
+  parsed.reserve(configs->size());
+  for (size_t i = 0; i < configs->size(); ++i) {
+    Result<Config> config = ParseConfig((*configs)[i]);
+    if (!config.ok()) {
+      return Error("config " + std::to_string(i) + ": " + config.error().message());
+    }
+    parsed.push_back(std::move(config).value());
+  }
+
+  Picker picker(seed);
+  std::vector<bool> touched(parsed.size(), false);
+  int mutated = 0;
+  for (int i = 0; i < count && mutated < static_cast<int>(parsed.size()); ++i) {
+    size_t device = picker.Next(parsed.size());
+    for (size_t attempt = 0; attempt < parsed.size() && touched[device]; ++attempt) {
+      device = (device + 1) % parsed.size();
+    }
+    if (touched[device]) {
+      break;
+    }
+    touched[device] = true;
+    InterfaceConfig* intf = LiveInterface(parsed[device]);
+    if (intf == nullptr) {
+      continue;
+    }
+    // Distinct per-router offsets keep the mutated routers distinguishable
+    // from *each other*, not just from the untouched ones.
+    intf->ospf_cost += 2 + mutated;
+    ++mutated;
+  }
+
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    (*configs)[i] = PrintConfig(parsed[i]);
+  }
+  return mutated;
+}
+
 }  // namespace cpr

@@ -50,6 +50,16 @@ struct DirtyOptions {
 Result<int> SeedLintDefects(std::vector<std::string>* configs,
                             const DirtyOptions& options);
 
+// Breaks behavioral symmetry without breaking anything else: bumps one OSPF
+// interface cost on each of `count` distinct routers (pseudo-randomly chosen
+// from `seed`), each by a different amount, so the touched routers land in
+// singleton partition blocks. The mutation is lint-clean and neutral for
+// PC1/PC2/PC3 policies (reachability, blocking, and waypoint traversal do
+// not depend on link costs), making it the knob for exercising the
+// compression pre-pass's partial/declined paths. Returns the number of
+// routers actually mutated (a router with no costed interface is skipped).
+Result<int> SeedAsymmetry(std::vector<std::string>* configs, int count, unsigned seed);
+
 }  // namespace cpr
 
 #endif  // CPR_SRC_WORKLOAD_DIRTY_H_

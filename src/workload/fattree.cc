@@ -67,15 +67,16 @@ struct RouterDraft {
 
 struct FatTreeTopology {
   int ports;
+  int pods;  // == ports for a proper fat-tree; larger scales replicas.
   std::vector<RouterDraft> routers;           // edges, then aggs, then cores
   std::vector<std::string> host_prefixes;     // one per edge switch
   std::vector<int> host_pod;                  // pod of each host subnet
   // Router index helpers.
   int EdgeIndex(int pod, int i) const { return pod * (ports / 2) + i; }
   int AggIndex(int pod, int j) const {
-    return ports * (ports / 2) + pod * (ports / 2) + j;
+    return pods * (ports / 2) + pod * (ports / 2) + j;
   }
-  int CoreIndex(int c) const { return 2 * ports * (ports / 2) + c; }
+  int CoreIndex(int c) const { return 2 * pods * (ports / 2) + c; }
   int CoreCount() const { return (ports / 2) * (ports / 2); }
   // Core c belongs to group c / (ports/2) and attaches to that agg in every
   // pod.
@@ -89,22 +90,26 @@ std::string LinkPrefix(int link_index, int side) {
 }
 
 // agg_core_cost(c): cost of every agg<->core link of core c (both sides).
-FatTreeTopology BuildTopology(int ports, int preferred_core) {
+FatTreeTopology BuildTopology(int ports, int pods, int preferred_core) {
   if (ports < 4 || ports % 2 != 0) {
     throw std::invalid_argument("fat-tree ports must be an even number >= 4");
   }
+  if (pods < 2) {
+    throw std::invalid_argument("fat-tree pods must be >= 2");
+  }
   FatTreeTopology topo;
   topo.ports = ports;
+  topo.pods = pods;
   const int half = ports / 2;
 
-  for (int pod = 0; pod < ports; ++pod) {
+  for (int pod = 0; pod < pods; ++pod) {
     for (int i = 0; i < half; ++i) {
       RouterDraft router;
       router.name = "E" + std::to_string(pod) + "x" + std::to_string(i);
       topo.routers.push_back(std::move(router));
     }
   }
-  for (int pod = 0; pod < ports; ++pod) {
+  for (int pod = 0; pod < pods; ++pod) {
     for (int j = 0; j < half; ++j) {
       RouterDraft router;
       router.name = "A" + std::to_string(pod) + "x" + std::to_string(j);
@@ -134,7 +139,7 @@ FatTreeTopology BuildTopology(int ports, int preferred_core) {
     ++link_index;
   };
 
-  for (int pod = 0; pod < ports; ++pod) {
+  for (int pod = 0; pod < pods; ++pod) {
     for (int i = 0; i < half; ++i) {
       for (int j = 0; j < half; ++j) {
         connect(topo.EdgeIndex(pod, i), topo.AggIndex(pod, j), 1);
@@ -147,13 +152,13 @@ FatTreeTopology BuildTopology(int ports, int preferred_core) {
     // the preferred core's links are cheap and every other core's expensive,
     // inducing a unique primary path (PC4).
     int cost = preferred_core < 0 ? 1 : (c == preferred_core ? 1 : 3);
-    for (int pod = 0; pod < ports; ++pod) {
+    for (int pod = 0; pod < pods; ++pod) {
       connect(topo.AggIndex(pod, group), topo.CoreIndex(c), cost);
     }
   }
 
   // Host subnets: one per edge switch.
-  for (int pod = 0; pod < ports; ++pod) {
+  for (int pod = 0; pod < pods; ++pod) {
     for (int i = 0; i < half; ++i) {
       int idx = topo.EdgeIndex(pod, i);
       std::string prefix_base =
@@ -203,12 +208,18 @@ void InstallCoreAcls(FatTreeTopology* topo,
 
 FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
                                     unsigned seed) {
+  return MakeFatTreeScenario(ports, /*pods=*/ports, pc, num_policies, seed);
+}
+
+FatTreeScenario MakeFatTreeScenario(int ports, int pods, PolicyClass pc,
+                                    int num_policies, unsigned seed) {
   const int half = ports / 2;
   FatTreeScenario scenario;
   scenario.ports = ports;
+  scenario.pods = pods;
 
   // Policied traffic classes: seeded sample of inter-pod subnet pairs.
-  FatTreeTopology probe = BuildTopology(ports, /*preferred_core=*/-1);
+  FatTreeTopology probe = BuildTopology(ports, pods, /*preferred_core=*/-1);
   std::vector<std::pair<int, int>> interpod_pairs;
   for (size_t s = 0; s < probe.host_prefixes.size(); ++s) {
     for (size_t d = 0; d < probe.host_prefixes.size(); ++d) {
@@ -243,8 +254,8 @@ FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
   }
 
   // Working / broken drafts per policy class.
-  FatTreeTopology working = BuildTopology(ports, -1);
-  FatTreeTopology broken = BuildTopology(ports, -1);
+  FatTreeTopology working = BuildTopology(ports, pods, -1);
+  FatTreeTopology broken = BuildTopology(ports, pods, -1);
   switch (pc) {
     case PolicyClass::kAlwaysBlocked:
       // Working blocks the policied pairs at every core; broken lost the
@@ -267,8 +278,8 @@ FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
       break;
     case PolicyClass::kPrimaryPath:
       // Working prefers core 0; broken prefers the last core.
-      working = BuildTopology(ports, 0);
-      broken = BuildTopology(ports, probe.CoreCount() - 1);
+      working = BuildTopology(ports, pods, 0);
+      broken = BuildTopology(ports, pods, probe.CoreCount() - 1);
       break;
     case PolicyClass::kIsolation:
       throw std::invalid_argument("fat-tree scenarios do not generate PC5 policies");
@@ -281,7 +292,7 @@ FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
     for (int c : waypoint_cores) {
       const RouterDraft& core = working.routers[static_cast<size_t>(working.CoreIndex(c))];
       int group = working.CoreGroup(c);
-      for (int pod = 0; pod < ports; ++pod) {
+      for (int pod = 0; pod < pods; ++pod) {
         const RouterDraft& agg =
             working.routers[static_cast<size_t>(working.AggIndex(pod, group))];
         scenario.annotations.waypoint_links.insert({agg.name, core.name});

@@ -33,6 +33,7 @@ namespace cpr {
 
 struct FatTreeScenario {
   int ports = 4;
+  int pods = 4;
   std::vector<std::string> working_configs;
   std::vector<std::string> broken_configs;
   NetworkAnnotations annotations;
@@ -46,6 +47,15 @@ struct FatTreeScenario {
 // which traffic-class pairs are policied.
 FatTreeScenario MakeFatTreeScenario(int ports, PolicyClass pc, int num_policies,
                                     unsigned seed);
+
+// Same, with the pod count decoupled from the port count: `pods` replicas of
+// the canonical pod (ports/2 edge + ports/2 aggregation switches) share the
+// (ports/2)^2 cores. A proper fat-tree has pods == ports; a larger `pods`
+// scales the symmetric replica count without touching per-device fan-out,
+// which is exactly what the compression pre-pass quotients away. `pods` must
+// be >= 2 (inter-pod policies need two pods).
+FatTreeScenario MakeFatTreeScenario(int ports, int pods, PolicyClass pc,
+                                    int num_policies, unsigned seed);
 
 }  // namespace cpr
 

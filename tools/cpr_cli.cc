@@ -19,8 +19,16 @@
 //                                                  flipped soft constraint ->
 //                                                  construct -> config lines);
 //                                                  takes the repair options
-//   cpr gen      <out-dir> --fattree PORTS [--dirty N] [--seed S]
+//   cpr gen      <out-dir> --fattree PORTS [--pods P] [--broken]
+//       [--pc pc1|pc2|pc3|pc4] [--policies N] [--policy-out PATH]
+//       [--dirty N] [--dirty-asym N] [--seed S]
 //                                                  write synthetic configs
+//                                                  (--pods scales symmetric
+//                                                  replicas; --broken writes
+//                                                  the violating snapshot;
+//                                                  --dirty-asym breaks router
+//                                                  symmetry without lint
+//                                                  findings)
 //
 // Every command accepts --stats-json PATH (machine-readable run report) and
 // --trace-out PATH (Chrome trace_event JSON of the stage-span tree; load via
@@ -70,9 +78,17 @@ int Usage() {
                "                            compute a repair and print each edit's\n"
                "                            provenance chain (policy -> problem ->\n"
                "                            soft constraint -> construct -> lines)\n"
-               "       cpr gen <out-dir> --fattree PORTS [--dirty N] [--seed S]\n"
+               "       cpr gen <out-dir> --fattree PORTS [--pods P] [--broken]\n"
+               "                         [--pc pc1|pc2|pc3|pc4] [--policies N]\n"
+               "                         [--policy-out PATH] [--dirty N]\n"
+               "                         [--dirty-asym N] [--seed S]\n"
                "options: --granularity perdst|alltcs  --backend z3|internal\n"
                "         --threads N  --timeout SECONDS  --out DIR  --no-simulate\n"
+               "         --compress on|off|auto  symmetry-quotient compression\n"
+               "                              pre-pass: solve the small quotient\n"
+               "                              network and lift the repair (default\n"
+               "                              off; auto declines when the network\n"
+               "                              is too small or too asymmetric)\n"
                "         --stats-json PATH    write a machine-readable run report\n"
                "                              (stage spans, solver counters, per-\n"
                "                              problem results) to PATH\n"
@@ -143,7 +159,13 @@ struct CliArgs {
   std::string trace_out_path;   // Empty: no Chrome trace file.
   bool json = false;            // `cpr lint --json` / `cpr explain --json`.
   int fattree_ports = 0;        // `cpr gen --fattree PORTS`.
+  int fattree_pods = 0;         // `cpr gen --pods P` (0: == ports).
+  bool gen_broken = false;      // `cpr gen --broken`: write the broken snapshot.
+  std::string gen_pc = "pc1";   // `cpr gen --pc pc1|pc2|pc3|pc4`.
+  int gen_policies = 0;         // `cpr gen --policies N`.
+  std::string policy_out;       // `cpr gen --policy-out PATH`.
   int dirty = 0;                // `cpr gen --dirty N` lint defects.
+  int dirty_asym = 0;           // `cpr gen --dirty-asym N` symmetry breaks.
   unsigned seed = 1;
   cpr::CprOptions options;
 };
@@ -279,6 +301,20 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
       } else {
         return cpr::Error("unknown lint mode " + *v + " (error|warn|off)");
       }
+    } else if (flag == "--compress") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      if (*v == "on") {
+        args.options.repair.compress.mode = cpr::CompressMode::kOn;
+      } else if (*v == "off") {
+        args.options.repair.compress.mode = cpr::CompressMode::kOff;
+      } else if (*v == "auto") {
+        args.options.repair.compress.mode = cpr::CompressMode::kAuto;
+      } else {
+        return cpr::Error("unknown compress mode " + *v + " (on|off|auto)");
+      }
     } else if (flag == "--json") {
       args.json = true;
     } else if (flag == "--fattree") {
@@ -287,12 +323,44 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         return v.error();
       }
       args.fattree_ports = std::atoi(v->c_str());
+    } else if (flag == "--pods") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.fattree_pods = std::atoi(v->c_str());
+    } else if (flag == "--broken") {
+      args.gen_broken = true;
+    } else if (flag == "--pc") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.gen_pc = *v;
+    } else if (flag == "--policies") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.gen_policies = std::atoi(v->c_str());
+    } else if (flag == "--policy-out") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.policy_out = *v;
     } else if (flag == "--dirty") {
       auto v = value();
       if (!v.ok()) {
         return v.error();
       }
       args.dirty = std::atoi(v->c_str());
+    } else if (flag == "--dirty-asym") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.dirty_asym = std::atoi(v->c_str());
     } else if (flag == "--seed") {
       auto v = value();
       if (!v.ok()) {
@@ -466,9 +534,40 @@ int CmdGen(const CliArgs& args) {
     std::fprintf(stderr, "error: gen requires --fattree PORTS (even, >= 4)\n");
     return 2;
   }
+  const int pods = args.fattree_pods > 0 ? args.fattree_pods : args.fattree_ports;
+  if (pods < 2) {
+    std::fprintf(stderr, "error: --pods must be >= 2\n");
+    return 2;
+  }
+  cpr::PolicyClass pc;
+  if (args.gen_pc == "pc1") {
+    pc = cpr::PolicyClass::kAlwaysBlocked;
+  } else if (args.gen_pc == "pc2") {
+    pc = cpr::PolicyClass::kAlwaysWaypoint;
+  } else if (args.gen_pc == "pc3") {
+    pc = cpr::PolicyClass::kReachability;
+  } else if (args.gen_pc == "pc4") {
+    pc = cpr::PolicyClass::kPrimaryPath;
+  } else {
+    std::fprintf(stderr, "error: unknown --pc %s (pc1|pc2|pc3|pc4)\n",
+                 args.gen_pc.c_str());
+    return 2;
+  }
+  // The policy file must land outside the config directory: repair commands
+  // load *every* regular file in the directory as a router configuration.
+  if (!args.policy_out.empty()) {
+    std::error_code rel_ec;
+    fs::path rel = fs::relative(args.policy_out, args.config_dir, rel_ec);
+    if (!rel_ec && !rel.empty() && rel.native().rfind("..", 0) != 0) {
+      std::fprintf(stderr, "error: --policy-out must lie outside the config dir\n");
+      return 2;
+    }
+  }
   cpr::FatTreeScenario scenario = cpr::MakeFatTreeScenario(
-      args.fattree_ports, cpr::PolicyClass::kAlwaysBlocked, 0, args.seed);
-  std::vector<std::string> configs = std::move(scenario.working_configs);
+      args.fattree_ports, pods, pc, args.gen_policies, args.seed);
+  std::vector<std::string> configs = args.gen_broken
+                                         ? std::move(scenario.broken_configs)
+                                         : std::move(scenario.working_configs);
   int planted = 0;
   if (args.dirty > 0) {
     cpr::Result<int> seeded =
@@ -479,6 +578,15 @@ int CmdGen(const CliArgs& args) {
     }
     planted = *seeded;
   }
+  int asymmetries = 0;
+  if (args.dirty_asym > 0) {
+    cpr::Result<int> seeded = cpr::SeedAsymmetry(&configs, args.dirty_asym, args.seed);
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "error: %s\n", seeded.error().message().c_str());
+      return 1;
+    }
+    asymmetries = *seeded;
+  }
   std::error_code ec;
   fs::create_directories(args.config_dir, ec);
   if (ec) {
@@ -486,6 +594,7 @@ int CmdGen(const CliArgs& args) {
                  ec.message().c_str());
     return 1;
   }
+  std::vector<cpr::Config> parsed_configs;
   for (const std::string& text : configs) {
     cpr::Result<cpr::Config> parsed = cpr::ParseConfig(text);
     if (!parsed.ok()) {
@@ -500,9 +609,34 @@ int CmdGen(const CliArgs& args) {
       std::fprintf(stderr, "error: cannot write %s\n", path.string().c_str());
       return 1;
     }
+    parsed_configs.push_back(std::move(parsed).value());
   }
-  std::printf("wrote %zu configuration(s) to %s (%d lint defect(s) seeded)\n",
-              configs.size(), args.config_dir.c_str(), planted);
+  if (!args.policy_out.empty()) {
+    // Policies are formatted against a network built from the *written*
+    // configs so the prefixes resolve for whoever loads the directory; the
+    // working and broken snapshots share the topology, so either works.
+    cpr::Result<cpr::Network> network =
+        cpr::Network::Build(std::move(parsed_configs), scenario.annotations);
+    if (!network.ok()) {
+      std::fprintf(stderr, "internal error: generated network does not build: %s\n",
+                   network.error().message().c_str());
+      return 1;
+    }
+    std::ofstream out(args.policy_out);
+    // FormatPolicySpec renders policies only; waypoint annotations are
+    // phase-1 input and must ride along for PC2.
+    for (const auto& [a, b] : scenario.annotations.waypoint_links) {
+      out << "waypoint-link " << a << " " << b << "\n";
+    }
+    out << cpr::FormatPolicySpec(scenario.policies, *network);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.policy_out.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "wrote %zu configuration(s) to %s (%d lint defect(s), %d asymmetry(ies) seeded)\n",
+      configs.size(), args.config_dir.c_str(), planted, asymmetries);
   return 0;
 }
 

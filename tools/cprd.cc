@@ -11,7 +11,8 @@
 //   cprd submit --socket PATH <config-dir> <policy-file>
 //        [--tag T] [--deadline S] [--timeout S] [--backend z3|internal]
 //        [--granularity perdst|alltcs] [--max-retries N] [--simulate]
-//        [--lint gate|warn|off] [--inject-fault SPEC] [--wait S]
+//        [--lint gate|warn|off] [--compress on|off|auto]
+//        [--inject-fault SPEC] [--wait S]
 //   cprd status --socket PATH [--id N]
 //   cprd wait   --socket PATH --id N [--timeout S]
 //   cprd result --socket PATH --id N         per-request stats JSON
@@ -82,7 +83,7 @@ int Usage() {
       "request options:\n"
       "  --tag T  --deadline S  --timeout S  --backend z3|internal\n"
       "  --granularity perdst|alltcs  --max-retries N  --simulate\n"
-      "  --lint gate|warn|off  --inject-fault SPEC\n"
+      "  --lint gate|warn|off  --compress on|off|auto  --inject-fault SPEC\n"
       "  --wait S   block until the request is terminal (then exit 0 iff done)\n");
   return 2;
 }
@@ -457,6 +458,9 @@ int CmdClient(const std::string& command, ArgReader* args) {
     } else if (flag == "--lint") {
       if (v = value(); !v.ok()) return Usage();
       spec.lint = *v;
+    } else if (flag == "--compress") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.compress = *v;
     } else if (flag == "--inject-fault") {
       if (v = value(); !v.ok()) return Usage();
       spec.inject_fault = *v;
