@@ -58,6 +58,13 @@ class Etg {
   // the digraph returned by ToDigraph().
   std::vector<int> LinkDisjointCapacities() const;
 
+  // Re-points the ETG at a different universe instance. Only valid when the
+  // new universe is structurally identical to the old one (same edge vector,
+  // field for field) — Harc::CloneFor verifies that before rebinding, which
+  // is what lets a retained HARC migrate onto a re-parsed network snapshot
+  // without rebuilding its presence bitmaps.
+  void RebindUniverse(const EtgUniverse* universe) { universe_ = universe; }
+
   bool operator==(const Etg& other) const = default;
 
  private:

@@ -86,6 +86,220 @@ bool AclBlocks(const Config& config, const std::optional<std::string>& acl_name,
 
 }  // namespace
 
+namespace {
+
+// One destination's dETG: the aETG minus blocked processes and
+// destination-scoped endpoint trimming, plus static-route edges (Algorithm 1
+// lines 4-12, Figure 4). Extracted from Build() so the incremental engine
+// can re-derive a single dirty destination.
+Etg BuildDetgLayer(const Network& network, const EtgUniverse& universe, const Etg& aetg,
+                   SubnetId d) {
+  const Subnet& dst = network.subnets()[static_cast<size_t>(d)];
+  Etg detg = aetg;
+
+  // Processes whose route filter blocks this destination lose all route
+  // exchange (Algorithm 1 lines 4-5, 7, 12).
+  std::vector<bool> blocked(network.processes().size(), false);
+  for (size_t p = 0; p < network.processes().size(); ++p) {
+    blocked[p] = ProcessBlocksDestination(network, static_cast<ProcessId>(p), dst.prefix);
+  }
+  for (int e = 0; e < universe.EdgeCount(); ++e) {
+    const CandidateEdge& edge = universe.edge(e);
+    if (edge.kind == EtgEdgeKind::kInterDevice ||
+        edge.kind == EtgEdgeKind::kRedistribution) {
+      if (blocked[static_cast<size_t>(edge.from_process)] ||
+          blocked[static_cast<size_t>(edge.to_process)]) {
+        detg.SetPresent(e, false);
+      }
+    }
+    // Destination-scoped endpoint trimming: a dETG routes *to* d from any
+    // source, so only d's delivery edges and other subnets' source edges
+    // remain.
+    if (edge.kind == EtgEdgeKind::kEndpointDst && edge.subnet != d) {
+      detg.SetPresent(e, false);
+    }
+    if (edge.kind == EtgEdgeKind::kEndpointSrc && edge.subnet == d) {
+      detg.SetPresent(e, false);
+    }
+  }
+
+  // Static routes covering this destination add inter-device edges from
+  // every process on the configuring device toward the next hop (Figure 4).
+  // Their weight is the route's administrative distance so a backup static
+  // route (AD > 110) loses to protocol-computed paths in shortest-path
+  // queries, as in the paper's Figure 2d repair.
+  for (size_t dev = 0; dev < network.devices().size(); ++dev) {
+    const Config& config = network.configs()[dev];
+    for (const StaticRouteConfig& route : config.static_routes) {
+      if (!route.prefix.Contains(dst.prefix)) {
+        continue;
+      }
+      auto next_hop = network.ResolveNextHop(static_cast<DeviceId>(dev), route.next_hop);
+      if (!next_hop.has_value()) {
+        continue;  // Unresolvable next hop: route is inert.
+      }
+      for (int e = 0; e < universe.EdgeCount(); ++e) {
+        const CandidateEdge& edge = universe.edge(e);
+        if (edge.kind == EtgEdgeKind::kInterDevice && edge.link == next_hop->link &&
+            edge.device == static_cast<DeviceId>(dev)) {
+          if (!detg.IsPresent(e)) {
+            detg.SetPresent(e, true);
+            detg.SetWeight(e, route.distance);
+          }
+        }
+      }
+    }
+  }
+
+  return detg;
+}
+
+// One traffic class's tcETG: the dETG minus ACL-blocked edges and
+// source-scoped endpoint trimming (Algorithm 1's per-traffic-class step).
+Etg BuildTcetgLayer(const Network& network, const EtgUniverse& universe, const Etg& detg,
+                    SubnetId s, SubnetId d) {
+  const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix,
+                        network.subnets()[static_cast<size_t>(d)].prefix);
+  Etg tcetg = detg;
+  for (int e = 0; e < universe.EdgeCount(); ++e) {
+    if (!tcetg.IsPresent(e)) {
+      continue;
+    }
+    const CandidateEdge& edge = universe.edge(e);
+    switch (edge.kind) {
+      case EtgEdgeKind::kInterDevice: {
+        const TopoLink& link = network.links()[static_cast<size_t>(edge.link)];
+        auto [egress_intf, ingress_intf] = OrientLink(link, edge.device);
+        DeviceId ingress_device =
+            link.device_a == edge.device ? link.device_b : link.device_a;
+        const Config& egress_config = network.config_for(edge.device);
+        const Config& ingress_config = network.config_for(ingress_device);
+        const InterfaceConfig* out_intf = egress_config.FindInterface(egress_intf);
+        const InterfaceConfig* in_intf = ingress_config.FindInterface(ingress_intf);
+        if ((out_intf != nullptr && AclBlocks(egress_config, out_intf->acl_out, tc)) ||
+            (in_intf != nullptr && AclBlocks(ingress_config, in_intf->acl_in, tc))) {
+          tcetg.SetPresent(e, false);
+        }
+        break;
+      }
+      case EtgEdgeKind::kEndpointSrc: {
+        if (edge.subnet != s) {
+          tcetg.SetPresent(e, false);
+          break;
+        }
+        const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+        const Config& config = network.config_for(subnet.device);
+        const InterfaceConfig* intf = config.FindInterface(subnet.interface);
+        if (intf != nullptr && AclBlocks(config, intf->acl_in, tc)) {
+          tcetg.SetPresent(e, false);
+        }
+        break;
+      }
+      case EtgEdgeKind::kEndpointDst: {
+        const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+        const Config& config = network.config_for(subnet.device);
+        const InterfaceConfig* intf = config.FindInterface(subnet.interface);
+        if (intf != nullptr && AclBlocks(config, intf->acl_out, tc)) {
+          tcetg.SetPresent(e, false);
+        }
+        break;
+      }
+      case EtgEdgeKind::kIntraSelf:
+      case EtgEdgeKind::kRedistribution:
+        break;
+    }
+  }
+  return tcetg;
+}
+
+// Precomputed traffic-class scaffolding for Build()'s S^2 tcETG loop.
+//
+// BuildTcetgLayer re-derives, for every (src, dst) pair, which edges the
+// traffic class loses — but only two kinds of edges actually depend on the
+// pair: endpoint-source edges (trimmed to the source subnet) and edges whose
+// interfaces carry a *defined* ACL binding (an undefined ACL permits all
+// traffic, so it can never clear an edge). Resolving interface and ACL names
+// once per network turns the per-pair work from O(E) string lookups into a
+// bitmap copy plus a handful of Permits() calls. BuildTcetgLayer stays the
+// naive reference; RebuildDestination/RebuildTrafficClass call it, and
+// arc_test asserts the two paths agree edge-for-edge.
+struct TcetgScaffold {
+  // kEndpointSrc candidate edges grouped by their subnet.
+  std::vector<std::vector<CandidateEdgeId>> src_edges_by_subnet;
+  // Edges whose presence depends on the traffic class through a resolved
+  // ACL. An inter-device edge with ACLs on both sides contributes two
+  // entries.
+  struct AclCheck {
+    CandidateEdgeId edge;
+    const AccessList* acl;  // Never null.
+  };
+  std::vector<AclCheck> checks;
+};
+
+TcetgScaffold BuildTcetgScaffold(const Network& network, const EtgUniverse& universe) {
+  TcetgScaffold scaffold;
+  scaffold.src_edges_by_subnet.assign(network.subnets().size(), {});
+  auto resolve = [](const Config& config, const InterfaceConfig* intf,
+                    bool inbound) -> const AccessList* {
+    if (intf == nullptr) {
+      return nullptr;
+    }
+    const std::optional<std::string>& name = inbound ? intf->acl_in : intf->acl_out;
+    return name.has_value() ? config.FindAccessList(*name) : nullptr;
+  };
+  for (int e = 0; e < universe.EdgeCount(); ++e) {
+    const CandidateEdge& edge = universe.edge(e);
+    switch (edge.kind) {
+      case EtgEdgeKind::kInterDevice: {
+        const TopoLink& link = network.links()[static_cast<size_t>(edge.link)];
+        auto [egress_intf, ingress_intf] = OrientLink(link, edge.device);
+        DeviceId ingress_device =
+            link.device_a == edge.device ? link.device_b : link.device_a;
+        const Config& egress_config = network.config_for(edge.device);
+        const Config& ingress_config = network.config_for(ingress_device);
+        const AccessList* out_acl =
+            resolve(egress_config, egress_config.FindInterface(egress_intf), false);
+        const AccessList* in_acl =
+            resolve(ingress_config, ingress_config.FindInterface(ingress_intf), true);
+        if (out_acl != nullptr) {
+          scaffold.checks.push_back({e, out_acl});
+        }
+        if (in_acl != nullptr) {
+          scaffold.checks.push_back({e, in_acl});
+        }
+        break;
+      }
+      case EtgEdgeKind::kEndpointSrc: {
+        scaffold.src_edges_by_subnet[static_cast<size_t>(edge.subnet)].push_back(e);
+        const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+        const Config& config = network.config_for(subnet.device);
+        const AccessList* acl =
+            resolve(config, config.FindInterface(subnet.interface), true);
+        if (acl != nullptr) {
+          scaffold.checks.push_back({e, acl});
+        }
+        break;
+      }
+      case EtgEdgeKind::kEndpointDst: {
+        const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
+        const Config& config = network.config_for(subnet.device);
+        const AccessList* acl =
+            resolve(config, config.FindInterface(subnet.interface), false);
+        if (acl != nullptr) {
+          scaffold.checks.push_back({e, acl});
+        }
+        break;
+      }
+      case EtgEdgeKind::kIntraSelf:
+      case EtgEdgeKind::kRedistribution:
+        break;
+    }
+  }
+  return scaffold;
+}
+
+}  // namespace
+
 bool ProcessBlocksDestination(const Network& network, ProcessId process,
                               const Ipv4Prefix& destination) {
   const DistributeList* dist_list = ProcessDistributeList(network, process);
@@ -255,123 +469,45 @@ Harc Harc::Build(const Network& network) {
   // ---- dETGs: plus route filters and static routes (per destination). ----
   harc.detgs_.reserve(static_cast<size_t>(subnet_count));
   for (SubnetId d = 0; d < subnet_count; ++d) {
-    const Subnet& dst = network.subnets()[static_cast<size_t>(d)];
-    Etg detg = harc.aetg_;
-
-    // Processes whose route filter blocks this destination lose all route
-    // exchange (Algorithm 1 lines 4-5, 7, 12).
-    std::vector<bool> blocked(network.processes().size(), false);
-    for (size_t p = 0; p < network.processes().size(); ++p) {
-      blocked[p] = ProcessBlocksDestination(network, static_cast<ProcessId>(p), dst.prefix);
-    }
-    for (int e = 0; e < universe.EdgeCount(); ++e) {
-      const CandidateEdge& edge = universe.edge(e);
-      if (edge.kind == EtgEdgeKind::kInterDevice ||
-          edge.kind == EtgEdgeKind::kRedistribution) {
-        if (blocked[static_cast<size_t>(edge.from_process)] ||
-            blocked[static_cast<size_t>(edge.to_process)]) {
-          detg.SetPresent(e, false);
-        }
-      }
-      // Destination-scoped endpoint trimming: a dETG routes *to* d from any
-      // source, so only d's delivery edges and other subnets' source edges
-      // remain.
-      if (edge.kind == EtgEdgeKind::kEndpointDst && edge.subnet != d) {
-        detg.SetPresent(e, false);
-      }
-      if (edge.kind == EtgEdgeKind::kEndpointSrc && edge.subnet == d) {
-        detg.SetPresent(e, false);
-      }
-    }
-
-    // Static routes covering this destination add inter-device edges from
-    // every process on the configuring device toward the next hop
-    // (Figure 4). Their weight is the route's administrative distance so a
-    // backup static route (AD > 110) loses to protocol-computed paths in
-    // shortest-path queries, as in the paper's Figure 2d repair.
-    for (size_t dev = 0; dev < network.devices().size(); ++dev) {
-      const Config& config = network.configs()[dev];
-      for (const StaticRouteConfig& route : config.static_routes) {
-        if (!route.prefix.Contains(dst.prefix)) {
-          continue;
-        }
-        auto next_hop = network.ResolveNextHop(static_cast<DeviceId>(dev), route.next_hop);
-        if (!next_hop.has_value()) {
-          continue;  // Unresolvable next hop: route is inert.
-        }
-        for (int e = 0; e < universe.EdgeCount(); ++e) {
-          const CandidateEdge& edge = universe.edge(e);
-          if (edge.kind == EtgEdgeKind::kInterDevice && edge.link == next_hop->link &&
-              edge.device == static_cast<DeviceId>(dev)) {
-            if (!detg.IsPresent(e)) {
-              detg.SetPresent(e, true);
-              detg.SetWeight(e, route.distance);
-            }
-          }
-        }
-      }
-    }
-
-    harc.detgs_.push_back(std::move(detg));
+    harc.detgs_.push_back(BuildDetgLayer(network, universe, harc.aetg_, d));
   }
 
   // ---- tcETGs: plus ACLs (per traffic class). ----
+  //
+  // Assembled via the scaffold instead of BuildTcetgLayer: per destination,
+  // start from the dETG with every endpoint-source edge cleared, then per
+  // source restore that source's own edges and apply the (typically few)
+  // resolved ACL checks. Same result as the naive per-pair derivation —
+  // arc_test holds the two paths equal — at a bitmap copy per pair instead
+  // of an O(E) re-scan with name lookups.
+  const TcetgScaffold scaffold = BuildTcetgScaffold(network, universe);
   harc.tcetgs_.assign(static_cast<size_t>(subnet_count) * static_cast<size_t>(subnet_count),
                       Etg());
-  for (SubnetId s = 0; s < subnet_count; ++s) {
-    for (SubnetId d = 0; d < subnet_count; ++d) {
+  for (SubnetId d = 0; d < subnet_count; ++d) {
+    const Etg& detg = harc.detgs_[static_cast<size_t>(d)];
+    Etg base = detg;
+    for (const std::vector<CandidateEdgeId>& edges : scaffold.src_edges_by_subnet) {
+      for (CandidateEdgeId e : edges) {
+        base.SetPresent(e, false);
+      }
+    }
+    const Ipv4Prefix& dst_prefix = network.subnets()[static_cast<size_t>(d)].prefix;
+    for (SubnetId s = 0; s < subnet_count; ++s) {
       if (s == d) {
         continue;
       }
-      const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix,
-                            network.subnets()[static_cast<size_t>(d)].prefix);
-      Etg tcetg = harc.detgs_[static_cast<size_t>(d)];
-      for (int e = 0; e < universe.EdgeCount(); ++e) {
-        if (!tcetg.IsPresent(e)) {
-          continue;
-        }
-        const CandidateEdge& edge = universe.edge(e);
-        switch (edge.kind) {
-          case EtgEdgeKind::kInterDevice: {
-            const TopoLink& link = network.links()[static_cast<size_t>(edge.link)];
-            auto [egress_intf, ingress_intf] = OrientLink(link, edge.device);
-            DeviceId ingress_device =
-                link.device_a == edge.device ? link.device_b : link.device_a;
-            const Config& egress_config = network.config_for(edge.device);
-            const Config& ingress_config = network.config_for(ingress_device);
-            const InterfaceConfig* out_intf = egress_config.FindInterface(egress_intf);
-            const InterfaceConfig* in_intf = ingress_config.FindInterface(ingress_intf);
-            if ((out_intf != nullptr && AclBlocks(egress_config, out_intf->acl_out, tc)) ||
-                (in_intf != nullptr && AclBlocks(ingress_config, in_intf->acl_in, tc))) {
-              tcetg.SetPresent(e, false);
-            }
-            break;
+      Etg tcetg = base;
+      for (CandidateEdgeId e :
+           scaffold.src_edges_by_subnet[static_cast<size_t>(s)]) {
+        tcetg.SetPresent(e, detg.IsPresent(e));
+      }
+      if (!scaffold.checks.empty()) {
+        const TrafficClass tc(network.subnets()[static_cast<size_t>(s)].prefix,
+                              dst_prefix);
+        for (const TcetgScaffold::AclCheck& check : scaffold.checks) {
+          if (tcetg.IsPresent(check.edge) && !check.acl->Permits(tc)) {
+            tcetg.SetPresent(check.edge, false);
           }
-          case EtgEdgeKind::kEndpointSrc: {
-            if (edge.subnet != s) {
-              tcetg.SetPresent(e, false);
-              break;
-            }
-            const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
-            const Config& config = network.config_for(subnet.device);
-            const InterfaceConfig* intf = config.FindInterface(subnet.interface);
-            if (intf != nullptr && AclBlocks(config, intf->acl_in, tc)) {
-              tcetg.SetPresent(e, false);
-            }
-            break;
-          }
-          case EtgEdgeKind::kEndpointDst: {
-            const Subnet& subnet = network.subnets()[static_cast<size_t>(edge.subnet)];
-            const Config& config = network.config_for(subnet.device);
-            const InterfaceConfig* intf = config.FindInterface(subnet.interface);
-            if (intf != nullptr && AclBlocks(config, intf->acl_out, tc)) {
-              tcetg.SetPresent(e, false);
-            }
-            break;
-          }
-          case EtgEdgeKind::kIntraSelf:
-          case EtgEdgeKind::kRedistribution:
-            break;
         }
       }
       harc.tcetgs_[harc.TcIndex(s, d)] = std::move(tcetg);
@@ -379,6 +515,58 @@ Harc Harc::Build(const Network& network) {
   }
 
   return harc;
+}
+
+void Harc::RebuildDestination(SubnetId dst) {
+  const Network& network = universe_->network();
+  detgs_[static_cast<size_t>(dst)] = BuildDetgLayer(network, *universe_, aetg_, dst);
+  const int subnet_count = SubnetCount();
+  for (SubnetId s = 0; s < subnet_count; ++s) {
+    if (s != dst) {
+      tcetgs_[TcIndex(s, dst)] =
+          BuildTcetgLayer(network, *universe_, detgs_[static_cast<size_t>(dst)], s, dst);
+    }
+  }
+}
+
+void Harc::RebuildTrafficClass(SubnetId src, SubnetId dst) {
+  tcetgs_[TcIndex(src, dst)] = BuildTcetgLayer(
+      universe_->network(), *universe_, detgs_[static_cast<size_t>(dst)], src, dst);
+}
+
+std::optional<Harc> Harc::CloneFor(const Network& network) const {
+  auto universe = std::make_shared<const EtgUniverse>(EtgUniverse::Build(network));
+  if (universe->VertexCount() != universe_->VertexCount() ||
+      universe->EdgeCount() != universe_->EdgeCount()) {
+    return std::nullopt;
+  }
+  for (int e = 0; e < universe->EdgeCount(); ++e) {
+    const CandidateEdge& a = universe->edge(e);
+    const CandidateEdge& b = universe_->edge(e);
+    // Field-by-field: a snapshot that moved a link, renamed a process, or
+    // changed an OSPF cost (default_weight) produces a different universe
+    // and must rebuild from scratch.
+    if (a.from != b.from || a.to != b.to || a.kind != b.kind ||
+        a.from_process != b.from_process || a.to_process != b.to_process ||
+        a.link != b.link || a.subnet != b.subnet || a.device != b.device ||
+        a.default_weight != b.default_weight || a.waypoint != b.waypoint ||
+        a.adjacency_realizable != b.adjacency_realizable) {
+      return std::nullopt;
+    }
+  }
+  Harc clone = *this;
+  clone.universe_ = std::move(universe);
+  const EtgUniverse* raw = clone.universe_.get();
+  clone.aetg_.RebindUniverse(raw);
+  for (Etg& detg : clone.detgs_) {
+    detg.RebindUniverse(raw);
+  }
+  // Includes the (never-queried) diagonal placeholders; rebinding them is
+  // harmless and keeps the loop uniform.
+  for (Etg& tcetg : clone.tcetgs_) {
+    tcetg.RebindUniverse(raw);
+  }
+  return clone;
 }
 
 Status Harc::CheckHierarchy() const {

@@ -19,6 +19,7 @@
 #define CPR_SRC_ARC_HARC_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arc/etg.h"
@@ -63,6 +64,27 @@ class Harc {
   // True when a dETG edge is attributable to a static route (present in the
   // dETG but either absent from the aETG or not adjacency-realizable).
   bool IsStaticRouteEdge(SubnetId dst, CandidateEdgeId edge) const;
+
+  // --- Incremental rebuilds (src/incremental; DESIGN.md §12) ---
+  //
+  // Re-derives one destination's dETG (and every tcETG toward it) from the
+  // current aETG and the universe's network, by exactly the rules Build()
+  // applies. The incremental engine calls this for destinations the config
+  // differ marked dirty, leaving clean ETGs untouched.
+  void RebuildDestination(SubnetId dst);
+  // Re-derives a single tcETG from the current dETG(dst); for (src, dst)
+  // pairs dirtied by ACL-only changes.
+  void RebuildTrafficClass(SubnetId src, SubnetId dst);
+
+  // Clones this HARC onto a re-parsed network snapshot: builds a fresh
+  // universe from `network`, verifies it is structurally identical to this
+  // HARC's universe (same edge vector, field for field — config edits that
+  // alter topology, process layout, or OSPF costs fail the check), and
+  // returns a copy whose ETGs are rebound to the new universe. nullopt means
+  // "not cloneable, run Build() from scratch". The clone's presence bitmaps
+  // still describe the *old* configurations; callers must RebuildDestination
+  // every dirty destination afterwards.
+  std::optional<Harc> CloneFor(const Network& network) const;
 
   // Harc is copyable: copies share the (immutable) universe, so a repair can
   // clone the original and mutate presence bitmaps in place.

@@ -86,6 +86,28 @@ void AccumulateStats(const RepairStats& from, RepairStats* into,
   AccumulateCounters(from.solver_counter_totals, counter_totals);
 }
 
+// Everything the base (unpinned) partition depends on: per-device role
+// signatures plus the link/subnet shape WL refinement walks. Two networks
+// with equal keys refine to the same block structure, so a cached partition
+// may survive a snapshot change (differ-small reuse).
+std::string StructureKey(const Network& network) {
+  std::ostringstream key;
+  for (const Device& device : network.devices()) {
+    key << device.name << '\x1f'
+        << RoleSignature(network.configs()[static_cast<size_t>(device.config_index)])
+        << '\x1e';
+  }
+  for (const TopoLink& link : network.links()) {
+    key << 'L' << link.device_a << ' ' << link.interface_a << ' ' << link.device_b << ' '
+        << link.interface_b << ' ' << (link.waypoint ? 1 : 0) << '\x1e';
+  }
+  for (const Subnet& subnet : network.subnets()) {
+    key << 'S' << subnet.prefix.ToString() << ' ' << subnet.device << ' '
+        << subnet.interface << '\x1e';
+  }
+  return key.str();
+}
+
 void AppendEdits(const RepairEdits& from, RepairEdits* into) {
   auto append = [](const auto& src, auto* dst) {
     dst->insert(dst->end(), src.begin(), src.end());
@@ -152,11 +174,24 @@ int64_t CompressionCache::misses() const {
   return misses_;
 }
 
+int64_t CompressionCache::partition_reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partition_reuses_;
+}
+
 void CompressionCache::RebindLocked(const Network& network) {
-  if (network_ != &network) {
-    network_ = &network;
+  if (generation_ == network.generation()) {
+    return;
+  }
+  std::string structure = StructureKey(network);
+  const bool reuse = base_.has_value() && structure == structure_;
+  generation_ = network.generation();
+  structure_ = std::move(structure);
+  quotients_.clear();
+  if (reuse) {
+    ++partition_reuses_;
+  } else {
     base_.reset();
-    quotients_.clear();
   }
 }
 

@@ -99,7 +99,14 @@ struct CompressionOutcome {
 // Cross-request cache of the base partition and per-pin-signature quotients,
 // scoped to one configuration snapshot. The serve layer owns one per cached
 // snapshot (differ-driven eviction drops it with the snapshot); the network
-// pointer is an identity guard — a different network clears the cache.
+// generation id is the identity guard — a different network clears the
+// cache. (A raw pointer guard would ABA: a freed network whose address is
+// recycled by a new Network would false-hit and serve a stale partition.)
+//
+// Partitions do survive a generation change when the new network's roles are
+// structurally identical (same per-device identity-abstracted canonical
+// texts and pin keys): differ-small edits that leave every role signature
+// intact rebind the cache instead of reseeding it.
 class CompressionCache {
  public:
   Partition Base(const Network& network);
@@ -109,16 +116,25 @@ class CompressionCache {
 
   int64_t hits() const;
   int64_t misses() const;
+  // Times a generation change kept the cached partition because every role
+  // signature matched (the differ-small reuse path).
+  int64_t partition_reuses() const;
 
  private:
   void RebindLocked(const Network& network);
 
   mutable std::mutex mu_;
-  const Network* network_ = nullptr;
+  uint64_t generation_ = 0;
+  // Structural key of the cached snapshot (device names + role signatures +
+  // link/subnet shape); a new generation with an identical key keeps base_.
+  // Quotients embed the old network's concrete addresses, so they are always
+  // dropped on rebind.
+  std::string structure_;
   std::optional<Partition> base_;
   std::map<std::string, std::shared_ptr<const Quotient>> quotients_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t partition_reuses_ = 0;
 };
 
 // Runs the pre-pass under `options.compress` (never called with mode kOff).

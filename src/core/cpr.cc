@@ -1,8 +1,10 @@
 #include "core/cpr.h"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "config/parser.h"
+#include "incremental/incremental.h"
 #include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -59,6 +61,56 @@ Result<Cpr> Cpr::FromConfigs(std::vector<Config> configs, NetworkAnnotations ann
   return Cpr(std::make_unique<Network>(std::move(network).value()));
 }
 
+Result<Cpr> Cpr::FromBaseline(std::shared_ptr<incremental::RepairSession> baseline,
+                              const std::vector<std::string>& texts,
+                              NetworkAnnotations annotations) {
+  if (baseline == nullptr) {
+    return Error("incremental repair requires a baseline session");
+  }
+  std::vector<Config> configs;
+  configs.reserve(texts.size());
+  {
+    obs::StageSpan span("pipeline.parse_configs");
+    for (size_t i = 0; i < texts.size(); ++i) {
+      Result<Config> parsed = ParseConfig(texts[i]);
+      if (!parsed.ok()) {
+        return Error("config " + std::to_string(i) + ": " + parsed.error().message());
+      }
+      configs.push_back(std::move(parsed).value());
+    }
+  }
+
+  incremental::IncrementalStats stats;
+  stats.attempted = true;
+  const auto diff_start = std::chrono::steady_clock::now();
+  auto dirty = std::make_shared<incremental::DirtySet>(incremental::ComputeDirtySet(
+      baseline->network->configs(), baseline->annotations, configs, annotations));
+  stats.diff_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - diff_start)
+          .count();
+
+  Result<Network> network = [&]() {
+    obs::StageSpan span("pipeline.build_network");
+    return Network::Build(std::move(configs), std::move(annotations));
+  }();
+  if (!network.ok()) {
+    return network.error();
+  }
+  auto owned = std::make_unique<Network>(std::move(network).value());
+
+  // Clone the session's HARC when the edit is destination-scopable; a full
+  // build otherwise (the incremental path then declines in Repair(), but the
+  // report still carries the differ's verdict).
+  std::optional<Harc> prepared =
+      incremental::PrepareHarc(*baseline, *owned, *dirty, &stats);
+  Cpr cpr = prepared.has_value() ? Cpr(std::move(owned), std::move(*prepared))
+                                 : Cpr(std::move(owned));
+  cpr.baseline_session_ = std::move(baseline);
+  cpr.baseline_dirty_ = std::move(dirty);
+  cpr.incremental_stats_ = stats;
+  return cpr;
+}
+
 std::vector<Policy> Cpr::InferPolicies(const InferenceOptions& options) const {
   return cpr::InferPolicies(harc_, options);
 }
@@ -66,6 +118,7 @@ std::vector<Policy> Cpr::InferPolicies(const InferenceOptions& options) const {
 Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
   CprReport report;
+  report.incremental = incremental_stats_;
 
   // A request whose wall-clock budget is already gone — zero, negative, or
   // consumed while queued — must not start any work, not even the lint
@@ -92,6 +145,55 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
     report.stats.lint_warnings = report.lint_report.warnings;
     if (options.lint_mode == LintMode::kGate && report.lint_report.errors > 0) {
       report.status = RepairStatus::kLintRejected;
+      return report;
+    }
+  }
+
+  // Incremental re-repair (DESIGN.md §12): when FromBaseline attached a
+  // retained session, reuse every clean group's baseline verdict, re-solve
+  // only the differ's dirty groups with warm-started solvers, and re-verify
+  // the result concretely (the engine falls back to a full repair on the
+  // patched snapshot if anything is still violated). When the engine
+  // declines — global dirt, changed policies, clone-incompatible snapshot —
+  // the ordinary pipeline below runs unchanged.
+  if (baseline_session_ != nullptr) {
+    obs::StageSpan incremental_span("pipeline.incremental");
+    Result<incremental::IncrementalOutcome> inc = incremental::TryIncrementalRepair(
+        *baseline_session_, *network_, harc_, *baseline_dirty_, policies,
+        options.repair, incremental_stats_);
+    if (!inc.ok()) {
+      return inc.error();
+    }
+    report.incremental = inc->stats;
+    obs::Registry& registry = obs::CurrentRegistry();
+    registry.counter("incremental.attempts").Increment();
+    registry.counter("incremental.groups_reused").Add(inc->stats.groups_reused);
+    registry.counter("incremental.groups_resolved").Add(inc->stats.groups_resolved);
+    registry.counter("incremental.warm_hits").Add(inc->stats.warm_hits);
+    if (inc->stats.fell_back) {
+      registry.counter("incremental.fallbacks").Increment();
+    }
+    if (inc->result.has_value()) {
+      registry.counter("incremental.applied").Increment();
+      incremental::IncrementalRepairResult& result = *inc->result;
+      report.status = result.status;
+      report.predicted_cost = result.predicted_cost;
+      report.stats = std::move(result.stats);
+      report.stats.lint_errors = report.lint_report.errors;
+      report.stats.lint_warnings = report.lint_report.warnings;
+      report.edits = std::move(result.edits);
+      report.provenance = std::move(result.provenance);
+      report.patched_configs = std::move(result.patched_configs);
+      report.patched_annotations = std::move(result.patched_annotations);
+      report.change_log = std::move(result.change_log);
+      report.diff_text = std::move(result.diff_text);
+      report.lines_changed = result.lines_changed;
+      JoinConfigChanges(result.edit_traces, &report.provenance);
+      Status closed = CloseLoop(policies, options, std::move(result.rebuilt_network),
+                                std::move(result.rebuilt_harc), &report);
+      if (!closed.ok()) {
+        return closed.error();
+      }
       return report;
     }
   }

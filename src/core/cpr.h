@@ -20,6 +20,7 @@
 
 #include "arc/harc.h"
 #include "compress/compress.h"
+#include "incremental/stats.h"
 #include "lint/lint.h"
 #include "netbase/result.h"
 #include "repair/repair.h"
@@ -29,6 +30,11 @@
 #include "verify/policy.h"
 
 namespace cpr {
+
+namespace incremental {
+struct DirtySet;
+struct RepairSession;
+}  // namespace incremental
 
 // How the pre-repair lint gate treats the input configurations.
 enum class LintMode {
@@ -68,6 +74,12 @@ struct CprReport {
   // uncompressed path. attempted == false when CompressMode::kOff.
   compress::CompressionStats compression;
 
+  // Incremental re-repair telemetry (DESIGN.md §12): dirty-set size, group
+  // verdict/edit reuse, warm solver hits, and whether the scoped result fell
+  // back to a full repair. attempted == false unless the pipeline was built
+  // with FromBaseline.
+  incremental::IncrementalStats incremental;
+
   // Provenance: one chain per emitted edit (policy → problem → flipped soft
   // constraint → construct → configuration lines) plus per-problem unsat
   // cores. The config-change legs are joined in from the translator's edit
@@ -104,6 +116,17 @@ class Cpr {
   static Result<Cpr> FromConfigs(std::vector<Config> configs,
                                  NetworkAnnotations annotations = {});
 
+  // Builds the pipeline for a new snapshot of the same lineage as a retained
+  // RepairSession (src/incremental). The session's configurations are diffed
+  // against `texts`; when the edit is destination-scopable the session's
+  // HARC is cloned with only dirty destinations rebuilt, and Repair() runs
+  // the incremental path: clean groups reuse their baseline verdicts, dirty
+  // groups re-solve with warm-started solvers, and the result is re-verified
+  // concretely (falling back to a full repair on any residual violation).
+  static Result<Cpr> FromBaseline(std::shared_ptr<incremental::RepairSession> baseline,
+                                  const std::vector<std::string>& texts,
+                                  NetworkAnnotations annotations = {});
+
   const Network& network() const { return *network_; }
   const Harc& harc() const { return harc_; }
 
@@ -121,6 +144,11 @@ class Cpr {
   explicit Cpr(std::unique_ptr<Network> network)
       : network_(std::move(network)), harc_(Harc::Build(*network_)) {}
 
+  // FromBaseline's clone path: the HARC was prepared from the session
+  // instead of built from scratch.
+  Cpr(std::unique_ptr<Network> network, Harc harc)
+      : network_(std::move(network)), harc_(std::move(harc)) {}
+
   // Shared tail of Repair(): rebuild (unless the compression pre-pass hands
   // over an already-rebuilt network/HARC), re-verify, simulate, lint-audit,
   // and count impacted traffic classes.
@@ -130,6 +158,13 @@ class Cpr {
 
   std::unique_ptr<Network> network_;
   Harc harc_;
+
+  // Set by FromBaseline: the retained session, the differ's verdict on this
+  // snapshot, and the preparation stats (attempted/cloned/dirty counts) that
+  // seed the report's incremental section even when the path declines.
+  std::shared_ptr<incremental::RepairSession> baseline_session_;
+  std::shared_ptr<const incremental::DirtySet> baseline_dirty_;
+  incremental::IncrementalStats incremental_stats_;
 };
 
 }  // namespace cpr

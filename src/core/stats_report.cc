@@ -192,6 +192,33 @@ void WriteCompression(obs::JsonWriter* w, const CprReport& report) {
   w->EndObject();
 }
 
+// Incremental re-repair telemetry (DESIGN.md §12). attempted is false unless
+// the pipeline was built with Cpr::FromBaseline; check.sh asserts
+// groups_reused > 0 on its one-router-edit smoke.
+void WriteIncremental(obs::JsonWriter* w, const CprReport& report) {
+  const incremental::IncrementalStats& i = report.incremental;
+  w->Key("incremental").BeginObject();
+  w->Key("attempted").Bool(i.attempted);
+  w->Key("applied").Bool(i.applied);
+  w->Key("skipped_reason").String(i.skipped_reason);
+  w->Key("devices_changed").Int(i.devices_changed);
+  w->Key("everything_dirty").Bool(i.everything_dirty);
+  w->Key("harc_cloned").Bool(i.harc_cloned);
+  w->Key("dirty_destinations").Int(i.dirty_destinations);
+  w->Key("dirty_traffic_classes").Int(i.dirty_traffic_classes);
+  w->Key("groups_total").Int(i.groups_total);
+  w->Key("groups_reused").Int(i.groups_reused);
+  w->Key("groups_resolved").Int(i.groups_resolved);
+  w->Key("warm_hits").Int(i.warm_hits);
+  w->Key("warm_misses").Int(i.warm_misses);
+  w->Key("fell_back").Bool(i.fell_back);
+  w->Key("diff_seconds").Double(i.diff_seconds);
+  w->Key("clone_seconds").Double(i.clone_seconds);
+  w->Key("solve_seconds").Double(i.solve_seconds);
+  w->Key("verify_seconds").Double(i.verify_seconds);
+  w->EndObject();
+}
+
 // The lint section carries its own schema version: the rule catalog evolves
 // independently of the surrounding run schema.
 void WriteLint(obs::JsonWriter* w, const CprReport& report) {
@@ -229,6 +256,7 @@ std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
   if (report != nullptr) {
     WriteRepair(&w, *report);
     WriteCompression(&w, *report);
+    WriteIncremental(&w, *report);
     WriteLint(&w, *report);
     WriteProvenance(&w, *report);
   }

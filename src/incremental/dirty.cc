@@ -1,0 +1,317 @@
+#include "incremental/dirty.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cpr::incremental {
+
+namespace {
+
+bool PrefixTouches(const std::optional<Ipv4Prefix>& pattern, const Ipv4Prefix& prefix) {
+  return !pattern.has_value() || pattern->Overlaps(prefix);
+}
+
+// Whether `name` is bound to any interface direction of either config
+// version. An ACL only influences ETGs through its applications.
+bool AclReferenced(const Config& config, const std::string& name) {
+  for (const InterfaceConfig& intf : config.interfaces) {
+    if (intf.acl_in == name || intf.acl_out == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Whether `name` is applied as a distribute-list on any routing process.
+bool PrefixListReferenced(const Config& config, const std::string& name) {
+  for (const OspfConfig& ospf : config.ospf_processes) {
+    if (ospf.distribute_list.has_value() && ospf.distribute_list->prefix_list == name) {
+      return true;
+    }
+  }
+  if (config.bgp.has_value() && config.bgp->distribute_list.has_value() &&
+      config.bgp->distribute_list->prefix_list == name) {
+    return true;
+  }
+  if (config.rip.has_value() && config.rip->distribute_list.has_value() &&
+      config.rip->distribute_list->prefix_list == name) {
+    return true;
+  }
+  return false;
+}
+
+// First-match-wins lists (ACLs, prefix lists) are diffed positionally: after
+// trimming the longest common head and tail, every entry left in the middle
+// of either version is marked. Soundness of trimming the tail: a candidate
+// matching no middle entry of either version falls through to the same
+// position of the common tail in both (it skipped the identical head the
+// same way, and nothing in either middle caught it), so its fate is
+// unchanged. This keeps an edit next to a trailing `permit any any` from
+// dirtying the whole network.
+template <typename Entry, typename Mark>
+void DiffMatchLists(const std::vector<Entry>& before, const std::vector<Entry>& after,
+                    const Mark& mark) {
+  size_t head = 0;
+  while (head < before.size() && head < after.size() && before[head] == after[head]) {
+    ++head;
+  }
+  size_t tail = 0;
+  while (tail < before.size() - head && tail < after.size() - head &&
+         before[before.size() - 1 - tail] == after[after.size() - 1 - tail]) {
+    ++tail;
+  }
+  for (size_t i = head; i < before.size() - tail; ++i) {
+    mark(before[i]);
+  }
+  for (size_t i = head; i < after.size() - tail; ++i) {
+    mark(after[i]);
+  }
+}
+
+// Dirt from one ACL's entry (what traffic its match pattern covers).
+void MarkAclEntry(const AclEntry& entry, DirtySet* dirty) {
+  dirty->tc_dirt.push_back(TcDirt{entry.src, entry.dst});
+}
+
+// Dirt from an interface's ACL binding changing. When both sides bind a
+// defined ACL (or none), only traffic either list can match is affected;
+// appearing/disappearing bindings flip the implicit-deny default for
+// *unmatched* traffic too, which is not scopable.
+bool DiffAclBinding(const std::optional<std::string>& before_name,
+                    const std::optional<std::string>& after_name, const Config& before,
+                    const Config& after, DirtySet* dirty) {
+  if (before_name.has_value() != after_name.has_value()) {
+    return false;  // permit-all default <-> implicit deny: global.
+  }
+  const AccessList* before_list = before.FindAccessList(*before_name);
+  const AccessList* after_list = after.FindAccessList(*after_name);
+  if (before_list == nullptr || after_list == nullptr) {
+    return false;  // A binding to an undefined ACL: semantics not scopable.
+  }
+  for (const AclEntry& entry : before_list->entries) {
+    MarkAclEntry(entry, dirty);
+  }
+  for (const AclEntry& entry : after_list->entries) {
+    MarkAclEntry(entry, dirty);
+  }
+  return true;
+}
+
+// Interfaces: descriptions are cosmetic, ACL bindings are traffic-class
+// scoped, everything else (address, shutdown, OSPF cost) shapes the topology
+// or aETG/edge weights. Returns false when the change is global.
+bool DiffInterfaces(const Config& before, const Config& after, DirtySet* dirty) {
+  std::map<std::string, const InterfaceConfig*> after_by_name;
+  for (const InterfaceConfig& intf : after.interfaces) {
+    after_by_name.emplace(intf.name, &intf);
+  }
+  if (before.interfaces.size() != after.interfaces.size()) {
+    return false;
+  }
+  for (const InterfaceConfig& old_intf : before.interfaces) {
+    auto it = after_by_name.find(old_intf.name);
+    if (it == after_by_name.end()) {
+      return false;  // Interface renamed/removed: topology shape changed.
+    }
+    const InterfaceConfig& new_intf = *it->second;
+    if (old_intf == new_intf) {
+      continue;
+    }
+    // Compare with the scopable fields neutralized; any remaining difference
+    // is address/cost/shutdown and therefore global.
+    InterfaceConfig old_core = old_intf;
+    InterfaceConfig new_core = new_intf;
+    old_core.description.clear();
+    new_core.description.clear();
+    old_core.acl_in.reset();
+    new_core.acl_in.reset();
+    old_core.acl_out.reset();
+    new_core.acl_out.reset();
+    if (!(old_core == new_core)) {
+      return false;
+    }
+    if (old_intf.acl_in != new_intf.acl_in &&
+        !DiffAclBinding(old_intf.acl_in, new_intf.acl_in, before, after, dirty)) {
+      return false;
+    }
+    if (old_intf.acl_out != new_intf.acl_out &&
+        !DiffAclBinding(old_intf.acl_out, new_intf.acl_out, before, after, dirty)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Static routes contribute independently (no match order): the symmetric
+// difference of the two route lists is exactly the changed constructs, each
+// destination-scoped by its prefix.
+void DiffStaticRoutes(const std::vector<StaticRouteConfig>& before,
+                      const std::vector<StaticRouteConfig>& after, DirtySet* dirty) {
+  std::vector<StaticRouteConfig> remaining = after;
+  for (const StaticRouteConfig& route : before) {
+    auto it = std::find(remaining.begin(), remaining.end(), route);
+    if (it != remaining.end()) {
+      remaining.erase(it);
+    } else {
+      dirty->dst_prefixes.push_back(route.prefix);
+    }
+  }
+  for (const StaticRouteConfig& route : remaining) {
+    dirty->dst_prefixes.push_back(route.prefix);
+  }
+}
+
+// ACL definition changes matter only where the list is applied. Returns
+// false when the change cannot be scoped (a referenced list defined on only
+// one side — the permit-all-when-undefined default flips).
+bool DiffAccessLists(const Config& before, const Config& after, DirtySet* dirty) {
+  std::set<std::string> names;
+  for (const auto& [name, list] : before.access_lists) {
+    names.insert(name);
+  }
+  for (const auto& [name, list] : after.access_lists) {
+    names.insert(name);
+  }
+  for (const std::string& name : names) {
+    const AccessList* old_list = before.FindAccessList(name);
+    const AccessList* new_list = after.FindAccessList(name);
+    if (old_list != nullptr && new_list != nullptr && *old_list == *new_list) {
+      continue;
+    }
+    if (!AclReferenced(before, name) && !AclReferenced(after, name)) {
+      continue;  // Unreferenced: no ETG reads it.
+    }
+    if (old_list == nullptr || new_list == nullptr) {
+      return false;
+    }
+    DiffMatchLists(old_list->entries, new_list->entries,
+                   [dirty](const AclEntry& entry) { MarkAclEntry(entry, dirty); });
+  }
+  return true;
+}
+
+// Prefix-list changes matter only where the list backs a distribute-list;
+// route filters are destination-scoped, so the changed entries' prefixes are
+// the dirt. `le 32` entries match more-specific prefixes too, which
+// DstDirty's overlap test covers.
+bool DiffPrefixLists(const Config& before, const Config& after, DirtySet* dirty) {
+  std::set<std::string> names;
+  for (const auto& [name, list] : before.prefix_lists) {
+    names.insert(name);
+  }
+  for (const auto& [name, list] : after.prefix_lists) {
+    names.insert(name);
+  }
+  for (const std::string& name : names) {
+    const PrefixList* old_list = before.FindPrefixList(name);
+    const PrefixList* new_list = after.FindPrefixList(name);
+    if (old_list != nullptr && new_list != nullptr && *old_list == *new_list) {
+      continue;
+    }
+    if (!PrefixListReferenced(before, name) && !PrefixListReferenced(after, name)) {
+      continue;
+    }
+    if (old_list == nullptr || new_list == nullptr) {
+      return false;  // Referenced list appeared/disappeared: default flips.
+    }
+    DiffMatchLists(old_list->entries, new_list->entries,
+                   [dirty](const PrefixListEntry& entry) {
+                     dirty->dst_prefixes.push_back(entry.prefix);
+                   });
+  }
+  return true;
+}
+
+// One device's edit. Returns false when any part of it is global.
+bool DiffDevice(const Config& before, const Config& after, DirtySet* dirty) {
+  if (before.hostname != after.hostname) {
+    return false;
+  }
+  // Routing process definitions (networks, passive interfaces,
+  // redistribution, distribute-list applications) shape adjacencies and
+  // advertisement; any edit there is aETG-level or flips filtering defaults.
+  if (before.ospf_processes != after.ospf_processes || before.bgp != after.bgp ||
+      before.rip != after.rip) {
+    return false;
+  }
+  if (!DiffInterfaces(before, after, dirty)) {
+    return false;
+  }
+  DiffStaticRoutes(before.static_routes, after.static_routes, dirty);
+  if (!DiffAccessLists(before, after, dirty)) {
+    return false;
+  }
+  return DiffPrefixLists(before, after, dirty);
+}
+
+}  // namespace
+
+bool DirtySet::DstDirty(const Ipv4Prefix& dst) const {
+  if (everything) {
+    return true;
+  }
+  for (const Ipv4Prefix& prefix : dst_prefixes) {
+    if (prefix.Overlaps(dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DirtySet::TcPairDirty(const Ipv4Prefix& src, const Ipv4Prefix& dst) const {
+  if (everything) {
+    return true;
+  }
+  for (const TcDirt& pattern : tc_dirt) {
+    if (PrefixTouches(pattern.src, src) && PrefixTouches(pattern.dst, dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DirtySet ComputeDirtySet(const std::vector<Config>& before,
+                         const NetworkAnnotations& before_annotations,
+                         const std::vector<Config>& after,
+                         const NetworkAnnotations& after_annotations) {
+  DirtySet dirty;
+  if (!(before_annotations.waypoint_links == after_annotations.waypoint_links)) {
+    dirty.everything = true;  // Waypoints gate PC2 on every traffic class.
+  }
+  std::map<std::string, const Config*> after_by_host;
+  for (const Config& config : after) {
+    after_by_host.emplace(config.hostname, &config);
+  }
+  if (before.size() != after.size() || after_by_host.size() != after.size()) {
+    dirty.everything = true;
+  }
+  for (const Config& old_config : before) {
+    if (dirty.everything) {
+      break;
+    }
+    auto it = after_by_host.find(old_config.hostname);
+    if (it == after_by_host.end()) {
+      dirty.everything = true;
+      break;
+    }
+    const Config& new_config = *it->second;
+    if (old_config == new_config) {
+      continue;
+    }
+    ++dirty.devices_changed;
+    if (!DiffDevice(old_config, new_config, &dirty)) {
+      dirty.everything = true;
+    }
+  }
+  if (dirty.everything) {
+    // Scoped dirt is meaningless under global dirt; drop it so stats and
+    // logs do not double-report.
+    dirty.dst_prefixes.clear();
+    dirty.tc_dirt.clear();
+  }
+  return dirty;
+}
+
+}  // namespace cpr::incremental

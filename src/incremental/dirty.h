@@ -1,0 +1,74 @@
+// Config differ for incremental re-repair: classifies the edit between two
+// configuration snapshots into a dirty-construct set (DESIGN.md §12).
+//
+// The HARC's layering makes change scoping precise: aETG-level constructs
+// (interface addresses/shutdown/costs, process definitions, adjacencies,
+// redistribution) affect every ETG, so any such change marks everything
+// dirty; static routes and route filters are destination-scoped, dirtying
+// only destinations whose prefix the construct can match; ACLs are
+// traffic-class-scoped, dirtying only (src, dst) pairs their entries can
+// match. Unreferenced ACLs/prefix lists and interface descriptions dirty
+// nothing.
+//
+// The classification is deliberately conservative (over-marking is always
+// safe) and, crucially, is never load-bearing for soundness: the incremental
+// engine re-verifies its final result concretely and falls back to a full
+// repair on any residual violation, so a wrong dirty set costs time, not
+// correctness.
+
+#ifndef CPR_SRC_INCREMENTAL_DIRTY_H_
+#define CPR_SRC_INCREMENTAL_DIRTY_H_
+
+#include <optional>
+#include <vector>
+
+#include "config/ast.h"
+#include "topo/network.h"
+
+namespace cpr::incremental {
+
+// A traffic-class dirt pattern; nullopt endpoints are wildcards (an ACL
+// entry's `any`).
+struct TcDirt {
+  std::optional<Ipv4Prefix> src;
+  std::optional<Ipv4Prefix> dst;
+};
+
+struct DirtySet {
+  // The change affects aETG-level behavior (or the device/topology shape
+  // itself): no destination scoping is possible.
+  bool everything = false;
+  int devices_changed = 0;
+  // Destination-scoped dirt: a destination subnet is dirty when its prefix
+  // overlaps any of these.
+  std::vector<Ipv4Prefix> dst_prefixes;
+  // Traffic-class-scoped dirt (ACL changes).
+  std::vector<TcDirt> tc_dirt;
+
+  // Whether the destination's dETG (and every tcETG toward it) may have
+  // changed.
+  bool DstDirty(const Ipv4Prefix& dst) const;
+  // Whether the (src, dst) tcETG may have changed via an ACL edit alone
+  // (excludes DstDirty — callers rebuild dirty destinations wholesale).
+  bool TcPairDirty(const Ipv4Prefix& src, const Ipv4Prefix& dst) const;
+  // Whether the traffic class (src, dst) may behave differently at all.
+  bool TcDirty(const Ipv4Prefix& src, const Ipv4Prefix& dst) const {
+    return everything || DstDirty(dst) || TcPairDirty(src, dst);
+  }
+
+  bool Clean() const {
+    return !everything && dst_prefixes.empty() && tc_dirt.empty();
+  }
+};
+
+// Diffs two snapshots (device configurations matched by hostname, plus the
+// side-channel annotations). A changed device set, changed annotations, or
+// any aETG-level edit yields `everything`.
+DirtySet ComputeDirtySet(const std::vector<Config>& before,
+                         const NetworkAnnotations& before_annotations,
+                         const std::vector<Config>& after,
+                         const NetworkAnnotations& after_annotations);
+
+}  // namespace cpr::incremental
+
+#endif  // CPR_SRC_INCREMENTAL_DIRTY_H_

@@ -1,0 +1,86 @@
+// Incremental re-repair engine orchestration (DESIGN.md §12).
+//
+// Given a retained RepairSession and a new snapshot of the same lineage, the
+// engine (1) uses the config differ's dirty set to clone the session's HARC
+// onto the new snapshot, rebuilding only dirty destinations; (2) reuses the
+// baseline verdict of every clean satisfied group and hands exactly the
+// dirty groups back to the unchanged repair engine, with warm-started
+// per-problem solvers and the O(S^2 E) merge-propagation pass disabled;
+// (3) translates the merged edits and re-verifies the patched snapshot
+// concretely — a from-scratch network and HARC rebuild, exactly like the
+// ordinary pipeline's close-the-loop step. Any residual violation (or a
+// failed scoped solve) disengages the incremental result entirely and the
+// caller runs the full pipeline, so soundness never depends on the dirty-set
+// analysis or the HARC clone.
+
+#ifndef CPR_SRC_INCREMENTAL_INCREMENTAL_H_
+#define CPR_SRC_INCREMENTAL_INCREMENTAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arc/harc.h"
+#include "incremental/dirty.h"
+#include "incremental/session.h"
+#include "incremental/stats.h"
+#include "netbase/result.h"
+#include "obs/provenance.h"
+#include "repair/repair.h"
+#include "topo/network.h"
+#include "translate/translator.h"
+#include "verify/policy.h"
+
+namespace cpr::incremental {
+
+// A complete repair produced by the incremental engine, shaped exactly like
+// the compression pre-pass's result so the core pipeline consumes both the
+// same way. `rebuilt_network`/`rebuilt_harc` are the concretely re-verified
+// patched pair for CloseLoop to reuse instead of rebuilding.
+struct IncrementalRepairResult {
+  RepairStatus status = RepairStatus::kSuccess;
+  RepairEdits edits;
+  std::vector<Config> patched_configs;
+  NetworkAnnotations patched_annotations;
+  std::vector<std::string> change_log;
+  std::string diff_text;
+  int lines_changed = 0;
+  int64_t predicted_cost = 0;
+  RepairStats stats;
+  obs::ProvenanceReport provenance;
+  std::vector<EditTrace> edit_traces;
+  std::unique_ptr<Network> rebuilt_network;
+  std::unique_ptr<Harc> rebuilt_harc;
+};
+
+struct IncrementalOutcome {
+  // Engaged when the incremental path produced a clean, concretely
+  // re-verified repair; disengaged when it declined or fell back (stats say
+  // why) and the caller must run the ordinary pipeline.
+  std::optional<IncrementalRepairResult> result;
+  IncrementalStats stats;
+};
+
+// Clones the session's HARC onto `network`, rebuilding exactly the dirty
+// destinations and traffic classes. nullopt when the dirt is global or the
+// snapshots are not structurally clone-compatible (the caller builds from
+// scratch). Updates the preparation fields of `stats`.
+std::optional<Harc> PrepareHarc(const RepairSession& session, const Network& network,
+                                const DirtySet& dirty, IncrementalStats* stats);
+
+// Runs the incremental path on a prepared snapshot. `harc` is the current
+// snapshot's HARC (ideally from PrepareHarc); `seed` carries the stats
+// accumulated during preparation and is extended in place into
+// outcome.stats. Structural errors (unmappable PC4 paths, a patch breaking
+// the network) propagate as Error, mirroring the ordinary pipeline.
+Result<IncrementalOutcome> TryIncrementalRepair(RepairSession& session,
+                                                const Network& network, const Harc& harc,
+                                                const DirtySet& dirty,
+                                                const std::vector<Policy>& policies,
+                                                const RepairOptions& options,
+                                                const IncrementalStats& seed);
+
+}  // namespace cpr::incremental
+
+#endif  // CPR_SRC_INCREMENTAL_INCREMENTAL_H_

@@ -4,6 +4,7 @@
 #define CPR_SRC_REPAIR_OPTIONS_H_
 
 #include <functional>
+#include <string>
 
 #include "netbase/deadline.h"
 #include "solver/fault_injection.h"
@@ -13,6 +14,8 @@ namespace cpr {
 namespace compress {
 class CompressionCache;
 }  // namespace compress
+
+class MaxSmtBackend;
 
 // Where the repair engine runs per-problem solver work. By default it spawns
 // its own `num_threads` workers per call; a long-running server instead
@@ -46,6 +49,20 @@ enum class Granularity {
 enum class BackendChoice {
   kZ3,        // Z3 Optimize; required when PC4 policies are present.
   kInternal,  // Homegrown CDCL/MaxSAT; boolean-only policy sets.
+};
+
+// Supplies per-problem warm solver instances for incremental re-repair
+// (src/incremental). The repair engine asks for a backend keyed by the
+// problem's stable identity (its destination group) and, when the provider
+// returns one, uses it as the primary solver for that problem — failover and
+// fault-injection wrapping still apply. Returning nullptr means "no retained
+// state for this key; solve cold". Implementations own the returned
+// instances; the repair engine guarantees one problem (and thus one key) is
+// solved by one worker at a time.
+class WarmBackendProvider {
+ public:
+  virtual ~WarmBackendProvider() = default;
+  virtual MaxSmtBackend* BackendFor(const std::string& key, BackendChoice choice) = 0;
 };
 
 // What the MaxSMT objective minimizes (paper §5.2: "Similar sets of
@@ -136,6 +153,16 @@ struct RepairOptions {
   // Symmetry-quotient compression pre-pass (off by default; the bench rows
   // and the paper pipeline are measured uncompressed unless asked).
   CompressOptions compress;
+
+  // --- Incremental re-repair hooks (src/incremental; DESIGN.md §12) ---
+  // Warm solver state retained across repair calls, keyed per problem.
+  // nullptr (the default) solves every problem cold.
+  WarmBackendProvider* warm_backends = nullptr;
+  // Propagate merged changes to un-encoded dETGs/tcETGs after the merge loop
+  // (the O(S^2 E) alignment pass). The incremental engine disables this and
+  // instead rebuilds exactly the dirty ETGs from the patched network, which
+  // is both cheaper and exact.
+  bool propagate_merge = true;
 };
 
 }  // namespace cpr

@@ -77,6 +77,37 @@ class DstGroups {
   std::vector<int> parent_;
 };
 
+// The must-solve-together destination groups of a policy set: PC4 policies
+// share global edge costs so all their destinations form one group, and an
+// isolation policy's two destinations constrain each other. Returned in
+// deterministic (smallest-member) order — the incremental engine relies on
+// the group list being stable across runs with an unchanged policy set.
+std::map<int, std::set<SubnetId>> GroupPoliciedDsts(const Harc& harc,
+                                                    const std::vector<Policy>& policies) {
+  DstGroups groups(harc.SubnetCount());
+  std::optional<SubnetId> pc4_anchor;
+  for (const Policy& policy : policies) {
+    if (policy.pc == PolicyClass::kPrimaryPath) {
+      if (pc4_anchor.has_value()) {
+        groups.Union(policy.dst, *pc4_anchor);
+      } else {
+        pc4_anchor = policy.dst;
+      }
+    }
+    if (policy.pc == PolicyClass::kIsolation) {
+      groups.Union(policy.dst, policy.dst2);
+    }
+  }
+  std::map<int, std::set<SubnetId>> members;
+  for (const Policy& policy : policies) {
+    members[groups.Find(policy.dst)].insert(policy.dst);
+    if (policy.pc == PolicyClass::kIsolation) {
+      members[groups.Find(policy.dst2)].insert(policy.dst2);
+    }
+  }
+  return members;
+}
+
 }  // namespace
 
 std::vector<RepairProblem> PartitionProblems(const Harc& harc,
@@ -108,30 +139,9 @@ std::vector<RepairProblem> PartitionProblems(const Harc& harc,
     }
   }
 
-  DstGroups groups(harc.SubnetCount());
-  std::optional<SubnetId> pc4_anchor;
-  for (const Policy& policy : policies) {
-    if (policy.pc == PolicyClass::kPrimaryPath) {
-      if (pc4_anchor.has_value()) {
-        groups.Union(policy.dst, *pc4_anchor);
-      } else {
-        pc4_anchor = policy.dst;
-      }
-    }
-    if (policy.pc == PolicyClass::kIsolation) {
-      groups.Union(policy.dst, policy.dst2);
-    }
-  }
-
   // A group is repaired when any member destination has a violation; the
   // PC4 group additionally pulls in all its members regardless.
-  std::map<int, std::set<SubnetId>> members;
-  for (const Policy& policy : policies) {
-    members[groups.Find(policy.dst)].insert(policy.dst);
-    if (policy.pc == PolicyClass::kIsolation) {
-      members[groups.Find(policy.dst2)].insert(policy.dst2);
-    }
-  }
+  std::map<int, std::set<SubnetId>> members = GroupPoliciedDsts(harc, policies);
   for (const auto& [root, dsts] : members) {
     bool needed = std::any_of(dsts.begin(), dsts.end(), [&](SubnetId d) {
       return violated_dsts.count(d) > 0;
@@ -143,15 +153,74 @@ std::vector<RepairProblem> PartitionProblems(const Harc& harc,
   return problems;
 }
 
-// Builds one worker's solver stack: the chosen engine, optionally wrapped in
-// deterministic fault injection, always wrapped in the failover/retry/
-// exception-isolation decorator. Each worker owns its own stack (Z3 contexts
-// are created per call, so workers never share Z3 state).
+std::vector<RepairProblem> PartitionAllGroups(const Harc& harc,
+                                              const std::vector<Policy>& policies,
+                                              const RepairOptions& options) {
+  std::vector<RepairProblem> problems;
+  if (policies.empty()) {
+    return problems;
+  }
+  if (options.granularity == Granularity::kAllTcs) {
+    std::set<SubnetId> dsts;
+    for (const Policy& policy : policies) {
+      dsts.insert(policy.dst);
+    }
+    problems.push_back(MakeProblem(policies, dsts, /*mutable_aetg=*/true));
+    return problems;
+  }
+  std::map<int, std::set<SubnetId>> members = GroupPoliciedDsts(harc, policies);
+  for (const auto& [root, dsts] : members) {
+    problems.push_back(MakeProblem(policies, dsts, /*mutable_aetg=*/false));
+  }
+  return problems;
+}
+
+namespace {
+
+// Non-owning adapter so a provider-owned warm backend can sit at the bottom
+// of the (owning) fault-injection/failover decorator stack.
+class BorrowedBackend final : public MaxSmtBackend {
+ public:
+  explicit BorrowedBackend(MaxSmtBackend* inner) : inner_(inner) {}
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    return inner_->Solve(system, timeout_seconds);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  MaxSmtBackend* inner_;
+};
+
+// Stable per-problem identity for warm-state retention: the destination
+// group. Groups are disjoint within a run, so the key also serializes access
+// to the provider's per-key backend instance.
+std::string ProblemKey(const RepairProblem& problem) {
+  std::string key = "d";
+  for (SubnetId d : problem.dsts) {
+    key += ':';
+    key += std::to_string(d);
+  }
+  return key;
+}
+
+}  // namespace
+
+// Builds one worker's solver stack: the chosen engine (or, when the
+// incremental engine retained warm state for this problem, that borrowed
+// warm instance), optionally wrapped in deterministic fault injection,
+// always wrapped in the failover/retry/exception-isolation decorator. Each
+// worker owns its own stack (Z3 contexts are created per call, so workers
+// never share Z3 state).
 std::unique_ptr<MaxSmtBackend> MakeWorkerBackend(const RepairOptions& options,
-                                                 const Deadline& deadline) {
-  std::unique_ptr<MaxSmtBackend> primary = options.backend == BackendChoice::kZ3
-                                               ? MakeZ3Backend()
-                                               : MakeInternalBackend();
+                                                 const Deadline& deadline,
+                                                 MaxSmtBackend* warm_primary = nullptr) {
+  std::unique_ptr<MaxSmtBackend> primary;
+  if (warm_primary != nullptr) {
+    primary = std::make_unique<BorrowedBackend>(warm_primary);
+  } else {
+    primary = options.backend == BackendChoice::kZ3 ? MakeZ3Backend()
+                                                    : MakeInternalBackend();
+  }
   if (options.fault_injection.enabled()) {
     primary = MakeFaultInjectingBackend(std::move(primary), options.fault_injection);
   }
@@ -307,7 +376,13 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
           {
             obs::RegistryScope registry_scope(request_registry);
             obs::TraceScope trace_scope(request_trace);
-            std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
+            MaxSmtBackend* warm =
+                options.warm_backends == nullptr
+                    ? nullptr
+                    : options.warm_backends->BackendFor(ProblemKey(problems[i]),
+                                                        options.backend);
+            std::unique_ptr<MaxSmtBackend> backend =
+                MakeWorkerBackend(options, deadline, warm);
             solve_one(i, backend.get());
           }
           {
@@ -328,13 +403,26 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
       auto worker = [&]() {
         obs::RegistryScope registry_scope(request_registry);
         obs::TraceScope trace_scope(request_trace);
-        std::unique_ptr<MaxSmtBackend> backend = MakeWorkerBackend(options, deadline);
+        // Without warm state one solver stack serves the whole worker; with a
+        // provider the primary is problem-keyed, so the stack is per problem.
+        std::unique_ptr<MaxSmtBackend> shared;
+        if (options.warm_backends == nullptr) {
+          shared = MakeWorkerBackend(options, deadline);
+        }
         while (true) {
           size_t index = next.fetch_add(1);
           if (index >= problems.size()) {
             return;
           }
-          solve_one(index, backend.get());
+          if (options.warm_backends != nullptr) {
+            MaxSmtBackend* warm = options.warm_backends->BackendFor(
+                ProblemKey(problems[index]), options.backend);
+            std::unique_ptr<MaxSmtBackend> backend =
+                MakeWorkerBackend(options, deadline, warm);
+            solve_one(index, backend.get());
+          } else {
+            solve_one(index, shared.get());
+          }
         }
       };
       int worker_count = std::max(
@@ -469,18 +557,15 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
             e, encoder.DecodeTc(model, src, dst, e));
       }
     }
-    // Capture the per-category sizes around CollectEdits: the new entries
-    // belong to this problem, which is what lets every edit's provenance
-    // chain name its owning problem and the soft constraint it flipped.
-    const RepairEdits& all_edits = outcome.edits;
-    size_t counts[7] = {all_edits.adjacencies.size(),   all_edits.redistributions.size(),
-                        all_edits.filters.size(),       all_edits.static_routes.size(),
-                        all_edits.acls.size(),          all_edits.costs.size(),
-                        all_edits.waypoints.size()};
-    encoder.CollectEdits(model, &outcome.edits);
+    // Collect this problem's edits into their own record first: every entry
+    // belongs to problem `i`, which is what lets each edit's provenance
+    // chain name its owning problem and the soft constraint it flipped — and
+    // what the incremental engine replays for untouched groups.
+    RepairEdits problem_edits;
+    encoder.CollectEdits(model, &problem_edits);
     const Network& problem_network = original.network();
-    auto attach = [&](const auto& edits_vec, size_t old_size) {
-      for (size_t j = old_size; j < edits_vec.size(); ++j) {
+    auto attach = [&](const auto& edits_vec) {
+      for (size_t j = 0; j < edits_vec.size(); ++j) {
         std::string construct = ConstructKey(edits_vec[j]);
         obs::ProvenanceChain chain;
         chain.construct = construct;
@@ -512,13 +597,24 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
         }
       }
     };
-    attach(all_edits.adjacencies, counts[0]);
-    attach(all_edits.redistributions, counts[1]);
-    attach(all_edits.filters, counts[2]);
-    attach(all_edits.static_routes, counts[3]);
-    attach(all_edits.acls, counts[4]);
-    attach(all_edits.costs, counts[5]);
-    attach(all_edits.waypoints, counts[6]);
+    attach(problem_edits.adjacencies);
+    attach(problem_edits.redistributions);
+    attach(problem_edits.filters);
+    attach(problem_edits.static_routes);
+    attach(problem_edits.acls);
+    attach(problem_edits.costs);
+    attach(problem_edits.waypoints);
+    auto splice = [](auto* into, const auto& from) {
+      into->insert(into->end(), from.begin(), from.end());
+    };
+    splice(&outcome.edits.adjacencies, problem_edits.adjacencies);
+    splice(&outcome.edits.redistributions, problem_edits.redistributions);
+    splice(&outcome.edits.filters, problem_edits.filters);
+    splice(&outcome.edits.static_routes, problem_edits.static_routes);
+    splice(&outcome.edits.acls, problem_edits.acls);
+    splice(&outcome.edits.costs, problem_edits.costs);
+    splice(&outcome.edits.waypoints, problem_edits.waypoints);
+    outcome.stats.problem_reports[i].edits = std::move(problem_edits);
   }
 
   // Propagate changes to ETGs that were not encoded, by re-deriving them
@@ -526,9 +622,11 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
   // traffic-class-scoped constructs in the configurations — the same rules
   // the HARC builder applies. This reproduces cross-traffic-class effects:
   // e.g. a newly enabled adjacency becomes visible to every unpoliced
-  // destination, exactly as OSPF would behave.
+  // destination, exactly as OSPF would behave. The incremental engine turns
+  // this O(S^2 E) pass off and instead rebuilds exactly the dirty ETGs from
+  // the patched network.
   const Network& network = original.network();
-  const int subnet_count = original.SubnetCount();
+  const int subnet_count = options.propagate_merge ? original.SubnetCount() : 0;
   for (SubnetId d = 0; d < subnet_count; ++d) {
     const Ipv4Prefix& dst_prefix = network.subnets()[static_cast<size_t>(d)].prefix;
     if (settled_dsts.count(d) == 0) {

@@ -91,6 +91,10 @@ struct ProblemReport {
   // the backend's unsat core.
   std::vector<std::pair<std::string, int64_t>> violated_softs;
   std::vector<std::string> unsat_core_labels;
+  // The construct-level edits this problem's model contributed to the merged
+  // repair (empty for failed problems). The incremental engine replays these
+  // verbatim for groups the config differ proved untouched.
+  RepairEdits edits;
 
   bool solved() const { return status == MaxSmtResult::Status::kOptimal; }
 };
@@ -158,6 +162,17 @@ struct RepairOutcome {
 std::vector<RepairProblem> PartitionProblems(const Harc& harc,
                                              const std::vector<Policy>& policies,
                                              const RepairOptions& options);
+
+// Like PartitionProblems but WITHOUT the violated-destination filter: one
+// problem per must-solve-together destination group (shared PC4 costs,
+// isolation pairs) over every policied destination, in deterministic order.
+// The incremental engine records a baseline entry per group so that on the
+// next snapshot clean groups reuse their cached verdicts or edits and only
+// dirty groups re-solve. Skips no verification itself — grouping depends
+// only on the policy set, never on current violations.
+std::vector<RepairProblem> PartitionAllGroups(const Harc& harc,
+                                              const std::vector<Policy>& policies,
+                                              const RepairOptions& options);
 
 // Computes a repair. Structural errors (e.g. an unmappable PC4 path) are
 // reported as Error; solver-level failures land in RepairOutcome::status.

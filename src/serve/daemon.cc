@@ -264,7 +264,7 @@ void Daemon::Execute(Request* request) {
       FinishRequest(request,
                     attempt.terminal && attempt.error.empty() ? RequestState::kDone
                                                               : RequestState::kFailed,
-                    Seconds(exec_start));
+                    Seconds(exec_start), attempt.solved);
       return;
     }
     serve_metrics_.counter("serve.retries").Increment();
@@ -328,31 +328,108 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
   if (!inputs.ok()) {
     return reject(inputs.error().message());
   }
-  Result<Snapshot> snapshot = cache_.GetOrBuildSnapshot(
-      request->spec.config_dir, inputs->config_texts, inputs->policy_text);
-  if (!snapshot.ok()) {
-    return reject(snapshot.error().message());
+
+  // Incremental re-repair: check out any session retained from this source's
+  // previous sound result. Checked-out means exclusive — a concurrent request
+  // for the same source finds the map empty and takes the cold path. If this
+  // attempt throws, the session is deliberately dropped with the stack (its
+  // warm solver state is suspect); the next submission rebuilds cold.
+  std::shared_ptr<incremental::RepairSession> session;
+  if (request->spec.incremental != "off") {
+    session = CheckOutSession(request->spec.config_dir);
   }
-  const std::shared_ptr<const Cpr>& pipeline = snapshot->cpr;
+  auto reject_with_session = [&](const std::string& why) {
+    if (session != nullptr) {
+      CheckInSession(request->spec.config_dir, std::move(session));
+    }
+    return reject(why);
+  };
+
+  std::shared_ptr<const Cpr> pipeline;
+  std::shared_ptr<compress::CompressionCache> compression;
+  if (session != nullptr) {
+    // Warm path: skip the snapshot cache — its from-scratch HARC build is
+    // exactly the cost the session's clone-and-rebuild avoids.
+    Result<NetworkAnnotations> annotations = ParseSpecAnnotations(inputs->policy_text);
+    if (!annotations.ok()) {
+      return reject_with_session(annotations.error().message());
+    }
+    Result<Cpr> built =
+        Cpr::FromBaseline(session, inputs->config_texts, std::move(*annotations));
+    if (!built.ok()) {
+      return reject_with_session(built.error().message());
+    }
+    pipeline = std::make_shared<const Cpr>(std::move(built).value());
+    serve_metrics_.counter("serve.sessions.reused").Increment();
+  } else {
+    Result<Snapshot> snapshot = cache_.GetOrBuildSnapshot(
+        request->spec.config_dir, inputs->config_texts, inputs->policy_text);
+    if (!snapshot.ok()) {
+      return reject(snapshot.error().message());
+    }
+    pipeline = snapshot->cpr;
+    compression = snapshot->compression;
+  }
   Result<std::vector<Policy>> policies =
       ParseSpecPolicies(inputs->policy_text, pipeline->network());
   if (!policies.ok()) {
-    return reject(policies.error().message());
+    return reject_with_session(policies.error().message());
   }
 
   options->repair.deadline = request->deadline;
   options->repair.solve_runner = solve_pool_.get();
   // The snapshot's compression cache persists the base partition and
   // quotients across re-submissions of the same snapshot; differ-driven
-  // invalidation drops it with the entry.
-  options->repair.compress.cache = snapshot->compression.get();
+  // invalidation drops it with the entry. The warm path has none — its
+  // scoped problems run with compression off.
+  options->repair.compress.cache = compression != nullptr ? compression.get() : nullptr;
 
   Result<CprReport> report = pipeline->Repair(*policies, *options);
   if (!report.ok()) {
     // Structural repair errors (unmappable paths) are deterministic.
-    return reject(report.error().message());
+    return reject_with_session(report.error().message());
   }
+
+  if (request->spec.incremental != "off") {
+    // Retain a session for the next same-lineage submission: built from the
+    // repaired snapshot when this run produced a sound patch, from the
+    // verified input snapshot when nothing was violated. Any other outcome
+    // keeps the old session — its baseline is still the last sound state.
+    std::shared_ptr<incremental::RepairSession> next;
+    if (report->Sound() && !request->deadline.Expired()) {
+      std::vector<Config> configs = report->patched_configs.empty()
+                                        ? pipeline->network().configs()
+                                        : report->patched_configs;
+      NetworkAnnotations annotations;
+      if (!report->patched_configs.empty()) {
+        annotations = report->patched_annotations;
+      } else if (Result<NetworkAnnotations> parsed =
+                     ParseSpecAnnotations(inputs->policy_text);
+                 parsed.ok()) {
+        annotations = std::move(*parsed);
+      }
+      Result<std::shared_ptr<incremental::RepairSession>> rebuilt =
+          incremental::BuildSession(std::move(configs), std::move(annotations),
+                                    *policies, options->repair);
+      if (rebuilt.ok()) {
+        next = std::move(*rebuilt);
+        serve_metrics_.counter("serve.sessions.retained").Increment();
+      }
+    }
+    if (next == nullptr) {
+      next = std::move(session);
+    }
+    if (next != nullptr) {
+      CheckInSession(request->spec.config_dir, std::move(next));
+    }
+  }
+
   attempt.status = RepairStatusName(report->status);
+  // Short-circuit statuses (lint gate, budget died between the admission
+  // check and the pipeline's own) never reached a solver; everything else
+  // represents genuine execution time worth folding into the EMA.
+  attempt.solved = report->status != RepairStatus::kLintRejected &&
+                   report->status != RepairStatus::kDeadlineExceeded;
   span.Annotate("status", attempt.status);
   write_stats(&*report, attempt.status);
   if (report->status == RepairStatus::kError) {
@@ -372,7 +449,8 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
   return attempt;
 }
 
-void Daemon::FinishRequest(Request* request, RequestState terminal, double exec_seconds) {
+void Daemon::FinishRequest(Request* request, RequestState terminal, double exec_seconds,
+                           bool solved) {
   // Mark first, then surface: once a request's completion is durable, no
   // future daemon will re-run it.
   Status marked = store_.MarkCompleted(request->id);
@@ -394,10 +472,15 @@ void Daemon::FinishRequest(Request* request, RequestState terminal, double exec_
   request->exec_seconds = exec_seconds;
   request->state = terminal;
   ++completed_total_;
-  // EMA of execution time feeds the admission retry-after hint.
-  exec_seconds_ema_ = exec_seconds_ema_ <= 0
-                          ? exec_seconds
-                          : 0.8 * exec_seconds_ema_ + 0.2 * exec_seconds;
+  // EMA of execution time feeds the admission retry-after hint. Only
+  // genuinely-solved executions count: deadline-expired and rejected
+  // requests complete in ~0ms, and folding them in would tell clients to
+  // retry almost immediately exactly when the daemon is overloaded.
+  if (solved) {
+    exec_seconds_ema_ = exec_seconds_ema_ <= 0
+                            ? exec_seconds
+                            : 0.8 * exec_seconds_ema_ + 0.2 * exec_seconds;
+  }
   terminal_cv_.notify_all();
 }
 
@@ -469,6 +552,41 @@ void Daemon::WaitIdle() {
 size_t Daemon::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::shared_ptr<incremental::RepairSession> Daemon::CheckOutSession(
+    const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(source);
+  if (it == sessions_.end()) {
+    return nullptr;
+  }
+  std::shared_ptr<incremental::RepairSession> session = std::move(it->second);
+  sessions_.erase(it);
+  serve_metrics_.gauge("serve.sessions").Set(static_cast<int64_t>(sessions_.size()));
+  return session;
+}
+
+void Daemon::CheckInSession(const std::string& source,
+                            std::shared_ptr<incremental::RepairSession> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[source] = std::move(session);
+  // Sessions hold a full network + HARC + warm solvers each; bound them like
+  // the snapshot cache. Eviction only costs the evicted source a cold start.
+  while (options_.cache_capacity > 0 && sessions_.size() > options_.cache_capacity) {
+    auto victim = sessions_.begin();
+    if (victim->first == source) {
+      ++victim;
+    }
+    sessions_.erase(victim);
+    serve_metrics_.counter("serve.sessions.evicted").Increment();
+  }
+  serve_metrics_.gauge("serve.sessions").Set(static_cast<int64_t>(sessions_.size()));
+}
+
+size_t Daemon::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
 }
 
 bool Daemon::draining() const {

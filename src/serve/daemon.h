@@ -50,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "incremental/session.h"
 #include "netbase/deadline.h"
 #include "netbase/result.h"
 #include "obs/metrics.h"
@@ -156,6 +157,8 @@ class Daemon {
 
   size_t queue_depth() const;
   bool draining() const;
+  // Retained incremental-repair sessions (one per source, see sessions_).
+  size_t session_count() const;
   // Requests re-queued from the previous daemon's checkpoint at Start().
   int recovered_count() const { return recovered_count_; }
   const DaemonOptions& options() const { return options_; }
@@ -184,6 +187,10 @@ class Daemon {
   // daemon lock (GetStatus may be reading concurrently).
   struct Attempt {
     bool terminal = true;
+    // True only when the repair pipeline genuinely ran solvers. Requests
+    // that short-circuit (expired budget, lint gate, malformed input) finish
+    // in ~0ms and must not drag the retry-after EMA toward zero.
+    bool solved = false;
     std::string status;
     std::string error;  // Empty: the attempt is a clean completion.
     std::string stats_json;
@@ -198,7 +205,18 @@ class Daemon {
   // One pipeline attempt; only reads the request's immutable fields
   // (spec/deadline) and its private registry/trace.
   Attempt ExecuteOnce(Request* request);
-  void FinishRequest(Request* request, RequestState terminal, double exec_seconds);
+  void FinishRequest(Request* request, RequestState terminal, double exec_seconds,
+                     bool solved);
+
+  // Session retention for incremental re-repair. A session is checked OUT
+  // of the map for the duration of a request (exclusive use — its warm
+  // solver store must be driven by one request at a time) and checked back
+  // IN afterwards, rebuilt from the repaired snapshot when the result was
+  // sound. A concurrent request for the same source finds the map empty and
+  // takes the cold path — never a data race, at worst a missed reuse.
+  std::shared_ptr<incremental::RepairSession> CheckOutSession(const std::string& source);
+  void CheckInSession(const std::string& source,
+                      std::shared_ptr<incremental::RepairSession> session);
 
   // Budget convention for checkpoint records (serve/checkpoint.h): > 0
   // remaining seconds, 0 unbounded, < 0 expired.
@@ -224,6 +242,8 @@ class Daemon {
   int recovered_count_ = 0;
   int64_t completed_total_ = 0;  // Terminal requests (done + failed).
   double exec_seconds_ema_ = 0;  // Feeds the retry-after hint.
+  // source (config_dir) -> retained session; see CheckOutSession.
+  std::map<std::string, std::shared_ptr<incremental::RepairSession>> sessions_;
   std::mt19937 jitter_rng_;
 
   std::vector<std::thread> workers_;

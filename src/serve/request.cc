@@ -52,6 +52,10 @@ Result<CprOptions> ToCprOptions(const RequestSpec& spec) {
     return Error("unknown compress mode: " + spec.compress);
   }
 
+  if (spec.incremental != "auto" && spec.incremental != "off") {
+    return Error("unknown incremental mode: " + spec.incremental);
+  }
+
   if (!spec.inject_fault.empty()) {
     Result<FaultInjectionSpec> fault = FaultInjectionSpec::Parse(spec.inject_fault);
     if (!fault.ok()) {
@@ -85,6 +89,7 @@ WireFields FieldsFromSpec(const RequestSpec& spec) {
   if (spec.simulate != defaults.simulate) put("simulate", spec.simulate ? "1" : "0");
   if (spec.lint != defaults.lint) put("lint", spec.lint);
   if (spec.compress != defaults.compress) put("compress", spec.compress);
+  if (spec.incremental != defaults.incremental) put("incremental", spec.incremental);
   if (!spec.inject_fault.empty()) put("inject_fault", spec.inject_fault);
   return fields;
 }
@@ -103,6 +108,7 @@ RequestSpec SpecFromFields(const WireFields& fields) {
   spec.simulate = view.GetInt("simulate", spec.simulate ? 1 : 0) != 0;
   spec.lint = view.Get("lint", spec.lint);
   spec.compress = view.Get("compress", spec.compress);
+  spec.incremental = view.Get("incremental", spec.incremental);
   spec.inject_fault = view.Get("inject_fault");
   return spec;
 }

@@ -38,6 +38,11 @@ struct RequestSpec {
   bool simulate = false;              // Re-validate on the simulator.
   std::string lint = "gate";          // "gate" | "warn" | "off"
   std::string compress = "off";       // "on" | "off" | "auto" (compress/).
+  // "auto": a re-submission from the same source (config_dir) re-repairs
+  // incrementally against the session the daemon retained from the previous
+  // sound result — diff, reuse clean groups' verdicts, warm-solve dirty
+  // ones. "off": always the full pipeline, and no session is retained.
+  std::string incremental = "auto";
   std::string inject_fault;           // FaultInjectionSpec text (testing).
 };
 

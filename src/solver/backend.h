@@ -110,6 +110,16 @@ std::unique_ptr<MaxSmtBackend> MakeZ3Backend();
 // Homegrown Tseitin -> CDCL/MaxSAT pipeline (boolean problems only).
 std::unique_ptr<MaxSmtBackend> MakeInternalBackend();
 
+// Warm-started variants for incremental re-repair: each instance retains
+// solver state between Solve calls and reuses it when the next system
+// carries the same HardFingerprint (same hards/variables, possibly
+// different softs). On a fingerprint mismatch or any non-optimal outcome
+// they fall back to a cold solve — results are always identical to the
+// cold backends, only faster on repeats. NOT thread-safe: a warm instance
+// must be owned by one problem key and called from one thread at a time.
+std::unique_ptr<MaxSmtBackend> MakeWarmZ3Backend();
+std::unique_ptr<MaxSmtBackend> MakeWarmInternalBackend();
+
 }  // namespace cpr
 
 #endif  // CPR_SRC_SOLVER_BACKEND_H_

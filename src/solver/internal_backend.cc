@@ -30,7 +30,7 @@ template <typename Solver>
 class Tseitin {
  public:
   Tseitin(Solver* solver, const ConstraintSystem& system)
-      : solver_(solver), system_(system) {
+      : solver_(solver), system_(&system) {
     // Decision variables occupy the first BoolCount() solver variables so
     // the model maps back by identity.
     for (BVarId v = 0; v < system.BoolCount(); ++v) {
@@ -40,13 +40,20 @@ class Tseitin {
     solver_->AddHard({true_lit_});
   }
 
+  // Re-points the encoder at a structurally identical system (equal
+  // HardFingerprint): node ids, variable ids, and children are
+  // position-identical across such systems, so every cached definition
+  // literal — and every clause already in the solver — stays valid. This is
+  // what lets a warm backend skip re-encoding unchanged hard constraints.
+  void Rebind(const ConstraintSystem& system) { system_ = &system; }
+
   // Definition literal for an expression: the literal is true in a model iff
   // the expression is.
   std::optional<Lit> Encode(ExprId id) {
     if (auto it = cache_.find(id); it != cache_.end()) {
       return it->second;
     }
-    const ExprNode& n = system_.node(id);
+    const ExprNode& n = system_->node(id);
     std::optional<Lit> lit;
     switch (n.kind) {
       case ExprKind::kTrue:
@@ -108,7 +115,7 @@ class Tseitin {
 
  private:
   Solver* solver_;
-  const ConstraintSystem& system_;
+  const ConstraintSystem* system_;
   Lit true_lit_ = kUndefLit;
   std::unordered_map<ExprId, Lit> cache_;
 };
@@ -160,13 +167,35 @@ void ExtractInternalCore(const ConstraintSystem& system, double timeout_seconds,
   std::sort(result->unsat_core.begin(), result->unsat_core.end());
 }
 
+// The CDCL engine accumulates statistics across Solve calls; a warm backend
+// reporting per-solve numbers subtracts the totals it saw last run.
+SatStats DiffSatStats(const SatStats& now, const SatStats& prev) {
+  SatStats d;
+  d.decisions = now.decisions - prev.decisions;
+  d.propagations = now.propagations - prev.propagations;
+  d.conflicts = now.conflicts - prev.conflicts;
+  d.restarts = now.restarts - prev.restarts;
+  d.learnt_deleted = now.learnt_deleted - prev.learnt_deleted;
+  d.learnt_literals = now.learnt_literals - prev.learnt_literals;
+  d.activity_rescales = now.activity_rescales - prev.activity_rescales;
+  d.heap_picks = now.heap_picks - prev.heap_picks;
+  d.fallback_picks = now.fallback_picks - prev.fallback_picks;
+  return d;
+}
+
+MaxSatStats DiffMaxSatStats(const MaxSatStats& now, const MaxSatStats& prev) {
+  MaxSatStats d;
+  d.cores = now.cores - prev.cores;
+  d.sat_calls = now.sat_calls - prev.sat_calls;
+  return d;
+}
+
 // Copies the CDCL/MaxSAT engine's per-solve statistics onto the result (for
 // per-problem reports) and accumulates them into the global registry (for
 // run-wide totals). The solver keeps plain local counters on its hot path;
 // this once-per-solve flush is the only registry traffic.
-void FlushSolverCounters(const MaxSatSolver& maxsat, MaxSmtResult* result) {
-  const SatStats& sat = maxsat.sat_stats();
-  const MaxSatStats& wpm = maxsat.stats();
+void FlushSolverCounters(const SatStats& sat, const MaxSatStats& wpm,
+                         MaxSmtResult* result) {
   result->solver_counters = {
       {"cdcl.decisions", static_cast<double>(sat.decisions)},
       {"cdcl.propagations", static_cast<double>(sat.propagations)},
@@ -221,7 +250,7 @@ class InternalBackend final : public MaxSmtBackend {
     }
 
     std::optional<MaxSatSolver::Solution> solution = maxsat.Solve();
-    FlushSolverCounters(maxsat, &result);
+    FlushSolverCounters(maxsat.sat_stats(), maxsat.stats(), &result);
     if (!solution.has_value()) {
       if (maxsat.TimedOut()) {
         result.status = MaxSmtResult::Status::kTimeout;
@@ -251,10 +280,121 @@ class InternalBackend final : public MaxSmtBackend {
   std::string name() const override { return "internal-maxsat"; }
 };
 
+// Warm-start variant for incremental re-repair: keeps the CDCL solver (with
+// its learnt clauses and Tseitin encoding of the hard constraints) alive
+// between Solve calls. A re-solve whose system carries the same
+// HardFingerprint skips re-encoding everything but the softs — unit soft
+// clauses are their own selectors, so a warm run adds zero new clauses —
+// and restarts the search from the learnt state (PR 5's assumption
+// machinery: softs are enforced via assumptions, never baked-in clauses).
+// Any mismatch, timeout, UNSAT, or unsupported system drops the state and
+// falls back to a cold solve; warmth is a pure accelerator.
+class WarmInternalBackend final : public MaxSmtBackend {
+ public:
+  MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    MaxSmtResult result;
+    result.backend = name();
+    obs::StageSpan span("solver.internal");
+    if (system.HasIntegers()) {
+      state_.reset();
+      result.status = MaxSmtResult::Status::kUnsupported;
+      result.message = "integer constraints require the Z3 backend";
+      return result;
+    }
+    const uint64_t fingerprint = system.HardFingerprint();
+    const bool warm = state_ != nullptr && state_->fingerprint == fingerprint;
+    if (!warm) {
+      state_.reset();
+      state_ = std::make_unique<State>();
+      state_->fingerprint = fingerprint;
+      state_->tseitin =
+          std::make_unique<Tseitin<MaxSatSolver>>(&state_->maxsat, system);
+      for (ExprId hard : system.hard()) {
+        std::optional<Lit> lit = state_->tseitin->Encode(hard);
+        if (!lit.has_value()) {
+          state_.reset();
+          result.status = MaxSmtResult::Status::kUnsupported;
+          result.message = "expression not expressible in the boolean fragment";
+          return result;
+        }
+        state_->maxsat.AddHard({*lit});
+      }
+    } else {
+      state_->tseitin->Rebind(system);
+      state_->maxsat.ResetSofts();
+    }
+    state_->maxsat.SetDeadline(Deadline::After(timeout_seconds));
+    for (const SoftConstraint& soft : system.soft()) {
+      std::optional<Lit> lit = state_->tseitin->Encode(soft.expr);
+      if (!lit.has_value()) {
+        state_.reset();
+        result.status = MaxSmtResult::Status::kUnsupported;
+        result.message = "expression not expressible in the boolean fragment";
+        return result;
+      }
+      state_->maxsat.AddSoft({*lit}, soft.weight);
+    }
+
+    std::optional<MaxSatSolver::Solution> solution = state_->maxsat.Solve();
+    FlushSolverCounters(DiffSatStats(state_->maxsat.sat_stats(), state_->sat_base),
+                        DiffMaxSatStats(state_->maxsat.stats(), state_->wpm_base),
+                        &result);
+    result.solver_counters.emplace_back(warm ? "warm.hit" : "warm.miss", 1.0);
+    if (!solution.has_value()) {
+      if (state_->maxsat.TimedOut()) {
+        result.status = MaxSmtResult::Status::kTimeout;
+        result.message = "CDCL search abandoned at the time limit";
+      } else {
+        result.status = MaxSmtResult::Status::kUnsat;
+        ExtractInternalCore(system, timeout_seconds, &result);
+      }
+      // A timed-out or UNSAT solver state is not a base worth warming: the
+      // next run cold-starts.
+      state_.reset();
+      return result;
+    }
+    state_->sat_base = state_->maxsat.sat_stats();
+    state_->wpm_base = state_->maxsat.stats();
+    result.status = MaxSmtResult::Status::kOptimal;
+    result.cost = solution->cost;
+    result.bool_values.resize(static_cast<size_t>(system.BoolCount()));
+    for (BVarId v = 0; v < system.BoolCount(); ++v) {
+      result.bool_values[static_cast<size_t>(v)] = solution->model[static_cast<size_t>(v)];
+    }
+    const std::vector<SoftConstraint>& softs = system.soft();
+    for (size_t i = 0; i < softs.size(); ++i) {
+      if (!system.EvalOnModel(softs[i].expr, result.bool_values, result.int_values)) {
+        result.violated_soft.push_back(static_cast<int>(i));
+      }
+    }
+    return result;
+  }
+
+  std::string name() const override { return "internal-maxsat"; }
+
+ private:
+  struct State {
+    MaxSatSolver maxsat;
+    // Points into the system of the *current* Solve call only; Rebind runs
+    // before any dereference on the next call.
+    std::unique_ptr<Tseitin<MaxSatSolver>> tseitin;
+    uint64_t fingerprint = 0;
+    // Cumulative engine statistics as of the last completed solve, so
+    // per-solve counters report deltas.
+    SatStats sat_base;
+    MaxSatStats wpm_base;
+  };
+  std::unique_ptr<State> state_;
+};
+
 }  // namespace
 
 std::unique_ptr<MaxSmtBackend> MakeInternalBackend() {
   return std::make_unique<InternalBackend>();
+}
+
+std::unique_ptr<MaxSmtBackend> MakeWarmInternalBackend() {
+  return std::make_unique<WarmInternalBackend>();
 }
 
 }  // namespace cpr

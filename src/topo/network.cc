@@ -1,12 +1,15 @@
 #include "topo/network.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 
 namespace cpr {
 
 Result<Network> Network::Build(std::vector<Config> configs, NetworkAnnotations annotations) {
+  static std::atomic<uint64_t> next_generation{1};
   Network net;
+  net.generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
   net.configs_ = std::move(configs);
   net.annotations_ = std::move(annotations);
 

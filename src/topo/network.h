@@ -81,6 +81,11 @@ class Network {
   static Result<Network> Build(std::vector<Config> configs,
                                NetworkAnnotations annotations = {});
 
+  // Monotonic build id, unique per constructed Network for the lifetime of
+  // the process. Caches keyed on a network's identity must use this instead
+  // of the object's address: addresses get recycled, generations never do.
+  uint64_t generation() const { return generation_; }
+
   const std::vector<Config>& configs() const { return configs_; }
   std::vector<Config>& mutable_configs() { return configs_; }
   const std::vector<Device>& devices() const { return devices_; }
@@ -120,6 +125,7 @@ class Network {
   DeviceId LinkPeer(LinkId link, DeviceId device) const;
 
  private:
+  uint64_t generation_ = 0;
   std::vector<Config> configs_;
   std::vector<Device> devices_;
   std::vector<RoutingProcess> processes_;

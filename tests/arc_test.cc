@@ -80,6 +80,27 @@ TEST_F(HarcExampleTest, AclRemovesEdgeOnlyFromAffectedTcEtg) {
   EXPECT_TRUE(harc_.detg(u_).IsPresent(a_to_b));
 }
 
+// Build() assembles tcETGs through the precomputed ACL scaffold;
+// RebuildTrafficClass/RebuildDestination re-derive them through the naive
+// per-pair rules. The two paths must agree edge-for-edge on every layer —
+// this pins the scaffold against the reference implementation on a network
+// with a bound ACL (the S->U block on B) and source/destination trimming.
+TEST_F(HarcExampleTest, ScaffoldTcetgsMatchNaiveRebuild) {
+  Harc rebuilt = harc_;
+  const int subnets = harc_.SubnetCount();
+  for (SubnetId d = 0; d < subnets; ++d) {
+    rebuilt.RebuildDestination(d);
+    EXPECT_TRUE(rebuilt.detg(d) == harc_.detg(d)) << "detg " << d;
+    for (SubnetId s = 0; s < subnets; ++s) {
+      if (s == d) {
+        continue;
+      }
+      rebuilt.RebuildTrafficClass(s, d);
+      EXPECT_TRUE(rebuilt.tcetg(s, d) == harc_.tcetg(s, d)) << "tcetg " << s << "->" << d;
+    }
+  }
+}
+
 TEST_F(HarcExampleTest, HierarchyHolds) {
   Status status = harc_.CheckHierarchy();
   EXPECT_TRUE(status.ok()) << (status.ok() ? "" : status.error().message());

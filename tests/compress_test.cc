@@ -338,6 +338,60 @@ TEST(CompressCacheTest, CacheRebindsOnDifferentNetwork) {
   EXPECT_EQ(cache.Find(first->network(), "pinkey"), nullptr);
 }
 
+// Regression: the identity guard used to be a raw `const Network*`. A freed
+// network whose address was recycled by a new Network false-hit the guard
+// and served the dead snapshot's partition/quotients. The generation id
+// never recycles, so a rebuilt network always rebinds.
+TEST(CompressCacheTest, RecycledNetworkAddressStillRebinds) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 2, 7);
+  auto build = [&](const std::vector<std::string>& texts) {
+    return std::make_unique<Network>(MustBuildNetwork(texts, scenario.annotations));
+  };
+
+  compress::CompressionCache cache;
+  bool recycled = false;
+  for (int attempt = 0; attempt < 64 && !recycled; ++attempt) {
+    std::unique_ptr<Network> first = build(scenario.broken_configs);
+    const Network* address = first.get();
+    cache.Insert(*first, "pinkey", std::make_shared<compress::Quotient>());
+    ASSERT_NE(cache.Find(*first, "pinkey"), nullptr);
+    first.reset();
+    // Same-size allocation immediately after the free: the allocator almost
+    // always hands back the same chunk, which is exactly the ABA setup.
+    std::unique_ptr<Network> second = build(scenario.working_configs);
+    recycled = second.get() == address;
+    // Regardless of where the new network landed, the dead snapshot's
+    // quotient must never be served.
+    EXPECT_EQ(cache.Find(*second, "pinkey"), nullptr);
+  }
+  if (!recycled) {
+    GTEST_SKIP() << "allocator never recycled the network address";
+  }
+}
+
+// A rebuilt network with an unchanged structural role key (here: identical
+// configs, new generation) keeps the cached base partition instead of
+// reseeding WL refinement — the differ-small reuse path.
+TEST(CompressCacheTest, BasePartitionSurvivesStructurallyIdenticalRebuild) {
+  FatTreeScenario scenario = MakeFatTreeScenario(4, PolicyClass::kAlwaysBlocked, 2, 7);
+  Network first = MustBuildNetwork(scenario.broken_configs, scenario.annotations);
+  Network second = MustBuildNetwork(scenario.broken_configs, scenario.annotations);
+  ASSERT_NE(first.generation(), second.generation());
+
+  compress::CompressionCache cache;
+  compress::Partition cold = cache.Base(first);
+  EXPECT_EQ(cache.partition_reuses(), 0);
+  compress::Partition warm = cache.Base(second);
+  EXPECT_EQ(cache.partition_reuses(), 1);
+  EXPECT_EQ(cold.block_of, warm.block_of);
+
+  // A structurally different snapshot still reseeds.
+  Network changed = MustBuildNetwork(scenario.working_configs, scenario.annotations);
+  compress::Partition reseeded = cache.Base(changed);
+  EXPECT_EQ(cache.partition_reuses(), 1);
+  EXPECT_EQ(reseeded.device_count(), static_cast<int>(changed.devices().size()));
+}
+
 // ---------------------------------------------------------------------------
 // Explain surface: provenance names concrete routers, never quotient ids.
 

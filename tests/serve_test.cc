@@ -126,6 +126,7 @@ TEST(WireTest, SpecFieldsRoundTripIncludingNonDefaults) {
   spec.max_retries = 2;
   spec.simulate = true;
   spec.lint = "off";
+  spec.incremental = "off";
   spec.inject_fault = "throw:p=0.5:seed=7";
 
   RequestSpec round = SpecFromFields(FieldsFromSpec(spec));
@@ -139,6 +140,7 @@ TEST(WireTest, SpecFieldsRoundTripIncludingNonDefaults) {
   EXPECT_EQ(round.max_retries, spec.max_retries);
   EXPECT_EQ(round.simulate, spec.simulate);
   EXPECT_EQ(round.lint, spec.lint);
+  EXPECT_EQ(round.incremental, spec.incremental);
   EXPECT_EQ(round.inject_fault, spec.inject_fault);
 }
 
@@ -314,6 +316,54 @@ TEST(DaemonTest, SaturatedQueueRejectsWithRetryAfterHint) {
   // admitted ones still finish.
   (*daemon)->WaitIdle();
   EXPECT_EQ(static_cast<int>((*daemon)->Statuses().size()), admitted);
+}
+
+// Regression: deadline-expired requests complete in ~0ms and used to fold
+// into exec_seconds_ema_, collapsing the retry-after hint exactly when the
+// daemon was overloaded. Only genuinely-solved executions may feed the EMA.
+TEST(DaemonTest, ExpiredBudgetBurstDoesNotPoisonRetryAfterHint) {
+  ServeFixture fx("emapoison");
+  DaemonOptions options = fx.Options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  // One genuinely slow solve seeds the EMA.
+  RequestSpec slow = fx.Spec("seed-ema");
+  slow.inject_fault = "slow:p=1:slow=0.3:seed=1";
+  AdmissionDecision seeded = (*daemon)->Submit(slow);
+  ASSERT_TRUE(seeded.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(seeded.id, 30));
+  ASSERT_EQ((*daemon)->GetStatus(seeded.id)->status, "success");
+  const double solved_exec = (*daemon)->GetStatus(seeded.id)->exec_seconds;
+  ASSERT_GE(solved_exec, 0.3);
+
+  // A burst of arrived-dead budgets, each finishing in ~0ms.
+  for (int i = 0; i < 16; ++i) {
+    RequestSpec dead = fx.Spec("dead" + std::to_string(i));
+    dead.deadline_seconds = -1;
+    AdmissionDecision decision = (*daemon)->Submit(dead);
+    ASSERT_TRUE(decision.admitted) << decision.error;
+    ASSERT_TRUE((*daemon)->WaitFor(decision.id, 10));
+    EXPECT_EQ((*daemon)->GetStatus(decision.id)->status, "deadline-exceeded");
+  }
+
+  // Saturate the queue and read the hint off the reject. With a poisoned EMA
+  // (0.8^16 decay toward the 0.05s floor) the hint would be ~0.1s; a healthy
+  // one scales with the real solve time times the queue ahead of the caller.
+  AdmissionDecision rejected;
+  for (int i = 0; i < 8 && rejected.error.empty(); ++i) {
+    AdmissionDecision decision = (*daemon)->Submit(slow);
+    if (!decision.admitted) {
+      rejected = decision;
+    }
+  }
+  ASSERT_FALSE(rejected.admitted);
+  ASSERT_FALSE(rejected.error.empty());
+  EXPECT_GE(rejected.retry_after_seconds, solved_exec)
+      << "the hint must reflect real solve time, not the ~0ms expired burst";
+  (*daemon)->WaitIdle();
 }
 
 TEST(DaemonTest, DrainingDaemonStopsAdmitting) {
@@ -523,6 +573,58 @@ TEST(DaemonTest, RecoveredExpiredBudgetStaysExpired) {
         << "an expired budget must not rejuvenate across a restart";
   }
   EXPECT_TRUE(saw_doomed) << "the doomed request was lost in the restart";
+}
+
+// ---- daemon: incremental session retention --------------------------------
+
+// A sound result retains a RepairSession for its source; a re-submission of
+// the same config_dir is automatically built with Cpr::FromBaseline and runs
+// the incremental path — no client-side opt-in beyond the "auto" default.
+TEST(DaemonTest, SameLineageResubmissionReusesRetainedSession) {
+  ServeFixture fx("sessions");
+  // A policy the example network already satisfies (EP1): the identical
+  // re-submission diffs clean, so the incremental path must fully engage
+  // (HARC cloned, every group verdict reused) rather than merely attempt.
+  std::ofstream(fx.policy_file()) << "always-blocked 10.2.0.0/16 -> 10.30.0.0/16\n";
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  AdmissionDecision first = (*daemon)->Submit(fx.Spec("gen0"));
+  ASSERT_TRUE(first.admitted) << first.error;
+  ASSERT_TRUE((*daemon)->WaitFor(first.id, 30));
+  ASSERT_EQ((*daemon)->GetStatus(first.id)->status, "no-violations");
+  EXPECT_EQ((*daemon)->session_count(), 1u)
+      << "a sound result must retain a session for its source";
+
+  int64_t reused_before = GlobalCounter("serve.sessions.reused");
+  AdmissionDecision second = (*daemon)->Submit(fx.Spec("gen1"));
+  ASSERT_TRUE(second.admitted) << second.error;
+  ASSERT_TRUE((*daemon)->WaitFor(second.id, 30));
+  std::optional<RequestStatus> status = (*daemon)->GetStatus(second.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->status, "no-violations");
+  EXPECT_EQ(GlobalCounter("serve.sessions.reused"), reused_before + 1);
+  // The incremental stats section proves the cheap path ran: the baseline
+  // HARC was cloned and the verdicts were reused, not re-derived.
+  EXPECT_NE(status->stats_json.find("\"harc_cloned\":true"), std::string::npos)
+      << status->stats_json;
+  EXPECT_NE(status->stats_json.find("\"fell_back\":false"), std::string::npos);
+  EXPECT_EQ((*daemon)->session_count(), 1u) << "one session per source, replaced in place";
+}
+
+TEST(DaemonTest, IncrementalOffNeverRetainsASession) {
+  ServeFixture fx("sessoff");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  RequestSpec spec = fx.Spec("nosession");
+  spec.incremental = "off";
+  AdmissionDecision decision = (*daemon)->Submit(spec);
+  ASSERT_TRUE(decision.admitted) << decision.error;
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+  EXPECT_EQ((*daemon)->GetStatus(decision.id)->status, "success");
+  EXPECT_EQ((*daemon)->session_count(), 0u)
+      << "incremental=off must neither use nor retain sessions";
 }
 
 // Daemon-level serve.* signals stay in the global registry (that is where

@@ -12,6 +12,10 @@
 //       [--max-retries N] [--no-failover] [--no-partial]
 //       [--inject-fault SPEC] [--out DIR] [--no-simulate]
 //       [--lint error|warn|off]
+//       [--incremental] [--baseline DIR]            re-repair against a prior
+//                                                  snapshot: diff, reuse clean
+//                                                  group verdicts, warm-solve
+//                                                  dirty ones
 //   cpr explain  <config-dir> <policy-file> [--json]
 //                                                  compute a repair and print
 //                                                  each edit's provenance
@@ -54,6 +58,7 @@
 #include "config/printer.h"
 #include "core/cpr.h"
 #include "core/policy_spec.h"
+#include "incremental/session.h"
 #include "core/stats_report.h"
 #include "lint/lint.h"
 #include "obs/json.h"
@@ -96,6 +101,11 @@ int Usage() {
                "                              the stage spans (chrome://tracing)\n"
                "         --lint error|warn|off  pre-repair lint gate: refuse on\n"
                "                              errors (default), report only, or skip\n"
+               "         --incremental --baseline DIR  re-repair against the prior\n"
+               "                              snapshot in DIR: diff the configs,\n"
+               "                              reuse clean groups' verdicts, re-solve\n"
+               "                              only dirty ones with warm solvers (the\n"
+               "                              result is always re-verified concretely)\n"
                "robustness: --deadline SECONDS   total wall-clock budget (<=0\n"
                "                              rejects immediately with status\n"
                "                              deadline-exceeded; omit = unbounded)\n"
@@ -166,6 +176,8 @@ struct CliArgs {
   std::string policy_out;       // `cpr gen --policy-out PATH`.
   int dirty = 0;                // `cpr gen --dirty N` lint defects.
   int dirty_asym = 0;           // `cpr gen --dirty-asym N` symmetry breaks.
+  bool incremental = false;     // `cpr repair --incremental`.
+  std::string baseline_dir;     // `cpr repair --baseline DIR` prior snapshot.
   unsigned seed = 1;
   cpr::CprOptions options;
 };
@@ -315,6 +327,14 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
       } else {
         return cpr::Error("unknown compress mode " + *v + " (on|off|auto)");
       }
+    } else if (flag == "--incremental") {
+      args.incremental = true;
+    } else if (flag == "--baseline") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.baseline_dir = *v;
     } else if (flag == "--json") {
       args.json = true;
     } else if (flag == "--fattree") {
@@ -727,6 +747,20 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
     std::printf("all policies already hold; nothing to repair\n");
     return 0;
   }
+  if (report->incremental.attempted) {
+    const auto& inc = report->incremental;
+    if (inc.applied) {
+      std::printf(
+          "incremental: %d/%d group(s) reused, %d re-solved "
+          "(%d dirty dst(s), %d dirty tc(s), %d warm hit(s)/%d miss(es)%s)\n",
+          inc.groups_reused, inc.groups_total, inc.groups_resolved,
+          inc.dirty_destinations, inc.dirty_traffic_classes, inc.warm_hits,
+          inc.warm_misses, inc.fell_back ? ", fell back to full repair" : "");
+    } else {
+      std::printf("incremental: declined (%s); full repair ran\n",
+                  inc.skipped_reason.c_str());
+    }
+  }
   PrintProblemDiagnostics(pipeline, report->stats);
   // solve times: the per-problem sum exceeds the solve wall time whenever
   // problems ran in parallel — label it so parallel runs don't read as slow.
@@ -904,7 +938,67 @@ int RunCli(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", annotations.error().message().c_str());
     return 1;
   }
-  cpr::Result<cpr::Cpr> pipeline = cpr::Cpr::FromConfigTexts(texts, *annotations);
+
+  // --incremental: retain the baseline snapshot as a RepairSession and build
+  // the pipeline against it. The session is built fresh here (one extra HARC
+  // build + verification); the daemon amortizes this by keeping sessions
+  // alive across requests.
+  std::shared_ptr<cpr::incremental::RepairSession> baseline_session;
+  if (args->incremental || !args->baseline_dir.empty()) {
+    if (args->baseline_dir.empty()) {
+      std::fprintf(stderr, "error: --incremental requires --baseline DIR\n");
+      return 2;
+    }
+    if (args->command != "repair" && args->command != "explain") {
+      std::fprintf(stderr, "error: --baseline only applies to repair/explain\n");
+      return 2;
+    }
+    cpr::Result<ConfigDir> base = LoadConfigDir(args->baseline_dir);
+    if (!base.ok()) {
+      std::fprintf(stderr, "error: baseline: %s\n", base.error().message().c_str());
+      return 1;
+    }
+    std::vector<cpr::Config> base_configs;
+    for (const std::string& text : base->texts) {
+      cpr::Result<cpr::Config> parsed = cpr::ParseConfig(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: baseline: %s\n", parsed.error().message().c_str());
+        return 1;
+      }
+      base_configs.push_back(std::move(parsed).value());
+    }
+    // Policies resolve against the baseline network; the engine cross-checks
+    // that they mean the same thing in the new snapshot before reusing
+    // anything.
+    cpr::Result<cpr::Network> base_network =
+        cpr::Network::Build(base_configs, *annotations);
+    if (!base_network.ok()) {
+      std::fprintf(stderr, "error: baseline: %s\n",
+                   base_network.error().message().c_str());
+      return 1;
+    }
+    cpr::Result<std::vector<cpr::Policy>> base_policies =
+        cpr::ParseSpecPolicies(policy_text, *base_network);
+    if (!base_policies.ok()) {
+      std::fprintf(stderr, "error: baseline: %s\n",
+                   base_policies.error().message().c_str());
+      return 1;
+    }
+    cpr::Result<std::shared_ptr<cpr::incremental::RepairSession>> session =
+        cpr::incremental::BuildSession(std::move(base_configs), *annotations,
+                                       std::move(*base_policies),
+                                       args->options.repair);
+    if (!session.ok()) {
+      std::fprintf(stderr, "error: baseline: %s\n", session.error().message().c_str());
+      return 1;
+    }
+    baseline_session = std::move(*session);
+  }
+
+  cpr::Result<cpr::Cpr> pipeline =
+      baseline_session != nullptr
+          ? cpr::Cpr::FromBaseline(baseline_session, texts, *annotations)
+          : cpr::Cpr::FromConfigTexts(texts, *annotations);
   if (!pipeline.ok()) {
     std::fprintf(stderr, "error: %s\n", pipeline.error().message().c_str());
     return 1;

@@ -12,6 +12,7 @@
 //        [--tag T] [--deadline S] [--timeout S] [--backend z3|internal]
 //        [--granularity perdst|alltcs] [--max-retries N] [--simulate]
 //        [--lint gate|warn|off] [--compress on|off|auto]
+//        [--incremental auto|off]
 //        [--inject-fault SPEC] [--wait S]
 //   cprd status --socket PATH [--id N]
 //   cprd wait   --socket PATH --id N [--timeout S]
@@ -84,6 +85,8 @@ int Usage() {
       "  --tag T  --deadline S  --timeout S  --backend z3|internal\n"
       "  --granularity perdst|alltcs  --max-retries N  --simulate\n"
       "  --lint gate|warn|off  --compress on|off|auto  --inject-fault SPEC\n"
+      "  --incremental auto|off  auto (default) re-repairs a re-submitted\n"
+      "             source incrementally against its retained session\n"
       "  --wait S   block until the request is terminal (then exit 0 iff done)\n");
   return 2;
 }
@@ -461,6 +464,9 @@ int CmdClient(const std::string& command, ArgReader* args) {
     } else if (flag == "--compress") {
       if (v = value(); !v.ok()) return Usage();
       spec.compress = *v;
+    } else if (flag == "--incremental") {
+      if (v = value(); !v.ok()) return Usage();
+      spec.incremental = *v;
     } else if (flag == "--inject-fault") {
       if (v = value(); !v.ok()) return Usage();
       spec.inject_fault = *v;
