@@ -1,0 +1,206 @@
+// Certification overhead (DESIGN.md §13): what proof certification costs on
+// the fig07 datacenter workload, A/B/C against plain solves.
+//
+// For each network, the same broken snapshot is repaired three ways on the
+// internal backend:
+//
+//   plain   --certify off: the baseline.
+//   log     --certify log: proof logging in the CDCL/MaxSAT stack plus the
+//           Fu-Malik lower-bound trail, certificates attached, checking
+//           deferred to the offline auditor (`cpr certify`). This is the
+//           production fast path, and `logging_overhead_cost` — its total
+//           repair time over plain's — is the gated headline: the issue
+//           contract is end-to-end proof-logging overhead <= 10%, enforced
+//           both by this binary (exit 1 above kMaxOverhead) and by
+//           scripts/bench_compare.py against the committed baseline.
+//   check   --certify on: the same plus the in-process independent check
+//           (RUP replay of every claim, encoding cross-check). Reported as
+//           `inline_check_overhead_cost`; on this workload the instances are
+//           encoding-dominated, so replaying the input inventory costs the
+//           same order as solving — that is why checking can be deferred,
+//           and why only the logging tax gates.
+//
+// The engine work is identical across the three sides (same problems, same
+// models). Every inline-checked result must verify: a single failed
+// certificate fails the bench outright, because an overhead number for a
+// broken checker is meaningless. Timing keys are machine-dependent and stay
+// informational unless --timing-tolerance is passed to the comparer.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "certify/certify.h"
+#include "config/parser.h"
+#include "repair/repair.h"
+#include "workload/datacenter.h"
+
+namespace {
+
+using cpr::BenchConfig;
+using cpr::BenchJson;
+using cpr::ComputeRepair;
+using cpr::DatacenterNetwork;
+using cpr::EnvInt;
+using cpr::GenerateDatacenterNetwork;
+using cpr::Harc;
+using cpr::Network;
+using cpr::RepairOptions;
+using cpr::RepairOutcome;
+using cpr::Result;
+using cpr::WallTimer;
+
+// The contract from the issue tracker: proof logging must stay within 10%
+// of plain solving on the paper workload or it is not "always on" material.
+constexpr double kMaxOverhead = 1.10;
+
+Result<Network> BuildNetwork(const DatacenterNetwork& dataset) {
+  std::vector<cpr::Config> configs;
+  for (const std::string& text : dataset.broken_configs) {
+    Result<cpr::Config> config = cpr::ParseConfig(text);
+    if (!config.ok()) {
+      return config.error();
+    }
+    configs.push_back(*std::move(config));
+  }
+  return Network::Build(std::move(configs), dataset.annotations);
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  config.networks = EnvInt("CPR_BENCH_NETWORKS", 16);
+  const int repeats = EnvInt("CPR_BENCH_REPEATS", 3);
+  BenchJson bench("certify_overhead", config);
+
+  double plain_total = 0;
+  double logging_total = 0;
+  double checked_total = 0;
+  int certify_checked_total = 0;
+  int certify_failed_total = 0;
+  int problems_solved_total = 0;
+
+  std::printf("%-8s %6s %9s %11s %11s %11s %8s %8s\n", "network", "probs",
+              "checked", "plain_sec", "log_sec", "check_sec", "log_x", "check_x");
+  for (int index = 0; index < config.networks; ++index) {
+    DatacenterNetwork dataset = GenerateDatacenterNetwork(index, 2017, config.scale);
+    Result<Network> network = BuildNetwork(dataset);
+    if (!network.ok()) {
+      std::fprintf(stderr, "fatal: network %d: %s\n", index,
+                   network.error().message().c_str());
+      return 1;
+    }
+    Harc harc = Harc::Build(*network);
+
+    RepairOptions plain;
+    plain.backend = cpr::BackendChoice::kInternal;
+    plain.num_threads = config.threads;
+    plain.timeout_seconds = config.timeout;
+    RepairOptions logging = plain;
+    logging.certify = cpr::certify::CertifyMode::kLog;
+    RepairOptions checked_opts = plain;
+    checked_opts.certify = cpr::certify::CertifyMode::kOn;
+
+    // Interleave the three sides so cache warmth and clock drift hit all
+    // equally; totals over `repeats` rounds make short solves measurable.
+    double plain_seconds = 0;
+    double logging_seconds = 0;
+    double checked_seconds = 0;
+    int problems = 0;
+    int checked = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      WallTimer plain_timer;
+      Result<RepairOutcome> base = ComputeRepair(harc, dataset.policies, plain);
+      plain_seconds += plain_timer.Seconds();
+      if (!base.ok()) {
+        std::fprintf(stderr, "fatal: network %d plain: %s\n", index,
+                     base.error().message().c_str());
+        return 1;
+      }
+
+      WallTimer logging_timer;
+      Result<RepairOutcome> logged =
+          ComputeRepair(harc, dataset.policies, logging);
+      logging_seconds += logging_timer.Seconds();
+      if (!logged.ok()) {
+        std::fprintf(stderr, "fatal: network %d logging: %s\n", index,
+                     logged.error().message().c_str());
+        return 1;
+      }
+
+      WallTimer checked_timer;
+      Result<RepairOutcome> checked_run =
+          ComputeRepair(harc, dataset.policies, checked_opts);
+      checked_seconds += checked_timer.Seconds();
+      if (!checked_run.ok()) {
+        std::fprintf(stderr, "fatal: network %d certified: %s\n", index,
+                     checked_run.error().message().c_str());
+        return 1;
+      }
+      problems = checked_run->stats.problems_formulated;
+      checked = checked_run->stats.certify_checked;
+      problems_solved_total += checked_run->stats.problems_solved;
+      certify_checked_total += checked_run->stats.certify_checked;
+      certify_failed_total += checked_run->stats.certify_failed;
+      for (const cpr::ProblemReport& report : checked_run->stats.problem_reports) {
+        if (report.certification == cpr::MaxSmtResult::Certification::kFailed) {
+          std::fprintf(stderr, "fatal: network %d: certificate FAILED: %s\n", index,
+                       report.certify_message.c_str());
+        }
+      }
+    }
+    plain_total += plain_seconds;
+    logging_total += logging_seconds;
+    checked_total += checked_seconds;
+
+    const double log_ratio = plain_seconds > 0 ? logging_seconds / plain_seconds : 1.0;
+    const double check_ratio = plain_seconds > 0 ? checked_seconds / plain_seconds : 1.0;
+    std::printf("%-8d %6d %9d %11.4f %11.4f %11.4f %8.3f %8.3f\n", index,
+                problems, checked, plain_seconds, logging_seconds,
+                checked_seconds, log_ratio, check_ratio);
+    BenchJson::Row& row = bench.AddRow();
+    row.Set("network", index)
+        .Set("routers", dataset.router_count)
+        .Set("problems", problems)
+        .Set("certify_checked", checked)
+        .Set("plain_seconds", plain_seconds)
+        .Set("logging_seconds", logging_seconds)
+        .Set("checked_seconds", checked_seconds)
+        .Set("logging_ratio", log_ratio)
+        .Set("checked_ratio", check_ratio);
+  }
+
+  const double overhead = plain_total > 0 ? logging_total / plain_total : 1.0;
+  const double check_overhead =
+      plain_total > 0 ? checked_total / plain_total : 1.0;
+  std::printf("\ntotal: plain %.3fs, logged %.3fs (%.3fx, gated <= %.2fx), "
+              "inline-checked %.3fs (%.3fx) — %d checked, %d failed\n",
+              plain_total, logging_total, overhead, kMaxOverhead, checked_total,
+              check_overhead, certify_checked_total, certify_failed_total);
+
+  bench.SetSummary("plain_total_seconds", plain_total);
+  bench.SetSummary("logging_total_seconds", logging_total);
+  bench.SetSummary("checked_total_seconds", checked_total);
+  bench.SetSummary("logging_overhead_cost", overhead);
+  bench.SetSummary("inline_check_overhead_cost", check_overhead);
+  bench.SetSummary("certify_failed_total", static_cast<int64_t>(certify_failed_total));
+  bench.SetSummary("certify_checked_per_run",
+                   static_cast<int64_t>(certify_checked_total / (repeats > 0 ? repeats : 1)));
+  bench.SetSummary("problems_solved_total", static_cast<int64_t>(problems_solved_total));
+  if (!bench.Write()) {
+    return 1;
+  }
+  if (certify_failed_total > 0) {
+    std::fprintf(stderr, "FAIL: %d certificate(s) failed the independent check\n",
+                 certify_failed_total);
+    return 1;
+  }
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr, "FAIL: proof-logging overhead %.3fx exceeds %.2fx\n",
+                 overhead, kMaxOverhead);
+    return 1;
+  }
+  return 0;
+}

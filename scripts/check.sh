@@ -33,6 +33,11 @@ if command -v clang-tidy >/dev/null 2>&1; then
   find src tools -name '*.cc' -print0 |
     xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
   echo "clang-tidy OK"
+elif [[ "${CPR_REQUIRE_CLANG_TIDY:-0}" -eq 1 ]]; then
+  # CI sets CPR_REQUIRE_CLANG_TIDY=1: a missing tool must fail loudly, not
+  # green-skip the static-analysis stage.
+  echo "clang-tidy REQUIRED but not installed (CPR_REQUIRE_CLANG_TIDY=1)" >&2
+  exit 1
 else
   echo "clang-tidy not installed; stage skipped"
 fi
@@ -105,6 +110,35 @@ if ! grep -q '"orphan_edits":\[\]' "$explain_json"; then
 fi
 rm -f "$explain_json"
 echo "explain smoke OK"
+
+echo "== certify smoke (repair with proofs, then audit offline) =="
+certify_dir="$(mktemp -d /tmp/cpr-certify-XXXXXX)"
+certify_stats="$certify_dir/stats.json"
+build/tools/cpr repair examples/data/paper-example \
+  examples/data/paper-example-boolean.policies \
+  --backend internal --certify on --certify-dir "$certify_dir/artifacts" \
+  --stats-json "$certify_stats" > "$certify_dir/repair.log"
+build/tools/cpr_json_validate "$certify_stats"
+grep -q 'certify (on): .* 0 failed' "$certify_dir/repair.log" || {
+  echo "certify smoke FAILED: inline check reported failures" >&2
+  cat "$certify_dir/repair.log" >&2
+  exit 1
+}
+python3 - "$certify_stats" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["certify"]
+assert s["checked"] > 0 and s["verified"] == s["checked"], s
+assert s["failed"] == 0, s
+assert s["artifacts"] > 0, s
+EOF
+# Every persisted proof artifact must be well-formed JSON and must re-verify
+# offline, solver long gone — that is the whole point of the subsystem.
+for artifact in "$certify_dir"/artifacts/*.cert.json; do
+  build/tools/cpr_json_validate "$artifact"
+done
+build/tools/cpr certify "$certify_dir/artifacts" | grep -q ', 0 failed'
+rm -rf "$certify_dir"
+echo "certify smoke OK"
 
 echo "== --trace-out smoke =="
 trace_json="$(mktemp /tmp/cpr-trace-XXXXXX.json)"
@@ -268,6 +302,19 @@ python3 scripts/bench_compare.py \
 rm -f "$fig08c_json"
 echo "fig08c ablation OK"
 
+echo "== certify overhead vs committed baseline =="
+cmake --build build -j "$jobs" --target certify_overhead >/dev/null
+certify_bench_json="$(mktemp /tmp/cpr-certify-bench-XXXXXX.json)"
+# The binary gates itself: proof-logging overhead must stay <= 1.10x plain
+# and every inline-checked certificate must verify. The baseline compare
+# additionally catches the logging or inline-check cost ratios regressing
+# against the committed numbers (cost keys are lower-is-better).
+CPR_BENCH_JSON="$certify_bench_json" build/bench/certify_overhead >/dev/null
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_certify_overhead.json "$certify_bench_json"
+rm -f "$certify_bench_json"
+echo "certify overhead OK"
+
 echo "== incremental re-repair vs committed baseline =="
 cmake --build build -j "$jobs" --target incremental_rerepair >/dev/null
 incr_bench_json="$(mktemp /tmp/cpr-incr-bench-XXXXXX.json)"
@@ -291,17 +338,21 @@ cmake -B build-asan -S . -DCPR_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 # Leak detection is off: Z3 keeps global state alive at exit.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure \
-  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json|Daemon|Checkpoint|SnapshotCache|Wire|Compress|Incremental|DirtySet|PrepareHarc|WarmBackend|Session'
+  -j "$jobs" -R 'Robust|Repair|Workload|Solver|Smt|Sat|MaxSat|Failover|FaultInjection|Backend|Obs|Counter|Gauge|Histogram|Registry|Span|Json|Daemon|Checkpoint|SnapshotCache|Wire|Compress|Incremental|DirtySet|PrepareHarc|WarmBackend|Session|Certify|Rup|ProofLog|Artifact'
 
 echo "== TSan configuration =="
 cmake -B build-tsan -S . -DCPR_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$jobs" --target obs_test repair_test serve_test \
-  compress_test incremental_test
+  compress_test incremental_test certify_test
 # The observability layer is lock-free on the hot path; TSan validates the
 # atomics, the repair tests validate the worker pool that feeds them, the
-# serve tests validate the daemon (workers + shared solve pool + drain), and
-# the incremental tests validate warm re-solves sharing that worker pool.
-TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan --output-on-failure \
-  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair|Daemon|Checkpoint|SnapshotCache|Wire|Compress|Incremental|DirtySet|PrepareHarc|WarmBackend|Session'
+# serve tests validate the daemon (workers + shared solve pool + drain), the
+# incremental tests validate warm re-solves sharing that worker pool, and the
+# certify tests validate the checking wrapper running on those same workers.
+# The certify tests drive Z3 directly; uninstrumented libz3 needs the
+# scoped suppression in scripts/tsan.supp (our code stays fully checked).
+TSAN_OPTIONS="halt_on_error=1:suppressions=$PWD/scripts/tsan.supp" \
+  ctest --test-dir build-tsan --output-on-failure \
+  -j "$jobs" -R 'Counter|Gauge|Histogram|Registry|Span|Json|Repair|Daemon|Checkpoint|SnapshotCache|Wire|Compress|Incremental|DirtySet|PrepareHarc|WarmBackend|Session|Certify|Rup|ProofLog|Artifact'
 
 echo "== all checks passed =="

@@ -1,0 +1,452 @@
+#include "certify/artifact.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "netbase/durable_file.h"
+#include "obs/json.h"
+
+namespace cpr::certify {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kSchemaVersion = 1;
+
+// DIMACS-style signed literal: var+1, negative when negated; 0 encodes the
+// undefined literal (unit-soft selectors are always defined, but the format
+// must round-trip any struct state).
+int64_t LitToDimacs(Lit lit) {
+  if (lit == kUndefLit) {
+    return 0;
+  }
+  int64_t var = static_cast<int64_t>(lit.var()) + 1;
+  return lit.negated() ? -var : var;
+}
+
+bool DimacsToLit(int64_t dimacs, Lit* out) {
+  if (dimacs == 0) {
+    *out = kUndefLit;
+    return true;
+  }
+  int64_t var = dimacs < 0 ? -dimacs : dimacs;
+  if (var > static_cast<int64_t>(INT32_MAX / 2)) {
+    return false;
+  }
+  *out = Lit(static_cast<BoolVar>(var - 1), dimacs < 0);
+  return true;
+}
+
+void WriteClause(obs::JsonWriter* w, const Clause& clause) {
+  w->BeginArray();
+  for (Lit lit : clause) {
+    w->Int(LitToDimacs(lit));
+  }
+  w->EndArray();
+}
+
+// Events serialize as [kindCode, lit, lit, ...] — compact, and the kind code
+// matches ProofEventKind's underlying value.
+void WriteEvents(obs::JsonWriter* w, const ProofStream& events) {
+  w->BeginArray();
+  for (size_t i = 0; i < events.size(); ++i) {
+    w->BeginArray();
+    w->Int(static_cast<int64_t>(events.kind(i)));
+    for (Lit lit : events.lits(i)) {
+      w->Int(LitToDimacs(lit));
+    }
+    w->EndArray();
+  }
+  w->EndArray();
+}
+
+bool ParseClause(const obs::JsonValue& value, Clause* out, std::string* error) {
+  if (value.type != obs::JsonValue::Type::kArray) {
+    *error = "clause is not an array";
+    return false;
+  }
+  out->clear();
+  out->reserve(value.items.size());
+  for (const obs::JsonValue& item : value.items) {
+    Lit lit = kUndefLit;
+    if (!item.IsNumber() || !DimacsToLit(item.AsInt(), &lit)) {
+      *error = "malformed literal";
+      return false;
+    }
+    out->push_back(lit);
+  }
+  return true;
+}
+
+bool ParseEvents(const obs::JsonValue& value, ProofStream* out,
+                 std::string* error) {
+  if (value.type != obs::JsonValue::Type::kArray) {
+    *error = "events is not an array";
+    return false;
+  }
+  out->Clear();
+  out->Reserve(value.items.size(), 0);
+  Clause lits;
+  for (const obs::JsonValue& entry : value.items) {
+    if (entry.type != obs::JsonValue::Type::kArray || entry.items.empty() ||
+        !entry.items[0].IsNumber()) {
+      *error = "malformed proof event";
+      return false;
+    }
+    int64_t kind = entry.items[0].AsInt();
+    if (kind < 0 || kind > 2) {
+      *error = "unknown proof event kind";
+      return false;
+    }
+    lits.clear();
+    lits.reserve(entry.items.size() - 1);
+    for (size_t i = 1; i < entry.items.size(); ++i) {
+      Lit lit = kUndefLit;
+      if (!entry.items[i].IsNumber() ||
+          !DimacsToLit(entry.items[i].AsInt(), &lit) || lit == kUndefLit) {
+        *error = "malformed literal in proof event";
+        return false;
+      }
+      lits.push_back(lit);
+    }
+    out->Append(static_cast<ProofEventKind>(kind), lits);
+  }
+  return true;
+}
+
+bool ParseIntArray(const obs::JsonValue& value, std::vector<int64_t>* out,
+                   std::string* error) {
+  if (value.type != obs::JsonValue::Type::kArray) {
+    *error = "expected an array of integers";
+    return false;
+  }
+  out->clear();
+  out->reserve(value.items.size());
+  for (const obs::JsonValue& item : value.items) {
+    if (!item.IsNumber()) {
+      *error = "expected an integer";
+      return false;
+    }
+    out->push_back(item.AsInt());
+  }
+  return true;
+}
+
+int64_t FindInt(const obs::JsonValue& object, std::string_view key,
+                int64_t fallback) {
+  const obs::JsonValue* v = object.Find(key);
+  return v != nullptr ? v->AsInt(fallback) : fallback;
+}
+
+std::string FindString(const obs::JsonValue& object, std::string_view key) {
+  const obs::JsonValue* v = object.Find(key);
+  return v != nullptr && v->type == obs::JsonValue::Type::kString ? v->string
+                                                                  : std::string();
+}
+
+bool FindBool(const obs::JsonValue& object, std::string_view key, bool fallback) {
+  const obs::JsonValue* v = object.Find(key);
+  return v != nullptr && v->type == obs::JsonValue::Type::kBool ? v->bool_value
+                                                                : fallback;
+}
+
+}  // namespace
+
+std::string SerializeCertificate(const Certificate& cert) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(kSchemaVersion);
+  w.Key("kind").String(CertificateKindName(cert.kind));
+  w.Key("claim").String(CertificateClaimName(cert.claim));
+  w.Key("backend").String(cert.backend);
+  w.Key("problem").String(cert.problem);
+  w.Key("cost").Int(cert.cost);
+  w.Key("cold").Bool(cert.cold);
+  if (cert.kind == Certificate::Kind::kClausal) {
+    w.Key("baseline_vars").Int(static_cast<int64_t>(cert.baseline_vars));
+    w.Key("baseline_events").Int(cert.baseline_events);
+    w.Key("events");
+    WriteEvents(&w, cert.events);
+    w.Key("softs").BeginArray();
+    for (const CertSoft& soft : cert.softs) {
+      w.BeginObject();
+      w.Key("clause");
+      WriteClause(&w, soft.clause);
+      w.Key("weight").Int(soft.weight);
+      w.Key("selector").Int(LitToDimacs(soft.selector));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("iterations").BeginArray();
+    for (const CertIteration& iteration : cert.iterations) {
+      w.BeginObject();
+      w.Key("members").BeginArray();
+      for (int64_t member : iteration.members) {
+        w.Int(member);
+      }
+      w.EndArray();
+      w.Key("core_event").Int(iteration.core_event);
+      w.EndObject();
+    }
+    w.EndArray();
+    std::string model;
+    model.reserve(cert.model.size());
+    for (bool bit : cert.model) {
+      model.push_back(bit ? '1' : '0');
+    }
+    w.Key("model").String(model);
+    if (!cert.core_events.empty() || !cert.core_assumptions.empty()) {
+      w.Key("core").BeginObject();
+      w.Key("events");
+      WriteEvents(&w, cert.core_events);
+      w.Key("assumptions").BeginArray();
+      for (Lit lit : cert.core_assumptions) {
+        w.Int(LitToDimacs(lit));
+      }
+      w.EndArray();
+      w.Key("hards").BeginArray();
+      for (const std::vector<int64_t>& hards : cert.core_hards) {
+        w.BeginArray();
+        for (int64_t hard : hards) {
+          w.Int(hard);
+        }
+        w.EndArray();
+      }
+      w.EndArray();
+      w.Key("lits").BeginArray();
+      for (Lit lit : cert.core_lits) {
+        w.Int(LitToDimacs(lit));
+      }
+      w.EndArray();
+      w.Key("core_event").Int(cert.core_event);
+      w.Key("reported").BeginArray();
+      for (int64_t hard : cert.reported_core) {
+        w.Int(hard);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
+  w.Key("model_only").BeginObject();
+  w.Key("hards_total").Int(cert.hards_total);
+  w.Key("hards_violated").Int(cert.hards_violated);
+  w.Key("model_cost").Int(cert.model_cost);
+  w.Key("core_tracked").Bool(cert.core_tracked);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+bool ParseCertificate(const std::string& json, Certificate* out,
+                      std::string* error) {
+  obs::JsonValue root;
+  std::string parse_error;
+  if (!obs::ParseJson(json, &root, &parse_error)) {
+    *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  if (root.type != obs::JsonValue::Type::kObject) {
+    *error = "certificate is not a JSON object";
+    return false;
+  }
+  if (FindInt(root, "schema_version", -1) != kSchemaVersion) {
+    *error = "unsupported certificate schema version";
+    return false;
+  }
+  *out = Certificate{};
+  const std::string kind = FindString(root, "kind");
+  if (kind == "clausal") {
+    out->kind = Certificate::Kind::kClausal;
+  } else if (kind == "model-only") {
+    out->kind = Certificate::Kind::kModelOnly;
+  } else {
+    *error = "unknown certificate kind";
+    return false;
+  }
+  const std::string claim = FindString(root, "claim");
+  if (claim == "optimal") {
+    out->claim = Certificate::Claim::kOptimal;
+  } else if (claim == "unsat") {
+    out->claim = Certificate::Claim::kUnsat;
+  } else {
+    *error = "unknown certificate claim";
+    return false;
+  }
+  out->backend = FindString(root, "backend");
+  out->problem = FindString(root, "problem");
+  out->cost = FindInt(root, "cost", 0);
+  out->cold = FindBool(root, "cold", true);
+
+  if (out->kind == Certificate::Kind::kClausal) {
+    out->baseline_vars = static_cast<int32_t>(FindInt(root, "baseline_vars", 0));
+    out->baseline_events = FindInt(root, "baseline_events", 0);
+    const obs::JsonValue* events = root.Find("events");
+    if (events == nullptr || !ParseEvents(*events, &out->events, error)) {
+      return false;
+    }
+    if (const obs::JsonValue* softs = root.Find("softs"); softs != nullptr) {
+      if (softs->type != obs::JsonValue::Type::kArray) {
+        *error = "softs is not an array";
+        return false;
+      }
+      for (const obs::JsonValue& entry : softs->items) {
+        const obs::JsonValue* clause = entry.Find("clause");
+        CertSoft soft;
+        if (clause == nullptr || !ParseClause(*clause, &soft.clause, error)) {
+          return false;
+        }
+        soft.weight = FindInt(entry, "weight", 0);
+        if (!DimacsToLit(FindInt(entry, "selector", 0), &soft.selector)) {
+          *error = "malformed soft selector";
+          return false;
+        }
+        out->softs.push_back(std::move(soft));
+      }
+    }
+    if (const obs::JsonValue* iters = root.Find("iterations"); iters != nullptr) {
+      if (iters->type != obs::JsonValue::Type::kArray) {
+        *error = "iterations is not an array";
+        return false;
+      }
+      for (const obs::JsonValue& entry : iters->items) {
+        CertIteration iteration;
+        const obs::JsonValue* members = entry.Find("members");
+        if (members == nullptr ||
+            !ParseIntArray(*members, &iteration.members, error)) {
+          return false;
+        }
+        iteration.core_event = FindInt(entry, "core_event", -1);
+        out->iterations.push_back(std::move(iteration));
+      }
+    }
+    const std::string model = FindString(root, "model");
+    out->model.reserve(model.size());
+    for (char bit : model) {
+      if (bit != '0' && bit != '1') {
+        *error = "malformed model bitstring";
+        return false;
+      }
+      out->model.push_back(bit == '1');
+    }
+    if (const obs::JsonValue* core = root.Find("core"); core != nullptr) {
+      const obs::JsonValue* core_events = core->Find("events");
+      if (core_events == nullptr ||
+          !ParseEvents(*core_events, &out->core_events, error)) {
+        return false;
+      }
+      std::vector<int64_t> raw;
+      if (const obs::JsonValue* assumptions = core->Find("assumptions");
+          assumptions != nullptr) {
+        if (!ParseIntArray(*assumptions, &raw, error)) {
+          return false;
+        }
+        for (int64_t dimacs : raw) {
+          Lit lit = kUndefLit;
+          if (!DimacsToLit(dimacs, &lit) || lit == kUndefLit) {
+            *error = "malformed core assumption";
+            return false;
+          }
+          out->core_assumptions.push_back(lit);
+        }
+      }
+      if (const obs::JsonValue* hards = core->Find("hards"); hards != nullptr) {
+        if (hards->type != obs::JsonValue::Type::kArray) {
+          *error = "core hards is not an array";
+          return false;
+        }
+        for (const obs::JsonValue& entry : hards->items) {
+          std::vector<int64_t> indices;
+          if (!ParseIntArray(entry, &indices, error)) {
+            return false;
+          }
+          out->core_hards.push_back(std::move(indices));
+        }
+      }
+      if (const obs::JsonValue* lits = core->Find("lits"); lits != nullptr) {
+        if (!ParseIntArray(*lits, &raw, error)) {
+          return false;
+        }
+        for (int64_t dimacs : raw) {
+          Lit lit = kUndefLit;
+          if (!DimacsToLit(dimacs, &lit) || lit == kUndefLit) {
+            *error = "malformed core literal";
+            return false;
+          }
+          out->core_lits.push_back(lit);
+        }
+      }
+      out->core_event = FindInt(*core, "core_event", -1);
+      if (const obs::JsonValue* reported = core->Find("reported");
+          reported != nullptr &&
+          !ParseIntArray(*reported, &out->reported_core, error)) {
+        return false;
+      }
+    }
+  }
+  if (const obs::JsonValue* model_only = root.Find("model_only");
+      model_only != nullptr) {
+    out->hards_total = FindInt(*model_only, "hards_total", 0);
+    out->hards_violated = FindInt(*model_only, "hards_violated", 0);
+    out->model_cost = FindInt(*model_only, "model_cost", 0);
+    out->core_tracked = FindBool(*model_only, "core_tracked", true);
+  }
+  return true;
+}
+
+Status WriteCertificateFile(const std::string& path, const Certificate& cert) {
+  return WriteFileDurably(path, SerializeCertificate(cert) + "\n");
+}
+
+Result<std::vector<ArtifactCheck>> CheckArtifactDir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Error("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().ends_with(".cert.json")) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Error("cannot read directory " + dir + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<ArtifactCheck> checks;
+  checks.reserve(files.size());
+  for (const fs::path& path : files) {
+    ArtifactCheck check;
+    check.file = path.filename().string();
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      check.message = "cannot read file";
+      checks.push_back(std::move(check));
+      continue;
+    }
+    Certificate cert;
+    std::string error;
+    if (!ParseCertificate(buffer.str(), &cert, &error)) {
+      check.message = error;
+      checks.push_back(std::move(check));
+      continue;
+    }
+    check.kind = CertificateKindName(cert.kind);
+    check.claim = CertificateClaimName(cert.claim);
+    CheckResult result = CheckCertificate(cert);
+    check.ok = result.ok;
+    check.message = result.message;
+    check.lemmas = result.lemmas;
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace cpr::certify

@@ -1,0 +1,52 @@
+// Certificate persistence: JSON artifacts for offline re-checking.
+//
+// A certificate serializes to a single JSON document (schema_version 1) with
+// DIMACS-style signed literals (var+1, negated => negative) so artifacts are
+// inspectable with standard tooling. WriteCertificateFile persists with the
+// write-temp + fsync + rename discipline shared with the daemon checkpoint
+// (netbase/durable_file.h) — an artifact either exists completely or not at
+// all. CheckArtifactDir drives `cpr certify <dir>`: parse every *.cert.json
+// and run the bundled checker over each, no solver involved.
+
+#ifndef CPR_SRC_CERTIFY_ARTIFACT_H_
+#define CPR_SRC_CERTIFY_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "certify/certify.h"
+#include "netbase/result.h"
+#include "smt/certificate.h"
+
+namespace cpr::certify {
+
+// JSON document (no trailing newline) for the certificate.
+std::string SerializeCertificate(const Certificate& cert);
+
+// Inverse of SerializeCertificate. Rejects unknown schema versions and
+// malformed literals; on failure returns false with a description in *error.
+bool ParseCertificate(const std::string& json, Certificate* out,
+                      std::string* error);
+
+// Durable write of the serialized certificate (plus trailing newline).
+Status WriteCertificateFile(const std::string& path, const Certificate& cert);
+
+// One artifact's offline verdict.
+struct ArtifactCheck {
+  std::string file;  // Basename within the directory.
+  std::string kind;
+  std::string claim;
+  bool ok = false;
+  std::string message;  // Parse or check failure, empty when ok.
+  int64_t lemmas = 0;
+};
+
+// Parses and checks every *.cert.json directly under `dir` (sorted by name).
+// A missing or unreadable directory is an Error; individual artifact
+// failures are reported per-entry, not as an overall error.
+Result<std::vector<ArtifactCheck>> CheckArtifactDir(const std::string& dir);
+
+}  // namespace cpr::certify
+
+#endif  // CPR_SRC_CERTIFY_ARTIFACT_H_

@@ -1,0 +1,86 @@
+// cpr::certify — independent certificate checking for MaxSMT results.
+//
+// The solvers *claim*; this module *checks*, sharing no state with the
+// search. Three entry points:
+//
+//   CheckCertificate     offline, CNF-level: replays a certificate's proof
+//                        events through the bundled RUP checker (rup.h),
+//                        validates UNSAT conclusions and assumption cores,
+//                        and replays the Fu-Malik transformation to confirm
+//                        optimality lower bounds. Needs nothing but the
+//                        certificate — this is what `cpr certify <dir>` runs
+//                        over persisted artifacts.
+//
+//   CheckCertified       in-process: everything CheckCertificate does, plus
+//                        the checks that need the original ConstraintSystem —
+//                        re-encoding the problem and comparing the generated
+//                        clause stream against the certificate's baseline
+//                        (cold solves), re-deriving the unsat-core
+//                        assumption map, and re-evaluating the model
+//                        arithmetic. Builds a model-only certificate for
+//                        backends that attach none (Z3).
+//
+//   MakeCertifyingBackend  decorator that runs CheckCertified after every
+//                        solve and stamps MaxSmtResult::certification.
+//                        Counters: certify.checked / verified / failed /
+//                        skipped / lemmas_checked.
+//
+// Trust model (DESIGN.md §13): a verified clausal certificate reduces trust
+// in the solver to trust in ~300 lines of propagation; in-process checking
+// additionally removes the encoding from the trusted base, offline checking
+// of a cold artifact trusts the recorded baseline to match the problem.
+
+#ifndef CPR_SRC_CERTIFY_CERTIFY_H_
+#define CPR_SRC_CERTIFY_CERTIFY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "smt/certificate.h"
+#include "solver/backend.h"
+#include "solver/constraint_system.h"
+
+namespace cpr::certify {
+
+enum class CertifyMode {
+  kOff,   // Never check; SolveCertified is not used.
+  kLog,   // Log proofs and attach certificates but defer checking: results
+          // ship unchecked (certification stays kNone) and the evidence is
+          // audited offline (`cpr certify <dir>` over --certify-dir
+          // artifacts). This is the production fast path: logging is the
+          // only solve-time cost, the replay happens out of band.
+  kAuto,  // Check UNSAT claims only (the cheap, high-stakes case: an
+          // unchecked UNSAT silently converts "repairable" to "impossible").
+  kOn,    // Check every optimal/unsat result.
+};
+
+// Parses "off" / "log" / "auto" / "on". Returns false on anything else.
+bool ParseCertifyMode(std::string_view text, CertifyMode* out);
+const char* CertifyModeName(CertifyMode mode);
+
+struct CheckResult {
+  bool ok = true;
+  std::string message;  // First failure, empty when ok.
+  int64_t lemmas = 0;   // RUP lemmas validated across all replays.
+};
+
+// Validates a certificate on its own terms (no ConstraintSystem needed).
+CheckResult CheckCertificate(const Certificate& cert);
+
+// Full in-process validation of a solve result against the system that
+// produced it. Attaches a (possibly rebuilt) certificate with the
+// model-side arithmetic filled in; does NOT set result->certification —
+// that is the certifying backend's call.
+CheckResult CheckCertified(const ConstraintSystem& system, MaxSmtResult* result);
+
+// Wraps a backend so every Solve runs through SolveCertified + CheckCertified
+// and the result carries certification == kVerified or kFailed (per `mode`).
+// kOff is rejected by assertion — callers skip wrapping instead.
+std::unique_ptr<MaxSmtBackend> MakeCertifyingBackend(
+    std::unique_ptr<MaxSmtBackend> inner, CertifyMode mode);
+
+}  // namespace cpr::certify
+
+#endif  // CPR_SRC_CERTIFY_CERTIFY_H_

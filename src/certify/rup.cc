@@ -1,0 +1,301 @@
+#include "certify/rup.h"
+
+#include <cstddef>
+
+namespace cpr::certify {
+
+bool RupChecker::Fail(const std::string& what) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = what;
+  }
+  return false;
+}
+
+void RupChecker::EnsureVar(BoolVar var) {
+  size_t need = static_cast<size_t>(var) + 1;
+  if (assigns_.size() < need) {
+    assigns_.resize(need, LBool::kUndef);
+    watches_.resize(need * 2);
+    seen_.resize(need * 2, 0);
+  }
+}
+
+LBool RupChecker::Value(Lit lit) const {
+  LBool v = assigns_[static_cast<size_t>(lit.var())];
+  return lit.negated() ? Negate(v) : v;
+}
+
+void RupChecker::Enqueue(Lit lit) {
+  assigns_[static_cast<size_t>(lit.var())] = lit.negated() ? LBool::kFalse : LBool::kTrue;
+  trail_.push_back(lit);
+}
+
+bool RupChecker::Propagate() {
+  while (head_ < trail_.size()) {
+    Lit p = trail_[head_++];
+    std::vector<size_t>& watch_list = watches_[static_cast<size_t>((~p).code())];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch_list.size(); ++i) {
+      size_t ref = watch_list[i];
+      CheckClause& data = clauses_[ref];
+      if (!data.active) {
+        continue;  // Deleted; unhook lazily.
+      }
+      Lit* lits = lit_data_.data() + data.offset;
+      if (lits[0] == ~p) {
+        std::swap(lits[0], lits[1]);
+      }
+      if (Value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = ref;
+        continue;
+      }
+      bool moved = false;
+      for (size_t j = 2; j < data.size; ++j) {
+        if (Value(lits[j]) != LBool::kFalse) {
+          std::swap(lits[1], lits[j]);
+          watches_[static_cast<size_t>(lits[1].code())].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;
+      }
+      watch_list[keep++] = ref;
+      if (Value(lits[0]) == LBool::kFalse) {
+        for (size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        head_ = trail_.size();
+        return false;
+      }
+      Enqueue(lits[0]);
+    }
+    watch_list.resize(keep);
+  }
+  return true;
+}
+
+bool RupChecker::PrepareScratch(std::span<const Lit> clause, bool* tautology) {
+  scratch_.clear();
+  *tautology = false;
+  for (Lit lit : clause) {
+    int32_t code = lit.code();
+    if (code < 0) {
+      return false;
+    }
+    EnsureVar(lit.var());
+    uint8_t& mark = seen_[static_cast<size_t>(code)];
+    if (mark != 0) {
+      continue;  // Duplicate literal.
+    }
+    if (seen_[static_cast<size_t>(code ^ 1)] != 0) {
+      *tautology = true;  // Complementary pair; keep both for delete-matching.
+    }
+    mark = 1;
+    scratch_.push_back(lit);
+  }
+  for (Lit lit : scratch_) {
+    seen_[static_cast<size_t>(lit.code())] = 0;
+  }
+  return true;
+}
+
+uint64_t RupChecker::ContentHash(const Lit* lits, size_t count) const {
+  // splitmix64 per literal, summed: the sum is order-independent, which is
+  // required because the watch machinery reorders stored literals in place.
+  uint64_t hash = 0x243f6a8885a308d3ULL + count;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t z = static_cast<uint64_t>(static_cast<uint32_t>(lits[i].code())) +
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    hash += z ^ (z >> 31);
+  }
+  return hash;
+}
+
+bool RupChecker::SameContentAsScratch(const CheckClause& clause) {
+  if (clause.size != scratch_.size()) {
+    return false;
+  }
+  const Lit* lits = lit_data_.data() + clause.offset;
+  for (size_t i = 0; i < clause.size; ++i) {
+    seen_[static_cast<size_t>(lits[i].code())] = 1;
+  }
+  bool same = true;
+  for (Lit lit : scratch_) {
+    if (seen_[static_cast<size_t>(lit.code())] == 0) {
+      same = false;
+      break;
+    }
+  }
+  for (size_t i = 0; i < clause.size; ++i) {
+    seen_[static_cast<size_t>(lits[i].code())] = 0;
+  }
+  // Both sides are duplicate-free, so equal size + set inclusion is set
+  // equality.
+  return same;
+}
+
+void RupChecker::EnsureDeleteIndex() {
+  if (delete_index_built_) {
+    return;
+  }
+  delete_index_built_ = true;
+  by_content_.reserve(clauses_.size() * 2);
+  for (uint32_t id = 0; id < clauses_.size(); ++id) {
+    const CheckClause& clause = clauses_[id];
+    by_content_[ContentHash(lit_data_.data() + clause.offset, clause.size)]
+        .push_back(id);
+  }
+}
+
+bool RupChecker::Add(bool tautology, bool input) {
+  const uint32_t id = static_cast<uint32_t>(clauses_.size());
+  const uint32_t offset = static_cast<uint32_t>(lit_data_.size());
+  lit_data_.insert(lit_data_.end(), scratch_.begin(), scratch_.end());
+  clauses_.push_back(CheckClause{offset, static_cast<uint32_t>(scratch_.size()),
+                                 true, input, tautology});
+  if (delete_index_built_) {
+    by_content_[ContentHash(lit_data_.data() + offset, scratch_.size())]
+        .push_back(id);
+  }
+  if (tautology || proven_unsat_) {
+    // Tautologies never propagate; once the database is in root conflict no
+    // further bookkeeping can change the verdict.
+    return true;
+  }
+  Lit* lits = lit_data_.data() + offset;
+  const size_t count = clauses_[id].size;
+  size_t free_pos[2];
+  size_t free_count = 0;
+  for (size_t pos = 0; pos < count; ++pos) {
+    LBool v = Value(lits[pos]);
+    if (v == LBool::kTrue) {
+      return true;  // Root-satisfied forever; no watches needed.
+    }
+    if (v == LBool::kUndef && free_count < 2) {
+      free_pos[free_count++] = pos;
+    }
+  }
+  if (free_count == 0) {
+    proven_unsat_ = true;
+    return true;
+  }
+  if (free_count == 1) {
+    Enqueue(lits[free_pos[0]]);
+    if (!Propagate()) {
+      proven_unsat_ = true;
+    }
+    return true;
+  }
+  // free_pos ascends, so free_pos[1] >= 1 and the first swap cannot move
+  // the second free literal.
+  std::swap(lits[0], lits[free_pos[0]]);
+  std::swap(lits[1], lits[free_pos[1]]);
+  watches_[static_cast<size_t>(lits[0].code())].push_back(id);
+  watches_[static_cast<size_t>(lits[1].code())].push_back(id);
+  return true;
+}
+
+bool RupChecker::AddInput(std::span<const Lit> clause) {
+  if (failed_) {
+    return false;
+  }
+  bool tautology = false;
+  if (!PrepareScratch(clause, &tautology)) {
+    return Fail("invalid literal in clause");
+  }
+  return Add(tautology, /*input=*/true);
+}
+
+bool RupChecker::AddLemma(std::span<const Lit> clause) {
+  if (failed_) {
+    return false;
+  }
+  bool tautology = false;
+  if (!PrepareScratch(clause, &tautology)) {
+    return Fail("invalid literal in lemma");
+  }
+  ++lemmas_checked_;
+  if (!proven_unsat_ && !tautology) {
+    // The RUP test: assume the negation of every literal and propagate; the
+    // lemma follows iff that derives a conflict. Temporary assignments are
+    // rolled back to the root trail either way.
+    size_t root = trail_.size();
+    bool conflict = false;
+    for (Lit lit : scratch_) {
+      LBool v = Value(lit);
+      if (v == LBool::kTrue) {
+        conflict = true;  // The negation is already contradicted.
+        break;
+      }
+      if (v == LBool::kUndef) {
+        Enqueue(~lit);
+      }
+    }
+    if (!conflict) {
+      conflict = !Propagate();
+    }
+    for (size_t i = trail_.size(); i-- > root;) {
+      assigns_[static_cast<size_t>(trail_[i].var())] = LBool::kUndef;
+    }
+    trail_.resize(root);
+    head_ = root;
+    if (!conflict) {
+      return Fail("lemma is not RUP");
+    }
+  }
+  return Add(tautology, /*input=*/false);
+}
+
+bool RupChecker::Delete(std::span<const Lit> clause) {
+  if (failed_) {
+    return false;
+  }
+  bool tautology = false;
+  if (!PrepareScratch(clause, &tautology)) {
+    return Fail("delete of a clause not in the database");
+  }
+  EnsureDeleteIndex();
+  const size_t none = clauses_.size();
+  size_t best = none;
+  auto it = by_content_.find(ContentHash(scratch_.data(), scratch_.size()));
+  if (it != by_content_.end()) {
+    for (size_t id : it->second) {
+      if (!clauses_[id].active || !SameContentAsScratch(clauses_[id])) {
+        continue;
+      }
+      // Prefer retiring a lemma over a same-content input: the solver only
+      // deletes learnt clauses, and an input inventory must never be
+      // weakened by a learnt deletion. (Deleting redundant lemmas keeps
+      // root facts sound: a lemma is entailed by the inputs, so removing it
+      // never removes a consequence.)
+      if (best == none || (clauses_[best].input && !clauses_[id].input)) {
+        best = id;
+      }
+    }
+  }
+  if (best == none) {
+    return Fail("delete of a clause not in the database");
+  }
+  clauses_[best].active = false;
+  return true;
+}
+
+bool RupChecker::Apply(ProofEventKind kind, std::span<const Lit> lits) {
+  switch (kind) {
+    case ProofEventKind::kInput:
+      return AddInput(lits);
+    case ProofEventKind::kLemma:
+      return AddLemma(lits);
+    case ProofEventKind::kDelete:
+      return Delete(lits);
+  }
+  return Fail("unknown proof event kind");
+}
+
+}  // namespace cpr::certify

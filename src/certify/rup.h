@@ -1,0 +1,115 @@
+// Reverse-unit-propagation proof checker.
+//
+// Replays a ProofStream forward, maintaining its own clause database and
+// root-level assignment (two-watched-literal propagation, shared nothing
+// with the solver):
+//
+//   kInput   added as an axiom; root unit propagation runs to fixpoint.
+//   kLemma   must pass the RUP test first: assert the negation of every
+//            literal, propagate, and demand a conflict. A lemma whose
+//            negation is already contradicted at root passes immediately;
+//            the empty lemma passes only when the database is already in
+//            root conflict. Validated lemmas join the database.
+//   kDelete  retires the active clause with the same literal set (matched
+//            as a set — the solver's watch normalization reorders literals
+//            in place). Lemma-added clauses are preferred over same-content
+//            inputs so an input inventory is never silently weakened by a
+//            learnt-clause deletion.
+//
+// proven_unsat() becomes true — and stays true — once a root conflict is
+// derived; a validated proof of UNSAT is exactly a replay that ends with
+// proven_unsat() set. All literals use smt/literal.h coordinates.
+//
+// Ingest is the hot path: a cold proof is overwhelmingly input events, so
+// clauses are stored in one flat literal array, deduplication and tautology
+// detection use a seen-mark array instead of sorting, and the content index
+// that backs kDelete matching (an order-independent hash over the literal
+// set) is built lazily on the first delete — a delete-free proof, the
+// common case, never pays for it.
+
+#ifndef CPR_SRC_CERTIFY_RUP_H_
+#define CPR_SRC_CERTIFY_RUP_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/literal.h"
+#include "smt/proof_log.h"
+
+namespace cpr::certify {
+
+class RupChecker {
+ public:
+  // All return false on failure and record a description in error(); the
+  // checker is then poisoned (every later call fails) so a caller can test
+  // the final Apply result alone.
+  bool AddInput(std::span<const Lit> clause);
+  bool AddLemma(std::span<const Lit> clause);
+  bool Delete(std::span<const Lit> clause);
+  bool Apply(ProofEventKind kind, std::span<const Lit> lits);
+
+  // Initializer-list overloads so call sites can pass braced literal lists
+  // (a braced list does not convert to std::span in C++20).
+  bool AddInput(std::initializer_list<Lit> clause) {
+    return AddInput(std::span<const Lit>(clause.begin(), clause.size()));
+  }
+  bool AddLemma(std::initializer_list<Lit> clause) {
+    return AddLemma(std::span<const Lit>(clause.begin(), clause.size()));
+  }
+  bool Delete(std::initializer_list<Lit> clause) {
+    return Delete(std::span<const Lit>(clause.begin(), clause.size()));
+  }
+
+  bool proven_unsat() const { return proven_unsat_; }
+  int64_t lemmas_checked() const { return lemmas_checked_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  struct CheckClause {
+    uint32_t offset = 0;  // Into lit_data_.
+    uint32_t size = 0;
+    bool active = true;
+    bool input = false;
+    bool tautology = false;  // Never propagates; kept for delete-matching.
+  };
+
+  bool Fail(const std::string& what);
+  void EnsureVar(BoolVar var);
+  LBool Value(Lit lit) const;
+  void Enqueue(Lit lit);
+  // Unit propagation from the current queue head. Returns false on conflict.
+  bool Propagate();
+  // Copies `clause` into scratch_ dropping duplicate literals; sets
+  // *tautology when it contains a complementary pair. False on an invalid
+  // (negative-code) literal.
+  bool PrepareScratch(std::span<const Lit> clause, bool* tautology);
+  // Adds scratch_ to the database and hooks watches / propagates.
+  bool Add(bool tautology, bool input);
+  // Order-independent literal-set hash; exact match is re-verified.
+  uint64_t ContentHash(const Lit* lits, size_t count) const;
+  bool SameContentAsScratch(const CheckClause& clause);
+  void EnsureDeleteIndex();
+
+  std::vector<CheckClause> clauses_;
+  std::vector<Lit> lit_data_;  // All clause literals, contiguous.
+  std::vector<Lit> scratch_;
+  std::vector<uint8_t> seen_;  // Indexed by literal code; always zero between calls.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_content_;
+  bool delete_index_built_ = false;
+  std::vector<std::vector<size_t>> watches_;  // Indexed by literal code.
+  std::vector<LBool> assigns_;
+  std::vector<Lit> trail_;
+  size_t head_ = 0;
+  bool proven_unsat_ = false;
+  bool failed_ = false;
+  int64_t lemmas_checked_ = 0;
+  std::string error_;
+};
+
+}  // namespace cpr::certify
+
+#endif  // CPR_SRC_CERTIFY_RUP_H_

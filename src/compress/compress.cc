@@ -83,6 +83,10 @@ void AccumulateStats(const RepairStats& from, RepairStats* into,
   into->bool_vars += from.bool_vars;
   into->hard_constraints += from.hard_constraints;
   into->soft_constraints += from.soft_constraints;
+  into->certify_checked += from.certify_checked;
+  into->certify_verified += from.certify_verified;
+  into->certify_failed += from.certify_failed;
+  into->certify_artifacts += from.certify_artifacts;
   AccumulateCounters(from.solver_counter_totals, counter_totals);
 }
 

@@ -119,6 +119,8 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
   CprReport report;
   report.incremental = incremental_stats_;
+  report.certify_mode = certify::CertifyModeName(options.repair.certify);
+  report.certify_artifact_dir = options.repair.certify_artifact_dir;
 
   // A request whose wall-clock budget is already gone — zero, negative, or
   // consumed while queued — must not start any work, not even the lint

@@ -74,6 +74,13 @@ struct CprReport {
   // uncompressed path. attempted == false when CompressMode::kOff.
   compress::CompressionStats compression;
 
+  // Certification echo (DESIGN.md §13): the requested mode ("off" | "log" |
+  // "auto" | "on") and the artifact directory, for the stats-json "certify"
+  // section.
+  // The verdict counts live in stats.certify_*.
+  std::string certify_mode = "off";
+  std::string certify_artifact_dir;
+
   // Incremental re-repair telemetry (DESIGN.md §12): dirty-set size, group
   // verdict/edit reuse, warm solver hits, and whether the scoped result fell
   // back to a full repair. attempted == false unless the pipeline was built

@@ -128,6 +128,8 @@ void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
     w->Key("solve_seconds").Double(problem.solve_seconds);
     w->Key("cost").Int(problem.cost);
     w->Key("message").String(problem.message);
+    w->Key("certification").String(CertificationName(problem.certification));
+    w->Key("certify_message").String(problem.certify_message);
     w->Key("solver_counters");
     WriteCounterPairs(w, problem.solver_counters);
     w->Key("violated_softs").BeginArray();
@@ -234,6 +236,23 @@ void WriteLint(obs::JsonWriter* w, const CprReport& report) {
   w->EndObject();
 }
 
+// Certification telemetry (DESIGN.md §13). Carries its own schema version:
+// the proof/checker formats evolve independently of the run schema. `mode`
+// echoes the request; the counts summarize the independent checker's
+// verdicts over the problem reports.
+void WriteCertify(obs::JsonWriter* w, const CprReport& report) {
+  const RepairStats& stats = report.stats;
+  w->Key("certify").BeginObject();
+  w->Key("schema_version").Int(1);
+  w->Key("mode").String(report.certify_mode);
+  w->Key("checked").Int(stats.certify_checked);
+  w->Key("verified").Int(stats.certify_verified);
+  w->Key("failed").Int(stats.certify_failed);
+  w->Key("artifacts").Int(stats.certify_artifacts);
+  w->Key("artifact_dir").String(report.certify_artifact_dir);
+  w->EndObject();
+}
+
 // Like the lint section, provenance carries its own schema version so `cpr
 // explain --json` and --stats-json stay in lockstep (both delegate to
 // obs::WriteProvenanceFields).
@@ -257,6 +276,7 @@ std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
     WriteRepair(&w, *report);
     WriteCompression(&w, *report);
     WriteIncremental(&w, *report);
+    WriteCertify(&w, *report);
     WriteLint(&w, *report);
     WriteProvenance(&w, *report);
   }

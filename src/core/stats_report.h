@@ -27,9 +27,14 @@
 //       "solver_counter_totals": { "<name>": <double>, ... },
 //       "problems": [ { "dsts", "status", "attempts", "backend",
 //                       "solve_seconds", "cost", "message",
+//                       "certification", "certify_message",
 //                       "solver_counters": { ... },
 //                       "violated_softs": [ { "label", "weight" }, ... ],
 //                       "unsat_core": [ "<label>", ... ] }, ... ]
+//     },
+//     "certify": {                     // present only when a repair ran
+//       "schema_version": 1, "mode", "checked", "verified", "failed",
+//       "artifacts", "artifact_dir"
 //     },
 //     "provenance": {                  // present only when a repair ran
 //       "schema_version": 1, "edits_total", "edits_attributed",

@@ -1,0 +1,78 @@
+#include "netbase/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace cpr {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteAll(int fd, const std::string& path, const std::string& contents) {
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      ::close(fd);
+      return Error("write " + path + ": " + std::strerror(saved));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileDurably(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error("open " + tmp + ": " + std::strerror(errno));
+  }
+  Status written = WriteAll(fd, tmp, contents);
+  if (!written.ok()) {
+    return written;  // WriteAll closed the fd.
+  }
+  bool synced = ::fsync(fd) == 0;
+  bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    return Error("sync " + tmp + " failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Error("rename " + tmp + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status AppendLineDurably(const std::string& path, const std::string& line) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Error("open " + path + ": " + std::strerror(errno));
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  Status written = WriteAll(fd, path, framed);
+  if (!written.ok()) {
+    return written;
+  }
+  bool synced = ::fsync(fd) == 0;
+  bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    return Error("sync " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpr

@@ -1,0 +1,26 @@
+// Crash-durable file primitives shared by every layer that persists state:
+// the serve checkpoint store and the certify artifact writer. Both need the
+// same guarantee — a reader never observes a torn file, even across a power
+// cut or a deadline cancellation mid-write.
+
+#ifndef CPR_SRC_NETBASE_DURABLE_FILE_H_
+#define CPR_SRC_NETBASE_DURABLE_FILE_H_
+
+#include <string>
+
+#include "netbase/result.h"
+
+namespace cpr {
+
+// Writes `contents` to `path` all-or-nothing: write to `path + ".tmp"`,
+// fsync, close, rename over `path`. A crash mid-write leaves only the .tmp
+// file (callers sweep those on recovery); the destination either keeps its
+// old contents or atomically gains the new ones.
+Status WriteFileDurably(const std::string& path, const std::string& contents);
+
+// Appends `line` (newline-framed) to `path` and fsyncs before returning.
+Status AppendLineDurably(const std::string& path, const std::string& line);
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_NETBASE_DURABLE_FILE_H_

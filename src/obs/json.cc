@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace cpr::obs {
 
@@ -153,11 +155,14 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+  // With a non-null `root`, the parse also materializes a DOM into it
+  // (ParseJson); with null it is a pure syntax check (ValidateJson).
+  Parser(std::string_view text, std::string* error, JsonValue* root = nullptr)
+      : text_(text), error_(error), root_(root) {}
 
   bool Run() {
     SkipWs();
-    if (!Value()) {
+    if (!Value(root_)) {
       return false;
     }
     SkipWs();
@@ -193,7 +198,7 @@ class Parser {
     return true;
   }
 
-  bool String() {
+  bool String(std::string* out = nullptr) {
     if (pos_ >= text_.size() || text_[pos_] != '"') {
       return Fail("expected string");
     }
@@ -214,23 +219,60 @@ class Parser {
         }
         char e = text_[pos_];
         if (e == 'u') {
+          unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos_;
             if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
               return Fail("bad \\u escape");
             }
+            unsigned char h = static_cast<unsigned char>(text_[pos_]);
+            code = code * 16 +
+                   static_cast<unsigned>(std::isdigit(h) ? h - '0' : std::tolower(h) - 'a' + 10);
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
-          return Fail("bad escape character");
+          if (out != nullptr) {
+            AppendUtf8(out, code);
+          }
+        } else {
+          if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+              e != 'r' && e != 't') {
+            return Fail("bad escape character");
+          }
+          if (out != nullptr) {
+            switch (e) {
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              default: *out += e;
+            }
+          }
         }
+      } else if (out != nullptr) {
+        *out += static_cast<char>(c);
       }
       ++pos_;
     }
     return Fail("unterminated string");
   }
 
-  bool Number() {
+  static void AppendUtf8(std::string* out, unsigned code) {
+    // Basic multilingual plane only (surrogate pairs are preserved as two
+    // separately-encoded code units — lossy but unambiguous; our artifact
+    // strings are ASCII).
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool Number(JsonValue* out = nullptr) {
     size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
@@ -266,10 +308,17 @@ class Parser {
         ++pos_;
       }
     }
-    return pos_ > start;
+    if (pos_ <= start) {
+      return false;
+    }
+    if (out != nullptr) {
+      out->type = JsonValue::Type::kNumber;
+      out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    }
+    return true;
   }
 
-  bool Value() {
+  bool Value(JsonValue* out) {
     if (++depth_ > 256) {
       return Fail("nesting too deep");
     }
@@ -280,31 +329,50 @@ class Parser {
     bool ok = false;
     switch (text_[pos_]) {
       case '{':
-        ok = Object();
+        ok = Object(out);
         break;
       case '[':
-        ok = Array();
+        ok = Array(out);
         break;
       case '"':
-        ok = String();
+        if (out != nullptr) {
+          out->type = JsonValue::Type::kString;
+          ok = String(&out->string);
+        } else {
+          ok = String();
+        }
         break;
       case 't':
         ok = Literal("true");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = true;
+        }
         break;
       case 'f':
         ok = Literal("false");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = false;
+        }
         break;
       case 'n':
         ok = Literal("null");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kNull;
+        }
         break;
       default:
-        ok = Number();
+        ok = Number(out);
     }
     --depth_;
     return ok;
   }
 
-  bool Object() {
+  bool Object(JsonValue* out) {
+    if (out != nullptr) {
+      out->type = JsonValue::Type::kObject;
+    }
     ++pos_;  // '{'
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == '}') {
@@ -313,7 +381,8 @@ class Parser {
     }
     while (true) {
       SkipWs();
-      if (!String()) {
+      std::string key;
+      if (!String(out != nullptr ? &key : nullptr)) {
         return false;
       }
       SkipWs();
@@ -321,7 +390,12 @@ class Parser {
         return Fail("expected ':'");
       }
       ++pos_;
-      if (!Value()) {
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue{});
+        slot = &out->members.back().second;
+      }
+      if (!Value(slot)) {
         return false;
       }
       SkipWs();
@@ -340,7 +414,10 @@ class Parser {
     }
   }
 
-  bool Array() {
+  bool Array(JsonValue* out) {
+    if (out != nullptr) {
+      out->type = JsonValue::Type::kArray;
+    }
     ++pos_;  // '['
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == ']') {
@@ -348,7 +425,12 @@ class Parser {
       return true;
     }
     while (true) {
-      if (!Value()) {
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!Value(slot)) {
         return false;
       }
       SkipWs();
@@ -369,6 +451,7 @@ class Parser {
 
   std::string_view text_;
   std::string* error_;
+  JsonValue* root_ = nullptr;
   size_t pos_ = 0;
   int depth_ = 0;
 };
@@ -377,6 +460,23 @@ class Parser {
 
 bool ValidateJson(std::string_view text, std::string* error) {
   return Parser(text, error).Run();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return Parser(text, error, out).Run();
 }
 
 }  // namespace cpr::obs

@@ -9,6 +9,10 @@
 //
 // ValidateJson is a strict recursive-descent syntax checker used by the
 // schema tests and available to tools; it does not build a DOM.
+//
+// ParseJson runs the same grammar but materializes a JsonValue DOM — added
+// for the certify artifact reader (`cpr certify <dir>` re-parses persisted
+// proof JSON), still with zero third-party dependencies.
 
 #ifndef CPR_SRC_OBS_JSON_H_
 #define CPR_SRC_OBS_JSON_H_
@@ -16,6 +20,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cpr::obs {
@@ -60,6 +65,31 @@ std::string JsonEscape(std::string_view raw);
 // failure returns false and, when `error` is non-null, a brief description
 // with the byte offset.
 bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+// Parsed JSON document. Object member order is preserved; duplicate keys are
+// kept as-is (Find returns the first).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;    // kNumber (int64 values up to 2^53 round-trip exactly).
+  std::string string;   // kString
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  bool IsNumber() const { return type == Type::kNumber; }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return IsNumber() ? static_cast<int64_t>(number) : fallback;
+  }
+  double AsDouble(double fallback = 0) const { return IsNumber() ? number : fallback; }
+};
+
+// Parses `text` into `*out` with the same grammar ValidateJson accepts.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
 
 }  // namespace cpr::obs
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "certify/certify.h"
 #include "netbase/deadline.h"
 #include "solver/fault_injection.h"
 
@@ -141,6 +142,19 @@ struct RepairOptions {
   // Testing hook: deterministically degrade solver calls (see
   // solver/fault_injection.h). Disabled by default.
   FaultInjectionSpec fault_injection;
+
+  // --- Certification (src/certify; DESIGN.md §13) ---
+  // kAuto checks UNSAT claims only; kOn checks every optimal/unsat result;
+  // kLog records proofs and attaches certificates but defers checking to
+  // the offline auditor (`cpr certify` over the artifact dir).
+  // A result whose certificate fails the inline check is rerouted to
+  // the failover engine and, failing that too, demoted to kError — an
+  // unproven repair never ships as a success.
+  certify::CertifyMode certify = certify::CertifyMode::kOff;
+  // When non-empty (and certify != kOff), every problem's certificate is
+  // persisted as <dir>/p<seq>-<claim>.cert.json for offline re-checking
+  // with `cpr certify <dir>`.
+  std::string certify_artifact_dir;
 
   // Whether repairs may place new waypoints on links (paper footnote 2:
   // virtual network functions let waypoints be added on arbitrary links).

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,8 @@
 #include <string>
 #include <thread>
 
+#include "certify/artifact.h"
+#include "certify/certify.h"
 #include "netbase/deadline.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -185,6 +188,10 @@ class BorrowedBackend final : public MaxSmtBackend {
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
     return inner_->Solve(system, timeout_seconds);
   }
+  MaxSmtResult SolveCertified(const ConstraintSystem& system,
+                              double timeout_seconds) override {
+    return inner_->SolveCertified(system, timeout_seconds);
+  }
   std::string name() const override { return inner_->name(); }
 
  private:
@@ -224,9 +231,19 @@ std::unique_ptr<MaxSmtBackend> MakeWorkerBackend(const RepairOptions& options,
   if (options.fault_injection.enabled()) {
     primary = MakeFaultInjectingBackend(std::move(primary), options.fault_injection);
   }
+  // The certifying wrapper must sit ABOVE fault injection (so seeded
+  // certificate corruption is visible to the checker) and BELOW failover (so
+  // a failed check on the primary can reroute to the secondary, which gets
+  // its own independent checker).
+  if (options.certify != certify::CertifyMode::kOff) {
+    primary = certify::MakeCertifyingBackend(std::move(primary), options.certify);
+  }
   std::unique_ptr<MaxSmtBackend> secondary;
   if (options.enable_failover && options.backend == BackendChoice::kInternal) {
     secondary = MakeZ3Backend();
+    if (options.certify != certify::CertifyMode::kOff) {
+      secondary = certify::MakeCertifyingBackend(std::move(secondary), options.certify);
+    }
   }
   FailoverPolicy policy;
   policy.max_retries = options.max_retries;
@@ -335,8 +352,10 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     obs::StageSpan problem_span("repair.problem");
     Clock::time_point start = Clock::now();
     try {
-      models[index] = backend->Solve(encoders[index]->system(),
-                                     deadline.ClampTimeout(options.timeout_seconds));
+      const double budget = deadline.ClampTimeout(options.timeout_seconds);
+      models[index] = options.certify != certify::CertifyMode::kOff
+                          ? backend->SolveCertified(encoders[index]->system(), budget)
+                          : backend->Solve(encoders[index]->system(), budget);
     } catch (const std::exception& e) {
       // The failover decorator already catches; this is the last line of
       // defense so a worker can never call std::terminate.
@@ -458,6 +477,21 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     report.solve_seconds = solve_times[i];
     report.cost = models[i].cost;
     report.message = models[i].message;
+    report.certification = models[i].certification;
+    report.certify_message = models[i].certify_message;
+    report.certificate = models[i].certificate;
+    switch (report.certification) {
+      case MaxSmtResult::Certification::kNone:
+        break;
+      case MaxSmtResult::Certification::kVerified:
+        ++outcome.stats.certify_checked;
+        ++outcome.stats.certify_verified;
+        break;
+      case MaxSmtResult::Certification::kFailed:
+        ++outcome.stats.certify_checked;
+        ++outcome.stats.certify_failed;
+        break;
+    }
     report.solver_counters = models[i].solver_counters;
     for (const auto& [name, value] : report.solver_counters) {
       counter_totals[name] += value;
@@ -495,6 +529,38 @@ Result<RepairOutcome> ComputeRepair(const Harc& original,
     obs::Registry& registry = obs::CurrentRegistry();
     registry.counter("repair.problems_solved").Add(outcome.stats.problems_solved);
     registry.counter("repair.problems_failed").Add(outcome.stats.problems_failed);
+  }
+  // Persist certificate artifacts for offline re-checking (`cpr certify`).
+  // This runs even when every problem failed — UNSAT certificates are
+  // exactly what a post-mortem wants. The sequence counter is process-wide
+  // so successive runs into one directory never collide.
+  if (options.certify != certify::CertifyMode::kOff &&
+      !options.certify_artifact_dir.empty()) {
+    obs::StageSpan certify_span("pipeline.certify");
+    std::error_code ec;
+    std::filesystem::create_directories(options.certify_artifact_dir, ec);
+    static std::atomic<uint64_t> artifact_seq{0};
+    int written = 0;
+    for (size_t i = 0; i < problems.size(); ++i) {
+      const ProblemReport& report = outcome.stats.problem_reports[i];
+      if (report.certificate == nullptr) {
+        continue;
+      }
+      Certificate cert = *report.certificate;
+      cert.problem = ProblemKey(problems[i]);
+      const uint64_t seq = artifact_seq.fetch_add(1);
+      const std::string path = options.certify_artifact_dir + "/p" +
+                               std::to_string(seq) + "-" +
+                               CertificateClaimName(cert.claim) + ".cert.json";
+      if (certify::WriteCertificateFile(path, cert).ok()) {
+        ++written;
+      } else {
+        obs::CurrentRegistry().counter("certify.artifact_errors").Increment();
+      }
+    }
+    outcome.stats.certify_artifacts = written;
+    obs::CurrentRegistry().counter("certify.artifacts").Add(written);
+    certify_span.Annotate("artifacts", std::to_string(written));
   }
   auto overall_failure = [&]() {
     // The first failed problem (in problem order) names the run's status,

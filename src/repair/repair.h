@@ -18,6 +18,7 @@
 #ifndef CPR_SRC_REPAIR_REPAIR_H_
 #define CPR_SRC_REPAIR_REPAIR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,13 @@ struct ProblemReport {
   // the backend's unsat core.
   std::vector<std::pair<std::string, int64_t>> violated_softs;
   std::vector<std::string> unsat_core_labels;
+  // Certification verdict (src/certify): kNone unless the run asked for
+  // checking; kFailed results were rerouted/demoted by the failover layer
+  // and `certify_message` carries the checker's diagnosis. The certificate
+  // itself is retained for artifact emission and post-mortems.
+  MaxSmtResult::Certification certification = MaxSmtResult::Certification::kNone;
+  std::string certify_message;
+  std::shared_ptr<const Certificate> certificate;
   // The construct-level edits this problem's model contributed to the merged
   // repair (empty for failed problems). The incremental engine replays these
   // verbatim for groups the config differ proved untouched.
@@ -115,6 +123,13 @@ struct RepairStats {
   int64_t bool_vars = 0;
   int64_t hard_constraints = 0;
   int64_t soft_constraints = 0;
+  // Certification totals over the problem reports (all zero with certify
+  // off): how many results were checked, how many verified/failed, and how
+  // many certificate artifacts were persisted.
+  int certify_checked = 0;
+  int certify_verified = 0;
+  int certify_failed = 0;
+  int certify_artifacts = 0;
   // One entry per formulated problem, in problem order.
   std::vector<ProblemReport> problem_reports;
   // Sum of per-problem solver counters across all problem reports.

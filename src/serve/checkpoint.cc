@@ -1,18 +1,15 @@
 #include "serve/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <utility>
+
+#include "netbase/durable_file.h"
 
 namespace cpr::serve {
 
@@ -63,71 +60,8 @@ Result<CheckpointRecord> CheckpointStore::DecodeRecord(const std::string& line) 
   return record;
 }
 
-namespace {
-
-// Write + fsync + rename: the checkpoint is all-or-nothing even across a
-// power cut mid-write.
-Status WriteFileDurably(const std::string& path, const std::string& contents) {
-  std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Error("open " + tmp + ": " + std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      int saved = errno;
-      ::close(fd);
-      return Error("write " + tmp + ": " + std::strerror(saved));
-    }
-    written += static_cast<size_t>(n);
-  }
-  bool synced = ::fsync(fd) == 0;
-  bool closed = ::close(fd) == 0;
-  if (!synced || !closed) {
-    return Error("sync " + tmp + " failed");
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    return Error("rename " + tmp + ": " + ec.message());
-  }
-  return Status::Ok();
-}
-
-Status AppendLineDurably(const std::string& path, const std::string& line) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Error("open " + path + ": " + std::strerror(errno));
-  }
-  std::string framed = line;
-  framed.push_back('\n');
-  size_t written = 0;
-  while (written < framed.size()) {
-    ssize_t n = ::write(fd, framed.data() + written, framed.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      int saved = errno;
-      ::close(fd);
-      return Error("write " + path + ": " + std::strerror(saved));
-    }
-    written += static_cast<size_t>(n);
-  }
-  bool synced = ::fsync(fd) == 0;
-  bool closed = ::close(fd) == 0;
-  if (!synced || !closed) {
-    return Error("sync " + path + " failed");
-  }
-  return Status::Ok();
-}
-
-}  // namespace
+// Durable write-temp+fsync+rename discipline lives in netbase/durable_file.h
+// (shared with the certify artifact writer).
 
 Status CheckpointStore::Persist(const CheckpointRecord& record) {
   return WriteFileDurably(RequestPath(record.id), EncodeRecord(record) + "\n");

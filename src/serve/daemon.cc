@@ -378,6 +378,14 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
 
   options->repair.deadline = request->deadline;
   options->repair.solve_runner = solve_pool_.get();
+  // Per-request certificate retention: when the client asked for checking
+  // and the daemon persists results, the certificates land next to them so
+  // `cpr certify <results>/certs/<id>` can re-validate the run offline.
+  if (options->repair.certify != certify::CertifyMode::kOff &&
+      !options_.results_dir.empty()) {
+    options->repair.certify_artifact_dir =
+        options_.results_dir + "/certs/" + std::to_string(request->id);
+  }
   // The snapshot's compression cache persists the base partition and
   // quotients across re-submissions of the same snapshot; differ-driven
   // invalidation drops it with the entry. The warm path has none — its

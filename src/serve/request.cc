@@ -56,6 +56,10 @@ Result<CprOptions> ToCprOptions(const RequestSpec& spec) {
     return Error("unknown incremental mode: " + spec.incremental);
   }
 
+  if (!certify::ParseCertifyMode(spec.certify, &options.repair.certify)) {
+    return Error("unknown certify mode: " + spec.certify);
+  }
+
   if (!spec.inject_fault.empty()) {
     Result<FaultInjectionSpec> fault = FaultInjectionSpec::Parse(spec.inject_fault);
     if (!fault.ok()) {
@@ -90,6 +94,7 @@ WireFields FieldsFromSpec(const RequestSpec& spec) {
   if (spec.lint != defaults.lint) put("lint", spec.lint);
   if (spec.compress != defaults.compress) put("compress", spec.compress);
   if (spec.incremental != defaults.incremental) put("incremental", spec.incremental);
+  if (spec.certify != defaults.certify) put("certify", spec.certify);
   if (!spec.inject_fault.empty()) put("inject_fault", spec.inject_fault);
   return fields;
 }
@@ -109,6 +114,7 @@ RequestSpec SpecFromFields(const WireFields& fields) {
   spec.lint = view.Get("lint", spec.lint);
   spec.compress = view.Get("compress", spec.compress);
   spec.incremental = view.Get("incremental", spec.incremental);
+  spec.certify = view.Get("certify", spec.certify);
   spec.inject_fault = view.Get("inject_fault");
   return spec;
 }

@@ -43,6 +43,11 @@ struct RequestSpec {
   // sound result — diff, reuse clean groups' verdicts, warm-solve dirty
   // ones. "off": always the full pipeline, and no session is retained.
   std::string incremental = "auto";
+  // "on" | "off" | "auto": independent certificate checking of every solver
+  // claim (certify/). When not "off" the daemon also persists the request's
+  // certificate artifacts under <results-dir>/certs/<request-id>/ for
+  // offline `cpr certify`.
+  std::string certify = "off";
   std::string inject_fault;           // FaultInjectionSpec text (testing).
 };
 

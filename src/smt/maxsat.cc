@@ -42,6 +42,17 @@ std::optional<MaxSatSolver::Solution> MaxSatSolver::Solve() {
     return std::nullopt;
   }
   timed_out_ = false;
+  if (log_ != nullptr) {
+    // Watermarks + soft inventory: everything the optimality checker needs
+    // to replay this call's relaxations against the log suffix.
+    cert_trail_ = CertTrail{};
+    cert_trail_.baseline_vars = sat_.VarCount();
+    cert_trail_.baseline_events = static_cast<int64_t>(log_->size());
+    cert_trail_.softs.reserve(softs_.size());
+    for (const Soft& soft : softs_) {
+      cert_trail_.softs.push_back({soft.clause, soft.weight, soft.selector});
+    }
+  }
   // Fu-Malik terminates only on hard-satisfiable instances (every core must
   // contain a soft clause); establish that up front.
   ++stats_.sat_calls;
@@ -119,6 +130,17 @@ std::optional<MaxSatSolver::Solution> MaxSatSolver::Solve() {
     if (core_softs.empty()) {
       // Core involves no soft clause: hard constraints are unsatisfiable.
       return std::nullopt;
+    }
+    if (log_ != nullptr) {
+      // The core lemma AnalyzeFinal just logged is the last event; record it
+      // with the member indices before relaxation appends input clauses.
+      CertIteration iteration;
+      iteration.core_event = static_cast<int64_t>(log_->size()) - 1;
+      iteration.members.reserve(core_softs.size());
+      for (size_t i : core_softs) {
+        iteration.members.push_back(static_cast<int64_t>(i));
+      }
+      cert_trail_.iterations.push_back(std::move(iteration));
     }
 
     int64_t wmin = std::numeric_limits<int64_t>::max();

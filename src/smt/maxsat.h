@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "smt/certificate.h"
 #include "smt/sat_solver.h"
 
 namespace cpr {
@@ -32,6 +33,7 @@ struct MaxSatStats {
 class MaxSatSolver {
  public:
   BoolVar NewVar() { return sat_.NewVar(); }
+  int VarCount() const { return sat_.VarCount(); }
 
   void AddHard(Clause clause);
   // Soft clauses carry positive weights; satisfying one earns its weight.
@@ -65,6 +67,26 @@ class MaxSatSolver {
   const MaxSatStats& stats() const { return stats_; }
   const SatStats& sat_stats() const { return sat_.stats(); }
 
+  // Proof logging (see smt/proof_log.h). The log is forwarded to the SAT
+  // engine, and every Solve() additionally records a certificate trail: the
+  // soft inventory + var/event watermarks at entry, and one CertIteration per
+  // extracted core, so an independent checker can replay the Fu-Malik
+  // transformation and validate the claimed optimum (DESIGN.md §13).
+  void SetProofLog(ProofLog* log) {
+    log_ = log;
+    sat_.SetProofLog(log);
+  }
+  ProofLog* proof_log() const { return log_; }
+
+  struct CertTrail {
+    std::vector<CertSoft> softs;  // Inventory snapshot at Solve() entry.
+    int32_t baseline_vars = 0;    // SAT var count at Solve() entry.
+    int64_t baseline_events = 0;  // Log size at Solve() entry.
+    std::vector<CertIteration> iterations;
+  };
+  // Valid after Solve() while a proof log is attached; overwritten per call.
+  const CertTrail& cert_trail() const { return cert_trail_; }
+
  private:
   struct Soft {
     Clause clause;
@@ -79,6 +101,8 @@ class MaxSatSolver {
   bool hard_unsat_ = false;
   bool timed_out_ = false;
   MaxSatStats stats_;
+  ProofLog* log_ = nullptr;
+  CertTrail cert_trail_;
 };
 
 }  // namespace cpr

@@ -52,6 +52,13 @@ BoolVar SatSolver::NewVar() {
 
 bool SatSolver::AddClause(Clause clause) {
   assert(DecisionLevel() == 0);
+  // Log the clause exactly as the caller stated it, before simplification:
+  // the proof's input inventory must be what was asserted, not what survived
+  // root-level rewriting. Logged even when already unsat so a replayed
+  // encoding produces an identical input stream.
+  if (log_ != nullptr) {
+    log_->Input(clause);
+  }
   if (unsat_) {
     return false;
   }
@@ -72,12 +79,18 @@ bool SatSolver::AddClause(Clause clause) {
   }
   if (simplified.empty()) {
     unsat_ = true;
+    if (log_ != nullptr) {
+      log_->EmptyLemma();
+    }
     return false;
   }
   if (simplified.size() == 1) {
     Enqueue(simplified[0], kNoReason);
     if (Propagate() != kNoReason) {
       unsat_ = true;
+      if (log_ != nullptr) {
+        log_->EmptyLemma();
+      }
       return false;
     }
     return true;
@@ -283,34 +296,44 @@ void SatSolver::Analyze(ClauseRef conflict, Clause* learnt, int* backtrack_level
 void SatSolver::AnalyzeFinal(Lit failed, const std::vector<Lit>& assumptions) {
   core_.clear();
   core_.push_back(failed);
-  if (DecisionLevel() == 0) {
-    return;
-  }
-  std::vector<uint8_t>& seen = seen_;
-  seen[static_cast<size_t>(failed.var())] = 1;
-  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_limits_[0]);) {
-    size_t v = static_cast<size_t>(trail_[i].var());
-    if (seen[v] == 0) {
-      continue;
-    }
-    if (reason_[v] == kNoReason) {
-      // A decision inside the assumption prefix is an assumption.
-      Lit decision = trail_[i];
-      if (std::find(assumptions.begin(), assumptions.end(), decision) !=
-          assumptions.end()) {
-        core_.push_back(decision);
+  if (DecisionLevel() > 0) {
+    std::vector<uint8_t>& seen = seen_;
+    seen[static_cast<size_t>(failed.var())] = 1;
+    for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_limits_[0]);) {
+      size_t v = static_cast<size_t>(trail_[i].var());
+      if (seen[v] == 0) {
+        continue;
       }
-    } else {
-      const Clause& lits = clauses_[static_cast<size_t>(reason_[v])].lits;
-      for (size_t j = 1; j < lits.size(); ++j) {
-        if (level_[static_cast<size_t>(lits[j].var())] > 0) {
-          seen[static_cast<size_t>(lits[j].var())] = 1;
+      if (reason_[v] == kNoReason) {
+        // A decision inside the assumption prefix is an assumption.
+        Lit decision = trail_[i];
+        if (std::find(assumptions.begin(), assumptions.end(), decision) !=
+            assumptions.end()) {
+          core_.push_back(decision);
+        }
+      } else {
+        const Clause& lits = clauses_[static_cast<size_t>(reason_[v])].lits;
+        for (size_t j = 1; j < lits.size(); ++j) {
+          if (level_[static_cast<size_t>(lits[j].var())] > 0) {
+            seen[static_cast<size_t>(lits[j].var())] = 1;
+          }
         }
       }
+      seen[v] = 0;
     }
-    seen[v] = 0;
+    seen[static_cast<size_t>(failed.var())] = 0;
   }
-  seen[static_cast<size_t>(failed.var())] = 0;
+  // The core clause (~a for each core assumption a) is implied by the
+  // database: the reason chains walked above are exactly the unit
+  // propagations that make it RUP-checkable, so log it as a lemma.
+  if (log_ != nullptr) {
+    Clause core_clause;
+    core_clause.reserve(core_.size());
+    for (Lit lit : core_) {
+      core_clause.push_back(~lit);
+    }
+    log_->Lemma(core_clause);
+  }
 }
 
 void SatSolver::Backtrack(int target_level) {
@@ -381,6 +404,11 @@ void SatSolver::ReduceLearnts() {
         reason_[static_cast<size_t>(first.var())] == learnts[i]) {
       continue;
     }
+    // Log with the literals as they are NOW (watch normalization reorders
+    // them); the checker matches deletions by sorted content.
+    if (log_ != nullptr) {
+      log_->Delete(data.lits);
+    }
     data.deleted = true;
     data.lits.clear();
     data.lits.shrink_to_fit();
@@ -396,6 +424,9 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
   Backtrack(0);
   if (Propagate() != kNoReason) {
     unsat_ = true;
+    if (log_ != nullptr) {
+      log_->EmptyLemma();
+    }
     return SatResult::kUnsat;
   }
 
@@ -420,6 +451,9 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
       ++conflicts_this_restart;
       if (DecisionLevel() == 0) {
         unsat_ = true;
+        if (log_ != nullptr) {
+          log_->EmptyLemma();
+        }
         return SatResult::kUnsat;
       }
       // A conflict whose analysis would land inside the assumption prefix:
@@ -429,11 +463,20 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
       Clause learnt;
       int backtrack_level = 0;
       Analyze(conflict, &learnt, &backtrack_level);
+      // First-UIP learnt clauses (including after the self-subsumption
+      // minimization, which is itself a chain of trivial resolutions) are
+      // RUP against the live database.
+      if (log_ != nullptr) {
+        log_->Lemma(learnt);
+      }
       stats_.learnt_literals += static_cast<int64_t>(learnt.size());
       Backtrack(backtrack_level);
       if (learnt.size() == 1) {
         if (Value(learnt[0]) == LBool::kFalse) {
           unsat_ = true;
+          if (log_ != nullptr) {
+            log_->EmptyLemma();
+          }
           return SatResult::kUnsat;
         }
         if (Value(learnt[0]) == LBool::kUndef) {

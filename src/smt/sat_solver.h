@@ -19,6 +19,7 @@
 
 #include "netbase/deadline.h"
 #include "smt/literal.h"
+#include "smt/proof_log.h"
 
 namespace cpr {
 
@@ -73,6 +74,15 @@ class SatSolver {
   // forced after a handful of conflicts instead of ~4500 (the natural decay
   // rate). Used by the order-heap staleness regression test.
   void SetVarActivityIncrementForTest(double increment) { var_inc_ = increment; }
+
+  // Attaches a proof log (smt/proof_log.h). While set, every AddClause input,
+  // learnt clause, assumption-core clause, learnt deletion, and root-UNSAT
+  // conclusion is appended, making the solver's kUnsat answers checkable by
+  // reverse unit propagation without trusting the search. The log must
+  // outlive the solver or be detached with SetProofLog(nullptr). Attach it
+  // before the first AddClause: the checker needs the complete input
+  // inventory.
+  void SetProofLog(ProofLog* log) { log_ = log; }
 
  private:
   struct ClauseData {
@@ -141,6 +151,7 @@ class SatSolver {
   std::vector<Lit> analyze_clear_;
 
   bool unsat_ = false;
+  ProofLog* log_ = nullptr;
   std::vector<Lit> core_;
   SatStats stats_;
   Deadline deadline_;

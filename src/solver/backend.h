@@ -20,6 +20,8 @@
 
 namespace cpr {
 
+struct Certificate;  // smt/certificate.h
+
 struct MaxSmtResult {
   enum class Status {
     kOptimal,      // All hard constraints satisfied, soft weight maximized.
@@ -56,8 +58,33 @@ struct MaxSmtResult {
   std::vector<int> violated_soft;
   std::vector<int> unsat_core;
 
+  // Certification (src/certify/). A backend's SolveCertified attaches the
+  // evidence bundle; the certifying wrapper sets `certification` after
+  // checking it. kFailed results must never ship: FailoverBackend reroutes
+  // them to the secondary engine or demotes them to kError.
+  enum class Certification {
+    kNone,      // Not requested / not applicable for this status.
+    kVerified,  // The independent checker validated the claim.
+    kFailed,    // The check failed; treat the result as untrusted.
+  };
+  Certification certification = Certification::kNone;
+  std::string certify_message;  // Failure detail when kFailed.
+  std::shared_ptr<const Certificate> certificate;
+
   bool ok() const { return status == Status::kOptimal; }
 };
+
+inline const char* CertificationName(MaxSmtResult::Certification certification) {
+  switch (certification) {
+    case MaxSmtResult::Certification::kNone:
+      return "none";
+    case MaxSmtResult::Certification::kVerified:
+      return "verified";
+    case MaxSmtResult::Certification::kFailed:
+      return "failed";
+  }
+  return "?";
+}
 
 inline const char* MaxSmtStatusName(MaxSmtResult::Status status) {
   switch (status) {
@@ -101,6 +128,17 @@ class MaxSmtBackend {
 
   // `timeout_seconds` <= 0 means unbounded.
   virtual MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) = 0;
+
+  // Like Solve, but additionally attaches proof evidence to the result
+  // (MaxSmtResult::certificate) when the engine can produce it. The default
+  // falls back to a plain solve — the certifying wrapper then builds the
+  // weaker model-only certificate from the result itself. Engines with a
+  // proof-logging path (the internal CDCL/MaxSAT stack) override this;
+  // decorators (fault injection, failover, borrowing) must forward it.
+  virtual MaxSmtResult SolveCertified(const ConstraintSystem& system, double timeout_seconds) {
+    return Solve(system, timeout_seconds);
+  }
+
   virtual std::string name() const = 0;
 };
 

@@ -16,14 +16,12 @@ class FailoverBackend final : public MaxSmtBackend {
       : primary_(std::move(primary)), secondary_(std::move(secondary)), policy_(policy) {}
 
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
-    int attempts = 0;
-    MaxSmtResult result = SolveOn(primary_.get(), system, timeout_seconds, &attempts);
-    if (result.status == MaxSmtResult::Status::kUnsupported && secondary_ != nullptr) {
-      obs::CurrentRegistry().counter("solver.failovers").Increment();
-      result = SolveOn(secondary_.get(), system, timeout_seconds, &attempts);
-    }
-    result.attempts = attempts;
-    return result;
+    return Run(system, timeout_seconds, /*certified=*/false);
+  }
+
+  MaxSmtResult SolveCertified(const ConstraintSystem& system,
+                              double timeout_seconds) override {
+    return Run(system, timeout_seconds, /*certified=*/true);
   }
 
   std::string name() const override {
@@ -33,16 +31,48 @@ class FailoverBackend final : public MaxSmtBackend {
   }
 
  private:
+  MaxSmtResult Run(const ConstraintSystem& system, double timeout_seconds,
+                   bool certified) {
+    int attempts = 0;
+    MaxSmtResult result =
+        SolveOn(primary_.get(), system, timeout_seconds, &attempts, certified);
+    if (result.status == MaxSmtResult::Status::kUnsupported && secondary_ != nullptr) {
+      obs::CurrentRegistry().counter("solver.failovers").Increment();
+      result = SolveOn(secondary_.get(), system, timeout_seconds, &attempts, certified);
+    }
+    // A result whose certificate failed the independent check is untrusted
+    // evidence, not an answer: reroute to the secondary engine (whose own
+    // result is checked by its own certifying wrapper), and if that also
+    // fails — or there is no secondary — demote to kError so an unproven
+    // repair can never ship as a success.
+    if (result.certification == MaxSmtResult::Certification::kFailed) {
+      obs::Registry& registry = obs::CurrentRegistry();
+      if (secondary_ != nullptr) {
+        registry.counter("certify.failover").Increment();
+        result = SolveOn(secondary_.get(), system, timeout_seconds, &attempts, certified);
+      }
+      if (result.certification == MaxSmtResult::Certification::kFailed) {
+        registry.counter("certify.demoted").Increment();
+        result.status = MaxSmtResult::Status::kError;
+        result.message = "certificate check failed: " + result.certify_message;
+      }
+    }
+    result.attempts = attempts;
+    return result;
+  }
+
   // One backend with timeout-escalation retries. Exceptions become kError
   // immediately (no retry: a throwing backend is unlikely to recover, and
   // retrying would mask the diagnostic).
   MaxSmtResult SolveOn(MaxSmtBackend* backend, const ConstraintSystem& system,
-                       double timeout_seconds, int* attempts) {
+                       double timeout_seconds, int* attempts, bool certified) {
     MaxSmtResult result;
     for (int attempt = 0;; ++attempt) {
       ++*attempts;
       try {
-        result = backend->Solve(system, policy_.deadline.ClampTimeout(timeout_seconds));
+        const double budget = policy_.deadline.ClampTimeout(timeout_seconds);
+        result = certified ? backend->SolveCertified(system, budget)
+                           : backend->Solve(system, budget);
       } catch (const std::exception& e) {
         result = MaxSmtResult{};
         result.status = MaxSmtResult::Status::kError;

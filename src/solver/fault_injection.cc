@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -9,6 +12,7 @@
 
 #include "netbase/string_util.h"
 #include "obs/metrics.h"
+#include "smt/certificate.h"
 
 namespace cpr {
 
@@ -31,7 +35,23 @@ Result<FaultInjectionSpec::Kind> ParseKind(const std::string& word) {
   if (word == "throw") {
     return Kind::kThrow;
   }
-  return Error("unknown fault kind '" + word + "' (timeout|unsat|slow|throw)");
+  if (word == "corrupt-proof") {
+    return Kind::kCorruptProof;
+  }
+  if (word == "flip-model") {
+    return Kind::kFlipModel;
+  }
+  if (word == "drop-core") {
+    return Kind::kDropCore;
+  }
+  return Error("unknown fault kind '" + word +
+               "' (timeout|unsat|slow|throw|corrupt-proof|flip-model|drop-core)");
+}
+
+bool IsCertificateKind(FaultInjectionSpec::Kind kind) {
+  return kind == FaultInjectionSpec::Kind::kCorruptProof ||
+         kind == FaultInjectionSpec::Kind::kFlipModel ||
+         kind == FaultInjectionSpec::Kind::kDropCore;
 }
 
 class FaultInjectingBackend final : public MaxSmtBackend {
@@ -40,34 +60,131 @@ class FaultInjectingBackend final : public MaxSmtBackend {
       : inner_(std::move(inner)), spec_(spec), rng_state_(spec.seed) {}
 
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
-    if (ShouldInject()) {
-      MaxSmtResult result;
-      result.backend = name();
-      switch (spec_.kind) {
-        case FaultInjectionSpec::Kind::kTimeout:
-          result.status = MaxSmtResult::Status::kTimeout;
-          result.message = "injected timeout";
-          return result;
-        case FaultInjectionSpec::Kind::kUnsat:
-          result.status = MaxSmtResult::Status::kUnsat;
-          result.message = "injected unsat";
-          return result;
-        case FaultInjectionSpec::Kind::kThrow:
-          throw std::runtime_error("injected backend exception");
-        case FaultInjectionSpec::Kind::kSlow:
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(spec_.slow_seconds));
-          break;  // Then solve normally.
-        case FaultInjectionSpec::Kind::kNone:
-          break;
+    // Certificate corruptions only make sense on the certified path; a plain
+    // solve passes through untouched.
+    if (!IsCertificateKind(spec_.kind)) {
+      if (std::optional<MaxSmtResult> degraded = MaybeDegrade()) {
+        return *std::move(degraded);
       }
     }
     return inner_->Solve(system, timeout_seconds);
   }
 
+  MaxSmtResult SolveCertified(const ConstraintSystem& system,
+                              double timeout_seconds) override {
+    if (IsCertificateKind(spec_.kind)) {
+      MaxSmtResult result = inner_->SolveCertified(system, timeout_seconds);
+      if (ShouldInject()) {
+        CorruptCertificate(&result);
+      }
+      return result;
+    }
+    if (std::optional<MaxSmtResult> degraded = MaybeDegrade()) {
+      return *std::move(degraded);
+    }
+    return inner_->SolveCertified(system, timeout_seconds);
+  }
+
   std::string name() const override { return inner_->name() + "+fault"; }
 
  private:
+  // Pre-solve degradation for the legacy kinds. Returns the injected result
+  // (timeout/unsat), throws (throw), or returns nullopt after an optional
+  // sleep (slow / no injection) so the caller proceeds to a real solve.
+  std::optional<MaxSmtResult> MaybeDegrade() {
+    if (!ShouldInject()) {
+      return std::nullopt;
+    }
+    MaxSmtResult result;
+    result.backend = name();
+    switch (spec_.kind) {
+      case FaultInjectionSpec::Kind::kTimeout:
+        result.status = MaxSmtResult::Status::kTimeout;
+        result.message = "injected timeout";
+        return result;
+      case FaultInjectionSpec::Kind::kUnsat:
+        result.status = MaxSmtResult::Status::kUnsat;
+        result.message = "injected unsat";
+        return result;
+      case FaultInjectionSpec::Kind::kThrow:
+        throw std::runtime_error("injected backend exception");
+      case FaultInjectionSpec::Kind::kSlow:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(spec_.slow_seconds));
+        return std::nullopt;  // Then solve normally.
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Deterministic, minimal corruptions that a sound checker must catch (on
+  // workloads where the evidence actually carries the claim — see the
+  // header). Copy-on-write: the inner backend may share the certificate.
+  void CorruptCertificate(MaxSmtResult* result) {
+    if (result->certificate == nullptr) {
+      // Model-only path (Z3): the only corruptible evidence is the model.
+      if (spec_.kind == FaultInjectionSpec::Kind::kFlipModel &&
+          !result->bool_values.empty()) {
+        result->bool_values[0] = !result->bool_values[0];
+      }
+      return;
+    }
+    auto cert = std::make_shared<Certificate>(*result->certificate);
+    switch (spec_.kind) {
+      case FaultInjectionSpec::Kind::kFlipModel: {
+        // Flip a cost-relevant bit: the first soft clause's first variable
+        // toggles that soft's violation, so the witness cost no longer
+        // matches the claimed optimum. Flip the result too — a divergence
+        // between certificate and result is the *bridge* check's job; this
+        // fault targets the arithmetic.
+        size_t var = 0;
+        if (!cert->softs.empty() && !cert->softs[0].clause.empty()) {
+          var = static_cast<size_t>(cert->softs[0].clause[0].var());
+        }
+        if (var < cert->model.size()) {
+          cert->model[var] = !cert->model[var];
+        }
+        if (var < result->bool_values.size()) {
+          result->bool_values[var] = !result->bool_values[var];
+        }
+        break;
+      }
+      case FaultInjectionSpec::Kind::kDropCore: {
+        if (cert->core_event >= 0 &&
+            cert->core_event < static_cast<int64_t>(cert->core_events.size()) &&
+            !cert->core_events.lits(static_cast<size_t>(cert->core_event)).empty()) {
+          cert->core_events.DropLastLit(static_cast<size_t>(cert->core_event));
+          break;
+        }
+        [[fallthrough]];  // No core conclusion: corrupt the main proof.
+      }
+      case FaultInjectionSpec::Kind::kCorruptProof: {
+        if (cert->claim == Certificate::Claim::kUnsat) {
+          // Remove the learnt lemmas: the surviving inputs and deletes no
+          // longer derive UNSAT (and deletes now reference unknown clauses).
+          cert->events.RemoveEventsOfKind(ProofEventKind::kLemma);
+        } else if (!cert->iterations.empty()) {
+          // Flip a literal of the first core lemma: it no longer names the
+          // iteration's member selectors.
+          int64_t index = cert->iterations[0].core_event;
+          if (index >= 0 && index < static_cast<int64_t>(cert->events.size()) &&
+              !cert->events.lits(static_cast<size_t>(index)).empty()) {
+            std::span<Lit> lits = cert->events.mutable_lits(static_cast<size_t>(index));
+            lits[0] = ~lits[0];
+          }
+        } else {
+          // Zero-cost optimum with no cores: smuggle in an input clause,
+          // which the no-inputs-after-baseline rule must reject.
+          cert->events.Append(ProofEventKind::kInput, Clause{Lit(0, false)});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    result->certificate = std::move(cert);
+  }
+
   bool ShouldInject() {
     if (!spec_.enabled()) {
       return false;
@@ -154,6 +271,15 @@ std::string FaultInjectionSpec::ToString() const {
       break;
     case Kind::kThrow:
       kind_name = "throw";
+      break;
+    case Kind::kCorruptProof:
+      kind_name = "corrupt-proof";
+      break;
+    case Kind::kFlipModel:
+      kind_name = "flip-model";
+      break;
+    case Kind::kDropCore:
+      kind_name = "drop-core";
       break;
   }
   std::string out = kind_name + ":p=" + std::to_string(probability) +

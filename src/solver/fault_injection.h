@@ -13,6 +13,7 @@
 //   kind[:key=value]...
 //
 //   kind  = timeout | unsat | slow | throw
+//         | corrupt-proof | flip-model | drop-core
 //   keys  = p=<0..1>     per-call injection probability (default 1)
 //           seed=<u32>   RNG seed (default 1)
 //           max=<n>      stop injecting after n faults (default unlimited)
@@ -25,6 +26,17 @@
 // produces the same fault sequence on every run of a single-threaded
 // repair. Each worker thread owns its own decorated backend instance and
 // therefore its own deterministic sequence.
+//
+// The certificate kinds corrupt the *evidence* of an otherwise genuine
+// certified solve instead of degrading the solve: corrupt-proof mutilates
+// the clausal proof (drops the learnt lemmas of an UNSAT proof, flips a
+// core-lemma literal of an optimality proof), flip-model flips a
+// cost-relevant witness bit in both the certificate and the result, and
+// drop-core removes a literal from the unsat-core conclusion. They exercise
+// the certify regression contract: every such corruption must be caught by
+// the independent checker and demoted to failover, never shipped. Inject
+// them below the certifying wrapper (the repair engine's MakeWorkerBackend
+// does) or the corruption is invisible to the checker.
 
 #ifndef CPR_SRC_SOLVER_FAULT_INJECTION_H_
 #define CPR_SRC_SOLVER_FAULT_INJECTION_H_
@@ -40,11 +52,14 @@ namespace cpr {
 
 struct FaultInjectionSpec {
   enum class Kind {
-    kNone,     // Pass-through (the default; injection disabled).
-    kTimeout,  // Return MaxSmtResult::Status::kTimeout without solving.
-    kUnsat,    // Return MaxSmtResult::Status::kUnsat without solving.
-    kSlow,     // Sleep slow_seconds, then solve normally.
-    kThrow,    // Throw std::runtime_error from Solve.
+    kNone,          // Pass-through (the default; injection disabled).
+    kTimeout,       // Return MaxSmtResult::Status::kTimeout without solving.
+    kUnsat,         // Return MaxSmtResult::Status::kUnsat without solving.
+    kSlow,          // Sleep slow_seconds, then solve normally.
+    kThrow,         // Throw std::runtime_error from Solve.
+    kCorruptProof,  // Solve normally, then mutilate the clausal proof.
+    kFlipModel,     // Solve normally, then flip a witness-model bit.
+    kDropCore,      // Solve normally, then drop an unsat-core literal.
   };
 
   Kind kind = Kind::kNone;

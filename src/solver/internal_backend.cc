@@ -6,8 +6,14 @@
 // unit soft clause. Integer atoms (PC4 cost constraints) are not expressible
 // here; such systems are reported kUnsupported and the repair engine routes
 // them to Z3.
+//
+// SolveCertified runs the same pipeline with a ProofLog attached and packs
+// the evidence — proof events, soft inventory, Fu-Malik relaxation trail,
+// witness model, and (for UNSAT) the assumption-core sub-proof — into a
+// Certificate the independent checker (src/certify/) validates.
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -16,130 +22,38 @@
 #include "netbase/deadline.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "smt/certificate.h"
 #include "smt/maxsat.h"
 #include "solver/backend.h"
+#include "solver/tseitin.h"
 
 namespace cpr {
 
 namespace {
-
-// Templated over the clause sink so the same encoder serves both the
-// MaxSatSolver solve path and the plain-SatSolver unsat-core path. `Solver`
-// needs NewVar() -> BoolVar and AddHard(Clause).
-template <typename Solver>
-class Tseitin {
- public:
-  Tseitin(Solver* solver, const ConstraintSystem& system)
-      : solver_(solver), system_(&system) {
-    // Decision variables occupy the first BoolCount() solver variables so
-    // the model maps back by identity.
-    for (BVarId v = 0; v < system.BoolCount(); ++v) {
-      solver_->NewVar();
-    }
-    true_lit_ = Lit(solver_->NewVar(), false);
-    solver_->AddHard({true_lit_});
-  }
-
-  // Re-points the encoder at a structurally identical system (equal
-  // HardFingerprint): node ids, variable ids, and children are
-  // position-identical across such systems, so every cached definition
-  // literal — and every clause already in the solver — stays valid. This is
-  // what lets a warm backend skip re-encoding unchanged hard constraints.
-  void Rebind(const ConstraintSystem& system) { system_ = &system; }
-
-  // Definition literal for an expression: the literal is true in a model iff
-  // the expression is.
-  std::optional<Lit> Encode(ExprId id) {
-    if (auto it = cache_.find(id); it != cache_.end()) {
-      return it->second;
-    }
-    const ExprNode& n = system_->node(id);
-    std::optional<Lit> lit;
-    switch (n.kind) {
-      case ExprKind::kTrue:
-        lit = true_lit_;
-        break;
-      case ExprKind::kFalse:
-        lit = ~true_lit_;
-        break;
-      case ExprKind::kBoolVar:
-        lit = Lit(static_cast<BoolVar>(n.bool_var), false);
-        break;
-      case ExprKind::kNot: {
-        std::optional<Lit> child = Encode(n.children[0]);
-        if (child.has_value()) {
-          lit = ~*child;
-        }
-        break;
-      }
-      case ExprKind::kAnd:
-      case ExprKind::kOr: {
-        std::vector<Lit> children;
-        for (ExprId c : n.children) {
-          std::optional<Lit> child = Encode(c);
-          if (!child.has_value()) {
-            return std::nullopt;
-          }
-          children.push_back(*child);
-        }
-        Lit def = Lit(solver_->NewVar(), false);
-        if (n.kind == ExprKind::kAnd) {
-          // def <-> AND(children)
-          Clause back{def};
-          for (Lit c : children) {
-            solver_->AddHard({~def, c});
-            back.push_back(~c);
-          }
-          solver_->AddHard(std::move(back));
-        } else {
-          // def <-> OR(children)
-          Clause fwd{~def};
-          for (Lit c : children) {
-            solver_->AddHard({~c, def});
-            fwd.push_back(c);
-          }
-          solver_->AddHard(std::move(fwd));
-        }
-        lit = def;
-        break;
-      }
-      case ExprKind::kLinearLe:
-      case ExprKind::kLinearEq:
-        return std::nullopt;  // Integers are Z3-only.
-    }
-    if (lit.has_value()) {
-      cache_.emplace(id, *lit);
-    }
-    return lit;
-  }
-
- private:
-  Solver* solver_;
-  const ConstraintSystem* system_;
-  Lit true_lit_ = kUndefLit;
-  std::unordered_map<ExprId, Lit> cache_;
-};
-
-// Adapts SatSolver to the Tseitin clause-sink interface.
-struct SatSink {
-  SatSolver* sat;
-  BoolVar NewVar() { return sat->NewVar(); }
-  void AddHard(Clause clause) { sat->AddClause(std::move(clause)); }
-};
 
 // Assumption-based unsat core for an UNSAT system: re-encode the hard
 // constraints into a fresh SAT solver, assume every hard root literal, and
 // map the failed-assumption subset back to hard-constraint indices. The
 // shared Tseitin cache can hand two hard constraints the same root literal;
 // the core then lists both (a correct, if less minimal, core).
+//
+// With `cert` non-null the fresh solver logs its proof and the certificate
+// gains a self-contained core sub-proof: the log, the assumption order, the
+// lit->hard-indices map, and the failed subset — enough for a checker to
+// validate the core without this solver.
 void ExtractInternalCore(const ConstraintSystem& system, double timeout_seconds,
-                         MaxSmtResult* result) {
+                         MaxSmtResult* result, Certificate* cert) {
   SatSolver sat;
+  ProofLog core_log;
+  if (cert != nullptr) {
+    sat.SetProofLog(&core_log);
+  }
   sat.SetDeadline(Deadline::After(timeout_seconds));
   SatSink sink{&sat};
   Tseitin<SatSink> tseitin(&sink, system);
   std::vector<Lit> assumptions;
-  std::unordered_map<int64_t, std::vector<int>> owners;  // Lit key -> hards.
+  std::vector<std::vector<int64_t>> hards_by_assumption;
+  std::unordered_map<int64_t, size_t> assumption_of;  // Lit key -> index.
   const std::vector<ExprId>& hards = system.hard();
   for (size_t i = 0; i < hards.size(); ++i) {
     std::optional<Lit> lit = tseitin.Encode(hards[i]);
@@ -147,24 +61,39 @@ void ExtractInternalCore(const ConstraintSystem& system, double timeout_seconds,
       return;  // Not boolean-expressible; the solve path reported that.
     }
     int64_t key = static_cast<int64_t>(lit->var()) * 2 + (lit->negated() ? 1 : 0);
-    auto [it, inserted] = owners.try_emplace(key);
+    auto [it, inserted] = assumption_of.try_emplace(key, assumptions.size());
     if (inserted) {
       assumptions.push_back(*lit);
+      hards_by_assumption.emplace_back();
     }
-    it->second.push_back(static_cast<int>(i));
+    hards_by_assumption[it->second].push_back(static_cast<int64_t>(i));
   }
   if (sat.Solve(assumptions) != SatResult::kUnsat) {
     return;  // Timed out (or the Tseitin roots alone are level-0 unsat).
   }
   for (Lit failed : sat.UnsatCore()) {
     int64_t key = static_cast<int64_t>(failed.var()) * 2 + (failed.negated() ? 1 : 0);
-    auto it = owners.find(key);
-    if (it != owners.end()) {
-      result->unsat_core.insert(result->unsat_core.end(), it->second.begin(),
-                                it->second.end());
+    auto it = assumption_of.find(key);
+    if (it != assumption_of.end()) {
+      for (int64_t hard : hards_by_assumption[it->second]) {
+        result->unsat_core.push_back(static_cast<int>(hard));
+      }
     }
   }
   std::sort(result->unsat_core.begin(), result->unsat_core.end());
+  if (cert != nullptr) {
+    cert->core_events = core_log.TakeStream();  // The log dies with this call.
+    cert->core_assumptions = assumptions;
+    cert->core_hards = std::move(hards_by_assumption);
+    cert->core_lits = sat.UnsatCore();
+    // An assumption-core conclusion is the last event AnalyzeFinal logged; a
+    // core-free UNSAT (root conflict) ends in an empty lemma instead and the
+    // checker validates the whole sub-proof.
+    cert->core_event =
+        cert->core_lits.empty() ? -1
+                                : static_cast<int64_t>(cert->core_events.size()) - 1;
+    cert->reported_core.assign(result->unsat_core.begin(), result->unsat_core.end());
+  }
 }
 
 // The CDCL engine accumulates statistics across Solve calls; a warm backend
@@ -216,9 +145,42 @@ void FlushSolverCounters(const SatStats& sat, const MaxSatStats& wpm,
   registry.counter("solver.internal_solves").Increment();
 }
 
+// Fills the clausal part of a certificate from the engine state after a
+// solve: the proof events, the MaxSAT layer's entry watermarks + soft
+// inventory, and the Fu-Malik iteration trail. A cold solve's log dies with
+// the call, so the certificate steals it (`take_log`); a warm session log
+// must survive for the next solve and is copied (three flat memcpys).
+void FillClausalCertificate(Certificate* cert, const std::string& backend,
+                            Certificate::Claim claim, const MaxSatSolver& maxsat,
+                            ProofLog* log, bool take_log, bool cold) {
+  cert->kind = Certificate::Kind::kClausal;
+  cert->claim = claim;
+  cert->backend = backend;
+  cert->cold = cold;
+  cert->events = take_log ? log->TakeStream() : log->stream();
+  const MaxSatSolver::CertTrail& trail = maxsat.cert_trail();
+  cert->baseline_vars = trail.baseline_vars;
+  cert->baseline_events = trail.baseline_events;
+  cert->softs = trail.softs;
+  cert->iterations = trail.iterations;
+}
+
 class InternalBackend final : public MaxSmtBackend {
  public:
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    return DoSolve(system, timeout_seconds, /*certify=*/false);
+  }
+
+  MaxSmtResult SolveCertified(const ConstraintSystem& system,
+                              double timeout_seconds) override {
+    return DoSolve(system, timeout_seconds, /*certify=*/true);
+  }
+
+  std::string name() const override { return "internal-maxsat"; }
+
+ private:
+  MaxSmtResult DoSolve(const ConstraintSystem& system, double timeout_seconds,
+                       bool certify) {
     MaxSmtResult result;
     result.backend = name();
     obs::StageSpan span("solver.internal");
@@ -228,6 +190,14 @@ class InternalBackend final : public MaxSmtBackend {
       return result;
     }
     MaxSatSolver maxsat;
+    ProofLog log;
+    std::shared_ptr<Certificate> cert;
+    if (certify) {
+      cert = std::make_shared<Certificate>();
+      // Attach before the Tseitin constructor: the encoding itself must be
+      // part of the logged input inventory.
+      maxsat.SetProofLog(&log);
+    }
     maxsat.SetDeadline(Deadline::After(timeout_seconds));
     Tseitin<MaxSatSolver> tseitin(&maxsat, system);
     for (ExprId hard : system.hard()) {
@@ -257,7 +227,12 @@ class InternalBackend final : public MaxSmtBackend {
         result.message = "CDCL search abandoned at the time limit";
       } else {
         result.status = MaxSmtResult::Status::kUnsat;
-        ExtractInternalCore(system, timeout_seconds, &result);
+        if (certify) {
+          FillClausalCertificate(cert.get(), name(), Certificate::Claim::kUnsat,
+                                 maxsat, &log, /*take_log=*/true, /*cold=*/true);
+        }
+        ExtractInternalCore(system, timeout_seconds, &result, cert.get());
+        result.certificate = cert;
       }
       return result;
     }
@@ -274,10 +249,15 @@ class InternalBackend final : public MaxSmtBackend {
         result.violated_soft.push_back(static_cast<int>(i));
       }
     }
+    if (certify) {
+      FillClausalCertificate(cert.get(), name(), Certificate::Claim::kOptimal,
+                             maxsat, &log, /*take_log=*/true, /*cold=*/true);
+      cert->cost = solution->cost;
+      cert->model = solution->model;
+      result.certificate = cert;
+    }
     return result;
   }
-
-  std::string name() const override { return "internal-maxsat"; }
 };
 
 // Warm-start variant for incremental re-repair: keeps the CDCL solver (with
@@ -289,9 +269,27 @@ class InternalBackend final : public MaxSmtBackend {
 // machinery: softs are enforced via assumptions, never baked-in clauses).
 // Any mismatch, timeout, UNSAT, or unsupported system drops the state and
 // falls back to a cold solve; warmth is a pure accelerator.
+//
+// Certified warm solves keep one ProofLog alive with the state: the log
+// spans the whole session, each solve records its entry watermarks, and the
+// certificate ships the full history (cold == false marks that the baseline
+// prefix is session history, not a fresh encoding).
 class WarmInternalBackend final : public MaxSmtBackend {
  public:
   MaxSmtResult Solve(const ConstraintSystem& system, double timeout_seconds) override {
+    return DoSolve(system, timeout_seconds, /*certify=*/false);
+  }
+
+  MaxSmtResult SolveCertified(const ConstraintSystem& system,
+                              double timeout_seconds) override {
+    return DoSolve(system, timeout_seconds, /*certify=*/true);
+  }
+
+  std::string name() const override { return "internal-maxsat"; }
+
+ private:
+  MaxSmtResult DoSolve(const ConstraintSystem& system, double timeout_seconds,
+                       bool certify) {
     MaxSmtResult result;
     result.backend = name();
     obs::StageSpan span("solver.internal");
@@ -302,11 +300,18 @@ class WarmInternalBackend final : public MaxSmtBackend {
       return result;
     }
     const uint64_t fingerprint = system.HardFingerprint();
-    const bool warm = state_ != nullptr && state_->fingerprint == fingerprint;
+    // A state built without a log cannot certify (its input inventory was
+    // never recorded); rebuild cold rather than emit an unauditable cert.
+    const bool warm = state_ != nullptr && state_->fingerprint == fingerprint &&
+                      (!certify || state_->log != nullptr);
     if (!warm) {
       state_.reset();
       state_ = std::make_unique<State>();
       state_->fingerprint = fingerprint;
+      if (certify) {
+        state_->log = std::make_unique<ProofLog>();
+        state_->maxsat.SetProofLog(state_->log.get());
+      }
       state_->tseitin =
           std::make_unique<Tseitin<MaxSatSolver>>(&state_->maxsat, system);
       for (ExprId hard : system.hard()) {
@@ -335,6 +340,7 @@ class WarmInternalBackend final : public MaxSmtBackend {
       state_->maxsat.AddSoft({*lit}, soft.weight);
     }
 
+    const bool log_active = certify && state_->log != nullptr;
     std::optional<MaxSatSolver::Solution> solution = state_->maxsat.Solve();
     FlushSolverCounters(DiffSatStats(state_->maxsat.sat_stats(), state_->sat_base),
                         DiffMaxSatStats(state_->maxsat.stats(), state_->wpm_base),
@@ -346,7 +352,17 @@ class WarmInternalBackend final : public MaxSmtBackend {
         result.message = "CDCL search abandoned at the time limit";
       } else {
         result.status = MaxSmtResult::Status::kUnsat;
-        ExtractInternalCore(system, timeout_seconds, &result);
+        std::shared_ptr<Certificate> cert;
+        if (log_active) {
+          cert = std::make_shared<Certificate>();
+          // The state is dropped below (UNSAT never warms), so the session
+          // log can be stolen too.
+          FillClausalCertificate(cert.get(), name(), Certificate::Claim::kUnsat,
+                                 state_->maxsat, state_->log.get(),
+                                 /*take_log=*/true, /*cold=*/!warm);
+        }
+        ExtractInternalCore(system, timeout_seconds, &result, cert.get());
+        result.certificate = cert;
       }
       // A timed-out or UNSAT solver state is not a base worth warming: the
       // next run cold-starts.
@@ -367,17 +383,26 @@ class WarmInternalBackend final : public MaxSmtBackend {
         result.violated_soft.push_back(static_cast<int>(i));
       }
     }
+    if (log_active) {
+      auto cert = std::make_shared<Certificate>();
+      FillClausalCertificate(cert.get(), name(), Certificate::Claim::kOptimal,
+                             state_->maxsat, state_->log.get(),
+                             /*take_log=*/false, /*cold=*/!warm);
+      cert->cost = solution->cost;
+      cert->model = solution->model;
+      result.certificate = cert;
+    }
     return result;
   }
 
-  std::string name() const override { return "internal-maxsat"; }
-
- private:
   struct State {
     MaxSatSolver maxsat;
     // Points into the system of the *current* Solve call only; Rebind runs
     // before any dereference on the next call.
     std::unique_ptr<Tseitin<MaxSatSolver>> tseitin;
+    // Session-lifetime proof log; non-null iff the state was built by a
+    // certified solve.
+    std::unique_ptr<ProofLog> log;
     uint64_t fingerprint = 0;
     // Cumulative engine statistics as of the last completed solve, so
     // per-solve counters report deltas.

@@ -305,12 +305,15 @@ class WarmZ3Backend final : public MaxSmtBackend {
         result.status = MaxSmtResult::Status::kUnsat;
         ExtractUnsatCore(&state_->ctx, state_->translator.get(), system,
                          timeout_seconds, &result);
+        // The exprs borrow state_->ctx; they must die before the context.
+        soft_exprs.clear();
         state_.reset();
         return result;
       }
       if (check == z3::unknown) {
         result.status = MaxSmtResult::Status::kTimeout;
         result.message = "z3 returned unknown (time limit)";
+        soft_exprs.clear();
         state_.reset();
         return result;
       }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/certify.h"
 #include "core/cpr.h"
 #include "core/stats_report.h"
 #include "obs/json.h"
@@ -138,6 +139,42 @@ TEST_F(StatsJsonTest, SolveWallAtMostSumForSingleThread) {
   // overhead), and both fit inside the end-to-end wall time.
   EXPECT_GE(stats.solve_wall_seconds, stats.solve_seconds * 0.5);
   EXPECT_LE(stats.solve_seconds, stats.wall_seconds + 1e-9);
+}
+
+TEST_F(StatsJsonTest, CertifySectionIsSchemaOneAndValidates) {
+  // A certified repair must surface the checker's verdicts in a versioned
+  // "certify" section that the strict validator (the same engine behind
+  // tools/cpr_json_validate) accepts — this is the schema lint/explain
+  // already get, extended to certification.
+  CprOptions options;
+  options.repair.backend = BackendChoice::kInternal;
+  options.repair.certify = certify::CertifyMode::kOn;
+  options.validate_with_simulator = false;
+  Result<CprReport> report = cpr_->Repair(policies_, options);
+  ASSERT_TRUE(report.ok());
+  report_ = *report;
+  ASSERT_EQ(report_.status, RepairStatus::kSuccess);
+  ASSERT_GT(report_.stats.certify_checked, 0);
+  EXPECT_EQ(report_.stats.certify_verified, report_.stats.certify_checked);
+  EXPECT_EQ(report_.stats.certify_failed, 0);
+
+  StatsRunInfo run;
+  run.command = "repair";
+  run.backend = "internal";
+  run.status = RepairStatusName(report_.status);
+  std::string json = BuildStatsJson(run, &report_);
+  std::string error;
+  ASSERT_TRUE(obs::ValidateJson(json, &error)) << error << "\n" << json;
+  for (const char* key : {
+           "\"certify\":", "\"mode\":\"on\"", "\"checked\":", "\"verified\":",
+           "\"failed\":0", "\"artifacts\":", "\"artifact_dir\":",
+       }) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << "\n" << json;
+  }
+  // The section carries its own schema version, nested under "certify".
+  const size_t section = json.find("\"certify\":");
+  ASSERT_NE(section, std::string::npos);
+  EXPECT_EQ(json.find("\"schema_version\":1", section), section + 11);
 }
 
 TEST(StatsJsonStandaloneTest, BuildsWithoutRepairReport) {

@@ -23,6 +23,10 @@
 //                                                  flipped soft constraint ->
 //                                                  construct -> config lines);
 //                                                  takes the repair options
+//   cpr certify  <artifact-dir>                    re-check persisted repair
+//                                                  certificates offline with
+//                                                  the bundled proof checker
+//                                                  (exit 1 on any failure)
 //   cpr gen      <out-dir> --fattree PORTS [--pods P] [--broken]
 //       [--pc pc1|pc2|pc3|pc4] [--policies N] [--policy-out PATH]
 //       [--dirty N] [--dirty-asym N] [--seed S]
@@ -54,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/artifact.h"
 #include "config/parser.h"
 #include "config/printer.h"
 #include "core/cpr.h"
@@ -83,6 +88,10 @@ int Usage() {
                "                            compute a repair and print each edit's\n"
                "                            provenance chain (policy -> problem ->\n"
                "                            soft constraint -> construct -> lines)\n"
+               "       cpr certify <artifact-dir>\n"
+               "                            re-check persisted *.cert.json repair\n"
+               "                            certificates with the bundled checker\n"
+               "                            (no solver; exit 1 on any failure)\n"
                "       cpr gen <out-dir> --fattree PORTS [--pods P] [--broken]\n"
                "                         [--pc pc1|pc2|pc3|pc4] [--policies N]\n"
                "                         [--policy-out PATH] [--dirty N]\n"
@@ -94,6 +103,17 @@ int Usage() {
                "                              network and lift the repair (default\n"
                "                              off; auto declines when the network\n"
                "                              is too small or too asymmetric)\n"
+               "         --certify on|off|auto|log  independent certificate\n"
+               "                              checking of every solver claim\n"
+               "                              (auto: UNSAT claims only; log:\n"
+               "                              record proofs but defer checking\n"
+               "                              to `cpr certify`); failed checks\n"
+               "                              reroute to the failover engine or\n"
+               "                              demote the result to error\n"
+               "         --certify-dir DIR    persist certificates as\n"
+               "                              DIR/p<seq>-<claim>.cert.json for\n"
+               "                              `cpr certify DIR` (implies\n"
+               "                              --certify on when unset)\n"
                "         --stats-json PATH    write a machine-readable run report\n"
                "                              (stage spans, solver counters, per-\n"
                "                              problem results) to PATH\n"
@@ -326,6 +346,24 @@ cpr::Result<CliArgs> ParseArgs(int argc, char** argv) {
         args.options.repair.compress.mode = cpr::CompressMode::kAuto;
       } else {
         return cpr::Error("unknown compress mode " + *v + " (on|off|auto)");
+      }
+    } else if (flag == "--certify") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      if (!cpr::certify::ParseCertifyMode(*v, &args.options.repair.certify)) {
+        return cpr::Error("unknown certify mode " + *v + " (on|off|auto|log)");
+      }
+    } else if (flag == "--certify-dir") {
+      auto v = value();
+      if (!v.ok()) {
+        return v.error();
+      }
+      args.options.repair.certify_artifact_dir = *v;
+      // Asking for artifacts implies asking for checking.
+      if (args.options.repair.certify == cpr::certify::CertifyMode::kOff) {
+        args.options.repair.certify = cpr::certify::CertifyMode::kOn;
       }
     } else if (flag == "--incremental") {
       args.incremental = true;
@@ -721,6 +759,36 @@ void PrintProblemDiagnostics(const cpr::Cpr& pipeline, const cpr::RepairStats& s
 // On return, `*report_out` holds the repair report whenever the repair
 // engine produced one (even for failed runs), so the stats sink can record
 // it; it stays empty only when Repair() itself errored.
+// `cpr certify <artifact-dir>`: parse every *.cert.json under the directory
+// and re-run the bundled checker over each — offline, no solver constructed.
+// Zero artifacts is a failure too: the caller asked to certify something.
+int CmdCertify(const std::string& dir) {
+  cpr::Result<std::vector<cpr::certify::ArtifactCheck>> checks =
+      cpr::certify::CheckArtifactDir(dir);
+  if (!checks.ok()) {
+    std::fprintf(stderr, "error: %s\n", checks.error().message().c_str());
+    return 1;
+  }
+  if (checks->empty()) {
+    std::fprintf(stderr, "error: no *.cert.json artifacts in %s\n", dir.c_str());
+    return 1;
+  }
+  int failed = 0;
+  for (const cpr::certify::ArtifactCheck& check : *checks) {
+    if (check.ok) {
+      std::printf("ok   %-40s %s %s (%lld lemma(s) checked)\n", check.file.c_str(),
+                  check.kind.c_str(), check.claim.c_str(),
+                  static_cast<long long>(check.lemmas));
+    } else {
+      ++failed;
+      std::printf("FAIL %-40s %s %s: %s\n", check.file.c_str(), check.kind.c_str(),
+                  check.claim.c_str(), check.message.c_str());
+    }
+  }
+  std::printf("%zu artifact(s) checked, %d failed\n", checks->size(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
 int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies,
               const CliArgs& args, std::optional<cpr::CprReport>* report_out) {
   cpr::Result<cpr::CprReport> report = pipeline.Repair(policies, args.options);
@@ -759,6 +827,23 @@ int CmdRepair(const cpr::Cpr& pipeline, const std::vector<cpr::Policy>& policies
     } else {
       std::printf("incremental: declined (%s); full repair ran\n",
                   inc.skipped_reason.c_str());
+    }
+  }
+  if (args.options.repair.certify != cpr::certify::CertifyMode::kOff) {
+    std::printf("certify (%s): %d result(s) checked, %d verified, %d failed",
+                cpr::certify::CertifyModeName(args.options.repair.certify),
+                report->stats.certify_checked, report->stats.certify_verified,
+                report->stats.certify_failed);
+    if (report->stats.certify_artifacts > 0) {
+      std::printf("; %d artifact(s) in %s", report->stats.certify_artifacts,
+                  args.options.repair.certify_artifact_dir.c_str());
+    }
+    std::printf("\n");
+    for (const cpr::ProblemReport& problem : report->stats.problem_reports) {
+      if (problem.certification == cpr::MaxSmtResult::Certification::kFailed) {
+        std::fprintf(stderr, "certificate FAILED (%s): %s\n",
+                     problem.backend.c_str(), problem.certify_message.c_str());
+      }
     }
   }
   PrintProblemDiagnostics(pipeline, report->stats);
@@ -910,6 +995,11 @@ int RunCli(int argc, char** argv) {
 
   if (args->command == "gen") {
     return CmdGen(*args);
+  }
+  if (args->command == "certify") {
+    // The positional argument is a certificate artifact directory, not a
+    // configuration directory.
+    return CmdCertify(args->config_dir);
   }
 
   cpr::Result<ConfigDir> loaded = LoadConfigDir(args->config_dir);

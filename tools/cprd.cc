@@ -12,7 +12,7 @@
 //        [--tag T] [--deadline S] [--timeout S] [--backend z3|internal]
 //        [--granularity perdst|alltcs] [--max-retries N] [--simulate]
 //        [--lint gate|warn|off] [--compress on|off|auto]
-//        [--incremental auto|off]
+//        [--incremental auto|off] [--certify[=on|off|auto|log]]
 //        [--inject-fault SPEC] [--wait S]
 //   cprd status --socket PATH [--id N]
 //   cprd wait   --socket PATH --id N [--timeout S]
@@ -87,6 +87,8 @@ int Usage() {
       "  --lint gate|warn|off  --compress on|off|auto  --inject-fault SPEC\n"
       "  --incremental auto|off  auto (default) re-repairs a re-submitted\n"
       "             source incrementally against its retained session\n"
+      "  --certify[=on|off|auto|log]  independent certificate checking (log:\n"
+      "             record proofs only); artifacts under <results>/certs/<id>/\n"
       "  --wait S   block until the request is terminal (then exit 0 iff done)\n");
   return 2;
 }
@@ -467,6 +469,9 @@ int CmdClient(const std::string& command, ArgReader* args) {
     } else if (flag == "--incremental") {
       if (v = value(); !v.ok()) return Usage();
       spec.incremental = *v;
+    } else if (flag == "--certify") {
+      // Bare --certify means "on"; --certify=auto|off|on selects a mode.
+      spec.certify = inline_value.has_value() ? *inline_value : "on";
     } else if (flag == "--inject-fault") {
       if (v = value(); !v.ok()) return Usage();
       spec.inject_fault = *v;
