@@ -7,6 +7,7 @@
 #include <string_view>
 #include <utility>
 
+#include "core/schema_versions.h"
 #include "netbase/durable_file.h"
 #include "obs/json.h"
 
@@ -16,7 +17,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr int64_t kSchemaVersion = 1;
+constexpr int64_t kSchemaVersion = kCertifySchemaVersion;
 
 // DIMACS-style signed literal: var+1, negative when negated; 0 encodes the
 // undefined literal (unit-soft selectors are always defined, but the format

@@ -117,6 +117,15 @@ std::vector<Policy> Cpr::InferPolicies(const InferenceOptions& options) const {
 
 Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
                               const CprOptions& options) const {
+  Result<CprReport> result = RepairImpl(policies, options);
+  if (result.ok()) {
+    result->stats.trace_id = options.trace_id;
+  }
+  return result;
+}
+
+Result<CprReport> Cpr::RepairImpl(const std::vector<Policy>& policies,
+                                  const CprOptions& options) const {
   CprReport report;
   report.incremental = incremental_stats_;
   report.certify_mode = certify::CertifyModeName(options.repair.certify);
@@ -240,6 +249,9 @@ Result<CprReport> Cpr::Repair(const std::vector<Policy>& policies,
 
   Result<RepairOutcome> outcome = [&]() {
     obs::StageSpan repair_span("pipeline.repair");
+    if (!options.trace_id.empty()) {
+      repair_span.Annotate("trace_id", options.trace_id);
+    }
     return ComputeRepair(harc_, policies, options.repair);
   }();
   if (!outcome.ok()) {

@@ -46,6 +46,11 @@ enum class LintMode {
 
 struct CprOptions {
   RepairOptions repair;
+  // Correlation ID for this repair (16 hex chars when set; cprd mints one at
+  // admission, the CLI accepts --trace-id). Echoed into the stage-span tree,
+  // RepairStats, the stats-json "run" section, and every event-log line the
+  // serving layer emits for the request — one grep joins all four surfaces.
+  std::string trace_id;
   // Pre-repair lint gate + post-translate lint audit (lint/lint.h).
   LintMode lint_mode = LintMode::kGate;
   // Re-check the repaired network on the control-plane simulator.
@@ -155,6 +160,11 @@ class Cpr {
   // instead of built from scratch.
   Cpr(std::unique_ptr<Network> network, Harc harc)
       : network_(std::move(network)), harc_(std::move(harc)) {}
+
+  // Repair() minus the trace-id stamping the public wrapper applies to every
+  // successful return path.
+  Result<CprReport> RepairImpl(const std::vector<Policy>& policies,
+                               const CprOptions& options) const;
 
   // Shared tail of Repair(): rebuild (unless the compression pre-pass hands
   // over an already-rebuilt network/HARC), re-verify, simulate, lint-audit,

@@ -1,0 +1,44 @@
+// One home for every JSON surface's schema version.
+//
+// The repo emits several independently-consumed JSON documents: the
+// --stats-json run record, `cpr lint --json`, `cpr explain --json`
+// (provenance), the persisted *.cert.json certificate artifacts, the
+// event-log JSONL stream, and the flight-recorder dump. Each evolves on its
+// own cadence, so each has its own version constant — but the integer
+// literals all live HERE, not scattered through the writers, so a surface
+// cannot silently drift from its validator or its documentation. Bump the
+// constant and the matching schema comment (core/stats_report.h,
+// obs/provenance.h, certify/artifact.h, obs/event_log.h,
+// obs/flight_recorder.h) in the same change.
+//
+// This header is pure constants with no dependencies; any layer (including
+// the otherwise dependency-free obs library) may include it.
+
+#ifndef CPR_SRC_CORE_SCHEMA_VERSIONS_H_
+#define CPR_SRC_CORE_SCHEMA_VERSIONS_H_
+
+namespace cpr {
+
+// The --stats-json run document (core/stats_report.h).
+inline constexpr int kStatsSchemaVersion = 1;
+
+// The "lint" stats section and `cpr lint --json` (lint/lint.h rule catalog).
+inline constexpr int kLintSchemaVersion = 1;
+
+// The "provenance" stats section and `cpr explain --json`
+// (obs/provenance.h); both delegate to obs::WriteProvenanceFields.
+inline constexpr int kProvenanceSchemaVersion = 1;
+
+// The "certify" stats section and persisted *.cert.json artifacts
+// (certify/artifact.h).
+inline constexpr int kCertifySchemaVersion = 1;
+
+// One event-log JSONL line (obs/event_log.h); every line carries it as "v".
+inline constexpr int kEventSchemaVersion = 1;
+
+// The flight-recorder dump document (obs/flight_recorder.h).
+inline constexpr int kFlightRecorderSchemaVersion = 1;
+
+}  // namespace cpr
+
+#endif  // CPR_SRC_CORE_SCHEMA_VERSIONS_H_

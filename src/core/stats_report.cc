@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/schema_versions.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
@@ -24,6 +25,7 @@ void WriteRun(obs::JsonWriter* w, const StatsRunInfo& run) {
   w->Key("threads").Int(run.threads);
   w->Key("status").String(run.status);
   w->Key("wall_seconds").Double(run.wall_seconds);
+  w->Key("trace_id").String(run.trace_id);
   w->EndObject();
 }
 
@@ -90,6 +92,7 @@ void WriteCounterPairs(obs::JsonWriter* w,
 void WriteRepair(obs::JsonWriter* w, const CprReport& report) {
   const RepairStats& stats = report.stats;
   w->Key("repair").BeginObject();
+  w->Key("trace_id").String(stats.trace_id);
   w->Key("status").String(RepairStatusName(report.status));
   w->Key("predicted_cost").Int(report.predicted_cost);
   w->Key("lines_changed").Int(report.lines_changed);
@@ -225,7 +228,7 @@ void WriteIncremental(obs::JsonWriter* w, const CprReport& report) {
 // independently of the surrounding run schema.
 void WriteLint(obs::JsonWriter* w, const CprReport& report) {
   w->Key("lint").BeginObject();
-  w->Key("schema_version").Int(1);
+  w->Key("schema_version").Int(kLintSchemaVersion);
   w->Key("errors").Int(report.lint_report.errors);
   w->Key("warnings").Int(report.lint_report.warnings);
   w->Key("infos").Int(report.lint_report.infos);
@@ -243,7 +246,7 @@ void WriteLint(obs::JsonWriter* w, const CprReport& report) {
 void WriteCertify(obs::JsonWriter* w, const CprReport& report) {
   const RepairStats& stats = report.stats;
   w->Key("certify").BeginObject();
-  w->Key("schema_version").Int(1);
+  w->Key("schema_version").Int(kCertifySchemaVersion);
   w->Key("mode").String(report.certify_mode);
   w->Key("checked").Int(stats.certify_checked);
   w->Key("verified").Int(stats.certify_verified);
@@ -258,7 +261,7 @@ void WriteCertify(obs::JsonWriter* w, const CprReport& report) {
 // obs::WriteProvenanceFields).
 void WriteProvenance(obs::JsonWriter* w, const CprReport& report) {
   w->Key("provenance").BeginObject();
-  w->Key("schema_version").Int(1);
+  w->Key("schema_version").Int(kProvenanceSchemaVersion);
   obs::WriteProvenanceFields(w, report.provenance);
   w->EndObject();
 }
@@ -268,7 +271,7 @@ void WriteProvenance(obs::JsonWriter* w, const CprReport& report) {
 std::string BuildStatsJson(const StatsRunInfo& run, const CprReport* report) {
   obs::JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(1);
+  w.Key("schema_version").Int(kStatsSchemaVersion);
   WriteRun(&w, run);
   WriteStages(&w);
   WriteInstruments(&w);

@@ -8,7 +8,8 @@
 //   {
 //     "schema_version": 1,
 //     "run": { "command", "config_dir", "policy_file", "backend",
-//              "granularity", "threads", "status", "wall_seconds" },
+//              "granularity", "threads", "status", "wall_seconds",
+//              "trace_id" },
 //     "stages": [ { "name", "parent", "thread", "start_seconds",
 //                   "duration_seconds", "args"? }, ... ],
 //     "counters": { "<name>": <int>, ... },
@@ -67,6 +68,7 @@ struct StatsRunInfo {
   int threads = 1;
   std::string status;       // Final pipeline status string.
   double wall_seconds = 0;  // End-to-end process wall time.
+  std::string trace_id;     // Correlation ID (empty outside cprd/--trace-id).
 };
 
 // Serializes the current global registry + trace (and the repair report, when

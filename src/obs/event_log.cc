@@ -1,0 +1,125 @@
+#include "obs/event_log.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+
+#include "core/schema_versions.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace cpr::obs {
+
+namespace {
+
+double NowUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string MintTraceId() {
+  static std::mutex mu;
+  static std::mt19937_64 rng(
+      []() {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+      }());
+  uint64_t bits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    while (bits == 0) {
+      bits = rng();
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+void WriteEventObject(JsonWriter* w, const Event& event) {
+  w->BeginObject();
+  w->Key("v").Int(kEventSchemaVersion);
+  w->Key("ts").Double(event.unix_seconds);
+  w->Key("type").String(event.type);
+  if (event.request_id != 0) {
+    w->Key("req").Int(static_cast<int64_t>(event.request_id));
+  }
+  if (!event.trace_id.empty()) {
+    w->Key("trace").String(event.trace_id);
+  }
+  for (const auto& [key, value] : event.fields) {
+    w->Key(key).String(value);
+  }
+  w->EndObject();
+}
+
+std::string EventToJson(const Event& event) {
+  JsonWriter w;
+  WriteEventObject(&w, event);
+  return w.str();
+}
+
+EventLog::~EventLog() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool EventLog::OpenFile(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  file_ = file;
+  return true;
+}
+
+void EventLog::Emit(Event event) {
+  if (event.unix_seconds == 0) {
+    event.unix_seconds = NowUnixSeconds();
+  }
+  const bool to_stderr = echo_daemon_events_ && event.request_id == 0;
+  if (file_ == nullptr && recorder_ == nullptr && !to_stderr) {
+    return;
+  }
+  std::string line;
+  if (file_ != nullptr || to_stderr) {
+    line = EventToJson(event);
+    line.push_back('\n');
+  }
+  // Flushing every event would put an fsync-ish syscall on the hot request
+  // path (it is the dominant telemetry cost in bench/telemetry_overhead).
+  // Instead, flush at lifecycle boundaries: daemon-scoped marks and the
+  // request.* terminal/admission events. Between boundaries, lines sit in
+  // stdio's buffer — atomic either way because fwrite runs under the lock —
+  // so a reader sees every request's history as soon as it terminates, and
+  // at most the in-flight tail is lost to a hard kill (which is precisely
+  // the window the in-memory flight recorder exists to cover).
+  const bool flush_boundary =
+      event.request_id == 0 || event.type.rfind("request.", 0) == 0;
+  // One lock for file + recorder keeps the ring ordered the way the file
+  // is; stderr rides along so a daemon mark never splits a file line.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    if (flush_boundary) {
+      std::fflush(file_);
+    }
+  }
+  if (to_stderr) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(event);
+  }
+}
+
+}  // namespace cpr::obs

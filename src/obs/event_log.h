@@ -1,0 +1,119 @@
+// Structured event log: one JSON object per line (JSONL), lock-minimal.
+//
+// Every noteworthy daemon transition — admission, queueing, solve attempts,
+// certification, retry, failover, crash isolation, drain — emits one typed
+// Event. Events scoped to a request carry the request id plus the trace ID
+// minted at admission (the same ID threaded into CprOptions, StageSpan
+// annotations, and the stats-json "run" section), so one grep joins a
+// request's wire-level lifecycle to its solver-internal record.
+//
+// Schema (kEventSchemaVersion; additions are append-only): every line is a
+// flat JSON object with
+//
+//   "v"     int     event schema version
+//   "ts"    double  unix seconds (stamped at Emit unless preset)
+//   "type"  string  dotted event name ("admit", "attempt.start", ...)
+//   "req"   int     request id          — present only for request events
+//   "trace" string  16-hex-char trace ID — present only when known
+//   ...             event-specific fields, all values JSON strings
+//
+// Concurrency contract: the JSON line is formatted entirely outside the
+// lock; the mutex covers only the fwrite+flush of the finished line (and
+// the flight-recorder tap), so concurrent writers never interleave bytes
+// within a line and contend only for the duration of one buffered write.
+// telemetry_test drives this from many threads under TSan.
+//
+// Sinks are independent and each optional:
+//   * a JSONL file (cprd --event-log PATH, append mode);
+//   * an attached FlightRecorder (always fed when set — the in-memory ring
+//     is how crash dumps see events even with no file configured);
+//   * stderr, for daemon-scoped events (request_id == 0) only. Per-request
+//     events NEVER go to stderr: that is the fix for cprd's stats/stderr
+//     interleaving — worker chatter stays out of the terminal and protocol
+//     streams, while operators still see one-line daemon lifecycle marks.
+
+#ifndef CPR_SRC_OBS_EVENT_LOG_H_
+#define CPR_SRC_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpr::obs {
+
+class FlightRecorder;
+
+struct Event {
+  double unix_seconds = 0;  // 0 => EventLog::Emit stamps the current time.
+  std::string type;
+  uint64_t request_id = 0;  // 0 => daemon-scoped.
+  std::string trace_id;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  Event& With(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  // Builder shorthand: Event::Of("admit", id, trace).With("tag", tag).
+  static Event Of(std::string type, uint64_t request_id = 0,
+                  std::string trace_id = std::string()) {
+    Event event;
+    event.type = std::move(type);
+    event.request_id = request_id;
+    event.trace_id = std::move(trace_id);
+    return event;
+  }
+};
+
+// Mints a fresh 16-hex-character trace ID (64 random bits, never zero).
+// Thread-safe; IDs are unique per process with overwhelming probability and
+// seeded from std::random_device so concurrent daemons don't collide.
+std::string MintTraceId();
+
+// The one-line JSON rendering (no trailing newline).
+std::string EventToJson(const Event& event);
+
+// Writes the same object into an in-progress JsonWriter (the flight
+// recorder embeds events inside its dump document this way).
+class JsonWriter;
+void WriteEventObject(JsonWriter* w, const Event& event);
+
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Opens `path` for appending; returns false (with *error set) on failure.
+  // May be called at most once, before concurrent use begins.
+  bool OpenFile(const std::string& path, std::string* error);
+
+  // Attaches the in-memory ring every event is teed into. Not owned; set
+  // before concurrent use begins and left alone afterwards.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
+  // Echo daemon-scoped (request_id == 0) events to stderr as JSONL. Off by
+  // default so library users and tests stay silent; cprd turns it on.
+  void set_echo_daemon_events(bool echo) { echo_daemon_events_ = echo; }
+
+  bool has_file() const { return file_ != nullptr; }
+
+  // Stamps the timestamp (unless preset), renders, and writes to every
+  // configured sink. Safe to call from any thread.
+  void Emit(Event event);
+
+ private:
+  std::FILE* file_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  bool echo_daemon_events_ = false;
+  std::mutex write_mu_;  // Guards fwrite/fflush only; formatting is outside.
+};
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_EVENT_LOG_H_

@@ -1,0 +1,107 @@
+#include "obs/expose.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace cpr::obs {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+
+// Formats a double the way Prometheus clients do: shortest round-trip-ish
+// representation without locale surprises. %.17g round-trips but is noisy;
+// %.9g is plenty for microsecond-resolution duration estimates.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void AppendHelpAndType(std::string* out, const std::string& metric,
+                       std::string_view instrument_name, const char* type) {
+  // HELP text echoes the dotted name; instrument names never contain the
+  // bytes (\\ or \n) that would need escaping in HELP.
+  out->append("# HELP ").append(metric).append(" cpr instrument ");
+  out->append(instrument_name);
+  out->push_back('\n');
+  out->append("# TYPE ").append(metric).append(" ").append(type);
+  out->push_back('\n');
+}
+
+void AppendLabeledSample(std::string* out, const std::string& metric,
+                         const std::string& subsystem, const char* extra_label,
+                         const std::string& value) {
+  out->append(metric);
+  out->append("{subsystem=\"").append(subsystem).push_back('"');
+  if (extra_label != nullptr) {
+    out->push_back(',');
+    out->append(extra_label);
+  }
+  out->append("} ").append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view instrument_name) {
+  std::string out = "cpr_";
+  out.reserve(instrument_name.size() + 4);
+  for (char c : instrument_name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusSubsystem(std::string_view instrument_name) {
+  size_t dot = instrument_name.find('.');
+  if (dot == std::string_view::npos || dot == 0) {
+    return "cpr";
+  }
+  std::string out;
+  for (char c : instrument_name.substr(0, dot)) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  char buf[32];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = PrometheusName(name) + "_total";
+    const std::string subsystem = PrometheusSubsystem(name);
+    AppendHelpAndType(&out, metric, name, "counter");
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    AppendLabeledSample(&out, metric, subsystem, nullptr, buf);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = PrometheusName(name);
+    const std::string subsystem = PrometheusSubsystem(name);
+    AppendHelpAndType(&out, metric, name, "gauge");
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    AppendLabeledSample(&out, metric, subsystem, nullptr, buf);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string metric = PrometheusName(name);
+    const std::string subsystem = PrometheusSubsystem(name);
+    AppendHelpAndType(&out, metric, name, "summary");
+    for (double q : kQuantiles) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "quantile=\"%g\"", q);
+      AppendLabeledSample(&out, metric, subsystem, label,
+                          FormatDouble(data.QuantileSeconds(q)));
+    }
+    AppendLabeledSample(&out, metric + "_sum", subsystem, nullptr,
+                        FormatDouble(data.sum_seconds));
+    std::snprintf(buf, sizeof(buf), "%" PRId64, data.count);
+    AppendLabeledSample(&out, metric + "_count", subsystem, nullptr, buf);
+  }
+  return out;
+}
+
+}  // namespace cpr::obs

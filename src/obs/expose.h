@@ -1,0 +1,50 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry.
+//
+// Naming rules (DESIGN.md §14) — stable, derived mechanically from the
+// dotted instrument names so a new counter is scrapeable the moment it is
+// registered:
+//
+//   * every metric is prefixed `cpr_`; dots and any other non-[a-zA-Z0-9_]
+//     byte become `_` (serve.queue.depth -> cpr_serve_queue_depth);
+//   * counters get the conventional `_total` suffix and `# TYPE ... counter`;
+//   * gauges export as-is with `# TYPE ... gauge`;
+//   * histograms export as Prometheus *summaries*: one line per quantile
+//     (0.5, 0.9, 0.99, estimated from the log2 microsecond buckets via
+//     HistogramData::QuantileSeconds) plus `_sum` and `_count`;
+//   * every sample carries a `subsystem` label: the first dotted segment of
+//     the instrument name (serve, cdcl, certify, repair, ...), so dashboards
+//     can slice one daemon's metrics by pipeline layer without regexes;
+//   * the `# HELP` line echoes the original dotted name, which is the join
+//     key back to --stats-json's counters/gauges/histograms sections.
+//
+// Rendering reads only a Snapshot (no registry locks held while formatting),
+// so a scrape taken mid-burst observes each instrument atomically even
+// though the set as a whole is not a consistent cut — the normal Prometheus
+// contract.
+
+#ifndef CPR_SRC_OBS_EXPOSE_H_
+#define CPR_SRC_OBS_EXPOSE_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cpr::obs {
+
+// `cpr_` + the dotted name with every non-alphanumeric byte mapped to '_'.
+// Does NOT append `_total`; RenderPrometheus adds that for counters.
+std::string PrometheusName(std::string_view instrument_name);
+
+// The `subsystem` label value: the first dotted segment of the instrument
+// name ("serve.queue.depth" -> "serve"), or "cpr" when there is no dot.
+std::string PrometheusSubsystem(std::string_view instrument_name);
+
+// Renders the whole snapshot in exposition text format. Deterministic:
+// instruments appear in the snapshot's (sorted-by-name) order, counters
+// first, then gauges, then histograms.
+std::string RenderPrometheus(const Snapshot& snapshot);
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_EXPOSE_H_

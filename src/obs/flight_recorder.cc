@@ -1,0 +1,132 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/schema_versions.h"
+#include "netbase/durable_file.h"
+#include "obs/json.h"
+
+namespace cpr::obs {
+
+namespace {
+
+bool IsTerminalType(const std::string& type) {
+  return type == "request.done" || type == "request.failed" ||
+         type == "request.rejected";
+}
+
+}  // namespace
+
+void FlightRecorder::Record(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.push_back(event);
+  if (recent_.size() > limits_.max_recent_events) {
+    recent_.pop_front();
+  }
+  if (event.request_id == 0) {
+    return;
+  }
+  auto it = requests_.find(event.request_id);
+  if (it == requests_.end()) {
+    Lifecycle lifecycle;
+    lifecycle.seq = next_seq_++;
+    it = requests_.emplace(event.request_id, std::move(lifecycle)).first;
+  }
+  Lifecycle& lifecycle = it->second;
+  if (lifecycle.trace_id.empty() && !event.trace_id.empty()) {
+    lifecycle.trace_id = event.trace_id;
+  }
+  if (IsTerminalType(event.type)) {
+    lifecycle.terminal = true;
+  }
+  lifecycle.events.push_back(event);
+  if (lifecycle.events.size() > limits_.max_events_per_request) {
+    lifecycle.events.pop_front();
+    ++lifecycle.dropped_events;
+  }
+  if (requests_.size() > limits_.max_requests) {
+    // Prefer evicting the oldest terminal lifecycle; in-flight histories are
+    // the payload a crash dump exists for.
+    auto victim = requests_.end();
+    for (auto walk = requests_.begin(); walk != requests_.end(); ++walk) {
+      if (&walk->second == &lifecycle) {
+        continue;  // Never evict the lifecycle we just appended to.
+      }
+      if (victim == requests_.end() ||
+          (walk->second.terminal && !victim->second.terminal) ||
+          (walk->second.terminal == victim->second.terminal &&
+           walk->second.seq < victim->second.seq)) {
+        victim = walk;
+      }
+    }
+    if (victim != requests_.end()) {
+      requests_.erase(victim);
+    }
+  }
+}
+
+std::string FlightRecorder::DumpJson(const std::string& reason) const {
+  // Copy under the lock, format outside it.
+  std::vector<std::pair<uint64_t, Lifecycle>> requests;
+  std::deque<Event> recent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests.assign(requests_.begin(), requests_.end());
+    recent = recent_;
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const auto& a, const auto& b) { return a.second.seq < b.second.seq; });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(kFlightRecorderSchemaVersion);
+  w.Key("reason").String(reason);
+  w.Key("dumped_unix_seconds")
+      .Double(std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count());
+  w.Key("requests").BeginArray();
+  for (const auto& [id, lifecycle] : requests) {
+    w.BeginObject();
+    w.Key("id").Int(static_cast<int64_t>(id));
+    w.Key("trace_id").String(lifecycle.trace_id);
+    w.Key("terminal").Bool(lifecycle.terminal);
+    w.Key("dropped_events").Int(lifecycle.dropped_events);
+    w.Key("events").BeginArray();
+    for (const Event& event : lifecycle.events) {
+      WriteEventObject(&w, event);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("recent_events").BeginArray();
+  for (const Event& event : recent) {
+    WriteEventObject(&w, event);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool FlightRecorder::DumpTo(const std::string& path, const std::string& reason,
+                            std::string* error) const {
+  Status status = WriteFileDurably(path, DumpJson(reason) + "\n");
+  if (!status.ok()) {
+    if (error != nullptr) {
+      *error = status.error().message();
+    }
+    return false;
+  }
+  return true;
+}
+
+size_t FlightRecorder::request_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_.size();
+}
+
+}  // namespace cpr::obs

@@ -1,0 +1,98 @@
+// Flight recorder: a fixed-size in-memory ring of recent request lifecycles.
+//
+// The daemon's event log answers "what happened?" only if someone thought to
+// configure a file before the incident. The flight recorder answers it after
+// the fact: every event is teed into a bounded in-memory structure — the
+// last N request lifecycles (each a bounded per-request event list) plus a
+// ring of the most recent events across all scopes — and the whole thing is
+// dumped as one JSON document when it matters: on SIGTERM drain, when a
+// worker trips crash isolation, or on demand via the `cprd dump` op.
+//
+// Dump document (kFlightRecorderSchemaVersion; additions append-only):
+//
+//   { "schema_version": 1,
+//     "reason": "drain" | "crash_isolated" | "dump_op" | ...,
+//     "dumped_unix_seconds": <double>,
+//     "requests": [ { "id", "trace_id", "terminal", "dropped_events",
+//                     "events": [ <event objects, arrival order> ] }, ... ],
+//     "recent_events": [ <event objects, arrival order> ] }
+//
+// Durability/trust model (DESIGN.md §14): dumps go through
+// netbase/durable_file's write-tmp + fsync + rename discipline, so a dump
+// file is always a complete, parseable document — but the recorder is a
+// diagnostic, not a journal: it lives in process memory, so a SIGKILL or
+// kernel panic loses whatever was not yet dumped. Anything load-bearing
+// (request specs, budgets) is already persisted by the checkpoint store;
+// the recorder only ever holds a bounded redundant window.
+//
+// Eviction: when the request ring is full, the oldest *terminal* lifecycle
+// is evicted first — an in-flight request's history is exactly what a crash
+// dump exists to preserve, so completed requests always lose the seat.
+// Only when every retained lifecycle is still in flight does the oldest
+// in-flight one go. A lifecycle is terminal once it records an event whose
+// type is "request.done", "request.failed", or "request.rejected" (the
+// daemon's terminal vocabulary).
+//
+// Thread safety: one mutex over the whole structure. Record() is O(1) and
+// the recorder sits behind EventLog's write lock anyway; Dump* take the
+// lock only long enough to copy, then format outside it.
+
+#ifndef CPR_SRC_OBS_FLIGHT_RECORDER_H_
+#define CPR_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/event_log.h"
+
+namespace cpr::obs {
+
+class FlightRecorder {
+ public:
+  struct Limits {
+    size_t max_requests = 64;           // Retained lifecycles.
+    size_t max_events_per_request = 64; // Oldest dropped (counted) beyond.
+    size_t max_recent_events = 512;     // The all-scopes recent ring.
+  };
+
+  FlightRecorder() : FlightRecorder(Limits{}) {}
+  explicit FlightRecorder(Limits limits) : limits_(limits) {}
+
+  // Routes one event into the lifecycle ring (request events) and the
+  // recent ring (all events). Events must carry unix_seconds already (the
+  // EventLog stamps before tapping).
+  void Record(const Event& event);
+
+  // Renders the dump document. `reason` is recorded verbatim.
+  std::string DumpJson(const std::string& reason) const;
+
+  // DumpJson + durable write (write-tmp, fsync, rename). Returns false and
+  // sets *error on I/O failure.
+  bool DumpTo(const std::string& path, const std::string& reason,
+              std::string* error) const;
+
+  // Number of retained request lifecycles (tests).
+  size_t request_count() const;
+
+ private:
+  struct Lifecycle {
+    uint64_t seq = 0;  // Arrival order of the first event; eviction key.
+    std::string trace_id;
+    bool terminal = false;
+    int64_t dropped_events = 0;
+    std::deque<Event> events;
+  };
+
+  mutable std::mutex mu_;
+  Limits limits_;
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, Lifecycle> requests_;  // Keyed by request id.
+  std::deque<Event> recent_;
+};
+
+}  // namespace cpr::obs
+
+#endif  // CPR_SRC_OBS_FLIGHT_RECORDER_H_

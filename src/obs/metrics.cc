@@ -90,6 +90,22 @@ HistogramData Histogram::Data() const {
   return data;
 }
 
+void Histogram::Merge(const HistogramData& data) {
+  if (data.count <= 0) {
+    return;
+  }
+  count_.fetch_add(data.count, std::memory_order_relaxed);
+  AtomicAdd(&sum_, data.sum_seconds);
+  AtomicMin(&min_, data.min_seconds);
+  AtomicMax(&max_, data.max_seconds);
+  const int limit = std::min<int>(kBuckets, static_cast<int>(data.buckets.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (data.buckets[i] != 0) {
+      buckets_[i].fetch_add(data.buckets[i], std::memory_order_relaxed);
+    }
+  }
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
@@ -162,6 +178,20 @@ Snapshot Registry::TakeSnapshot() const {
     snapshot.histograms.emplace_back(name, histogram->Data());
   }
   return snapshot;
+}
+
+void Registry::Merge(const Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value != 0) {
+      counter(name).Add(value);
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauge(name).Set(value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    histogram(name).Merge(data);
+  }
 }
 
 void Registry::Reset() {

@@ -87,6 +87,11 @@ class Histogram {
   HistogramData Data() const;
   void Reset();
 
+  // Folds a snapshotted histogram into this one: counts and buckets add,
+  // min/max widen, sum accumulates. Tolerates `data.buckets` shorter than
+  // kBuckets (an empty HistogramData is a no-op).
+  void Merge(const HistogramData& data);
+
  private:
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -116,6 +121,13 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   Snapshot TakeSnapshot() const;
+
+  // Folds another registry's snapshot into this one: counters add, gauges
+  // take the snapshot's value (last write wins, matching Gauge semantics),
+  // histograms merge bucket-wise. cprd uses this to accumulate each finished
+  // request's private registry into the global one, so a scrape of the
+  // daemon covers cdcl.*/repair.*/certify.* instruments cumulatively.
+  void Merge(const Snapshot& snapshot);
 
   // Zeroes every instrument (references stay valid). Used between runs and
   // by tests; the CLI calls it before a run so a stats file reflects one

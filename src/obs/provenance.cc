@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/schema_versions.h"
+
 namespace cpr::obs {
 
 namespace {
@@ -55,7 +57,7 @@ void WriteProvenanceFields(JsonWriter* w, const ProvenanceReport& report) {
 std::string ProvenanceJson(const ProvenanceReport& report) {
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(1);
+  w.Key("schema_version").Int(kProvenanceSchemaVersion);
   WriteProvenanceFields(&w, report);
   w.EndObject();
   return w.str();

@@ -108,6 +108,9 @@ struct ProblemReport {
 };
 
 struct RepairStats {
+  // Correlation ID echoed from CprOptions::trace_id (empty when the caller
+  // set none); joins this repair's stats to its event-log lifecycle.
+  std::string trace_id;
   int problems_formulated = 0;
   int problems_solved = 0;
   int problems_failed = 0;

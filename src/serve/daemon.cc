@@ -9,6 +9,7 @@
 
 #include "core/policy_spec.h"
 #include "core/stats_report.h"
+#include "obs/expose.h"
 
 namespace cpr::serve {
 
@@ -42,11 +43,18 @@ Daemon::Daemon(const DaemonOptions& options, CheckpointStore store)
       cache_(options.cache_capacity),
       solve_pool_(std::make_unique<ThreadPool>(options.solve_threads)),
       serve_metrics_(obs::Registry::Global()),
-      jitter_rng_(options.retry_jitter_seed) {}
+      jitter_rng_(options.retry_jitter_seed) {
+  event_log_.set_recorder(&flight_recorder_);
+  event_log_.set_echo_daemon_events(options_.echo_daemon_events);
+}
 
-Result<std::unique_ptr<Daemon>> Daemon::Start(const DaemonOptions& options) {
+Result<std::unique_ptr<Daemon>> Daemon::Start(const DaemonOptions& options_in) {
+  DaemonOptions options = options_in;
   if (options.checkpoint_dir.empty()) {
     return Error("daemon requires a checkpoint dir");
+  }
+  if (options.flight_dump_path.empty()) {
+    options.flight_dump_path = options.checkpoint_dir + "/flightrec.json";
   }
   Result<CheckpointStore> store = CheckpointStore::Open(options.checkpoint_dir);
   if (!store.ok()) {
@@ -65,15 +73,27 @@ Result<std::unique_ptr<Daemon>> Daemon::Start(const DaemonOptions& options) {
   }
 
   std::unique_ptr<Daemon> daemon(new Daemon(options, std::move(store).value()));
+  if (options.telemetry && !options.event_log_path.empty()) {
+    std::string error;
+    if (!daemon->event_log_.OpenFile(options.event_log_path, &error)) {
+      return Error("cannot open event log: " + error);
+    }
+  }
   daemon->next_id_ = daemon->store_.max_seen_id() + 1;
   for (CheckpointRecord& record : *recovered) {
     Request request;
     request.id = record.id;
     request.spec = std::move(record.spec);
+    if (request.spec.trace_id.empty()) {
+      request.spec.trace_id = obs::MintTraceId();
+    }
     request.attempts = record.attempts;
     request.deadline = daemon->DeadlineFromBudget(record.budget);
     request.recovered = true;
     request.admitted_at = Clock::now();
+    daemon->EmitEvent(obs::Event::Of("request.recovered", request.id, request.spec.trace_id)
+                          .With("tag", request.spec.tag)
+                          .With("attempts", std::to_string(request.attempts)));
     daemon->queue_.push_back(request.id);
     daemon->requests_.emplace(request.id, std::move(request));
     daemon->serve_metrics_.counter("serve.recovered").Increment();
@@ -83,11 +103,43 @@ Result<std::unique_ptr<Daemon>> Daemon::Start(const DaemonOptions& options) {
       .Set(static_cast<int64_t>(daemon->queue_.size()));
 
   int workers = std::max(1, options.workers);
+  daemon->EmitEvent(obs::Event::Of("daemon.start")
+                        .With("workers", std::to_string(workers))
+                        .With("queue_capacity", std::to_string(options.queue_capacity))
+                        .With("recovered", std::to_string(daemon->recovered_count_)));
   daemon->workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     daemon->workers_.emplace_back([d = daemon.get()] { d->WorkerLoop(); });
   }
   return daemon;
+}
+
+void Daemon::EmitEvent(obs::Event event) {
+  if (!options_.telemetry) {
+    return;
+  }
+  event_log_.Emit(std::move(event));
+}
+
+void Daemon::DumpFlightRecorderDurably(const std::string& reason) {
+  if (!options_.telemetry || options_.flight_dump_path.empty()) {
+    return;
+  }
+  std::string error;
+  if (!flight_recorder_.DumpTo(options_.flight_dump_path, reason, &error)) {
+    serve_metrics_.counter("serve.flight.dump_failures").Increment();
+    EmitEvent(obs::Event::Of("flight.dump_failed").With("error", error));
+  } else {
+    serve_metrics_.counter("serve.flight.dumps").Increment();
+  }
+}
+
+std::string Daemon::ScrapeMetrics() const {
+  return obs::RenderPrometheus(obs::Registry::Global().TakeSnapshot());
+}
+
+std::string Daemon::FlightDumpJson(const std::string& reason) const {
+  return flight_recorder_.DumpJson(reason);
 }
 
 Daemon::~Daemon() {
@@ -145,6 +197,9 @@ AdmissionDecision Daemon::Submit(const RequestSpec& spec) {
     if (draining_) {
       decision.error = "daemon is draining";
       serve_metrics_.counter("serve.admission.drain_rejects").Increment();
+      EmitEvent(obs::Event::Of("admission.reject", 0, spec.trace_id)
+                    .With("tag", spec.tag)
+                    .With("reason", "draining"));
       return decision;
     }
     if (queue_.size() >= options_.queue_capacity) {
@@ -156,12 +211,23 @@ AdmissionDecision Daemon::Submit(const RequestSpec& spec) {
           per_request * (static_cast<double>(queue_.size()) + 1.0) / workers;
       decision.error = "queue full";
       serve_metrics_.counter("serve.admission.rejects").Increment();
+      EmitEvent(obs::Event::Of("admission.reject", 0, spec.trace_id)
+                    .With("tag", spec.tag)
+                    .With("reason", "saturated")
+                    .With("retry_after_seconds",
+                          std::to_string(decision.retry_after_seconds)));
       return decision;
     }
     id = next_id_++;
     Request request;
     request.id = id;
     request.spec = spec;
+    // The correlation ID is minted HERE — at admission — so queue wait,
+    // every solve attempt, and the terminal event all share it; it rides
+    // request.spec into the checkpoint record below, surviving restarts.
+    if (request.spec.trace_id.empty()) {
+      request.spec.trace_id = obs::MintTraceId();
+    }
     if (spec.deadline_seconds > 0) {
       request.deadline = Deadline::After(spec.deadline_seconds);
     } else if (spec.deadline_seconds < 0) {
@@ -173,7 +239,7 @@ AdmissionDecision Daemon::Submit(const RequestSpec& spec) {
     record.id = id;
     record.attempts = 0;
     record.budget = BudgetOf(request.deadline);
-    record.spec = spec;
+    record.spec = request.spec;
     requests_.emplace(id, std::move(request));
   }
 
@@ -186,11 +252,18 @@ AdmissionDecision Daemon::Submit(const RequestSpec& spec) {
     requests_.erase(id);
     decision.error = "checkpoint failed: " + persisted.error().message();
     serve_metrics_.counter("serve.admission.persist_failures").Increment();
+    EmitEvent(obs::Event::Of("admission.reject", 0, record.spec.trace_id)
+                  .With("tag", spec.tag)
+                  .With("reason", "persist_failure"));
     return decision;
   }
   queue_.push_back(id);
   serve_metrics_.counter("serve.admitted").Increment();
   serve_metrics_.gauge("serve.queue.depth").Set(static_cast<int64_t>(queue_.size()));
+  EmitEvent(obs::Event::Of("admit", id, record.spec.trace_id)
+                .With("tag", spec.tag)
+                .With("budget_seconds", std::to_string(record.budget))
+                .With("queue_depth", std::to_string(queue_.size())));
   queue_cv_.notify_one();
   decision.admitted = true;
   decision.id = id;
@@ -215,6 +288,8 @@ void Daemon::WorkerLoop() {
     lock.unlock();
 
     serve_metrics_.histogram("serve.queue_wait_seconds").Observe(request.queue_seconds);
+    EmitEvent(obs::Event::Of("dequeue", request.id, request.spec.trace_id)
+                  .With("queue_seconds", std::to_string(request.queue_seconds)));
     Execute(&request);
 
     lock.lock();
@@ -228,21 +303,33 @@ void Daemon::Execute(Request* request) {
   Clock::time_point exec_start = Clock::now();
   for (;;) {
     Attempt attempt;
+    EmitEvent(obs::Event::Of("attempt.start", request->id, request->spec.trace_id)
+                  .With("attempt", std::to_string(request->attempts + 1)));
     // Crash isolation: whatever a request does — throwing parsers, backend
     // exceptions, filesystem surprises — is converted to a structured
     // failure on THIS request; the daemon and its siblings keep running.
+    bool crashed = false;
     try {
       attempt = ExecuteOnce(request);
     } catch (const std::exception& e) {
       attempt.terminal = false;
       attempt.status = "error";
       attempt.error = std::string("exception: ") + e.what();
+      crashed = true;
       serve_metrics_.counter("serve.requests.crash_isolated").Increment();
     } catch (...) {
       attempt.terminal = false;
       attempt.status = "error";
       attempt.error = "unknown exception";
+      crashed = true;
       serve_metrics_.counter("serve.requests.crash_isolated").Increment();
+    }
+    if (crashed) {
+      // The event first (so the dump contains it), then the durable dump:
+      // a crash-isolation trip is exactly the moment the ring exists for.
+      EmitEvent(obs::Event::Of("crash_isolated", request->id, request->spec.trace_id)
+                    .With("error", attempt.error));
+      DumpFlightRecorderDurably("crash_isolated");
     }
     int attempts;
     bool exhausted;
@@ -272,6 +359,10 @@ void Daemon::Execute(Request* request) {
     // Never sleep past the request's own deadline; an expired deadline makes
     // the next attempt report kDeadlineExceeded immediately.
     backoff = std::min(backoff, request->deadline.ClampTimeout(backoff));
+    EmitEvent(obs::Event::Of("retry", request->id, request->spec.trace_id)
+                  .With("attempt", std::to_string(attempts))
+                  .With("backoff_seconds", std::to_string(backoff))
+                  .With("error", attempt.error));
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
   }
 }
@@ -296,6 +387,7 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
     run.threads = options_.solve_threads;
     run.status = status;
     run.wall_seconds = Seconds(start);
+    run.trace_id = request->spec.trace_id;
     attempt.stats_json = BuildStatsJson(run, report);
   };
 
@@ -305,18 +397,24 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
   if (request->deadline.Expired()) {
     attempt.status = RepairStatusName(RepairStatus::kDeadlineExceeded);
     serve_metrics_.counter("serve.deadline_expired").Increment();
+    EmitEvent(obs::Event::Of("deadline.expired", request->id, request->spec.trace_id));
     write_stats(nullptr, attempt.status);
     return attempt;
   }
 
   obs::StageSpan span("serve.request");
   span.Annotate("tag", request->spec.tag);
+  if (!request->spec.trace_id.empty()) {
+    span.Annotate("trace_id", request->spec.trace_id);
+  }
 
   auto reject = [&](const std::string& why) {
     attempt.status = "invalid-request";
     attempt.error = why;
     write_stats(nullptr, attempt.status);
     serve_metrics_.counter("serve.requests.invalid").Increment();
+    EmitEvent(obs::Event::Of("request.invalid", request->id, request->spec.trace_id)
+                  .With("error", why));
     return attempt;  // Malformed input never becomes valid by retrying.
   };
 
@@ -440,6 +538,24 @@ Daemon::Attempt Daemon::ExecuteOnce(Request* request) {
                    report->status != RepairStatus::kDeadlineExceeded;
   span.Annotate("status", attempt.status);
   write_stats(&*report, attempt.status);
+  EmitEvent(obs::Event::Of("solve", request->id, request->spec.trace_id)
+                .With("status", attempt.status)
+                .With("backend", request->spec.backend)
+                .With("wall_seconds", std::to_string(report->stats.wall_seconds)));
+  // Failovers happen deep in the solver stack; the per-request registry is
+  // the only place they surface before the stats document. One event per
+  // attempt that had any.
+  if (int64_t failovers = request->registry->counter("solver.failovers").value();
+      failovers > 0) {
+    EmitEvent(obs::Event::Of("failover", request->id, request->spec.trace_id)
+                  .With("count", std::to_string(failovers)));
+  }
+  if (options->repair.certify != certify::CertifyMode::kOff) {
+    EmitEvent(obs::Event::Of("certify", request->id, request->spec.trace_id)
+                  .With("checked", std::to_string(report->stats.certify_checked))
+                  .With("verified", std::to_string(report->stats.certify_verified))
+                  .With("failed", std::to_string(report->stats.certify_failed)));
+  }
   if (report->status == RepairStatus::kError) {
     // A backend failed internally — the one failure class worth retrying
     // (fault injection, resource exhaustion, Z3 hiccups).
@@ -475,6 +591,28 @@ void Daemon::FinishRequest(Request* request, RequestState terminal, double exec_
       .counter(terminal == RequestState::kDone ? "serve.requests.completed"
                                                : "serve.requests.failed")
       .Increment();
+  // Fold the request's private pipeline instruments (cdcl.*, repair.*,
+  // certify.*, ...) into the global registry so `cprd scrape` sees them
+  // cumulatively. Only the final attempt's counts are merged — ExecuteOnce
+  // resets the registry per attempt, and double-counting retried work would
+  // skew rates worse than missing it.
+  if (options_.telemetry) {
+    obs::Registry::Global().Merge(request->registry->TakeSnapshot());
+  }
+  EmitEvent(obs::Event::Of(terminal == RequestState::kDone ? "request.done"
+                                                           : "request.failed",
+                           request->id, request->spec.trace_id)
+                .With("status", request->status)
+                .With("error", request->error)
+                .With("exec_seconds", std::to_string(exec_seconds)));
+  if (terminal == RequestState::kFailed) {
+    // Every structured failure — an injected crash that persisted across
+    // all attempts, a poisoned input, retries exhausted — leaves a durable
+    // dump behind. Ordered after the terminal event (so the dump holds the
+    // request's COMPLETE lifecycle) and before the terminal notification
+    // below (so a client that observed the failure can already read it).
+    DumpFlightRecorderDurably("request_failed");
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   request->exec_seconds = exec_seconds;
@@ -611,6 +749,9 @@ DrainReport Daemon::Drain() {
   }
   int64_t completed_before = completed_total_;
   draining_ = true;
+  EmitEvent(obs::Event::Of("drain.begin")
+                .With("queued", std::to_string(queue_.size()))
+                .With("running", std::to_string(running_)));
   queue_cv_.notify_all();
 
   // Let in-flight requests finish — they were admitted, the client was
@@ -656,6 +797,13 @@ DrainReport Daemon::Drain() {
   report.drain_seconds = Seconds(start);
   serve_metrics_.histogram("serve.drain_seconds").Observe(report.drain_seconds);
   serve_metrics_.counter("serve.drains").Increment();
+  EmitEvent(obs::Event::Of("drain.end")
+                .With("completed_in_drain", std::to_string(report.completed_in_drain))
+                .With("checkpointed", std::to_string(report.checkpointed))
+                .With("deadline_hit", report.deadline_hit ? "1" : "0"));
+  // The dump is the drain's black box: every in-flight lifecycle that was
+  // still racing the deadline is now on disk, whatever happens next.
+  DumpFlightRecorderDurably("drain");
   return report;
 }
 

@@ -53,6 +53,8 @@
 #include "incremental/session.h"
 #include "netbase/deadline.h"
 #include "netbase/result.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "serve/checkpoint.h"
@@ -87,6 +89,21 @@ struct DaemonOptions {
   std::string checkpoint_dir;  // Required.
   std::string results_dir;     // Per-request stats JSON files; empty = none.
   size_t cache_capacity = 8;   // Snapshot cache entries.
+
+  // --- Telemetry (DESIGN.md §14) -------------------------------------
+  // Master switch for the event log + flight recorder (the exposition
+  // endpoint stays available either way — it only reads the registry).
+  // bench/telemetry_overhead flips this for its A/B.
+  bool telemetry = true;
+  // JSONL sink for every event (cprd --event-log PATH); empty = no file
+  // (events still feed the flight recorder).
+  std::string event_log_path;
+  // Where drain/crash dumps land; empty = <checkpoint_dir>/flightrec.json.
+  std::string flight_dump_path;
+  // Echo daemon-scoped (request_id == 0) events to stderr. cprd turns this
+  // on so operators see start/drain marks; per-request events never go to
+  // stderr (that is the stats-interleaving fix).
+  bool echo_daemon_events = false;
 };
 
 enum class RequestState {
@@ -154,6 +171,17 @@ class Daemon {
   // drain_deadline_seconds), persists remaining budgets of queued requests,
   // and stops the workers. Idempotent; the first call wins.
   DrainReport Drain();
+
+  // Prometheus text exposition of the process-global registry (the `metrics`
+  // wire op / `cprd scrape`). Finished requests' private registries are
+  // merged into the global one at completion, so the scrape covers the
+  // pipeline's cdcl.*/repair.*/certify.* instruments cumulatively alongside
+  // the live serve.* signals.
+  std::string ScrapeMetrics() const;
+
+  // The flight-recorder dump document (the `dump` wire op). `reason` is
+  // recorded verbatim ("dump_op", "drain", "crash_isolated", ...).
+  std::string FlightDumpJson(const std::string& reason) const;
 
   size_t queue_depth() const;
   bool draining() const;
@@ -224,11 +252,20 @@ class Daemon {
   Deadline DeadlineFromBudget(double budget) const;
   double JitteredBackoff(int attempt);
 
-  const DaemonOptions options_;
+  // Telemetry tap: no-op when options_.telemetry is false. Stamps nothing —
+  // the EventLog fills the timestamp.
+  void EmitEvent(obs::Event event);
+  // Durable flight dump to options_.flight_dump_path; failures are counted,
+  // never fatal (the recorder is a diagnostic, not a journal).
+  void DumpFlightRecorderDurably(const std::string& reason);
+
+  const DaemonOptions options_;  // flight_dump_path defaulted before ctor.
   CheckpointStore store_;
   SnapshotCache cache_;
   std::unique_ptr<ThreadPool> solve_pool_;
   obs::Registry& serve_metrics_;  // Process-global; daemon-level signals.
+  obs::FlightRecorder flight_recorder_;
+  obs::EventLog event_log_;  // Taps flight_recorder_; file/stderr optional.
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;     // Queue became non-empty / draining.

@@ -12,6 +12,7 @@ namespace fs = std::filesystem;
 
 Result<CprOptions> ToCprOptions(const RequestSpec& spec) {
   CprOptions options;
+  options.trace_id = spec.trace_id;
   options.repair.timeout_seconds = spec.timeout_seconds;
   options.repair.max_retries = spec.max_retries;
   options.validate_with_simulator = spec.simulate;
@@ -96,6 +97,7 @@ WireFields FieldsFromSpec(const RequestSpec& spec) {
   if (spec.incremental != defaults.incremental) put("incremental", spec.incremental);
   if (spec.certify != defaults.certify) put("certify", spec.certify);
   if (!spec.inject_fault.empty()) put("inject_fault", spec.inject_fault);
+  if (!spec.trace_id.empty()) put("trace_id", spec.trace_id);
   return fields;
 }
 
@@ -116,6 +118,7 @@ RequestSpec SpecFromFields(const WireFields& fields) {
   spec.incremental = view.Get("incremental", spec.incremental);
   spec.certify = view.Get("certify", spec.certify);
   spec.inject_fault = view.Get("inject_fault");
+  spec.trace_id = view.Get("trace_id");
   return spec;
 }
 

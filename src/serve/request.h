@@ -49,6 +49,11 @@ struct RequestSpec {
   // offline `cpr certify`.
   std::string certify = "off";
   std::string inject_fault;           // FaultInjectionSpec text (testing).
+  // Correlation ID for the request's whole telemetry lifecycle (event log,
+  // flight recorder, stage spans, stats-json). Clients may supply their own;
+  // the daemon mints one at admission when empty. Rides the wire and the
+  // checkpoint file so a recovered request keeps its identity.
+  std::string trace_id;
 };
 
 // Spec -> pipeline options. The daemon fills options.repair.deadline and

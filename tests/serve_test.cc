@@ -8,14 +8,18 @@
 
 #include "serve/daemon.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/request.h"
@@ -128,6 +132,7 @@ TEST(WireTest, SpecFieldsRoundTripIncludingNonDefaults) {
   spec.lint = "off";
   spec.incremental = "off";
   spec.inject_fault = "throw:p=0.5:seed=7";
+  spec.trace_id = "00c0ffee00c0ffee";
 
   RequestSpec round = SpecFromFields(FieldsFromSpec(spec));
   EXPECT_EQ(round.tag, spec.tag);
@@ -142,6 +147,7 @@ TEST(WireTest, SpecFieldsRoundTripIncludingNonDefaults) {
   EXPECT_EQ(round.lint, spec.lint);
   EXPECT_EQ(round.incremental, spec.incremental);
   EXPECT_EQ(round.inject_fault, spec.inject_fault);
+  EXPECT_EQ(round.trace_id, spec.trace_id);
 }
 
 // ---- checkpoint store -----------------------------------------------------
@@ -228,13 +234,25 @@ TEST(DaemonTest, RunsRequestThroughFullPipeline) {
   EXPECT_NE(status->stats_json.find("\"serve\""), std::string::npos);
   EXPECT_NE(status->stats_json.find("\"success\""), std::string::npos);
 
-  // Pipeline instruments must land in the per-request registry, never the
-  // process-global one (cross-request contamination is what this fixes).
-  obs::Snapshot global = obs::Registry::Global().TakeSnapshot();
-  for (const auto& [name, value] : global.counters) {
-    EXPECT_NE(name.rfind("repair.", 0), 0u)
-        << "pipeline counter leaked into the global registry: " << name;
+  // The request ran with a daemon-minted trace ID threaded into the stats
+  // document (the join key to the event log and flight recorder).
+  size_t trace_key = status->stats_json.find("\"trace_id\":\"");
+  ASSERT_NE(trace_key, std::string::npos) << status->stats_json;
+  EXPECT_NE(status->stats_json[trace_key + 12], '"')
+      << "minted trace id must be non-empty: " << status->stats_json;
+
+  // Pipeline instruments land in the per-request registry DURING execution
+  // (so concurrent requests never interleave counts in each other's stats
+  // JSON) and are merged into the global registry at completion, which is
+  // what lets a scrape cover repair.*/cdcl.* cumulatively.
+  bool merged_pipeline_counter = false;
+  for (const auto& [name, value] : obs::Registry::Global().TakeSnapshot().counters) {
+    if (name.rfind("repair.", 0) == 0 && value > 0) {
+      merged_pipeline_counter = true;
+    }
   }
+  EXPECT_TRUE(merged_pipeline_counter)
+      << "finished request's registry was not merged into the global one";
 }
 
 // ---- daemon: deadlines ----------------------------------------------------
@@ -625,6 +643,184 @@ TEST(DaemonTest, IncrementalOffNeverRetainsASession) {
   EXPECT_EQ((*daemon)->GetStatus(decision.id)->status, "success");
   EXPECT_EQ((*daemon)->session_count(), 0u)
       << "incremental=off must neither use nor retain sessions";
+}
+
+// ---- daemon: telemetry (DESIGN.md §14) ------------------------------------
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Concurrent scrapes during a burst must always be well-formed, and the
+// post-burst scrape must cover both daemon-level serve.* signals and the
+// pipeline instruments merged in at request completion.
+TEST(DaemonTest, ScrapeMidBurstIsAlwaysWellFormed) {
+  ServeFixture fx("scrape");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      std::string text = (*daemon)->ScrapeMetrics();
+      // Every line is a comment or a `name{labels} value` sample.
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        ASSERT_NE(line.find("{subsystem=\""), std::string::npos) << line;
+        ASSERT_NE(line.find("} "), std::string::npos) << line;
+      }
+    }
+  });
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    RequestSpec spec = fx.Spec("burst" + std::to_string(i));
+    spec.inject_fault = "slow:p=1:slow=0.05:seed=1";
+    AdmissionDecision decision = (*daemon)->Submit(spec);
+    ASSERT_TRUE(decision.admitted) << decision.error;
+    ids.push_back(decision.id);
+  }
+  for (uint64_t id : ids) {
+    ASSERT_TRUE((*daemon)->WaitFor(id, 30));
+  }
+  stop.store(true);
+  scraper.join();
+
+  std::string text = (*daemon)->ScrapeMetrics();
+  EXPECT_NE(text.find("cpr_serve_admitted_total{subsystem=\"serve\"} "),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cpr_serve_admitted_total counter"), std::string::npos);
+  EXPECT_NE(text.find("cpr_repair_problems_solved_total{subsystem=\"repair\"} "),
+            std::string::npos)
+      << "finished requests' pipeline counters must be scrapeable";
+}
+
+// The event log captures the full lifecycle of a request, joined end to end
+// by the trace ID minted at admission.
+TEST(DaemonTest, EventLogRecordsTracedLifecycle) {
+  ServeFixture fx("evlog");
+  DaemonOptions options = fx.Options();
+  options.event_log_path = fx.checkpoint_dir() + "/events.jsonl";
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec("traced"));
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+
+  std::istringstream lines(ReadFileText(options.event_log_path));
+  std::string line;
+  std::set<std::string> types;
+  std::set<std::string> traces;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    obs::JsonValue event;
+    std::string error;
+    ASSERT_TRUE(obs::ParseJson(line, &event, &error)) << error << "\n" << line;
+    const obs::JsonValue* req = event.Find("req");
+    if (req != nullptr && req->AsInt() == static_cast<int64_t>(decision.id)) {
+      types.insert(event.Find("type")->string);
+      ASSERT_NE(event.Find("trace"), nullptr) << line;
+      traces.insert(event.Find("trace")->string);
+    }
+  }
+  for (const char* expected : {"admit", "dequeue", "attempt.start", "solve",
+                               "request.done"}) {
+    EXPECT_TRUE(types.count(expected)) << "missing event type " << expected;
+  }
+  EXPECT_EQ(traces.size(), 1u) << "one request, one trace id";
+  EXPECT_EQ(traces.begin()->size(), 16u);
+}
+
+// A crash-isolation trip (an injected crash that persists across every
+// attempt) dumps the flight recorder durably, and the dump contains the
+// dying request's full traced lifecycle through its terminal event.
+TEST(DaemonTest, CrashIsolationDumpsDyingRequestLifecycle) {
+  ServeFixture fx("crashdump");
+  DaemonOptions options = fx.Options();
+  options.max_request_attempts = 2;
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+
+  RequestSpec doomed = fx.Spec("doomed");
+  doomed.inject_fault = "throw:p=1:seed=7";
+  AdmissionDecision decision = (*daemon)->Submit(doomed);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+  ASSERT_EQ((*daemon)->GetStatus(decision.id)->state, RequestState::kFailed);
+
+  // flight_dump_path defaults to <checkpoint_dir>/flightrec.json.
+  std::string text = ReadFileText(fx.checkpoint_dir() + "/flightrec.json");
+  ASSERT_FALSE(text.empty()) << "crash isolation must write a flight dump";
+  obs::JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &dump, &error)) << error;
+  EXPECT_EQ(dump.Find("reason")->string, "request_failed");
+
+  bool found = false;
+  for (const obs::JsonValue& lifecycle : dump.Find("requests")->items) {
+    if (lifecycle.Find("id")->AsInt() != static_cast<int64_t>(decision.id)) continue;
+    found = true;
+    EXPECT_FALSE(lifecycle.Find("trace_id")->string.empty());
+    EXPECT_TRUE(lifecycle.Find("terminal")->bool_value);
+    std::set<std::string> types;
+    for (const obs::JsonValue& event : lifecycle.Find("events")->items) {
+      types.insert(event.Find("type")->string);
+    }
+    for (const char* expected : {"admit", "dequeue", "attempt.start", "retry",
+                                 "request.failed"}) {
+      EXPECT_TRUE(types.count(expected))
+          << "dying request's lifecycle missing " << expected;
+    }
+  }
+  EXPECT_TRUE(found) << "dump does not contain the dying request";
+}
+
+// SIGTERM drain (Daemon::Drain) leaves a durable flight dump behind.
+TEST(DaemonTest, DrainDumpsFlightRecorder) {
+  ServeFixture fx("draindump");
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(fx.Options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec("before-drain"));
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+  (*daemon)->Drain();
+
+  std::string text = ReadFileText(fx.checkpoint_dir() + "/flightrec.json");
+  ASSERT_FALSE(text.empty());
+  obs::JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &dump, &error)) << error;
+  EXPECT_EQ(dump.Find("reason")->string, "drain");
+  bool terminal_lifecycle = false;
+  for (const obs::JsonValue& lifecycle : dump.Find("requests")->items) {
+    if (lifecycle.Find("id")->AsInt() == static_cast<int64_t>(decision.id) &&
+        lifecycle.Find("terminal")->bool_value) {
+      terminal_lifecycle = true;
+    }
+  }
+  EXPECT_TRUE(terminal_lifecycle);
+}
+
+// Telemetry off (the bench A/B control): no events, no dumps, no merge.
+TEST(DaemonTest, TelemetryOffWritesNothing) {
+  ServeFixture fx("teloff");
+  DaemonOptions options = fx.Options();
+  options.telemetry = false;
+  options.event_log_path = fx.checkpoint_dir() + "/events.jsonl";
+  Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok()) << daemon.error().message();
+  AdmissionDecision decision = (*daemon)->Submit(fx.Spec("silent"));
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_TRUE((*daemon)->WaitFor(decision.id, 30));
+  (*daemon)->Drain();
+  EXPECT_FALSE(fs::exists(options.event_log_path));
+  EXPECT_FALSE(fs::exists(fx.checkpoint_dir() + "/flightrec.json"));
 }
 
 // Daemon-level serve.* signals stay in the global registry (that is where

@@ -1,0 +1,370 @@
+// Live-telemetry subsystem (DESIGN.md §14): Prometheus exposition rules,
+// the structured event log under concurrent writers (run under TSan by
+// check.sh), registry merge-at-completion, and the flight recorder's ring
+// semantics + dump schema.
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/schema_versions.h"
+#include "obs/event_log.h"
+#include "obs/expose.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cpr::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- exposition -----------------------------------------------------------
+
+TEST(ExposeTest, NamingRulesAreMechanical) {
+  EXPECT_EQ(PrometheusName("serve.queue.depth"), "cpr_serve_queue_depth");
+  EXPECT_EQ(PrometheusName("cdcl.conflicts"), "cpr_cdcl_conflicts");
+  EXPECT_EQ(PrometheusName("weird-name!x"), "cpr_weird_name_x");
+  EXPECT_EQ(PrometheusSubsystem("serve.queue.depth"), "serve");
+  EXPECT_EQ(PrometheusSubsystem("nodots"), "cpr");
+  EXPECT_EQ(PrometheusSubsystem(".leading"), "cpr");
+}
+
+TEST(ExposeTest, RenderCoversEveryInstrumentKind) {
+  Registry registry;
+  registry.counter("serve.admitted").Add(5);
+  registry.gauge("arc.nodes").Set(42);
+  registry.histogram("serve.exec_seconds").Observe(0.001);
+  registry.histogram("serve.exec_seconds").Observe(0.002);
+
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+
+  // Counter: _total suffix, TYPE counter, subsystem label, HELP echoes the
+  // dotted name (the join key back to --stats-json).
+  EXPECT_NE(text.find("# HELP cpr_serve_admitted_total cpr instrument serve.admitted\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cpr_serve_admitted_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("cpr_serve_admitted_total{subsystem=\"serve\"} 5\n"),
+            std::string::npos);
+
+  // Gauge: exported as-is.
+  EXPECT_NE(text.find("# TYPE cpr_arc_nodes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("cpr_arc_nodes{subsystem=\"arc\"} 42\n"), std::string::npos);
+
+  // Histogram: summary with the three quantiles + _sum/_count.
+  EXPECT_NE(text.find("# TYPE cpr_serve_exec_seconds summary\n"), std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99"}) {
+    EXPECT_NE(text.find("cpr_serve_exec_seconds{subsystem=\"serve\",quantile=\"" +
+                        std::string(q) + "\"} "),
+              std::string::npos) << "missing quantile " << q << "\n" << text;
+  }
+  EXPECT_NE(text.find("cpr_serve_exec_seconds_sum{subsystem=\"serve\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("cpr_serve_exec_seconds_count{subsystem=\"serve\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(ExposeTest, QuantilesStayInsideTheObservedEnvelope) {
+  Registry registry;
+  Histogram& h = registry.histogram("x.lat");
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(0.001 + 0.0001 * i);  // 1.0ms .. 10.9ms
+  }
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+  // Parse every quantile sample back out and bound it by the envelope; the
+  // log2-bucket estimate may be coarse but must never leave [min, max].
+  std::istringstream lines(text);
+  std::string line;
+  int quantile_samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("cpr_x_lat{", 0) != 0) continue;
+    double value = std::atof(line.substr(line.rfind(' ') + 1).c_str());
+    EXPECT_GE(value, 0.001) << line;
+    EXPECT_LE(value, 0.011) << line;
+    ++quantile_samples;
+  }
+  EXPECT_EQ(quantile_samples, 3);
+}
+
+// Every line of the rendered document must be a comment or match the
+// `name{labels} value` sample grammar — this is what makes the scrape
+// Prometheus-parseable, and check.sh holds the live daemon to the same bar.
+TEST(ExposeTest, EveryLineIsCommentOrSample) {
+  Registry registry;
+  registry.counter("a.b").Increment();
+  registry.gauge("c.d").Set(-3);
+  registry.histogram("e.f").Observe(0.5);
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    size_t brace = line.find('{');
+    size_t close = line.find("} ");
+    ASSERT_NE(brace, std::string::npos) << line;
+    ASSERT_NE(close, std::string::npos) << line;
+    ASSERT_LT(brace, close) << line;
+    ASSERT_LT(close + 2, line.size()) << line;
+  }
+}
+
+// ---- registry merge (cprd's merge-at-completion) --------------------------
+
+TEST(RegistryMergeTest, CountersAddGaugesFollowHistogramsFold) {
+  Registry per_request;
+  per_request.counter("cdcl.conflicts").Add(7);
+  per_request.gauge("arc.nodes").Set(99);
+  per_request.histogram("repair.solve_seconds").Observe(0.25);
+
+  Registry global;
+  global.counter("cdcl.conflicts").Add(3);
+  global.gauge("arc.nodes").Set(5);
+  global.histogram("repair.solve_seconds").Observe(0.75);
+
+  global.Merge(per_request.TakeSnapshot());
+
+  Snapshot merged = global.TakeSnapshot();
+  for (const auto& [name, value] : merged.counters) {
+    if (name == "cdcl.conflicts") {
+      EXPECT_EQ(value, 10);
+    }
+  }
+  for (const auto& [name, value] : merged.gauges) {
+    if (name == "arc.nodes") {
+      EXPECT_EQ(value, 99) << "gauge merge is last-write-wins";
+    }
+  }
+  for (const auto& [name, data] : merged.histograms) {
+    if (name == "repair.solve_seconds") {
+      EXPECT_EQ(data.count, 2);
+      EXPECT_DOUBLE_EQ(data.sum_seconds, 1.0);
+      EXPECT_DOUBLE_EQ(data.min_seconds, 0.25);
+      EXPECT_DOUBLE_EQ(data.max_seconds, 0.75);
+    }
+  }
+}
+
+// ---- trace IDs ------------------------------------------------------------
+
+TEST(TraceIdTest, MintedIdsAreHexUniqueAndNonZero) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 256; ++i) {
+    std::string id = MintTraceId();
+    ASSERT_EQ(id.size(), 16u);
+    for (char c : id) {
+      ASSERT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << id;
+    }
+    EXPECT_NE(id, "0000000000000000");
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+// ---- event log ------------------------------------------------------------
+
+TEST(EventLogTest, JsonShapeFollowsTheSchema) {
+  Event event = Event::Of("admit", 7, "00ff00ff00ff00ff");
+  event.unix_seconds = 1234.5;
+  event.With("tag", "soak \"quoted\"").With("queue_depth", "3");
+  std::string json = EventToJson(event);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &parsed, &error)) << error << "\n" << json;
+  EXPECT_EQ(parsed.Find("v")->AsInt(), kEventSchemaVersion);
+  EXPECT_DOUBLE_EQ(parsed.Find("ts")->AsDouble(), 1234.5);
+  EXPECT_EQ(parsed.Find("type")->string, "admit");
+  EXPECT_EQ(parsed.Find("req")->AsInt(), 7);
+  EXPECT_EQ(parsed.Find("trace")->string, "00ff00ff00ff00ff");
+  EXPECT_EQ(parsed.Find("tag")->string, "soak \"quoted\"");
+
+  // Daemon-scoped events omit req/trace entirely instead of writing zeros.
+  Event daemon_event = Event::Of("daemon.start");
+  daemon_event.unix_seconds = 1;
+  std::string daemon_json = EventToJson(daemon_event);
+  EXPECT_EQ(daemon_json.find("\"req\""), std::string::npos) << daemon_json;
+  EXPECT_EQ(daemon_json.find("\"trace\""), std::string::npos) << daemon_json;
+}
+
+// N threads hammer one EventLog; every line in the file must be a complete,
+// valid JSON object (no interleaved bytes) and all N*M events must land.
+// This is the TSan target for the lock-minimal write path.
+TEST(EventLogTest, ConcurrentWritersNeverInterleaveLines) {
+  fs::path path = fs::temp_directory_path() /
+                  ("cpr_eventlog_test_" + std::to_string(::getpid()) + ".jsonl");
+  fs::remove(path);
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 200;
+  {
+    EventLog log;
+    FlightRecorder recorder;  // Tee into the ring concurrently too.
+    log.set_recorder(&recorder);
+    std::string error;
+    ASSERT_TRUE(log.OpenFile(path.string(), &error)) << error;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&log, t] {
+        for (int i = 0; i < kEventsPerThread; ++i) {
+          Event event = Event::Of("solve", static_cast<uint64_t>(t * 1000 + i + 1),
+                                  MintTraceId());
+          event.With("thread", std::to_string(t)).With("i", std::to_string(i));
+          log.Emit(std::move(event));
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    std::string error;
+    ASSERT_TRUE(ValidateJson(line, &error))
+        << "interleaved/corrupt line " << lines << ": " << error << "\n" << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kEventsPerThread);
+  fs::remove(path);
+}
+
+TEST(EventLogTest, EmitWithoutSinksIsANoOp) {
+  EventLog log;
+  log.Emit(Event::Of("solve", 1));  // Must not crash or write anywhere.
+  EXPECT_FALSE(log.has_file());
+}
+
+// ---- flight recorder ------------------------------------------------------
+
+Event RequestEvent(const std::string& type, uint64_t id) {
+  Event event = Event::Of(type, id, "aaaaaaaaaaaaaaaa");
+  event.unix_seconds = static_cast<double>(id);
+  return event;
+}
+
+TEST(FlightRecorderTest, EvictionPrefersTerminalLifecycles) {
+  FlightRecorder::Limits limits;
+  limits.max_requests = 3;
+  FlightRecorder recorder(limits);
+
+  // 1 and 2 complete; 3 stays in flight.
+  for (uint64_t id : {1, 2, 3}) {
+    recorder.Record(RequestEvent("admit", id));
+  }
+  recorder.Record(RequestEvent("request.done", 1));
+  recorder.Record(RequestEvent("request.done", 2));
+  ASSERT_EQ(recorder.request_count(), 3u);
+
+  // 4 arrives: the oldest TERMINAL lifecycle (1) must go, never in-flight 3.
+  recorder.Record(RequestEvent("admit", 4));
+  EXPECT_EQ(recorder.request_count(), 3u);
+
+  std::string json = recorder.DumpJson("test");
+  JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &dump, &error)) << error;
+  std::set<int64_t> ids;
+  for (const JsonValue& lifecycle : dump.Find("requests")->items) {
+    ids.insert(lifecycle.Find("id")->AsInt());
+  }
+  EXPECT_EQ(ids, (std::set<int64_t>{2, 3, 4}));
+}
+
+TEST(FlightRecorderTest, PerRequestEventCapCountsDrops) {
+  FlightRecorder::Limits limits;
+  limits.max_events_per_request = 4;
+  FlightRecorder recorder(limits);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(RequestEvent("retry", 1));
+  }
+  JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(ParseJson(recorder.DumpJson("test"), &dump, &error)) << error;
+  const JsonValue& lifecycle = dump.Find("requests")->items.at(0);
+  EXPECT_EQ(lifecycle.Find("events")->items.size(), 4u);
+  EXPECT_EQ(lifecycle.Find("dropped_events")->AsInt(), 6);
+}
+
+TEST(FlightRecorderTest, DumpSchemaIsCompleteAndValid) {
+  FlightRecorder recorder;
+  recorder.Record(Event::Of("daemon.start"));
+  recorder.Record(RequestEvent("admit", 9));
+  recorder.Record(RequestEvent("request.failed", 9));
+
+  std::string json = recorder.DumpJson("drain");
+  JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &dump, &error)) << error << "\n" << json;
+  EXPECT_EQ(dump.Find("schema_version")->AsInt(), kFlightRecorderSchemaVersion);
+  EXPECT_EQ(dump.Find("reason")->string, "drain");
+  EXPECT_GT(dump.Find("dumped_unix_seconds")->AsDouble(), 0);
+  ASSERT_EQ(dump.Find("requests")->items.size(), 1u);
+  const JsonValue& lifecycle = dump.Find("requests")->items[0];
+  EXPECT_EQ(lifecycle.Find("id")->AsInt(), 9);
+  EXPECT_EQ(lifecycle.Find("trace_id")->string, "aaaaaaaaaaaaaaaa");
+  EXPECT_EQ(lifecycle.Find("terminal")->bool_value, true);
+  EXPECT_EQ(lifecycle.Find("events")->items.size(), 2u);
+  // recent_events sees daemon-scoped events too; request maps do not.
+  EXPECT_EQ(dump.Find("recent_events")->items.size(), 3u);
+}
+
+TEST(FlightRecorderTest, DumpToWritesDurably) {
+  fs::path path = fs::temp_directory_path() /
+                  ("cpr_flight_test_" + std::to_string(::getpid()) + ".json");
+  fs::remove(path);
+  FlightRecorder recorder;
+  recorder.Record(RequestEvent("admit", 1));
+  std::string error;
+  ASSERT_TRUE(recorder.DumpTo(path.string(), "test", &error)) << error;
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  ASSERT_TRUE(ValidateJson(text, &error)) << error;
+  fs::remove(path);
+}
+
+// Concurrent recorders + scrapers: Record and DumpJson race freely; every
+// dump observed must be valid JSON (TSan covers the locking).
+TEST(FlightRecorderTest, ConcurrentRecordAndDumpStayConsistent) {
+  FlightRecorder recorder;
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load()) {
+      std::string json = recorder.DumpJson("race");
+      std::string error;
+      ASSERT_TRUE(ValidateJson(json, &error)) << error;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < 500; ++i) {
+        uint64_t id = static_cast<uint64_t>(t * 1000 + i + 1);
+        recorder.Record(RequestEvent("admit", id));
+        recorder.Record(RequestEvent("request.done", id));
+      }
+    });
+  }
+  for (std::thread& thread : writers) {
+    thread.join();
+  }
+  stop.store(true);
+  dumper.join();
+}
+
+}  // namespace
+}  // namespace cpr::obs

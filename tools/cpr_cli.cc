@@ -63,6 +63,7 @@
 #include "config/printer.h"
 #include "core/cpr.h"
 #include "core/policy_spec.h"
+#include "core/schema_versions.h"
 #include "incremental/session.h"
 #include "core/stats_report.h"
 #include "lint/lint.h"
@@ -476,7 +477,7 @@ std::string LintJson(size_t files, const std::vector<ParseFailure>& parse_failur
                      const std::vector<LocatedDiagnostic>& located) {
   cpr::obs::JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(1);
+  w.Key("schema_version").Int(cpr::kLintSchemaVersion);
   w.Key("files").Int(static_cast<int64_t>(files));
   w.Key("errors").Int(report.errors);
   w.Key("warnings").Int(report.warnings);

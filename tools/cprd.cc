@@ -18,11 +18,22 @@
 //   cprd wait   --socket PATH --id N [--timeout S]
 //   cprd result --socket PATH --id N         per-request stats JSON
 //   cprd stats  --socket PATH                serve.* counters/gauges
+//   cprd scrape --socket PATH                Prometheus text exposition
+//   cprd top    --socket PATH                one-shot pretty-printed scrape
+//   cprd dump   --socket PATH                flight-recorder dump JSON
 //   cprd drain  --socket PATH                stop admitting; daemon exits
 //
 // The wire protocol is one key=value line per request and response
 // (serve/wire.h); every client op prints the daemon's response line verbatim
-// so scripts can parse it the same way the client does. SIGTERM (or a drain
+// so scripts can parse it the same way the client does (scrape/top/dump
+// decode their payload field instead, since the whole point is the decoded
+// document). stdout carries ONLY protocol/payload output; daemon diagnostics
+// are structured events — per-request events go to the --event-log file and
+// the in-memory flight recorder, never to stderr, and the few daemon-scoped
+// lifecycle marks (start, drain) echo to stderr as single-write JSONL lines,
+// so they cannot interleave with each other or shred client output mid-line.
+//
+// SIGTERM (or a drain
 // op) makes the server stop admitting, finish in-flight repairs within the
 // drain deadline, checkpoint the still-queued requests, and exit 0; a
 // restarted daemon on the same --checkpoint-dir re-queues exactly the
@@ -33,11 +44,14 @@
 // connection loop), and blocking ops (`wait`) are clamped server-side so the
 // loop keeps polling for SIGTERM; the client re-issues until its own timeout.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +86,11 @@ int Usage() {
       "       cprd submit --socket PATH <config-dir> <policy-file> [request options]\n"
       "       cprd ping|status|wait|result|stats|drain --socket PATH [--id N] "
       "[--timeout S]\n"
+      "       cprd scrape --socket PATH     Prometheus text exposition of every\n"
+      "                                     registered counter/gauge/histogram\n"
+      "       cprd top    --socket PATH     the same scrape, pretty-printed once\n"
+      "       cprd dump   --socket PATH     flight-recorder dump (recent request\n"
+      "                                     lifecycles + events, JSON)\n"
       "server options:\n"
       "  --workers N           concurrent requests in execution (default 2)\n"
       "  --solve-threads N     shared solver pool size (default 4)\n"
@@ -81,6 +100,10 @@ int Usage() {
       "  --max-attempts N      attempts per request on transient failure (default 3)\n"
       "  --results-dir DIR     write per-request stats JSON files\n"
       "  --cache-capacity N    snapshot cache entries (default 8)\n"
+      "  --event-log PATH      append one JSON event line per request-lifecycle\n"
+      "                        transition (admit, solve, retry, drain, ...)\n"
+      "  --flight-dump PATH    where drain/crash flight-recorder dumps land\n"
+      "                        (default <checkpoint-dir>/flightrec.json)\n"
       "request options:\n"
       "  --tag T  --deadline S  --timeout S  --backend z3|internal\n"
       "  --granularity perdst|alltcs  --max-retries N  --simulate\n"
@@ -260,6 +283,17 @@ bool HandleConnection(Daemon* daemon, int fd) {
     respond(fields);
     return false;
   }
+  if (op == "metrics") {
+    // The whole Prometheus document rides as ONE wire value: EncodeWireLine
+    // %-escapes newlines, so the multi-line text survives the one-line
+    // protocol and the client decodes it back verbatim.
+    respond({{"ok", "1"}, {"metrics", daemon->ScrapeMetrics()}});
+    return false;
+  }
+  if (op == "dump") {
+    respond({{"ok", "1"}, {"flight", daemon->FlightDumpJson("dump_op")}});
+    return false;
+  }
   if (op == "drain") {
     respond({{"draining", "1"}});
     return true;
@@ -306,6 +340,12 @@ int CmdServe(ArgReader* args) {
     } else if (flag == "--cache-capacity") {
       if (v = value(); !v.ok()) return Usage();
       options.cache_capacity = static_cast<size_t>(std::atoll(v->c_str()));
+    } else if (flag == "--event-log") {
+      if (v = value(); !v.ok()) return Usage();
+      options.event_log_path = *v;
+    } else if (flag == "--flight-dump") {
+      if (v = value(); !v.ok()) return Usage();
+      options.flight_dump_path = *v;
     } else {
       std::fprintf(stderr, "error: unknown serve flag %s\n", flag.c_str());
       return Usage();
@@ -315,6 +355,9 @@ int CmdServe(ArgReader* args) {
     std::fprintf(stderr, "error: serve requires --socket and --checkpoint-dir\n");
     return Usage();
   }
+  // Operators see daemon-scoped lifecycle events (daemon.start, drain.*) on
+  // stderr as JSONL; per-request events stay in --event-log / the recorder.
+  options.echo_daemon_events = true;
 
   cpr::Result<std::unique_ptr<Daemon>> daemon = Daemon::Start(options);
   if (!daemon.ok()) {
@@ -384,6 +427,75 @@ cpr::Result<WireFields> RoundTrip(const std::string& socket_path,
     std::printf("%s\n", response->c_str());
   }
   return cpr::serve::DecodeWireLine(*response);
+}
+
+// `cprd top`: one-shot human-readable rendering of the Prometheus scrape.
+// Counters and gauges print as aligned name/value rows; histograms (exported
+// as summaries) print count plus the p50/p90/p99 quantiles on one row.
+void PrintTop(const std::string& prometheus_text) {
+  struct Summary {
+    double count = 0, sum = 0, p50 = 0, p90 = 0, p99 = 0;
+  };
+  std::map<std::string, double> scalars;    // counters + gauges
+  std::map<std::string, Summary> summaries;
+
+  std::string::size_type pos = 0;
+  while (pos < prometheus_text.size()) {
+    std::string::size_type end = prometheus_text.find('\n', pos);
+    if (end == std::string::npos) end = prometheus_text.size();
+    std::string line = prometheus_text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    // `name{labels} value` or `name value`.
+    std::string::size_type brace = line.find('{');
+    std::string::size_type space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string name =
+        line.substr(0, brace == std::string::npos ? space : brace);
+    std::string labels = brace == std::string::npos
+                             ? std::string()
+                             : line.substr(brace, line.rfind('}') - brace + 1);
+    double value = std::atof(line.c_str() + space + 1);
+
+    auto strip_suffix = [&name](const char* suffix) -> std::optional<std::string> {
+      std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+      return std::nullopt;
+    };
+    std::string::size_type q = labels.find("quantile=\"");
+    if (q != std::string::npos) {
+      Summary& summary = summaries[name];
+      std::string quantile = labels.substr(q + 10, 4);
+      if (quantile.rfind("0.5\"", 0) == 0) summary.p50 = value;
+      else if (quantile.rfind("0.9\"", 0) == 0) summary.p90 = value;
+      else if (quantile.rfind("0.99", 0) == 0) summary.p99 = value;
+    } else if (auto base = strip_suffix("_sum"); base && summaries.count(*base)) {
+      summaries[*base].sum = value;
+    } else if (auto base = strip_suffix("_count"); base && summaries.count(*base)) {
+      summaries[*base].count = value;
+    } else {
+      scalars[name] = value;
+    }
+  }
+
+  size_t width = 6;
+  for (const auto& [name, value] : scalars) width = std::max(width, name.size());
+  for (const auto& [name, summary] : summaries) width = std::max(width, name.size());
+  for (const auto& [name, value] : scalars) {
+    std::printf("%-*s  %g\n", static_cast<int>(width), name.c_str(), value);
+  }
+  if (!summaries.empty()) {
+    std::printf("%-*s  %10s  %12s  %12s  %12s\n", static_cast<int>(width),
+                "-- summaries --", "count", "p50", "p90", "p99");
+    for (const auto& [name, s] : summaries) {
+      std::printf("%-*s  %10g  %12g  %12g  %12g\n", static_cast<int>(width),
+                  name.c_str(), s.count, s.p50, s.p90, s.p99);
+    }
+  }
 }
 
 // Client-side wait loop: the server clamps each wait op, so poll until the
@@ -505,6 +617,30 @@ int CmdClient(const std::string& command, ArgReader* args) {
     }
     return 0;
   }
+  if (command == "scrape" || command == "top" || command == "dump") {
+    // These print the DECODED payload, not the wire line: scrape emits the
+    // Prometheus document exactly as a monitoring agent would ingest it, and
+    // dump emits the flight-recorder JSON ready for cpr_json_validate.
+    std::string op = command == "dump" ? "dump" : "metrics";
+    cpr::Result<WireFields> response = RoundTrip(socket_path, {{"op", op}}, false);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.error().message().c_str());
+      return 1;
+    }
+    WireView view(*response);
+    if (view.Get("ok") != "1") {
+      std::fprintf(stderr, "error: %s\n", view.Get("error", "scrape failed").c_str());
+      return 1;
+    }
+    if (command == "dump") {
+      std::printf("%s\n", view.Get("flight").c_str());
+    } else if (command == "top") {
+      PrintTop(view.Get("metrics"));
+    } else {
+      std::fputs(view.Get("metrics").c_str(), stdout);
+    }
+    return 0;
+  }
   if (command == "submit") {
     WireFields request = cpr::serve::FieldsFromSpec(spec);
     request.insert(request.begin(), {"op", "submit"});
@@ -556,6 +692,7 @@ int Run(int argc, char** argv) {
   }
   if (command == "ping" || command == "submit" || command == "status" ||
       command == "wait" || command == "result" || command == "stats" ||
+      command == "scrape" || command == "top" || command == "dump" ||
       command == "drain") {
     return CmdClient(command, &args);
   }
